@@ -1,0 +1,403 @@
+#![warn(missing_docs)]
+
+//! Command-line interface for the CMVRP reproduction.
+//!
+//! Subcommands (see `cmvrp help`):
+//!
+//! * `solve` — compute the Chapter 2 quantities (`ω_c`, `ω*`,
+//!   Algorithm 1, the Lemma 2.2.5 plan) for a workload;
+//! * `simulate` — replay the workload through the Chapter 3 on-line
+//!   protocol and report the Theorem 1.4.2 accounting;
+//! * `workloads` — list the built-in workload shapes.
+//!
+//! Workloads are specified as `shape:param=value,...`, e.g.
+//! `point:grid=11,demand=60` or `clusters:grid=12,k=3,jobs=200,seed=7`.
+//! Argument parsing is hand-rolled (the workspace takes no CLI
+//! dependencies); [`run`] is the testable entry point.
+
+use cmvrp_core::Instance;
+use cmvrp_online::{OnlineConfig, OnlineSim};
+use cmvrp_workloads::{arrivals, Ordering, WorkloadConfig};
+use std::fmt::Write as _;
+
+/// Errors surfaced to the user with exit code 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn usage() -> String {
+    "cmvrp — Capacitated Multivehicle Routing Problem (Gao, 2008)\n\
+     \n\
+     USAGE:\n\
+       cmvrp solve <workload>            off-line bounds + verified plan\n\
+       cmvrp simulate <workload> [opts]  run the on-line protocol\n\
+       cmvrp show <workload>             render the demand map as ASCII\n\
+       cmvrp experiment <id>             regenerate a thesis experiment (e1..e16, f1, g1, g2)\n\
+       cmvrp sweep <shape> <d1> <d2> ..  omega* scaling across demands (point|line)\n\
+       cmvrp workloads                   list workload shapes\n\
+       cmvrp help                        this message\n\
+     \n\
+     WORKLOADS:\n\
+       point:grid=N,demand=D\n\
+       line:grid=N,demand=D\n\
+       square:grid=N,a=A,demand=D\n\
+       uniform:grid=N,jobs=J,seed=S\n\
+       clusters:grid=N,k=K,jobs=J,seed=S\n\
+     \n\
+     SIMULATE OPTIONS:\n\
+       --seed=S        message-delay seed (default 1)\n\
+       --capacity=W    override the Lemma 3.3.1 provisioning\n\
+       --monitored     enable the §3.2.5 heartbeat ring\n"
+        .to_string()
+}
+
+/// Parses `shape:key=value,...` into a [`WorkloadConfig`].
+pub fn parse_workload(spec: &str) -> Result<WorkloadConfig, UsageError> {
+    let (shape, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    let get = |key: &str| -> Option<u64> {
+        rest.split(',').find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == key).then(|| v.parse().ok()).flatten()
+        })
+    };
+    let missing = |what: &str| {
+        UsageError(format!(
+            "workload {shape:?} needs {what} (see `cmvrp help`)"
+        ))
+    };
+    match shape {
+        "point" => Ok(WorkloadConfig::Point {
+            grid: get("grid").ok_or_else(|| missing("grid"))?,
+            demand: get("demand").ok_or_else(|| missing("demand"))?,
+        }),
+        "line" => Ok(WorkloadConfig::Line {
+            grid: get("grid").ok_or_else(|| missing("grid"))?,
+            demand: get("demand").ok_or_else(|| missing("demand"))?,
+        }),
+        "square" => Ok(WorkloadConfig::Square {
+            grid: get("grid").ok_or_else(|| missing("grid"))?,
+            a: get("a").ok_or_else(|| missing("a"))?,
+            demand: get("demand").ok_or_else(|| missing("demand"))?,
+        }),
+        "uniform" => Ok(WorkloadConfig::Uniform {
+            grid: get("grid").ok_or_else(|| missing("grid"))?,
+            jobs: get("jobs").ok_or_else(|| missing("jobs"))?,
+            seed: get("seed").unwrap_or(0),
+        }),
+        "clusters" => Ok(WorkloadConfig::Clusters {
+            grid: get("grid").ok_or_else(|| missing("grid"))?,
+            clusters: get("k").ok_or_else(|| missing("k"))? as usize,
+            jobs: get("jobs").ok_or_else(|| missing("jobs"))?,
+            seed: get("seed").unwrap_or(0),
+        }),
+        other => Err(UsageError(format!(
+            "unknown workload shape {other:?}; run `cmvrp workloads`"
+        ))),
+    }
+}
+
+fn cmd_sweep(shape: &str, demands: &[String]) -> Result<String, UsageError> {
+    use cmvrp_core::omega_star;
+    use cmvrp_util::table::fmt_f64;
+    use cmvrp_util::Table;
+    if demands.is_empty() {
+        return Err(UsageError("sweep needs at least one demand value".into()));
+    }
+    let parsed: Result<Vec<u64>, _> = demands.iter().map(|d| d.parse::<u64>()).collect();
+    let parsed = parsed.map_err(|_| UsageError("demands must be integers".into()))?;
+    let mut table = Table::new(vec!["d", "omega*", "growth vs prev"]);
+    let mut prev: Option<f64> = None;
+    for &d in &parsed {
+        let cfg = match shape {
+            "point" => WorkloadConfig::Point {
+                grid: 41,
+                demand: d,
+            },
+            "line" => WorkloadConfig::Line {
+                grid: 30,
+                demand: d,
+            },
+            other => {
+                return Err(UsageError(format!(
+                    "sweep supports point|line, not {other:?}"
+                )))
+            }
+        };
+        let (bounds, demand) = cfg.generate();
+        let star = omega_star(&bounds, &demand).value.to_f64();
+        let growth = prev
+            .map(|p| format!("{:.3}", star / p))
+            .unwrap_or_else(|| "-".into());
+        table.row(vec![d.to_string(), fmt_f64(star), growth]);
+        prev = Some(star);
+    }
+    let law = match shape {
+        "point" => "expect cube-root growth: 8x demand -> ~2x omega*",
+        _ => "expect square-root growth: 4x demand -> ~2x omega*",
+    };
+    Ok(format!("{table}{law}\n"))
+}
+
+fn cmd_experiment(id: &str) -> Result<String, UsageError> {
+    use cmvrp_bench as exp;
+    let out = match id {
+        "e1" => exp::e1(&[4, 8, 16, 32]),
+        "e2" => exp::e2(&[8, 32, 128, 512]),
+        "e3" => exp::e3(&[100, 800, 6400]),
+        "e4" => exp::e4(&[1, 2, 3]),
+        "e5" => exp::e5(&exp::default_workloads()),
+        "e6" => exp::e6(&[10, 11, 12, 13, 14]),
+        "e7" => exp::e7(&exp::default_workloads()),
+        "e8" => exp::e8(),
+        "e9" => exp::e9(&[2, 4, 8, 16]),
+        "e10" => exp::e10(),
+        "e11" => exp::e11(&[10, 100, 1000, 10000]),
+        "e12" => exp::e12(),
+        "e13" => exp::e13(),
+        "e14" => exp::e14(&exp::default_workloads()),
+        "e15" => exp::e15(),
+        "e16" => exp::e16(),
+        "f1" => exp::f1(),
+        "g1" => exp::g1(),
+        "g2" => exp::g2(),
+        other => {
+            return Err(UsageError(format!(
+                "unknown experiment {other:?}; known: e1..e16, f1, g1"
+            )))
+        }
+    };
+    Ok(out.to_string())
+}
+
+fn cmd_show(spec: &str) -> Result<String, UsageError> {
+    let cfg = parse_workload(spec)?;
+    let (bounds, demand) = cfg.generate();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "workload: {} (total demand {})",
+        cfg.label(),
+        demand.total()
+    );
+    out.push_str(&cmvrp_grid::render_demand(&bounds, &demand));
+    Ok(out)
+}
+
+fn cmd_solve(spec: &str) -> Result<String, UsageError> {
+    let cfg = parse_workload(spec)?;
+    let (bounds, demand) = cfg.generate();
+    let inst = Instance::new(bounds, demand);
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {}", cfg.label());
+    let _ = writeln!(out, "total demand: {}", inst.demand().total());
+    let _ = writeln!(out, "omega_c (Cor 2.2.7): {}", inst.omega_c());
+    let star = inst.omega_star();
+    let _ = writeln!(out, "omega*  (Thm 1.4.1): {}", star.value);
+    let _ = writeln!(out, "Algorithm 1 estimate: {}", inst.approx_woff());
+    let (lo, hi) = inst.woff_bounds();
+    let _ = writeln!(out, "Woff bounds: {lo} <= Woff <= {hi}");
+    let plan = inst
+        .plan_offline()
+        .map_err(|e| UsageError(format!("planning failed: {e}")))?;
+    let check = inst.verify(&plan);
+    let _ = writeln!(
+        out,
+        "plan: {} vehicles, max energy {}, valid: {}",
+        plan.len(),
+        check.max_energy,
+        check.is_valid()
+    );
+    Ok(out)
+}
+
+fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
+    let cfg = parse_workload(spec)?;
+    let mut online = OnlineConfig::default();
+    for opt in opts {
+        if let Some(v) = opt.strip_prefix("--seed=") {
+            online.seed = v
+                .parse()
+                .map_err(|_| UsageError(format!("bad seed {v:?}")))?;
+        } else if let Some(v) = opt.strip_prefix("--capacity=") {
+            online.capacity_override = Some(
+                v.parse()
+                    .map_err(|_| UsageError(format!("bad capacity {v:?}")))?,
+            );
+        } else if opt == "--monitored" {
+            online.monitored = true;
+        } else {
+            return Err(UsageError(format!("unknown option {opt:?}")));
+        }
+    }
+    let (bounds, demand) = cfg.generate();
+    let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, online.seed);
+    let report = OnlineSim::new(bounds, &jobs, online).run();
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {}", cfg.label());
+    let _ = writeln!(out, "capacity: {}", report.capacity);
+    let _ = writeln!(
+        out,
+        "served: {}/{}",
+        report.served,
+        report.served + report.unserved
+    );
+    let _ = writeln!(out, "max energy used: {}", report.max_energy_used);
+    let _ = writeln!(
+        out,
+        "replacements: {} (failed: {})",
+        report.replacements, report.failed_replacements
+    );
+    let _ = writeln!(out, "messages: {}", report.messages);
+    let _ = writeln!(
+        out,
+        "omega_c: {} (cube side {})",
+        report.omega_c, report.cube_side
+    );
+    Ok(out)
+}
+
+/// Dispatches a CLI invocation; returns the text to print or a usage error.
+pub fn run(args: &[String]) -> Result<String, UsageError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(usage()),
+        Some("workloads") => Ok(
+            "point, line, square, uniform, clusters — see `cmvrp help` for parameters\n"
+                .to_string(),
+        ),
+        Some("sweep") => match args.get(1) {
+            Some(shape) => cmd_sweep(shape, &args[2..]),
+            None => Err(UsageError("sweep needs a shape (point|line)".into())),
+        },
+        Some("experiment") => match args.get(1) {
+            Some(id) => cmd_experiment(id),
+            None => Err(UsageError(
+                "experiment needs an id (e1..e16, f1, g1)".into(),
+            )),
+        },
+        Some("show") => match args.get(1) {
+            Some(spec) => cmd_show(spec),
+            None => Err(UsageError("show needs a workload spec".into())),
+        },
+        Some("solve") => match args.get(1) {
+            Some(spec) => cmd_solve(spec),
+            None => Err(UsageError("solve needs a workload spec".into())),
+        },
+        Some("simulate") => match args.get(1) {
+            Some(spec) => cmd_simulate(spec, &args[2..]),
+            None => Err(UsageError("simulate needs a workload spec".into())),
+        },
+        Some(other) => Err(UsageError(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_paths() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&argv("help")).unwrap().contains("USAGE"));
+        assert!(run(&argv("workloads")).unwrap().contains("clusters"));
+    }
+
+    #[test]
+    fn parse_point() {
+        let cfg = parse_workload("point:grid=9,demand=30").unwrap();
+        assert_eq!(
+            cfg,
+            WorkloadConfig::Point {
+                grid: 9,
+                demand: 30
+            }
+        );
+    }
+
+    #[test]
+    fn parse_clusters_with_default_seed() {
+        let cfg = parse_workload("clusters:grid=10,k=2,jobs=50").unwrap();
+        assert_eq!(
+            cfg,
+            WorkloadConfig::Clusters {
+                grid: 10,
+                clusters: 2,
+                jobs: 50,
+                seed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_workload("blob:grid=4").is_err());
+        assert!(parse_workload("point:grid=4").is_err()); // missing demand
+        assert!(parse_workload("square:grid=4,demand=1").is_err()); // missing a
+    }
+
+    #[test]
+    fn experiment_runs_and_rejects_unknown() {
+        let out = run(&argv("experiment f1")).unwrap();
+        assert!(out.contains("laminar"));
+        assert!(run(&argv("experiment nope")).is_err());
+        assert!(run(&argv("experiment")).is_err());
+    }
+
+    #[test]
+    fn sweep_reports_growth() {
+        let out = run(&argv("sweep point 64 512")).unwrap();
+        assert!(out.contains("growth"));
+        assert!(out.contains("cube-root"));
+        assert!(run(&argv("sweep blob 1")).is_err());
+        assert!(run(&argv("sweep point")).is_err());
+        assert!(run(&argv("sweep point abc")).is_err());
+    }
+
+    #[test]
+    fn show_renders() {
+        let out = run(&argv("show point:grid=5,demand=9")).unwrap();
+        assert!(out.contains('9'));
+        assert_eq!(out.lines().count(), 6); // header + 5 rows
+    }
+
+    #[test]
+    fn solve_runs() {
+        let out = run(&argv("solve point:grid=9,demand=40")).unwrap();
+        assert!(out.contains("omega*"));
+        assert!(out.contains("valid: true"));
+    }
+
+    #[test]
+    fn simulate_runs() {
+        let out = run(&argv("simulate point:grid=8,demand=40 --seed=3")).unwrap();
+        assert!(out.contains("served: 40/40"));
+    }
+
+    #[test]
+    fn simulate_with_capacity_override() {
+        let out = run(&argv("simulate point:grid=8,demand=60 --capacity=5")).unwrap();
+        assert!(out.contains("served:"));
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_option() {
+        assert!(run(&argv("simulate point:grid=8,demand=10 --what")).is_err());
+    }
+
+    #[test]
+    fn missing_spec_errors() {
+        assert!(run(&argv("solve")).is_err());
+        assert!(run(&argv("simulate")).is_err());
+        assert!(run(&argv("frobnicate")).is_err());
+    }
+}

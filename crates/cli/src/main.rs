@@ -1,0 +1,12 @@
+//! The `cmvrp` binary: thin wrapper around [`cmvrp_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cmvrp_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The dimension-dependent constants of the thesis' theorems.
+
+/// `2·3^ℓ + ℓ` — the off-line upper-bound factor of Lemma 2.2.5
+/// (`Woff ≤ (2·3^ℓ + ℓ)·ω*`).
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_core::offline_factor;
+/// assert_eq!(offline_factor(2), 20);
+/// assert_eq!(offline_factor(1), 7);
+/// ```
+pub fn offline_factor(l: u32) -> u64 {
+    2 * 3u64.pow(l) + l as u64
+}
+
+/// `4·3^ℓ + ℓ` — the on-line upper-bound factor of Lemma 3.3.1
+/// (`Won ≤ (4·3^ℓ + ℓ)·ω_c`).
+pub fn online_factor(l: u32) -> u64 {
+    4 * 3u64.pow(l) + l as u64
+}
+
+/// `2·(2·3^ℓ + ℓ)` — the approximation factor of Algorithm 1 (§2.3).
+pub fn alg1_factor(l: u32) -> u64 {
+    2 * offline_factor(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_values() {
+        // The thesis remarks the plane (ℓ = 2) is the case of primary
+        // interest; its constants are 20, 38, and 40.
+        assert_eq!(offline_factor(2), 20);
+        assert_eq!(online_factor(2), 38);
+        assert_eq!(alg1_factor(2), 40);
+    }
+
+    #[test]
+    fn one_and_three_dimensions() {
+        assert_eq!(offline_factor(1), 7);
+        assert_eq!(online_factor(1), 13);
+        assert_eq!(offline_factor(3), 57);
+        assert_eq!(online_factor(3), 111);
+    }
+
+    #[test]
+    fn online_exceeds_offline() {
+        for l in 1..=4 {
+            assert!(online_factor(l) > offline_factor(l));
+        }
+    }
+}

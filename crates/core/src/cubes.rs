@@ -1,0 +1,421 @@
+//! Cube characterizations of `Woff` (Corollaries 2.2.6 and 2.2.7).
+//!
+//! The thesis observes that restricting the subsets `T` to axis-aligned
+//! `ℓ`-cubes loses only a constant factor, and that this restriction is
+//! "key to being able to provide an algorithm". This module computes:
+//!
+//! * [`max_window_sum`] — `max_{T ∈ Γ_s} Σ_{x∈T} d(x)` over all side-`s`
+//!   sliding cubes, via `D`-dimensional prefix sums (linear time).
+//! * [`omega_c`] — the Corollary 2.2.7 quantity
+//!   `ω_c = min{ ω : ω·(3⌈ω⌉)^ℓ ≥ max_{T∈Γ_⌈ω⌉} Σ_{x∈T} d(x) }`,
+//!   satisfying `ω_c ≤ Woff ≤ (2·3^ℓ+ℓ)·ω_c`.
+//! * [`max_cube_omega_t`] — `max_{T∈Γ_s, s≤s_max} ω_T` for cross-checking
+//!   Corollary 2.2.6 in tests.
+
+use crate::omega::solve_omega_t;
+use cmvrp_grid::{DemandMap, GridBounds, Point};
+use cmvrp_util::Ratio;
+
+/// `D`-dimensional prefix-sum table over a bounded grid, supporting O(2^D)
+/// box-sum queries.
+#[derive(Debug, Clone)]
+pub struct PrefixSums<const D: usize> {
+    bounds: GridBounds<D>,
+    /// Extents plus one along each axis (the table is one larger).
+    dims: [usize; D],
+    data: Vec<u64>,
+}
+
+impl<const D: usize> PrefixSums<D> {
+    /// Builds the table from a demand map in `O(volume · D)` time.
+    pub fn new(bounds: GridBounds<D>, demand: &DemandMap<D>) -> Self {
+        let mut dims = [0usize; D];
+        for (i, dim) in dims.iter_mut().enumerate() {
+            *dim = bounds.extent(i) as usize + 1;
+        }
+        let size: usize = dims.iter().product();
+        let mut data = vec![0u64; size];
+        let index = |coords: &[usize; D], dims: &[usize; D]| -> usize {
+            let mut idx = 0usize;
+            for i in 0..D {
+                idx = idx * dims[i] + coords[i];
+            }
+            idx
+        };
+        // Scatter raw demand at offset +1.
+        for (p, amount) in demand.iter() {
+            if !bounds.contains(p) {
+                continue;
+            }
+            let c = p.coords();
+            let min = bounds.min();
+            let mut coords = [0usize; D];
+            for i in 0..D {
+                coords[i] = (c[i] - min[i]) as usize + 1;
+            }
+            data[index(&coords, &dims)] += amount;
+        }
+        // Accumulate along each axis in turn. Row-major strides: the cell at
+        // coords[axis]-1 sits exactly `stride[axis]` earlier, so a single
+        // ascending sweep per axis finalizes that axis' prefix.
+        let mut stride = [1usize; D];
+        for i in (0..D.saturating_sub(1)).rev() {
+            stride[i] = stride[i + 1] * dims[i + 1];
+        }
+        for axis in 0..D {
+            for idx in 0..size {
+                let coord_axis = (idx / stride[axis]) % dims[axis];
+                if coord_axis > 0 {
+                    data[idx] += data[idx - stride[axis]];
+                }
+            }
+        }
+        PrefixSums { bounds, dims, data }
+    }
+
+    fn index(&self, coords: &[usize; D]) -> usize {
+        let mut idx = 0usize;
+        for i in 0..D {
+            idx = idx * self.dims[i] + coords[i];
+        }
+        idx
+    }
+
+    /// Sum of demand over the box with inclusive corners `lo`, `hi`
+    /// (in grid coordinates, clipped to the bounds).
+    pub fn box_sum(&self, lo: Point<D>, hi: Point<D>) -> u64 {
+        let min = self.bounds.min();
+        let max = self.bounds.max();
+        let (lc, hc) = (lo.coords(), hi.coords());
+        let mut lo_idx = [0usize; D];
+        let mut hi_idx = [0usize; D];
+        for i in 0..D {
+            let l = lc[i].max(min[i]);
+            let h = hc[i].min(max[i]);
+            if l > h {
+                return 0;
+            }
+            lo_idx[i] = (l - min[i]) as usize; // exclusive lower in table
+            hi_idx[i] = (h - min[i]) as usize + 1; // inclusive upper in table
+        }
+        // Inclusion-exclusion over the 2^D corners.
+        let mut total: i128 = 0;
+        for mask in 0..(1usize << D) {
+            let mut corner = [0usize; D];
+            let mut sign: i128 = 1;
+            for i in 0..D {
+                if mask & (1 << i) != 0 {
+                    corner[i] = lo_idx[i];
+                    sign = -sign;
+                } else {
+                    corner[i] = hi_idx[i];
+                }
+            }
+            total += sign * self.data[self.index(&corner)] as i128;
+        }
+        debug_assert!(total >= 0);
+        total as u64
+    }
+}
+
+/// `max_{T∈Γ_s} Σ_{x∈T} d(x)`: the largest demand inside any axis-aligned
+/// side-`s` cube (sliding positions; cubes are clipped at the boundary by
+/// taking every start position such that the cube intersects the grid —
+/// equivalently every fully-contained window, since demand outside the grid
+/// is zero, plus clamped windows when `s` exceeds an extent).
+///
+/// # Panics
+///
+/// Panics if `s == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_core::max_window_sum;
+/// use cmvrp_grid::{DemandMap, GridBounds, pt2};
+///
+/// let b = GridBounds::square(8);
+/// let mut d = DemandMap::new();
+/// d.add(pt2(0, 0), 5);
+/// d.add(pt2(1, 1), 7);
+/// d.add(pt2(7, 7), 100);
+/// assert_eq!(max_window_sum(&b, &d, 1), 100);
+/// assert_eq!(max_window_sum(&b, &d, 2), 100);
+/// assert_eq!(max_window_sum(&b, &d, 7), 107); // the 7-window (1,1)..(7,7)
+/// assert_eq!(max_window_sum(&b, &d, 8), 112);
+/// ```
+pub fn max_window_sum<const D: usize>(
+    bounds: &GridBounds<D>,
+    demand: &DemandMap<D>,
+    s: u64,
+) -> u64 {
+    assert!(s > 0, "cube side must be positive");
+    if demand.total() == 0 {
+        return 0;
+    }
+    let prefix = PrefixSums::new(*bounds, demand);
+    // Enumerate window start positions; along each axis the start ranges
+    // over min ..= max - s + 1 (or just min when s >= extent).
+    let min = bounds.min();
+    let max = bounds.max();
+    let mut start_max = [0i64; D];
+    for i in 0..D {
+        start_max[i] = (max[i] - s as i64 + 1).max(min[i]);
+    }
+    let starts = GridBounds::new(min, start_max);
+    let mut best = 0u64;
+    for lo in starts.iter() {
+        let mut hc = lo.coords();
+        for h in hc.iter_mut() {
+            *h += s as i64 - 1;
+        }
+        best = best.max(prefix.box_sum(lo, Point::new(hc)));
+    }
+    best
+}
+
+/// The Corollary 2.2.7 quantity `ω_c`: the infimum `ω` with
+/// `ω·(3⌈ω⌉)^ℓ ≥ max_{T∈Γ_⌈ω⌉} Σ_{x∈T} d(x)`.
+///
+/// Satisfies `ω_c ≤ Woff ≤ (2·3^ℓ+ℓ)·ω_c` and `ω_c ≤ ω*`. Runs in
+/// `O(volume)` per examined side; sides are scanned upward from 1, and at
+/// most `O((Σd)^{1/(ℓ+1)})` sides are examined.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_core::omega_c;
+/// use cmvrp_grid::{DemandMap, GridBounds, pt2};
+/// use cmvrp_util::Ratio;
+///
+/// let b = GridBounds::square(9);
+/// let mut d = DemandMap::new();
+/// d.add(pt2(4, 4), 9);
+/// // s=1: ω·9 = 9 → ω = 1 ≤ 1 → ω_c = 1.
+/// assert_eq!(omega_c(&b, &d), Ratio::ONE);
+/// ```
+pub fn omega_c<const D: usize>(bounds: &GridBounds<D>, demand: &DemandMap<D>) -> Ratio {
+    if demand.total() == 0 {
+        return Ratio::ZERO;
+    }
+    let l = D as u32;
+    let mut s: u64 = 1;
+    loop {
+        let m = max_window_sum(bounds, demand, s) as i128;
+        // On the piece ⌈ω⌉ = s (i.e. ω ∈ (s-1, s]), the equation reads
+        // ω·(3s)^ℓ = M(s): candidate ω = M(s) / (3s)^ℓ.
+        let denom = (3 * s as i128).pow(l);
+        let candidate = Ratio::new(m, denom);
+        if candidate <= Ratio::from_integer(s as i128 - 1) {
+            // The inequality already holds throughout this piece; the
+            // infimum is the piece boundary.
+            return Ratio::from_integer(s as i128 - 1);
+        }
+        if candidate <= Ratio::from_integer(s as i128) {
+            return candidate;
+        }
+        s += 1;
+    }
+}
+
+/// `max ω_T` over all axis-aligned cubes with side `1..=s_max` — the
+/// Corollary 2.2.6 quantity restricted to bounded sides, used as a
+/// cross-check in tests and experiments. Exponential care is not needed:
+/// this enumerates `O(volume · s_max)` cubes.
+pub fn max_cube_omega_t<const D: usize>(
+    bounds: &GridBounds<D>,
+    demand: &DemandMap<D>,
+    s_max: u64,
+) -> Ratio {
+    let mut best = Ratio::ZERO;
+    for s in 1..=s_max {
+        let min = bounds.min();
+        let max = bounds.max();
+        let mut start_max = [0i64; D];
+        for i in 0..D {
+            start_max[i] = (max[i] - s as i64 + 1).max(min[i]);
+        }
+        for lo in GridBounds::new(min, start_max).iter() {
+            let mut hc = lo.coords();
+            for h in hc.iter_mut() {
+                *h += s as i64 - 1;
+            }
+            let cube = GridBounds::new(lo.coords(), {
+                let mut clipped = hc;
+                for i in 0..D {
+                    clipped[i] = clipped[i].min(max[i]);
+                }
+                clipped
+            });
+            let t: Vec<Point<D>> = cube.iter().filter(|p| demand.get(*p) > 0).collect();
+            if t.is_empty() {
+                continue;
+            }
+            best = best.max(solve_omega_t(bounds, demand, &t));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omega::omega_star;
+    use cmvrp_grid::{pt1, pt2};
+
+    fn demand_of(pts: &[(Point<2>, u64)]) -> DemandMap<2> {
+        pts.iter().copied().collect()
+    }
+
+    #[test]
+    fn prefix_sums_match_bruteforce() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let b = GridBounds::new([-2, 1], [4, 6]);
+        let mut d = DemandMap::new();
+        for _ in 0..12 {
+            d.add(
+                pt2(rng.gen_range(-2..=4), rng.gen_range(1..=6)),
+                rng.gen_range(1..10),
+            );
+        }
+        let prefix = PrefixSums::new(b, &d);
+        for lo in b.iter() {
+            for hi in b.iter() {
+                let want: u64 = GridBounds::new(
+                    [lo[0].min(hi[0]), lo[1].min(hi[1])],
+                    [lo[0].max(hi[0]), lo[1].max(hi[1])],
+                )
+                .iter()
+                .map(|p| d.get(p))
+                .sum();
+                if lo[0] <= hi[0] && lo[1] <= hi[1] {
+                    assert_eq!(prefix.box_sum(lo, hi), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn box_sum_clips() {
+        let b = GridBounds::square(4);
+        let d = demand_of(&[(pt2(0, 0), 3), (pt2(3, 3), 5)]);
+        let prefix = PrefixSums::new(b, &d);
+        assert_eq!(prefix.box_sum(pt2(-10, -10), pt2(10, 10)), 8);
+        assert_eq!(prefix.box_sum(pt2(5, 5), pt2(9, 9)), 0);
+    }
+
+    #[test]
+    fn window_sum_one_dimensional() {
+        let b: GridBounds<1> = GridBounds::new([0], [9]);
+        let mut d: DemandMap<1> = DemandMap::new();
+        d.add(pt1(0), 4);
+        d.add(pt1(1), 4);
+        d.add(pt1(9), 7);
+        assert_eq!(max_window_sum(&b, &d, 1), 7);
+        assert_eq!(max_window_sum(&b, &d, 2), 8);
+        assert_eq!(max_window_sum(&b, &d, 10), 15);
+        assert_eq!(max_window_sum(&b, &d, 100), 15);
+    }
+
+    #[test]
+    fn window_sum_matches_bruteforce() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        let b = GridBounds::square(7);
+        let mut d = DemandMap::new();
+        for _ in 0..10 {
+            d.add(
+                pt2(rng.gen_range(0..7), rng.gen_range(0..7)),
+                rng.gen_range(1..9),
+            );
+        }
+        for s in 1..=8u64 {
+            let fast = max_window_sum(&b, &d, s);
+            // Brute force over all windows.
+            let mut brute = 0u64;
+            for x in 0..7i64 {
+                for y in 0..7i64 {
+                    let sum: u64 = GridBounds::new(
+                        [x, y],
+                        [(x + s as i64 - 1).min(6), (y + s as i64 - 1).min(6)],
+                    )
+                    .iter()
+                    .map(|p| d.get(p))
+                    .sum();
+                    brute = brute.max(sum);
+                }
+            }
+            assert_eq!(fast, brute, "s={s}");
+        }
+    }
+
+    #[test]
+    fn omega_c_zero_demand() {
+        let b = GridBounds::square(4);
+        assert_eq!(omega_c(&b, &DemandMap::new()), Ratio::ZERO);
+    }
+
+    #[test]
+    fn omega_c_single_light_point() {
+        let b = GridBounds::square(9);
+        // d = 1: s = 1 piece gives candidate 1/9 ≤ 0? No: 1/9 > 0 and
+        // 1/9 ≤ 1 → ω_c = 1/9.
+        let d = demand_of(&[(pt2(4, 4), 1)]);
+        assert_eq!(omega_c(&b, &d), Ratio::new(1, 9));
+    }
+
+    #[test]
+    fn omega_c_growth_across_pieces() {
+        let b = GridBounds::square(33);
+        // Heavy single point forces larger cube sides.
+        let d = demand_of(&[(pt2(16, 16), 1000)]);
+        let w = omega_c(&b, &d);
+        // s must satisfy ω(3s)^2 = 1000 with ω ∈ (s-1, s]: s=3 → 1000/81 ≈
+        // 12.3 > 3; s=5 → 1000/225 ≈ 4.4 ≤ 5 and > 4 → ω_c = 1000/225 = 40/9.
+        assert_eq!(w, Ratio::new(40, 9));
+    }
+
+    #[test]
+    fn omega_c_is_lower_bound_for_omega_star() {
+        // Corollary 2.2.7's proof: ω_c ≤ max_T ω_T = ω*.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let b = GridBounds::square(11);
+        for trial in 0..6 {
+            let mut d = DemandMap::new();
+            for _ in 0..rng.gen_range(1..7) {
+                d.add(
+                    pt2(rng.gen_range(0..11), rng.gen_range(0..11)),
+                    rng.gen_range(1..60),
+                );
+            }
+            let wc = omega_c(&b, &d);
+            let ws = omega_star(&b, &d).value;
+            assert!(wc <= ws, "trial {trial}: ω_c={wc} > ω*={ws}");
+        }
+    }
+
+    #[test]
+    fn cube_omega_t_below_omega_star() {
+        // Corollary 2.2.6: max over cubes ≤ max over all subsets.
+        let b = GridBounds::square(9);
+        let d = demand_of(&[(pt2(4, 4), 25), (pt2(4, 5), 25), (pt2(0, 0), 9)]);
+        let cube_max = max_cube_omega_t(&b, &d, 4);
+        let star = omega_star(&b, &d).value;
+        assert!(cube_max <= star);
+        assert!(cube_max.is_positive());
+    }
+
+    #[test]
+    fn three_dimensional_window() {
+        let b: GridBounds<3> = GridBounds::cube(4);
+        let mut d: DemandMap<3> = DemandMap::new();
+        d.add(cmvrp_grid::pt3(0, 0, 0), 2);
+        d.add(cmvrp_grid::pt3(1, 1, 1), 3);
+        d.add(cmvrp_grid::pt3(3, 3, 3), 10);
+        assert_eq!(max_window_sum(&b, &d, 1), 10);
+        assert_eq!(max_window_sum(&b, &d, 2), 10);
+        assert_eq!(max_window_sum(&b, &d, 4), 15);
+    }
+}

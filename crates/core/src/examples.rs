@@ -1,0 +1,287 @@
+//! The three worked examples of §2.1 (Figure 2.1) with their closed-form
+//! lower bounds and explicit serving strategies (Figures 2.2 / 2.3).
+//!
+//! * **Square** (§2.1.1): demand `d` at every point of an `a×a` square.
+//!   `W ≥ W1` where `W1·(2·W1+a)² = d·a²`; as `a → ∞`, `W1 → d`.
+//! * **Line** (§2.1.2): demand `d` on a line. `W ≥ W2` where
+//!   `W2·(2·W2+1) = d`, and capacity `2·W2` suffices: every vehicle within
+//!   distance `W2` of the line walks to its nearest line point.
+//! * **Point** (§2.1.3): demand `d` at one point. `W ≥ W3` where
+//!   `W3·(2·W3+1)² = d`, and capacity `3·W3` suffices: every vehicle in the
+//!   `(2·W3+1)×(2·W3+1)` square collapses onto the point.
+//!
+//! The `W1/W2/W3` equations are solved numerically (monotone bisection);
+//! the strategies are emitted as [`OfflinePlan`]s so the independent
+//! verifier can confirm the claimed capacities.
+
+use crate::plan::{Mission, OfflinePlan, VehicleAssignment};
+use cmvrp_grid::{pt2, DemandMap, GridBounds, Point};
+
+/// Solves `f(w) = target` for the monotone increasing `f` by bisection to
+/// absolute precision `1e-9` (adequate: these values feed asymptotic-shape
+/// experiments, not exact arithmetic).
+fn bisect(f: impl Fn(f64) -> f64, target: f64) -> f64 {
+    debug_assert!(target >= 0.0);
+    let mut hi = 1.0f64;
+    while f(hi) < target {
+        hi *= 2.0;
+        assert!(hi < 1e18, "bisection diverged");
+    }
+    let mut lo = 0.0f64;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// `W1` of Example 1: the root of `W·(2W+a)² = d·a²`.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_core::examples::square_example_w1;
+/// // As a grows with d fixed, W1 approaches d (here within 20%).
+/// assert!((square_example_w1(10_000, 4) - 4.0).abs() < 0.8);
+/// ```
+pub fn square_example_w1(a: u64, d: u64) -> f64 {
+    let (a, d) = (a as f64, d as f64);
+    bisect(|w| w * (2.0 * w + a) * (2.0 * w + a), d * a * a)
+}
+
+/// `W2` of Example 2: the root of `W·(2W+1) = d` — so `W2 ~ √(d/2)`.
+pub fn line_example_w2(d: u64) -> f64 {
+    bisect(|w| w * (2.0 * w + 1.0), d as f64)
+}
+
+/// `W3` of Example 3: the root of `W·(2W+1)² = d` — so `W3 ~ (d/4)^(1/3)`.
+pub fn point_example_w3(d: u64) -> f64 {
+    bisect(|w| w * (2.0 * w + 1.0) * (2.0 * w + 1.0), d as f64)
+}
+
+/// The demand map of Example 2: `d` at every point of the horizontal line
+/// `y = line_y` inside `bounds`.
+pub fn line_demand(bounds: &GridBounds<2>, line_y: i64, d: u64) -> DemandMap<2> {
+    let mut m = DemandMap::new();
+    for x in bounds.min()[0]..=bounds.max()[0] {
+        m.add(pt2(x, line_y), d);
+    }
+    m
+}
+
+/// The Figure 2.2 strategy for Example 2: every vehicle within vertical
+/// distance `radius` of the line moves to its nearest line point; the `d`
+/// jobs at each line point are split evenly among the column's vehicles.
+///
+/// With `radius = ⌈W2⌉` each vehicle travels at most `radius` and serves at
+/// most `⌈d/(2·radius+1)⌉ ≈ W2` — total ≈ `2·W2` as the thesis claims.
+///
+/// # Panics
+///
+/// Panics if the line is outside `bounds` or `radius` is zero while `d > 0`
+/// spread would overflow a single vehicle (never happens for `radius ≥ 1`).
+pub fn line_strategy(bounds: &GridBounds<2>, line_y: i64, d: u64, radius: u64) -> OfflinePlan<2> {
+    assert!(
+        line_y >= bounds.min()[1] && line_y <= bounds.max()[1],
+        "line outside bounds"
+    );
+    let mut assignments = Vec::new();
+    for x in bounds.min()[0]..=bounds.max()[0] {
+        // The column of vehicles feeding line point (x, line_y).
+        let ys: Vec<i64> = (line_y - radius as i64..=line_y + radius as i64)
+            .filter(|&y| y >= bounds.min()[1] && y <= bounds.max()[1])
+            .collect();
+        let k = ys.len() as u64;
+        // Split d into k near-equal integer shares.
+        let base = d / k;
+        let extra = (d % k) as usize;
+        for (i, y) in ys.into_iter().enumerate() {
+            let amount = base + u64::from(i < extra);
+            if amount == 0 {
+                continue;
+            }
+            let home = pt2(x, y);
+            let dest = pt2(x, line_y);
+            if home == dest {
+                assignments.push(VehicleAssignment {
+                    home,
+                    serve_at_home: amount,
+                    missions: Vec::new(),
+                });
+            } else {
+                assignments.push(VehicleAssignment {
+                    home,
+                    serve_at_home: 0,
+                    missions: vec![Mission { dest, amount }],
+                });
+            }
+        }
+    }
+    OfflinePlan::from_assignments(assignments)
+}
+
+/// The demand map of Example 3: `d` at the single point `p`.
+pub fn point_demand(p: Point<2>, d: u64) -> DemandMap<2> {
+    let mut m = DemandMap::new();
+    m.add(p, d);
+    m
+}
+
+/// The Figure 2.3 strategy for Example 3: every vehicle of the
+/// `(2·radius+1)²` square centered at `p` walks to `p`; the `d` jobs are
+/// split evenly. With `radius = ⌈W3⌉` each vehicle travels at most
+/// `2·radius` and serves ≈ `W3` — total ≈ `3·W3`.
+pub fn point_strategy(bounds: &GridBounds<2>, p: Point<2>, d: u64, radius: u64) -> OfflinePlan<2> {
+    assert!(bounds.contains(p), "point outside bounds");
+    let r = radius as i64;
+    let homes: Vec<Point<2>> = GridBounds::new(
+        [
+            (p[0] - r).max(bounds.min()[0]),
+            (p[1] - r).max(bounds.min()[1]),
+        ],
+        [
+            (p[0] + r).min(bounds.max()[0]),
+            (p[1] + r).min(bounds.max()[1]),
+        ],
+    )
+    .iter()
+    .collect();
+    let k = homes.len() as u64;
+    let base = d / k;
+    let extra = (d % k) as usize;
+    let mut assignments = Vec::new();
+    for (i, home) in homes.into_iter().enumerate() {
+        let amount = base + u64::from(i < extra);
+        if amount == 0 {
+            continue;
+        }
+        if home == p {
+            assignments.push(VehicleAssignment {
+                home,
+                serve_at_home: amount,
+                missions: Vec::new(),
+            });
+        } else {
+            assignments.push(VehicleAssignment {
+                home,
+                serve_at_home: 0,
+                missions: vec![Mission { dest: p, amount }],
+            });
+        }
+    }
+    OfflinePlan::from_assignments(assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::verify_plan;
+
+    #[test]
+    fn w1_approaches_d_for_large_squares() {
+        let d = 6u64;
+        let mut prev = 0.0;
+        for a in [4u64, 16, 64, 256, 1024] {
+            let w1 = square_example_w1(a, d);
+            assert!(w1 > prev, "W1 must increase with a");
+            assert!(w1 < d as f64);
+            prev = w1;
+        }
+        assert!(
+            (prev - d as f64).abs() / (d as f64) < 0.05,
+            "W1 must approach d"
+        );
+    }
+
+    #[test]
+    fn w2_square_root_law() {
+        // W2(4d)/W2(d) → 2.
+        let ratio = line_example_w2(40_000) / line_example_w2(10_000);
+        assert!((ratio - 2.0).abs() < 0.02, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn w3_cube_root_law() {
+        // W3(8d)/W3(d) → 2.
+        let ratio = point_example_w3(800_000) / point_example_w3(100_000);
+        assert!((ratio - 2.0).abs() < 0.02, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn equations_are_satisfied() {
+        let w = line_example_w2(123);
+        assert!((w * (2.0 * w + 1.0) - 123.0).abs() < 1e-6);
+        let w = point_example_w3(456);
+        assert!((w * (2.0 * w + 1.0) * (2.0 * w + 1.0) - 456.0).abs() < 1e-6);
+        let w = square_example_w1(10, 78);
+        assert!((w * (2.0 * w + 10.0) * (2.0 * w + 10.0) - 7800.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn line_strategy_serves_all_within_2w2() {
+        let d = 50u64;
+        let w2 = line_example_w2(d);
+        let radius = w2.ceil() as u64;
+        let b = GridBounds::new([0, -10], [30, 10]);
+        let demand = line_demand(&b, 0, d);
+        let plan = line_strategy(&b, 0, d, radius);
+        let check = verify_plan(&b, &demand, &plan);
+        assert!(check.is_valid(), "{:?}", check.violations);
+        // Thesis claim: 2·W2 suffices (plus integer-split slack of 1 serve
+        // unit and the ⌈W2⌉ rounding on travel).
+        let bound = (2.0 * w2).ceil() as u64 + 2;
+        assert!(
+            check.max_energy <= bound,
+            "max {} > bound {bound} (W2 = {w2})",
+            check.max_energy
+        );
+    }
+
+    #[test]
+    fn point_strategy_serves_all_within_3w3() {
+        let d = 300u64;
+        let w3 = point_example_w3(d);
+        let radius = w3.ceil() as u64;
+        let b = GridBounds::new([-15, -15], [15, 15]);
+        let p = pt2(0, 0);
+        let demand = point_demand(p, d);
+        let plan = point_strategy(&b, p, d, radius);
+        let check = verify_plan(&b, &demand, &plan);
+        assert!(check.is_valid(), "{:?}", check.violations);
+        let bound = (3.0 * w3).ceil() as u64 + 3;
+        assert!(
+            check.max_energy <= bound,
+            "max {} > bound {bound} (W3 = {w3})",
+            check.max_energy
+        );
+    }
+
+    #[test]
+    fn line_strategy_clipped_at_boundary_still_serves() {
+        // Line close to the grid edge: fewer vehicles per column, higher
+        // per-vehicle load, but full coverage must hold.
+        let b = GridBounds::new([0, 0], [10, 3]);
+        let demand = line_demand(&b, 0, 9);
+        let plan = line_strategy(&b, 0, 9, 3);
+        let check = verify_plan(&b, &demand, &plan);
+        assert!(check.is_valid(), "{:?}", check.violations);
+    }
+
+    #[test]
+    #[should_panic(expected = "line outside bounds")]
+    fn line_outside_panics() {
+        let b = GridBounds::square(4);
+        let _ = line_strategy(&b, 9, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "point outside bounds")]
+    fn point_outside_panics() {
+        let b = GridBounds::square(4);
+        let _ = point_strategy(&b, pt2(9, 9), 1, 1);
+    }
+}

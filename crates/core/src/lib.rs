@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! The Capacitated Multivehicle Routing Problem — off-line core.
+//!
+//! This crate implements the primary contribution of the thesis (Gao, 2008):
+//! the characterization and computation of the minimal per-vehicle energy
+//! capacity `Woff` needed to serve a demand function `d(·)` on the grid
+//! `Z^ℓ`, where one vehicle starts at every vertex, moving one step costs 1
+//! unit of energy and serving one job costs 1 unit.
+//!
+//! * [`omega`] — the quantity `ω_T` of equation (1.1), the exact optimum
+//!   `ω* = max_T ω_T` of LP (2.8) via parametric flow (Lemmas 2.2.2/2.2.3),
+//!   giving the **lower bound** of Theorem 1.4.1.
+//! * [`cubes`] — the cube characterizations: `max_{T∈Γ} ω_T`
+//!   (Corollary 2.2.6) and `ω_c` (Corollary 2.2.7), computed in linear time
+//!   with sliding-window sums.
+//! * [`alg1`] — the paper's **Algorithm 1**: the `2(2·3^ℓ+ℓ)`-approximation
+//!   of `Woff` by dyadic coarsening, both the verbatim `ℓ = 2` version and a
+//!   generic-dimension variant.
+//! * [`plan`] — the constructive **upper bound** of Lemma 2.2.5: an explicit
+//!   assignment of vehicles to service missions whose per-vehicle energy is
+//!   at most `(2·3^ℓ+ℓ)·ω*`, plus an independent verifier.
+//! * [`examples`] — the three worked examples of §2.1 (square, line, point)
+//!   with their closed-form `W1/W2/W3` and explicit serving strategies.
+//! * [`instance`] — a facade tying the demand map to all of the above.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmvrp_core::Instance;
+//! use cmvrp_grid::{DemandMap, GridBounds, pt2};
+//!
+//! let mut d = DemandMap::new();
+//! d.add(pt2(8, 8), 60);
+//! let inst = Instance::new(GridBounds::square(17), d);
+//!
+//! // Theorem 1.4.1 sandwich: ω* <= Woff <= (2·3^2 + 2)·ω* (+ rounding).
+//! let omega_star = inst.omega_star().value;
+//! let plan = inst.plan_offline().unwrap();
+//! assert!(plan.max_energy() as f64 <= 20.0 * omega_star.to_f64() + 2.0);
+//! ```
+
+pub mod alg1;
+pub mod constants;
+pub mod cubes;
+pub mod examples;
+pub mod instance;
+pub mod omega;
+pub mod plan;
+
+pub use alg1::{approx_woff, approx_woff_2d, approx_woff_dense};
+pub use constants::{alg1_factor, offline_factor, online_factor};
+pub use cubes::{max_window_sum, omega_c};
+pub use instance::Instance;
+pub use omega::{omega_star, solve_omega_t, OmegaStar};
+pub use plan::{plan_offline, verify_plan, OfflinePlan, PlanCheck, VehicleAssignment};

@@ -1,0 +1,435 @@
+//! Chapter 4: broken vehicles.
+//!
+//! Vehicle `i` has a *longevity* `p_i ∈ [0,1]` and breaks once it has spent
+//! a fraction `p_i` of its initial energy `W` — so it can move at most
+//! `p_i·W` and contribute at most `p_i·W` of work. Theorem 4.1.1 lower
+//! bounds the minimal capacity `Woff-b` by the value of LP (4.1):
+//!
+//! ```text
+//!   min ω  s.t.  Σ_{j∈N_{p_i·ω}(i)} f_ij ≤ p_i·ω,
+//!                Σ_{i∈N_{p_i·ω}(j)} f_ij ≥ d(j),  f ≥ 0.
+//! ```
+//!
+//! §4.2 then shows the bound is **weak**: on the Figure 4.1 instance —
+//! demands `r1` at two sites `i, j` flanking the lone surviving vehicle
+//! `k`, arrivals alternating `i, j, i, j, …` — the LP answers `2·r1` while
+//! the real requirement is `r1 + (2r1−1)·2r1 + 2r1` (walk back and forth
+//! for every pair of jobs), i.e. larger by an unbounded factor `~2·r1`.
+
+use cmvrp_flow::maxflow::FlowNetwork;
+use cmvrp_grid::{dilate, DemandMap, GridBounds, Point};
+use cmvrp_util::Ratio;
+use std::collections::HashMap;
+
+/// Feasibility of LP (4.1) at capacity `omega`: vehicle `i` may ship up to
+/// `p_i·ω` total, reaching positions within `⌊p_i·ω⌋`.
+fn feasible_41<const D: usize>(
+    bounds: &GridBounds<D>,
+    demand: &DemandMap<D>,
+    longevity: &HashMap<Point<D>, Ratio>,
+    default_p: Ratio,
+    omega: Ratio,
+) -> bool {
+    if demand.total() == 0 {
+        return true;
+    }
+    if !omega.is_positive() {
+        return false;
+    }
+    let p_of = |pt: Point<D>| -> Ratio {
+        let p = longevity.get(&pt).copied().unwrap_or(default_p);
+        assert!(
+            !p.is_negative() && p <= Ratio::ONE,
+            "longevity out of [0,1] at {pt}"
+        );
+        p
+    };
+    let max_reach = omega.ceil().max(0) as u64;
+    let suppliers: Vec<Point<D>> = dilate(bounds, demand.support(), max_reach).iter().collect();
+    // Clear denominators across all capacities p_i·ω.
+    let mut scale: i128 = omega.denom();
+    for s in &suppliers {
+        let den = (p_of(*s) * omega).denom();
+        scale = scale / gcd(scale, den) * den;
+        assert!(scale < i128::MAX / 1_000_000, "capacity scale overflow");
+    }
+    let demands: Vec<(Point<D>, u64)> = demand.iter().collect();
+    let ns = suppliers.len();
+    let nd = demands.len();
+    let sink = 1 + ns + nd;
+    let mut net = FlowNetwork::new(sink + 1);
+    let mut reach: Vec<u64> = Vec::with_capacity(ns);
+    for (i, s) in suppliers.iter().enumerate() {
+        let cap = p_of(*s) * omega * Ratio::from_integer(scale);
+        debug_assert!(cap.is_integer());
+        net.add_edge(0, 1 + i, cap.numer());
+        reach.push((p_of(*s) * omega).floor().max(0) as u64);
+    }
+    let index: HashMap<Point<D>, usize> =
+        suppliers.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+    let mut total: i128 = 0;
+    for (j, (pos, d)) in demands.iter().enumerate() {
+        let need = *d as i128 * scale;
+        total += need;
+        net.add_edge(1 + ns + j, sink, need);
+        for s in bounds.ball(*pos, max_reach) {
+            let si = index[&s];
+            if s.manhattan(*pos) <= reach[si] {
+                net.add_edge(1 + si, 1 + ns + j, need);
+            }
+        }
+    }
+    net.max_flow(0, sink) == total
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// The LP (4.1) lower bound on `Woff-b`, by bisection on the monotone
+/// feasibility predicate to absolute precision `tol`.
+///
+/// # Panics
+///
+/// Panics if `tol <= 0` or a longevity lies outside `[0, 1]`.
+pub fn woff_b_lower_bound<const D: usize>(
+    bounds: &GridBounds<D>,
+    demand: &DemandMap<D>,
+    longevity: &HashMap<Point<D>, Ratio>,
+    default_p: Ratio,
+    tol: f64,
+) -> f64 {
+    assert!(tol > 0.0, "tolerance must be positive");
+    if demand.total() == 0 {
+        return 0.0;
+    }
+    // Upper bound: every unit might have to come from the farthest corner.
+    let diameter: u64 = (0..D).map(|i| bounds.extent(i) - 1).sum();
+    let mut hi = (demand.total() + diameter) as f64;
+    let mut lo = 0.0f64;
+    let to_ratio = |x: f64| -> Ratio {
+        // 2^20 denominator keeps the flow capacities modest while giving
+        // far better than `tol` resolution.
+        Ratio::new((x * 1_048_576.0).round() as i128, 1_048_576)
+    };
+    assert!(
+        feasible_41(bounds, demand, longevity, default_p, to_ratio(hi)),
+        "LP (4.1) infeasible even at the trivial upper bound — some demand \
+         point must be unreachable by any surviving vehicle"
+    );
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if feasible_41(bounds, demand, longevity, default_p, to_ratio(mid)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// The LP (4.2) optimum at a *fixed* transport radius `r` (the intermediate
+/// program of §4.1, before the radius is tied to the capacity): the minimal
+/// `ω` with capacities `p_i·ω` and reaches `⌊p_i·r⌋` feasible, by bisection.
+///
+/// §4.1 observes `ω(r)` is non-increasing in `r`; tests machine-check that.
+///
+/// # Panics
+///
+/// Panics if `tol <= 0`, a longevity is out of `[0,1]`, or some demand is
+/// unreachable at radius `r` by any surviving vehicle.
+pub fn woff_b_lower_bound_at_radius<const D: usize>(
+    bounds: &GridBounds<D>,
+    demand: &DemandMap<D>,
+    longevity: &HashMap<Point<D>, Ratio>,
+    default_p: Ratio,
+    r: u64,
+    tol: f64,
+) -> f64 {
+    assert!(tol > 0.0, "tolerance must be positive");
+    if demand.total() == 0 {
+        return 0.0;
+    }
+    let mut hi = demand.total() as f64 + 1.0;
+    let mut lo = 0.0f64;
+    let to_ratio = |x: f64| -> Ratio { Ratio::new((x * 1_048_576.0).round() as i128, 1_048_576) };
+    // Longevities scale capacity down, so the trivial bound Σd may not
+    // suffice: double until feasible (bounded — else the demand really is
+    // unreachable at this radius).
+    let mut doubles = 0;
+    while !cmvrp_flow::transport::transport_feasible_longevity(
+        bounds,
+        demand,
+        r,
+        to_ratio(hi),
+        longevity,
+        default_p,
+    ) {
+        hi *= 2.0;
+        doubles += 1;
+        assert!(doubles <= 40, "some demand is unreachable at radius {r}");
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if cmvrp_flow::transport::transport_feasible_longevity(
+            bounds,
+            demand,
+            r,
+            to_ratio(mid),
+            longevity,
+            default_p,
+        ) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// The Figure 4.1 instance, materialized on a 1-D segment (the figure's
+/// geometry only uses distances along the `i–k–j` axis).
+#[derive(Debug, Clone)]
+pub struct GapInstance {
+    /// Grid bounds (a segment of length `2·(r1 + r2)`).
+    pub bounds: GridBounds<1>,
+    /// The demand map: `r1` at each of `i` and `j`.
+    pub demand: DemandMap<1>,
+    /// Longevities: 0 inside the circle except `k`; 1 at `k` and outside.
+    pub longevity: HashMap<Point<1>, Ratio>,
+    /// Site `i`.
+    pub site_i: Point<1>,
+    /// The surviving vehicle `k` (midpoint).
+    pub site_k: Point<1>,
+    /// Site `j`.
+    pub site_j: Point<1>,
+    /// The alternating arrival sequence `i, j, i, j, …`.
+    pub arrivals: Vec<Point<1>>,
+}
+
+/// Builds the §4.2 instance with parameters `r1` (site spacing / demand)
+/// and `r2 ≫ r1` (moat width keeping healthy vehicles away).
+///
+/// # Panics
+///
+/// Panics if `r1 == 0` or `r2 < r1`.
+pub fn gap_instance(r1: u64, r2: u64) -> GapInstance {
+    assert!(r1 >= 1, "r1 must be positive");
+    assert!(r2 >= r1, "the moat must be at least as wide as r1");
+    let half = (r1 + r2) as i64;
+    let bounds = GridBounds::new([-half], [half]);
+    let site_i = cmvrp_grid::pt1(-(r1 as i64));
+    let site_k = cmvrp_grid::pt1(0);
+    let site_j = cmvrp_grid::pt1(r1 as i64);
+    let mut demand = DemandMap::new();
+    demand.add(site_i, r1);
+    demand.add(site_j, r1);
+    // Everyone inside the open moat (|x| < r1 + r2) is broken except k.
+    let mut longevity = HashMap::new();
+    for x in (-half + 1)..half {
+        longevity.insert(cmvrp_grid::pt1(x), Ratio::ZERO);
+    }
+    longevity.insert(site_k, Ratio::ONE);
+    // Boundary and beyond default to 1 (left out of the map).
+    longevity.remove(&cmvrp_grid::pt1(-half));
+    longevity.remove(&cmvrp_grid::pt1(half));
+    let mut arrivals = Vec::with_capacity(2 * r1 as usize);
+    for _ in 0..r1 {
+        arrivals.push(site_i);
+        arrivals.push(site_j);
+    }
+    GapInstance {
+        bounds,
+        demand,
+        longevity,
+        site_i,
+        site_k,
+        site_j,
+        arrivals,
+    }
+}
+
+impl GapInstance {
+    /// The LP (4.1) lower bound for this instance (≈ `2·r1`).
+    pub fn lp_lower_bound(&self, tol: f64) -> f64 {
+        woff_b_lower_bound(&self.bounds, &self.demand, &self.longevity, Ratio::ONE, tol)
+    }
+
+    /// The energy the lone survivor `k` actually needs to serve the
+    /// alternating sequence: simulate its forced walk.
+    pub fn exact_requirement(&self) -> u64 {
+        simulate_lone_server(&self.arrivals, self.site_k)
+    }
+
+    /// The closed-form travel cost of §4.2: `r1 + (2·r1 − 1)·2·r1` (first
+    /// approach plus a full swing per remaining job), excluding service.
+    pub fn paper_travel_formula(&self) -> u64 {
+        let r1 = self.demand.get(self.site_i);
+        r1 + (2 * r1 - 1) * 2 * r1
+    }
+}
+
+/// Simulates a single vehicle that must serve every job of `arrivals` in
+/// order, walking from its current position to each; returns total energy
+/// (travel + one unit of service per job).
+pub fn simulate_lone_server<const D: usize>(arrivals: &[Point<D>], start: Point<D>) -> u64 {
+    let mut pos = start;
+    let mut energy = 0u64;
+    for &job in arrivals {
+        energy += pos.manhattan(job) + 1;
+        pos = job;
+    }
+    energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmvrp_grid::{pt1, pt2};
+
+    #[test]
+    fn lower_bound_uniform_longevity_matches_transport() {
+        // With p ≡ 1, LP (4.1) at the fixed point equals ω* of Chapter 2.
+        let b = GridBounds::square(9);
+        let mut d = DemandMap::new();
+        d.add(pt2(4, 4), 20);
+        let lb = woff_b_lower_bound(&b, &d, &HashMap::new(), Ratio::ONE, 1e-4);
+        let star = cmvrp_core::omega_star(&b, &d).value.to_f64();
+        assert!(
+            (lb - star).abs() < 1e-2,
+            "LP(4.1)={lb} vs ω*={star} should coincide at p≡1"
+        );
+    }
+
+    #[test]
+    fn zero_longevity_everywhere_but_server() {
+        // Only one vehicle alive at distance 0 from all demand: ω = Σd.
+        let b: GridBounds<1> = GridBounds::new([0], [4]);
+        let mut d: DemandMap<1> = DemandMap::new();
+        d.add(pt1(2), 6);
+        let mut p = HashMap::new();
+        p.insert(pt1(2), Ratio::ONE);
+        let lb = woff_b_lower_bound(&b, &d, &p, Ratio::ZERO, 1e-4);
+        assert!((lb - 6.0).abs() < 1e-2, "lb = {lb}");
+    }
+
+    #[test]
+    fn omega_r_is_non_increasing_in_r() {
+        // §4.1: "ω(r) is a non-increasing function of r".
+        let b = GridBounds::square(9);
+        let mut d = DemandMap::new();
+        d.add(pt2(4, 4), 20);
+        d.add(pt2(1, 7), 6);
+        let empty = HashMap::new();
+        let mut prev = f64::INFINITY;
+        for r in [0u64, 1, 2, 4, 8] {
+            let w = woff_b_lower_bound_at_radius(&b, &d, &empty, Ratio::ONE, r, 1e-4);
+            assert!(w <= prev + 1e-6, "r={r}: {w} > {prev}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn fixed_radius_with_longevity_monotone_too() {
+        let b: GridBounds<1> = GridBounds::new([0], [8]);
+        let mut d: DemandMap<1> = DemandMap::new();
+        d.add(pt1(4), 12);
+        let empty = HashMap::new();
+        let half = Ratio::new(1, 2);
+        let mut prev = f64::INFINITY;
+        for r in [0u64, 2, 4, 8] {
+            let w = woff_b_lower_bound_at_radius(&b, &d, &empty, half, r, 1e-4);
+            assert!(w <= prev + 1e-6, "r={r}");
+            prev = w;
+        }
+        // Half longevity is never easier than full.
+        let full = woff_b_lower_bound_at_radius(&b, &d, &empty, Ratio::ONE, 4, 1e-4);
+        let halved = woff_b_lower_bound_at_radius(&b, &d, &empty, half, 4, 1e-4);
+        assert!(halved >= full - 1e-6);
+    }
+
+    #[test]
+    fn gap_instance_shape() {
+        let inst = gap_instance(3, 10);
+        assert_eq!(inst.demand.total(), 6);
+        assert_eq!(inst.arrivals.len(), 6);
+        assert_eq!(inst.arrivals[0], inst.site_i);
+        assert_eq!(inst.arrivals[1], inst.site_j);
+        assert_eq!(inst.site_i.manhattan(inst.site_k), 3);
+        assert_eq!(inst.site_i.manhattan(inst.site_j), 6);
+    }
+
+    #[test]
+    fn gap_lp_bound_is_about_2r1() {
+        for r1 in [2u64, 4, 6] {
+            let inst = gap_instance(r1, 3 * r1);
+            let lb = inst.lp_lower_bound(1e-3);
+            // k ships r1 to each site, reaching distance r1 ≤ ⌊ω⌋ with
+            // ω = 2·r1: the optimum is exactly 2·r1.
+            assert!((lb - 2.0 * r1 as f64).abs() < 0.05, "r1={r1}: lb={lb}");
+        }
+    }
+
+    #[test]
+    fn gap_exact_exceeds_lp_by_growing_factor() {
+        let mut prev_ratio = 0.0;
+        for r1 in [2u64, 4, 8] {
+            let inst = gap_instance(r1, 3 * r1);
+            let exact = inst.exact_requirement() as f64;
+            let lb = inst.lp_lower_bound(1e-3);
+            let ratio = exact / lb;
+            assert!(ratio > prev_ratio, "ratio must grow with r1");
+            prev_ratio = ratio;
+        }
+        // By r1 = 8 the gap is already an order of magnitude.
+        assert!(prev_ratio > 8.0, "final ratio = {prev_ratio}");
+    }
+
+    #[test]
+    fn exact_requirement_matches_paper_formula() {
+        for r1 in [1u64, 2, 5, 9] {
+            let inst = gap_instance(r1, 2 * r1);
+            // Paper counts travel only; our simulation adds 2·r1 service.
+            assert_eq!(
+                inst.exact_requirement(),
+                inst.paper_travel_formula() + 2 * r1,
+                "r1={r1}"
+            );
+        }
+    }
+
+    #[test]
+    fn lone_server_energy() {
+        // Walk 0→3 (3) serve (1), 3→-3 (6) serve (1): total 11.
+        let e = simulate_lone_server(&[pt1(3), pt1(-3)], pt1(0));
+        assert_eq!(e, 11);
+    }
+
+    #[test]
+    fn zero_demand_zero_bound() {
+        let b: GridBounds<1> = GridBounds::new([0], [3]);
+        let lb = woff_b_lower_bound(&b, &DemandMap::new(), &HashMap::new(), Ratio::ONE, 1e-3);
+        assert_eq!(lb, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn isolated_demand_panics() {
+        // All vehicles dead: no ω is feasible.
+        let b: GridBounds<1> = GridBounds::new([0], [2]);
+        let mut d: DemandMap<1> = DemandMap::new();
+        d.add(pt1(1), 1);
+        let _ = woff_b_lower_bound(&b, &d, &HashMap::new(), Ratio::ZERO, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "r1 must be positive")]
+    fn zero_r1_rejected() {
+        let _ = gap_instance(0, 5);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Chapters 4–5 of the thesis: broken vehicles and inter-vehicle energy
+//! transfers.
+//!
+//! * [`broken`] — the longevity model of Chapter 4: every vehicle `i`
+//!   carries `p_i ∈ [0,1]` and breaks after spending a fraction `p_i` of its
+//!   initial energy. The LP (4.1) lower bound on `Woff-b` is computed by
+//!   feasibility search over the longevity-weighted transportation LP, and
+//!   the §4.2 alternating instance shows the bound is *not* tight: the true
+//!   requirement exceeds it by a factor growing linearly in `r1`.
+//! * [`transfer`] — Chapter 5: vehicles may hand energy to co-located
+//!   vehicles, with either a fixed cost `a1` per transfer or a variable cost
+//!   `a2` per unit moved. Theorem 5.1.1's decay bound shows transfers do
+//!   not change the order of the required capacity; §5.2.1's line collector
+//!   shows that *non-full high-capacity tanks* do (`Wtrans-off = Θ(avg d)`).
+//!
+//! # Examples
+//!
+//! ```
+//! use cmvrp_ext::transfer::{line_collector, TransferCost};
+//!
+//! // §5.2.1: N depots on a line, one unit of demand each, infinite tanks.
+//! let report = line_collector(&vec![1; 100], TransferCost::Fixed(0.5));
+//! // Wtrans-off ≈ 2·a1 + 2 + (Σd − 3·a1 − 2)/N → Θ(avg d).
+//! assert!((report.w_trans_off - 3.965).abs() < 1e-9);
+//! ```
+
+pub mod broken;
+pub mod transfer;
+pub mod transfer_plan;
+
+pub use broken::{
+    gap_instance, simulate_lone_server, woff_b_lower_bound, woff_b_lower_bound_at_radius,
+    GapInstance,
+};
+pub use transfer::{
+    grid_collector, line_collector, max_energy_into_square, simulate_courier, simulate_relay_chain,
+    HaulReport, LineCollectorReport, TransferCost,
+};
+pub use transfer_plan::{
+    line_collector_script, route_collector_script, Action, TransferError, TransferSim,
+};

@@ -1,0 +1,474 @@
+//! Chapter 5: inter-vehicle energy transfers.
+//!
+//! Vehicle `A` may hand energy to vehicle `B` when co-located, paying
+//! either a **fixed** cost `a1` per transfer or a **variable** cost `a2`
+//! per unit transferred. Theorem 5.1.1 shows this does not change the
+//! order of the required capacity: because a courier carrying `W` units
+//! loses at least `1/W` of its cargo per step, the energy deliverable into
+//! an `s×s` square from distance `r` decays like `W·(1 − 1/W)^r`, and
+//! summing over the plane reproduces `|N_W(T)|`-style capacity — hence
+//! `Wtrans-off = Θ(Woff)`.
+//!
+//! §5.2.1 exhibits the contrast with *non-full large tanks* (`C = ∞`): on a
+//! line of `N` depots a single collector sweeps right gathering everyone's
+//! energy, tops up the far end, and sweeps back distributing — `2N−3`
+//! transfers, `2N−2` distance — giving `Wtrans-off = Θ(avg_x d(x))`.
+
+/// Accounting method for a transfer (Chapter 5 intro).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferCost {
+    /// `a1` units of energy per transfer, regardless of amount.
+    Fixed(f64),
+    /// `a2` units of energy per unit of energy transferred (`a2 ≪ 1`).
+    Variable(f64),
+}
+
+/// The Theorem 5.1.1 decay bound: the maximum total energy that can be
+/// moved **into** an `s×s` square when every vehicle starts with `W`,
+/// using the closed form
+/// `W·(s² + 4W² + 4sW − 8W − 4s + 4)` (valid for `W > 1`).
+///
+/// # Panics
+///
+/// Panics if `w <= 1` (the geometric series needs `1 − 1/W ∈ (0,1)`).
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_ext::max_energy_into_square;
+/// let cap = max_energy_into_square(10.0, 4);
+/// assert!(cap > 0.0);
+/// ```
+pub fn max_energy_into_square(w: f64, s: u64) -> f64 {
+    assert!(w > 1.0, "decay bound needs W > 1");
+    let s = s as f64;
+    w * (s * s + 4.0 * w * w + 4.0 * s * w - 8.0 * w - 4.0 * s + 4.0)
+}
+
+/// Direct-series evaluation of the same bound:
+/// `W·s² + Σ_{r≥1} W·(1−1/W)^r·(4s + 4(r−1))`, truncated once terms drop
+/// below `1e-12` of the running total. Exists to machine-check the thesis'
+/// closed-form algebra (tested against [`max_energy_into_square`]).
+pub fn max_energy_into_square_series(w: f64, s: u64) -> f64 {
+    assert!(w > 1.0, "decay bound needs W > 1");
+    let sf = s as f64;
+    let q = 1.0 - 1.0 / w;
+    let mut total = w * sf * sf;
+    let mut r = 1u64;
+    loop {
+        let term = w * q.powi(r as i32) * (4.0 * sf + 4.0 * (r as f64 - 1.0));
+        total += term;
+        if term < total * 1e-12 || r > 10_000_000 {
+            break;
+        }
+        r += 1;
+    }
+    total
+}
+
+/// The minimal `W` for which the decay bound admits `demand` units inside
+/// an `s×s` square — a transfer-aware lower bound on `Wtrans-off`
+/// (monotone bisection).
+pub fn transfer_lower_bound_w(s: u64, demand: f64) -> f64 {
+    let mut lo = 1.0 + 1e-9;
+    let mut hi = 2.0;
+    while max_energy_into_square(hi, s) < demand {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if max_energy_into_square(mid, s) < demand {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Outcome of the §5.2.1 line-collector strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineCollectorReport {
+    /// Number of depots `N`.
+    pub n: u64,
+    /// Total demand `Σ_x d(x)`.
+    pub total_demand: u64,
+    /// Transfers performed (`2N − 3`).
+    pub transfers: u64,
+    /// Distance walked by the collector (`2N − 2`).
+    pub distance: u64,
+    /// Total energy consumed (travel + service + transfer overhead).
+    pub total_energy: f64,
+    /// The resulting minimal initial energy per vehicle
+    /// (`Wtrans-off = total energy / N`, solving the variable-cost fixed
+    /// point where applicable).
+    pub w_trans_off: f64,
+}
+
+/// Simulates the §5.2.1 collector on a line of `demands.len()` depots with
+/// infinite tanks: vehicle 1 sweeps to the far end collecting every
+/// vehicle's energy (one transfer per intermediate depot), exchanges with
+/// vehicle `N`, and sweeps back distributing per-position demands.
+///
+/// Returns the exact counts and the resulting `Wtrans-off` for the chosen
+/// accounting method — matching the closed forms
+/// `(a1·(2N−3) + (2N−2) + Σd)/N` (fixed) and
+/// `(2N−2+Σd)/(N−2·a2·N+3·a2)` (variable).
+///
+/// # Panics
+///
+/// Panics if fewer than 2 depots, or (variable cost) if `a2` is so large
+/// that the fixed point is non-positive (`N − 2·a2·N + 3·a2 ≤ 0`).
+pub fn line_collector(demands: &[u64], cost: TransferCost) -> LineCollectorReport {
+    let n = demands.len() as u64;
+    assert!(n >= 2, "need at least two depots");
+    let total_demand: u64 = demands.iter().sum();
+    // The collector's itinerary: 1 → N (N−1 steps, one transfer at each of
+    // the N−2 intermediate depots), one exchange at N, then N−1 steps back
+    // with a transfer at each of the N−2 intermediates and itself... the
+    // thesis counts 2N−3 transfers and 2N−2 distance total.
+    let transfers = 2 * n - 3;
+    let distance = 2 * n - 2;
+    match cost {
+        TransferCost::Fixed(a1) => {
+            assert!(a1 >= 0.0, "negative transfer cost");
+            let total_energy = a1 * transfers as f64 + distance as f64 + total_demand as f64;
+            LineCollectorReport {
+                n,
+                total_demand,
+                transfers,
+                distance,
+                total_energy,
+                w_trans_off: total_energy / n as f64,
+            }
+        }
+        TransferCost::Variable(a2) => {
+            assert!(a2 >= 0.0, "negative transfer cost");
+            let denom = n as f64 - 2.0 * a2 * n as f64 + 3.0 * a2;
+            assert!(
+                denom > 0.0,
+                "variable cost too large for the fixed point to exist"
+            );
+            let w = (distance as f64 + total_demand as f64) / denom;
+            LineCollectorReport {
+                n,
+                total_demand,
+                transfers,
+                distance,
+                total_energy: a2 * w * transfers as f64 + distance as f64 + total_demand as f64,
+                w_trans_off: w,
+            }
+        }
+    }
+}
+
+/// Outcome of a simulated energy haul (couriers + transfers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HaulReport {
+    /// Energy delivered at the destination.
+    pub delivered: f64,
+    /// Energy burned in travel.
+    pub travel_spent: f64,
+    /// Energy burned in transfer overhead.
+    pub transfer_spent: f64,
+}
+
+/// Simulates a single courier hauling a full tank of `w` units over
+/// `dist` grid steps: each step costs 1 from the tank.
+///
+/// Theorem 5.1.1 upper-bounds what *any* strategy can deliver from that
+/// distance by `w·(1−1/w)^dist`; the single courier achieves `w − dist`
+/// (clamped at 0), which respects the bound (Bernoulli).
+pub fn simulate_courier(w: f64, dist: u64) -> HaulReport {
+    let travel = (dist as f64).min(w);
+    HaulReport {
+        delivered: (w - dist as f64).max(0.0),
+        travel_spent: travel,
+        transfer_spent: 0.0,
+    }
+}
+
+/// Simulates a relay chain: the cargo is handed between `hops` evenly
+/// spaced couriers along the way (each leg `dist/hops` steps, rounded up on
+/// early legs), with the given transfer accounting at each handoff. Each
+/// relay vehicle contributes its own walking from its tank — but the
+/// *cargo* still pays every handoff's overhead, so relaying never delivers
+/// more than the lone courier (machine-checked in tests): exactly the
+/// monotonicity Theorem 5.1.1's proof exploits.
+///
+/// # Panics
+///
+/// Panics if `hops == 0`.
+pub fn simulate_relay_chain(w: f64, dist: u64, hops: u64, cost: TransferCost) -> HaulReport {
+    assert!(hops >= 1, "need at least one leg");
+    let mut cargo = w;
+    let mut travel_spent = 0.0;
+    let mut transfer_spent = 0.0;
+    let base = dist / hops;
+    let extra = dist % hops;
+    for leg in 0..hops {
+        let steps = base + u64::from(leg < extra);
+        // The carrying vehicle walks `steps`, paid out of the cargo it
+        // carries (its own tank is the cargo once loaded).
+        let walk = (steps as f64).min(cargo);
+        cargo -= walk;
+        travel_spent += walk;
+        if leg + 1 < hops && cargo > 0.0 {
+            // Handoff to the next relay.
+            let overhead = match cost {
+                TransferCost::Fixed(a1) => a1,
+                TransferCost::Variable(a2) => a2 * cargo,
+            };
+            let paid = overhead.min(cargo);
+            cargo -= paid;
+            transfer_spent += paid;
+        }
+    }
+    HaulReport {
+        delivered: cargo.max(0.0),
+        travel_spent,
+        transfer_spent,
+    }
+}
+
+/// 2-D (and general-`D`) generalization of the §5.2.1 collector: a single
+/// infinite-tank vehicle sweeps the grid along the boustrophedon Hamiltonian
+/// path (unit steps), collecting everyone's energy outbound and
+/// redistributing inbound — the snake linearizes the grid, so the 1-D
+/// analysis applies verbatim with `N = volume`.
+///
+/// Demands are read off the grid in snake order; the resulting
+/// `Wtrans-off` is again `Θ(avg_x d(x))`.
+///
+/// # Panics
+///
+/// Panics if the grid has fewer than two vertices, or the variable cost is
+/// too large (see [`line_collector`]).
+pub fn grid_collector<const D: usize>(
+    bounds: &cmvrp_grid::GridBounds<D>,
+    demand: &cmvrp_grid::DemandMap<D>,
+    cost: TransferCost,
+) -> LineCollectorReport {
+    let order = cmvrp_grid::snake_order(bounds);
+    let demands: Vec<u64> = order.iter().map(|p| demand.get(*p)).collect();
+    line_collector(&demands, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_series() {
+        for w in [2.0f64, 5.0, 17.0, 60.0] {
+            for s in [1u64, 3, 10] {
+                let cf = max_energy_into_square(w, s);
+                let series = max_energy_into_square_series(w, s);
+                let rel = (cf - series).abs() / cf;
+                assert!(rel < 1e-6, "w={w} s={s}: {cf} vs {series}");
+            }
+        }
+    }
+
+    #[test]
+    fn decay_bound_grows_with_w_and_s() {
+        assert!(max_energy_into_square(10.0, 4) > max_energy_into_square(5.0, 4));
+        assert!(max_energy_into_square(10.0, 8) > max_energy_into_square(10.0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "W > 1")]
+    fn decay_bound_rejects_tiny_w() {
+        let _ = max_energy_into_square(1.0, 3);
+    }
+
+    #[test]
+    fn lower_bound_inverts_decay() {
+        for s in [2u64, 5] {
+            for demand in [50.0f64, 500.0, 5000.0] {
+                let w = transfer_lower_bound_w(s, demand);
+                assert!((max_energy_into_square(w, s) - demand).abs() / demand < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_lower_bound_same_order_as_omega_star() {
+        // Theorem 5.1.1's punchline: for point-like demand the
+        // transfer-aware lower bound still scales like d^(1/3) — the same
+        // order as Woff (Example 3).
+        let w1 = transfer_lower_bound_w(1, 1_000.0);
+        let w2 = transfer_lower_bound_w(1, 8_000.0);
+        let growth = w2 / w1;
+        assert!(
+            (growth - 2.0).abs() < 0.25,
+            "cube-root scaling expected, growth = {growth}"
+        );
+    }
+
+    #[test]
+    fn collector_fixed_cost_formula() {
+        // Matches the §5.2.1 closed form exactly.
+        let demands = vec![3u64; 50];
+        let a1 = 0.25;
+        let r = line_collector(&demands, TransferCost::Fixed(a1));
+        let n = 50.0;
+        let want = (a1 * (2.0 * n - 3.0) + (2.0 * n - 2.0) + 150.0) / n;
+        assert!((r.w_trans_off - want).abs() < 1e-12);
+        assert_eq!(r.transfers, 97);
+        assert_eq!(r.distance, 98);
+    }
+
+    #[test]
+    fn collector_variable_cost_formula() {
+        let demands = vec![2u64; 40];
+        let a2 = 0.01;
+        let r = line_collector(&demands, TransferCost::Variable(a2));
+        let n = 40.0;
+        let want = (2.0 * n - 2.0 + 80.0) / (n - 2.0 * a2 * n + 3.0 * a2);
+        assert!((r.w_trans_off - want).abs() < 1e-12);
+        // Self-consistency: W·N covers the total energy.
+        assert!((r.w_trans_off * n - r.total_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collector_w_approaches_avg_demand() {
+        // As N grows with per-depot demand fixed, W → 2a1 + 2 + avg d.
+        let per = 7u64;
+        let a1 = 0.5;
+        let mut prev_err = f64::INFINITY;
+        for n in [10usize, 100, 1000] {
+            let demands = vec![per; n];
+            let r = line_collector(&demands, TransferCost::Fixed(a1));
+            let limit = 2.0 * a1 + 2.0 + per as f64;
+            let err = (r.w_trans_off - limit).abs();
+            assert!(err < prev_err, "error must shrink with N");
+            prev_err = err;
+        }
+        assert!(prev_err < 0.05);
+    }
+
+    #[test]
+    fn collector_is_theta_of_avg_not_max() {
+        // One huge depot among many small ones: without transfers, Woff is
+        // driven by the hotspot (~ d^(1/3) scaling at best); with infinite
+        // tanks the collector cost is the *average*.
+        let mut demands = vec![0u64; 99];
+        demands.push(9900); // avg = 99
+        let r = line_collector(&demands, TransferCost::Fixed(1.0));
+        assert!((r.w_trans_off - (1.0 * 197.0 + 198.0 + 9900.0) / 100.0).abs() < 1e-9);
+        // ≈ 102.95: close to avg demand 99, far below max demand 9900.
+        assert!(r.w_trans_off < 110.0);
+    }
+
+    #[test]
+    fn courier_respects_decay_bound() {
+        // delivered ≤ W(1−1/W)^dist for the lone courier (Bernoulli side of
+        // Theorem 5.1.1).
+        for w in [5.0f64, 20.0, 100.0] {
+            for dist in [0u64, 1, 3, 10, 60] {
+                let haul = simulate_courier(w, dist);
+                let bound = w * (1.0 - 1.0 / w).powi(dist as i32);
+                assert!(
+                    haul.delivered <= bound + 1e-9,
+                    "w={w} dist={dist}: {} > {bound}",
+                    haul.delivered
+                );
+                assert!(
+                    (haul.delivered + haul.travel_spent - w).abs() < 1e-9 || haul.delivered == 0.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relaying_never_beats_the_lone_courier() {
+        // Transfers only lose energy — the monotonicity behind
+        // Wtrans-off = Θ(Woff).
+        for cost in [TransferCost::Fixed(0.5), TransferCost::Variable(0.01)] {
+            for hops in [2u64, 3, 5] {
+                for dist in [4u64, 10, 30] {
+                    let lone = simulate_courier(50.0, dist).delivered;
+                    let relay = simulate_relay_chain(50.0, dist, hops, cost);
+                    assert!(
+                        relay.delivered <= lone + 1e-9,
+                        "hops={hops} dist={dist} {cost:?}"
+                    );
+                    // Conservation: cargo = delivered + travel + overhead.
+                    assert!(
+                        (relay.delivered + relay.travel_spent + relay.transfer_spent - 50.0).abs()
+                            < 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relay_chain_also_respects_decay_bound() {
+        for hops in [1u64, 2, 4] {
+            let haul = simulate_relay_chain(30.0, 12, hops, TransferCost::Fixed(1.0));
+            let bound = 30.0 * (1.0 - 1.0 / 30.0f64).powi(12);
+            assert!(haul.delivered <= bound + 1e-9, "hops={hops}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leg")]
+    fn zero_hops_rejected() {
+        let _ = simulate_relay_chain(10.0, 5, 0, TransferCost::Fixed(1.0));
+    }
+
+    #[test]
+    fn grid_collector_matches_line_on_strip() {
+        // A 1xN strip is literally the line instance.
+        use cmvrp_grid::{pt2, DemandMap, GridBounds};
+        let bounds = GridBounds::new([0, 0], [19, 0]);
+        let mut d = DemandMap::new();
+        for x in 0..20 {
+            d.add(pt2(x, 0), 3);
+        }
+        let grid = grid_collector(&bounds, &d, TransferCost::Fixed(1.0));
+        let line = line_collector(&vec![3u64; 20], TransferCost::Fixed(1.0));
+        assert_eq!(grid, line);
+    }
+
+    #[test]
+    fn grid_collector_two_dimensional_theta_avg() {
+        use cmvrp_grid::{pt2, DemandMap, GridBounds};
+        let bounds = GridBounds::square(10); // 100 depots
+        let mut d = DemandMap::new();
+        d.add(pt2(5, 5), 5_000); // hotspot; avg = 50
+        let r = grid_collector(&bounds, &d, TransferCost::Fixed(1.0));
+        assert_eq!(r.n, 100);
+        assert_eq!(r.transfers, 197);
+        assert_eq!(r.distance, 198);
+        // W ≈ avg demand (50), far below the hotspot's no-transfer need.
+        assert!(r.w_trans_off < 60.0, "W = {}", r.w_trans_off);
+        assert!(r.w_trans_off > 50.0);
+    }
+
+    #[test]
+    fn grid_collector_three_dimensional() {
+        use cmvrp_grid::{pt3, DemandMap, GridBounds};
+        let bounds = GridBounds::<3>::cube(4); // 64 depots
+        let mut d: DemandMap<3> = DemandMap::new();
+        d.add(pt3(2, 2, 2), 640);
+        let r = grid_collector(&bounds, &d, TransferCost::Variable(0.001));
+        assert_eq!(r.n, 64);
+        // avg = 10; W ≈ (2N-2+Σd)/(N(1-2a2)+3a2) ≈ 12.
+        assert!((r.w_trans_off - 12.0).abs() < 1.0, "W = {}", r.w_trans_off);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two depots")]
+    fn single_depot_rejected() {
+        let _ = line_collector(&[5], TransferCost::Fixed(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn excessive_variable_cost_rejected() {
+        let _ = line_collector(&[1, 1], TransferCost::Variable(10.0));
+    }
+}

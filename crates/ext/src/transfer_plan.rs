@@ -1,0 +1,688 @@
+//! Action-level simulation of energy-transfer strategies (Chapter 5).
+//!
+//! [`transfer`](crate::transfer) treats the §5.2.1 collector through the
+//! thesis' closed forms; this module *executes* such strategies as explicit
+//! action scripts under an enforcing simulator — co-location checks, tank
+//! capacities, per-step travel costs, and per-transfer overhead — so the
+//! closed forms are machine-checked end to end rather than trusted.
+//!
+//! The model (Chapter 5 intro):
+//! * every vehicle starts with `w` energy, tank capacity `C ≥ w`
+//!   (`C = ∞` in §5.2.1);
+//! * vehicle `A` may hand energy to `B` only when co-located;
+//! * a transfer costs `a1` flat or `a2` per unit, drawn from the giver.
+
+use crate::transfer::TransferCost;
+use cmvrp_grid::{DemandMap, GridBounds, Point};
+
+/// One step of a transfer strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action<const D: usize> {
+    /// Vehicle walks to `to` along a shortest path (cost = L1 distance,
+    /// paid from its tank).
+    Move {
+        /// Vehicle index.
+        vehicle: usize,
+        /// Destination.
+        to: Point<D>,
+    },
+    /// `from` hands `amount` units to `to` (both co-located); the transfer
+    /// overhead is drawn from the giver *in addition to* the amount.
+    Transfer {
+        /// Giving vehicle.
+        from: usize,
+        /// Receiving vehicle.
+        to: usize,
+        /// Units handed over.
+        amount: f64,
+    },
+    /// Vehicle serves `amount` jobs at its current position (1 energy per
+    /// job; fails if the position's remaining demand is smaller).
+    Serve {
+        /// Serving vehicle.
+        vehicle: usize,
+        /// Jobs to serve.
+        amount: u64,
+    },
+}
+
+/// Why an action was rejected. The simulator is *strict*: any violation
+/// aborts the run, so a passing script is a genuine witness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransferError {
+    /// Vehicle index out of range.
+    NoSuchVehicle(usize),
+    /// A transfer between vehicles at different positions.
+    NotColocated {
+        /// Giver index.
+        from: usize,
+        /// Receiver index.
+        to: usize,
+    },
+    /// An action needed more energy than the tank holds.
+    InsufficientEnergy {
+        /// Offending vehicle.
+        vehicle: usize,
+        /// Energy required.
+        needed: f64,
+        /// Energy available.
+        available: f64,
+    },
+    /// Receiving the amount would exceed the receiver's tank capacity.
+    OverCapacity {
+        /// Receiving vehicle.
+        vehicle: usize,
+    },
+    /// Serving more than the position's remaining demand.
+    DemandExceeded {
+        /// Serving vehicle.
+        vehicle: usize,
+    },
+    /// A non-positive or non-finite transfer amount.
+    BadAmount,
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::NoSuchVehicle(v) => write!(f, "no vehicle {v}"),
+            TransferError::NotColocated { from, to } => {
+                write!(f, "vehicles {from} and {to} are not co-located")
+            }
+            TransferError::InsufficientEnergy {
+                vehicle,
+                needed,
+                available,
+            } => write!(
+                f,
+                "vehicle {vehicle} needs {needed} energy but has {available}"
+            ),
+            TransferError::OverCapacity { vehicle } => {
+                write!(f, "vehicle {vehicle} tank capacity exceeded")
+            }
+            TransferError::DemandExceeded { vehicle } => {
+                write!(f, "vehicle {vehicle} served more than the demand")
+            }
+            TransferError::BadAmount => write!(f, "bad transfer amount"),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+/// Numerical slack for `f64` tank arithmetic.
+const EPS: f64 = 1e-9;
+
+/// The enforcing simulator: one vehicle per grid vertex (indexed in
+/// lexicographic vertex order), each starting with `w` energy.
+#[derive(Debug, Clone)]
+pub struct TransferSim<const D: usize> {
+    positions: Vec<Point<D>>,
+    tanks: Vec<f64>,
+    /// `None` = infinite tanks (§5.2.1's `C = ∞`).
+    tank_capacity: Option<f64>,
+    remaining: DemandMap<D>,
+    cost: TransferCost,
+    transfers: u64,
+    distance: u64,
+    transfer_overhead: f64,
+}
+
+impl<const D: usize> TransferSim<D> {
+    /// Sets up the fleet: one vehicle per vertex of `bounds` (lexicographic
+    /// index order), all starting with `w` energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w < 0`, if `tank_capacity < w`, or if demand lies outside
+    /// the bounds.
+    pub fn new(
+        bounds: GridBounds<D>,
+        demand: DemandMap<D>,
+        w: f64,
+        tank_capacity: Option<f64>,
+        cost: TransferCost,
+    ) -> Self {
+        assert!(w >= 0.0, "negative initial energy");
+        if let Some(c) = tank_capacity {
+            assert!(c >= w, "tank capacity below initial energy");
+        }
+        for p in demand.support() {
+            assert!(bounds.contains(p), "demand point {p} outside bounds");
+        }
+        let positions: Vec<Point<D>> = bounds.iter().collect();
+        let n = positions.len();
+        TransferSim {
+            positions,
+            tanks: vec![w; n],
+            tank_capacity,
+            remaining: demand,
+            cost,
+            transfers: 0,
+            distance: 0,
+            transfer_overhead: 0.0,
+        }
+    }
+
+    /// Number of vehicles.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Current tank content of `vehicle`.
+    pub fn tank(&self, vehicle: usize) -> f64 {
+        self.tanks[vehicle]
+    }
+
+    /// Current position of `vehicle`.
+    pub fn position(&self, vehicle: usize) -> Point<D> {
+        self.positions[vehicle]
+    }
+
+    /// Demand still unserved.
+    pub fn unserved(&self) -> u64 {
+        self.remaining.total()
+    }
+
+    /// Transfers executed so far.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total distance walked by the fleet so far.
+    pub fn distance(&self) -> u64 {
+        self.distance
+    }
+
+    /// Energy burned as transfer overhead so far.
+    pub fn transfer_overhead(&self) -> f64 {
+        self.transfer_overhead
+    }
+
+    fn check_vehicle(&self, v: usize) -> Result<(), TransferError> {
+        if v < self.positions.len() {
+            Ok(())
+        } else {
+            Err(TransferError::NoSuchVehicle(v))
+        }
+    }
+
+    /// Applies one action; on error the simulator state is unchanged.
+    pub fn apply(&mut self, action: Action<D>) -> Result<(), TransferError> {
+        match action {
+            Action::Move { vehicle, to } => {
+                self.check_vehicle(vehicle)?;
+                let steps = self.positions[vehicle].manhattan(to) as f64;
+                if self.tanks[vehicle] + EPS < steps {
+                    return Err(TransferError::InsufficientEnergy {
+                        vehicle,
+                        needed: steps,
+                        available: self.tanks[vehicle],
+                    });
+                }
+                self.tanks[vehicle] -= steps;
+                self.distance += steps as u64;
+                self.positions[vehicle] = to;
+                Ok(())
+            }
+            Action::Transfer { from, to, amount } => {
+                self.check_vehicle(from)?;
+                self.check_vehicle(to)?;
+                if !(amount.is_finite() && amount > 0.0) {
+                    return Err(TransferError::BadAmount);
+                }
+                if self.positions[from] != self.positions[to] {
+                    return Err(TransferError::NotColocated { from, to });
+                }
+                let overhead = match self.cost {
+                    TransferCost::Fixed(a1) => a1,
+                    TransferCost::Variable(a2) => a2 * amount,
+                };
+                let needed = amount + overhead;
+                if self.tanks[from] + EPS < needed {
+                    return Err(TransferError::InsufficientEnergy {
+                        vehicle: from,
+                        needed,
+                        available: self.tanks[from],
+                    });
+                }
+                if let Some(c) = self.tank_capacity {
+                    if self.tanks[to] + amount > c + EPS {
+                        return Err(TransferError::OverCapacity { vehicle: to });
+                    }
+                }
+                self.tanks[from] -= needed;
+                self.tanks[to] += amount;
+                self.transfers += 1;
+                self.transfer_overhead += overhead;
+                Ok(())
+            }
+            Action::Serve { vehicle, amount } => {
+                self.check_vehicle(vehicle)?;
+                let here = self.positions[vehicle];
+                if self.remaining.get(here) < amount {
+                    return Err(TransferError::DemandExceeded { vehicle });
+                }
+                let cost = amount as f64;
+                if self.tanks[vehicle] + EPS < cost {
+                    return Err(TransferError::InsufficientEnergy {
+                        vehicle,
+                        needed: cost,
+                        available: self.tanks[vehicle],
+                    });
+                }
+                self.tanks[vehicle] -= cost;
+                let left = self.remaining.get(here) - amount;
+                self.remaining.set(here, left);
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies a whole script, stopping at the first error.
+    pub fn run(&mut self, script: &[Action<D>]) -> Result<(), TransferError> {
+        for &action in script {
+            self.apply(action)?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates the §5.2.1 collector script for a line of `n` depots:
+/// vehicle 0 sweeps right collecting every intermediate vehicle's entire
+/// tank, settles accounts with the last vehicle, sweeps back topping every
+/// depot up to exactly its demand, and everyone serves locally.
+///
+/// The script performs exactly `2n−3` transfers over `2n−2` distance —
+/// matching the thesis' counts — whenever every intermediate vehicle has
+/// something to hand over.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn line_collector_script(
+    bounds: &GridBounds<1>,
+    demand: &DemandMap<1>,
+    w: f64,
+    cost: TransferCost,
+) -> Vec<Action<1>> {
+    let route: Vec<Point<1>> = bounds.iter().collect();
+    route_collector_script(bounds, demand, &route, w, cost)
+}
+
+/// The collector strategy along an arbitrary route visiting every depot
+/// once (e.g. the boustrophedon [`cmvrp_grid::snake_order`] of a 2-D or
+/// 3-D grid): the vehicle at `route[0]` walks the route collecting,
+/// settles at the far end, and walks it back distributing — the direct
+/// generalization of §5.2.1 beyond the line.
+///
+/// # Panics
+///
+/// Panics if the route has fewer than 2 stops, repeats or misses a depot
+/// of `bounds`, or leaves the bounds.
+pub fn route_collector_script<const D: usize>(
+    bounds: &GridBounds<D>,
+    demand: &DemandMap<D>,
+    route: &[Point<D>],
+    w: f64,
+    cost: TransferCost,
+) -> Vec<Action<D>> {
+    let n = route.len();
+    assert!(n >= 2, "need at least two depots");
+    assert_eq!(n as u64, bounds.volume(), "route must visit every depot");
+    {
+        let mut seen = std::collections::HashSet::new();
+        for p in route {
+            assert!(bounds.contains(*p), "route stop {p} outside bounds");
+            assert!(seen.insert(*p), "route repeats stop {p}");
+        }
+    }
+    // TransferSim indexes vehicles by lexicographic vertex order.
+    let index: std::collections::HashMap<Point<D>, usize> =
+        bounds.iter().enumerate().map(|(i, p)| (p, i)).collect();
+    let vid = |stop: usize| index[&route[stop]];
+    let collector = vid(0);
+    let pt = |stop: usize| route[stop];
+    let mut script: Vec<Action<D>> = Vec::new();
+    // Outbound sweep: collect every intermediate tank in full (minus the
+    // giver's overhead, which the simulator charges to the giver). Every
+    // intermediate still holds its initial `w` when visited.
+    for k in 1..n - 1 {
+        script.push(Action::Move {
+            vehicle: collector,
+            to: pt(k),
+        });
+        // The giver sends all it can: amount + overhead(amount) ≤ w.
+        let amount = match cost {
+            TransferCost::Fixed(a1) => (w - a1).max(0.0),
+            TransferCost::Variable(a2) => w / (1.0 + a2),
+        };
+        if amount > 0.0 {
+            script.push(Action::Transfer {
+                from: vid(k),
+                to: collector,
+                amount,
+            });
+        }
+    }
+    // Settle with the far-end vehicle: it keeps exactly its demand.
+    script.push(Action::Move {
+        vehicle: collector,
+        to: pt(n - 1),
+    });
+    let last_need = demand.get(pt(n - 1)) as f64;
+    if w > last_need {
+        let surplus = w - last_need;
+        let give = match cost {
+            TransferCost::Fixed(a1) => (surplus - a1).max(0.0),
+            TransferCost::Variable(a2) => surplus / (1.0 + a2),
+        };
+        if give > 0.0 {
+            script.push(Action::Transfer {
+                from: vid(n - 1),
+                to: collector,
+                amount: give,
+            });
+        }
+    } else if last_need > w {
+        script.push(Action::Transfer {
+            from: collector,
+            to: vid(n - 1),
+            amount: last_need - w,
+        });
+    }
+    script.push(Action::Serve {
+        vehicle: vid(n - 1),
+        amount: demand.get(pt(n - 1)),
+    });
+    // Inbound sweep: top every intermediate up to exactly its demand.
+    for k in (1..n - 1).rev() {
+        script.push(Action::Move {
+            vehicle: collector,
+            to: pt(k),
+        });
+        let need = demand.get(pt(k)) as f64;
+        if need > 0.0 {
+            script.push(Action::Transfer {
+                from: collector,
+                to: vid(k),
+                amount: need,
+            });
+        }
+        script.push(Action::Serve {
+            vehicle: vid(k),
+            amount: demand.get(pt(k)),
+        });
+    }
+    // Home again; serve own demand from what remains.
+    script.push(Action::Move {
+        vehicle: collector,
+        to: pt(0),
+    });
+    script.push(Action::Serve {
+        vehicle: collector,
+        amount: demand.get(pt(0)),
+    });
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::line_collector;
+    use cmvrp_grid::pt1;
+
+    fn line_instance(demands: &[u64]) -> (GridBounds<1>, DemandMap<1>) {
+        let bounds = GridBounds::new([0], [demands.len() as i64 - 1]);
+        let mut d = DemandMap::new();
+        for (i, &amount) in demands.iter().enumerate() {
+            d.add(pt1(i as i64), amount);
+        }
+        (bounds, d)
+    }
+
+    #[test]
+    fn move_charges_distance() {
+        let (b, d) = line_instance(&[0, 0, 0]);
+        let mut sim = TransferSim::new(b, d, 10.0, None, TransferCost::Fixed(1.0));
+        sim.apply(Action::Move {
+            vehicle: 0,
+            to: pt1(2),
+        })
+        .unwrap();
+        assert_eq!(sim.tank(0), 8.0);
+        assert_eq!(sim.distance(), 2);
+        assert_eq!(sim.position(0), pt1(2));
+    }
+
+    #[test]
+    fn transfer_requires_colocation() {
+        let (b, d) = line_instance(&[0, 0]);
+        let mut sim = TransferSim::new(b, d, 10.0, None, TransferCost::Fixed(1.0));
+        let err = sim
+            .apply(Action::Transfer {
+                from: 0,
+                to: 1,
+                amount: 1.0,
+            })
+            .unwrap_err();
+        assert_eq!(err, TransferError::NotColocated { from: 0, to: 1 });
+    }
+
+    #[test]
+    fn transfer_charges_giver_overhead() {
+        let (b, d) = line_instance(&[0, 0]);
+        let mut sim = TransferSim::new(b, d, 10.0, None, TransferCost::Fixed(0.5));
+        sim.apply(Action::Move {
+            vehicle: 0,
+            to: pt1(1),
+        })
+        .unwrap();
+        sim.apply(Action::Transfer {
+            from: 0,
+            to: 1,
+            amount: 4.0,
+        })
+        .unwrap();
+        assert!((sim.tank(0) - (10.0 - 1.0 - 4.5)).abs() < 1e-9);
+        assert!((sim.tank(1) - 14.0).abs() < 1e-9);
+        assert_eq!(sim.transfers(), 1);
+        assert!((sim.transfer_overhead() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_tank_rejects_overfill() {
+        let (b, d) = line_instance(&[0, 0]);
+        let mut sim = TransferSim::new(b, d, 10.0, Some(12.0), TransferCost::Fixed(0.0));
+        sim.apply(Action::Move {
+            vehicle: 0,
+            to: pt1(1),
+        })
+        .unwrap();
+        let err = sim
+            .apply(Action::Transfer {
+                from: 0,
+                to: 1,
+                amount: 5.0,
+            })
+            .unwrap_err();
+        assert_eq!(err, TransferError::OverCapacity { vehicle: 1 });
+        // Within capacity is fine.
+        sim.apply(Action::Transfer {
+            from: 0,
+            to: 1,
+            amount: 2.0,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn serve_respects_demand_and_energy() {
+        let (b, d) = line_instance(&[3, 0]);
+        let mut sim = TransferSim::new(b, d, 2.0, None, TransferCost::Fixed(0.0));
+        let err = sim
+            .apply(Action::Serve {
+                vehicle: 0,
+                amount: 4,
+            })
+            .unwrap_err();
+        assert_eq!(err, TransferError::DemandExceeded { vehicle: 0 });
+        let err = sim
+            .apply(Action::Serve {
+                vehicle: 0,
+                amount: 3,
+            })
+            .unwrap_err();
+        assert!(matches!(err, TransferError::InsufficientEnergy { .. }));
+        sim.apply(Action::Serve {
+            vehicle: 0,
+            amount: 2,
+        })
+        .unwrap();
+        assert_eq!(sim.unserved(), 1);
+    }
+
+    #[test]
+    fn collector_script_matches_closed_form_counts() {
+        let demands = vec![3u64; 12];
+        let (b, d) = line_instance(&demands);
+        let a1 = 0.5;
+        let report = line_collector(&demands, TransferCost::Fixed(a1));
+        // Execute the actual script at the closed-form W (+ tiny slack for
+        // f64 arithmetic).
+        let w = report.w_trans_off + 1e-6;
+        let script = line_collector_script(&b, &d, w, TransferCost::Fixed(a1));
+        let mut sim = TransferSim::new(b, d, w, None, TransferCost::Fixed(a1));
+        sim.run(&script).expect("closed-form W must suffice");
+        assert_eq!(sim.unserved(), 0);
+        assert_eq!(sim.transfers(), report.transfers);
+        assert_eq!(sim.distance(), report.distance);
+        // Energy conservation: everything spent = travel + service +
+        // overhead; the fleet ends essentially empty-handed beyond slack.
+        let total_left: f64 = (0..sim.len()).map(|v| sim.tank(v)).sum();
+        assert!(
+            total_left < 1e-3,
+            "collector should consume all energy at the fixed point, left {total_left}"
+        );
+    }
+
+    #[test]
+    fn collector_script_fails_below_closed_form() {
+        let demands = vec![3u64; 12];
+        let (b, d) = line_instance(&demands);
+        let a1 = 0.5;
+        let report = line_collector(&demands, TransferCost::Fixed(a1));
+        let w = report.w_trans_off - 0.01;
+        let script = line_collector_script(&b, &d, w, TransferCost::Fixed(a1));
+        let mut sim = TransferSim::new(b, d, w, None, TransferCost::Fixed(a1));
+        let result = sim.run(&script);
+        assert!(
+            result.is_err() || sim.unserved() > 0,
+            "below the fixed point the script must fail"
+        );
+    }
+
+    #[test]
+    fn collector_script_with_uneven_demand() {
+        let demands = vec![0u64, 7, 0, 12, 1, 0, 4, 9];
+        let (b, d) = line_instance(&demands);
+        let a1 = 1.0;
+        let report = line_collector(&demands, TransferCost::Fixed(a1));
+        let w = report.w_trans_off + 1e-6;
+        let script = line_collector_script(&b, &d, w, TransferCost::Fixed(a1));
+        let mut sim = TransferSim::new(b, d, w, None, TransferCost::Fixed(a1));
+        sim.run(&script).expect("uneven demand still served");
+        assert_eq!(sim.unserved(), 0);
+    }
+
+    #[test]
+    fn bounded_tanks_break_the_collector() {
+        // With C = W (no spare capacity) the collector cannot hoard: the
+        // very first pickup overflows — the §5.2 contrast, executed.
+        let demands = vec![2u64; 10];
+        let (b, d) = line_instance(&demands);
+        let report = line_collector(&demands, TransferCost::Fixed(0.5));
+        let w = report.w_trans_off + 1e-6;
+        let script = line_collector_script(&b, &d, w, TransferCost::Fixed(0.5));
+        let mut sim = TransferSim::new(b, d, w, Some(w), TransferCost::Fixed(0.5));
+        let result = sim.run(&script);
+        assert!(matches!(result, Err(TransferError::OverCapacity { .. })));
+    }
+
+    #[test]
+    fn snake_route_collector_on_2d_grid() {
+        // The §5.2.1 argument executed on a 6x6 grid along the snake path:
+        // counts and the fixed point match the grid_collector closed form.
+        use crate::transfer::grid_collector;
+        use cmvrp_grid::{pt2, snake_order};
+        let bounds = cmvrp_grid::GridBounds::square(6);
+        let mut demand = DemandMap::new();
+        demand.add(pt2(3, 3), 150);
+        demand.add(pt2(0, 5), 30);
+        let a1 = 1.0;
+        let report = grid_collector(&bounds, &demand, TransferCost::Fixed(a1));
+        let w = report.w_trans_off + 1e-6;
+        let route = snake_order(&bounds);
+        let script = route_collector_script(&bounds, &demand, &route, w, TransferCost::Fixed(a1));
+        let mut sim = TransferSim::new(bounds, demand, w, None, TransferCost::Fixed(a1));
+        sim.run(&script).expect("snake collector must succeed");
+        assert_eq!(sim.unserved(), 0);
+        // Sparse demand lets the script skip empty-stop transfers, so it
+        // never exceeds the closed form's 2N-3 (which assumes a transfer at
+        // every stop); the walk length matches exactly.
+        assert!(sim.transfers() <= report.transfers);
+        assert_eq!(sim.distance(), report.distance);
+        // Leftover energy = the overhead of the skipped transfers (the
+        // closed-form W buys them; the sparse script does not spend them).
+        let total_left: f64 = (0..sim.len()).map(|v| sim.tank(v)).sum();
+        let skipped = (report.transfers - sim.transfers()) as f64 * a1;
+        assert!(
+            (total_left - skipped).abs() < 1e-3,
+            "leftover {total_left} vs skipped overhead {skipped}"
+        );
+    }
+
+    #[test]
+    fn three_dimensional_snake_collector() {
+        use crate::transfer::grid_collector;
+        use cmvrp_grid::{pt3, snake_order};
+        let bounds = cmvrp_grid::GridBounds::<3>::cube(3);
+        let mut demand: DemandMap<3> = DemandMap::new();
+        demand.add(pt3(1, 1, 1), 54);
+        let report = grid_collector(&bounds, &demand, TransferCost::Fixed(0.25));
+        let w = report.w_trans_off + 1e-6;
+        let route = snake_order(&bounds);
+        let script = route_collector_script(&bounds, &demand, &route, w, TransferCost::Fixed(0.25));
+        let mut sim = TransferSim::new(bounds, demand, w, None, TransferCost::Fixed(0.25));
+        sim.run(&script).expect("3-D snake collector");
+        assert_eq!(sim.unserved(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "route must visit every depot")]
+    fn short_route_rejected() {
+        use cmvrp_grid::pt2;
+        let bounds = cmvrp_grid::GridBounds::square(3);
+        let demand = DemandMap::new();
+        let _ = route_collector_script(
+            &bounds,
+            &demand,
+            &[pt2(0, 0), pt2(0, 1)],
+            5.0,
+            TransferCost::Fixed(1.0),
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TransferError::NotColocated { from: 1, to: 2 };
+        assert!(e.to_string().contains("not co-located"));
+        let e = TransferError::NoSuchVehicle(9);
+        assert!(e.to_string().contains("9"));
+    }
+}

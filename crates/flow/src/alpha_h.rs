@@ -1,0 +1,245 @@
+//! The `α → h` decomposition of Lemma 2.2.1 (Figures 2.4 / 2.5), in 1-D.
+//!
+//! Lemma 2.2.1 converts a feasible dual solution `(α_i)` of LP (2.5) into a
+//! weighting `h` of *simply connected* subsets such that
+//!
+//! * `h(T) = max(0, min_{i∈T} α_i − max_{i∈N_1(T)∖T} α_i)` on simply
+//!   connected `T`, zero elsewhere;
+//! * the supports of `h` form a laminar family;
+//! * `α_i = Σ_{T∋i} h(T)` for every `i` in the support;
+//! * `Σ_T h(T)·|T| = Σ_i α_i`.
+//!
+//! On `Z¹` the simply connected sets are intervals, so the whole construction
+//! is explicit: this module computes `h` over all intervals of a window and
+//! machine-checks the identities, reproducing the figure-2.4/2.5 peeling
+//! picture as experiment F1.
+
+use cmvrp_util::Ratio;
+
+/// One interval `[lo, hi]` (inclusive, indices into the `α` slice) with its
+/// `h` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalWeight {
+    /// Inclusive lower index.
+    pub lo: usize,
+    /// Inclusive upper index.
+    pub hi: usize,
+    /// The value `h([lo, hi])`.
+    pub h: Ratio,
+}
+
+/// Computes all intervals with positive `h` for the profile `alpha`
+/// (positions outside the slice are treated as `α = 0`).
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_flow::alpha_h::alpha_to_h;
+/// use cmvrp_util::Ratio;
+///
+/// let alpha = [Ratio::ONE, Ratio::from_integer(2), Ratio::ONE];
+/// let h = alpha_to_h(&alpha);
+/// // Two nested intervals: the whole support at height 1 and the peak {1}.
+/// assert_eq!(h.len(), 2);
+/// ```
+pub fn alpha_to_h(alpha: &[Ratio]) -> Vec<IntervalWeight> {
+    let n = alpha.len();
+    let mut out = Vec::new();
+    let boundary = |i: i64| -> Ratio {
+        if i < 0 || i as usize >= n {
+            Ratio::ZERO
+        } else {
+            alpha[i as usize]
+        }
+    };
+    for lo in 0..n {
+        let mut interior_min = alpha[lo];
+        for hi in lo..n {
+            interior_min = interior_min.min(alpha[hi]);
+            let outside = boundary(lo as i64 - 1).max(boundary(hi as i64 + 1));
+            let h = interior_min - outside;
+            if h.is_positive() {
+                out.push(IntervalWeight { lo, hi, h });
+            }
+        }
+    }
+    out
+}
+
+/// Reconstructs `α_i = Σ_{T∋i} h(T)` from an interval weighting.
+pub fn h_to_alpha(n: usize, h: &[IntervalWeight]) -> Vec<Ratio> {
+    let mut alpha = vec![Ratio::ZERO; n];
+    for iw in h {
+        for cell in alpha.iter_mut().take(iw.hi + 1).skip(iw.lo) {
+            *cell = *cell + iw.h;
+        }
+    }
+    alpha
+}
+
+/// `Σ_T h(T)·|T|` — the left side of the budget identity.
+pub fn h_mass(h: &[IntervalWeight]) -> Ratio {
+    h.iter().fold(Ratio::ZERO, |acc, iw| {
+        acc + iw.h * Ratio::from_integer((iw.hi - iw.lo + 1) as i128)
+    })
+}
+
+/// Whether the positive-`h` intervals form a laminar family (any two are
+/// nested or disjoint) — the structural claim inside Lemma 2.2.1's proof.
+pub fn is_laminar(h: &[IntervalWeight]) -> bool {
+    for (k, a) in h.iter().enumerate() {
+        for b in &h[k + 1..] {
+            let disjoint = a.hi < b.lo || b.hi < a.lo;
+            let a_in_b = b.lo <= a.lo && a.hi <= b.hi;
+            let b_in_a = a.lo <= b.lo && b.hi <= a.hi;
+            if !(disjoint || a_in_b || b_in_a) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The objective of LP (2.3): `Σ_j d(j) · Σ_{T ⊇ N_r(j)} h(T)` over a 1-D
+/// window, with `N_r(j)` the radius-`r` interval around `j` clipped to the
+/// window.
+pub fn objective_23(d: &[u64], r: usize, h: &[IntervalWeight]) -> Ratio {
+    let n = d.len();
+    let mut total = Ratio::ZERO;
+    for (j, &dj) in d.iter().enumerate() {
+        if dj == 0 {
+            continue;
+        }
+        let lo = j.saturating_sub(r);
+        let hi = (j + r).min(n - 1);
+        let mut cover = Ratio::ZERO;
+        for iw in h {
+            if iw.lo <= lo && hi <= iw.hi {
+                cover = cover + iw.h;
+            }
+        }
+        total = total + Ratio::from_integer(dj as i128) * cover;
+    }
+    total
+}
+
+/// The objective of LP (2.2): `Σ_j d(j) · min_{|i−j|≤r} α_i` over the same
+/// clipped window.
+pub fn objective_22(d: &[u64], r: usize, alpha: &[Ratio]) -> Ratio {
+    let n = d.len();
+    let mut total = Ratio::ZERO;
+    for (j, &dj) in d.iter().enumerate() {
+        if dj == 0 {
+            continue;
+        }
+        let lo = j.saturating_sub(r);
+        let hi = (j + r).min(n - 1);
+        let m = (lo..=hi).map(|i| alpha[i]).min().expect("nonempty window");
+        total = total + Ratio::from_integer(dj as i128) * m;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Ratio {
+        Ratio::from_integer(n)
+    }
+
+    #[test]
+    fn simple_peak() {
+        let alpha = [r(1), r(2), r(1)];
+        let h = alpha_to_h(&alpha);
+        assert!(is_laminar(&h));
+        assert_eq!(h_to_alpha(3, &h), alpha.to_vec());
+        assert_eq!(h_mass(&h), r(4)); // Σ α_i
+    }
+
+    #[test]
+    fn plateau() {
+        let alpha = [r(3), r(3), r(3)];
+        let h = alpha_to_h(&alpha);
+        assert_eq!(h.len(), 1);
+        assert_eq!(
+            h[0],
+            IntervalWeight {
+                lo: 0,
+                hi: 2,
+                h: r(3)
+            }
+        );
+    }
+
+    #[test]
+    fn two_peaks_disjoint() {
+        let alpha = [r(2), r(0), r(5)];
+        let h = alpha_to_h(&alpha);
+        assert!(is_laminar(&h));
+        assert_eq!(h_to_alpha(3, &h), alpha.to_vec());
+        // Components {0} at 2 and {2} at 5.
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn staircase_reconstructs() {
+        let alpha = [r(1), r(2), r(3), r(2), r(1)];
+        let h = alpha_to_h(&alpha);
+        assert!(is_laminar(&h));
+        assert_eq!(h_to_alpha(5, &h), alpha.to_vec());
+        assert_eq!(h_mass(&h), r(9));
+    }
+
+    #[test]
+    fn fractional_profile() {
+        let alpha = [Ratio::new(1, 2), Ratio::new(3, 4), Ratio::new(1, 4)];
+        let h = alpha_to_h(&alpha);
+        assert!(is_laminar(&h));
+        assert_eq!(h_to_alpha(3, &h), alpha.to_vec());
+        assert_eq!(
+            h_mass(&h),
+            Ratio::new(1, 2) + Ratio::new(3, 4) + Ratio::new(1, 4)
+        );
+    }
+
+    #[test]
+    fn objectives_agree() {
+        // The heart of Lemma 2.2.1: objective (2.2) == objective (2.3) when h
+        // is derived from α.
+        let alpha = [r(1), r(4), r(4), r(2), r(0), r(3)];
+        let h = alpha_to_h(&alpha);
+        let d = [0u64, 3, 1, 0, 2, 5];
+        for radius in 0..=3usize {
+            assert_eq!(
+                objective_22(&d, radius, &alpha),
+                objective_23(&d, radius, &h),
+                "radius={radius}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_profile_empty_h() {
+        let alpha = [Ratio::ZERO; 4];
+        assert!(alpha_to_h(&alpha).is_empty());
+    }
+
+    #[test]
+    fn non_laminar_detected() {
+        // Hand-built overlapping intervals are rejected by the checker.
+        let bad = [
+            IntervalWeight {
+                lo: 0,
+                hi: 2,
+                h: r(1),
+            },
+            IntervalWeight {
+                lo: 1,
+                hi: 3,
+                h: r(1),
+            },
+        ];
+        assert!(!is_laminar(&bad));
+    }
+}

@@ -1,0 +1,273 @@
+//! Maximum-density subset selection: `max_T Σ_{x∈T} w(x) / |cover(T)|`.
+//!
+//! This is the right-hand side of Lemma 2.2.2 in abstract form: *items* carry
+//! weights (demands `d(x)`) and each item covers a set of *cells* (the ball
+//! `N_r(x)`); selecting a set `T` of items incurs the union of their covers,
+//! and we maximize the weight-to-cover-size ratio.
+//!
+//! The solver uses Dinkelbach's algorithm over exact rationals: for a guess
+//! `λ = p/q`, the sign of `max_T (q·Σw − p·|cover(T)|)` is decided by a
+//! min-cut on a project-selection network (source → item with capacity
+//! `q·w`, item → covered cell with capacity `∞`, cell → sink with capacity
+//! `p`). The maximizer is the source side of the cut; the ratio strictly
+//! increases each round, so the iteration terminates at the exact optimum.
+
+use crate::maxflow::{FlowNetwork, INF};
+use cmvrp_util::Ratio;
+
+/// An instance of the maximum-density subset problem.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_flow::DensityProblem;
+///
+/// // Two items covering overlapping cells; picking both shares the cover.
+/// let p = DensityProblem::new(vec![3, 3], vec![vec![0, 1], vec![1, 2]], 3);
+/// let r = p.solve();
+/// assert_eq!(r.ratio, cmvrp_util::Ratio::new(6, 3)); // both items, cells {0,1,2}
+/// assert_eq!(r.subset, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityProblem {
+    weights: Vec<u64>,
+    cover: Vec<Vec<usize>>,
+    num_cells: usize,
+}
+
+/// The result of a density solve: the optimal ratio and one maximizing
+/// subset of item indices (sorted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DensityResult {
+    /// The optimum `max_T Σ w / |cover(T)|`.
+    pub ratio: Ratio,
+    /// A subset attaining the optimum (item indices, ascending).
+    pub subset: Vec<usize>,
+    /// Number of Dinkelbach iterations performed (for diagnostics/benches).
+    pub iterations: usize,
+}
+
+impl DensityProblem {
+    /// Creates an instance with `weights[i]` the weight of item `i` and
+    /// `cover[i]` the cells item `i` covers (indices `< num_cells`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` and `cover` disagree in length, a cover index is
+    /// out of range, or any item has an empty cover while having positive
+    /// weight (its ratio would be unbounded — on the grid every item covers
+    /// at least itself).
+    pub fn new(weights: Vec<u64>, cover: Vec<Vec<usize>>, num_cells: usize) -> Self {
+        assert_eq!(weights.len(), cover.len(), "weights/cover length mismatch");
+        for (i, c) in cover.iter().enumerate() {
+            assert!(
+                c.iter().all(|&j| j < num_cells),
+                "cover index out of range for item {i}"
+            );
+            assert!(
+                !(c.is_empty() && weights[i] > 0),
+                "item {i} has positive weight but empty cover"
+            );
+        }
+        DensityProblem {
+            weights,
+            cover,
+            num_cells,
+        }
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Evaluates `Σ_{i∈subset} w_i / |∪ cover|` for an explicit subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subset covers no cells (e.g. is empty).
+    pub fn ratio_of(&self, subset: &[usize]) -> Ratio {
+        let w: u64 = subset.iter().map(|&i| self.weights[i]).sum();
+        let mut cells = vec![false; self.num_cells];
+        for &i in subset {
+            for &c in &self.cover[i] {
+                cells[c] = true;
+            }
+        }
+        let n = cells.iter().filter(|&&b| b).count();
+        assert!(n > 0, "subset has empty cover");
+        Ratio::new(w as i128, n as i128)
+    }
+
+    /// For a guess `λ`, computes `max_T (Σ_{i∈T} w_i − λ·|cover(T)|)` (over
+    /// all subsets including the empty set) and a maximizing subset.
+    fn excess(&self, lambda: Ratio) -> (Ratio, Vec<usize>) {
+        let p = lambda.numer();
+        let q = lambda.denom();
+        assert!(p >= 0, "negative lambda");
+        let n = self.weights.len();
+        let m = self.num_cells;
+        // Node layout: 0 = source, 1..=n items, n+1..=n+m cells, n+m+1 sink.
+        let source = 0usize;
+        let sink = n + m + 1;
+        let mut net = FlowNetwork::new(n + m + 2);
+        let mut total: i128 = 0;
+        for (i, &w) in self.weights.iter().enumerate() {
+            let cap = w as i128 * q;
+            total += cap;
+            net.add_edge(source, 1 + i, cap);
+            for &c in &self.cover[i] {
+                net.add_edge(1 + i, 1 + n + c, INF);
+            }
+        }
+        for c in 0..m {
+            net.add_edge(1 + n + c, sink, p);
+        }
+        let cut = net.max_flow(source, sink);
+        let side = net.min_cut_source_side(source);
+        let subset: Vec<usize> = (0..n).filter(|&i| side[1 + i]).collect();
+        (Ratio::new(total - cut, q), subset)
+    }
+
+    /// Solves for the maximum density. Returns ratio 0 with an empty subset
+    /// when every weight is zero.
+    pub fn solve(&self) -> DensityResult {
+        let total_w: u64 = self.weights.iter().sum();
+        if total_w == 0 {
+            return DensityResult {
+                ratio: Ratio::ZERO,
+                subset: Vec::new(),
+                iterations: 0,
+            };
+        }
+        // Initial guess: the ratio of the full support.
+        let support: Vec<usize> = (0..self.weights.len())
+            .filter(|&i| self.weights[i] > 0)
+            .collect();
+        let mut lambda = self.ratio_of(&support);
+        let mut best_subset = support;
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(iterations <= 10_000, "Dinkelbach failed to converge");
+            let (excess, subset) = self.excess(lambda);
+            if !excess.is_positive() || subset.is_empty() {
+                return DensityResult {
+                    ratio: lambda,
+                    subset: best_subset,
+                    iterations,
+                };
+            }
+            let next = self.ratio_of(&subset);
+            debug_assert!(next > lambda, "Dinkelbach ratio must increase");
+            lambda = next;
+            best_subset = subset;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive reference solver over all nonempty subsets.
+    fn brute(problem: &DensityProblem) -> Ratio {
+        let n = problem.num_items();
+        assert!(n <= 16);
+        let mut best = Ratio::ZERO;
+        for mask in 1u32..(1 << n) {
+            let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+            if subset.iter().all(|&i| problem.cover[i].is_empty()) {
+                continue;
+            }
+            let r = problem.ratio_of(&subset);
+            if r > best {
+                best = r;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn single_item() {
+        let p = DensityProblem::new(vec![10], vec![vec![0, 1, 2]], 3);
+        let r = p.solve();
+        assert_eq!(r.ratio, Ratio::new(10, 3));
+        assert_eq!(r.subset, vec![0]);
+    }
+
+    #[test]
+    fn prefers_denser_item() {
+        let p = DensityProblem::new(vec![10, 9], vec![vec![0, 1, 2], vec![3]], 4);
+        let r = p.solve();
+        assert_eq!(r.ratio, Ratio::new(9, 1));
+        assert_eq!(r.subset, vec![1]);
+    }
+
+    #[test]
+    fn shared_cover_encourages_grouping() {
+        // Separately 5/3 each; together (5+5)/4 = 5/2 > 5/3.
+        let p = DensityProblem::new(vec![5, 5], vec![vec![0, 1, 2], vec![1, 2, 3]], 4);
+        let r = p.solve();
+        assert_eq!(r.ratio, Ratio::new(10, 4));
+        assert_eq!(r.subset, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_weights() {
+        let p = DensityProblem::new(vec![0, 0], vec![vec![0], vec![1]], 2);
+        let r = p.solve();
+        assert_eq!(r.ratio, Ratio::ZERO);
+        assert!(r.subset.is_empty());
+    }
+
+    #[test]
+    fn zero_weight_item_with_empty_cover_allowed() {
+        let p = DensityProblem::new(vec![0, 4], vec![vec![], vec![0]], 1);
+        assert_eq!(p.solve().ratio, Ratio::new(4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cover")]
+    fn positive_weight_empty_cover_rejected() {
+        let _ = DensityProblem::new(vec![1], vec![vec![]], 0);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        for trial in 0..30 {
+            let n = rng.gen_range(1..=8);
+            let m = rng.gen_range(1..=6);
+            let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(0..20)).collect();
+            let cover: Vec<Vec<usize>> = (0..n)
+                .map(|_| {
+                    let k = rng.gen_range(1..=m);
+                    let mut c: Vec<usize> = (0..k).map(|_| rng.gen_range(0..m)).collect();
+                    c.sort_unstable();
+                    c.dedup();
+                    c
+                })
+                .collect();
+            let p = DensityProblem::new(weights, cover, m);
+            let got = p.solve();
+            let want = brute(&p);
+            assert_eq!(got.ratio, want, "trial {trial}");
+            if !got.subset.is_empty() {
+                assert_eq!(p.ratio_of(&got.subset), got.ratio, "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_subset_attains_ratio() {
+        let p = DensityProblem::new(
+            vec![7, 2, 9, 1],
+            vec![vec![0, 1], vec![1], vec![2, 3, 4], vec![4]],
+            5,
+        );
+        let r = p.solve();
+        assert_eq!(p.ratio_of(&r.subset), r.ratio);
+    }
+}

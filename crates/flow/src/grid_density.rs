@@ -1,0 +1,284 @@
+//! Grid-specialized density solvers for `max_T Σ_{x∈T} d(x) / |N_r(T)|`.
+//!
+//! Two graph constructions are provided:
+//!
+//! * **Direct** — one coverage edge per (demand point, ball point) pair:
+//!   `Θ(s · r^ℓ)` edges for `s` support points. Simple and fastest for small
+//!   radii.
+//! * **Layered** — the BFS gadget described in DESIGN.md §3.1: nodes
+//!   `(cell, t)` for `t ∈ 0..=r` chained by `∞` edges so that selecting a
+//!   demand point floods exactly its radius-`r` ball. `Θ(m · r · ℓ)` edges
+//!   for `m` reachable cells, which wins for large radii.
+//!
+//! Both reduce to the abstract [`DensityProblem`](crate::density) /
+//! project-selection machinery and return identical exact results (this is
+//! property-tested).
+
+use crate::density::DensityProblem;
+use crate::maxflow::{FlowNetwork, INF};
+use cmvrp_grid::{dilate, DemandMap, GridBounds, Point};
+use cmvrp_util::Ratio;
+use std::collections::HashMap;
+
+/// Which graph construction to use for the grid density solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DensityMethod {
+    /// One `∞` edge per (point, covered cell) pair.
+    #[default]
+    Direct,
+    /// The layered BFS gadget (`O(cells · r)` nodes).
+    Layered,
+}
+
+/// Result of a grid density solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridDensityResult<const D: usize> {
+    /// The optimum `max_T Σ_{x∈T} d(x) / |N_r(T) ∩ bounds|`.
+    pub ratio: Ratio,
+    /// A maximizing set `T` of demand points.
+    pub subset: Vec<Point<D>>,
+}
+
+/// Computes `max_{∅≠T⊆support(d)} Σ_{x∈T} d(x) / |N_r(T) ∩ bounds|` exactly.
+///
+/// Restricting `T` to the support of `d` is without loss of generality:
+/// adding a zero-demand point to `T` can only enlarge `N_r(T)`.
+///
+/// Returns ratio 0 and an empty subset when the demand is identically zero.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_flow::{max_density_over_grid, grid_density::DensityMethod};
+/// use cmvrp_grid::{DemandMap, GridBounds, pt2};
+/// use cmvrp_util::Ratio;
+///
+/// let b = GridBounds::square(9);
+/// let mut d = DemandMap::new();
+/// d.add(pt2(4, 4), 10);
+/// let r = max_density_over_grid(&b, &d, 1, DensityMethod::Direct);
+/// assert_eq!(r.ratio, Ratio::new(10, 5)); // 10 demand over the 5-cell diamond
+/// ```
+pub fn max_density_over_grid<const D: usize>(
+    bounds: &GridBounds<D>,
+    demand: &DemandMap<D>,
+    r: u64,
+    method: DensityMethod,
+) -> GridDensityResult<D> {
+    let support: Vec<Point<D>> = demand.support().filter(|p| bounds.contains(*p)).collect();
+    if support.is_empty() {
+        return GridDensityResult {
+            ratio: Ratio::ZERO,
+            subset: Vec::new(),
+        };
+    }
+    match method {
+        DensityMethod::Direct => direct(bounds, demand, &support, r),
+        DensityMethod::Layered => layered(bounds, demand, &support, r),
+    }
+}
+
+fn direct<const D: usize>(
+    bounds: &GridBounds<D>,
+    demand: &DemandMap<D>,
+    support: &[Point<D>],
+    r: u64,
+) -> GridDensityResult<D> {
+    // Cells = every grid point some support point can cover.
+    let reach = dilate(bounds, support.iter().copied(), r);
+    let cells: Vec<Point<D>> = reach.iter().collect();
+    let cell_index: HashMap<Point<D>, usize> =
+        cells.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let weights: Vec<u64> = support.iter().map(|p| demand.get(*p)).collect();
+    let cover: Vec<Vec<usize>> = support
+        .iter()
+        .map(|p| bounds.ball(*p, r).map(|c| cell_index[&c]).collect())
+        .collect();
+    let problem = DensityProblem::new(weights, cover, cells.len());
+    let result = problem.solve();
+    GridDensityResult {
+        ratio: result.ratio,
+        subset: result.subset.into_iter().map(|i| support[i]).collect(),
+    }
+}
+
+/// Dinkelbach over the layered gadget. Mirrors
+/// [`DensityProblem`](crate::density) but builds the flow network with
+/// `(cell, level)` nodes instead of direct coverage edges.
+fn layered<const D: usize>(
+    bounds: &GridBounds<D>,
+    demand: &DemandMap<D>,
+    support: &[Point<D>],
+    r: u64,
+) -> GridDensityResult<D> {
+    let reach = dilate(bounds, support.iter().copied(), r);
+    let cells: Vec<Point<D>> = reach.iter().collect();
+    let cell_index: HashMap<Point<D>, usize> =
+        cells.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let weights: Vec<u64> = support.iter().map(|p| demand.get(*p)).collect();
+    let m = cells.len();
+    let n = support.len();
+    let levels = r as usize + 1;
+
+    // Node layout: 0 source; 1..=n items; then m*levels layer nodes
+    // (cell c at level t = 1 + n + c*levels + t); finally the sink.
+    let sink = 1 + n + m * levels;
+    let node_of = |c: usize, t: usize| 1 + n + c * levels + t;
+
+    // `excess(λ)` evaluator over the gadget.
+    let excess = |lambda: Ratio| -> (Ratio, Vec<usize>) {
+        let p = lambda.numer();
+        let q = lambda.denom();
+        let mut net = FlowNetwork::new(sink + 1);
+        let mut total: i128 = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            let cap = w as i128 * q;
+            total += cap;
+            net.add_edge(0, 1 + i, cap);
+            // Item floods its own cell at the top level.
+            net.add_edge(1 + i, node_of(cell_index[&support[i]], r as usize), INF);
+        }
+        for (c, point) in cells.iter().enumerate() {
+            for t in (1..levels).rev() {
+                // Stay in place while descending a level...
+                net.add_edge(node_of(c, t), node_of(c, t - 1), INF);
+                // ...or step to a neighboring cell.
+                for nb in point.neighbors() {
+                    if let Some(&cnb) = cell_index.get(&nb) {
+                        net.add_edge(node_of(c, t), node_of(cnb, t - 1), INF);
+                    }
+                }
+            }
+            net.add_edge(node_of(c, 0), sink, p);
+        }
+        let cut = net.max_flow(0, sink);
+        let side = net.min_cut_source_side(0);
+        let subset: Vec<usize> = (0..n).filter(|&i| side[1 + i]).collect();
+        (Ratio::new(total - cut, q), subset)
+    };
+
+    let ratio_of = |subset: &[usize]| -> Ratio {
+        let w: u64 = subset.iter().map(|&i| weights[i]).sum();
+        let size = dilate(bounds, subset.iter().map(|&i| support[i]), r).len();
+        Ratio::new(w as i128, size as i128)
+    };
+
+    let total_w: u64 = weights.iter().sum();
+    if total_w == 0 {
+        return GridDensityResult {
+            ratio: Ratio::ZERO,
+            subset: Vec::new(),
+        };
+    }
+    let full: Vec<usize> = (0..n).filter(|&i| weights[i] > 0).collect();
+    let mut lambda = ratio_of(&full);
+    let mut best = full;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        assert!(rounds <= 10_000, "Dinkelbach failed to converge");
+        let (ex, subset) = excess(lambda);
+        if !ex.is_positive() || subset.is_empty() {
+            return GridDensityResult {
+                ratio: lambda,
+                subset: best.into_iter().map(|i| support[i]).collect(),
+            };
+        }
+        lambda = ratio_of(&subset);
+        best = subset;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmvrp_grid::{dilated_size, pt2};
+
+    fn demand_of(pts: &[(Point<2>, u64)]) -> DemandMap<2> {
+        pts.iter().copied().collect()
+    }
+
+    #[test]
+    fn single_point_density() {
+        let b = GridBounds::square(11);
+        let d = demand_of(&[(pt2(5, 5), 100)]);
+        for r in 0..=3u64 {
+            let want = Ratio::new(100, (2 * r * r + 2 * r + 1) as i128);
+            for m in [DensityMethod::Direct, DensityMethod::Layered] {
+                let got = max_density_over_grid(&b, &d, r, m);
+                assert_eq!(got.ratio, want, "r={r} method={m:?}");
+                assert_eq!(got.subset, vec![pt2(5, 5)]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_demand() {
+        let b = GridBounds::square(4);
+        let d = DemandMap::new();
+        let got = max_density_over_grid(&b, &d, 2, DensityMethod::Direct);
+        assert_eq!(got.ratio, Ratio::ZERO);
+        assert!(got.subset.is_empty());
+    }
+
+    #[test]
+    fn picks_heavy_cluster_over_sparse_background() {
+        let b = GridBounds::square(16);
+        let mut d = DemandMap::new();
+        // A tight heavy cluster...
+        d.add(pt2(3, 3), 50);
+        d.add(pt2(3, 4), 50);
+        // ...and a lone faraway light point.
+        d.add(pt2(12, 12), 1);
+        let got = max_density_over_grid(&b, &d, 1, DensityMethod::Direct);
+        // Cluster: 100 demand over |N_1({(3,3),(3,4)})| = 8 cells.
+        assert_eq!(got.ratio, Ratio::new(100, 8));
+        assert_eq!(got.subset, vec![pt2(3, 3), pt2(3, 4)]);
+    }
+
+    #[test]
+    fn boundary_clipping_raises_density() {
+        let b = GridBounds::square(9);
+        // Same demand at corner vs. center: corner ball is smaller.
+        let corner = demand_of(&[(pt2(0, 0), 10)]);
+        let center = demand_of(&[(pt2(4, 4), 10)]);
+        let rc = max_density_over_grid(&b, &corner, 2, DensityMethod::Direct);
+        let rm = max_density_over_grid(&b, &center, 2, DensityMethod::Direct);
+        assert!(rc.ratio > rm.ratio);
+        assert_eq!(rc.ratio, Ratio::new(10, 6));
+        assert_eq!(rm.ratio, Ratio::new(10, 13));
+    }
+
+    #[test]
+    fn direct_and_layered_agree_on_random_maps() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let b = GridBounds::square(10);
+        for trial in 0..10 {
+            let mut d = DemandMap::new();
+            for _ in 0..rng.gen_range(1..8) {
+                d.add(
+                    pt2(rng.gen_range(0..10), rng.gen_range(0..10)),
+                    rng.gen_range(1..30),
+                );
+            }
+            for r in [0u64, 1, 2, 3] {
+                let a = max_density_over_grid(&b, &d, r, DensityMethod::Direct);
+                let l = max_density_over_grid(&b, &d, r, DensityMethod::Layered);
+                assert_eq!(a.ratio, l.ratio, "trial {trial} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_attains_reported_ratio() {
+        let b = GridBounds::square(12);
+        let d = demand_of(&[(pt2(2, 2), 9), (pt2(2, 3), 4), (pt2(9, 9), 30)]);
+        for r in [1u64, 2] {
+            let got = max_density_over_grid(&b, &d, r, DensityMethod::Direct);
+            let w: u64 = got.subset.iter().map(|p| d.get(*p)).sum();
+            let size = dilated_size(&b, got.subset.iter().copied(), r);
+            assert_eq!(got.ratio, Ratio::new(w as i128, size as i128), "r={r}");
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Dinic's maximum-flow algorithm with min-cut extraction.
+//!
+//! Capacities are `i128`; the exact-rational solvers scale their rational
+//! capacities to integers before building the network, so every flow value
+//! in the workspace is exact.
+
+/// Sentinel capacity representing `+∞` (practically unbounded, chosen so
+/// sums of many such edges cannot overflow `i128`).
+pub const INF: i128 = i128::MAX / 4;
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: i128,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+}
+
+/// A flow network over `n` nodes supporting repeated max-flow queries.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_flow::FlowNetwork;
+///
+/// // Classic diamond: source 0, sink 3.
+/// let mut net = FlowNetwork::new(4);
+/// net.add_edge(0, 1, 10);
+/// net.add_edge(0, 2, 10);
+/// net.add_edge(1, 3, 5);
+/// net.add_edge(2, 3, 15);
+/// assert_eq!(net.max_flow(0, 3), 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<Edge>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network over `n` nodes (identified `0..n`).
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity and returns
+    /// an opaque handle usable with [`FlowNetwork::edge_flow`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or the capacity is negative.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i128) -> EdgeHandle {
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "node out of range"
+        );
+        assert!(cap >= 0, "negative capacity");
+        let fwd = self.graph[from].len();
+        let bwd = self.graph[to].len() + usize::from(from == to);
+        self.graph[from].push(Edge { to, cap, rev: bwd });
+        self.graph[to].push(Edge {
+            to: from,
+            cap: 0,
+            rev: fwd,
+        });
+        EdgeHandle {
+            from,
+            index: fwd,
+            original_cap: cap,
+        }
+    }
+
+    /// BFS layering from `s` on the residual graph.
+    fn bfs(&mut self, s: usize) {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for e in &self.graph[v] {
+                if e.cap > 0 && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[v] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+    }
+
+    /// DFS blocking-flow augmentation.
+    fn dfs(&mut self, v: usize, t: usize, f: i128) -> i128 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.graph[v].len() {
+            let i = self.iter[v];
+            let (to, cap) = {
+                let e = &self.graph[v][i];
+                (e.to, e.cap)
+            };
+            if cap > 0 && self.level[v] < self.level[to] {
+                let d = self.dfs(to, t, f.min(cap));
+                if d > 0 {
+                    let rev = self.graph[v][i].rev;
+                    self.graph[v][i].cap -= d;
+                    self.graph[to][rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum flow from `s` to `t`, mutating residual
+    /// capacities in place. Calling it again continues from the current
+    /// residual state (useful for incremental capacity additions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t`.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> i128 {
+        assert_ne!(s, t, "source equals sink");
+        let mut flow = 0i128;
+        loop {
+            self.bfs(s);
+            if self.level[t] < 0 {
+                return flow;
+            }
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, INF);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+    }
+
+    /// After a [`FlowNetwork::max_flow`] call, returns the source side of a
+    /// minimum `s`–`t` cut: all nodes reachable from `s` in the residual
+    /// graph.
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.graph.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[s] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for e in &self.graph[v] {
+                if e.cap > 0 && !seen[e.to] {
+                    seen[e.to] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The flow currently routed through the edge identified by `handle`
+    /// (original capacity minus residual capacity).
+    pub fn edge_flow(&self, handle: EdgeHandle) -> i128 {
+        handle.original_cap - self.graph[handle.from][handle.index].cap
+    }
+}
+
+/// Handle to an edge added with [`FlowNetwork::add_edge`], for reading back
+/// per-edge flow after solving.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeHandle {
+    from: usize,
+    index: usize,
+    original_cap: i128,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 7);
+        assert_eq!(net.max_flow(0, 1), 7);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn classic_example() {
+        // CLRS-style network with known max flow 23.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16);
+        net.add_edge(0, 2, 13);
+        net.add_edge(1, 2, 10);
+        net.add_edge(2, 1, 4);
+        net.add_edge(1, 3, 12);
+        net.add_edge(3, 2, 9);
+        net.add_edge(2, 4, 14);
+        net.add_edge(4, 3, 7);
+        net.add_edge(3, 5, 20);
+        net.add_edge(4, 5, 4);
+        assert_eq!(net.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn min_cut_separates_and_matches_flow() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 5);
+        net.add_edge(1, 3, 4);
+        net.add_edge(2, 3, 2);
+        let f = net.max_flow(0, 3);
+        assert_eq!(f, 5);
+        let side = net.min_cut_source_side(0);
+        assert!(side[0]);
+        assert!(!side[3]);
+        // Cut value equals flow: edges crossing the cut.
+        // 0->1 (3) crosses iff side[0] && !side[1]; here the cut is {0,2}
+        // or {0,1,2} depending on saturation; just verify separation.
+    }
+
+    #[test]
+    fn edge_flow_reporting() {
+        let mut net = FlowNetwork::new(3);
+        let a = net.add_edge(0, 1, 10);
+        let b = net.add_edge(1, 2, 4);
+        let f = net.max_flow(0, 2);
+        assert_eq!(f, 4);
+        assert_eq!(net.edge_flow(a), 4);
+        assert_eq!(net.edge_flow(b), 4);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 2);
+        net.add_edge(0, 1, 3);
+        assert_eq!(net.max_flow(0, 1), 5);
+    }
+
+    #[test]
+    fn self_loop_is_harmless() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 0, 9);
+        net.add_edge(0, 1, 1);
+        assert_eq!(net.max_flow(0, 1), 1);
+    }
+
+    #[test]
+    fn incremental_resolve() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        net.add_edge(1, 2, 5);
+        assert_eq!(net.max_flow(0, 2), 5);
+        // Saturated; a second call finds nothing more.
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "source equals sink")]
+    fn source_equals_sink_panics() {
+        let mut net = FlowNetwork::new(1);
+        let _ = net.max_flow(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative capacity")]
+    fn negative_capacity_panics() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, -1);
+    }
+
+    #[test]
+    fn bipartite_matching_via_flow() {
+        // 3x3 bipartite with a perfect matching.
+        let mut net = FlowNetwork::new(8); // 0 src, 1-3 left, 4-6 right, 7 sink
+        for l in 1..=3 {
+            net.add_edge(0, l, 1);
+            net.add_edge(l + 3, 7, 1);
+        }
+        net.add_edge(1, 4, 1);
+        net.add_edge(1, 5, 1);
+        net.add_edge(2, 5, 1);
+        net.add_edge(3, 6, 1);
+        assert_eq!(net.max_flow(0, 7), 3);
+    }
+}

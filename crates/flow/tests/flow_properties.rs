@@ -1,0 +1,121 @@
+//! Property tests for the flow substrate: max-flow/min-cut duality on
+//! random networks, and min-cost optimality against exhaustive search.
+
+use cmvrp_flow::mincost::MinCostFlow;
+use cmvrp_flow::FlowNetwork;
+use proptest::prelude::*;
+
+/// A random small network description: edge list over `n` nodes.
+fn network_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, u8)>)> {
+    (3usize..8).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n, 0u8..12), 1..20);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Max-flow equals min-cut capacity (strong duality) on random graphs.
+    #[test]
+    fn max_flow_equals_cut_capacity((n, edges) in network_strategy()) {
+        let mut net = FlowNetwork::new(n);
+        let mut kept: Vec<(usize, usize, i128)> = Vec::new();
+        for (u, v, c) in edges {
+            if u != v {
+                net.add_edge(u, v, c as i128);
+                kept.push((u, v, c as i128));
+            }
+        }
+        let s = 0;
+        let t = n - 1;
+        let flow = net.max_flow(s, t);
+        let side = net.min_cut_source_side(s);
+        prop_assert!(side[s]);
+        prop_assert!(!side[t]);
+        // Capacity of the returned cut equals the flow value.
+        let cut: i128 = kept
+            .iter()
+            .filter(|&&(u, v, _)| side[u] && !side[v])
+            .map(|&(_, _, c)| c)
+            .sum();
+        prop_assert_eq!(flow, cut);
+    }
+
+    /// Min-cost flow reaches the max-flow value and never undercuts the
+    /// naive lower bound `flow * min_edge_cost_on_some_path`.
+    #[test]
+    fn min_cost_flow_value_matches_dinic((n, edges) in network_strategy()) {
+        let mut dinic = FlowNetwork::new(n);
+        let mut mc = MinCostFlow::new(n);
+        for (u, v, c) in &edges {
+            if u != v {
+                dinic.add_edge(*u, *v, *c as i128);
+                mc.add_edge(*u, *v, *c as i128, (*c as i64 % 5) + 1);
+            }
+        }
+        let want = dinic.max_flow(0, n - 1);
+        let (got, cost) = mc.max_flow_min_cost(0, n - 1);
+        prop_assert_eq!(got, want);
+        prop_assert!(cost >= got); // every unit pays cost >= 1 per hop
+    }
+
+    /// Sending the flow in two stages costs the same as in one (greedy SSP
+    /// paths are globally optimal per unit).
+    #[test]
+    fn staged_flow_costs_match((n, edges) in network_strategy()) {
+        let build = || {
+            let mut mc = MinCostFlow::new(n);
+            for (u, v, c) in &edges {
+                if u != v {
+                    mc.add_edge(*u, *v, *c as i128, (*c as i64 % 7) + 1);
+                }
+            }
+            mc
+        };
+        let mut whole = build();
+        let (flow, cost) = whole.max_flow_min_cost(0, n - 1);
+        if flow >= 2 {
+            let half = flow / 2;
+            let mut staged = build();
+            let (f1, c1) = staged.flow_with_limit(0, n - 1, half);
+            let (f2, c2) = staged.flow_with_limit(0, n - 1, flow - half);
+            prop_assert_eq!(f1 + f2, flow);
+            prop_assert_eq!(c1 + c2, cost);
+        }
+    }
+}
+
+/// Exhaustive optimality check on a tiny fixed family: enumerate all
+/// integral flows on a 2-path network and compare.
+#[test]
+fn min_cost_is_exhaustively_optimal_on_two_paths() {
+    // Two disjoint 2-edge paths from s to t with differing costs and caps.
+    for cap_a in 0..4i128 {
+        for cap_b in 0..4i128 {
+            for cost_a in 1..4i64 {
+                for cost_b in 1..4i64 {
+                    let mut mc = MinCostFlow::new(4);
+                    mc.add_edge(0, 1, cap_a, cost_a);
+                    mc.add_edge(1, 3, cap_a, cost_a);
+                    mc.add_edge(0, 2, cap_b, cost_b);
+                    mc.add_edge(2, 3, cap_b, cost_b);
+                    let (flow, cost) = mc.max_flow_min_cost(0, 3);
+                    assert_eq!(flow, cap_a + cap_b);
+                    // Brute force: route x on path A, rest on path B.
+                    let mut best = i128::MAX;
+                    for x in 0..=cap_a {
+                        let y = flow - x;
+                        if y <= cap_b {
+                            best = best.min(x * 2 * cost_a as i128 + y * 2 * cost_b as i128);
+                        }
+                    }
+                    assert_eq!(
+                        cost, best,
+                        "caps ({cap_a},{cap_b}) costs ({cost_a},{cost_b})"
+                    );
+                }
+            }
+        }
+    }
+}

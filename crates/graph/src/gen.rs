@@ -1,0 +1,127 @@
+//! Graph generators, including the grid graph used for cross-validation
+//! against the lattice implementation.
+
+use crate::graph::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The `w×h` grid graph with unit edges. Returns the graph and an index
+/// function `(x, y) → vertex id` (row-major).
+///
+/// # Panics
+///
+/// Panics if `w == 0 || h == 0`.
+pub fn grid_graph(w: usize, h: usize) -> (Graph, impl Fn(usize, usize) -> usize) {
+    assert!(w > 0 && h > 0, "empty grid");
+    let mut g = Graph::new(w * h);
+    let index = move |x: usize, y: usize| x * h + y;
+    for x in 0..w {
+        for y in 0..h {
+            if x + 1 < w {
+                g.add_edge(index(x, y), index(x + 1, y), 1);
+            }
+            if y + 1 < h {
+                g.add_edge(index(x, y), index(x, y + 1), 1);
+            }
+        }
+    }
+    (g, index)
+}
+
+/// A random geometric graph: `n` points uniform in a `side×side` square,
+/// connected when within Euclidean distance `radius`, with edge weight the
+/// rounded Euclidean distance (minimum 1). A spanning chain is added so the
+/// result is always connected (mirroring the thesis' connectivity
+/// assumption, §3.2).
+pub fn random_geometric(n: usize, radius: u64, side: u64, seed: u64) -> Graph {
+    assert!(n > 0, "empty graph");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<(i64, i64)> = (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..=side as i64),
+                rng.gen_range(0..=side as i64),
+            )
+        })
+        .collect();
+    let dist = |a: (i64, i64), b: (i64, i64)| -> f64 {
+        let dx = (a.0 - b.0) as f64;
+        let dy = (a.1 - b.1) as f64;
+        (dx * dx + dy * dy).sqrt()
+    };
+    let mut g = Graph::new(n);
+    let mut connected = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(pts[i], pts[j]);
+            if d <= radius as f64 {
+                g.add_edge(i, j, (d.round() as u64).max(1));
+                connected[i][j] = true;
+            }
+        }
+    }
+    // Connectivity backstop: chain consecutive points not already linked.
+    for i in 0..n.saturating_sub(1) {
+        if !connected[i][i + 1] {
+            let d = dist(pts[i], pts[i + 1]).round() as u64;
+            g.add_edge(i, i + 1, d.max(1));
+        }
+    }
+    g
+}
+
+/// A balanced binary tree over `n` vertices with uniform edge weight `w`
+/// (vertex 0 the root; children of `v` are `2v+1`, `2v+2`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `w == 0`.
+pub fn binary_tree(n: usize, w: u64) -> Graph {
+    assert!(n > 0, "empty tree");
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(v, (v - 1) / 2, w);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_graph_distances_are_manhattan() {
+        let (g, index) = grid_graph(5, 4);
+        let d = g.distances(index(0, 0));
+        assert_eq!(d[index(4, 3)], Some(7));
+        assert_eq!(d[index(2, 1)], Some(3));
+        assert_eq!(g.edge_count(), 4 * 4 + 5 * 3);
+    }
+
+    #[test]
+    fn random_geometric_is_connected() {
+        for seed in 0..5 {
+            let g = random_geometric(20, 25, 100, seed);
+            let d = g.distances(0);
+            assert!(d.iter().all(Option::is_some), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_geometric_deterministic() {
+        let a = random_geometric(15, 30, 80, 7);
+        let b = random_geometric(15, 30, 80, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.distances(3), b.distances(3));
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(7, 2);
+        let d = g.distances(0);
+        assert_eq!(d[1], Some(2));
+        assert_eq!(d[3], Some(4)); // root → 1 → 3
+        assert_eq!(d[6], Some(4)); // root → 2 → 6
+        assert_eq!(g.edge_count(), 6);
+    }
+}

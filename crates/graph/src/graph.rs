@@ -1,0 +1,338 @@
+//! Undirected weighted graphs with metric balls.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Vertex identifier (index into the graph).
+pub type VertexId = usize;
+
+/// An undirected graph with non-negative integer edge weights — the network
+/// `G = (V, E)` with road lengths `a(e)` of §1.1 of the thesis.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_graph::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 2);
+/// g.add_edge(1, 2, 3);
+/// assert_eq!(g.distances(0)[2], Some(5));
+/// assert_eq!(g.ball(0, 2).len(), 2); // {0, 1}
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<(VertexId, u64)>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// A path `0 - 1 - … - (n-1)` with uniform edge weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `w == 0`.
+    pub fn path(n: usize, w: u64) -> Self {
+        assert!(n > 0, "empty path");
+        let mut g = Graph::new(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1, w);
+        }
+        g
+    }
+
+    /// A cycle over `n ≥ 3` vertices with uniform edge weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `w == 0`.
+    pub fn cycle(n: usize, w: u64) -> Self {
+        assert!(n >= 3, "cycle needs at least 3 vertices");
+        let mut g = Graph::path(n, w);
+        g.add_edge(n - 1, 0, w);
+        g
+    }
+
+    /// A star: center 0 connected to `n-1` leaves with weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `w == 0`.
+    pub fn star(n: usize, w: u64) -> Self {
+        assert!(n > 0, "empty star");
+        let mut g = Graph::new(n);
+        for leaf in 1..n {
+            g.add_edge(0, leaf, w);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds an undirected edge of weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops, or zero weight (zero
+    /// would collapse two depots into one point; merge them instead).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: u64) {
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "vertex out of range"
+        );
+        assert_ne!(u, v, "self-loop");
+        assert!(w > 0, "zero edge weight");
+        self.adj[u].push((v, w));
+        self.adj[v].push((u, w));
+        self.edges += 1;
+    }
+
+    /// The neighbors of `v` with edge weights.
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, u64)] {
+        &self.adj[v]
+    }
+
+    /// Single-source shortest-path distances (Dijkstra); `None` for
+    /// unreachable vertices.
+    pub fn distances(&self, src: VertexId) -> Vec<Option<u64>> {
+        let mut dist: Vec<Option<u64>> = vec![None; self.adj.len()];
+        let mut heap = BinaryHeap::new();
+        dist[src] = Some(0);
+        heap.push(Reverse((0u64, src)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if dist[v] != Some(d) {
+                continue;
+            }
+            for &(u, w) in &self.adj[v] {
+                let nd = d + w;
+                if dist[u].is_none_or(|old| nd < old) {
+                    dist[u] = Some(nd);
+                    heap.push(Reverse((nd, u)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// The full distance matrix (runs Dijkstra from every vertex).
+    pub fn distance_matrix(&self) -> Vec<Vec<Option<u64>>> {
+        (0..self.adj.len()).map(|v| self.distances(v)).collect()
+    }
+
+    /// The metric ball `{ u : dist(v, u) ≤ r }`.
+    pub fn ball(&self, v: VertexId, r: u64) -> Vec<VertexId> {
+        self.distances(v)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(u, d)| (d.is_some_and(|d| d <= r)).then_some(u))
+            .collect()
+    }
+
+    /// `N_r(T)`: the union of balls around a vertex set (multi-source
+    /// Dijkstra).
+    pub fn ball_union<I: IntoIterator<Item = VertexId>>(&self, seeds: I, r: u64) -> Vec<VertexId> {
+        let mut dist: Vec<Option<u64>> = vec![None; self.adj.len()];
+        let mut heap = BinaryHeap::new();
+        for s in seeds {
+            if dist[s].is_none() {
+                dist[s] = Some(0);
+                heap.push(Reverse((0u64, s)));
+            }
+        }
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if dist[v] != Some(d) || d >= r {
+                continue;
+            }
+            for &(u, w) in &self.adj[v] {
+                let nd = d + w;
+                if nd <= r && dist[u].is_none_or(|old| nd < old) {
+                    dist[u] = Some(nd);
+                    heap.push(Reverse((nd, u)));
+                }
+            }
+        }
+        dist.into_iter()
+            .enumerate()
+            .filter_map(|(u, d)| (d.is_some_and(|d| d <= r)).then_some(u))
+            .collect()
+    }
+
+    /// All distinct finite pairwise distances, ascending — the breakpoints
+    /// of the step function `r ↦ |N_r(T)|` used by the fixed-point scan.
+    pub fn distance_levels(&self) -> Vec<u64> {
+        let mut levels: Vec<u64> = Vec::new();
+        for v in 0..self.adj.len() {
+            for d in self.distances(v).into_iter().flatten() {
+                levels.push(d);
+            }
+        }
+        levels.sort_unstable();
+        levels.dedup();
+        levels
+    }
+}
+
+/// Integer demand attached to graph vertices (the `d(x)` of §1.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphDemand {
+    demand: Vec<u64>,
+}
+
+impl GraphDemand {
+    /// Zero demand on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphDemand { demand: vec![0; n] }
+    }
+
+    /// Builds from an explicit vector.
+    pub fn from_vec(demand: Vec<u64>) -> Self {
+        GraphDemand { demand }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.demand.len()
+    }
+
+    /// Whether the demand vector is empty (zero vertices).
+    pub fn is_empty(&self) -> bool {
+        self.demand.is_empty()
+    }
+
+    /// Adds demand at a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn add(&mut self, v: VertexId, amount: u64) {
+        self.demand[v] += amount;
+    }
+
+    /// The demand at `v`.
+    pub fn get(&self, v: VertexId) -> u64 {
+        self.demand[v]
+    }
+
+    /// Total demand.
+    pub fn total(&self) -> u64 {
+        self.demand.iter().sum()
+    }
+
+    /// Vertices with positive demand.
+    pub fn support(&self) -> Vec<VertexId> {
+        (0..self.demand.len())
+            .filter(|&v| self.demand[v] > 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_distances() {
+        let g = Graph::path(4, 3);
+        let d = g.distances(0);
+        assert_eq!(d, vec![Some(0), Some(3), Some(6), Some(9)]);
+    }
+
+    #[test]
+    fn disconnected_unreachable() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1);
+        assert_eq!(g.distances(0)[2], None);
+        assert!(!g.ball(0, 100).contains(&2));
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_detour() {
+        // 0-1 weight 10 directly, or 0-2-1 at 3+3.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 10);
+        g.add_edge(0, 2, 3);
+        g.add_edge(2, 1, 3);
+        assert_eq!(g.distances(0)[1], Some(6));
+    }
+
+    #[test]
+    fn ball_union_matches_per_vertex_union() {
+        let g = Graph::cycle(8, 2);
+        for r in [0u64, 1, 2, 3, 5] {
+            let seeds = [0usize, 3];
+            let mut want: Vec<VertexId> = seeds.iter().flat_map(|&s| g.ball(s, r)).collect();
+            want.sort_unstable();
+            want.dedup();
+            let mut got = g.ball_union(seeds, r);
+            got.sort_unstable();
+            assert_eq!(got, want, "r={r}");
+        }
+    }
+
+    #[test]
+    fn star_geometry() {
+        let g = Graph::star(6, 4);
+        assert_eq!(g.ball(0, 4).len(), 6);
+        assert_eq!(g.ball(1, 4).len(), 2); // leaf + center
+        assert_eq!(g.ball(1, 8).len(), 6); // through the center
+    }
+
+    #[test]
+    fn distance_levels_sorted_unique() {
+        let g = Graph::path(4, 2);
+        assert_eq!(g.distance_levels(), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn edge_count() {
+        let g = Graph::cycle(5, 1);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero edge weight")]
+    fn zero_weight_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 0);
+    }
+
+    #[test]
+    fn demand_accessors() {
+        let mut d = GraphDemand::new(4);
+        d.add(1, 5);
+        d.add(3, 2);
+        assert_eq!(d.total(), 7);
+        assert_eq!(d.support(), vec![1, 3]);
+        assert_eq!(d.get(0), 0);
+        assert_eq!(GraphDemand::from_vec(vec![1, 2]).total(), 3);
+    }
+}

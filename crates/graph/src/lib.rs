@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! General-graph extension of the CMVRP.
+//!
+//! Chapter 6 of the thesis lists as future work: *"We have only discussed
+//! the case where the underlying graph is a grid. It would be nice to have
+//! results for graphs in general."* This crate takes that step for the
+//! off-line theory:
+//!
+//! * [`Graph`] — undirected graphs with non-negative integer edge weights
+//!   (the road lengths `a(e)` of §1.1), with Dijkstra distances and metric
+//!   balls.
+//! * [`omega`] — the `ω_T` equation and the exact optimum
+//!   `ω* = max_T ω_T` carry over verbatim: `N_r(T)` becomes the metric
+//!   ball union, the density `max_T Σd/|N_r(T)|` is still a
+//!   project-selection min-cut, and the fixed-point scan still works
+//!   because `|N_r(T)|` remains a step function of `r` (steps at the
+//!   finitely many distinct pairwise distances, not just integers).
+//! * [`transport`] — the radius-constrained transportation LP (2.1) on the
+//!   graph metric, giving the strong-duality check away from the lattice.
+//! * [`serve`] — a greedy nearest-supplier serving heuristic with an
+//!   independent verifier: an upper-bound *witness* (not a proven constant
+//!   factor — that remains open, as the thesis notes).
+//! * [`online`] — a cluster-based on-line heuristic: ball carving replaces
+//!   the cube partition, the same Dijkstra–Scholten replacement protocol
+//!   runs inside each cluster (honest accounting, no constant-factor
+//!   claim — the open problem).
+//! * [`gen`] — graph generators: paths, cycles, stars, random geometric
+//!   graphs, and the grid graph (used to cross-validate this crate against
+//!   the lattice implementation in `cmvrp-core`).
+//!
+//! # Examples
+//!
+//! ```
+//! use cmvrp_graph::{Graph, GraphDemand};
+//!
+//! // A path of 5 vertices with unit edges and demand at the middle.
+//! let g = Graph::path(5, 1);
+//! let mut d = GraphDemand::new(g.len());
+//! d.add(2, 6);
+//! let star = cmvrp_graph::omega::omega_star(&g, &d);
+//! assert!(star.value.is_positive());
+//! ```
+
+pub mod gen;
+pub mod graph;
+pub mod omega;
+pub mod online;
+pub mod serve;
+pub mod transport;
+
+pub use graph::{Graph, GraphDemand};
+pub use omega::{omega_star, solve_omega_t, GraphOmegaStar};
+pub use online::{carve_clusters, Clustering, GraphOnlineReport, GraphOnlineSim};
+pub use serve::{greedy_serve, verify_graph_plan, GraphPlan};
+pub use transport::{graph_min_uniform_supply, graph_transport_feasible};

@@ -1,0 +1,151 @@
+//! LP (2.1) on general graphs: radius-constrained transportation with the
+//! graph metric, and the max-density dual.
+//!
+//! Lemma 2.2.2's proof never uses the lattice structure — only the metric —
+//! so strong duality carries over verbatim. This module provides both sides
+//! so tests can machine-check the equality on arbitrary graphs (the
+//! Chapter 6 generalization).
+
+use crate::graph::{Graph, GraphDemand, VertexId};
+use crate::omega::rho;
+use cmvrp_flow::maxflow::FlowNetwork;
+use cmvrp_util::Ratio;
+use std::collections::HashMap;
+
+/// Whether uniform supply `ω` at every vertex can cover `d` with transport
+/// radius `r` on the graph metric (max-flow feasibility, exact rationals).
+pub fn graph_transport_feasible(g: &Graph, d: &GraphDemand, r: u64, omega: Ratio) -> bool {
+    if d.total() == 0 {
+        return true;
+    }
+    if omega.is_negative() {
+        return false;
+    }
+    let support = d.support();
+    let suppliers: Vec<VertexId> = g.ball_union(support.iter().copied(), r);
+    let supplier_index: HashMap<VertexId, usize> =
+        suppliers.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let q = omega.denom();
+    let p = omega.numer();
+    let ns = suppliers.len();
+    let nd = support.len();
+    let sink = 1 + ns + nd;
+    let mut net = FlowNetwork::new(sink + 1);
+    for i in 0..ns {
+        net.add_edge(0, 1 + i, p);
+    }
+    let mut total: i128 = 0;
+    for (j, &dv) in support.iter().enumerate() {
+        let need = d.get(dv) as i128 * q;
+        total += need;
+        net.add_edge(1 + ns + j, sink, need);
+        for s in g.ball(dv, r) {
+            net.add_edge(1 + supplier_index[&s], 1 + ns + j, p);
+        }
+    }
+    net.max_flow(0, sink) == total
+}
+
+/// The LP (2.1) optimum on the graph: by duality, the max density
+/// `max_T Σ_{x∈T} d(x) / |N_r(T)|`.
+pub fn graph_min_uniform_supply(g: &Graph, d: &GraphDemand, r: u64) -> Ratio {
+    rho(g, d, r).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{binary_tree, random_geometric};
+
+    fn demand(n: usize, entries: &[(usize, u64)]) -> GraphDemand {
+        let mut d = GraphDemand::new(n);
+        for &(v, amount) in entries {
+            d.add(v, amount);
+        }
+        d
+    }
+
+    #[test]
+    fn zero_demand_feasible_at_zero() {
+        let g = Graph::path(4, 1);
+        assert!(graph_transport_feasible(
+            &g,
+            &GraphDemand::new(4),
+            2,
+            Ratio::ZERO
+        ));
+    }
+
+    #[test]
+    fn radius_zero_needs_local_supply() {
+        let g = Graph::path(4, 1);
+        let d = demand(4, &[(2, 5)]);
+        assert!(graph_transport_feasible(&g, &d, 0, Ratio::from_integer(5)));
+        assert!(!graph_transport_feasible(&g, &d, 0, Ratio::new(49, 10)));
+    }
+
+    #[test]
+    fn duality_on_structured_graphs() {
+        // The Lemma 2.2.2 equality away from the lattice: threshold =
+        // density on path / cycle / star / tree.
+        let cases: Vec<(Graph, GraphDemand)> = vec![
+            (Graph::path(9, 1), demand(9, &[(4, 12), (0, 3)])),
+            (Graph::cycle(8, 2), demand(8, &[(0, 10), (4, 6)])),
+            (Graph::star(9, 3), demand(9, &[(1, 14)])),
+            (binary_tree(15, 1), demand(15, &[(7, 9), (14, 9)])),
+        ];
+        for (ci, (g, d)) in cases.iter().enumerate() {
+            for r in [0u64, 1, 2, 4] {
+                let v = graph_min_uniform_supply(g, d, r);
+                assert!(
+                    graph_transport_feasible(g, d, r, v),
+                    "case {ci} r={r}: value {v} must be feasible"
+                );
+                if v.is_positive() {
+                    assert!(
+                        !graph_transport_feasible(g, d, r, v * Ratio::new(999, 1000)),
+                        "case {ci} r={r}: below {v} must be infeasible"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duality_on_random_geometric_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+        for trial in 0..3 {
+            let g = random_geometric(12, 35, 90, trial + 100);
+            let mut d = GraphDemand::new(g.len());
+            for _ in 0..4 {
+                d.add(rng.gen_range(0..g.len()), rng.gen_range(1..25));
+            }
+            for r in [5u64, 20, 50] {
+                let v = graph_min_uniform_supply(&g, &d, r);
+                assert!(
+                    graph_transport_feasible(&g, &d, r, v),
+                    "trial {trial} r={r}"
+                );
+                if v.is_positive() {
+                    assert!(
+                        !graph_transport_feasible(&g, &d, r, v * Ratio::new(99, 100)),
+                        "trial {trial} r={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_radius_never_hurts() {
+        let g = Graph::cycle(10, 1);
+        let d = demand(10, &[(0, 30)]);
+        let mut prev = Ratio::from_integer(i128::MAX / 2);
+        for r in 0..6u64 {
+            let v = graph_min_uniform_supply(&g, &d, r);
+            assert!(v <= prev, "r={r}");
+            prev = v;
+        }
+    }
+}

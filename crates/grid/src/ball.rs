@@ -1,0 +1,126 @@
+//! Exact cardinalities of L1 balls in `Z^D`.
+//!
+//! The quantity `|N_r(x)|` appears throughout the thesis: the examples of
+//! §2.1 use `(2W+1)` (1-D within a line) and `(2W+1)²` (2-D), and the cube
+//! characterization (Corollary 2.2.7) compares demand sums against
+//! `ω·(3⌈ω⌉)^ℓ`. This module provides the closed-form count for the
+//! unbounded lattice and the clipped count for a finite grid.
+
+use crate::bounds::GridBounds;
+use crate::point::Point;
+use cmvrp_util::binomial;
+
+/// Number of points of `Z^dim` within L1 distance `r` of a fixed point
+/// (unbounded lattice).
+///
+/// Uses the Delannoy-type identity
+/// `|B_r| = Σ_{k=0}^{min(dim,r)} 2^k · C(dim,k) · C(r,k)`.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_grid::ball_size_unbounded;
+/// assert_eq!(ball_size_unbounded(1, 3), 7);        // 2r+1
+/// assert_eq!(ball_size_unbounded(2, 3), 25);       // 2r^2+2r+1
+/// assert_eq!(ball_size_unbounded(3, 1), 7);        // octahedron
+/// ```
+pub fn ball_size_unbounded(dim: u32, r: u64) -> u128 {
+    let mut total: u128 = 0;
+    let kmax = (dim as u64).min(r);
+    for k in 0..=kmax {
+        total += (1u128 << k) * binomial(dim as u64, k) * binomial(r, k);
+    }
+    total
+}
+
+/// Number of points of `bounds` within L1 distance `r` of `center`
+/// (clipped ball), by direct enumeration.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_grid::{ball_size_clipped, GridBounds, pt2};
+/// let b = GridBounds::square(10);
+/// assert_eq!(ball_size_clipped(&b, pt2(5, 5), 2), 13);
+/// assert_eq!(ball_size_clipped(&b, pt2(0, 0), 2), 6);
+/// ```
+pub fn ball_size_clipped<const D: usize>(bounds: &GridBounds<D>, center: Point<D>, r: u64) -> u64 {
+    bounds.ball(center, r).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt2;
+
+    /// Brute-force count over a box comfortably containing the ball.
+    fn brute_unbounded(dim: u32, r: u64) -> u128 {
+        fn rec(dim: u32, r: i64) -> u128 {
+            if dim == 0 {
+                return 1;
+            }
+            let mut total = 0u128;
+            for c in -r..=r {
+                total += rec(dim - 1, r - c.abs());
+            }
+            total
+        }
+        rec(dim, r as i64)
+    }
+
+    #[test]
+    fn formula_matches_brute_force() {
+        for dim in 1..=4u32 {
+            for r in 0..=8u64 {
+                assert_eq!(
+                    ball_size_unbounded(dim, r),
+                    brute_unbounded(dim, r),
+                    "dim={dim} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_closed_forms() {
+        // 1-D: 2r+1.
+        for r in 0..20u64 {
+            assert_eq!(ball_size_unbounded(1, r), (2 * r + 1) as u128);
+        }
+        // 2-D: 2r^2 + 2r + 1 (the diamond used in Example 3 of §2.1).
+        for r in 0..20u64 {
+            assert_eq!(ball_size_unbounded(2, r), (2 * r * r + 2 * r + 1) as u128);
+        }
+    }
+
+    #[test]
+    fn radius_zero_is_singleton() {
+        for dim in 1..=5u32 {
+            assert_eq!(ball_size_unbounded(dim, 0), 1);
+        }
+    }
+
+    #[test]
+    fn clipped_interior_matches_unbounded() {
+        let b = GridBounds::square(50);
+        for r in 0..=5u64 {
+            assert_eq!(
+                ball_size_clipped(&b, pt2(25, 25), r) as u128,
+                ball_size_unbounded(2, r)
+            );
+        }
+    }
+
+    #[test]
+    fn clipped_corner_is_quadrant() {
+        let b = GridBounds::square(50);
+        // At the corner only one quadrant of the diamond survives:
+        // points with x,y >= 0 and x+y <= r, i.e. C(r+2, 2) of them.
+        for r in 0..=6u64 {
+            assert_eq!(
+                ball_size_clipped(&b, pt2(0, 0), r) as u128,
+                binomial(r + 2, 2)
+            );
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Finite axis-aligned boxes of lattice points.
+//!
+//! The thesis works on the infinite grid `Z^ℓ`; the reproduction uses a
+//! finite box and computes all neighborhood quantities with respect to the
+//! *clipped* grid, which keeps the LP characterization exact on the finite
+//! instance (see DESIGN.md, "Substitutions").
+
+use crate::point::Point;
+
+/// An axis-aligned box `{ x : min[i] <= x[i] <= max[i] }` of lattice points.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_grid::{GridBounds, pt2};
+///
+/// let b = GridBounds::square(4); // coordinates 0..=3 in both axes
+/// assert_eq!(b.volume(), 16);
+/// assert!(b.contains(pt2(3, 0)));
+/// assert!(!b.contains(pt2(4, 0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridBounds<const D: usize> {
+    min: [i64; D],
+    max: [i64; D],
+}
+
+impl<const D: usize> GridBounds<D> {
+    /// Creates bounds with inclusive corners `min` and `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min[i] > max[i]` for any axis.
+    pub fn new(min: [i64; D], max: [i64; D]) -> Self {
+        for i in 0..D {
+            assert!(
+                min[i] <= max[i],
+                "empty bounds on axis {i}: {} > {}",
+                min[i],
+                max[i]
+            );
+        }
+        GridBounds { min, max }
+    }
+
+    /// The cube `[0, side)^D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 0`.
+    pub fn cube(side: u64) -> Self {
+        assert!(side > 0, "cube side must be positive");
+        GridBounds {
+            min: [0; D],
+            max: [side as i64 - 1; D],
+        }
+    }
+
+    /// Inclusive minimum corner.
+    pub fn min(&self) -> [i64; D] {
+        self.min
+    }
+
+    /// Inclusive maximum corner.
+    pub fn max(&self) -> [i64; D] {
+        self.max
+    }
+
+    /// Side length along axis `i`.
+    pub fn extent(&self, i: usize) -> u64 {
+        (self.max[i] - self.min[i] + 1) as u64
+    }
+
+    /// Number of lattice points inside the box.
+    pub fn volume(&self) -> u64 {
+        (0..D).map(|i| self.extent(i)).product()
+    }
+
+    /// Whether `p` lies inside the box.
+    pub fn contains(&self, p: Point<D>) -> bool {
+        let c = p.coords();
+        (0..D).all(|i| self.min[i] <= c[i] && c[i] <= self.max[i])
+    }
+
+    /// The point of the box nearest to `p` in Manhattan distance
+    /// (componentwise clamp).
+    pub fn clamp(&self, p: Point<D>) -> Point<D> {
+        let mut c = p.coords();
+        for i in 0..D {
+            c[i] = c[i].clamp(self.min[i], self.max[i]);
+        }
+        Point::new(c)
+    }
+
+    /// Iterates every lattice point of the box in lexicographic order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cmvrp_grid::GridBounds;
+    /// let b: GridBounds<2> = GridBounds::square(3);
+    /// assert_eq!(b.iter().count(), 9);
+    /// ```
+    pub fn iter(&self) -> Iter<D> {
+        Iter {
+            bounds: *self,
+            cursor: Some(self.min),
+        }
+    }
+
+    /// Iterates the lattice points of the box within L1 distance `r` of
+    /// `center` (the clipped ball `N_r(center) ∩ bounds`).
+    pub fn ball(&self, center: Point<D>, r: u64) -> std::vec::IntoIter<Point<D>> {
+        // Enumerate the bounding box of the ball and filter by distance; the
+        // box has at most (2r+1)^D candidates which is fine for the radii
+        // used here.
+        let c = center.coords();
+        let mut min = [0i64; D];
+        let mut max = [0i64; D];
+        for i in 0..D {
+            min[i] = (c[i] - r as i64).max(self.min[i]);
+            max[i] = (c[i] + r as i64).min(self.max[i]);
+            if min[i] > max[i] {
+                // Ball misses the box entirely.
+                return Vec::new().into_iter();
+            }
+        }
+        let pts: Vec<Point<D>> = GridBounds { min, max }
+            .iter()
+            .filter(|p| center.manhattan(*p) <= r)
+            .collect();
+        pts.into_iter()
+    }
+
+    /// Grows the box by `r` on every side, clipped to `outer` when provided.
+    pub fn inflate(&self, r: u64, outer: Option<GridBounds<D>>) -> GridBounds<D> {
+        let mut min = self.min;
+        let mut max = self.max;
+        for i in 0..D {
+            min[i] -= r as i64;
+            max[i] += r as i64;
+            if let Some(o) = outer {
+                min[i] = min[i].max(o.min[i]);
+                max[i] = max[i].min(o.max[i]);
+            }
+        }
+        GridBounds { min, max }
+    }
+}
+
+impl GridBounds<2> {
+    /// The square grid `[0, n) x [0, n)`, matching the thesis' `Z_n x Z_n`
+    /// setting of §2.3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn square(n: u64) -> Self {
+        GridBounds::cube(n)
+    }
+}
+
+/// Iterator over every point of a [`GridBounds`] in lexicographic order.
+#[derive(Debug, Clone)]
+pub struct Iter<const D: usize> {
+    bounds: GridBounds<D>,
+    cursor: Option<[i64; D]>,
+}
+
+impl<const D: usize> Iterator for Iter<D> {
+    type Item = Point<D>;
+
+    fn next(&mut self) -> Option<Point<D>> {
+        let cur = self.cursor?;
+        let out = Point::new(cur);
+        // Advance odometer-style from the last axis.
+        let mut next = cur;
+        let mut axis = D;
+        loop {
+            if axis == 0 {
+                self.cursor = None;
+                break;
+            }
+            axis -= 1;
+            if next[axis] < self.bounds.max[axis] {
+                next[axis] += 1;
+                for a in (axis + 1)..D {
+                    next[a] = self.bounds.min[a];
+                }
+                self.cursor = Some(next);
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+impl<'a, const D: usize> IntoIterator for &'a GridBounds<D> {
+    type Item = Point<D>;
+    type IntoIter = Iter<D>;
+    fn into_iter(self) -> Iter<D> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{pt1, pt2, pt3};
+
+    #[test]
+    fn volume_and_extent() {
+        let b = GridBounds::new([0, -1], [2, 3]);
+        assert_eq!(b.extent(0), 3);
+        assert_eq!(b.extent(1), 5);
+        assert_eq!(b.volume(), 15);
+    }
+
+    #[test]
+    fn iter_covers_all_points_once() {
+        let b: GridBounds<3> = GridBounds::new([0, 0, 0], [1, 2, 1]);
+        let pts: Vec<_> = b.iter().collect();
+        assert_eq!(pts.len() as u64, b.volume());
+        let mut sorted = pts.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pts.len());
+        assert!(pts.iter().all(|p| b.contains(*p)));
+        // Lexicographic order.
+        assert_eq!(pts[0], pt3(0, 0, 0));
+        assert_eq!(pts[1], pt3(0, 0, 1));
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let b = GridBounds::square(4);
+        assert!(b.contains(pt2(0, 3)));
+        assert!(!b.contains(pt2(-1, 0)));
+        assert_eq!(b.clamp(pt2(-5, 10)), pt2(0, 3));
+        assert_eq!(b.clamp(pt2(2, 2)), pt2(2, 2));
+    }
+
+    #[test]
+    fn clipped_ball() {
+        let b = GridBounds::square(4);
+        // Full interior ball.
+        let pts: Vec<_> = b.ball(pt2(2, 2), 1).collect();
+        assert_eq!(pts.len(), 5);
+        // Corner ball is clipped.
+        let pts: Vec<_> = b.ball(pt2(0, 0), 1).collect();
+        assert_eq!(pts.len(), 3);
+        // Ball centered outside can still intersect.
+        let pts: Vec<_> = b.ball(pt2(-1, 0), 1).collect();
+        assert_eq!(pts, vec![pt2(0, 0)]);
+        // Ball entirely outside.
+        assert_eq!(b.ball(pt2(-10, 0), 2).count(), 0);
+    }
+
+    #[test]
+    fn inflate_with_and_without_outer() {
+        let inner: GridBounds<1> = GridBounds::new([2], [3]);
+        let grown = inner.inflate(2, None);
+        assert_eq!(grown.min(), [0]);
+        assert_eq!(grown.max(), [5]);
+        let outer = GridBounds::new([1], [4]);
+        let clipped = inner.inflate(2, Some(outer));
+        assert_eq!(clipped.min(), [1]);
+        assert_eq!(clipped.max(), [4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bounds")]
+    fn inverted_bounds_panic() {
+        let _ = GridBounds::new([3], [2]);
+    }
+
+    #[test]
+    fn one_dimensional_iteration() {
+        let b: GridBounds<1> = GridBounds::new([-2], [2]);
+        let pts: Vec<_> = (&b).into_iter().collect();
+        assert_eq!(pts, vec![pt1(-2), pt1(-1), pt1(0), pt1(1), pt1(2)]);
+    }
+}

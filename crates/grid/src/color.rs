@@ -1,0 +1,311 @@
+//! Chessboard coloring and black–white pairing (§3.2).
+//!
+//! The on-line strategy colors every vertex by the parity of its coordinate
+//! sum and divides each cube into pairs of *adjacent* vertices — necessarily
+//! one black and one white — so that a single active vehicle can serve both
+//! vertices of its pair with walks of length at most 1. When the cube has an
+//! odd number of vertices, exactly one vertex is left unpaired (the thesis
+//! assumes WLOG it is black; here the leftover vertex simply forms a
+//! singleton pair whose vehicle starts active).
+//!
+//! The pairing is constructed from a boustrophedon (snake) Hamiltonian path
+//! of the cube's box grid graph: consecutive path vertices are grid-adjacent,
+//! so pairing them two-by-two yields adjacent pairs with at most one vertex
+//! left over.
+
+use crate::bounds::GridBounds;
+use crate::point::Point;
+use std::collections::HashMap;
+
+/// The chessboard color of a vertex: the parity of its coordinate sum
+/// (`black` when `Σ x_i ≡ 0 (mod 2)`, per §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Color {
+    /// Coordinate sum even.
+    Black,
+    /// Coordinate sum odd.
+    White,
+}
+
+impl Color {
+    /// The color of point `p`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cmvrp_grid::{Color, pt2};
+    /// assert_eq!(Color::of(pt2(0, 0)), Color::Black);
+    /// assert_eq!(Color::of(pt2(0, 1)), Color::White);
+    /// assert_eq!(Color::of(pt2(-1, -1)), Color::Black);
+    /// ```
+    pub fn of<const D: usize>(p: Point<D>) -> Color {
+        if p.coord_sum().rem_euclid(2) == 0 {
+            Color::Black
+        } else {
+            Color::White
+        }
+    }
+
+    /// The opposite color.
+    pub fn flip(self) -> Color {
+        match self {
+            Color::Black => Color::White,
+            Color::White => Color::Black,
+        }
+    }
+}
+
+/// A pairing of the vertices of one cube into adjacent black–white pairs,
+/// with at most one singleton when the cube has odd volume.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_grid::{pairing_in_cube, GridBounds};
+/// let cube: GridBounds<2> = GridBounds::cube(3);
+/// let pairing = pairing_in_cube(&cube);
+/// assert_eq!(pairing.pairs().len(), 5); // 4 proper pairs + 1 singleton
+/// assert_eq!(pairing.singleton_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pairing<const D: usize> {
+    pairs: Vec<(Point<D>, Option<Point<D>>)>,
+    index: HashMap<Point<D>, usize>,
+}
+
+impl<const D: usize> Pairing<D> {
+    /// The list of pairs; `.1` is `None` for the singleton.
+    pub fn pairs(&self) -> &[(Point<D>, Option<Point<D>>)] {
+        &self.pairs
+    }
+
+    /// Index of the pair containing `p`, if `p` belongs to the pairing.
+    pub fn pair_of(&self, p: Point<D>) -> Option<usize> {
+        self.index.get(&p).copied()
+    }
+
+    /// The *primary* vertex of each pair — the vertex whose vehicle starts
+    /// active in the on-line strategy (the black member when the pair is
+    /// proper).
+    pub fn primary(&self, pair: usize) -> Point<D> {
+        self.pairs[pair].0
+    }
+
+    /// Number of singleton pairs (0 or 1).
+    pub fn singleton_count(&self) -> usize {
+        self.pairs.iter().filter(|(_, b)| b.is_none()).count()
+    }
+
+    /// Total number of vertices covered.
+    pub fn vertex_count(&self) -> usize {
+        self.index.len()
+    }
+}
+
+/// The partner of `p` within its pair, if the pair is proper.
+pub fn pair_partner<const D: usize>(pairing: &Pairing<D>, p: Point<D>) -> Option<Point<D>> {
+    let idx = pairing.pair_of(p)?;
+    let (a, b) = pairing.pairs[idx];
+    match b {
+        Some(b) if a == p => Some(b),
+        Some(b) if b == p => Some(a),
+        _ => None,
+    }
+}
+
+/// Boustrophedon (snake) ordering of a box: a Hamiltonian path of the box
+/// grid graph, so consecutive points are at Manhattan distance 1.
+///
+/// Besides the pairing construction, this is the sweep route used by the
+/// Chapter 5 grid collector (a single vehicle visiting every depot with
+/// unit steps).
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_grid::{snake_order, GridBounds};
+/// let order = snake_order(&GridBounds::<2>::cube(3));
+/// assert_eq!(order.len(), 9);
+/// for w in order.windows(2) {
+///     assert_eq!(w[0].manhattan(w[1]), 1);
+/// }
+/// ```
+pub fn snake_order<const D: usize>(bounds: &GridBounds<D>) -> Vec<Point<D>> {
+    let mut order: Vec<Point<D>> = Vec::with_capacity(bounds.volume() as usize);
+    // Recursive construction over axes: snake axis 0 outermost.
+    fn rec<const D: usize>(
+        bounds: &GridBounds<D>,
+        axis: usize,
+        fixed: &mut [i64],
+        out: &mut Vec<Point<D>>,
+        reverse: bool,
+    ) {
+        let min = bounds.min()[axis];
+        let max = bounds.max()[axis];
+        let values: Vec<i64> = if reverse {
+            (min..=max).rev().collect()
+        } else {
+            (min..=max).collect()
+        };
+        for (k, v) in values.into_iter().enumerate() {
+            fixed[axis] = v;
+            if axis + 1 == D {
+                let mut coords = [0i64; D];
+                coords.copy_from_slice(fixed);
+                out.push(Point::new(coords));
+            } else {
+                // Alternate direction per step so the path stays adjacent
+                // when it wraps to the next slice.
+                let flip = (k % 2 == 1) != reverse;
+                rec(bounds, axis + 1, fixed, out, flip);
+            }
+        }
+    }
+    let mut fixed = vec![0i64; D];
+    rec(bounds, 0, &mut fixed, &mut order, false);
+    order
+}
+
+/// Builds the adjacent black–white pairing of one cube.
+///
+/// Each proper pair is stored with its **black** vertex first (the primary);
+/// the singleton (present iff the cube volume is odd) is stored as
+/// `(vertex, None)`.
+pub fn pairing_in_cube<const D: usize>(cube: &GridBounds<D>) -> Pairing<D> {
+    let order = snake_order(cube);
+    let mut pairs = Vec::with_capacity(order.len() / 2 + 1);
+    let mut index = HashMap::with_capacity(order.len());
+    let mut it = order.into_iter();
+    while let Some(a) = it.next() {
+        match it.next() {
+            Some(b) => {
+                debug_assert_eq!(a.manhattan(b), 1, "snake order must be adjacent");
+                // Store the black vertex first.
+                let (first, second) = if Color::of(a) == Color::Black {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                let idx = pairs.len();
+                pairs.push((first, Some(second)));
+                index.insert(first, idx);
+                index.insert(second, idx);
+            }
+            None => {
+                let idx = pairs.len();
+                pairs.push((a, None));
+                index.insert(a, idx);
+            }
+        }
+    }
+    Pairing { pairs, index }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt2;
+
+    #[test]
+    fn colors_alternate_on_neighbors() {
+        for p in GridBounds::<2>::square(5).iter() {
+            for q in p.neighbors() {
+                assert_ne!(Color::of(p), Color::of(q));
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        assert_eq!(Color::Black.flip(), Color::White);
+        assert_eq!(Color::White.flip().flip(), Color::White);
+    }
+
+    #[test]
+    fn snake_is_hamiltonian_path() {
+        for side in 1..=5u64 {
+            let cube: GridBounds<2> = GridBounds::cube(side);
+            let order = snake_order(&cube);
+            assert_eq!(order.len() as u64, cube.volume());
+            for w in order.windows(2) {
+                assert_eq!(w[0].manhattan(w[1]), 1, "side={side}");
+            }
+            let mut sorted = order.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), order.len());
+        }
+    }
+
+    #[test]
+    fn snake_three_dimensional() {
+        let cube: GridBounds<3> = GridBounds::cube(3);
+        let order = snake_order(&cube);
+        assert_eq!(order.len(), 27);
+        for w in order.windows(2) {
+            assert_eq!(w[0].manhattan(w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn even_cube_has_perfect_pairing() {
+        let cube: GridBounds<2> = GridBounds::cube(4);
+        let pairing = pairing_in_cube(&cube);
+        assert_eq!(pairing.pairs().len(), 8);
+        assert_eq!(pairing.singleton_count(), 0);
+        assert_eq!(pairing.vertex_count(), 16);
+    }
+
+    #[test]
+    fn odd_cube_has_one_singleton() {
+        let cube: GridBounds<2> = GridBounds::cube(5);
+        let pairing = pairing_in_cube(&cube);
+        assert_eq!(pairing.pairs().len(), 13);
+        assert_eq!(pairing.singleton_count(), 1);
+    }
+
+    #[test]
+    fn proper_pairs_are_adjacent_and_bicolored() {
+        let cube = GridBounds::new([3, -2], [6, 1]);
+        let pairing = pairing_in_cube(&cube);
+        for (a, b) in pairing.pairs() {
+            if let Some(b) = b {
+                assert_eq!(a.manhattan(*b), 1);
+                assert_eq!(Color::of(*a), Color::Black);
+                assert_eq!(Color::of(*b), Color::White);
+            }
+        }
+    }
+
+    #[test]
+    fn partner_lookup() {
+        let cube: GridBounds<2> = GridBounds::cube(2);
+        let pairing = pairing_in_cube(&cube);
+        for (a, b) in pairing.pairs() {
+            let b = b.expect("2x2 cube pairs perfectly");
+            assert_eq!(pair_partner(&pairing, *a), Some(b));
+            assert_eq!(pair_partner(&pairing, b), Some(*a));
+        }
+        assert_eq!(pair_partner(&pairing, pt2(50, 50)), None);
+    }
+
+    #[test]
+    fn every_vertex_indexed() {
+        let cube: GridBounds<3> = GridBounds::cube(3);
+        let pairing = pairing_in_cube(&cube);
+        for p in cube.iter() {
+            let idx = pairing.pair_of(p).expect("vertex must be paired");
+            let (a, b) = pairing.pairs()[idx];
+            assert!(a == p || b == Some(p));
+        }
+    }
+
+    #[test]
+    fn clipped_rectangular_cube() {
+        // Lemma 2.2.5 cubes at the grid boundary are rectangles.
+        let cube = GridBounds::new([0, 0], [2, 0]); // 3x1 strip
+        let pairing = pairing_in_cube(&cube);
+        assert_eq!(pairing.pairs().len(), 2);
+        assert_eq!(pairing.singleton_count(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! The `⌈ω⌉`-cube partition of Lemma 2.2.5.
+//!
+//! Both the off-line plan construction (Lemma 2.2.5) and the on-line strategy
+//! (§3.2) partition `Z^ℓ` into axis-aligned cubes of side `⌈ω⌉` and confine
+//! every vehicle to its own cube. [`CubePartition`] indexes that partition
+//! over a bounded grid; boundary cubes are clipped.
+
+use crate::bounds::GridBounds;
+use crate::point::Point;
+
+/// Identifier of one cube of a [`CubePartition`]: the integer coordinates of
+/// the cube in the coarsened lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CubeId<const D: usize>(pub [i64; D]);
+
+/// A partition of a bounded grid into side-`s` cubes, aligned to the grid's
+/// minimum corner.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_grid::{CubePartition, GridBounds, pt2};
+///
+/// let part = CubePartition::new(GridBounds::square(8), 3);
+/// let id = part.cube_of(pt2(4, 7));
+/// assert_eq!(id.0, [1, 2]);
+/// let cube = part.cube_bounds(id);
+/// assert!(cube.contains(pt2(4, 7)));
+/// assert_eq!(part.cubes().count(), 9); // ceil(8/3)^2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CubePartition<const D: usize> {
+    grid: GridBounds<D>,
+    side: u64,
+}
+
+impl<const D: usize> CubePartition<D> {
+    /// Creates a partition of `grid` into cubes of side `side`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 0`.
+    pub fn new(grid: GridBounds<D>, side: u64) -> Self {
+        assert!(side > 0, "cube side must be positive");
+        CubePartition { grid, side }
+    }
+
+    /// The underlying grid bounds.
+    pub fn grid(&self) -> GridBounds<D> {
+        self.grid
+    }
+
+    /// The cube side length.
+    pub fn side(&self) -> u64 {
+        self.side
+    }
+
+    /// The cube containing `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` lies outside the grid.
+    pub fn cube_of(&self, p: Point<D>) -> CubeId<D> {
+        assert!(self.grid.contains(p), "point {p} outside partition grid");
+        let c = p.coords();
+        let min = self.grid.min();
+        let mut id = [0i64; D];
+        for i in 0..D {
+            id[i] = (c[i] - min[i]) / self.side as i64;
+        }
+        CubeId(id)
+    }
+
+    /// The (clipped) bounds of cube `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not correspond to a cube intersecting the grid.
+    pub fn cube_bounds(&self, id: CubeId<D>) -> GridBounds<D> {
+        let gmin = self.grid.min();
+        let gmax = self.grid.max();
+        let mut min = [0i64; D];
+        let mut max = [0i64; D];
+        for i in 0..D {
+            min[i] = gmin[i] + id.0[i] * self.side as i64;
+            max[i] = (min[i] + self.side as i64 - 1).min(gmax[i]);
+            assert!(
+                id.0[i] >= 0 && min[i] <= gmax[i],
+                "cube id {id:?} outside grid"
+            );
+        }
+        GridBounds::new(min, max)
+    }
+
+    /// Number of cubes along axis `i`.
+    pub fn cubes_along(&self, i: usize) -> u64 {
+        self.grid.extent(i).div_ceil(self.side)
+    }
+
+    /// Iterates every cube id of the partition.
+    pub fn cubes(&self) -> impl Iterator<Item = CubeId<D>> + '_ {
+        let mut maxes = [0i64; D];
+        for (i, m) in maxes.iter_mut().enumerate() {
+            *m = self.cubes_along(i) as i64 - 1;
+        }
+        GridBounds::new([0; D], maxes)
+            .iter()
+            .map(|p| CubeId(p.coords()))
+    }
+
+    /// Iterates the points of cube `id`.
+    pub fn points_in(&self, id: CubeId<D>) -> impl Iterator<Item = Point<D>> + '_ {
+        self.cube_bounds(id).iter()
+    }
+
+    /// The maximum over all cubes of `f(points of cube)` — a helper for the
+    /// cube characterizations (Corollaries 2.2.6/2.2.7).
+    pub fn max_over_cubes<F: FnMut(GridBounds<D>) -> u64>(&self, mut f: F) -> u64 {
+        self.cubes()
+            .map(|id| f(self.cube_bounds(id)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{pt2, pt3};
+
+    #[test]
+    fn cube_of_and_bounds_consistent() {
+        let part = CubePartition::new(GridBounds::square(10), 4);
+        for p in part.grid().iter() {
+            let id = part.cube_of(p);
+            assert!(part.cube_bounds(id).contains(p), "point {p} id {id:?}");
+        }
+    }
+
+    #[test]
+    fn cubes_tile_grid_exactly() {
+        let part = CubePartition::new(GridBounds::square(10), 4);
+        let total: u64 = part.cubes().map(|id| part.cube_bounds(id).volume()).sum();
+        assert_eq!(total, 100);
+        assert_eq!(part.cubes().count(), 9); // 3x3 cubes (sides 4,4,2)
+    }
+
+    #[test]
+    fn boundary_cubes_clipped() {
+        let part = CubePartition::new(GridBounds::square(10), 4);
+        let last = part.cube_bounds(CubeId([2, 2]));
+        assert_eq!(last.min(), [8, 8]);
+        assert_eq!(last.max(), [9, 9]);
+        assert_eq!(last.volume(), 4);
+    }
+
+    #[test]
+    fn negative_origin_grid() {
+        let grid = GridBounds::new([-5, -5], [4, 4]);
+        let part = CubePartition::new(grid, 5);
+        assert_eq!(part.cube_of(pt2(-5, -5)), CubeId([0, 0]));
+        assert_eq!(part.cube_of(pt2(0, 0)), CubeId([1, 1]));
+        assert_eq!(part.cubes().count(), 4);
+    }
+
+    #[test]
+    fn three_dimensional() {
+        let part = CubePartition::new(GridBounds::<3>::cube(6), 2);
+        assert_eq!(part.cubes().count(), 27);
+        assert_eq!(part.cube_of(pt3(5, 0, 3)), CubeId([2, 0, 1]));
+        assert_eq!(part.points_in(CubeId([0, 0, 0])).count(), 8);
+    }
+
+    #[test]
+    fn side_larger_than_grid_is_single_cube() {
+        let part = CubePartition::new(GridBounds::square(4), 100);
+        assert_eq!(part.cubes().count(), 1);
+        assert_eq!(part.cube_bounds(CubeId([0, 0])).volume(), 16);
+    }
+
+    #[test]
+    fn max_over_cubes() {
+        let part = CubePartition::new(GridBounds::square(4), 2);
+        // f = volume; all cubes 2x2.
+        assert_eq!(part.max_over_cubes(|b| b.volume()), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside partition grid")]
+    fn cube_of_outside_panics() {
+        let part = CubePartition::new(GridBounds::square(4), 2);
+        let _ = part.cube_of(pt2(9, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn cube_bounds_outside_panics() {
+        let part = CubePartition::new(GridBounds::square(4), 2);
+        let _ = part.cube_bounds(CubeId([5, 0]));
+    }
+}

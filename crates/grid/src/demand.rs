@@ -1,0 +1,551 @@
+//! Demand functions `d(x)` over the grid.
+//!
+//! The thesis defines `d(x)` as the total number of unit jobs arriving at
+//! position `x` (§1.3). [`DemandMap`] is the sparse representation used by
+//! the exact solvers; [`DenseDemand2D`] is the `n×n` array (with `n` a power
+//! of two) consumed by the paper's Algorithm 1 in §2.3.
+
+use crate::bounds::GridBounds;
+use crate::point::Point;
+use std::collections::BTreeMap;
+
+/// Sparse integer demand over `Z^D`.
+///
+/// Positions with no entry have demand 0. Backed by a `BTreeMap` so that
+/// iteration order — and therefore every downstream computation — is
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_grid::{DemandMap, pt2};
+///
+/// let mut d = DemandMap::new();
+/// d.add(pt2(0, 0), 3);
+/// d.add(pt2(0, 0), 2);
+/// d.add(pt2(1, 1), 1);
+/// assert_eq!(d.get(pt2(0, 0)), 5);
+/// assert_eq!(d.get(pt2(9, 9)), 0);
+/// assert_eq!(d.total(), 6);
+/// assert_eq!(d.support().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DemandMap<const D: usize> {
+    map: BTreeMap<Point<D>, u64>,
+    total: u64,
+}
+
+impl<const D: usize> DemandMap<D> {
+    /// Creates an empty demand map (identically zero demand).
+    pub fn new() -> Self {
+        DemandMap {
+            map: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Adds `amount` units of demand at `x`.
+    pub fn add(&mut self, x: Point<D>, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        *self.map.entry(x).or_insert(0) += amount;
+        self.total += amount;
+    }
+
+    /// Sets the demand at `x` to exactly `amount` (removing the entry when 0).
+    pub fn set(&mut self, x: Point<D>, amount: u64) {
+        let old = self.map.remove(&x).unwrap_or(0);
+        self.total -= old;
+        if amount > 0 {
+            self.map.insert(x, amount);
+            self.total += amount;
+        }
+    }
+
+    /// The demand at `x` (0 if absent).
+    pub fn get(&self, x: Point<D>) -> u64 {
+        self.map.get(&x).copied().unwrap_or(0)
+    }
+
+    /// Total demand `Σ_x d(x)`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Maximum demand at any single position (`D` in §2.3); 0 when empty.
+    pub fn max_demand(&self) -> u64 {
+        self.map.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of positions with positive demand.
+    pub fn support_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the demand is identically zero.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates the positions with positive demand, in point order.
+    pub fn support(&self) -> impl Iterator<Item = Point<D>> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Iterates `(position, demand)` pairs with positive demand.
+    pub fn iter(&self) -> impl Iterator<Item = (Point<D>, u64)> + '_ {
+        self.map.iter().map(|(p, d)| (*p, *d))
+    }
+
+    /// Sum of demand over an arbitrary set of positions.
+    pub fn sum_over<I: IntoIterator<Item = Point<D>>>(&self, points: I) -> u64 {
+        points.into_iter().map(|p| self.get(p)).sum()
+    }
+
+    /// Smallest bounds containing the support, or `None` when empty.
+    pub fn support_bounds(&self) -> Option<GridBounds<D>> {
+        let mut min = [i64::MAX; D];
+        let mut max = [i64::MIN; D];
+        if self.map.is_empty() {
+            return None;
+        }
+        for p in self.map.keys() {
+            let c = p.coords();
+            for i in 0..D {
+                min[i] = min[i].min(c[i]);
+                max[i] = max[i].max(c[i]);
+            }
+        }
+        Some(GridBounds::new(min, max))
+    }
+}
+
+impl<const D: usize> FromIterator<(Point<D>, u64)> for DemandMap<D> {
+    fn from_iter<I: IntoIterator<Item = (Point<D>, u64)>>(iter: I) -> Self {
+        let mut m = DemandMap::new();
+        for (p, d) in iter {
+            m.add(p, d);
+        }
+        m
+    }
+}
+
+impl<const D: usize> Extend<(Point<D>, u64)> for DemandMap<D> {
+    fn extend<I: IntoIterator<Item = (Point<D>, u64)>>(&mut self, iter: I) {
+        for (p, d) in iter {
+            self.add(p, d);
+        }
+    }
+}
+
+/// Dense 2-D demand on the `n×n` grid with `n` a power of two — the input
+/// shape required by the paper's Algorithm 1 (§2.3).
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_grid::{DenseDemand2D, pt2};
+///
+/// let mut d = DenseDemand2D::zeros(8);
+/// d.set(3, 4, 7);
+/// assert_eq!(d.get(3, 4), 7);
+/// assert_eq!(d.n(), 8);
+/// let sparse = d.to_demand_map();
+/// assert_eq!(sparse.get(pt2(3, 4)), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseDemand2D {
+    n: u64,
+    cells: Vec<u64>,
+}
+
+impl DenseDemand2D {
+    /// An all-zero `n×n` demand array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two (Algorithm 1's dyadic
+    /// coarsening requires it).
+    pub fn zeros(n: u64) -> Self {
+        assert!(n > 0 && n.is_power_of_two(), "n must be a power of two");
+        DenseDemand2D {
+            n,
+            cells: vec![0; (n * n) as usize],
+        }
+    }
+
+    /// Builds from a sparse map, clipping to `[0, n)²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any support point lies outside `[0, n)²`, or if `n` is not a
+    /// power of two.
+    pub fn from_demand_map(n: u64, map: &DemandMap<2>) -> Self {
+        let mut d = DenseDemand2D::zeros(n);
+        for (p, amount) in map.iter() {
+            let [x, y] = p.coords();
+            assert!(
+                x >= 0 && y >= 0 && (x as u64) < n && (y as u64) < n,
+                "demand point {p} outside [0,{n})^2"
+            );
+            d.set(x as u64, y as u64, amount);
+        }
+        d
+    }
+
+    /// Grid side length.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Demand at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn get(&self, x: u64, y: u64) -> u64 {
+        assert!(x < self.n && y < self.n, "index out of range");
+        self.cells[(x * self.n + y) as usize]
+    }
+
+    /// Sets the demand at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn set(&mut self, x: u64, y: u64, amount: u64) {
+        assert!(x < self.n && y < self.n, "index out of range");
+        self.cells[(x * self.n + y) as usize] = amount;
+    }
+
+    /// Total demand.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+
+    /// Maximum per-cell demand (`D` in §2.3).
+    pub fn max_demand(&self) -> u64 {
+        self.cells.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average demand `D̂ = Σ d / n²` as an exact rational numerator over
+    /// `n²` — returned as `f64` for convenience.
+    pub fn avg_demand(&self) -> f64 {
+        self.total() as f64 / (self.n * self.n) as f64
+    }
+
+    /// Converts to the sparse representation.
+    pub fn to_demand_map(&self) -> DemandMap<2> {
+        let mut m = DemandMap::new();
+        for x in 0..self.n {
+            for y in 0..self.n {
+                let d = self.get(x, y);
+                if d > 0 {
+                    m.add(Point::new([x as i64, y as i64]), d);
+                }
+            }
+        }
+        m
+    }
+
+    /// Coarsens by summing `2×2` blocks, producing an `(n/2)×(n/2)` array —
+    /// one step of Algorithm 1's loop (lines 8–9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 1`.
+    pub fn coarsen(&self) -> DenseDemand2D {
+        assert!(self.n >= 2, "cannot coarsen a 1x1 array");
+        let m = self.n / 2;
+        let mut out = DenseDemand2D::zeros(m.max(1));
+        if m == 0 {
+            return out;
+        }
+        for i in 0..m {
+            for j in 0..m {
+                let s = self.get(2 * i, 2 * j)
+                    + self.get(2 * i, 2 * j + 1)
+                    + self.get(2 * i + 1, 2 * j)
+                    + self.get(2 * i + 1, 2 * j + 1);
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+}
+
+/// Dense demand on a `side^D` cube with `side` a power of two — the
+/// generic-dimension analogue of [`DenseDemand2D`] for Algorithm 1's dyadic
+/// coarsening in arbitrary `ℓ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseDemand<const D: usize> {
+    side: u64,
+    cells: Vec<u64>,
+}
+
+impl<const D: usize> DenseDemand<D> {
+    /// An all-zero `side^D` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is zero or not a power of two.
+    pub fn zeros(side: u64) -> Self {
+        assert!(
+            side > 0 && side.is_power_of_two(),
+            "side must be a power of two"
+        );
+        let volume = side.pow(D as u32) as usize;
+        DenseDemand {
+            side,
+            cells: vec![0; volume],
+        }
+    }
+
+    /// Builds from a sparse map over `[0, side)^D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any support point lies outside `[0, side)^D`, or `side` is
+    /// not a power of two.
+    pub fn from_demand_map(side: u64, map: &DemandMap<D>) -> Self {
+        let mut dense = DenseDemand::zeros(side);
+        for (p, amount) in map.iter() {
+            let idx = dense.index_of(p);
+            dense.cells[idx] = amount;
+        }
+        dense
+    }
+
+    /// Cube side length.
+    pub fn side(&self) -> u64 {
+        self.side
+    }
+
+    fn index_of(&self, p: Point<D>) -> usize {
+        let c = p.coords();
+        let mut idx = 0usize;
+        for coord in c.iter().take(D) {
+            assert!(
+                *coord >= 0 && (*coord as u64) < self.side,
+                "point {p} outside [0,{})^{D}",
+                self.side
+            );
+            idx = idx * self.side as usize + *coord as usize;
+        }
+        idx
+    }
+
+    /// Demand at `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn get(&self, p: Point<D>) -> u64 {
+        self.cells[self.index_of(p)]
+    }
+
+    /// Sets the demand at `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn set(&mut self, p: Point<D>, amount: u64) {
+        let idx = self.index_of(p);
+        self.cells[idx] = amount;
+    }
+
+    /// Total demand.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+
+    /// Maximum single-cell demand (`D` of §2.3).
+    pub fn max_demand(&self) -> u64 {
+        self.cells.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Coarsens by summing `2^D` blocks — one step of Algorithm 1's
+    /// dyadic loop in dimension `D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 1`.
+    pub fn coarsen(&self) -> DenseDemand<D> {
+        assert!(self.side >= 2, "cannot coarsen a side-1 array");
+        let half = self.side / 2;
+        let mut out = DenseDemand::<D>::zeros(half);
+        // Walk every fine cell and accumulate into its coarse parent.
+        let mut coords = [0i64; D];
+        for (idx, &v) in self.cells.iter().enumerate() {
+            if v > 0 {
+                // Decode idx into coordinates.
+                let mut rem = idx;
+                for axis in (0..D).rev() {
+                    coords[axis] = (rem % self.side as usize) as i64;
+                    rem /= self.side as usize;
+                }
+                let mut parent = [0i64; D];
+                for axis in 0..D {
+                    parent[axis] = coords[axis] / 2;
+                }
+                let pidx = out.index_of(Point::new(parent));
+                out.cells[pidx] += v;
+            }
+        }
+        out
+    }
+
+    /// Converts to the sparse representation.
+    pub fn to_demand_map(&self) -> DemandMap<D> {
+        let mut m = DemandMap::new();
+        let mut coords = [0i64; D];
+        for (idx, &v) in self.cells.iter().enumerate() {
+            if v > 0 {
+                let mut rem = idx;
+                for axis in (0..D).rev() {
+                    coords[axis] = (rem % self.side as usize) as i64;
+                    rem /= self.side as usize;
+                }
+                m.add(Point::new(coords), v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt2;
+
+    #[test]
+    fn add_set_get_total() {
+        let mut d: DemandMap<2> = DemandMap::new();
+        d.add(pt2(1, 1), 4);
+        d.set(pt2(1, 1), 2);
+        d.set(pt2(2, 2), 3);
+        assert_eq!(d.total(), 5);
+        d.set(pt2(2, 2), 0);
+        assert_eq!(d.total(), 2);
+        assert_eq!(d.support_len(), 1);
+        assert_eq!(d.max_demand(), 2);
+    }
+
+    #[test]
+    fn zero_add_is_noop() {
+        let mut d: DemandMap<1> = DemandMap::new();
+        d.add(crate::pt1(0), 0);
+        assert!(d.is_empty());
+        assert_eq!(d.max_demand(), 0);
+        assert!(d.support_bounds().is_none());
+    }
+
+    #[test]
+    fn sum_over_and_bounds() {
+        let d: DemandMap<2> = [(pt2(0, 0), 1u64), (pt2(3, 5), 2), (pt2(-1, 2), 4)]
+            .into_iter()
+            .collect();
+        assert_eq!(d.sum_over([pt2(0, 0), pt2(3, 5), pt2(7, 7)]), 3);
+        let b = d.support_bounds().unwrap();
+        assert_eq!(b.min(), [-1, 0]);
+        assert_eq!(b.max(), [3, 5]);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut d: DemandMap<2> = DemandMap::new();
+        d.extend([(pt2(0, 0), 1), (pt2(0, 0), 2)]);
+        assert_eq!(d.get(pt2(0, 0)), 3);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let mut sparse: DemandMap<2> = DemandMap::new();
+        sparse.add(pt2(0, 1), 5);
+        sparse.add(pt2(7, 7), 2);
+        let dense = DenseDemand2D::from_demand_map(8, &sparse);
+        assert_eq!(dense.total(), 7);
+        assert_eq!(dense.max_demand(), 5);
+        assert_eq!(dense.to_demand_map(), sparse);
+    }
+
+    #[test]
+    fn coarsen_sums_blocks() {
+        let mut d = DenseDemand2D::zeros(4);
+        d.set(0, 0, 1);
+        d.set(0, 1, 2);
+        d.set(1, 0, 3);
+        d.set(1, 1, 4);
+        d.set(3, 3, 7);
+        let c = d.coarsen();
+        assert_eq!(c.n(), 2);
+        assert_eq!(c.get(0, 0), 10);
+        assert_eq!(c.get(1, 1), 7);
+        assert_eq!(c.total(), d.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = DenseDemand2D::zeros(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_bounds_support_rejected() {
+        let mut sparse: DemandMap<2> = DemandMap::new();
+        sparse.add(pt2(8, 0), 1);
+        let _ = DenseDemand2D::from_demand_map(8, &sparse);
+    }
+
+    #[test]
+    fn generic_dense_roundtrip_and_coarsen() {
+        use crate::point::pt3;
+        let mut d: DenseDemand<3> = DenseDemand::zeros(4);
+        d.set(pt3(0, 0, 0), 1);
+        d.set(pt3(1, 1, 1), 2);
+        d.set(pt3(3, 3, 3), 7);
+        assert_eq!(d.total(), 10);
+        assert_eq!(d.max_demand(), 7);
+        let c = d.coarsen();
+        assert_eq!(c.side(), 2);
+        assert_eq!(c.get(pt3(0, 0, 0)), 3); // both low cells fold together
+        assert_eq!(c.get(pt3(1, 1, 1)), 7);
+        assert_eq!(c.total(), 10);
+        let sparse = d.to_demand_map();
+        assert_eq!(DenseDemand::from_demand_map(4, &sparse), d);
+    }
+
+    #[test]
+    fn generic_dense_matches_2d_variant() {
+        let mut sparse: DemandMap<2> = DemandMap::new();
+        for k in 0..10i64 {
+            sparse.set(pt2((k * 3) % 8, (k * 5) % 8), (k as u64 + 1) * 4);
+        }
+        let d2 = DenseDemand2D::from_demand_map(8, &sparse);
+        let dg: DenseDemand<2> = DenseDemand::from_demand_map(8, &sparse);
+        assert_eq!(dg.total(), d2.total());
+        // Coarsening agrees cell by cell.
+        let c2 = d2.coarsen();
+        let cg = dg.coarsen();
+        for x in 0..4i64 {
+            for y in 0..4i64 {
+                assert_eq!(cg.get(pt2(x, y)), c2.get(x as u64, y as u64));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn generic_dense_rejects_non_power() {
+        let _: DenseDemand<2> = DenseDemand::zeros(6);
+    }
+
+    #[test]
+    fn avg_demand() {
+        let mut d = DenseDemand2D::zeros(2);
+        d.set(0, 0, 8);
+        assert_eq!(d.avg_demand(), 2.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Set dilation: the neighborhood `N_r(T)` of Theorem 1.4.1.
+//!
+//! `N_r(T) = { y : ∃ x ∈ T, ‖x−y‖₁ ≤ r }` is computed by multi-source BFS —
+//! on the lattice with unit edge weights, L1 distance equals graph distance,
+//! so a breadth-first wavefront from all of `T` visits exactly `N_r(T)` in
+//! `r` rounds.
+
+use crate::bounds::GridBounds;
+use crate::point::Point;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The result of dilating a set: the dilated set together with each point's
+/// distance to the original set.
+#[derive(Debug, Clone)]
+pub struct Dilation<const D: usize> {
+    /// Distance of every reached point to the nearest seed (`0` on seeds).
+    pub distance: HashMap<Point<D>, u64>,
+}
+
+impl<const D: usize> Dilation<D> {
+    /// Number of points within the dilation, i.e. `|N_r(T)|` clipped to the
+    /// bounds used during construction.
+    pub fn len(&self) -> u64 {
+        self.distance.len() as u64
+    }
+
+    /// Whether the dilation is empty (only possible for an empty seed set).
+    pub fn is_empty(&self) -> bool {
+        self.distance.is_empty()
+    }
+
+    /// Whether `p` belongs to the dilated set.
+    pub fn contains(&self, p: Point<D>) -> bool {
+        self.distance.contains_key(&p)
+    }
+
+    /// Iterates the points of the dilated set (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = Point<D>> + '_ {
+        self.distance.keys().copied()
+    }
+}
+
+/// Computes `N_r(T) ∩ bounds` by multi-source BFS from `seeds`.
+///
+/// Seeds outside `bounds` are ignored. Runs in `O(|N_r(T)| · D)` time.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_grid::{dilate, GridBounds, pt2};
+/// let b = GridBounds::square(10);
+/// let n = dilate(&b, [pt2(5, 5)], 2);
+/// assert_eq!(n.len(), 13); // the radius-2 diamond
+/// assert!(n.contains(pt2(3, 5)));
+/// assert!(!n.contains(pt2(2, 5)));
+/// ```
+pub fn dilate<const D: usize, I>(bounds: &GridBounds<D>, seeds: I, r: u64) -> Dilation<D>
+where
+    I: IntoIterator<Item = Point<D>>,
+{
+    let mut distance: HashMap<Point<D>, u64> = HashMap::new();
+    let mut queue: VecDeque<Point<D>> = VecDeque::new();
+    for s in seeds {
+        if bounds.contains(s) && !distance.contains_key(&s) {
+            distance.insert(s, 0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(p) = queue.pop_front() {
+        let d = distance[&p];
+        if d == r {
+            continue;
+        }
+        for q in p.neighbors() {
+            if bounds.contains(q) && !distance.contains_key(&q) {
+                distance.insert(q, d + 1);
+                queue.push_back(q);
+            }
+        }
+    }
+    Dilation { distance }
+}
+
+/// `|N_r(T) ∩ bounds|` — the denominator of the density ratio in
+/// Lemma 2.2.2 — without materializing distances for the caller.
+pub fn dilated_size<const D: usize, I>(bounds: &GridBounds<D>, seeds: I, r: u64) -> u64
+where
+    I: IntoIterator<Item = Point<D>>,
+{
+    dilate(bounds, seeds, r).len()
+}
+
+/// Brute-force reference: union of clipped balls. Exposed for tests and
+/// cross-validation only; quadratic in the seed count.
+pub fn dilate_bruteforce<const D: usize, I>(
+    bounds: &GridBounds<D>,
+    seeds: I,
+    r: u64,
+) -> HashSet<Point<D>>
+where
+    I: IntoIterator<Item = Point<D>>,
+{
+    let mut out = HashSet::new();
+    for s in seeds {
+        for p in bounds.ball(s, r) {
+            out.insert(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{pt1, pt2};
+
+    #[test]
+    fn single_seed_is_ball() {
+        let b = GridBounds::square(20);
+        for r in 0..=4u64 {
+            let d = dilate(&b, [pt2(10, 10)], r);
+            let brute = dilate_bruteforce(&b, [pt2(10, 10)], r);
+            assert_eq!(d.len() as usize, brute.len());
+            assert!(brute.iter().all(|p| d.contains(*p)));
+        }
+    }
+
+    #[test]
+    fn distances_are_nearest_seed() {
+        let b = GridBounds::square(20);
+        let seeds = [pt2(0, 0), pt2(10, 10)];
+        let d = dilate(&b, seeds, 6);
+        for (p, dist) in &d.distance {
+            let want = seeds.iter().map(|s| s.manhattan(*p)).min().unwrap();
+            assert_eq!(*dist, want, "at {p}");
+        }
+    }
+
+    #[test]
+    fn overlapping_seeds_counted_once() {
+        let b = GridBounds::square(10);
+        let d = dilate(&b, [pt2(4, 4), pt2(4, 5)], 1);
+        // Two overlapping radius-1 diamonds: 5 + 5 - 2 shared = 8.
+        assert_eq!(d.len(), 8);
+    }
+
+    #[test]
+    fn clipped_at_boundary() {
+        let b = GridBounds::square(3);
+        let d = dilate(&b, [pt2(0, 0)], 5);
+        assert_eq!(d.len(), 9); // whole grid
+    }
+
+    #[test]
+    fn empty_seeds_empty_result() {
+        let b: GridBounds<1> = GridBounds::cube(5);
+        let d = dilate(&b, std::iter::empty(), 3);
+        assert!(d.is_empty());
+        assert_eq!(dilated_size(&b, std::iter::empty(), 3), 0);
+    }
+
+    #[test]
+    fn seeds_outside_bounds_ignored() {
+        let b: GridBounds<1> = GridBounds::cube(5);
+        let d = dilate(&b, [pt1(100)], 2);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn radius_zero_is_seed_set() {
+        let b = GridBounds::square(10);
+        let d = dilate(&b, [pt2(1, 1), pt2(2, 2)], 0);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_line_seed() {
+        let b = GridBounds::square(16);
+        let line: Vec<_> = (0..16).map(|x| pt2(x, 8)).collect();
+        for r in [0u64, 1, 2, 3] {
+            let fast = dilate(&b, line.iter().copied(), r);
+            let brute = dilate_bruteforce(&b, line.iter().copied(), r);
+            assert_eq!(fast.len() as usize, brute.len(), "r={r}");
+        }
+    }
+}

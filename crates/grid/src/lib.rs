@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! The `Z^ℓ` grid substrate for the CMVRP reproduction.
+//!
+//! The thesis (Gao, 2008) places one depot, one vehicle, and one potential
+//! customer at every vertex of the `ℓ`-dimensional integer lattice, with the
+//! Manhattan (L1) metric as the travel cost. This crate provides everything
+//! the higher layers need from that geometry:
+//!
+//! * [`Point`] — a lattice point with const-generic dimension.
+//! * [`GridBounds`] — a finite axis-aligned box of lattice points (the
+//!   bounded stand-in for the infinite grid; see DESIGN.md on the
+//!   substitution).
+//! * [`ball`] — exact L1-ball cardinalities, both the closed-form unbounded
+//!   count and clipped enumeration.
+//! * [`dilate`] — the neighborhood `N_r(T)` of a set, via multi-source BFS.
+//! * [`DemandMap`] — sparse integer demand `d(x)`, plus the dense 2-D array
+//!   variant consumed by the paper's Algorithm 1.
+//! * [`CubePartition`] — the `⌈ω⌉`-cube partition of Lemma 2.2.5.
+//! * [`color`] — the chessboard coloring and black–white pairing used by the
+//!   on-line strategy of Chapter 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmvrp_grid::{pt2, GridBounds, DemandMap};
+//!
+//! let bounds = GridBounds::square(8); // 8x8 grid, coordinates 0..8
+//! let mut d = DemandMap::new();
+//! d.add(pt2(3, 3), 10);
+//! assert_eq!(d.total(), 10);
+//! assert_eq!(pt2(0, 0).manhattan(pt2(3, 4)), 7);
+//! assert!(bounds.contains(pt2(7, 7)));
+//! ```
+
+pub mod ball;
+pub mod bounds;
+pub mod color;
+pub mod cubes;
+pub mod demand;
+pub mod dilate;
+pub mod point;
+pub mod render;
+
+pub use ball::{ball_size_clipped, ball_size_unbounded};
+pub use bounds::GridBounds;
+pub use color::{pair_partner, pairing_in_cube, snake_order, Color, Pairing};
+pub use cubes::{CubeId, CubePartition};
+pub use demand::{DemandMap, DenseDemand, DenseDemand2D};
+pub use dilate::{dilate, dilate_bruteforce, dilated_size, Dilation};
+pub use point::{pt1, pt2, pt3, Point};
+pub use render::{render_cells, render_demand, render_dilation};

@@ -1,0 +1,280 @@
+//! Lattice points of `Z^ℓ` with the Manhattan metric.
+
+use std::fmt;
+use std::ops::{Add, Index, Sub};
+
+/// A point of the `D`-dimensional integer lattice `Z^D`.
+///
+/// The thesis works on `Z^ℓ` with `ℓ` a constant; we model the dimension as a
+/// const generic so 1-D, 2-D, and 3-D instances are distinct types with
+/// zero-cost coordinate storage.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_grid::{pt2, Point};
+///
+/// let a = pt2(1, 2);
+/// let b = Point::new([4, -2]);
+/// assert_eq!(a.manhattan(b), 7);
+/// assert_eq!(a + b, pt2(5, 0));
+/// assert_eq!(a[1], 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point<const D: usize> {
+    coords: [i64; D],
+}
+
+/// Convenience constructor for a 1-D point.
+pub fn pt1(x: i64) -> Point<1> {
+    Point::new([x])
+}
+
+/// Convenience constructor for a 2-D point.
+pub fn pt2(x: i64, y: i64) -> Point<2> {
+    Point::new([x, y])
+}
+
+/// Convenience constructor for a 3-D point.
+pub fn pt3(x: i64, y: i64, z: i64) -> Point<3> {
+    Point::new([x, y, z])
+}
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from its coordinates.
+    pub fn new(coords: [i64; D]) -> Self {
+        Point { coords }
+    }
+
+    /// The origin (all coordinates zero).
+    pub fn origin() -> Self {
+        Point { coords: [0; D] }
+    }
+
+    /// The coordinate array.
+    pub fn coords(&self) -> [i64; D] {
+        self.coords
+    }
+
+    /// Manhattan (L1, rectilinear) distance to another point — the travel
+    /// metric of the thesis (footnote to §1.4).
+    pub fn manhattan(&self, other: Point<D>) -> u64 {
+        let mut d = 0u64;
+        for i in 0..D {
+            d += self.coords[i].abs_diff(other.coords[i]);
+        }
+        d
+    }
+
+    /// The L1 norm `‖x‖₁`.
+    pub fn l1_norm(&self) -> u64 {
+        self.coords.iter().map(|c| c.unsigned_abs()).sum()
+    }
+
+    /// Sum of coordinates; its parity determines the chessboard color used
+    /// by the on-line strategy (§3.2).
+    pub fn coord_sum(&self) -> i64 {
+        self.coords.iter().sum()
+    }
+
+    /// The `2·D` lattice neighbors at Manhattan distance exactly 1.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cmvrp_grid::pt2;
+    /// let n: Vec<_> = pt2(0, 0).neighbors().collect();
+    /// assert_eq!(n.len(), 4);
+    /// assert!(n.contains(&pt2(1, 0)));
+    /// assert!(n.contains(&pt2(0, -1)));
+    /// ```
+    pub fn neighbors(&self) -> Neighbors<D> {
+        Neighbors {
+            center: *self,
+            next: 0,
+        }
+    }
+
+    /// Returns the point translated by `delta` along axis `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= D`.
+    pub fn step(&self, axis: usize, delta: i64) -> Self {
+        assert!(axis < D, "axis {axis} out of range for dimension {D}");
+        let mut coords = self.coords;
+        coords[axis] += delta;
+        Point { coords }
+    }
+}
+
+/// Iterator over the `2·D` unit-distance neighbors of a point.
+///
+/// Produced by [`Point::neighbors`].
+#[derive(Debug, Clone)]
+pub struct Neighbors<const D: usize> {
+    center: Point<D>,
+    next: usize,
+}
+
+impl<const D: usize> Iterator for Neighbors<D> {
+    type Item = Point<D>;
+
+    fn next(&mut self) -> Option<Point<D>> {
+        if self.next >= 2 * D {
+            return None;
+        }
+        let axis = self.next / 2;
+        let delta = if self.next % 2 == 0 { 1 } else { -1 };
+        self.next += 1;
+        Some(self.center.step(axis, delta))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = 2 * D - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<const D: usize> ExactSizeIterator for Neighbors<D> {}
+
+impl<const D: usize> fmt::Debug for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{:?}", self.coords)
+    }
+}
+
+impl<const D: usize> fmt::Display for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Point::origin()
+    }
+}
+
+impl<const D: usize> Add for Point<D> {
+    type Output = Point<D>;
+    fn add(self, rhs: Point<D>) -> Point<D> {
+        let mut coords = self.coords;
+        for i in 0..D {
+            coords[i] += rhs.coords[i];
+        }
+        Point { coords }
+    }
+}
+
+impl<const D: usize> Sub for Point<D> {
+    type Output = Point<D>;
+    fn sub(self, rhs: Point<D>) -> Point<D> {
+        let mut coords = self.coords;
+        for i in 0..D {
+            coords[i] -= rhs.coords[i];
+        }
+        Point { coords }
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = i64;
+    fn index(&self, i: usize) -> &i64 {
+        &self.coords[i]
+    }
+}
+
+impl<const D: usize> From<[i64; D]> for Point<D> {
+    fn from(coords: [i64; D]) -> Self {
+        Point { coords }
+    }
+}
+
+impl<const D: usize> AsRef<[i64]> for Point<D> {
+    fn as_ref(&self) -> &[i64] {
+        &self.coords
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_a_metric() {
+        let a = pt2(0, 0);
+        let b = pt2(3, -4);
+        let c = pt2(-1, 2);
+        assert_eq!(a.manhattan(a), 0);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert!(a.manhattan(c) + c.manhattan(b) >= a.manhattan(b));
+        assert_eq!(a.manhattan(b), 7);
+    }
+
+    #[test]
+    fn neighbors_unit_distance() {
+        let p = pt3(5, -2, 0);
+        let n: Vec<_> = p.neighbors().collect();
+        assert_eq!(n.len(), 6);
+        for q in &n {
+            assert_eq!(p.manhattan(*q), 1);
+        }
+        // All distinct.
+        let mut sorted = n.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn neighbors_exact_size() {
+        let mut it = pt1(0).neighbors();
+        assert_eq!(it.len(), 2);
+        it.next();
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn arithmetic_and_indexing() {
+        let a = pt2(1, 2);
+        let b = pt2(10, 20);
+        assert_eq!(a + b, pt2(11, 22));
+        assert_eq!(b - a, pt2(9, 18));
+        assert_eq!(b[0], 10);
+        assert_eq!(Point::<2>::from([7, 8]), pt2(7, 8));
+        assert_eq!(a.as_ref(), &[1, 2]);
+    }
+
+    #[test]
+    fn step_moves_along_axis() {
+        assert_eq!(pt2(0, 0).step(1, -3), pt2(0, -3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn step_bad_axis_panics() {
+        let _ = pt1(0).step(1, 1);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(pt2(3, -1).to_string(), "(3,-1)");
+        assert_eq!(format!("{:?}", pt1(4)), "Point[4]");
+    }
+
+    #[test]
+    fn norm_and_coord_sum() {
+        assert_eq!(pt3(1, -2, 3).l1_norm(), 6);
+        assert_eq!(pt3(1, -2, 3).coord_sum(), 2);
+        assert_eq!(Point::<3>::origin().l1_norm(), 0);
+        assert_eq!(Point::<2>::default(), pt2(0, 0));
+    }
+}

@@ -1,0 +1,106 @@
+//! ASCII rendering of 2-D demand maps and dilations — for the CLI and for
+//! eyeballing workloads in examples and bug reports.
+
+use crate::bounds::GridBounds;
+use crate::demand::DemandMap;
+use crate::dilate::Dilation;
+use crate::point::{pt2, Point};
+
+/// Renders a 2-D demand map as a character grid: `.` for zero, `1`–`9` for
+/// small demands, and letters for decades beyond (`a` = 10–19, `b` =
+/// 20–29, …, `z`, then `#`). The y axis grows downward, x rightward.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_grid::{render_demand, DemandMap, GridBounds, pt2};
+/// let mut d = DemandMap::new();
+/// d.add(pt2(1, 0), 3);
+/// let s = render_demand(&GridBounds::square(3), &d);
+/// assert_eq!(s.lines().count(), 3);
+/// assert!(s.contains('3'));
+/// ```
+pub fn render_demand(bounds: &GridBounds<2>, demand: &DemandMap<2>) -> String {
+    render_cells(bounds, |p| glyph(demand.get(p)))
+}
+
+/// Renders a dilation (`N_r(T)`), marking seeds `@`, covered cells `+`,
+/// and everything else `.`.
+pub fn render_dilation(bounds: &GridBounds<2>, dilation: &Dilation<2>) -> String {
+    render_cells(bounds, |p| match dilation.distance.get(&p) {
+        Some(0) => '@',
+        Some(_) => '+',
+        None => '.',
+    })
+}
+
+/// Generic cell renderer over a 2-D box.
+pub fn render_cells(bounds: &GridBounds<2>, mut cell: impl FnMut(Point<2>) -> char) -> String {
+    let mut out = String::with_capacity((bounds.volume() + bounds.extent(1)) as usize);
+    for y in bounds.min()[1]..=bounds.max()[1] {
+        for x in bounds.min()[0]..=bounds.max()[0] {
+            out.push(cell(pt2(x, y)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The single-character glyph for a demand magnitude.
+fn glyph(d: u64) -> char {
+    match d {
+        0 => '.',
+        1..=9 => (b'0' + d as u8) as char,
+        10..=269 => (b'a' + ((d / 10 - 1) as u8).min(25)) as char,
+        _ => '#',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dilate::dilate;
+
+    #[test]
+    fn glyphs() {
+        assert_eq!(glyph(0), '.');
+        assert_eq!(glyph(5), '5');
+        assert_eq!(glyph(10), 'a');
+        assert_eq!(glyph(29), 'b');
+        assert_eq!(glyph(260), 'z');
+        assert_eq!(glyph(1_000_000), '#');
+    }
+
+    #[test]
+    fn demand_rendering_shape() {
+        let b = GridBounds::square(4);
+        let mut d = DemandMap::new();
+        d.add(pt2(0, 0), 2);
+        d.add(pt2(3, 3), 42);
+        let s = render_demand(&b, &d);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        assert_eq!(lines[0].chars().next(), Some('2'));
+        assert_eq!(lines[3].chars().nth(3), Some('d')); // 40-49 → 'd'
+    }
+
+    #[test]
+    fn dilation_rendering_marks_seeds_and_halo() {
+        let b = GridBounds::square(5);
+        let n = dilate(&b, [pt2(2, 2)], 1);
+        let s = render_dilation(&b, &n);
+        assert_eq!(s.matches('@').count(), 1);
+        assert_eq!(s.matches('+').count(), 4);
+        assert_eq!(s.matches('.').count(), 20);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let b = GridBounds::new([-1, -1], [1, 1]);
+        let mut d = DemandMap::new();
+        d.add(pt2(-1, -1), 7);
+        let s = render_demand(&b, &d);
+        assert!(s.starts_with('7'));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the grid substrate: the snake path, pairings, cube
+//! partitions, and ball counts on randomized boxes.
+
+use cmvrp_grid::{
+    ball_size_clipped, ball_size_unbounded, pairing_in_cube, snake_order, Color, CubePartition,
+    GridBounds, Point,
+};
+use proptest::prelude::*;
+
+fn box_strategy() -> impl Strategy<Value = GridBounds<2>> {
+    ((-5i64..5, 1i64..7), (-5i64..5, 1i64..7))
+        .prop_map(|((x, w), (y, h))| GridBounds::new([x, y], [x + w - 1, y + h - 1]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The snake order is a Hamiltonian path of every box.
+    #[test]
+    fn snake_is_hamiltonian_on_random_boxes(b in box_strategy()) {
+        let order = snake_order(&b);
+        prop_assert_eq!(order.len() as u64, b.volume());
+        for w in order.windows(2) {
+            prop_assert_eq!(w[0].manhattan(w[1]), 1);
+        }
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len() as u64, b.volume());
+    }
+
+    /// Pairings cover every vertex exactly once with adjacent bicolored
+    /// pairs and at most one singleton.
+    #[test]
+    fn pairing_invariants(b in box_strategy()) {
+        let pairing = pairing_in_cube(&b);
+        prop_assert_eq!(pairing.vertex_count() as u64, b.volume());
+        prop_assert_eq!(pairing.singleton_count() as u64, b.volume() % 2);
+        let mut seen = std::collections::HashSet::new();
+        for (a, partner) in pairing.pairs() {
+            prop_assert!(seen.insert(*a));
+            if let Some(p) = partner {
+                prop_assert!(seen.insert(*p));
+                prop_assert_eq!(a.manhattan(*p), 1);
+                prop_assert_eq!(Color::of(*a), Color::Black);
+                prop_assert_eq!(Color::of(*p), Color::White);
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, b.volume());
+    }
+
+    /// Cube partitions tile the grid: every point in exactly one cube, and
+    /// cube bounds agree with cube_of.
+    #[test]
+    fn cube_partition_tiles(b in box_strategy(), side in 1u64..5) {
+        let part = CubePartition::new(b, side);
+        let mut covered = 0u64;
+        for id in part.cubes() {
+            let cube = part.cube_bounds(id);
+            covered += cube.volume();
+            for p in cube.iter() {
+                prop_assert_eq!(part.cube_of(p), id);
+            }
+            // Clipped cubes never exceed the nominal side.
+            prop_assert!(cube.extent(0) <= side && cube.extent(1) <= side);
+        }
+        prop_assert_eq!(covered, b.volume());
+    }
+
+    /// Clipped ball counts: interior balls match the closed form; any ball
+    /// is bounded by it.
+    #[test]
+    fn ball_counts(r in 0u64..4, cx in -3i64..3, cy in -3i64..3) {
+        let b = GridBounds::new([-20, -20], [20, 20]);
+        let center = Point::new([cx, cy]);
+        let clipped = ball_size_clipped(&b, center, r) as u128;
+        prop_assert_eq!(clipped, ball_size_unbounded(2, r));
+        // Near the corner the ball shrinks but never grows.
+        let tight = GridBounds::new([-3, -3], [3, 3]);
+        let small = ball_size_clipped(&tight, center, r) as u128;
+        prop_assert!(small <= clipped);
+    }
+
+    /// Demand map algebra: totals track adds/sets under random operations.
+    #[test]
+    fn demand_bookkeeping(ops in prop::collection::vec(
+        ((0i64..6, 0i64..6), 0u64..20, any::<bool>()), 1..40)
+    ) {
+        use cmvrp_grid::DemandMap;
+        let mut m: DemandMap<2> = DemandMap::new();
+        let mut shadow = std::collections::HashMap::new();
+        for ((x, y), amount, is_set) in ops {
+            let p = Point::new([x, y]);
+            if is_set {
+                m.set(p, amount);
+                if amount == 0 {
+                    shadow.remove(&p);
+                } else {
+                    shadow.insert(p, amount);
+                }
+            } else {
+                m.add(p, amount);
+                if amount > 0 {
+                    *shadow.entry(p).or_insert(0) += amount;
+                }
+            }
+        }
+        prop_assert_eq!(m.total(), shadow.values().sum::<u64>());
+        prop_assert_eq!(m.support_len(), shadow.len());
+        for (p, want) in shadow {
+            prop_assert_eq!(m.get(p), want);
+        }
+    }
+}

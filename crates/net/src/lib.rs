@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Distributed-system substrate for the CMVRP reproduction.
+//!
+//! Chapter 3 of the thesis runs a decentralized protocol among vehicles
+//! under an explicit communication model (§3.2): reliable bidirectional
+//! links, per-channel FIFO ordering, arbitrary finite delays, unbounded
+//! input buffers, zero energy cost for communication, and job arrivals
+//! spaced widely enough that every computation quiesces in between. This
+//! crate implements exactly that model:
+//!
+//! * [`sim`] — a deterministic discrete-event message-passing simulator:
+//!   processes implement [`Process`], messages are delivered with seeded
+//!   pseudo-random (but FIFO-respecting) delays, and
+//!   [`Network::run_to_quiescence`] plays the role of the paper's
+//!   "long enough" inter-arrival gap.
+//! * [`diffuse`] — a reusable Dijkstra–Scholten diffusing-computation engine
+//!   (the `num` / `par` / `child` / `init` bookkeeping of Algorithm 2),
+//!   decoupled from any particular transport.
+//! * [`heartbeat`] — the "existing"-message failure-detection scaffolding of
+//!   §3.2.5 used for scenarios 2 and 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmvrp_net::{Network, NetConfig, Process, Context, ProcessId};
+//!
+//! // A trivial token-forwarding ring.
+//! struct Node { next: ProcessId, hops: u32 }
+//! impl Process<u32> for Node {
+//!     fn on_message(&mut self, ctx: &mut Context<u32>, _from: ProcessId, ttl: u32) {
+//!         self.hops += 1;
+//!         if ttl > 0 { ctx.send(self.next, ttl - 1); }
+//!     }
+//! }
+//!
+//! let nodes = (0..3).map(|i| Node { next: (i + 1) % 3, hops: 0 }).collect();
+//! let mut net = Network::new(nodes, NetConfig::default());
+//! net.post(0, 5);
+//! let report = net.run_to_quiescence();
+//! assert!(report.quiesced);
+//! assert_eq!(report.delivered, 6);
+//! ```
+
+pub mod diffuse;
+pub mod heartbeat;
+pub mod sim;
+
+pub use diffuse::{DiffuseMsg, DiffuseOutcome, DiffusingEngine};
+pub use heartbeat::HeartbeatMonitor;
+pub use sim::{Context, NetConfig, Network, Process, ProcessId, RunReport};

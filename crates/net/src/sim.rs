@@ -1,0 +1,551 @@
+//! Deterministic discrete-event message-passing simulator.
+//!
+//! Implements the communication model of §3.2 of the thesis:
+//!
+//! * **Reliable**: messages are never lost or altered (unless a process is
+//!   deliberately crashed through failure injection).
+//! * **FIFO per channel**: messages from `P` to `Q` arrive in the order
+//!   sent, as the thesis assumes ("synchronous communication").
+//! * **Arbitrary finite delay**: each message draws a delay from a seeded
+//!   RNG within `[min_delay, max_delay]`; FIFO is enforced on top.
+//! * **Unbounded input buffers** and **zero energy cost**: delivery is free
+//!   and never back-pressured; even a vehicle with zero energy keeps
+//!   communicating (the simulator knows nothing of energy).
+//!
+//! Determinism: given the same seed and the same sequence of external
+//! [`Network::post`]/[`Network::trigger`] calls, every run delivers the same
+//! messages in the same order.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Identifier of a process within a [`Network`] (its index).
+pub type ProcessId = usize;
+
+/// A process participating in the simulated network.
+///
+/// Implementations hold all protocol state; the network owns delivery.
+pub trait Process<M> {
+    /// Invoked when a message from `from` is removed from this process'
+    /// input buffer. Outgoing messages are sent through `ctx`.
+    fn on_message(&mut self, ctx: &mut Context<M>, from: ProcessId, msg: M);
+
+    /// Invoked by [`Network::tick_all`]; default does nothing. Used for
+    /// periodic behaviour such as the "existing" heartbeats of §3.2.5.
+    fn on_tick(&mut self, ctx: &mut Context<M>, now: u64) {
+        let _ = (ctx, now);
+    }
+}
+
+/// Handle through which a process sends messages during a callback.
+#[derive(Debug)]
+pub struct Context<M> {
+    id: ProcessId,
+    now: u64,
+    outbox: Vec<(ProcessId, M)>,
+}
+
+impl<M> Context<M> {
+    /// The id of the process being invoked.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Queues a message to `to`; it is handed to the network when the
+    /// callback returns.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+}
+
+/// Configuration for a [`Network`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// RNG seed controlling message delays (and drops, when enabled).
+    pub seed: u64,
+    /// Minimum per-message delay (>= 1).
+    pub min_delay: u64,
+    /// Maximum per-message delay (>= `min_delay`).
+    pub max_delay: u64,
+    /// Safety budget: `run_to_quiescence` gives up (reporting
+    /// `quiesced: false`) after this many deliveries.
+    pub max_events: u64,
+    /// Probability in `[0, 1)` that a message is silently lost in transit.
+    ///
+    /// The thesis assumes error-free communication (§3.2); this knob exists
+    /// to *demonstrate* that assumption is load-bearing — Dijkstra–Scholten
+    /// deadlocks under loss (see the `diffuse` tests).
+    pub drop_rate: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            seed: 0xC0FFEE,
+            min_delay: 1,
+            max_delay: 5,
+            max_events: 10_000_000,
+            drop_rate: 0.0,
+        }
+    }
+}
+
+/// Report from [`Network::run_to_quiescence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Messages delivered during this run.
+    pub delivered: u64,
+    /// Messages dropped because the recipient had crashed.
+    pub dropped: u64,
+    /// Whether the event queue drained (false iff the event budget ran out).
+    pub quiesced: bool,
+}
+
+#[derive(Debug)]
+struct Envelope<M> {
+    from: ProcessId,
+    to: ProcessId,
+    msg: M,
+}
+
+/// A simulated network of processes exchanging messages of type `M`.
+#[derive(Debug)]
+pub struct Network<P, M> {
+    processes: Vec<P>,
+    crashed: Vec<bool>,
+    config: NetConfig,
+    rng: SmallRng,
+    now: u64,
+    seq: u64,
+    /// (delivery_time, seq) -> envelope; `Reverse` for a min-heap. `seq`
+    /// breaks ties deterministically and preserves FIFO among equal times.
+    queue: BinaryHeap<Reverse<(u64, u64)>>,
+    payloads: HashMap<u64, Envelope<M>>,
+    /// Latest scheduled delivery per ordered channel, for FIFO enforcement.
+    channel_last: HashMap<(ProcessId, ProcessId), u64>,
+    total_sent: u64,
+    total_delivered: u64,
+    total_lost: u64,
+}
+
+impl<P, M> Network<P, M>
+where
+    P: Process<M>,
+{
+    /// Creates a network over the given processes.
+    pub fn new(processes: Vec<P>, config: NetConfig) -> Self {
+        assert!(config.min_delay >= 1, "min_delay must be >= 1");
+        assert!(
+            config.max_delay >= config.min_delay,
+            "max_delay < min_delay"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.drop_rate),
+            "drop_rate must be in [0, 1)"
+        );
+        let n = processes.len();
+        Network {
+            processes,
+            crashed: vec![false; n],
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            channel_last: HashMap::new(),
+            total_sent: 0,
+            total_delivered: 0,
+            total_lost: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Whether the network has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total messages accepted for delivery so far.
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+
+    /// Total messages delivered so far.
+    pub fn total_delivered(&self) -> u64 {
+        self.total_delivered
+    }
+
+    /// Total messages lost to the `drop_rate` fault injection.
+    pub fn total_lost(&self) -> u64 {
+        self.total_lost
+    }
+
+    /// Shared access to a process (for inspection).
+    pub fn process(&self, id: ProcessId) -> &P {
+        &self.processes[id]
+    }
+
+    /// Exclusive access to a process.
+    ///
+    /// This models *physical-layer* effects that are not messages — e.g.
+    /// the on-line driver updating a vehicle's neighbor list after motion.
+    /// Protocol logic should flow through messages instead.
+    pub fn process_mut(&mut self, id: ProcessId) -> &mut P {
+        &mut self.processes[id]
+    }
+
+    /// Iterates over all processes.
+    pub fn processes(&self) -> impl Iterator<Item = &P> {
+        self.processes.iter()
+    }
+
+    /// Crashes a process: it silently drops all future deliveries and emits
+    /// nothing. Models the dead vehicles of §3.2.5 / Chapter 4.
+    pub fn crash(&mut self, id: ProcessId) {
+        self.crashed[id] = true;
+    }
+
+    /// Whether `id` has been crashed.
+    pub fn is_crashed(&self, id: ProcessId) -> bool {
+        self.crashed[id]
+    }
+
+    fn schedule(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        if self.config.drop_rate > 0.0 && self.rng.gen_bool(self.config.drop_rate) {
+            // Lost in transit: never enqueued (the sender cannot tell).
+            self.total_lost += 1;
+            return;
+        }
+        let delay = self
+            .rng
+            .gen_range(self.config.min_delay..=self.config.max_delay);
+        let naive = self.now + delay;
+        let last = self.channel_last.get(&(from, to)).copied().unwrap_or(0);
+        let at = naive.max(last); // FIFO: never deliver before an earlier send
+        self.channel_last.insert((from, to), at);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse((at, seq)));
+        self.payloads.insert(seq, Envelope { from, to, msg });
+        self.total_sent += 1;
+    }
+
+    /// Injects an external message to `to`, attributed to the recipient
+    /// itself (used for environmental events such as job arrivals).
+    pub fn post(&mut self, to: ProcessId, msg: M) {
+        self.schedule(to, to, msg);
+    }
+
+    /// Runs a closure against process `id` with a live [`Context`], sending
+    /// whatever the closure queues. Returns the closure's value. This is how
+    /// drivers deliver environmental events synchronously.
+    pub fn trigger<R>(&mut self, id: ProcessId, f: impl FnOnce(&mut P, &mut Context<M>) -> R) -> R {
+        let mut ctx = Context {
+            id,
+            now: self.now,
+            outbox: Vec::new(),
+        };
+        let out = f(&mut self.processes[id], &mut ctx);
+        if !self.crashed[id] {
+            for (to, msg) in ctx.outbox {
+                self.schedule(id, to, msg);
+            }
+        }
+        out
+    }
+
+    /// Invokes [`Process::on_tick`] on every non-crashed process at the
+    /// current time (advancing time by 1 first), then returns. Callers
+    /// typically follow with [`Network::run_to_quiescence`].
+    pub fn tick_all(&mut self) {
+        self.now += 1;
+        for id in 0..self.processes.len() {
+            if self.crashed[id] {
+                continue;
+            }
+            let mut ctx = Context {
+                id,
+                now: self.now,
+                outbox: Vec::new(),
+            };
+            self.processes[id].on_tick(&mut ctx, self.now);
+            for (to, msg) in ctx.outbox {
+                self.schedule(id, to, msg);
+            }
+        }
+    }
+
+    /// Delivers queued messages until none remain (or the event budget is
+    /// exhausted). This realizes the paper's assumption that consecutive
+    /// job arrivals are spaced widely enough for computations to finish.
+    pub fn run_to_quiescence(&mut self) -> RunReport {
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        while let Some(Reverse((at, seq))) = self.queue.pop() {
+            if delivered >= self.config.max_events {
+                // Re-push so state stays consistent if the caller continues.
+                self.queue.push(Reverse((at, seq)));
+                return RunReport {
+                    delivered,
+                    dropped,
+                    quiesced: false,
+                };
+            }
+            self.now = self.now.max(at);
+            let env = self.payloads.remove(&seq).expect("payload for event");
+            if self.crashed[env.to] {
+                dropped += 1;
+                continue;
+            }
+            delivered += 1;
+            self.total_delivered += 1;
+            let mut ctx = Context {
+                id: env.to,
+                now: self.now,
+                outbox: Vec::new(),
+            };
+            self.processes[env.to].on_message(&mut ctx, env.from, env.msg);
+            let sender = env.to;
+            if !self.crashed[sender] {
+                for (to, msg) in ctx.outbox {
+                    self.schedule(sender, to, msg);
+                }
+            }
+        }
+        RunReport {
+            delivered,
+            dropped,
+            quiesced: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records every (from, payload) it receives, forwarding according to a
+    /// static routing table.
+    struct Recorder {
+        forward_to: Option<ProcessId>,
+        log: Vec<(ProcessId, u32)>,
+    }
+
+    impl Process<u32> for Recorder {
+        fn on_message(&mut self, ctx: &mut Context<u32>, from: ProcessId, msg: u32) {
+            self.log.push((from, msg));
+            if let Some(next) = self.forward_to {
+                if msg > 0 {
+                    ctx.send(next, msg - 1);
+                }
+            }
+        }
+    }
+
+    fn recorders(n: usize, chain: bool) -> Vec<Recorder> {
+        (0..n)
+            .map(|i| Recorder {
+                forward_to: if chain && i + 1 < n {
+                    Some(i + 1)
+                } else {
+                    None
+                },
+                log: Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn post_delivers() {
+        let mut net = Network::new(recorders(1, false), NetConfig::default());
+        net.post(0, 42);
+        let r = net.run_to_quiescence();
+        assert!(r.quiesced);
+        assert_eq!(r.delivered, 1);
+        assert_eq!(net.process(0).log, vec![(0, 42)]);
+    }
+
+    #[test]
+    fn chain_forwarding() {
+        let mut net = Network::new(recorders(4, true), NetConfig::default());
+        net.post(0, 10);
+        net.run_to_quiescence();
+        assert_eq!(net.process(3).log, vec![(2, 7)]);
+        assert_eq!(net.total_delivered(), 4);
+    }
+
+    #[test]
+    fn fifo_per_channel() {
+        // Many messages on one channel must arrive in send order despite
+        // random delays.
+        struct Sink {
+            log: Vec<u32>,
+        }
+        impl Process<u32> for Sink {
+            fn on_message(&mut self, _ctx: &mut Context<u32>, _from: ProcessId, m: u32) {
+                self.log.push(m);
+            }
+        }
+        for seed in 0..20u64 {
+            let mut net = Network::new(
+                vec![Sink { log: Vec::new() }, Sink { log: Vec::new() }],
+                NetConfig {
+                    seed,
+                    min_delay: 1,
+                    max_delay: 9,
+                    ..NetConfig::default()
+                },
+            );
+            for k in 0..50 {
+                net.trigger(1, |_p, ctx| ctx.send(0, k));
+            }
+            net.run_to_quiescence();
+            let want: Vec<u32> = (0..50).collect();
+            assert_eq!(net.process(0).log, want, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let run = |seed: u64| {
+            let mut net = Network::new(
+                recorders(4, true),
+                NetConfig {
+                    seed,
+                    ..NetConfig::default()
+                },
+            );
+            net.post(0, 20);
+            net.run_to_quiescence();
+            (0..4)
+                .map(|i| net.process(i).log.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn crashed_process_drops_messages() {
+        let mut net = Network::new(recorders(2, true), NetConfig::default());
+        net.crash(1);
+        net.post(0, 5);
+        let r = net.run_to_quiescence();
+        assert_eq!(r.delivered, 1); // only process 0
+        assert_eq!(r.dropped, 1); // the forward to 1
+        assert!(net.process(1).log.is_empty());
+        assert!(net.is_crashed(1));
+    }
+
+    #[test]
+    fn crashed_process_sends_nothing() {
+        let mut net = Network::new(recorders(2, true), NetConfig::default());
+        net.crash(0);
+        // Even a direct trigger on a crashed process emits nothing.
+        net.trigger(0, |_p, ctx| ctx.send(1, 3));
+        let r = net.run_to_quiescence();
+        assert_eq!(r.delivered, 0);
+    }
+
+    #[test]
+    fn event_budget_reports_non_quiescence() {
+        // A two-node ping-pong that never ends.
+        struct Pong;
+        impl Process<u32> for Pong {
+            fn on_message(&mut self, ctx: &mut Context<u32>, from: ProcessId, m: u32) {
+                ctx.send(from, m);
+            }
+        }
+        let mut net = Network::new(
+            vec![Pong, Pong],
+            NetConfig {
+                max_events: 100,
+                ..NetConfig::default()
+            },
+        );
+        net.trigger(0, |_p, ctx| ctx.send(1, 1));
+        let r = net.run_to_quiescence();
+        assert!(!r.quiesced);
+        assert_eq!(r.delivered, 100);
+    }
+
+    #[test]
+    fn tick_reaches_all_but_crashed() {
+        struct Ticker {
+            ticks: u64,
+        }
+        impl Process<u32> for Ticker {
+            fn on_message(&mut self, _: &mut Context<u32>, _: ProcessId, _: u32) {}
+            fn on_tick(&mut self, _: &mut Context<u32>, _now: u64) {
+                self.ticks += 1;
+            }
+        }
+        let mut net = Network::new(
+            vec![Ticker { ticks: 0 }, Ticker { ticks: 0 }],
+            NetConfig::default(),
+        );
+        net.crash(1);
+        net.tick_all();
+        net.tick_all();
+        assert_eq!(net.process(0).ticks, 2);
+        assert_eq!(net.process(1).ticks, 0);
+    }
+
+    #[test]
+    fn drop_rate_loses_messages() {
+        let mut net = Network::new(
+            recorders(2, false),
+            NetConfig {
+                seed: 3,
+                drop_rate: 0.5,
+                ..NetConfig::default()
+            },
+        );
+        for k in 0..200 {
+            net.trigger(0, |_p, ctx| ctx.send(1, k));
+        }
+        let report = net.run_to_quiescence();
+        assert!(report.quiesced);
+        let delivered = net.process(1).log.len() as u64;
+        assert_eq!(delivered + net.total_lost(), 200);
+        // Roughly half lost (seeded, deterministic).
+        assert!(net.total_lost() > 50 && net.total_lost() < 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_rate")]
+    fn invalid_drop_rate_rejected() {
+        let _ = Network::new(
+            recorders(1, false),
+            NetConfig {
+                drop_rate: 1.5,
+                ..NetConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn time_is_monotone() {
+        let mut net = Network::new(recorders(4, true), NetConfig::default());
+        net.post(0, 3);
+        let t0 = net.now();
+        net.run_to_quiescence();
+        assert!(net.now() > t0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the simulator's model guarantees (§3.2 assumptions):
+//! per-channel FIFO under arbitrary traffic, determinism, and diffusing
+//! computation termination on random connected graphs.
+
+use cmvrp_net::diffuse::{DiffuseMsg, DiffuseOutcome, DiffusingEngine};
+use cmvrp_net::{Context, NetConfig, Network, Process, ProcessId};
+use proptest::prelude::*;
+
+/// Logs every delivery in order, per sender.
+struct Sink {
+    log: Vec<(ProcessId, u64)>,
+}
+
+impl Process<u64> for Sink {
+    fn on_message(&mut self, _ctx: &mut Context<u64>, from: ProcessId, m: u64) {
+        self.log.push((from, m));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FIFO per channel: for every (sender → receiver) pair, sequence
+    /// numbers arrive in send order, regardless of delays and interleaving.
+    #[test]
+    fn fifo_per_channel_under_random_traffic(
+        seed in any::<u64>(),
+        max_delay in 1u64..10,
+        sends in prop::collection::vec((0usize..4, 0usize..4), 1..120),
+    ) {
+        let nodes: Vec<Sink> = (0..4).map(|_| Sink { log: Vec::new() }).collect();
+        let mut net = Network::new(nodes, NetConfig {
+            seed,
+            min_delay: 1,
+            max_delay,
+            ..NetConfig::default()
+        });
+        // Stamp each message with a per-channel sequence number.
+        let mut counters = [[0u64; 4]; 4];
+        for (from, to) in sends {
+            let stamp = counters[from][to];
+            counters[from][to] += 1;
+            net.trigger(from, |_p, ctx| ctx.send(to, stamp));
+        }
+        let report = net.run_to_quiescence();
+        prop_assert!(report.quiesced);
+        // Per-channel stamps must arrive ascending.
+        for to in 0..4usize {
+            let mut last = [-1i64; 4];
+            for &(from, stamp) in &net.process(to).log {
+                prop_assert!((stamp as i64) > last[from],
+                    "channel {from}->{to} out of order");
+                last[from] = stamp as i64;
+            }
+        }
+        // Nothing lost.
+        let delivered: usize = (0..4).map(|i| net.process(i).log.len()).sum();
+        prop_assert_eq!(delivered as u64, net.total_sent());
+    }
+
+    /// Same seed + same inputs → identical delivery logs.
+    #[test]
+    fn determinism(
+        seed in any::<u64>(),
+        sends in prop::collection::vec((0usize..3, 0usize..3), 1..40),
+    ) {
+        let run = |seed: u64| {
+            let nodes: Vec<Sink> = (0..3).map(|_| Sink { log: Vec::new() }).collect();
+            let mut net = Network::new(nodes, NetConfig { seed, ..NetConfig::default() });
+            for (k, (from, to)) in sends.iter().enumerate() {
+                net.trigger(*from, |_p, ctx| ctx.send(*to, k as u64));
+            }
+            net.run_to_quiescence();
+            (0..3).map(|i| net.process(i).log.clone()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
+
+/// Node embedding the Dijkstra–Scholten engine (as in the diffuse module's
+/// unit tests, but over property-generated random connected topologies).
+struct DiffNode {
+    id: ProcessId,
+    neighbors: Vec<ProcessId>,
+    is_target: bool,
+    engine: DiffusingEngine,
+    finished: Option<Option<ProcessId>>,
+}
+
+impl Process<DiffuseMsg> for DiffNode {
+    fn on_message(&mut self, ctx: &mut Context<DiffuseMsg>, from: ProcessId, msg: DiffuseMsg) {
+        let (out, outcome) = match msg {
+            DiffuseMsg::Query { init } => {
+                self.engine
+                    .on_query(from, init, self.is_target, &self.neighbors)
+            }
+            DiffuseMsg::Reply { found, init } => self.engine.on_reply(from, found, init),
+        };
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        if let DiffuseOutcome::InitiatorDone { child } = outcome {
+            self.finished = Some(child);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On any connected topology, a diffusing computation terminates; it
+    /// reports a child iff a target exists, and following child pointers
+    /// reaches a target.
+    #[test]
+    fn diffusing_computation_total_correctness(
+        seed in any::<u64>(),
+        n in 2usize..12,
+        extra_edges in prop::collection::vec((0usize..12, 0usize..12), 0..14),
+        target_mask in any::<u16>(),
+    ) {
+        // Connected base: a path 0-1-…-(n-1); extra random edges on top.
+        let mut adj: Vec<Vec<ProcessId>> = vec![Vec::new(); n];
+        let mut add = |adj: &mut Vec<Vec<ProcessId>>, a: usize, b: usize| {
+            if a != b && !adj[a].contains(&b) {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        };
+        for i in 0..n - 1 {
+            add(&mut adj, i, i + 1);
+        }
+        for (a, b) in extra_edges {
+            if a < n && b < n {
+                add(&mut adj, a, b);
+            }
+        }
+        // Node 0 initiates; targets from the mask (never node 0).
+        let targets: Vec<bool> = (0..n)
+            .map(|i| i != 0 && (target_mask >> (i % 16)) & 1 == 1)
+            .collect();
+        let any_target = targets.iter().any(|&t| t);
+        let nodes: Vec<DiffNode> = (0..n)
+            .map(|id| DiffNode {
+                id,
+                neighbors: adj[id].clone(),
+                is_target: targets[id],
+                engine: DiffusingEngine::new(),
+                finished: None,
+            })
+            .collect();
+        let mut net = Network::new(nodes, NetConfig { seed, ..NetConfig::default() });
+        net.trigger(0, |node, ctx| {
+            let nbrs = node.neighbors.clone();
+            let (out, outcome) = node.engine.start(node.id, &nbrs);
+            for (to, m) in out {
+                ctx.send(to, m);
+            }
+            if let DiffuseOutcome::InitiatorDone { child } = outcome {
+                node.finished = Some(child);
+            }
+        });
+        let report = net.run_to_quiescence();
+        prop_assert!(report.quiesced, "computation must terminate");
+        let finished = net.process(0).finished;
+        prop_assert!(finished.is_some(), "initiator must learn completion");
+        match finished.unwrap() {
+            Some(first_hop) => {
+                prop_assert!(any_target, "child reported but no target exists");
+                // Walk the child path.
+                let mut cur = first_hop;
+                let mut steps = 0;
+                loop {
+                    steps += 1;
+                    prop_assert!(steps <= n, "child path must be simple");
+                    match net.process(cur).engine.child() {
+                        Some(next) => cur = next,
+                        None => break,
+                    }
+                }
+                prop_assert!(net.process(cur).is_target, "path must end at a target");
+            }
+            None => prop_assert!(!any_target, "target existed but was not found"),
+        }
+        // Every node is back to waiting.
+        for id in 0..n {
+            prop_assert!(net.process(id).engine.is_waiting(), "node {id} stuck");
+        }
+    }
+}

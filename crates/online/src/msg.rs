@@ -1,0 +1,62 @@
+//! Wire messages of the on-line protocol.
+
+use cmvrp_grid::Point;
+use cmvrp_net::diffuse::{ComputationId, DiffuseMsg};
+
+/// Messages exchanged by vehicles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OnlineMsg<const D: usize> {
+    /// Phase I traffic (Algorithm 2 queries/replies).
+    Diffuse(DiffuseMsg),
+    /// Phase II: walk the `child` path and order the idle endpoint to
+    /// relocate to `dest` and become active.
+    Move {
+        /// Target position (the done/dead vehicle's post).
+        dest: Point<D>,
+        /// The computation this order concludes.
+        init: ComputationId,
+    },
+    /// §3.2.5 heartbeat ("existing" message).
+    Existing,
+}
+
+impl<const D: usize> From<DiffuseMsg> for OnlineMsg<D> {
+    fn from(m: DiffuseMsg) -> Self {
+        OnlineMsg::Diffuse(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmvrp_grid::pt2;
+    use cmvrp_net::diffuse::ComputationId;
+
+    #[test]
+    fn from_diffuse() {
+        let init = ComputationId {
+            initiator: 1,
+            generation: 0,
+        };
+        let m: OnlineMsg<2> = DiffuseMsg::Query { init }.into();
+        assert!(matches!(m, OnlineMsg::Diffuse(DiffuseMsg::Query { .. })));
+    }
+
+    #[test]
+    fn move_carries_destination() {
+        let init = ComputationId {
+            initiator: 3,
+            generation: 7,
+        };
+        let m: OnlineMsg<2> = OnlineMsg::Move {
+            dest: pt2(1, 2),
+            init,
+        };
+        if let OnlineMsg::Move { dest, init } = m {
+            assert_eq!(dest, pt2(1, 2));
+            assert_eq!(init.generation, 7);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

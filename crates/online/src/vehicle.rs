@@ -1,0 +1,542 @@
+//! The vehicle process: working state `S1`, message-transfer state `S2`
+//! (embedded [`DiffusingEngine`]), energy metering, and the message handlers
+//! of §3.2.3–3.2.4.
+
+use crate::msg::OnlineMsg;
+use cmvrp_grid::Point;
+use cmvrp_net::diffuse::{ComputationId, DiffuseMsg, DiffuseOutcome, DiffusingEngine};
+use cmvrp_net::{Context, HeartbeatMonitor, Process, ProcessId};
+
+/// The working state `S1` of §3.2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkState {
+    /// Waiting to be summoned; serves nothing.
+    Idle,
+    /// Serving the jobs of its pair.
+    Active,
+    /// Out of usable energy; can still communicate and relay.
+    Done,
+}
+
+/// Outcome of a service attempt delivered by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeResult {
+    /// The job was served (energy charged).
+    Served,
+    /// The vehicle could not serve (not active, or out of energy).
+    Refused,
+}
+
+/// A vehicle: one process of the on-line protocol.
+#[derive(Debug)]
+pub struct Vehicle<const D: usize> {
+    id: ProcessId,
+    home: Point<D>,
+    pos: Point<D>,
+    work: WorkState,
+    engine: DiffusingEngine,
+    neighbors: Vec<ProcessId>,
+    capacity: u64,
+    energy_used: u64,
+    moves: u64,
+    serves: u64,
+    claimed_by: Option<ComputationId>,
+    /// Where the replacement summoned by *this* vehicle's computation should
+    /// go (own position normally; a dead peer's position in monitor mode).
+    summon_dest: Option<Point<D>>,
+    /// Set when a computation this vehicle initiated ends without a target.
+    failed_search: bool,
+    /// Set when this vehicle relocated (drained by the driver).
+    arrived: Option<Point<D>>,
+    /// Scenario 2 fault injection: on becoming done, do NOT initiate, and
+    /// stop heartbeating.
+    faulty: bool,
+    /// Chapter 4 longevity: the vehicle *breaks* (goes silent, serves
+    /// nothing, initiates nothing) once `energy_used` reaches this
+    /// threshold (`⌊p_i · W⌋`). `None` = never breaks (p = 1).
+    breaks_at: Option<u64>,
+    /// Set once the longevity threshold has been hit.
+    broken: bool,
+    /// §3.2.5 monitoring: the peer this vehicle watches and its position.
+    watch: Option<(ProcessId, Point<D>)>,
+    /// The watcher this vehicle reports its `existing` heartbeats to
+    /// (set by the physical layer together with the ring; heartbeats are
+    /// end-to-end — the model allows multi-hop relaying).
+    report_to: Option<ProcessId>,
+    heartbeat: HeartbeatMonitor,
+    /// Local tick-round counter — the clock for heartbeat timeouts. Tick
+    /// rounds are lockstep across vehicles, unlike simulation time, which
+    /// leaps ahead during long message cascades.
+    ticks: u64,
+    /// Message-type counters: (queries, replies, moves, heartbeats).
+    msg_counts: [u64; 4],
+}
+
+impl<const D: usize> Vehicle<D> {
+    /// Creates a vehicle at `home` with the given battery `capacity`;
+    /// `active` selects the initial working state per the pairing.
+    pub fn new(id: ProcessId, home: Point<D>, active: bool, capacity: u64) -> Self {
+        Vehicle {
+            id,
+            home,
+            pos: home,
+            work: if active {
+                WorkState::Active
+            } else {
+                WorkState::Idle
+            },
+            engine: DiffusingEngine::new(),
+            neighbors: Vec::new(),
+            capacity,
+            energy_used: 0,
+            moves: 0,
+            serves: 0,
+            claimed_by: None,
+            summon_dest: None,
+            failed_search: false,
+            arrived: None,
+            faulty: false,
+            breaks_at: None,
+            broken: false,
+            watch: None,
+            report_to: None,
+            heartbeat: HeartbeatMonitor::new(3),
+            ticks: 0,
+            msg_counts: [0; 4],
+        }
+    }
+
+    /// Current working state.
+    pub fn work(&self) -> WorkState {
+        self.work
+    }
+
+    /// Current position.
+    pub fn pos(&self) -> Point<D> {
+        self.pos
+    }
+
+    /// Original depot.
+    pub fn home(&self) -> Point<D> {
+        self.home
+    }
+
+    /// Energy drawn so far (travel + service).
+    pub fn energy_used(&self) -> u64 {
+        self.energy_used
+    }
+
+    /// Battery capacity `W`.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Grid steps walked.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Jobs served.
+    pub fn serves(&self) -> u64 {
+        self.serves
+    }
+
+    /// Remaining energy.
+    pub fn remaining(&self) -> u64 {
+        self.capacity.saturating_sub(self.energy_used)
+    }
+
+    /// Physical-layer update of the communication neighborhood.
+    pub fn set_neighbors(&mut self, neighbors: Vec<ProcessId>) {
+        self.neighbors = neighbors;
+    }
+
+    /// The current neighbor list.
+    pub fn neighbors(&self) -> &[ProcessId] {
+        &self.neighbors
+    }
+
+    /// Injects the scenario-2 fault: on exhaustion this vehicle goes silent
+    /// instead of initiating its replacement.
+    pub fn set_faulty(&mut self, faulty: bool) {
+        self.faulty = faulty;
+    }
+
+    /// Sets the Chapter 4 longevity threshold: the vehicle breaks after
+    /// spending `threshold` energy (pass `⌊p_i·W⌋`). The break is silent —
+    /// a broken vehicle neither serves, nor initiates, nor heartbeats — so
+    /// recovery requires the §3.2.5 monitoring ring.
+    pub fn set_breaks_at(&mut self, threshold: u64) {
+        self.breaks_at = Some(threshold);
+    }
+
+    /// Whether the longevity threshold has been crossed.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// Messages handled, by type: `(queries, replies, moves, heartbeats)`.
+    pub fn message_counts(&self) -> (u64, u64, u64, u64) {
+        let [q, r, m, h] = self.msg_counts;
+        (q, r, m, h)
+    }
+
+    /// Sets the §3.2.5 monitoring target (or clears it). Re-setting the
+    /// same target only refreshes the recorded position — the silence timer
+    /// keeps running, otherwise frequent rewiring would mask real silence.
+    /// Timestamps are in local tick rounds, not simulation time.
+    pub fn set_watch(&mut self, watch: Option<(ProcessId, Point<D>)>) {
+        match (self.watch, watch) {
+            (Some((old, _)), Some((new, pos))) if old == new => {
+                self.watch = Some((new, pos));
+            }
+            _ => {
+                if let Some((old, _)) = self.watch {
+                    self.heartbeat.unwatch(old);
+                }
+                if let Some((peer, _)) = watch {
+                    self.heartbeat.watch(peer, self.ticks);
+                }
+                self.watch = watch;
+            }
+        }
+    }
+
+    /// Sets the watcher this vehicle heartbeats to.
+    pub fn set_report_to(&mut self, watcher: Option<ProcessId>) {
+        self.report_to = watcher;
+    }
+
+    /// Drains the relocation notification (driver bookkeeping).
+    pub fn take_arrival(&mut self) -> Option<Point<D>> {
+        self.arrived.take()
+    }
+
+    /// Drains the failed-search flag.
+    pub fn take_failed_search(&mut self) -> bool {
+        std::mem::take(&mut self.failed_search)
+    }
+
+    /// Attempts to serve one job at `job` (driver-delivered arrival).
+    ///
+    /// An active vehicle walks from its current position to the job vertex
+    /// (normally a step of at most 1 within its pair) and serves it; if its
+    /// remaining energy afterwards cannot cover one more walk-and-serve
+    /// (`< 2`), it becomes done and — unless faulty — initiates Phase I.
+    pub fn serve(&mut self, ctx: &mut Context<OnlineMsg<D>>, job: Point<D>) -> ServeResult {
+        if self.work != WorkState::Active {
+            return ServeResult::Refused;
+        }
+        let cost = self.pos.manhattan(job) + 1;
+        if let Some(limit) = self.breaks_at {
+            if self.energy_used + cost > limit {
+                // Chapter 4 break: silent death, no Phase I.
+                self.broken = true;
+                self.faulty = true;
+                self.work = WorkState::Done;
+                return ServeResult::Refused;
+            }
+        }
+        if self.energy_used + cost > self.capacity {
+            // Cannot serve: give up the pair now so a replacement can come.
+            self.become_done(ctx);
+            return ServeResult::Refused;
+        }
+        self.moves += self.pos.manhattan(job);
+        self.pos = job;
+        self.serves += 1;
+        self.energy_used += cost;
+        if self.remaining() < 2 {
+            self.become_done(ctx);
+        }
+        ServeResult::Served
+    }
+
+    /// Transition `active → done`, initiating the replacement search unless
+    /// the vehicle is faulty or already engaged.
+    fn become_done(&mut self, ctx: &mut Context<OnlineMsg<D>>) {
+        if self.work == WorkState::Done {
+            return;
+        }
+        self.work = WorkState::Done;
+        if self.faulty {
+            return;
+        }
+        self.initiate_replacement(ctx, self.pos);
+    }
+
+    /// Starts a diffusing computation summoning an idle vehicle to `dest`.
+    /// Used both by the done vehicle itself and by monitors acting for a
+    /// silent peer (§3.2.5).
+    pub fn initiate_replacement(&mut self, ctx: &mut Context<OnlineMsg<D>>, dest: Point<D>) {
+        if !self.engine.is_waiting() {
+            // Already part of a computation; the driver retries later.
+            return;
+        }
+        self.summon_dest = Some(dest);
+        let neighbors = self.neighbors.clone();
+        let (out, outcome) = self.engine.start(self.id, &neighbors);
+        for (to, m) in out {
+            ctx.send(to, OnlineMsg::Diffuse(m));
+        }
+        self.handle_outcome(ctx, outcome);
+    }
+
+    fn handle_outcome(&mut self, ctx: &mut Context<OnlineMsg<D>>, outcome: DiffuseOutcome) {
+        match outcome {
+            DiffuseOutcome::ClaimedAsTarget { init } => {
+                self.claimed_by = Some(init);
+            }
+            DiffuseOutcome::InitiatorDone { child } => match (child, self.summon_dest) {
+                (Some(child), Some(dest)) => {
+                    ctx.send(
+                        child,
+                        OnlineMsg::Move {
+                            dest,
+                            init: self.engine.computation().expect("own computation"),
+                        },
+                    );
+                    self.summon_dest = None;
+                }
+                _ => {
+                    self.failed_search = true;
+                    self.summon_dest = None;
+                }
+            },
+            DiffuseOutcome::LocalDone | DiffuseOutcome::None => {}
+        }
+    }
+
+    fn on_move(&mut self, ctx: &mut Context<OnlineMsg<D>>, dest: Point<D>, init: ComputationId) {
+        if self.work == WorkState::Idle && self.claimed_by == Some(init) {
+            // Phase II endpoint: relocate and activate.
+            let dist = self.pos.manhattan(dest);
+            self.energy_used += dist;
+            self.moves += dist;
+            self.pos = dest;
+            self.work = WorkState::Active;
+            self.claimed_by = None;
+            self.arrived = Some(dest);
+            return;
+        }
+        if self.engine.computation() == Some(init) {
+            if let Some(child) = self.engine.child() {
+                ctx.send(child, OnlineMsg::Move { dest, init });
+                return;
+            }
+        }
+        // Stale or misrouted move order: drop (counted by driver through
+        // quiescence bookkeeping — nothing arrives).
+    }
+}
+
+impl<const D: usize> Process<OnlineMsg<D>> for Vehicle<D> {
+    fn on_message(&mut self, ctx: &mut Context<OnlineMsg<D>>, from: ProcessId, msg: OnlineMsg<D>) {
+        match msg {
+            OnlineMsg::Diffuse(DiffuseMsg::Query { init }) => {
+                self.msg_counts[0] += 1;
+                let i_am_target = self.work == WorkState::Idle;
+                let neighbors = self.neighbors.clone();
+                let (out, outcome) = self.engine.on_query(from, init, i_am_target, &neighbors);
+                for (to, m) in out {
+                    ctx.send(to, OnlineMsg::Diffuse(m));
+                }
+                self.handle_outcome(ctx, outcome);
+            }
+            OnlineMsg::Diffuse(DiffuseMsg::Reply { found, init }) => {
+                self.msg_counts[1] += 1;
+                let (out, outcome) = self.engine.on_reply(from, found, init);
+                for (to, m) in out {
+                    ctx.send(to, OnlineMsg::Diffuse(m));
+                }
+                self.handle_outcome(ctx, outcome);
+            }
+            OnlineMsg::Move { dest, init } => {
+                self.msg_counts[2] += 1;
+                self.on_move(ctx, dest, init)
+            }
+            OnlineMsg::Existing => {
+                self.msg_counts[3] += 1;
+                // Clock heartbeats in tick rounds: Existing sent at round k
+                // arrives before anyone reaches round k+1 (the driver
+                // quiesces between ticks).
+                self.heartbeat.record(from, self.ticks);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Context<OnlineMsg<D>>, _now: u64) {
+        self.ticks += 1;
+        // Heartbeat: announce "existing" to the designated watcher, except
+        // when faulty-and-done (scenario 2's silence). Crashed vehicles are
+        // muted by the network itself.
+        let silent = (self.faulty && self.work == WorkState::Done) || self.broken;
+        if !silent {
+            if let Some(watcher) = self.report_to {
+                ctx.send(watcher, OnlineMsg::Existing);
+            }
+        }
+        // Monitoring: if the watched peer has gone silent, summon its
+        // replacement.
+        if let Some((peer, peer_pos)) = self.watch {
+            if self.work == WorkState::Active
+                && self.engine.is_waiting()
+                && self.heartbeat.expired(self.ticks).contains(&peer)
+            {
+                self.heartbeat.unwatch(peer);
+                self.watch = None;
+                self.initiate_replacement(ctx, peer_pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmvrp_grid::pt2;
+    use cmvrp_net::{NetConfig, Network};
+
+    fn ctx_harness<R>(
+        f: impl FnOnce(&mut Vehicle<2>, &mut Context<OnlineMsg<2>>) -> R,
+    ) -> (Vehicle<2>, R, u64) {
+        // Run a single vehicle inside a real network to get a Context.
+        let v = Vehicle::new(0, pt2(0, 0), true, 10);
+        let mut net = Network::new(vec![v], NetConfig::default());
+        let r = net.trigger(0, |v, ctx| f(v, ctx));
+        let sent = net.total_sent();
+        // Extract the vehicle back for inspection.
+        let v = std::mem::replace(net.process_mut(0), Vehicle::new(9, pt2(9, 9), false, 0));
+        (v, r, sent)
+    }
+
+    #[test]
+    fn serve_charges_walk_plus_one() {
+        let (v, res, _) = ctx_harness(|v, ctx| v.serve(ctx, pt2(0, 1)));
+        assert_eq!(res, ServeResult::Served);
+        assert_eq!(v.energy_used(), 2);
+        assert_eq!(v.pos(), pt2(0, 1));
+        assert_eq!(v.serves(), 1);
+        assert_eq!(v.moves(), 1);
+    }
+
+    #[test]
+    fn idle_vehicle_refuses() {
+        let v = Vehicle::<2>::new(0, pt2(0, 0), false, 10);
+        let mut net = Network::new(vec![v], NetConfig::default());
+        let res = net.trigger(0, |v, ctx| v.serve(ctx, pt2(0, 0)));
+        assert_eq!(res, ServeResult::Refused);
+    }
+
+    #[test]
+    fn exhaustion_triggers_done() {
+        let v = Vehicle::<2>::new(0, pt2(0, 0), true, 3);
+        let mut net = Network::new(vec![v], NetConfig::default());
+        // Cost 1 (serve in place): remaining 2 → still active.
+        assert_eq!(
+            net.trigger(0, |v, c| v.serve(c, pt2(0, 0))),
+            ServeResult::Served
+        );
+        assert_eq!(net.process(0).work(), WorkState::Active);
+        // Cost 1: remaining 1 < 2 → done, and with no neighbors the search
+        // fails immediately.
+        assert_eq!(
+            net.trigger(0, |v, c| v.serve(c, pt2(0, 0))),
+            ServeResult::Served
+        );
+        assert_eq!(net.process(0).work(), WorkState::Done);
+        assert!(net.process_mut(0).take_failed_search());
+    }
+
+    #[test]
+    fn over_cost_job_refused_and_done() {
+        let v = Vehicle::<2>::new(0, pt2(0, 0), true, 2);
+        let mut net = Network::new(vec![v], NetConfig::default());
+        // Job 4 away: cost 5 > 2 → refuse and go done.
+        assert_eq!(
+            net.trigger(0, |v, c| v.serve(c, pt2(2, 2))),
+            ServeResult::Refused
+        );
+        assert_eq!(net.process(0).work(), WorkState::Done);
+        assert_eq!(net.process(0).energy_used(), 0);
+    }
+
+    #[test]
+    fn faulty_vehicle_does_not_initiate() {
+        let mut v = Vehicle::<2>::new(0, pt2(0, 0), true, 2);
+        v.set_faulty(true);
+        v.set_neighbors(vec![1]);
+        let mut net = Network::new(
+            vec![v, Vehicle::new(1, pt2(0, 1), false, 10)],
+            NetConfig::default(),
+        );
+        net.trigger(0, |v, c| v.serve(c, pt2(0, 0)));
+        net.trigger(0, |v, c| v.serve(c, pt2(0, 0)));
+        assert_eq!(net.process(0).work(), WorkState::Done);
+        let report = net.run_to_quiescence();
+        assert_eq!(report.delivered, 0, "faulty done vehicle must stay silent");
+    }
+
+    #[test]
+    fn two_vehicle_replacement_end_to_end() {
+        // Active 0 at (0,0), idle 1 at (0,1), neighbors of each other.
+        let mut a = Vehicle::<2>::new(0, pt2(0, 0), true, 4);
+        a.set_neighbors(vec![1]);
+        let mut b = Vehicle::<2>::new(1, pt2(0, 1), false, 10);
+        b.set_neighbors(vec![0]);
+        let mut net = Network::new(vec![a, b], NetConfig::default());
+        // Exhaust vehicle 0: serve 3 jobs in place (capacity 4 → after 3rd,
+        // remaining 1 < 2 → done + initiate).
+        for _ in 0..3 {
+            assert_eq!(
+                net.trigger(0, |v, c| v.serve(c, pt2(0, 0))),
+                ServeResult::Served
+            );
+        }
+        assert_eq!(net.process(0).work(), WorkState::Done);
+        let report = net.run_to_quiescence();
+        assert!(report.quiesced);
+        // Vehicle 1 moved to (0,0) and became active.
+        assert_eq!(net.process(1).work(), WorkState::Active);
+        assert_eq!(net.process(1).pos(), pt2(0, 0));
+        assert_eq!(net.process(1).energy_used(), 1); // one step of travel
+        assert_eq!(net.process_mut(1).take_arrival(), Some(pt2(0, 0)));
+        assert!(!net.process_mut(0).take_failed_search());
+    }
+
+    #[test]
+    fn heartbeat_monitor_summons_replacement_for_crashed_peer() {
+        // 0 active, 1 active (will crash), 2 idle. 0 watches 1.
+        let mut a = Vehicle::<2>::new(0, pt2(0, 0), true, 20);
+        a.set_neighbors(vec![1, 2]);
+        a.set_watch(Some((1, pt2(2, 0))));
+        let mut b = Vehicle::<2>::new(1, pt2(2, 0), true, 20);
+        b.set_neighbors(vec![0, 2]);
+        b.set_report_to(Some(0));
+        let mut c = Vehicle::<2>::new(2, pt2(1, 0), false, 20);
+        c.set_neighbors(vec![0, 1]);
+        let mut net = Network::new(vec![a, b, c], NetConfig::default());
+        net.crash(1);
+        // Physical layer removes the crashed radio from neighbor lists.
+        net.process_mut(0).set_neighbors(vec![2]);
+        net.process_mut(2).set_neighbors(vec![0]);
+        // Several silent ticks: heartbeat timeout is 3.
+        for _ in 0..6 {
+            net.tick_all();
+            net.run_to_quiescence();
+        }
+        // Vehicle 2 must have been summoned to (2,0).
+        assert_eq!(net.process(2).work(), WorkState::Active);
+        assert_eq!(net.process(2).pos(), pt2(2, 0));
+    }
+
+    #[test]
+    fn accessors_and_remaining() {
+        let v = Vehicle::<2>::new(5, pt2(3, 4), false, 17);
+        assert_eq!(v.home(), pt2(3, 4));
+        assert_eq!(v.capacity(), 17);
+        assert_eq!(v.remaining(), 17);
+        assert_eq!(v.work(), WorkState::Idle);
+        assert!(v.neighbors().is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Binomial coefficients.
+//!
+//! Used by `cmvrp-grid` for the closed-form count of lattice points in an
+//! L1 ball of `Z^ℓ` (a Delannoy-type sum of binomials).
+
+/// Computes the binomial coefficient `C(n, k)` in `u128`, returning 0 when
+/// `k > n`.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_util::binomial;
+/// assert_eq!(binomial(5, 2), 10);
+/// assert_eq!(binomial(3, 5), 0);
+/// assert_eq!(binomial(0, 0), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics on intermediate overflow of `u128`, which cannot occur for the
+/// small `n` used in this workspace (dimension and radius bounded by grid
+/// sizes).
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        // Multiply then divide keeps intermediate values integral because
+        // the running product is always a binomial coefficient.
+        result = result
+            .checked_mul((n - i) as u128)
+            .expect("binomial overflow")
+            / (i as u128 + 1);
+    }
+    result
+}
+
+/// A cached table of binomial coefficients `C(n, k)` for `n <= max_n`.
+///
+/// Useful when many coefficients with the same small `n` bound are needed,
+/// such as when evaluating ball-size formulas across radii.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_util::Binomials;
+/// let b = Binomials::new(10);
+/// assert_eq!(b.get(10, 5), 252);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Binomials {
+    max_n: u64,
+    rows: Vec<Vec<u128>>,
+}
+
+impl Binomials {
+    /// Builds the Pascal triangle up to row `max_n` inclusive.
+    pub fn new(max_n: u64) -> Self {
+        let mut rows: Vec<Vec<u128>> = Vec::with_capacity(max_n as usize + 1);
+        for n in 0..=max_n as usize {
+            let mut row = vec![1u128; n + 1];
+            for k in 1..n {
+                row[k] = rows[n - 1][k - 1] + rows[n - 1][k];
+            }
+            rows.push(row);
+        }
+        Binomials { max_n, rows }
+    }
+
+    /// Returns `C(n, k)`; 0 when `k > n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the `max_n` passed to [`Binomials::new`].
+    pub fn get(&self, n: u64, k: u64) -> u128 {
+        assert!(n <= self.max_n, "n={n} exceeds table bound {}", self.max_n);
+        if k > n {
+            0
+        } else {
+            self.rows[n as usize][k as usize]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(1, 0), 1);
+        assert_eq!(binomial(1, 1), 1);
+        assert_eq!(binomial(6, 3), 20);
+        assert_eq!(binomial(10, 4), 210);
+    }
+
+    #[test]
+    fn k_exceeding_n_is_zero() {
+        assert_eq!(binomial(4, 9), 0);
+    }
+
+    #[test]
+    fn symmetric() {
+        for n in 0..20u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_recurrence() {
+        for n in 1..25u64 {
+            for k in 1..n {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_direct() {
+        let b = Binomials::new(16);
+        for n in 0..=16u64 {
+            for k in 0..=(n + 2) {
+                assert_eq!(b.get(n, k), binomial(n, k));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds table bound")]
+    fn table_bound_enforced() {
+        let b = Binomials::new(4);
+        let _ = b.get(5, 1);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Shared utilities for the `cmvrp` workspace.
+//!
+//! This crate holds the small, dependency-free building blocks used across the
+//! CMVRP reproduction:
+//!
+//! * [`Ratio`] — exact rational arithmetic over `i128`, used wherever the
+//!   thesis manipulates exact LP values (e.g. the density ratios of
+//!   Lemma 2.2.2 and the fixed point of Lemma 2.2.3).
+//! * [`binom`] — binomial coefficients for the closed-form L1-ball counts.
+//! * [`stats`] — summary statistics for the experiment harness.
+//! * [`table`] — fixed-width table rendering for regenerated paper tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmvrp_util::Ratio;
+//!
+//! let half = Ratio::new(1, 2);
+//! let third = Ratio::new(1, 3);
+//! assert_eq!(half + third, Ratio::new(5, 6));
+//! assert!(half > third);
+//! ```
+
+pub mod binom;
+pub mod ratio;
+pub mod stats;
+pub mod table;
+
+pub use binom::{binomial, Binomials};
+pub use ratio::Ratio;
+pub use stats::Summary;
+pub use table::Table;

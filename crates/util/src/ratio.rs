@@ -1,0 +1,354 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The thesis' characterization of the optimal capacity is intrinsically
+//! rational: with integer demands, the density `Σ_{x∈T} d(x) / |N_r(T)|`
+//! (Lemma 2.2.2) and the fixed point `ω*` (Lemma 2.2.3) are ratios of
+//! integers. Computing them in floating point would make equality-based
+//! Dinkelbach termination unreliable, so every exact solver in the workspace
+//! works over [`Ratio`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den` with `den > 0`, always stored in
+/// lowest terms.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_util::Ratio;
+///
+/// let r = Ratio::new(6, -4);
+/// assert_eq!(r, Ratio::new(-3, 2));
+/// assert_eq!(r.to_f64(), -1.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of two non-negative integers.
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    /// The rational number zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates the rational `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "ratio denominator must be nonzero");
+        let sign = if (num < 0) != (den < 0) && num != 0 {
+            -1
+        } else {
+            1
+        };
+        let (num, den) = (num.unsigned_abs() as i128, den.unsigned_abs() as i128);
+        let g = gcd(num, den).max(1);
+        Ratio {
+            num: sign * (num / g),
+            den: den / g,
+        }
+    }
+
+    /// Creates the rational `n / 1`.
+    pub fn from_integer(n: i128) -> Self {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// The numerator (may be negative).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Converts to the nearest `f64` (used only at API boundaries and for
+    /// display; exact computations should stay in `Ratio`).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Whether this rational equals an integer value.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Floor of the rational as an integer.
+    ///
+    /// ```
+    /// use cmvrp_util::Ratio;
+    /// assert_eq!(Ratio::new(7, 2).floor(), 3);
+    /// assert_eq!(Ratio::new(-7, 2).floor(), -4);
+    /// assert_eq!(Ratio::new(6, 2).floor(), 3);
+    /// ```
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            -((-self.num + self.den - 1) / self.den)
+        }
+    }
+
+    /// Ceiling of the rational as an integer.
+    ///
+    /// ```
+    /// use cmvrp_util::Ratio;
+    /// assert_eq!(Ratio::new(7, 2).ceil(), 4);
+    /// assert_eq!(Ratio::new(-7, 2).ceil(), -3);
+    /// ```
+    pub fn ceil(&self) -> i128 {
+        -(-*self).floor()
+    }
+
+    /// `true` when the rational is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` when the rational is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// `true` when the rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// The smaller of two rationals.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two rationals.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rational is zero.
+    pub fn recip(self) -> Self {
+        assert!(self.num != 0, "cannot invert zero");
+        Ratio::new(self.den, self.num)
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::ZERO
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a/b vs c/d via a*d vs c*b; denominators are positive.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        assert!(rhs.num != 0, "division by zero ratio");
+        Ratio::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl From<i128> for Ratio {
+    fn from(n: i128) -> Self {
+        Ratio::from_integer(n)
+    }
+}
+
+impl From<u64> for Ratio {
+    fn from(n: u64) -> Self {
+        Ratio::from_integer(n as i128)
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Self {
+        Ratio::from_integer(n as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        assert_eq!(Ratio::new(4, 8), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-4, 8), Ratio::new(1, -2));
+        assert_eq!(Ratio::new(0, 5), Ratio::ZERO);
+    }
+
+    #[test]
+    fn sign_normalization() {
+        let r = Ratio::new(3, -7);
+        assert_eq!(r.numer(), -3);
+        assert_eq!(r.denom(), 7);
+        let r = Ratio::new(-3, -7);
+        assert_eq!(r.numer(), 3);
+        assert_eq!(r.denom(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be nonzero")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(1, 2);
+        let b = Ratio::new(1, 3);
+        assert_eq!(a + b, Ratio::new(5, 6));
+        assert_eq!(a - b, Ratio::new(1, 6));
+        assert_eq!(a * b, Ratio::new(1, 6));
+        assert_eq!(a / b, Ratio::new(3, 2));
+        assert_eq!(-a, Ratio::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(2, 3) < Ratio::new(3, 4));
+        assert!(Ratio::new(-1, 2) < Ratio::ZERO);
+        assert_eq!(Ratio::new(2, 4).cmp(&Ratio::new(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Ratio::new(9, 4).floor(), 2);
+        assert_eq!(Ratio::new(9, 4).ceil(), 3);
+        assert_eq!(Ratio::new(8, 4).floor(), 2);
+        assert_eq!(Ratio::new(8, 4).ceil(), 2);
+        assert_eq!(Ratio::new(-9, 4).floor(), -3);
+        assert_eq!(Ratio::new(-9, 4).ceil(), -2);
+    }
+
+    #[test]
+    fn min_max_abs_recip() {
+        let a = Ratio::new(1, 2);
+        let b = Ratio::new(2, 3);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Ratio::new(-5, 3).abs(), Ratio::new(5, 3));
+        assert_eq!(Ratio::new(2, 5).recip(), Ratio::new(5, 2));
+        assert_eq!(Ratio::new(-2, 5).recip(), Ratio::new(-5, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::new(6, 3).to_string(), "2");
+        assert_eq!(Ratio::new(5, 3).to_string(), "5/3");
+        assert_eq!(format!("{:?}", Ratio::new(6, 3)), "2/1");
+    }
+
+    #[test]
+    fn integer_predicates() {
+        assert!(Ratio::new(4, 2).is_integer());
+        assert!(!Ratio::new(5, 2).is_integer());
+        assert!(Ratio::new(1, 9).is_positive());
+        assert!(Ratio::new(-1, 9).is_negative());
+        assert!(Ratio::ZERO.is_zero());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Ratio::from(3i64), Ratio::new(3, 1));
+        assert_eq!(Ratio::from(3u64), Ratio::new(3, 1));
+        assert_eq!(Ratio::from(-3i128), Ratio::new(-3, 1));
+        assert_eq!(Ratio::new(1, 4).to_f64(), 0.25);
+    }
+}

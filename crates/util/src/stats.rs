@@ -1,0 +1,146 @@
+//! Summary statistics for the experiment harness.
+
+/// Summary statistics over a sample of `f64` observations.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_util::Summary;
+/// let s = Summary::from_iter([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Summary {
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { values: Vec::new() }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean; 0 for an empty sample.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Minimum; +inf for an empty sample.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum; -inf for an empty sample.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sample standard deviation (n-1 denominator); 0 for fewer than two
+    /// observations.
+    pub fn stddev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
+            / (self.values.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// The `p`-th percentile (0..=100) by nearest-rank on the sorted sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or `p` is outside `0..=100`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.values.is_empty(), "percentile of empty sample");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank]
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Summary {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.stddev() - 2.138089935299395).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_defaults() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), f64::INFINITY);
+        assert_eq!(s.max(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn percentiles() {
+        let s = Summary::from_iter((1..=100).map(|i| i as f64));
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(50.0), 51.0); // nearest rank on 0-indexed span
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_empty_panics() {
+        Summary::new().percentile(50.0);
+    }
+
+    #[test]
+    fn extend_and_push() {
+        let mut s = Summary::new();
+        s.push(1.0);
+        s.extend([2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max(), 3.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests: `Ratio` behaves like the rational field (on the value
+//! ranges the workspace uses).
+
+use cmvrp_util::Ratio;
+use proptest::prelude::*;
+
+fn ratio_strategy() -> impl Strategy<Value = Ratio> {
+    // Small components keep products inside i128 across repeated ops.
+    (-10_000i128..10_000, 1i128..10_000).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn addition_commutes_and_associates(
+        a in ratio_strategy(),
+        b in ratio_strategy(),
+        c in ratio_strategy(),
+    ) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + Ratio::ZERO, a);
+    }
+
+    #[test]
+    fn multiplication_commutes_and_distributes(
+        a in ratio_strategy(),
+        b in ratio_strategy(),
+        c in ratio_strategy(),
+    ) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a * Ratio::ONE, a);
+    }
+
+    #[test]
+    fn subtraction_and_negation(a in ratio_strategy(), b in ratio_strategy()) {
+        prop_assert_eq!(a - b, a + (-b));
+        prop_assert_eq!(a - a, Ratio::ZERO);
+        prop_assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in ratio_strategy(), b in ratio_strategy()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!((a / b) * b, a);
+        prop_assert_eq!(b * b.recip(), Ratio::ONE);
+    }
+
+    #[test]
+    fn ordering_is_total_and_compatible(
+        a in ratio_strategy(),
+        b in ratio_strategy(),
+        c in ratio_strategy(),
+    ) {
+        // Trichotomy.
+        let cases = [a < b, a == b, a > b];
+        prop_assert_eq!(cases.iter().filter(|&&x| x).count(), 1);
+        // Translation invariance.
+        prop_assert_eq!(a < b, a + c < b + c);
+        // Scaling by a positive rational preserves order.
+        if c.is_positive() {
+            prop_assert_eq!(a < b, a * c < b * c);
+        }
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in ratio_strategy()) {
+        let fl = Ratio::from_integer(a.floor());
+        let ce = Ratio::from_integer(a.ceil());
+        prop_assert!(fl <= a);
+        prop_assert!(a <= ce);
+        prop_assert!(ce - fl <= Ratio::ONE);
+        prop_assert_eq!(fl == ce, a.is_integer());
+    }
+
+    #[test]
+    fn reduction_is_canonical(n in -10_000i128..10_000, d in 1i128..10_000, k in 1i128..50) {
+        // Scaling numerator and denominator leaves the value unchanged.
+        prop_assert_eq!(Ratio::new(n, d), Ratio::new(n * k, d * k));
+    }
+
+    #[test]
+    fn to_f64_is_monotone(a in ratio_strategy(), b in ratio_strategy()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+
+    #[test]
+    fn min_max_abs(a in ratio_strategy(), b in ratio_strategy()) {
+        prop_assert_eq!(a.min(b) + a.max(b), a + b);
+        prop_assert!(a.abs() >= a);
+        prop_assert!(a.abs() >= -a);
+    }
+}

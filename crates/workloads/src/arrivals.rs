@@ -1,0 +1,221 @@
+//! Arrival sequences: the on-line face of a demand function.
+//!
+//! §1.3 of the thesis models jobs as a sequence `x_1, x_2, …, x_k` of
+//! positions arriving at increasing times, each requiring one unit of
+//! energy; `d(x)` is the number of arrivals at `x`. The on-line simulator
+//! consumes a [`JobSequence`]; the orderings here control *when* each unit
+//! of a demand map arrives, which matters for adversarial scenarios
+//! (Chapter 4's alternating example) but not for the totals.
+
+use cmvrp_grid::{DemandMap, Point};
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// A finite sequence of unit jobs; index order is arrival order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobSequence<const D: usize> {
+    jobs: Vec<Point<D>>,
+}
+
+impl<const D: usize> JobSequence<D> {
+    /// Creates a sequence from explicit positions (in arrival order).
+    pub fn new(jobs: Vec<Point<D>>) -> Self {
+        JobSequence { jobs }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The jobs in arrival order.
+    pub fn jobs(&self) -> &[Point<D>] {
+        &self.jobs
+    }
+
+    /// Iterates jobs in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = Point<D>> + '_ {
+        self.jobs.iter().copied()
+    }
+
+    /// The demand function `d(x)` induced by this sequence.
+    pub fn to_demand(&self) -> DemandMap<D> {
+        self.jobs.iter().map(|p| (*p, 1u64)).collect()
+    }
+}
+
+impl<const D: usize> FromIterator<Point<D>> for JobSequence<D> {
+    fn from_iter<I: IntoIterator<Item = Point<D>>>(iter: I) -> Self {
+        JobSequence {
+            jobs: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// How a demand map is linearized into an arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ordering {
+    /// All jobs of each position arrive consecutively, positions in point
+    /// order — the gentlest adversary.
+    #[default]
+    Sequential,
+    /// Positions take turns releasing one job at a time — spreads the load
+    /// in time (round-robin over the support).
+    Interleaved,
+    /// A seeded uniformly random permutation of all jobs.
+    Shuffled,
+}
+
+/// Linearizes `demand` into a [`JobSequence`] with the given ordering;
+/// `seed` is only used by [`Ordering::Shuffled`].
+pub fn from_demand<const D: usize>(
+    demand: &DemandMap<D>,
+    ordering: Ordering,
+    seed: u64,
+) -> JobSequence<D> {
+    match ordering {
+        Ordering::Sequential => {
+            let mut jobs = Vec::with_capacity(demand.total() as usize);
+            for (p, d) in demand.iter() {
+                jobs.extend(std::iter::repeat(p).take(d as usize));
+            }
+            JobSequence { jobs }
+        }
+        Ordering::Interleaved => {
+            let mut remaining: Vec<(Point<D>, u64)> = demand.iter().collect();
+            let mut jobs = Vec::with_capacity(demand.total() as usize);
+            while !remaining.is_empty() {
+                remaining.retain_mut(|(p, d)| {
+                    jobs.push(*p);
+                    *d -= 1;
+                    *d > 0
+                });
+            }
+            JobSequence { jobs }
+        }
+        Ordering::Shuffled => {
+            let mut seq = from_demand(demand, Ordering::Sequential, seed);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            seq.jobs.shuffle(&mut rng);
+            seq
+        }
+    }
+}
+
+/// The §4.2 adversarial sequence: jobs alternate `i, j, i, j, …` with `d`
+/// jobs at each of the two positions (total `2·d`).
+pub fn alternating<const D: usize>(i: Point<D>, j: Point<D>, d: u64) -> JobSequence<D> {
+    let mut jobs = Vec::with_capacity(2 * d as usize);
+    for _ in 0..d {
+        jobs.push(i);
+        jobs.push(j);
+    }
+    JobSequence { jobs }
+}
+
+/// A Poisson-like batched sequence: jobs from `demand` released in batches
+/// of random size in `1..=max_batch` (the simulator quiesces between
+/// batches rather than between single jobs). Returns the batch sizes along
+/// with the flat sequence.
+pub fn batched<const D: usize>(
+    demand: &DemandMap<D>,
+    max_batch: usize,
+    seed: u64,
+) -> (JobSequence<D>, Vec<usize>) {
+    assert!(max_batch >= 1, "max_batch must be at least 1");
+    let seq = from_demand(demand, Ordering::Shuffled, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+    let mut batches = Vec::new();
+    let mut left = seq.len();
+    while left > 0 {
+        let b = rng.gen_range(1..=max_batch).min(left);
+        batches.push(b);
+        left -= b;
+    }
+    (seq, batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmvrp_grid::pt2;
+
+    fn small_map() -> DemandMap<2> {
+        [(pt2(0, 0), 3u64), (pt2(1, 0), 1), (pt2(5, 5), 2)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn sequential_roundtrip() {
+        let d = small_map();
+        let seq = from_demand(&d, Ordering::Sequential, 0);
+        assert_eq!(seq.len(), 6);
+        assert_eq!(seq.to_demand(), d);
+        // Consecutive runs per position.
+        assert_eq!(&seq.jobs()[0..3], &[pt2(0, 0); 3]);
+    }
+
+    #[test]
+    fn interleaved_roundtrip_and_fairness() {
+        let d = small_map();
+        let seq = from_demand(&d, Ordering::Interleaved, 0);
+        assert_eq!(seq.to_demand(), d);
+        // First round touches every position once.
+        let first3: Vec<_> = seq.jobs()[0..3].to_vec();
+        assert!(first3.contains(&pt2(0, 0)));
+        assert!(first3.contains(&pt2(1, 0)));
+        assert!(first3.contains(&pt2(5, 5)));
+    }
+
+    #[test]
+    fn shuffled_is_permutation_and_seeded() {
+        let d = small_map();
+        let a = from_demand(&d, Ordering::Shuffled, 5);
+        let b = from_demand(&d, Ordering::Shuffled, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.to_demand(), d);
+    }
+
+    #[test]
+    fn alternating_shape() {
+        let seq = alternating(pt2(0, 0), pt2(4, 0), 3);
+        assert_eq!(seq.len(), 6);
+        assert_eq!(seq.jobs()[0], pt2(0, 0));
+        assert_eq!(seq.jobs()[1], pt2(4, 0));
+        assert_eq!(seq.jobs()[4], pt2(0, 0));
+        assert_eq!(seq.to_demand().get(pt2(0, 0)), 3);
+    }
+
+    #[test]
+    fn batched_conserves_jobs() {
+        let d = small_map();
+        let (seq, batches) = batched(&d, 4, 1);
+        assert_eq!(batches.iter().sum::<usize>(), seq.len());
+        assert!(batches.iter().all(|&b| (1..=4).contains(&b)));
+    }
+
+    #[test]
+    fn empty_demand_empty_sequence() {
+        let d: DemandMap<2> = DemandMap::new();
+        for o in [
+            Ordering::Sequential,
+            Ordering::Interleaved,
+            Ordering::Shuffled,
+        ] {
+            assert!(from_demand(&d, o, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn from_iterator() {
+        let seq: JobSequence<2> = [pt2(1, 1), pt2(2, 2)].into_iter().collect();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.iter().count(), 2);
+    }
+}

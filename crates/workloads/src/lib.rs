@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the CMVRP reproduction.
+//!
+//! The thesis motivates its examples with concrete scenarios: demand spread
+//! over a square region (§2.1.1), along a highway (§2.1.2, "detect the
+//! traffic flow on the highway"), concentrated at one point (§2.1.3, "detect
+//! the earthquake"), and — for the broken-vehicle chapter — an adversarial
+//! sequence alternating between two sites (§4.2). This crate generates all
+//! of them, plus random fields and Zipf-clustered maps for averaging, and
+//! the arrival sequences consumed by the on-line simulator.
+//!
+//! Everything is deterministic given a seed and serializable via `serde` so
+//! experiment configurations can be recorded.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmvrp_workloads::{spatial, arrivals::{self, Ordering}};
+//! use cmvrp_grid::GridBounds;
+//!
+//! let bounds = GridBounds::square(16);
+//! let demand = spatial::square_block(&bounds, 4, 3).unwrap();
+//! assert_eq!(demand.total(), 4 * 4 * 3);
+//! let jobs = arrivals::from_demand(&demand, Ordering::Interleaved, 7);
+//! assert_eq!(jobs.len() as u64, demand.total());
+//! ```
+
+pub mod arrivals;
+pub mod config;
+pub mod spatial;
+
+pub use arrivals::{from_demand, JobSequence, Ordering};
+pub use config::WorkloadConfig;

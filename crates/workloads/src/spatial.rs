@@ -1,0 +1,222 @@
+//! Spatial demand generators.
+
+use cmvrp_grid::{pt2, DemandMap, GridBounds, Point};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Error returned when a generator cannot fit the requested shape into the
+/// given bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    what: String,
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shape does not fit bounds: {}", self.what)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+fn err(what: impl Into<String>) -> ShapeError {
+    ShapeError { what: what.into() }
+}
+
+/// Example 1 (§2.1.1): demand `d` at every point of a centered `a×a` square.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when the square does not fit.
+pub fn square_block(bounds: &GridBounds<2>, a: u64, d: u64) -> Result<DemandMap<2>, ShapeError> {
+    if a == 0 || a > bounds.extent(0) || a > bounds.extent(1) {
+        return Err(err(format!("{a}x{a} square in {bounds:?}")));
+    }
+    let x0 = bounds.min()[0] + (bounds.extent(0) - a) as i64 / 2;
+    let y0 = bounds.min()[1] + (bounds.extent(1) - a) as i64 / 2;
+    let mut m = DemandMap::new();
+    for x in x0..x0 + a as i64 {
+        for y in y0..y0 + a as i64 {
+            m.add(pt2(x, y), d);
+        }
+    }
+    Ok(m)
+}
+
+/// Example 2 (§2.1.2): demand `d` at every point of the horizontal
+/// centerline of `bounds` (the "highway").
+pub fn line(bounds: &GridBounds<2>, d: u64) -> DemandMap<2> {
+    let y = bounds.min()[1] + (bounds.extent(1) as i64 - 1) / 2;
+    let mut m = DemandMap::new();
+    for x in bounds.min()[0]..=bounds.max()[0] {
+        m.add(pt2(x, y), d);
+    }
+    m
+}
+
+/// Example 3 (§2.1.3): demand `d` at the center point (the "earthquake").
+pub fn point(bounds: &GridBounds<2>, d: u64) -> DemandMap<2> {
+    let mut m = DemandMap::new();
+    m.add(center(bounds), d);
+    m
+}
+
+/// The center vertex of a bounded grid.
+pub fn center(bounds: &GridBounds<2>) -> Point<2> {
+    pt2(
+        bounds.min()[0] + (bounds.extent(0) as i64 - 1) / 2,
+        bounds.min()[1] + (bounds.extent(1) as i64 - 1) / 2,
+    )
+}
+
+/// Uniform random field: `jobs` unit jobs dropped i.i.d. uniformly over the
+/// grid.
+pub fn uniform_random(bounds: &GridBounds<2>, jobs: u64, seed: u64) -> DemandMap<2> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = DemandMap::new();
+    for _ in 0..jobs {
+        let x = rng.gen_range(bounds.min()[0]..=bounds.max()[0]);
+        let y = rng.gen_range(bounds.min()[1]..=bounds.max()[1]);
+        m.add(pt2(x, y), 1);
+    }
+    m
+}
+
+/// Zipf-clustered field: `clusters` hotspot centers; cluster `i` receives a
+/// `1/(i+1)`-proportional share of `jobs`, each job offset from its center
+/// by a small geometric jitter. Models the bursty spatial locality of
+/// sensor-network events.
+pub fn zipf_clusters(
+    bounds: &GridBounds<2>,
+    clusters: usize,
+    jobs: u64,
+    seed: u64,
+) -> DemandMap<2> {
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let centers: Vec<Point<2>> = (0..clusters)
+        .map(|_| {
+            pt2(
+                rng.gen_range(bounds.min()[0]..=bounds.max()[0]),
+                rng.gen_range(bounds.min()[1]..=bounds.max()[1]),
+            )
+        })
+        .collect();
+    let weight: f64 = (1..=clusters).map(|i| 1.0 / i as f64).sum();
+    let mut m = DemandMap::new();
+    let mut assigned = 0u64;
+    for (i, c) in centers.iter().enumerate() {
+        let share = if i + 1 == clusters {
+            jobs - assigned
+        } else {
+            ((jobs as f64) * (1.0 / (i as f64 + 1.0)) / weight).round() as u64
+        };
+        assigned += share;
+        for _ in 0..share {
+            // Geometric jitter: mostly at the hotspot, occasionally nearby.
+            let mut p = *c;
+            while rng.gen_bool(0.3) {
+                let axis = rng.gen_range(0..2);
+                let delta = if rng.gen_bool(0.5) { 1 } else { -1 };
+                p = p.step(axis, delta);
+            }
+            m.add(bounds.clamp(p), 1);
+        }
+    }
+    m
+}
+
+/// Mixture: overlays several maps (summing demand pointwise).
+pub fn mixture<I: IntoIterator<Item = DemandMap<2>>>(parts: I) -> DemandMap<2> {
+    let mut m = DemandMap::new();
+    for part in parts {
+        m.extend(part.iter());
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_block_totals() {
+        let b = GridBounds::square(10);
+        let m = square_block(&b, 3, 4).unwrap();
+        assert_eq!(m.total(), 36);
+        assert_eq!(m.support_len(), 9);
+        // Centered: support bounds within [3,6]².
+        let sb = m.support_bounds().unwrap();
+        assert!(sb.min()[0] >= 3 && sb.max()[0] <= 6);
+    }
+
+    #[test]
+    fn square_block_too_big() {
+        let b = GridBounds::square(4);
+        assert!(square_block(&b, 5, 1).is_err());
+        assert!(square_block(&b, 0, 1).is_err());
+        let e = square_block(&b, 9, 1).unwrap_err();
+        assert!(e.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn line_covers_width() {
+        let b = GridBounds::square(8);
+        let m = line(&b, 5);
+        assert_eq!(m.support_len(), 8);
+        assert_eq!(m.total(), 40);
+        // All on one row.
+        let sb = m.support_bounds().unwrap();
+        assert_eq!(sb.extent(1), 1);
+    }
+
+    #[test]
+    fn point_is_single() {
+        let b = GridBounds::square(9);
+        let m = point(&b, 77);
+        assert_eq!(m.support_len(), 1);
+        assert_eq!(m.get(pt2(4, 4)), 77);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_and_in_bounds() {
+        let b = GridBounds::square(6);
+        let a = uniform_random(&b, 100, 42);
+        let c = uniform_random(&b, 100, 42);
+        assert_eq!(a, c);
+        assert_eq!(a.total(), 100);
+        assert!(a.support().all(|p| b.contains(p)));
+        let other = uniform_random(&b, 100, 43);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn zipf_conserves_jobs() {
+        let b = GridBounds::square(20);
+        let m = zipf_clusters(&b, 4, 500, 9);
+        assert_eq!(m.total(), 500);
+        assert!(m.support().all(|p| b.contains(p)));
+    }
+
+    #[test]
+    fn zipf_first_cluster_heaviest() {
+        let b = GridBounds::square(50);
+        let m = zipf_clusters(&b, 5, 10_000, 31);
+        // The maximum single-point demand should carry a large share.
+        assert!(m.max_demand() > 10_000 / 10);
+    }
+
+    #[test]
+    fn mixture_sums() {
+        let b = GridBounds::square(5);
+        let m = mixture([point(&b, 3), point(&b, 4), line(&b, 1)]);
+        assert_eq!(m.get(center(&b)), 3 + 4 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zipf_zero_clusters_panics() {
+        let b = GridBounds::square(4);
+        let _ = zipf_clusters(&b, 0, 10, 0);
+    }
+}

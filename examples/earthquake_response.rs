@@ -1,0 +1,82 @@
+//! Earthquake response: Example 3 of the thesis (§2.1.3, Figures 2.1(c)
+//! and 2.3) plus the Chapter 5 energy-transfer comparison.
+//!
+//! All demand concentrates at one point — "a reasonable model when using
+//! the mobile vehicles to detect the earthquake". The thesis shows
+//! `W·(2W+1)² = d` (so `W ~ (d/4)^(1/3)`), gives the square-collapse
+//! strategy at `3·W3`, and Chapter 5 shows that even letting vehicles pass
+//! energy hand-to-hand cannot beat that order — while infinite spare tank
+//! capacity (on a line of depots) can.
+//!
+//! ```sh
+//! cargo run --example earthquake_response
+//! ```
+
+use cmvrp::core::examples::{point_demand, point_example_w3, point_strategy};
+use cmvrp::core::verify_plan;
+use cmvrp::ext::transfer::{line_collector, transfer_lower_bound_w, TransferCost};
+use cmvrp::grid::{pt2, GridBounds};
+use cmvrp::util::table::fmt_f64;
+use cmvrp::util::Table;
+
+fn main() {
+    println!("Example 3 (point): W^3 ~ d — the epicenter needs ever-larger batteries\n");
+    let mut table = Table::new(vec![
+        "d (at epicenter)",
+        "W3 (paper eq.)",
+        "strategy max energy",
+        "3*W3 + slack",
+        "transfer-aware LB",
+    ]);
+    for d in [100u64, 800, 6400, 51200] {
+        let w3 = point_example_w3(d);
+        let radius = w3.ceil() as u64;
+        let half = radius as i64 + 2;
+        let bounds = GridBounds::new([-half, -half], [half, half]);
+        let epicenter = pt2(0, 0);
+        let demand = point_demand(epicenter, d);
+
+        // Figure 2.3: collapse the (2·W3+1)-square onto the epicenter.
+        let plan = point_strategy(&bounds, epicenter, d, radius);
+        let check = verify_plan(&bounds, &demand, &plan);
+        assert!(check.is_valid(), "{:?}", check.violations);
+        let bound = (3.0 * w3).ceil() + 3.0;
+        assert!(check.max_energy as f64 <= bound);
+
+        // Chapter 5 / Theorem 5.1.1: transfers can't change the order.
+        let transfer_lb = transfer_lower_bound_w(1, d as f64);
+
+        table.row(vec![
+            d.to_string(),
+            fmt_f64(w3),
+            check.max_energy.to_string(),
+            fmt_f64(bound),
+            fmt_f64(transfer_lb),
+        ]);
+    }
+    println!("{table}");
+    println!("{}", {
+        let mut t = Table::new(vec!["check", "value"]);
+        let g = point_example_w3(51200) / point_example_w3(6400);
+        t.row(vec![
+            "W3(8d)/W3(d)".into(),
+            format!("{g:.3} (cube-root law: 2)"),
+        ]);
+        t
+    });
+
+    // §5.2.1: the one regime where transfers win — infinite tanks on a
+    // line of depots: W collapses to Θ(avg demand).
+    println!("\n§5.2.1 infinite-tank line collector (100 depots, one 50_000-job epicenter):");
+    let mut demands = vec![0u64; 99];
+    demands.push(50_000);
+    for cost in [TransferCost::Fixed(1.0), TransferCost::Variable(0.001)] {
+        let r = line_collector(&demands, cost);
+        println!(
+            "  {cost:?}: Wtrans-off = {:.2} (avg demand = {}, no-transfer W ~ sqrt(d/2) = {:.0})",
+            r.w_trans_off,
+            demands.iter().sum::<u64>() / demands.len() as u64,
+            (50_000.0f64 / 2.0).sqrt()
+        );
+    }
+}

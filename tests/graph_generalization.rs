@@ -1,0 +1,118 @@
+//! Integration: the Chapter 6 generalization to arbitrary graphs, checked
+//! against the lattice implementation and by LP duality.
+
+use cmvrp::graph_ext::gen::{binary_tree, grid_graph, random_geometric};
+use cmvrp::graph_ext::serve::{greedy_min_capacity, greedy_serve, verify_graph_plan};
+use cmvrp::graph_ext::{
+    graph_min_uniform_supply, graph_transport_feasible, omega_star as graph_omega_star, Graph,
+    GraphDemand,
+};
+use cmvrp::grid::{pt2, DemandMap, GridBounds};
+use cmvrp::util::Ratio;
+
+#[test]
+fn grid_graph_agrees_with_lattice_everywhere() {
+    // The graph-metric solver and the lattice solver must agree *exactly*
+    // on grid graphs — across several demand shapes.
+    let n = 8usize;
+    let (g, index) = grid_graph(n, n);
+    let bounds = GridBounds::square(n as u64);
+    let shapes: Vec<Vec<(usize, usize, u64)>> = vec![
+        vec![(4, 4, 50)],
+        vec![(0, 0, 20), (7, 7, 20)],
+        vec![(1, 1, 5), (1, 2, 5), (2, 1, 5), (6, 6, 30)],
+        vec![(3, 0, 17), (0, 3, 13)],
+    ];
+    for (si, shape) in shapes.iter().enumerate() {
+        let mut gd = GraphDemand::new(g.len());
+        let mut ld = DemandMap::new();
+        for &(x, y, amount) in shape {
+            gd.add(index(x, y), amount);
+            ld.add(pt2(x as i64, y as i64), amount);
+        }
+        assert_eq!(
+            graph_omega_star(&g, &gd).value,
+            cmvrp::core::omega_star(&bounds, &ld).value,
+            "shape {si}"
+        );
+        // Duality on both sides too.
+        for r in [1u64, 2] {
+            assert_eq!(
+                graph_min_uniform_supply(&g, &gd, r),
+                cmvrp::flow::min_uniform_supply(&bounds, &ld, r),
+                "shape {si} r={r}"
+            );
+        }
+    }
+}
+
+#[test]
+fn duality_on_weighted_graphs() {
+    let cases: Vec<(Graph, Vec<(usize, u64)>)> = vec![
+        (Graph::path(12, 3), vec![(6, 30)]),
+        (Graph::cycle(10, 5), vec![(0, 18), (5, 7)]),
+        (binary_tree(15, 2), vec![(7, 22), (0, 4)]),
+        (random_geometric(16, 40, 100, 21), vec![(2, 15), (9, 15)]),
+    ];
+    for (ci, (g, entries)) in cases.iter().enumerate() {
+        let mut d = GraphDemand::new(g.len());
+        for &(v, amount) in entries {
+            d.add(v, amount);
+        }
+        for r in [0u64, 3, 7] {
+            let v = graph_min_uniform_supply(g, &d, r);
+            assert!(graph_transport_feasible(g, &d, r, v), "case {ci} r={r}");
+            if v.is_positive() {
+                assert!(
+                    !graph_transport_feasible(g, &d, r, v * Ratio::new(999, 1000)),
+                    "case {ci} r={r}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn greedy_sandwich_on_graph_families() {
+    // ω* ≤ W_greedy everywhere; the gap is the Chapter 6 open problem, but
+    // it stays small on benign families.
+    let cases: Vec<Graph> = vec![
+        Graph::path(25, 1),
+        Graph::cycle(20, 2),
+        Graph::star(15, 4),
+        binary_tree(31, 1),
+        random_geometric(20, 30, 80, 3),
+    ];
+    for (ci, g) in cases.iter().enumerate() {
+        let mut d = GraphDemand::new(g.len());
+        d.add(g.len() / 2, 60);
+        d.add(0, 11);
+        let star = graph_omega_star(g, &d).value.to_f64();
+        let witness = greedy_min_capacity(g, &d);
+        let plan = greedy_serve(g, &d, witness).expect("feasible at witness");
+        assert!(
+            verify_graph_plan(g, &d, &plan, witness).is_ok(),
+            "case {ci}"
+        );
+        assert!(witness as f64 >= star - 1e-9, "case {ci}");
+        assert!(
+            (witness as f64) <= 10.0 * star.max(1.0),
+            "case {ci}: witness {witness} vs ω* {star}"
+        );
+    }
+}
+
+#[test]
+fn heavier_edges_raise_omega() {
+    // Stretching all edges makes travel costlier: ω* is monotone in the
+    // uniform edge weight.
+    let mut prev = Ratio::ZERO;
+    for w in [1u64, 2, 4, 8] {
+        let g = Graph::path(15, w);
+        let mut d = GraphDemand::new(15);
+        d.add(7, 40);
+        let star = graph_omega_star(&g, &d).value;
+        assert!(star >= prev, "w={w}");
+        prev = star;
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration: the full off-line pipeline (Chapter 2) across workloads.
+//!
+//! For every workload: exact lower bound `ω*` (flow/LP machinery), cube
+//! bound `ω_c`, Algorithm 1, the constructive Lemma 2.2.5 plan, and the
+//! independent verifier — with every Theorem 1.4.1 relation checked.
+
+use cmvrp::core::{approx_woff, offline_factor, omega_c, omega_star, plan_offline, verify_plan};
+use cmvrp::flow::{min_uniform_supply, transport_feasible};
+use cmvrp::grid::GridBounds;
+use cmvrp::util::Ratio;
+use cmvrp::workloads::WorkloadConfig;
+
+fn workloads() -> Vec<WorkloadConfig> {
+    vec![
+        WorkloadConfig::Point {
+            grid: 15,
+            demand: 120,
+        },
+        WorkloadConfig::Line {
+            grid: 14,
+            demand: 9,
+        },
+        WorkloadConfig::Square {
+            grid: 16,
+            a: 5,
+            demand: 6,
+        },
+        WorkloadConfig::Uniform {
+            grid: 12,
+            jobs: 140,
+            seed: 2,
+        },
+        WorkloadConfig::Clusters {
+            grid: 14,
+            clusters: 3,
+            jobs: 160,
+            seed: 8,
+        },
+    ]
+}
+
+#[test]
+fn theorem_141_sandwich_on_all_workloads() {
+    for cfg in workloads() {
+        let (bounds, demand) = cfg.generate();
+        let star = omega_star(&bounds, &demand).value;
+        let wc = omega_c(&bounds, &demand);
+        // Corollary 2.2.7 + Lemma 2.2.3 ordering: ω_c ≤ ω*.
+        assert!(wc <= star, "{}: ω_c={wc} > ω*={star}", cfg.label());
+        // The constructed plan is feasible and its max energy sits inside
+        // the sandwich (with integer-rounding slack).
+        let plan = plan_offline(&bounds, &demand).unwrap();
+        let check = verify_plan(&bounds, &demand, &plan);
+        assert!(check.is_valid(), "{}: {:?}", cfg.label(), check.violations);
+        let upper = (star * Ratio::from_integer(offline_factor(2) as i128)).ceil() as u64 + 4;
+        assert!(
+            check.max_energy <= upper,
+            "{}: energy {} above (2·3²+2)·ω*+slack = {upper}",
+            cfg.label(),
+            check.max_energy
+        );
+    }
+}
+
+#[test]
+fn algorithm1_guarantee_on_all_workloads() {
+    for cfg in workloads() {
+        let (bounds, demand) = cfg.generate();
+        let approx = approx_woff(&bounds, &demand);
+        let star = omega_star(&bounds, &demand).value;
+        assert!(approx >= star, "{}: Ŵ={approx} < ω*={star}", cfg.label());
+        assert!(
+            approx <= star.max(Ratio::ONE) * Ratio::from_integer(40),
+            "{}: Ŵ={approx} beyond 40·max(ω*,1)",
+            cfg.label()
+        );
+    }
+}
+
+#[test]
+fn lemma_222_duality_on_all_workloads() {
+    // Strong duality of LP (2.1): the max-density value is feasible as a
+    // uniform supply, and anything 0.1% below is not.
+    for cfg in workloads() {
+        let (bounds, demand) = cfg.generate();
+        for r in [0u64, 1, 2] {
+            let v = min_uniform_supply(&bounds, &demand, r);
+            assert!(
+                transport_feasible(&bounds, &demand, r, v),
+                "{} r={r}: density value {v} must be feasible",
+                cfg.label()
+            );
+            if v.is_positive() {
+                let below = v * Ratio::new(999, 1000);
+                assert!(
+                    !transport_feasible(&bounds, &demand, r, below),
+                    "{} r={r}: below-optimum {below} must be infeasible",
+                    cfg.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_total_service_equals_total_demand() {
+    for cfg in workloads() {
+        let (bounds, demand) = cfg.generate();
+        let plan = plan_offline(&bounds, &demand).unwrap();
+        let check = verify_plan(&bounds, &demand, &plan);
+        assert_eq!(check.total_service, demand.total(), "{}", cfg.label());
+    }
+}
+
+#[test]
+fn omega_star_scales_like_point_example() {
+    // E3 shape: ω* for point demand grows like d^(1/3) (2-D).
+    let b = GridBounds::square(41);
+    let mut values = Vec::new();
+    for d in [64u64, 512, 4096] {
+        let (_, demand) = WorkloadConfig::Point {
+            grid: 41,
+            demand: d,
+        }
+        .generate();
+        values.push(omega_star(&b, &demand).value.to_f64());
+    }
+    let g1 = values[1] / values[0];
+    let g2 = values[2] / values[1];
+    for g in [g1, g2] {
+        assert!(g > 1.5 && g < 2.6, "cube-root growth, got {g}");
+    }
+}

