@@ -4,28 +4,24 @@
 //! quadruple (ℓ=2) the dense-array running time; the sparse generic variant
 //! should scale with the support instead.
 
+use cmvrp_bench::harness::Harness;
 use cmvrp_core::{approx_woff, approx_woff_2d};
 use cmvrp_grid::{DenseDemand2D, GridBounds};
 use cmvrp_workloads::spatial;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_alg1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alg1_scaling");
+fn main() {
+    let mut h = Harness::start("alg1_scaling");
     for n in [64u64, 128, 256, 512] {
         let bounds = GridBounds::square(n);
         let sparse = spatial::zipf_clusters(&bounds, 4, 5_000, 3);
         let dense = DenseDemand2D::from_demand_map(n, &sparse);
-        group.throughput(Throughput::Elements(n * n));
-        group.bench_with_input(BenchmarkId::new("dense_paper_l2", n), &n, |b, _| {
-            b.iter(|| black_box(approx_woff_2d(&dense)))
+        h.bench(&format!("dense_paper_l2/{n}"), || {
+            black_box(approx_woff_2d(&dense));
         });
-        group.bench_with_input(BenchmarkId::new("sparse_generic", n), &n, |b, _| {
-            b.iter(|| black_box(approx_woff(&bounds, &sparse)))
+        h.bench(&format!("sparse_generic/{n}"), || {
+            black_box(approx_woff(&bounds, &sparse));
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_alg1);
-criterion_main!(benches);

@@ -1,41 +1,34 @@
 //! Bench: the exact max-density solver (Lemma 2.2.2 machinery, experiment
 //! E4) — direct coverage edges vs the layered BFS gadget across radii.
 
+use cmvrp_bench::harness::Harness;
 use cmvrp_flow::grid_density::DensityMethod;
 use cmvrp_flow::max_density_over_grid;
 use cmvrp_grid::GridBounds;
 use cmvrp_workloads::spatial;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_density(c: &mut Criterion) {
-    let mut group = c.benchmark_group("density_flow");
+fn main() {
+    let mut h = Harness::start("density_flow");
     let bounds = GridBounds::square(14);
     let demand = spatial::zipf_clusters(&bounds, 3, 400, 5);
     for r in [1u64, 3, 5] {
-        group.bench_with_input(BenchmarkId::new("direct", r), &r, |b, &r| {
-            b.iter(|| {
-                black_box(max_density_over_grid(
-                    &bounds,
-                    &demand,
-                    r,
-                    DensityMethod::Direct,
-                ))
-            })
+        h.bench(&format!("direct/{r}"), || {
+            black_box(max_density_over_grid(
+                &bounds,
+                &demand,
+                r,
+                DensityMethod::Direct,
+            ));
         });
-        group.bench_with_input(BenchmarkId::new("layered", r), &r, |b, &r| {
-            b.iter(|| {
-                black_box(max_density_over_grid(
-                    &bounds,
-                    &demand,
-                    r,
-                    DensityMethod::Layered,
-                ))
-            })
+        h.bench(&format!("layered/{r}"), || {
+            black_box(max_density_over_grid(
+                &bounds,
+                &demand,
+                r,
+                DensityMethod::Layered,
+            ));
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_density);
-criterion_main!(benches);

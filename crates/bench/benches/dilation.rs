@@ -1,24 +1,21 @@
 //! Bench: the `N_r(T)` dilation primitive underlying every density and
 //! `ω_T` computation (multi-source BFS vs brute-force ball union).
 
+use cmvrp_bench::harness::Harness;
 use cmvrp_grid::{dilate, dilate_bruteforce, pt2, GridBounds, Point};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_dilation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dilation");
+fn main() {
+    let mut h = Harness::start("dilation");
     let bounds = GridBounds::square(64);
     let line: Vec<Point<2>> = (0..64).map(|x| pt2(x, 32)).collect();
     for r in [1u64, 4, 16] {
-        group.bench_with_input(BenchmarkId::new("bfs", r), &r, |b, &r| {
-            b.iter(|| black_box(dilate(&bounds, line.iter().copied(), r).len()))
+        h.bench(&format!("bfs/{r}"), || {
+            black_box(dilate(&bounds, line.iter().copied(), r).len());
         });
-        group.bench_with_input(BenchmarkId::new("bruteforce", r), &r, |b, &r| {
-            b.iter(|| black_box(dilate_bruteforce(&bounds, line.iter().copied(), r).len()))
+        h.bench(&format!("bruteforce/{r}"), || {
+            black_box(dilate_bruteforce(&bounds, line.iter().copied(), r).len());
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_dilation);
-criterion_main!(benches);

@@ -1,13 +1,13 @@
 //! Bench: the Chapter 6 generalization — exact `ω*` on general graphs
 //! (distance-level scan + Dinkelbach) across graph families and sizes.
 
+use cmvrp_bench::harness::Harness;
 use cmvrp_graph::gen::{binary_tree, random_geometric};
 use cmvrp_graph::{omega_star, Graph, GraphDemand, GraphOnlineSim};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_graph_omega(c: &mut Criterion) {
-    let mut group = c.benchmark_group("graph_omega");
+fn main() {
+    let mut h = Harness::start("graph_omega");
     for n in [16usize, 32, 64] {
         let mut cases: Vec<(&str, Graph)> = vec![
             ("path", Graph::path(n, 1)),
@@ -19,28 +19,23 @@ fn bench_graph_omega(c: &mut Criterion) {
             let mut d = GraphDemand::new(g.len());
             d.add(0, 40);
             d.add(n / 2, 25);
-            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
-                b.iter(|| black_box(omega_star(&g, &d).value))
+            h.bench(&format!("{label}/{n}"), || {
+                black_box(omega_star(&g, &d).value);
             });
         }
     }
     // The cluster-based online heuristic end to end.
-    group.sample_size(10);
+    h.set_samples(10);
     for n in [20usize, 60] {
         let g = Graph::path(n, 1);
         let mut d = GraphDemand::new(n);
         d.add(n / 2, 80);
         let cap = GraphOnlineSim::suggest_capacity(&g, 2, &d);
-        let jobs: Vec<usize> = std::iter::repeat(n / 2).take(80).collect();
-        group.bench_with_input(BenchmarkId::new("online_heuristic", n), &n, |b, _| {
-            b.iter(|| {
-                let mut sim = GraphOnlineSim::new(Graph::path(n, 1), 2, cap, 1);
-                black_box(sim.run(&jobs))
-            })
+        let jobs: Vec<usize> = std::iter::repeat_n(n / 2, 80).collect();
+        h.bench(&format!("online_heuristic/{n}"), || {
+            let mut sim = GraphOnlineSim::new(Graph::path(n, 1), 2, cap, 1);
+            black_box(sim.run(&jobs));
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_graph_omega);
-criterion_main!(benches);

@@ -1,26 +1,23 @@
 //! Bench: the off-line bound computations (experiments E1/E5) — exact `ω*`
 //! via parametric flow vs the linear-time cube bound `ω_c`.
 
+use cmvrp_bench::harness::Harness;
 use cmvrp_core::{omega_c, omega_star};
 use cmvrp_grid::GridBounds;
 use cmvrp_workloads::spatial;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_offline_bounds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("offline_bounds");
+fn main() {
+    let mut h = Harness::start("offline_bounds");
     for grid in [8u64, 12, 16] {
         let bounds = GridBounds::square(grid);
         let demand = spatial::zipf_clusters(&bounds, 3, 40 * grid, 7);
-        group.bench_with_input(BenchmarkId::new("omega_star_exact", grid), &grid, |b, _| {
-            b.iter(|| black_box(omega_star(&bounds, &demand).value))
+        h.bench(&format!("omega_star_exact/{grid}"), || {
+            black_box(omega_star(&bounds, &demand).value);
         });
-        group.bench_with_input(BenchmarkId::new("omega_c_linear", grid), &grid, |b, _| {
-            b.iter(|| black_box(omega_c(&bounds, &demand)))
+        h.bench(&format!("omega_c_linear/{grid}"), || {
+            black_box(omega_c(&bounds, &demand));
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_offline_bounds);
-criterion_main!(benches);

@@ -1,48 +1,40 @@
 //! Bench: the Chapter 3 on-line protocol end to end (experiment E7) —
 //! whole-run cost across workload shapes and sizes.
 
+use cmvrp_bench::harness::Harness;
 use cmvrp_grid::GridBounds;
 use cmvrp_online::{OnlineConfig, OnlineSim};
 use cmvrp_workloads::{arrivals, spatial, Ordering};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_online(c: &mut Criterion) {
-    let mut group = c.benchmark_group("online_sim");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::start("online_sim");
+    h.set_samples(10);
     for (label, grid, jobs_n) in [("small", 8u64, 100u64), ("medium", 12, 300)] {
         let bounds = GridBounds::square(grid);
         let demand = spatial::zipf_clusters(&bounds, 2, jobs_n, 4);
         let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 9);
-        group.throughput(Throughput::Elements(jobs_n));
-        group.bench_with_input(BenchmarkId::new("full_run", label), &label, |b, _| {
-            b.iter(|| {
-                let report = OnlineSim::new(bounds, &jobs, OnlineConfig::default()).run();
-                assert_eq!(report.unserved, 0);
-                black_box(report)
-            })
+        h.bench(&format!("full_run/{label}"), || {
+            let report = OnlineSim::new(bounds, &jobs, OnlineConfig::default()).run();
+            assert_eq!(report.unserved, 0);
+            black_box(report);
         });
     }
     // Monitored variant: heartbeat overhead.
     let bounds = GridBounds::square(8);
     let demand = spatial::point(&bounds, 150);
     let jobs = arrivals::from_demand(&demand, Ordering::Sequential, 0);
-    group.bench_function("full_run/monitored", |b| {
-        b.iter(|| {
-            let report = OnlineSim::new(
-                bounds,
-                &jobs,
-                OnlineConfig {
-                    monitored: true,
-                    ..OnlineConfig::default()
-                },
-            )
-            .run();
-            black_box(report)
-        })
+    h.bench("full_run/monitored", || {
+        let report = OnlineSim::new(
+            bounds,
+            &jobs,
+            OnlineConfig {
+                monitored: true,
+                ..OnlineConfig::default()
+            },
+        )
+        .run();
+        black_box(report);
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_online);
-criterion_main!(benches);

@@ -1,34 +1,32 @@
 //! Bench: Chapter 5 computations (experiments E10/E11) — the decay-bound
 //! series vs its closed form, and the line-collector sweep.
 
+use cmvrp_bench::harness::Harness;
 use cmvrp_ext::transfer::{
     line_collector, max_energy_into_square, max_energy_into_square_series, transfer_lower_bound_w,
     TransferCost,
 };
 use cmvrp_ext::transfer_plan::{line_collector_script, TransferSim};
 use cmvrp_grid::{pt1, DemandMap, GridBounds};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_transfer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transfer");
+fn main() {
+    let mut h = Harness::start("transfer");
     for w in [10.0f64, 100.0] {
-        group.bench_with_input(
-            BenchmarkId::new("decay_closed_form", w as u64),
-            &w,
-            |b, &w| b.iter(|| black_box(max_energy_into_square(w, 8))),
-        );
-        group.bench_with_input(BenchmarkId::new("decay_series", w as u64), &w, |b, &w| {
-            b.iter(|| black_box(max_energy_into_square_series(w, 8)))
+        h.bench(&format!("decay_closed_form/{}", w as u64), || {
+            black_box(max_energy_into_square(w, 8));
+        });
+        h.bench(&format!("decay_series/{}", w as u64), || {
+            black_box(max_energy_into_square_series(w, 8));
         });
     }
-    group.bench_function("transfer_lower_bound_w", |b| {
-        b.iter(|| black_box(transfer_lower_bound_w(4, 100_000.0)))
+    h.bench("transfer_lower_bound_w", || {
+        black_box(transfer_lower_bound_w(4, 100_000.0));
     });
     for n in [100usize, 10_000] {
         let demands = vec![5u64; n];
-        group.bench_with_input(BenchmarkId::new("line_collector", n), &n, |b, _| {
-            b.iter(|| black_box(line_collector(&demands, TransferCost::Fixed(0.5))))
+        h.bench(&format!("line_collector/{n}"), || {
+            black_box(line_collector(&demands, TransferCost::Fixed(0.5)));
         });
     }
     // Full script execution under the enforcing simulator.
@@ -42,16 +40,11 @@ fn bench_transfer(c: &mut Criterion) {
         let cost = TransferCost::Fixed(0.5);
         let w = line_collector(&demands, cost).w_trans_off + 1e-6;
         let script = line_collector_script(&bounds, &demand, w, cost);
-        group.bench_with_input(BenchmarkId::new("script_execution", n), &n, |b, _| {
-            b.iter(|| {
-                let mut sim = TransferSim::new(bounds, demand.clone(), w, None, cost);
-                sim.run(&script).expect("feasible");
-                black_box(sim.unserved())
-            })
+        h.bench(&format!("script_execution/{n}"), || {
+            let mut sim = TransferSim::new(bounds, demand.clone(), w, None, cost);
+            sim.run(&script).expect("feasible");
+            black_box(sim.unserved());
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_transfer);
-criterion_main!(benches);

@@ -1,0 +1,244 @@
+//! A tiny self-contained benchmark harness (`std::time::Instant` only).
+//!
+//! The workspace builds hermetically — no registry access — so the
+//! criterion dependency was replaced by this module. Bench targets keep
+//! `harness = false` and drive a [`Harness`] from `main`:
+//!
+//! ```no_run
+//! use cmvrp_bench::harness::Harness;
+//! use std::hint::black_box;
+//!
+//! let mut h = Harness::start("my_group");
+//! h.bench("square/64", || {
+//!     black_box((0..64u64).map(|x| x * x).sum::<u64>());
+//! });
+//! h.finish();
+//! ```
+//!
+//! Supported command-line arguments (everything else is ignored so
+//! `cargo bench`/`cargo test` glue flags pass through): `--test` or
+//! `--quick` runs every closure once without timing, and the first bare
+//! argument is a substring filter on bench names.
+//!
+//! Methodology: each bench is warmed up, then the iteration count is
+//! calibrated so one sample takes roughly [`SAMPLE_TARGET_MS`]; the
+//! reported numbers are the per-iteration mean, minimum, and standard
+//! deviation across the samples.
+
+use cmvrp_util::Table;
+use std::time::Instant;
+
+/// Target wall-clock duration of one measured sample, in milliseconds.
+pub const SAMPLE_TARGET_MS: u64 = 25;
+
+/// Default number of measured samples per bench.
+pub const DEFAULT_SAMPLES: usize = 12;
+
+/// One bench's aggregated measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Bench name within the group.
+    pub name: String,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Standard deviation of the per-sample means, in nanoseconds.
+    pub stddev_ns: f64,
+}
+
+/// Formats a nanosecond quantity with a human unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A benchmark group: collects measurements and prints them on
+/// [`Harness::finish`].
+#[derive(Debug)]
+pub struct Harness {
+    group: String,
+    filter: Option<String>,
+    quick: bool,
+    samples: usize,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Creates a harness for `group`, reading flags from `std::env::args`.
+    pub fn start(group: &str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Harness::with_args(group, &args)
+    }
+
+    /// Creates a harness with explicit arguments (testable entry point).
+    pub fn with_args(group: &str, args: &[String]) -> Self {
+        let mut quick = false;
+        let mut filter = None;
+        for a in args {
+            match a.as_str() {
+                "--test" | "--quick" => quick = true,
+                s if s.starts_with('-') => {} // cargo glue flags: ignore
+                s => {
+                    if filter.is_none() {
+                        filter = Some(s.to_string());
+                    }
+                }
+            }
+        }
+        Harness {
+            group: group.to_string(),
+            filter,
+            quick,
+            samples: DEFAULT_SAMPLES,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the number of measured samples (for very slow benches).
+    pub fn set_samples(&mut self, samples: usize) {
+        assert!(samples > 0, "need at least one sample");
+        self.samples = samples;
+    }
+
+    /// Whether `name` survives the command-line filter.
+    fn selected(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => format!("{}/{}", self.group, name).contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Runs one bench. The closure is the body of a single iteration; wrap
+    /// results in `std::hint::black_box` inside it.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        if !self.selected(name) {
+            return;
+        }
+        if self.quick {
+            f();
+            println!("{}/{}: ok (quick)", self.group, name);
+            return;
+        }
+        // Warm up and calibrate: grow the iteration count until one batch
+        // takes at least the sample target.
+        let target_ns = SAMPLE_TARGET_MS as u128 * 1_000_000;
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = t.elapsed().as_nanos().max(1);
+            if elapsed >= target_ns {
+                break elapsed / iters as u128;
+            }
+            // Aim straight at the target with 50% headroom.
+            let scale = (target_ns * 3 / 2) / elapsed;
+            iters = iters.saturating_mul(scale.clamp(2, 100) as u64);
+        };
+        let iters_per_sample = (target_ns / per_iter_ns.max(1)).clamp(1, u64::MAX as u128) as u64;
+        // Measure.
+        let mut sample_means = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            sample_means.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let n = sample_means.len() as f64;
+        let mean = sample_means.iter().sum::<f64>() / n;
+        let min = sample_means.iter().copied().fold(f64::INFINITY, f64::min);
+        let var = sample_means
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f64>()
+            / n;
+        self.results.push(Measurement {
+            name: name.to_string(),
+            iters_per_sample,
+            mean_ns: mean,
+            min_ns: min,
+            stddev_ns: var.sqrt(),
+        });
+    }
+
+    /// The measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the group's results as a table.
+    pub fn finish(self) {
+        if self.quick {
+            return;
+        }
+        let mut table = Table::new(vec!["bench", "mean", "min", "stddev", "iters/sample"]);
+        for m in &self.results {
+            table.row(vec![
+                m.name.clone(),
+                fmt_ns(m.mean_ns),
+                fmt_ns(m.min_ns),
+                fmt_ns(m.stddev_ns),
+                m.iters_per_sample.to_string(),
+            ]);
+        }
+        println!("group: {}", self.group);
+        println!("{table}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once_without_recording() {
+        let mut h = Harness::with_args("g", &["--test".into()]);
+        let mut runs = 0;
+        h.bench("a", || runs += 1);
+        assert_eq!(runs, 1);
+        assert!(h.results().is_empty());
+    }
+
+    #[test]
+    fn filter_selects_by_substring() {
+        let mut h = Harness::with_args("g", &["--test".into(), "b/".into()]);
+        let mut a = 0;
+        let mut b = 0;
+        h.bench("a/1", || a += 1);
+        h.bench("b/1", || b += 1);
+        assert_eq!((a, b), (0, 1));
+    }
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        let mut h = Harness::with_args("g", &[]);
+        h.set_samples(2);
+        h.bench("spin", || {
+            std::hint::black_box((0..100u64).sum::<u64>());
+        });
+        let m = &h.results()[0];
+        assert!(m.mean_ns > 0.0);
+        assert!(m.min_ns <= m.mean_ns);
+        assert!(m.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(12_500.0), "12.50 µs");
+        assert_eq!(fmt_ns(12_500_000.0), "12.50 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

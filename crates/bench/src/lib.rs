@@ -29,6 +29,12 @@ use cmvrp_util::table::fmt_f64;
 use cmvrp_util::{Ratio, Table};
 use cmvrp_workloads::{arrivals, spatial, Ordering, WorkloadConfig};
 
+pub mod harness;
+
+/// A named graph instance with `(vertex, demand)` pairs — the Chapter 6
+/// experiment cases.
+type GraphCase = (&'static str, cmvrp_graph::Graph, Vec<(usize, u64)>);
+
 /// One experiment's rendered output.
 #[derive(Debug, Clone)]
 pub struct ExperimentOutput {
@@ -291,6 +297,9 @@ pub fn e7(configs: &[WorkloadConfig]) -> ExperimentOutput {
         "used/omega_c",
         "served",
         "repl",
+        "waves",
+        "delay",
+        "q_depth",
     ]);
     let mut ok = true;
     for cfg in configs {
@@ -310,6 +319,9 @@ pub fn e7(configs: &[WorkloadConfig]) -> ExperimentOutput {
             format!("{ratio:.1}"),
             format!("{}/{}", report.served, report.served + report.unserved),
             report.replacements.to_string(),
+            report.diffusions.to_string(),
+            format!("{:.1}/{}", report.mean_msg_delay, report.max_msg_delay),
+            report.max_queue_depth.to_string(),
         ]);
     }
     ExperimentOutput {
@@ -671,7 +683,6 @@ pub fn e14(configs: &[WorkloadConfig]) -> ExperimentOutput {
 /// breakage — sweep the fraction of vehicles with tiny longevity and watch
 /// service degrade *gracefully and honestly*.
 pub fn e15() -> ExperimentOutput {
-    use rand::{Rng, SeedableRng};
     let mut table = Table::new(vec![
         "broken fraction",
         "served",
@@ -692,7 +703,7 @@ pub fn e15() -> ExperimentOutput {
                 ..OnlineConfig::default()
             },
         );
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(7);
         for p in bounds.iter() {
             if rng.gen_bool(frac.min(1.0)) {
                 sim.set_longevity_at(p, 0.1); // breaks after 10% of W
@@ -735,7 +746,7 @@ pub fn g1() -> ExperimentOutput {
         "witness/omega*",
         "duality r=2",
     ]);
-    let cases: Vec<(&str, Graph, Vec<(usize, u64)>)> = vec![
+    let cases: Vec<GraphCase> = vec![
         ("path(20,w=1)", Graph::path(20, 1), vec![(10, 40)]),
         ("cycle(16,w=2)", Graph::cycle(16, 2), vec![(0, 30), (8, 12)]),
         ("star(12,w=3)", Graph::star(12, 3), vec![(0, 25), (5, 6)]),
@@ -827,7 +838,7 @@ pub fn g2() -> ExperimentOutput {
     let mut table = Table::new(vec![
         "graph", "omega*", "clusters", "capacity", "max used", "served", "repl",
     ]);
-    let cases: Vec<(&str, Graph, Vec<(usize, u64)>)> = vec![
+    let cases: Vec<GraphCase> = vec![
         ("path(20,w=1)", Graph::path(20, 1), vec![(10, 60)]),
         ("cycle(16,w=1)", Graph::cycle(16, 1), vec![(0, 40), (8, 20)]),
         ("btree(31,w=1)", binary_tree(31, 1), vec![(15, 50)]),
@@ -848,7 +859,7 @@ pub fn g2() -> ExperimentOutput {
         let cap = GraphOnlineSim::suggest_capacity(&g, radius, &d);
         let mut jobs = Vec::new();
         for v in d.support() {
-            jobs.extend(std::iter::repeat(v).take(d.get(v) as usize));
+            jobs.extend(std::iter::repeat_n(v, d.get(v) as usize));
         }
         let total = jobs.len() as u64;
         let mut sim = GraphOnlineSim::new(g, radius, cap, 5);

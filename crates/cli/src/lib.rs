@@ -7,7 +7,10 @@
 //! * `solve` — compute the Chapter 2 quantities (`ω_c`, `ω*`,
 //!   Algorithm 1, the Lemma 2.2.5 plan) for a workload;
 //! * `simulate` — replay the workload through the Chapter 3 on-line
-//!   protocol and report the Theorem 1.4.2 accounting;
+//!   protocol and report the Theorem 1.4.2 accounting, optionally writing
+//!   a JSONL event trace (`--trace-jsonl`) and a metrics table
+//!   (`--metrics`);
+//! * `replay` — rebuild the run's summary from a JSONL trace alone;
 //! * `workloads` — list the built-in workload shapes.
 //!
 //! Workloads are specified as `shape:param=value,...`, e.g.
@@ -16,8 +19,9 @@
 //! dependencies); [`run`] is the testable entry point.
 
 use cmvrp_core::Instance;
-use cmvrp_online::{OnlineConfig, OnlineSim};
-use cmvrp_workloads::{arrivals, Ordering, WorkloadConfig};
+use cmvrp_obs::{JsonlSink, Metrics, Sink};
+use cmvrp_online::{OnlineConfig, OnlineReport, OnlineSim};
+use cmvrp_workloads::{arrivals, JobSequence, Ordering, WorkloadConfig};
 use std::fmt::Write as _;
 
 /// Errors surfaced to the user with exit code 2.
@@ -38,6 +42,7 @@ fn usage() -> String {
      USAGE:\n\
        cmvrp solve <workload>            off-line bounds + verified plan\n\
        cmvrp simulate <workload> [opts]  run the on-line protocol\n\
+       cmvrp replay <trace.jsonl>        summarize a recorded event trace\n\
        cmvrp show <workload>             render the demand map as ASCII\n\
        cmvrp experiment <id>             regenerate a thesis experiment (e1..e16, f1, g1, g2)\n\
        cmvrp sweep <shape> <d1> <d2> ..  omega* scaling across demands (point|line)\n\
@@ -54,7 +59,9 @@ fn usage() -> String {
      SIMULATE OPTIONS:\n\
        --seed=S        message-delay seed (default 1)\n\
        --capacity=W    override the Lemma 3.3.1 provisioning\n\
-       --monitored     enable the §3.2.5 heartbeat ring\n"
+       --monitored     enable the §3.2.5 heartbeat ring\n\
+       --trace-jsonl P write every event as JSON lines to path P\n\
+       --metrics       print the always-on metrics registry\n"
         .to_string()
 }
 
@@ -217,29 +224,22 @@ fn cmd_solve(spec: &str) -> Result<String, UsageError> {
     Ok(out)
 }
 
-fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
-    let cfg = parse_workload(spec)?;
-    let mut online = OnlineConfig::default();
-    for opt in opts {
-        if let Some(v) = opt.strip_prefix("--seed=") {
-            online.seed = v
-                .parse()
-                .map_err(|_| UsageError(format!("bad seed {v:?}")))?;
-        } else if let Some(v) = opt.strip_prefix("--capacity=") {
-            online.capacity_override = Some(
-                v.parse()
-                    .map_err(|_| UsageError(format!("bad capacity {v:?}")))?,
-            );
-        } else if opt == "--monitored" {
-            online.monitored = true;
-        } else {
-            return Err(UsageError(format!("unknown option {opt:?}")));
-        }
-    }
-    let (bounds, demand) = cfg.generate();
-    let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, online.seed);
-    let report = OnlineSim::new(bounds, &jobs, online).run();
-    let mut out = String::new();
+/// One simulate run on a fixed sink type; returns the report, the metrics
+/// snapshot (when requested), and the flushed sink.
+fn run_simulation<S: Sink>(
+    bounds: cmvrp_grid::GridBounds<2>,
+    jobs: &JobSequence<2>,
+    online: OnlineConfig,
+    sink: S,
+    want_metrics: bool,
+) -> (OnlineReport, Option<Metrics>, S) {
+    let mut sim = OnlineSim::with_sink(bounds, jobs, online, sink);
+    let report = sim.run();
+    let metrics = want_metrics.then(|| sim.metrics());
+    (report, metrics, sim.into_sink())
+}
+
+fn render_report(out: &mut String, cfg: &WorkloadConfig, report: &OnlineReport) {
     let _ = writeln!(out, "workload: {}", cfg.label());
     let _ = writeln!(out, "capacity: {}", report.capacity);
     let _ = writeln!(
@@ -257,10 +257,101 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
     let _ = writeln!(out, "messages: {}", report.messages);
     let _ = writeln!(
         out,
+        "msg delay: mean {:.2}, max {} (queue depth <= {})",
+        report.mean_msg_delay, report.max_msg_delay, report.max_queue_depth
+    );
+    let _ = writeln!(
+        out,
+        "waves: {} diffusions, {} heartbeat misses",
+        report.diffusions, report.heartbeat_misses
+    );
+    let _ = writeln!(
+        out,
         "omega_c: {} (cube side {})",
         report.omega_c, report.cube_side
     );
+}
+
+fn render_metrics(out: &mut String, metrics: &Metrics) {
+    let mut table = cmvrp_util::Table::new(vec!["metric", "value"]);
+    for (name, value) in metrics.rows() {
+        table.row(vec![name, value]);
+    }
+    let _ = writeln!(out, "\nmetrics:");
+    let _ = write!(out, "{table}");
+}
+
+fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
+    let cfg = parse_workload(spec)?;
+    let mut online = OnlineConfig::default();
+    let mut want_metrics = false;
+    let mut trace: Option<String> = None;
+    let mut i = 0;
+    while i < opts.len() {
+        let opt = &opts[i];
+        if let Some(v) = opt.strip_prefix("--seed=") {
+            online.seed = v
+                .parse()
+                .map_err(|_| UsageError(format!("bad seed {v:?}")))?;
+        } else if let Some(v) = opt.strip_prefix("--capacity=") {
+            online.capacity_override = Some(
+                v.parse()
+                    .map_err(|_| UsageError(format!("bad capacity {v:?}")))?,
+            );
+        } else if opt == "--monitored" {
+            online.monitored = true;
+        } else if opt == "--metrics" {
+            want_metrics = true;
+        } else if let Some(v) = opt.strip_prefix("--trace-jsonl=") {
+            trace = Some(v.to_string());
+        } else if opt == "--trace-jsonl" {
+            i += 1;
+            let path = opts
+                .get(i)
+                .ok_or_else(|| UsageError("--trace-jsonl needs a path".into()))?;
+            trace = Some(path.clone());
+        } else {
+            return Err(UsageError(format!("unknown option {opt:?}")));
+        }
+        i += 1;
+    }
+    let (bounds, demand) = cfg.generate();
+    let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, online.seed);
+    let mut out = String::new();
+    let (report, metrics) = match &trace {
+        Some(path) => {
+            let sink = JsonlSink::create(path)
+                .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
+            let (report, metrics, sink) = run_simulation(bounds, &jobs, online, sink, want_metrics);
+            let events = sink
+                .finish()
+                .map_err(|e| UsageError(format!("trace write to {path:?} failed: {e}")))?;
+            let _ = writeln!(out, "trace: {events} events -> {path}");
+            (report, metrics)
+        }
+        None => {
+            let (report, metrics, _) =
+                run_simulation(bounds, &jobs, online, cmvrp_obs::NullSink, want_metrics);
+            (report, metrics)
+        }
+    };
+    render_report(&mut out, &cfg, &report);
+    if let Some(metrics) = &metrics {
+        render_metrics(&mut out, metrics);
+    }
     Ok(out)
+}
+
+fn cmd_replay(path: &str) -> Result<String, UsageError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| UsageError(format!("cannot read {path:?}: {e}")))?;
+    let summary = cmvrp_obs::summarize(text.lines())
+        .map_err(|(line, msg)| UsageError(format!("{path}:{line}: {msg}")))?;
+    let mut table = cmvrp_util::Table::new(vec!["quantity", "value"]);
+    for (name, value) in summary.rows() {
+        table.row(vec![name, value]);
+    }
+    Ok(format!("replay of {path}:\n{table}"))
 }
 
 /// Dispatches a CLI invocation; returns the text to print or a usage error.
@@ -292,6 +383,10 @@ pub fn run(args: &[String]) -> Result<String, UsageError> {
         Some("simulate") => match args.get(1) {
             Some(spec) => cmd_simulate(spec, &args[2..]),
             None => Err(UsageError("simulate needs a workload spec".into())),
+        },
+        Some("replay") => match args.get(1) {
+            Some(path) => cmd_replay(path),
+            None => Err(UsageError("replay needs a trace path".into())),
         },
         Some(other) => Err(UsageError(format!("unknown command {other:?}"))),
     }
@@ -398,6 +493,88 @@ mod tests {
     fn missing_spec_errors() {
         assert!(run(&argv("solve")).is_err());
         assert!(run(&argv("simulate")).is_err());
+        assert!(run(&argv("replay")).is_err());
         assert!(run(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn simulate_reports_delay_and_waves() {
+        let out = run(&argv("simulate point:grid=8,demand=40")).unwrap();
+        assert!(out.contains("msg delay: mean"));
+        assert!(out.contains("diffusions"));
+    }
+
+    #[test]
+    fn simulate_metrics_table() {
+        let out = run(&argv("simulate point:grid=8,demand=40 --metrics")).unwrap();
+        assert!(out.contains("metrics:"));
+        assert!(out.contains("net.msgs_delivered"));
+        assert!(out.contains("online.vehicle_energy.count"));
+    }
+
+    #[test]
+    fn trace_then_replay_round_trips() {
+        let path = std::env::temp_dir().join("cmvrp_cli_trace_test.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        // Space-separated option form; demand high enough that vehicles
+        // exhaust, so the trace carries message and diffusion events too.
+        let sim_out = run(&[
+            "simulate".into(),
+            "point:grid=8,demand=300".into(),
+            "--trace-jsonl".into(),
+            path_str.clone(),
+        ])
+        .unwrap();
+        assert!(sim_out.contains("trace:"));
+        let replay_out = run(&["replay".into(), path_str.clone()]).unwrap();
+        assert!(replay_out.contains("jobs_served"));
+        // The trace alone reproduces the report's served count.
+        let served_line = sim_out
+            .lines()
+            .find(|l| l.starts_with("served:"))
+            .unwrap()
+            .to_string();
+        let served: u64 = served_line
+            .trim_start_matches("served: ")
+            .split('/')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let summary = cmvrp_obs::summarize(text.lines()).unwrap();
+        assert_eq!(summary.jobs_served, served);
+        assert_eq!(summary.jobs_unserved(), 0);
+        let msgs_line = sim_out
+            .lines()
+            .find(|l| l.starts_with("messages:"))
+            .unwrap()
+            .to_string();
+        let messages: u64 = msgs_line.trim_start_matches("messages: ").parse().unwrap();
+        assert_eq!(summary.msgs_delivered, messages);
+        assert!(summary.msgs_delivered > 0);
+        assert!(summary.diffusions_started > 0);
+        assert!(summary.replacement_cycles > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_jsonl_equals_form_works() {
+        let path = std::env::temp_dir().join("cmvrp_cli_trace_eq_test.jsonl");
+        let spec = format!("--trace-jsonl={}", path.display());
+        let out = run(&["simulate".into(), "point:grid=6,demand=10".into(), spec]).unwrap();
+        assert!(out.contains("trace:"));
+        assert!(std::fs::metadata(&path).unwrap().len() > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_rejects_garbage() {
+        let path = std::env::temp_dir().join("cmvrp_cli_bad_trace.jsonl");
+        std::fs::write(&path, "not json\n").unwrap();
+        let err = run(&["replay".into(), path.to_str().unwrap().into()]).unwrap_err();
+        assert!(err.0.contains(":1:"), "{err}");
+        let _ = std::fs::remove_file(&path);
+        assert!(run(&["replay".into(), "/nonexistent/x.jsonl".into()]).is_err());
     }
 }

@@ -13,6 +13,7 @@
 //! (identical output on power-of-two square grids, which is tested).
 
 use cmvrp_grid::{CubePartition, DemandMap, DenseDemand, DenseDemand2D, GridBounds};
+use cmvrp_obs::{NullSink, Sink, Span};
 use cmvrp_util::Ratio;
 
 use crate::constants::offline_factor;
@@ -128,26 +129,43 @@ pub fn approx_woff_dense<const D: usize>(dense: &DenseDemand<D>) -> Ratio {
 /// power-of-two square grid this coincides with [`approx_woff_2d`]. Runs in
 /// `O(support · log n)` — sub-linear in the grid volume for sparse demand.
 pub fn approx_woff<const D: usize>(bounds: &GridBounds<D>, demand: &DemandMap<D>) -> Ratio {
+    approx_woff_traced(bounds, demand, &mut NullSink)
+}
+
+/// Instrumented [`approx_woff`]: identical result, but records one
+/// `phase_span` event per algorithm phase into `sink` — `alg1/shortcuts`
+/// for the Property 2.3.x short-circuits (lines 1–4) and `alg1/scan_w=<w>`
+/// per dyadic coarsening round — so the CLI/benches can see where the time
+/// goes as the demand grows.
+pub fn approx_woff_traced<const D: usize, S: Sink>(
+    bounds: &GridBounds<D>,
+    demand: &DemandMap<D>,
+    sink: &mut S,
+) -> Ratio {
     let l = D as u32;
+    let shortcuts = Span::begin("alg1/shortcuts");
     let n = (0..D).map(|i| bounds.extent(i)).max().expect("D > 0");
     let d_max = Ratio::from_integer(demand.max_demand() as i128);
     let d_avg = Ratio::new(demand.total() as i128, bounds.volume() as i128);
     let fallback =
         d_max.min(d_avg * Ratio::from_integer(2) + Ratio::from_integer((l as i128) * n as i128));
-    if Ratio::from_integer(n as i128) <= d_avg {
-        return fallback;
-    }
-    if d_max <= Ratio::ONE {
-        return d_max;
-    }
-    if n == 1 {
-        return d_max;
+    let short = if Ratio::from_integer(n as i128) <= d_avg {
+        Some(fallback) // lines 1-2: n ≤ D̂
+    } else if d_max <= Ratio::ONE || n == 1 {
+        Some(d_max) // lines 3-4, and the immovable 1×…×1 grid
+    } else {
+        None
+    };
+    shortcuts.end(sink);
+    if let Some(answer) = short {
+        return answer;
     }
     let mut w: u64 = 2;
     loop {
         if w >= n {
             return fallback;
         }
+        let scan = Span::begin(format!("alg1/scan_w={w}"));
         // Max demand inside any aligned w-cube, via sparse accumulation.
         let part = CubePartition::new(*bounds, w);
         let mut sums: std::collections::HashMap<_, u128> = std::collections::HashMap::new();
@@ -156,6 +174,7 @@ pub fn approx_woff<const D: usize>(bounds: &GridBounds<D>, demand: &DemandMap<D>
         }
         let max_cube = sums.values().copied().max().unwrap_or(0);
         let threshold: u128 = w as u128 * (3 * w as u128).pow(l);
+        scan.end(sink);
         if max_cube > threshold {
             w *= 2;
         } else {
@@ -168,6 +187,28 @@ pub fn approx_woff<const D: usize>(bounds: &GridBounds<D>, demand: &DemandMap<D>
 mod tests {
     use super::*;
     use crate::omega::omega_star;
+
+    #[test]
+    fn traced_matches_untraced_and_emits_spans() {
+        let b = GridBounds::square(16);
+        let mut d = DemandMap::new();
+        for p in b.iter().take(40) {
+            d.add(p, 50);
+        }
+        let mut sink = cmvrp_obs::RingSink::new(64);
+        let traced = approx_woff_traced(&b, &d, &mut sink);
+        assert_eq!(traced, approx_woff(&b, &d));
+        let names: Vec<String> = sink
+            .events()
+            .map(|e| match e {
+                cmvrp_obs::Event::PhaseSpan { name, .. } => name.clone(),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(names[0], "alg1/shortcuts");
+        assert!(names[1..].iter().all(|n| n.starts_with("alg1/scan_w=")));
+        assert!(names.len() >= 2, "dyadic search must have run: {names:?}");
+    }
     use cmvrp_grid::pt2;
 
     #[test]
@@ -229,8 +270,7 @@ mod tests {
 
     #[test]
     fn generic_matches_2d_on_square_grids() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(21);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(21);
         for n in [4u64, 8, 16, 32] {
             let b = GridBounds::square(n);
             let mut sparse = DemandMap::new();
@@ -248,8 +288,7 @@ mod tests {
     #[test]
     fn approximation_guarantee_against_exact_optimum() {
         // ω* ≤ Ŵ ≤ 40·ω* for ℓ=2 whenever D ≥ 2 (experiment E6's invariant).
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(33);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(33);
         let b = GridBounds::square(16);
         for trial in 0..8 {
             let mut d = DemandMap::new();
@@ -276,8 +315,7 @@ mod tests {
         // verify the two ends the property actually pins: D̂ ≤ ω* and the
         // Algorithm-1 short-circuits return values within [D̂, D] in the
         // degenerate regimes.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(2);
         let b = GridBounds::square(8);
         for _ in 0..5 {
             let mut d = DemandMap::new();

@@ -75,8 +75,8 @@ impl<const D: usize> PrefixSums<D> {
 
     fn index(&self, coords: &[usize; D]) -> usize {
         let mut idx = 0usize;
-        for i in 0..D {
-            idx = idx * self.dims[i] + coords[i];
+        for (dim, c) in self.dims.iter().zip(coords) {
+            idx = idx * dim + c;
         }
         idx
     }
@@ -269,8 +269,7 @@ mod tests {
 
     #[test]
     fn prefix_sums_match_bruteforce() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(3);
         let b = GridBounds::new([-2, 1], [4, 6]);
         let mut d = DemandMap::new();
         for _ in 0..12 {
@@ -320,8 +319,7 @@ mod tests {
 
     #[test]
     fn window_sum_matches_bruteforce() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(17);
         let b = GridBounds::square(7);
         let mut d = DemandMap::new();
         for _ in 0..10 {
@@ -379,8 +377,7 @@ mod tests {
     #[test]
     fn omega_c_is_lower_bound_for_omega_star() {
         // Corollary 2.2.7's proof: ω_c ≤ max_T ω_T = ω*.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(5);
         let b = GridBounds::square(11);
         for trial in 0..6 {
             let mut d = DemandMap::new();

@@ -48,7 +48,7 @@ pub mod instance;
 pub mod omega;
 pub mod plan;
 
-pub use alg1::{approx_woff, approx_woff_2d, approx_woff_dense};
+pub use alg1::{approx_woff, approx_woff_2d, approx_woff_dense, approx_woff_traced};
 pub use constants::{alg1_factor, offline_factor, online_factor};
 pub use cubes::{max_window_sum, omega_c};
 pub use instance::Instance;

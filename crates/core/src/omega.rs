@@ -259,8 +259,7 @@ mod tests {
 
     #[test]
     fn omega_star_random_cross_check() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(99);
         let b = GridBounds::square(10);
         for trial in 0..8 {
             let mut d = DemandMap::new();

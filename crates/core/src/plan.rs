@@ -263,12 +263,10 @@ fn build_plan<const D: usize>(
         // pure load balancing; any order is correct.
         let mut order: Vec<usize> = (0..cube_assignments.len()).collect();
         order.sort_by_key(|&i| (cube_assignments[i].serve_at_home, i));
-        let mut next = 0usize;
-        for (dest, amount) in chunks {
+        for (next, (dest, amount)) in chunks.into_iter().enumerate() {
             // Step 3 fallback: wrap around if (clipped cube only) vehicles
             // run out.
             let slot = order[next % order.len()];
-            next += 1;
             cube_assignments[slot]
                 .missions
                 .push(Mission { dest, amount });
@@ -400,8 +398,7 @@ mod tests {
     fn plan_energy_within_lemma_bound() {
         // Lemma 2.2.5: max energy ≤ (2·3^ℓ+ℓ)·ω_c, plus integer-rounding
         // slack of ℓ from ⌈ω_c⌉ in the travel term.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(8);
         let b = GridBounds::square(24);
         for trial in 0..8 {
             let mut d = DemandMap::new();
@@ -435,7 +432,7 @@ mod tests {
         let check = verify_plan(&b, &d, &plan);
         assert!(check.is_valid());
         let upper = (star * Ratio::from_integer(offline_factor(2) as i128)).ceil() as u64 + 2;
-        assert!(u64::from(check.max_energy) <= upper);
+        assert!(check.max_energy <= upper);
     }
 
     #[test]

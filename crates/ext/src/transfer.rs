@@ -429,7 +429,7 @@ mod tests {
             d.add(pt2(x, 0), 3);
         }
         let grid = grid_collector(&bounds, &d, TransferCost::Fixed(1.0));
-        let line = line_collector(&vec![3u64; 20], TransferCost::Fixed(1.0));
+        let line = line_collector(&[3u64; 20], TransferCost::Fixed(1.0));
         assert_eq!(grid, line);
     }
 

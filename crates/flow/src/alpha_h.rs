@@ -54,8 +54,8 @@ pub fn alpha_to_h(alpha: &[Ratio]) -> Vec<IntervalWeight> {
     };
     for lo in 0..n {
         let mut interior_min = alpha[lo];
-        for hi in lo..n {
-            interior_min = interior_min.min(alpha[hi]);
+        for (hi, &a) in alpha.iter().enumerate().skip(lo) {
+            interior_min = interior_min.min(a);
             let outside = boundary(lo as i64 - 1).max(boundary(hi as i64 + 1));
             let h = interior_min - outside;
             if h.is_positive() {

@@ -235,8 +235,7 @@ mod tests {
 
     #[test]
     fn matches_bruteforce_on_random_instances() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(42);
         for trial in 0..30 {
             let n = rng.gen_range(1..=8);
             let m = rng.gen_range(1..=6);

@@ -251,8 +251,7 @@ mod tests {
 
     #[test]
     fn direct_and_layered_agree_on_random_maps() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(7);
         let b = GridBounds::square(10);
         for trial in 0..10 {
             let mut d = DemandMap::new();

@@ -45,7 +45,7 @@ pub mod transport;
 
 pub use density::{DensityProblem, DensityResult};
 pub use grid_density::{max_density_over_grid, GridDensityResult};
-pub use maxflow::FlowNetwork;
+pub use maxflow::{FlowNetwork, FlowStats};
 pub use mincost::MinCostFlow;
 pub use transport::{
     min_travel_transport, min_uniform_supply, transport_feasible, transport_flows, TransportFlow,

@@ -36,6 +36,17 @@ pub struct FlowNetwork {
     graph: Vec<Vec<Edge>>,
     level: Vec<i32>,
     iter: Vec<usize>,
+    stats: FlowStats,
+}
+
+/// Always-on counters describing the work a [`FlowNetwork`] has done across
+/// its [`FlowNetwork::max_flow`] calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// BFS layerings built (Dinic phases).
+    pub bfs_rounds: u64,
+    /// Augmenting (blocking-flow) paths pushed.
+    pub augmenting_paths: u64,
 }
 
 impl FlowNetwork {
@@ -45,7 +56,21 @@ impl FlowNetwork {
             graph: vec![Vec::new(); n],
             level: vec![0; n],
             iter: vec![0; n],
+            stats: FlowStats::default(),
         }
+    }
+
+    /// Work counters accumulated across all solves on this network.
+    pub fn stats(&self) -> FlowStats {
+        self.stats
+    }
+
+    /// The solver's counters as a `cmvrp_obs` registry (`flow.*` names).
+    pub fn metrics(&self) -> cmvrp_obs::Metrics {
+        let mut m = cmvrp_obs::Metrics::new();
+        m.add("flow.bfs_rounds", self.stats.bfs_rounds);
+        m.add("flow.augmenting_paths", self.stats.augmenting_paths);
+        m
     }
 
     /// Number of nodes.
@@ -138,6 +163,7 @@ impl FlowNetwork {
         let mut flow = 0i128;
         loop {
             self.bfs(s);
+            self.stats.bfs_rounds += 1;
             if self.level[t] < 0 {
                 return flow;
             }
@@ -147,6 +173,7 @@ impl FlowNetwork {
                 if f == 0 {
                     break;
                 }
+                self.stats.augmenting_paths += 1;
                 flow += f;
             }
         }
@@ -203,6 +230,26 @@ mod tests {
         let mut net = FlowNetwork::new(3);
         net.add_edge(0, 1, 5);
         assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn stats_count_phases_and_paths() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 5);
+        net.add_edge(1, 3, 4);
+        net.add_edge(2, 3, 2);
+        assert_eq!(net.stats(), FlowStats::default());
+        let f = net.max_flow(0, 3);
+        let stats = net.stats();
+        assert_eq!(f, 5);
+        // Each unit-path push is bounded by the flow value; at least one
+        // path and one BFS (plus the terminating BFS) must have happened.
+        assert!(stats.augmenting_paths >= 2 && stats.augmenting_paths <= 5);
+        assert!(stats.bfs_rounds >= 2);
+        let m = net.metrics();
+        assert_eq!(m.counter("flow.augmenting_paths"), stats.augmenting_paths);
+        assert_eq!(m.counter("flow.bfs_rounds"), stats.bfs_rounds);
     }
 
     #[test]

@@ -2,8 +2,7 @@
 //! against the lattice implementation.
 
 use crate::graph::Graph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cmvrp_util::Rng;
 
 /// The `w×h` grid graph with unit edges. Returns the graph and an index
 /// function `(x, y) → vertex id` (row-major).
@@ -35,7 +34,7 @@ pub fn grid_graph(w: usize, h: usize) -> (Graph, impl Fn(usize, usize) -> usize)
 /// assumption, §3.2).
 pub fn random_geometric(n: usize, radius: u64, side: u64, seed: u64) -> Graph {
     assert!(n > 0, "empty graph");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let pts: Vec<(i64, i64)> = (0..n)
         .map(|_| {
             (

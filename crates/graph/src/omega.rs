@@ -106,9 +106,8 @@ pub fn omega_star(g: &Graph, d: &GraphDemand) -> GraphOmegaStar {
         };
     }
     let levels = g.distance_levels();
-    let mut scanned = 0;
     for (k, &level) in levels.iter().enumerate() {
-        scanned += 1;
+        let scanned = k + 1;
         let (rho_k, witness) = rho(g, d, level);
         let lo = Ratio::from_integer(level as i128);
         if rho_k < lo {
@@ -203,8 +202,7 @@ mod tests {
     #[test]
     fn omega_star_on_random_geometric_graphs() {
         use crate::gen::random_geometric;
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(12);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(12);
         for trial in 0..4 {
             let g = random_geometric(14, 40, 100, trial);
             let mut d = GraphDemand::new(g.len());

@@ -381,7 +381,7 @@ mod tests {
     fn sequential_jobs(demand: &GraphDemand) -> Vec<VertexId> {
         let mut jobs = Vec::new();
         for v in demand.support() {
-            jobs.extend(std::iter::repeat(v).take(demand.get(v) as usize));
+            jobs.extend(std::iter::repeat_n(v, demand.get(v) as usize));
         }
         jobs
     }

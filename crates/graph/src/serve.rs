@@ -167,13 +167,9 @@ pub fn verify_graph_plan(
             ));
         }
     }
-    for v in 0..g.len() {
-        if served[v] != d.get(v) {
-            return Err(format!(
-                "vertex {v}: served {} but demand {}",
-                served[v],
-                d.get(v)
-            ));
+    for (v, &got) in served.iter().enumerate() {
+        if got != d.get(v) {
+            return Err(format!("vertex {v}: served {got} but demand {}", d.get(v)));
         }
     }
     Ok(())

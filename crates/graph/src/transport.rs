@@ -113,8 +113,7 @@ mod tests {
 
     #[test]
     fn duality_on_random_geometric_graphs() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+        let mut rng = cmvrp_util::Rng::seed_from_u64(77);
         for trial in 0..3 {
             let g = random_geometric(12, 35, 90, trial + 100);
             let mut d = GraphDemand::new(g.len());

@@ -86,8 +86,8 @@ impl<const D: usize> GridBounds<D> {
     /// (componentwise clamp).
     pub fn clamp(&self, p: Point<D>) -> Point<D> {
         let mut c = p.coords();
-        for i in 0..D {
-            c[i] = c[i].clamp(self.min[i], self.max[i]);
+        for (i, ci) in c.iter_mut().enumerate() {
+            *ci = (*ci).clamp(self.min[i], self.max[i]);
         }
         Point::new(c)
     }
@@ -184,9 +184,7 @@ impl<const D: usize> Iterator for Iter<D> {
             axis -= 1;
             if next[axis] < self.bounds.max[axis] {
                 next[axis] += 1;
-                for a in (axis + 1)..D {
-                    next[a] = self.bounds.min[a];
-                }
+                next[(axis + 1)..D].copy_from_slice(&self.bounds.min[(axis + 1)..D]);
                 self.cursor = Some(next);
                 break;
             }
@@ -195,7 +193,7 @@ impl<const D: usize> Iterator for Iter<D> {
     }
 }
 
-impl<'a, const D: usize> IntoIterator for &'a GridBounds<D> {
+impl<const D: usize> IntoIterator for &GridBounds<D> {
     type Item = Point<D>;
     type IntoIter = Iter<D>;
     fn into_iter(self) -> Iter<D> {

@@ -125,7 +125,7 @@ impl<const D: usize> Iterator for Neighbors<D> {
             return None;
         }
         let axis = self.next / 2;
-        let delta = if self.next % 2 == 0 { 1 } else { -1 };
+        let delta = if self.next.is_multiple_of(2) { 1 } else { -1 };
         self.next += 1;
         Some(self.center.step(axis, delta))
     }
@@ -167,8 +167,8 @@ impl<const D: usize> Add for Point<D> {
     type Output = Point<D>;
     fn add(self, rhs: Point<D>) -> Point<D> {
         let mut coords = self.coords;
-        for i in 0..D {
-            coords[i] += rhs.coords[i];
+        for (c, r) in coords.iter_mut().zip(rhs.coords) {
+            *c += r;
         }
         Point { coords }
     }
@@ -178,8 +178,8 @@ impl<const D: usize> Sub for Point<D> {
     type Output = Point<D>;
     fn sub(self, rhs: Point<D>) -> Point<D> {
         let mut coords = self.coords;
-        for i in 0..D {
-            coords[i] -= rhs.coords[i];
+        for (c, r) in coords.iter_mut().zip(rhs.coords) {
+            *c -= r;
         }
         Point { coords }
     }

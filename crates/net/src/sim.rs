@@ -16,8 +16,8 @@
 //! [`Network::post`]/[`Network::trigger`] calls, every run delivers the same
 //! messages in the same order.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cmvrp_obs::{DropReason, Event, Histogram, Metrics, NullSink, Sink, DEFAULT_BUCKETS};
+use cmvrp_util::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -45,9 +45,21 @@ pub struct Context<M> {
     id: ProcessId,
     now: u64,
     outbox: Vec<(ProcessId, M)>,
+    obs_on: bool,
+    events: Vec<Event>,
 }
 
 impl<M> Context<M> {
+    fn new(id: ProcessId, now: u64, obs_on: bool) -> Self {
+        Context {
+            id,
+            now,
+            outbox: Vec::new(),
+            obs_on,
+            events: Vec::new(),
+        }
+    }
+
     /// The id of the process being invoked.
     pub fn id(&self) -> ProcessId {
         self.id
@@ -62,6 +74,21 @@ impl<M> Context<M> {
     /// callback returns.
     pub fn send(&mut self, to: ProcessId, msg: M) {
         self.outbox.push((to, msg));
+    }
+
+    /// Whether trace events are being collected. Callers with expensive
+    /// event payloads can skip constructing them when this is `false`.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs_on
+    }
+
+    /// Records a protocol-level trace event (diffusion lifecycle, heartbeat
+    /// misses, …). A no-op unless the network's sink is enabled; the
+    /// network drains these into its sink when the callback returns.
+    pub fn emit(&mut self, event: Event) {
+        if self.obs_on {
+            self.events.push(event);
+        }
     }
 }
 
@@ -112,16 +139,22 @@ pub struct RunReport {
 struct Envelope<M> {
     from: ProcessId,
     to: ProcessId,
+    sent_at: u64,
     msg: M,
 }
 
-/// A simulated network of processes exchanging messages of type `M`.
+/// A simulated network of processes exchanging messages of type `M`,
+/// optionally traced through a [`Sink`].
+///
+/// The sink is a type parameter so the default ([`NullSink`]) compiles to
+/// nothing: event construction is guarded by `S::ENABLED` and every
+/// `record` call inlines to an empty body.
 #[derive(Debug)]
-pub struct Network<P, M> {
+pub struct Network<P, M, S: Sink = NullSink> {
     processes: Vec<P>,
     crashed: Vec<bool>,
     config: NetConfig,
-    rng: SmallRng,
+    rng: Rng,
     now: u64,
     seq: u64,
     /// (delivery_time, seq) -> envelope; `Reverse` for a min-heap. `seq`
@@ -133,14 +166,30 @@ pub struct Network<P, M> {
     total_sent: u64,
     total_delivered: u64,
     total_lost: u64,
+    total_to_crashed: u64,
+    /// Delivery-delay histogram; always on (a bucket scan per delivery).
+    delay_hist: Histogram,
+    queue_depth_max: usize,
+    sink: S,
 }
 
-impl<P, M> Network<P, M>
+impl<P, M> Network<P, M, NullSink>
 where
     P: Process<M>,
 {
-    /// Creates a network over the given processes.
+    /// Creates an untraced network over the given processes.
     pub fn new(processes: Vec<P>, config: NetConfig) -> Self {
+        Network::with_sink(processes, config, NullSink)
+    }
+}
+
+impl<P, M, S> Network<P, M, S>
+where
+    P: Process<M>,
+    S: Sink,
+{
+    /// Creates a network whose message lifecycle is traced into `sink`.
+    pub fn with_sink(processes: Vec<P>, config: NetConfig, sink: S) -> Self {
         assert!(config.min_delay >= 1, "min_delay must be >= 1");
         assert!(
             config.max_delay >= config.min_delay,
@@ -154,7 +203,7 @@ where
         Network {
             processes,
             crashed: vec![false; n],
-            rng: SmallRng::seed_from_u64(config.seed),
+            rng: Rng::seed_from_u64(config.seed),
             config,
             now: 0,
             seq: 0,
@@ -164,6 +213,10 @@ where
             total_sent: 0,
             total_delivered: 0,
             total_lost: 0,
+            total_to_crashed: 0,
+            delay_hist: Histogram::with_bounds(&DEFAULT_BUCKETS),
+            queue_depth_max: 0,
+            sink,
         }
     }
 
@@ -195,6 +248,50 @@ where
     /// Total messages lost to the `drop_rate` fault injection.
     pub fn total_lost(&self) -> u64 {
         self.total_lost
+    }
+
+    /// Total messages dropped because their recipient had crashed.
+    pub fn total_to_crashed(&self) -> u64 {
+        self.total_to_crashed
+    }
+
+    /// The delivery-delay histogram accumulated so far.
+    pub fn delay_histogram(&self) -> &Histogram {
+        &self.delay_hist
+    }
+
+    /// High-water mark of the in-flight message queue.
+    pub fn queue_depth_max(&self) -> usize {
+        self.queue_depth_max
+    }
+
+    /// Snapshots the network's transport metrics as a registry
+    /// (`net.*` namespace).
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        m.add("net.msgs_sent", self.total_sent);
+        m.add("net.msgs_delivered", self.total_delivered);
+        m.add("net.msgs_lost", self.total_lost);
+        m.add("net.msgs_to_crashed", self.total_to_crashed);
+        m.gauge_set("net.queue_depth_max", self.queue_depth_max as i64);
+        m.set_histogram("net.msg_delay", self.delay_hist.clone());
+        m
+    }
+
+    /// Shared access to the event sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Exclusive access to the event sink (e.g. to drain a ring).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Flushes and surrenders the sink, dropping the network.
+    pub fn into_sink(mut self) -> S {
+        self.sink.flush_events();
+        self.sink
     }
 
     /// Shared access to a process (for inspection).
@@ -231,6 +328,14 @@ where
         if self.config.drop_rate > 0.0 && self.rng.gen_bool(self.config.drop_rate) {
             // Lost in transit: never enqueued (the sender cannot tell).
             self.total_lost += 1;
+            if S::ENABLED {
+                self.sink.record(&Event::MsgDropped {
+                    t: self.now,
+                    from,
+                    to,
+                    reason: DropReason::Lost,
+                });
+            }
             return;
         }
         let delay = self
@@ -243,8 +348,39 @@ where
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse((at, seq)));
-        self.payloads.insert(seq, Envelope { from, to, msg });
+        self.payloads.insert(
+            seq,
+            Envelope {
+                from,
+                to,
+                sent_at: self.now,
+                msg,
+            },
+        );
         self.total_sent += 1;
+        self.queue_depth_max = self.queue_depth_max.max(self.queue.len());
+        if S::ENABLED {
+            self.sink.record(&Event::MsgSent {
+                t: self.now,
+                from,
+                to,
+            });
+        }
+    }
+
+    /// Moves a finished callback's queued sends and trace events into the
+    /// network.
+    fn absorb_context(&mut self, sender: ProcessId, ctx: Context<M>) {
+        if S::ENABLED {
+            for ev in &ctx.events {
+                self.sink.record(ev);
+            }
+        }
+        if !self.crashed[sender] {
+            for (to, msg) in ctx.outbox {
+                self.schedule(sender, to, msg);
+            }
+        }
     }
 
     /// Injects an external message to `to`, attributed to the recipient
@@ -257,17 +393,9 @@ where
     /// whatever the closure queues. Returns the closure's value. This is how
     /// drivers deliver environmental events synchronously.
     pub fn trigger<R>(&mut self, id: ProcessId, f: impl FnOnce(&mut P, &mut Context<M>) -> R) -> R {
-        let mut ctx = Context {
-            id,
-            now: self.now,
-            outbox: Vec::new(),
-        };
+        let mut ctx = Context::new(id, self.now, S::ENABLED);
         let out = f(&mut self.processes[id], &mut ctx);
-        if !self.crashed[id] {
-            for (to, msg) in ctx.outbox {
-                self.schedule(id, to, msg);
-            }
-        }
+        self.absorb_context(id, ctx);
         out
     }
 
@@ -280,15 +408,9 @@ where
             if self.crashed[id] {
                 continue;
             }
-            let mut ctx = Context {
-                id,
-                now: self.now,
-                outbox: Vec::new(),
-            };
+            let mut ctx = Context::new(id, self.now, S::ENABLED);
             self.processes[id].on_tick(&mut ctx, self.now);
-            for (to, msg) in ctx.outbox {
-                self.schedule(id, to, msg);
-            }
+            self.absorb_context(id, ctx);
         }
     }
 
@@ -312,22 +434,32 @@ where
             let env = self.payloads.remove(&seq).expect("payload for event");
             if self.crashed[env.to] {
                 dropped += 1;
+                self.total_to_crashed += 1;
+                if S::ENABLED {
+                    self.sink.record(&Event::MsgDropped {
+                        t: self.now,
+                        from: env.from,
+                        to: env.to,
+                        reason: DropReason::RecipientCrashed,
+                    });
+                }
                 continue;
             }
             delivered += 1;
             self.total_delivered += 1;
-            let mut ctx = Context {
-                id: env.to,
-                now: self.now,
-                outbox: Vec::new(),
-            };
-            self.processes[env.to].on_message(&mut ctx, env.from, env.msg);
-            let sender = env.to;
-            if !self.crashed[sender] {
-                for (to, msg) in ctx.outbox {
-                    self.schedule(sender, to, msg);
-                }
+            let delay = self.now.saturating_sub(env.sent_at);
+            self.delay_hist.observe(delay);
+            if S::ENABLED {
+                self.sink.record(&Event::MsgDelivered {
+                    t: self.now,
+                    from: env.from,
+                    to: env.to,
+                    delay,
+                });
             }
+            let mut ctx = Context::new(env.to, self.now, S::ENABLED);
+            self.processes[env.to].on_message(&mut ctx, env.from, env.msg);
+            self.absorb_context(env.to, ctx);
         }
         RunReport {
             delivered,
@@ -370,6 +502,110 @@ mod tests {
                 log: Vec::new(),
             })
             .collect()
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_quiesced() {
+        // Two processes ping-pong forever; the event budget must trip and
+        // the report must say so instead of looping.
+        struct PingPong;
+        impl Process<u32> for PingPong {
+            fn on_message(&mut self, ctx: &mut Context<u32>, from: ProcessId, m: u32) {
+                ctx.send(from, m);
+            }
+        }
+        let mut net = Network::new(
+            vec![PingPong, PingPong],
+            NetConfig {
+                max_events: 100,
+                ..NetConfig::default()
+            },
+        );
+        net.trigger(0, |_p, ctx| ctx.send(1, 7));
+        let r = net.run_to_quiescence();
+        assert!(!r.quiesced, "budget must trip");
+        assert_eq!(r.delivered, 100);
+        // A later run with budget headroom keeps draining from where it
+        // stopped rather than losing the queue.
+        let r2 = net.run_to_quiescence();
+        assert!(!r2.quiesced);
+        assert!(net.total_delivered() >= 200);
+    }
+
+    #[test]
+    fn lossy_channel_preserves_fifo_among_survivors() {
+        // With drops enabled, whatever *is* delivered on a channel must
+        // still arrive in send order (drops thin the sequence, never
+        // reorder it), and every loss must be accounted for.
+        struct Rec {
+            log: Vec<u32>,
+        }
+        impl Process<u32> for Rec {
+            fn on_message(&mut self, _ctx: &mut Context<u32>, _from: ProcessId, m: u32) {
+                self.log.push(m);
+            }
+        }
+        for seed in 0..10u64 {
+            let mut net = Network::with_sink(
+                vec![Rec { log: Vec::new() }, Rec { log: Vec::new() }],
+                NetConfig {
+                    seed,
+                    min_delay: 1,
+                    max_delay: 6,
+                    drop_rate: 0.3,
+                    ..NetConfig::default()
+                },
+                cmvrp_obs::RingSink::new(4096),
+            );
+            for k in 0..200u32 {
+                net.trigger(1, |_p, ctx| ctx.send(0, k));
+            }
+            let r = net.run_to_quiescence();
+            assert!(r.quiesced, "seed={seed}");
+            let log = &net.process(0).log;
+            assert!(log.windows(2).all(|w| w[0] < w[1]), "seed={seed}: {log:?}");
+            assert_eq!(log.len() as u64 + net.total_lost(), 200, "seed={seed}");
+            assert!(net.total_lost() > 0, "seed={seed}: 200 sends at 0.3 loss");
+            // The sink saw exactly one msg_dropped event per loss, all
+            // tagged with the "lost" reason.
+            let dropped: Vec<&Event> = net
+                .sink()
+                .events()
+                .filter(|e| matches!(e, Event::MsgDropped { .. }))
+                .collect();
+            assert_eq!(dropped.len() as u64, net.total_lost(), "seed={seed}");
+            assert!(dropped.iter().all(|e| matches!(
+                e,
+                Event::MsgDropped {
+                    reason: DropReason::Lost,
+                    ..
+                }
+            )));
+        }
+    }
+
+    #[test]
+    fn crashed_recipient_drops_are_evented() {
+        struct Rec;
+        impl Process<u32> for Rec {
+            fn on_message(&mut self, _ctx: &mut Context<u32>, _from: ProcessId, _m: u32) {}
+        }
+        let mut net = Network::with_sink(
+            vec![Rec, Rec],
+            NetConfig::default(),
+            cmvrp_obs::RingSink::new(16),
+        );
+        net.trigger(0, |_p, ctx| ctx.send(1, 1));
+        net.crash(1);
+        net.run_to_quiescence();
+        assert_eq!(net.total_to_crashed(), 1);
+        assert!(net.sink().events().any(|e| matches!(
+            e,
+            Event::MsgDropped {
+                reason: DropReason::RecipientCrashed,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -1,0 +1,620 @@
+//! Typed trace events and their JSONL wire form.
+//!
+//! Every event serializes to exactly one line of flat JSON via
+//! [`Event::to_json`] and parses back via [`Event::from_json`]; the two are
+//! inverse on every variant (tested). The schema is documented in the crate
+//! docs ([`crate`]).
+
+use std::fmt::Write as _;
+
+/// Why a message never reached its recipient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Lost in transit by fault injection (`drop_rate`); the sender cannot
+    /// tell.
+    Lost,
+    /// The recipient had crashed by delivery time.
+    RecipientCrashed,
+}
+
+impl DropReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Lost => "lost",
+            DropReason::RecipientCrashed => "crashed",
+        }
+    }
+}
+
+/// One observable occurrence in a simulator run.
+///
+/// Positions are recorded as coordinate vectors so the event type stays
+/// independent of the grid dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A message was accepted for delivery at simulation time `t`.
+    MsgSent {
+        /// Send time.
+        t: u64,
+        /// Sender process.
+        from: usize,
+        /// Recipient process.
+        to: usize,
+    },
+    /// A message was handed to its recipient.
+    MsgDelivered {
+        /// Delivery time.
+        t: u64,
+        /// Sender process.
+        from: usize,
+        /// Recipient process.
+        to: usize,
+        /// Delivery time minus send time.
+        delay: u64,
+    },
+    /// A message will never arrive.
+    MsgDropped {
+        /// Time the loss was decided.
+        t: u64,
+        /// Sender process.
+        from: usize,
+        /// Recipient process.
+        to: usize,
+        /// Why it was lost.
+        reason: DropReason,
+    },
+    /// The driver released job number `seq` at `pos`.
+    JobArrived {
+        /// Release time.
+        t: u64,
+        /// Zero-based arrival index.
+        seq: u64,
+        /// Job position.
+        pos: Vec<i64>,
+    },
+    /// Job number `seq` was served by `vehicle` for `cost` energy.
+    JobServed {
+        /// Service time.
+        t: u64,
+        /// Zero-based arrival index.
+        seq: u64,
+        /// Serving vehicle.
+        vehicle: usize,
+        /// Energy charged (walk + 1).
+        cost: u64,
+    },
+    /// A Dijkstra–Scholten replacement search began.
+    DiffusionStarted {
+        /// Start time.
+        t: u64,
+        /// Initiating vehicle.
+        initiator: usize,
+        /// The initiator's computation generation.
+        generation: u64,
+    },
+    /// A replacement search terminated at its initiator.
+    DiffusionCompleted {
+        /// Termination time.
+        t: u64,
+        /// Initiating vehicle.
+        initiator: usize,
+        /// The initiator's computation generation.
+        generation: u64,
+        /// Whether an idle vehicle was found.
+        found: bool,
+    },
+    /// A summoned vehicle arrived and activated (Phase I + II complete).
+    ReplacementCycle {
+        /// Arrival time.
+        t: u64,
+        /// The relocated vehicle.
+        vehicle: usize,
+        /// Where it now serves.
+        dest: Vec<i64>,
+    },
+    /// A watcher's monitored peer went silent past the heartbeat timeout.
+    HeartbeatMissed {
+        /// Detection time (watcher-local tick round).
+        t: u64,
+        /// The vehicle that noticed.
+        watcher: usize,
+        /// The silent peer.
+        peer: usize,
+    },
+    /// A named wall-clock span (phase timing), in nanoseconds since the
+    /// process observability epoch ([`crate::now_ns`]).
+    PhaseSpan {
+        /// Phase name, e.g. `"alg1.coarsen"`.
+        name: String,
+        /// Span start.
+        start_ns: u64,
+        /// Span end.
+        end_ns: u64,
+    },
+}
+
+fn push_pos(out: &mut String, key: &str, pos: &[i64]) {
+    let _ = write!(out, ",\"{key}\":[");
+    for (i, c) in pos.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{c}");
+    }
+    out.push(']');
+}
+
+impl Event {
+    /// The event's schema tag (the `"ev"` field of its JSON form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::MsgSent { .. } => "msg_sent",
+            Event::MsgDelivered { .. } => "msg_delivered",
+            Event::MsgDropped { .. } => "msg_dropped",
+            Event::JobArrived { .. } => "job_arrived",
+            Event::JobServed { .. } => "job_served",
+            Event::DiffusionStarted { .. } => "diffusion_started",
+            Event::DiffusionCompleted { .. } => "diffusion_completed",
+            Event::ReplacementCycle { .. } => "replacement_cycle",
+            Event::HeartbeatMissed { .. } => "heartbeat_missed",
+            Event::PhaseSpan { .. } => "phase_span",
+        }
+    }
+
+    /// Renders the event as one line of JSON (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        let _ = write!(s, "{{\"ev\":\"{}\"", self.kind());
+        match self {
+            Event::MsgSent { t, from, to } => {
+                let _ = write!(s, ",\"t\":{t},\"from\":{from},\"to\":{to}");
+            }
+            Event::MsgDelivered { t, from, to, delay } => {
+                let _ = write!(
+                    s,
+                    ",\"t\":{t},\"from\":{from},\"to\":{to},\"delay\":{delay}"
+                );
+            }
+            Event::MsgDropped {
+                t,
+                from,
+                to,
+                reason,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"t\":{t},\"from\":{from},\"to\":{to},\"reason\":\"{}\"",
+                    reason.as_str()
+                );
+            }
+            Event::JobArrived { t, seq, pos } => {
+                let _ = write!(s, ",\"t\":{t},\"seq\":{seq}");
+                push_pos(&mut s, "pos", pos);
+            }
+            Event::JobServed {
+                t,
+                seq,
+                vehicle,
+                cost,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"t\":{t},\"seq\":{seq},\"vehicle\":{vehicle},\"cost\":{cost}"
+                );
+            }
+            Event::DiffusionStarted {
+                t,
+                initiator,
+                generation,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"t\":{t},\"initiator\":{initiator},\"generation\":{generation}"
+                );
+            }
+            Event::DiffusionCompleted {
+                t,
+                initiator,
+                generation,
+                found,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"t\":{t},\"initiator\":{initiator},\"generation\":{generation},\"found\":{found}"
+                );
+            }
+            Event::ReplacementCycle { t, vehicle, dest } => {
+                let _ = write!(s, ",\"t\":{t},\"vehicle\":{vehicle}");
+                push_pos(&mut s, "dest", dest);
+            }
+            Event::HeartbeatMissed { t, watcher, peer } => {
+                let _ = write!(s, ",\"t\":{t},\"watcher\":{watcher},\"peer\":{peer}");
+            }
+            Event::PhaseSpan {
+                name,
+                start_ns,
+                end_ns,
+            } => {
+                // Phase names are workspace-chosen identifiers; escape the
+                // two characters that could break the quoting anyway.
+                let escaped: String = name
+                    .chars()
+                    .flat_map(|c| match c {
+                        '"' => vec!['\\', '"'],
+                        '\\' => vec!['\\', '\\'],
+                        c => vec![c],
+                    })
+                    .collect();
+                let _ = write!(
+                    s,
+                    ",\"name\":\"{escaped}\",\"start_ns\":{start_ns},\"end_ns\":{end_ns}"
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSONL line produced by [`Event::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed construct.
+    pub fn from_json(line: &str) -> Result<Event, String> {
+        let fields = parse_flat_object(line)?;
+        let kind = fields.get_str("ev")?;
+        let ev = match kind {
+            "msg_sent" => Event::MsgSent {
+                t: fields.get_u64("t")?,
+                from: fields.get_u64("from")? as usize,
+                to: fields.get_u64("to")? as usize,
+            },
+            "msg_delivered" => Event::MsgDelivered {
+                t: fields.get_u64("t")?,
+                from: fields.get_u64("from")? as usize,
+                to: fields.get_u64("to")? as usize,
+                delay: fields.get_u64("delay")?,
+            },
+            "msg_dropped" => Event::MsgDropped {
+                t: fields.get_u64("t")?,
+                from: fields.get_u64("from")? as usize,
+                to: fields.get_u64("to")? as usize,
+                reason: match fields.get_str("reason")? {
+                    "lost" => DropReason::Lost,
+                    "crashed" => DropReason::RecipientCrashed,
+                    other => return Err(format!("unknown drop reason {other:?}")),
+                },
+            },
+            "job_arrived" => Event::JobArrived {
+                t: fields.get_u64("t")?,
+                seq: fields.get_u64("seq")?,
+                pos: fields.get_arr("pos")?,
+            },
+            "job_served" => Event::JobServed {
+                t: fields.get_u64("t")?,
+                seq: fields.get_u64("seq")?,
+                vehicle: fields.get_u64("vehicle")? as usize,
+                cost: fields.get_u64("cost")?,
+            },
+            "diffusion_started" => Event::DiffusionStarted {
+                t: fields.get_u64("t")?,
+                initiator: fields.get_u64("initiator")? as usize,
+                generation: fields.get_u64("generation")?,
+            },
+            "diffusion_completed" => Event::DiffusionCompleted {
+                t: fields.get_u64("t")?,
+                initiator: fields.get_u64("initiator")? as usize,
+                generation: fields.get_u64("generation")?,
+                found: fields.get_bool("found")?,
+            },
+            "replacement_cycle" => Event::ReplacementCycle {
+                t: fields.get_u64("t")?,
+                vehicle: fields.get_u64("vehicle")? as usize,
+                dest: fields.get_arr("dest")?,
+            },
+            "heartbeat_missed" => Event::HeartbeatMissed {
+                t: fields.get_u64("t")?,
+                watcher: fields.get_u64("watcher")? as usize,
+                peer: fields.get_u64("peer")? as usize,
+            },
+            "phase_span" => Event::PhaseSpan {
+                name: fields.get_str("name")?.to_string(),
+                start_ns: fields.get_u64("start_ns")?,
+                end_ns: fields.get_u64("end_ns")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(ev)
+    }
+}
+
+/// A parsed flat-JSON value (the schema uses no nesting beyond integer
+/// arrays).
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(i128),
+    Str(String),
+    Bool(bool),
+    Arr(Vec<i64>),
+}
+
+#[derive(Debug, Default)]
+struct Fields {
+    entries: Vec<(String, Value)>,
+}
+
+impl Fields {
+    fn get(&self, key: &str) -> Result<&Value, String> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    fn get_u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key)? {
+            Value::Num(n) if *n >= 0 && *n <= u64::MAX as i128 => Ok(*n as u64),
+            other => Err(format!("field {key:?} is not a u64: {other:?}")),
+        }
+    }
+
+    fn get_str(&self, key: &str) -> Result<&str, String> {
+        match self.get(key)? {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("field {key:?} is not a string: {other:?}")),
+        }
+    }
+
+    fn get_bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key)? {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("field {key:?} is not a bool: {other:?}")),
+        }
+    }
+
+    fn get_arr(&self, key: &str) -> Result<Vec<i64>, String> {
+        match self.get(key)? {
+            Value::Arr(a) => Ok(a.clone()),
+            other => Err(format!("field {key:?} is not an array: {other:?}")),
+        }
+    }
+}
+
+/// Hand-rolled parser for the flat object lines this crate emits:
+/// `{"key":value,...}` where values are integers, quoted strings (with
+/// `\"`/`\\` escapes), `true`/`false`, or arrays of integers.
+fn parse_flat_object(line: &str) -> Result<Fields, String> {
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: {s:?}"))?;
+    let mut fields = Fields::default();
+    let mut chars = inner.chars().peekable();
+    loop {
+        // Key.
+        skip_ws(&mut chars);
+        if chars.peek().is_none() {
+            break;
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        // Value.
+        let value = match chars.peek() {
+            Some('"') => Value::Str(parse_string(&mut chars)?),
+            Some('[') => {
+                chars.next();
+                let mut arr = Vec::new();
+                loop {
+                    skip_ws(&mut chars);
+                    match chars.peek() {
+                        Some(']') => {
+                            chars.next();
+                            break;
+                        }
+                        Some(',') => {
+                            chars.next();
+                        }
+                        Some(_) => {
+                            let n = parse_number(&mut chars)?;
+                            arr.push(i64::try_from(n).map_err(|_| "array element out of i64")?);
+                        }
+                        None => return Err("unterminated array".into()),
+                    }
+                }
+                Value::Arr(arr)
+            }
+            Some('t') | Some('f') => {
+                let mut word = String::new();
+                while matches!(chars.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                    word.push(chars.next().unwrap());
+                }
+                match word.as_str() {
+                    "true" => Value::Bool(true),
+                    "false" => Value::Bool(false),
+                    other => return Err(format!("bad literal {other:?}")),
+                }
+            }
+            Some(_) => Value::Num(parse_number(&mut chars)?),
+            None => return Err(format!("missing value for key {key:?}")),
+        };
+        fields.entries.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => return Err(format!("unexpected {c:?} between fields")),
+        }
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected string".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some(c @ ('"' | '\\')) => out.push(c),
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_number(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<i128, String> {
+    let mut text = String::new();
+    if chars.peek() == Some(&'-') {
+        text.push('-');
+        chars.next();
+    }
+    while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+        text.push(chars.next().unwrap());
+    }
+    text.parse::<i128>()
+        .map_err(|_| format!("bad number {text:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::MsgSent {
+                t: 3,
+                from: 1,
+                to: 2,
+            },
+            Event::MsgDelivered {
+                t: 5,
+                from: 1,
+                to: 2,
+                delay: 2,
+            },
+            Event::MsgDropped {
+                t: 5,
+                from: 0,
+                to: 9,
+                reason: DropReason::Lost,
+            },
+            Event::MsgDropped {
+                t: 6,
+                from: 0,
+                to: 9,
+                reason: DropReason::RecipientCrashed,
+            },
+            Event::JobArrived {
+                t: 9,
+                seq: 0,
+                pos: vec![5, -5],
+            },
+            Event::JobServed {
+                t: 9,
+                seq: 0,
+                vehicle: 60,
+                cost: 1,
+            },
+            Event::DiffusionStarted {
+                t: 10,
+                initiator: 60,
+                generation: 0,
+            },
+            Event::DiffusionCompleted {
+                t: 14,
+                initiator: 60,
+                generation: 0,
+                found: true,
+            },
+            Event::ReplacementCycle {
+                t: 15,
+                vehicle: 61,
+                dest: vec![5, 5],
+            },
+            Event::HeartbeatMissed {
+                t: 20,
+                watcher: 3,
+                peer: 4,
+            },
+            Event::PhaseSpan {
+                name: "alg1.coarsen".into(),
+                start_ns: 12,
+                end_ns: 456,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_roundtrip_every_variant() {
+        for ev in samples() {
+            let line = ev.to_json();
+            let back = Event::from_json(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "line was {line}");
+        }
+    }
+
+    #[test]
+    fn json_is_single_line_flat_object() {
+        for ev in samples() {
+            let line = ev.to_json();
+            assert!(!line.contains('\n'));
+            assert!(line.starts_with("{\"ev\":\""));
+            assert!(line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn escaped_span_name_roundtrips() {
+        let ev = Event::PhaseSpan {
+            name: "we\"ird\\name".into(),
+            start_ns: 0,
+            end_ns: 1,
+        };
+        assert_eq!(Event::from_json(&ev.to_json()).unwrap(), ev);
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        let ev =
+            Event::from_json(" {\"ev\": \"msg_sent\", \"t\": 1, \"from\": 2, \"to\": 3} ").unwrap();
+        assert_eq!(
+            ev,
+            Event::MsgSent {
+                t: 1,
+                from: 2,
+                to: 3
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Event::from_json("not json").is_err());
+        assert!(Event::from_json("{\"ev\":\"wat\"}").is_err());
+        assert!(Event::from_json("{\"ev\":\"msg_sent\",\"t\":1}").is_err()); // missing fields
+        assert!(Event::from_json("{\"ev\":\"msg_sent\",\"t\":-1,\"from\":0,\"to\":0}").is_err());
+    }
+
+    #[test]
+    fn kind_matches_wire_tag() {
+        for ev in samples() {
+            assert!(ev.to_json().contains(&format!("\"ev\":\"{}\"", ev.kind())));
+        }
+    }
+}

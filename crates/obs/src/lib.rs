@@ -1,0 +1,88 @@
+//! # cmvrp-obs — zero-dependency observability for the CMVRP simulators
+//!
+//! This crate provides the tracing, metrics, and structured event-log
+//! layer used by `cmvrp-net`, `cmvrp-online`, `cmvrp-core`, and
+//! `cmvrp-flow`. It deliberately depends on **nothing** outside `std`:
+//! JSON is hand-rolled, sinks are plain structs, and the disabled path
+//! ([`NullSink`]) monomorphizes away so instrumented simulators cost the
+//! same as uninstrumented ones.
+//!
+//! ## Pieces
+//!
+//! - [`Event`] — the typed trace vocabulary (messages, jobs, diffusion
+//!   lifecycle, replacement cycles, heartbeat misses, wall-clock phase
+//!   spans).
+//! - [`Sink`] — where events go: [`NullSink`] (default, free),
+//!   [`RingSink`] (bounded in-memory tail, used by tests), [`JsonlSink`]
+//!   (streaming JSON-lines file, used by `--trace-jsonl`).
+//! - [`Metrics`] / [`Histogram`] — always-on counters, gauges, and
+//!   fixed-bucket histograms (message latency, per-vehicle energy, queue
+//!   depth).
+//! - [`Span`] / [`now_ns`] — wall-clock phase timing for the offline
+//!   algorithms.
+//! - [`replay`] — rebuild a run's headline numbers from a trace alone
+//!   (`cmvrp replay`).
+//!
+//! ## JSONL schema
+//!
+//! A trace is a sequence of lines; each line is one flat JSON object with
+//! an `"ev"` tag naming its kind. All numbers are non-negative integers
+//! except position coordinates, which may be negative. Positions are
+//! arrays of integers (one per grid dimension). Simulation times `t` are
+//! the discrete-event clock of `cmvrp-net`; `*_ns` fields are wall-clock
+//! nanoseconds since the process observability epoch ([`now_ns`]).
+//!
+//! | `ev` | fields | meaning |
+//! |---|---|---|
+//! | `msg_sent` | `t, from, to` | message accepted for delivery |
+//! | `msg_delivered` | `t, from, to, delay` | message handed to recipient; `delay = t - send time` |
+//! | `msg_dropped` | `t, from, to, reason` | message lost; `reason` is `"lost"` (fault injection) or `"crashed"` (recipient dead) |
+//! | `job_arrived` | `t, seq, pos` | driver released job `seq` at `pos` |
+//! | `job_served` | `t, seq, vehicle, cost` | job served; `cost` is the energy charged |
+//! | `diffusion_started` | `t, initiator, generation` | Dijkstra–Scholten replacement search began |
+//! | `diffusion_completed` | `t, initiator, generation, found` | search terminated at its initiator |
+//! | `replacement_cycle` | `t, vehicle, dest` | summoned vehicle arrived and activated at `dest` |
+//! | `heartbeat_missed` | `t, watcher, peer` | monitored peer went silent past the timeout |
+//! | `phase_span` | `name, start_ns, end_ns` | named wall-clock phase (e.g. `"alg1.coarsen"`) |
+//!
+//! Example lines:
+//!
+//! ```text
+//! {"ev":"msg_sent","t":3,"from":1,"to":2}
+//! {"ev":"msg_delivered","t":5,"from":1,"to":2,"delay":2}
+//! {"ev":"job_arrived","t":9,"seq":0,"pos":[5,-5]}
+//! {"ev":"phase_span","name":"alg1.coarsen","start_ns":12,"end_ns":456}
+//! ```
+//!
+//! The schema is append-only: readers must ignore unknown fields, and new
+//! event kinds may appear in later versions.
+//!
+//! ## Example
+//!
+//! ```
+//! use cmvrp_obs::{Event, JsonlSink, Sink, replay};
+//!
+//! let mut sink = JsonlSink::new(Vec::new());
+//! sink.record(&Event::JobArrived { t: 1, seq: 0, pos: vec![3, 4] });
+//! sink.record(&Event::JobServed { t: 1, seq: 0, vehicle: 9, cost: 1 });
+//! let trace = sink.into_writer().unwrap();
+//! let text = String::from_utf8(trace).unwrap();
+//! let summary = replay::summarize(text.lines()).unwrap();
+//! assert_eq!(summary.jobs_served, 1);
+//! assert_eq!(summary.jobs_unserved(), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod metrics;
+pub mod replay;
+pub mod sink;
+pub mod span;
+
+pub use event::{DropReason, Event};
+pub use metrics::{Histogram, Metrics, DEFAULT_BUCKETS};
+pub use replay::{summarize, ReplaySummary};
+pub use sink::{JsonlSink, NullSink, RingSink, Sink};
+pub use span::{now_ns, Span};

@@ -1,0 +1,277 @@
+//! Event sinks: where trace events go.
+//!
+//! The simulators are generic over a [`Sink`] so the disabled case
+//! ([`NullSink`]) monomorphizes to nothing: `Sink::ENABLED` is an
+//! associated constant, every `record` call on the null sink is an empty
+//! inlined body, and event *construction* is guarded at the call sites
+//! behind the same constant.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A destination for trace events.
+pub trait Sink {
+    /// Whether recording does anything at all. Callers may (and do) skip
+    /// event construction entirely when this is `false`.
+    const ENABLED: bool = true;
+
+    /// Records one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes any buffered output; default is a no-op.
+    fn flush_events(&mut self) {}
+}
+
+/// The default sink: discards everything, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// A bounded in-memory ring buffer keeping the most recent events.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_obs::{Event, RingSink, Sink};
+///
+/// let mut ring = RingSink::new(2);
+/// for t in 0..3 {
+///     ring.record(&Event::MsgSent { t, from: 0, to: 1 });
+/// }
+/// assert_eq!(ring.len(), 2);
+/// assert_eq!(ring.overwritten(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<Event>,
+    overwritten: u64,
+}
+
+impl RingSink {
+    /// Creates a ring keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            overwritten: 0,
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were evicted to make room.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Drains the ring, oldest first.
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.buf.drain(..).collect()
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, event: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.overwritten += 1;
+        }
+        self.buf.push_back(event.clone());
+    }
+}
+
+/// Streams events as JSON lines to any writer (hand-rolled, no serde).
+///
+/// I/O errors are sticky: the first one is remembered and surfaced by
+/// [`JsonlSink::finish`]; recording never panics mid-simulation.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: BufWriter<W>,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<File> {
+    /// Creates (truncating) a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: BufWriter::new(writer),
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the event count, or the first I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error hit while writing or flushing.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.written)
+    }
+
+    /// Flushes and returns the underlying writer (handy when writing to a
+    /// `Vec<u8>` in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error hit while writing or flushing.
+    pub fn into_writer(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json();
+        let res = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"));
+        match res {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush_events(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> Event {
+        Event::MsgSent { t, from: 0, to: 1 }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        const { assert!(!NullSink::ENABLED) };
+        NullSink.record(&ev(0)); // does nothing, does not panic
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut ring = RingSink::new(3);
+        for t in 0..5 {
+            ring.record(&ev(t));
+        }
+        let ts: Vec<u64> = ring
+            .events()
+            .map(|e| match e {
+                Event::MsgSent { t, .. } => *t,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+        assert_eq!(ring.overwritten(), 2);
+        assert_eq!(ring.drain().len(), 3);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_ring_rejected() {
+        let _ = RingSink::new(0);
+    }
+
+    #[test]
+    fn jsonl_writes_parseable_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&ev(1));
+        sink.record(&Event::JobArrived {
+            t: 2,
+            seq: 0,
+            pos: vec![1, 2],
+        });
+        assert_eq!(sink.written(), 2);
+        let buf = sink.writer.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            Event::from_json(line).unwrap();
+        }
+    }
+
+    struct FailingWriter;
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk on fire"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::other("disk on fire"))
+        }
+    }
+
+    #[test]
+    fn jsonl_error_is_sticky_and_surfaced() {
+        let mut sink = JsonlSink::new(FailingWriter);
+        // BufWriter buffers, so force enough data through to hit the writer.
+        for t in 0..10_000 {
+            sink.record(&ev(t));
+        }
+        assert!(sink.finish().is_err());
+    }
+}

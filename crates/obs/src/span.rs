@@ -1,0 +1,101 @@
+//! Wall-clock phase spans.
+//!
+//! Simulation events carry the simulator's logical clock, but algorithm
+//! phases (coarsening levels, flow solves) are wall-clock work. A [`Span`]
+//! measures one such phase against a process-wide monotonic epoch and
+//! emits an [`Event::PhaseSpan`] when finished.
+
+use crate::event::Event;
+use crate::sink::Sink;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the first call to this function in the process.
+///
+/// Using a process-local epoch keeps the values small, monotonic, and
+/// comparable across spans without depending on the system clock.
+pub fn now_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// An in-flight named phase; finish it with [`Span::end`].
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    start_ns: u64,
+}
+
+impl Span {
+    /// Starts timing a phase.
+    pub fn begin(name: impl Into<String>) -> Self {
+        Span {
+            name: name.into(),
+            start_ns: now_ns(),
+        }
+    }
+
+    /// Name this span was started with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stops the span, records a [`Event::PhaseSpan`] into `sink`, and
+    /// returns the elapsed nanoseconds.
+    pub fn end<S: Sink>(self, sink: &mut S) -> u64 {
+        let end_ns = now_ns();
+        let elapsed = end_ns - self.start_ns;
+        if S::ENABLED {
+            sink.record(&Event::PhaseSpan {
+                name: self.name,
+                start_ns: self.start_ns,
+                end_ns,
+            });
+        }
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{NullSink, RingSink};
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn span_records_into_enabled_sink() {
+        let mut ring = RingSink::new(4);
+        let span = Span::begin("coarsen");
+        assert_eq!(span.name(), "coarsen");
+        span.end(&mut ring);
+        let events = ring.drain();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::PhaseSpan {
+                name,
+                start_ns,
+                end_ns,
+            } => {
+                assert_eq!(name, "coarsen");
+                assert!(end_ns >= start_ns);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_skips_disabled_sink() {
+        // Nothing to assert beyond "does not panic"; NullSink::ENABLED
+        // short-circuits the record.
+        let elapsed = Span::begin("noop").end(&mut NullSink);
+        let _ = elapsed;
+    }
+}

@@ -7,6 +7,7 @@ use cmvrp_core::cubes::omega_c;
 use cmvrp_core::plan::lemma_side;
 use cmvrp_grid::{pairing_in_cube, CubeId, CubePartition, GridBounds, Pairing, Point};
 use cmvrp_net::{NetConfig, Network, ProcessId};
+use cmvrp_obs::{Event, Histogram, Metrics, NullSink, Sink, DEFAULT_BUCKETS};
 use cmvrp_util::Ratio;
 use cmvrp_workloads::JobSequence;
 use std::collections::HashMap;
@@ -57,6 +58,16 @@ pub struct OnlineReport {
     pub failed_replacements: u64,
     /// Total messages delivered by the network.
     pub messages: u64,
+    /// Mean per-message network delay in delivery steps (0 when silent).
+    pub mean_msg_delay: f64,
+    /// Largest per-message network delay observed.
+    pub max_msg_delay: u64,
+    /// High-water mark of the network's in-flight message queue.
+    pub max_queue_depth: u64,
+    /// Diffusing computations (message waves) initiated across the fleet.
+    pub diffusions: u64,
+    /// Heartbeat timeouts detected by watchers (monitored mode only).
+    pub heartbeat_misses: u64,
     /// The `ω_c` of the realized demand (reported for ratio tables).
     pub omega_c: Ratio,
     /// The cube side used for the partition.
@@ -66,8 +77,8 @@ pub struct OnlineReport {
 /// The on-line simulator: a [`Network`] of [`Vehicle`]s plus the
 /// physical-layer registry (positions, pairings, neighbor lists).
 #[derive(Debug)]
-pub struct OnlineSim<const D: usize> {
-    net: Network<Vehicle<D>, OnlineMsg<D>>,
+pub struct OnlineSim<const D: usize, S: Sink = NullSink> {
+    net: Network<Vehicle<D>, OnlineMsg<D>, S>,
     bounds: GridBounds<D>,
     part: CubePartition<D>,
     pairings: HashMap<CubeId<D>, Pairing<D>>,
@@ -81,6 +92,8 @@ pub struct OnlineSim<const D: usize> {
     side: u64,
     replacements: u64,
     failed_replacements: u64,
+    /// Jobs handed to the driver so far (trace sequence numbers).
+    job_seq: u64,
 }
 
 impl<const D: usize> OnlineSim<D> {
@@ -89,6 +102,19 @@ impl<const D: usize> OnlineSim<D> {
     /// docs on faithfulness), places one vehicle per vertex, pairs each
     /// cube, and computes initial neighbor lists.
     pub fn new(bounds: GridBounds<D>, jobs: &JobSequence<D>, config: OnlineConfig) -> Self {
+        OnlineSim::with_sink(bounds, jobs, config, NullSink)
+    }
+}
+
+impl<const D: usize, S: Sink> OnlineSim<D, S> {
+    /// Like [`OnlineSim::new`], but every network and protocol event is
+    /// also recorded into `sink` (see `cmvrp_obs` for the event schema).
+    pub fn with_sink(
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: S,
+    ) -> Self {
         for job in jobs.iter() {
             assert!(bounds.contains(job), "job at {job} outside bounds");
         }
@@ -124,12 +150,13 @@ impl<const D: usize> OnlineSim<D> {
             }
             pairings.insert(cube_id, pairing);
         }
-        let net = Network::new(
+        let net = Network::with_sink(
             vehicles,
             NetConfig {
                 seed: config.seed,
                 ..NetConfig::default()
             },
+            sink,
         );
         let mut sim = OnlineSim {
             net,
@@ -145,6 +172,7 @@ impl<const D: usize> OnlineSim<D> {
             side,
             replacements: 0,
             failed_replacements: 0,
+            job_seq: 0,
         };
         for cube_id in sim.part.cubes().collect::<Vec<_>>() {
             sim.recompute_neighbors(cube_id);
@@ -166,8 +194,68 @@ impl<const D: usize> OnlineSim<D> {
     }
 
     /// Immutable access to the underlying network (for inspection).
-    pub fn network(&self) -> &Network<Vehicle<D>, OnlineMsg<D>> {
+    pub fn network(&self) -> &Network<Vehicle<D>, OnlineMsg<D>, S> {
         &self.net
+    }
+
+    /// The event sink.
+    pub fn sink(&self) -> &S {
+        self.net.sink()
+    }
+
+    /// Mutable access to the event sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        self.net.sink_mut()
+    }
+
+    /// Consumes the simulator, flushing and returning the sink.
+    pub fn into_sink(self) -> S {
+        self.net.into_sink()
+    }
+
+    /// Snapshot of every always-on metric: the network's message counters
+    /// and delay histogram plus fleet-level `online.*` counters and the
+    /// per-vehicle energy distribution.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = self.net.metrics();
+        let mut energy = Histogram::with_bounds(&DEFAULT_BUCKETS);
+        let (mut ds, mut dc, mut df, mut hm) = (0u64, 0u64, 0u64, 0u64);
+        for id in 0..self.net.len() {
+            let v = self.net.process(id);
+            if v.energy_used() > 0 {
+                energy.observe(v.energy_used());
+            }
+            let (s, c, f, h) = v.obs_counts();
+            ds += s;
+            dc += c;
+            df += f;
+            hm += h;
+        }
+        m.set_histogram("online.vehicle_energy", energy);
+        m.add("online.diffusions_started", ds);
+        m.add("online.diffusions_completed", dc);
+        m.add("online.diffusions_found", df);
+        m.add("online.heartbeat_misses", hm);
+        m.add("online.jobs_arrived", self.job_seq);
+        m.add("online.replacements", self.replacements);
+        m.add("online.failed_replacements", self.failed_replacements);
+        m
+    }
+
+    /// Assigns the next trace sequence number to `job` and records its
+    /// arrival.
+    fn next_job_seq(&mut self, job: Point<D>) -> u64 {
+        let seq = self.job_seq;
+        self.job_seq += 1;
+        if S::ENABLED {
+            let ev = Event::JobArrived {
+                t: self.net.now(),
+                seq,
+                pos: job.coords().to_vec(),
+            };
+            self.net.sink_mut().record(&ev);
+        }
+        seq
     }
 
     /// Crashes the vehicle at `home` (scenario 3): it goes silent and the
@@ -335,7 +423,7 @@ impl<const D: usize> OnlineSim<D> {
 
     /// Delivers one job and lets the network quiesce. Returns whether it
     /// was served.
-    fn deliver(&mut self, job: Point<D>) -> bool {
+    fn deliver(&mut self, seq: u64, job: Point<D>) -> bool {
         let cube = self.part.cube_of(job);
         let pair = self.pairings[&cube].pair_of(job).expect("job on grid");
         let mut served = false;
@@ -348,8 +436,18 @@ impl<const D: usize> OnlineSim<D> {
                 None => break,
             };
             if !self.net.is_crashed(vid) {
+                let cost = self.net.process(vid).pos().manhattan(job) + 1;
                 let result = self.net.trigger(vid, |v, ctx| v.serve(ctx, job));
                 if result == ServeResult::Served {
+                    if S::ENABLED {
+                        let ev = Event::JobServed {
+                            t: self.net.now(),
+                            seq,
+                            vehicle: vid,
+                            cost,
+                        };
+                        self.net.sink_mut().record(&ev);
+                    }
                     served = true;
                     // The server may have gone done and started Phase I.
                     self.net.run_to_quiescence();
@@ -389,7 +487,8 @@ impl<const D: usize> OnlineSim<D> {
         let mut served = 0u64;
         let mut unserved = 0u64;
         for job in jobs {
-            if self.deliver(job) {
+            let seq = self.next_job_seq(job);
+            if self.deliver(seq, job) {
                 served += 1;
             } else {
                 unserved += 1;
@@ -417,12 +516,13 @@ impl<const D: usize> OnlineSim<D> {
         let mut unserved = 0u64;
         let mut cursor = 0usize;
         for &batch in batches {
-            let mut refused: Vec<Point<D>> = Vec::new();
+            let mut refused: Vec<(u64, Point<D>)> = Vec::new();
             for &job in &jobs[cursor..cursor + batch] {
-                if self.try_serve(job) {
+                let seq = self.next_job_seq(job);
+                if self.try_serve(seq, job) {
                     served += 1;
                 } else {
-                    refused.push(job);
+                    refused.push((seq, job));
                 }
             }
             cursor += batch;
@@ -436,8 +536,8 @@ impl<const D: usize> OnlineSim<D> {
                     self.absorb_events();
                 }
             }
-            for job in refused {
-                if self.try_serve(job) {
+            for (seq, job) in refused {
+                if self.try_serve(seq, job) {
                     served += 1;
                     self.net.run_to_quiescence();
                     self.absorb_events();
@@ -450,12 +550,23 @@ impl<const D: usize> OnlineSim<D> {
     }
 
     /// One service attempt with no recovery machinery (batched mode).
-    fn try_serve(&mut self, job: Point<D>) -> bool {
+    fn try_serve(&mut self, seq: u64, job: Point<D>) -> bool {
         let cube = self.part.cube_of(job);
         let pair = self.pairings[&cube].pair_of(job).expect("job on grid");
         match self.pair_active.get(&(cube, pair)) {
             Some(&vid) if !self.net.is_crashed(vid) => {
-                self.net.trigger(vid, |v, ctx| v.serve(ctx, job)) == ServeResult::Served
+                let cost = self.net.process(vid).pos().manhattan(job) + 1;
+                let ok = self.net.trigger(vid, |v, ctx| v.serve(ctx, job)) == ServeResult::Served;
+                if ok && S::ENABLED {
+                    let ev = Event::JobServed {
+                        t: self.net.now(),
+                        seq,
+                        vehicle: vid,
+                        cost,
+                    };
+                    self.net.sink_mut().record(&ev);
+                }
+                ok
             }
             _ => false,
         }
@@ -466,6 +577,13 @@ impl<const D: usize> OnlineSim<D> {
             .map(|id| self.net.process(id).energy_used())
             .max()
             .unwrap_or(0);
+        let (mut diffusions, mut heartbeat_misses) = (0u64, 0u64);
+        for id in 0..self.net.len() {
+            let (started, _, _, misses) = self.net.process(id).obs_counts();
+            diffusions += started;
+            heartbeat_misses += misses;
+        }
+        let delay = self.net.delay_histogram();
         OnlineReport {
             served,
             unserved,
@@ -474,6 +592,11 @@ impl<const D: usize> OnlineSim<D> {
             replacements: self.replacements,
             failed_replacements: self.failed_replacements,
             messages: self.net.total_delivered(),
+            mean_msg_delay: delay.mean(),
+            max_msg_delay: delay.max(),
+            max_queue_depth: self.net.queue_depth_max() as u64,
+            diffusions,
+            heartbeat_misses,
             omega_c: self.omega,
             cube_side: self.side,
         }

@@ -6,6 +6,7 @@ use crate::msg::OnlineMsg;
 use cmvrp_grid::Point;
 use cmvrp_net::diffuse::{ComputationId, DiffuseMsg, DiffuseOutcome, DiffusingEngine};
 use cmvrp_net::{Context, HeartbeatMonitor, Process, ProcessId};
+use cmvrp_obs::Event;
 
 /// The working state `S1` of §3.2.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +71,14 @@ pub struct Vehicle<const D: usize> {
     ticks: u64,
     /// Message-type counters: (queries, replies, moves, heartbeats).
     msg_counts: [u64; 4],
+    /// Diffusing computations this vehicle initiated.
+    diffusions_started: u64,
+    /// Of those, how many terminated (at this initiator).
+    diffusions_completed: u64,
+    /// Of the terminated ones, how many claimed an idle vehicle.
+    diffusions_found: u64,
+    /// Heartbeat timeouts this vehicle detected as a watcher.
+    heartbeat_misses: u64,
 }
 
 impl<const D: usize> Vehicle<D> {
@@ -103,6 +112,10 @@ impl<const D: usize> Vehicle<D> {
             heartbeat: HeartbeatMonitor::new(3),
             ticks: 0,
             msg_counts: [0; 4],
+            diffusions_started: 0,
+            diffusions_completed: 0,
+            diffusions_found: 0,
+            heartbeat_misses: 0,
         }
     }
 
@@ -179,6 +192,17 @@ impl<const D: usize> Vehicle<D> {
     pub fn message_counts(&self) -> (u64, u64, u64, u64) {
         let [q, r, m, h] = self.msg_counts;
         (q, r, m, h)
+    }
+
+    /// Observability counters:
+    /// `(diffusions started, completed, found, heartbeat misses)`.
+    pub fn obs_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.diffusions_started,
+            self.diffusions_completed,
+            self.diffusions_found,
+            self.heartbeat_misses,
+        )
     }
 
     /// Sets the §3.2.5 monitoring target (or clears it). Re-setting the
@@ -276,6 +300,15 @@ impl<const D: usize> Vehicle<D> {
         self.summon_dest = Some(dest);
         let neighbors = self.neighbors.clone();
         let (out, outcome) = self.engine.start(self.id, &neighbors);
+        self.diffusions_started += 1;
+        if ctx.obs_enabled() {
+            let generation = self.engine.computation().map_or(0, |c| c.generation);
+            ctx.emit(Event::DiffusionStarted {
+                t: ctx.now(),
+                initiator: self.id,
+                generation,
+            });
+        }
         for (to, m) in out {
             ctx.send(to, OnlineMsg::Diffuse(m));
         }
@@ -287,22 +320,37 @@ impl<const D: usize> Vehicle<D> {
             DiffuseOutcome::ClaimedAsTarget { init } => {
                 self.claimed_by = Some(init);
             }
-            DiffuseOutcome::InitiatorDone { child } => match (child, self.summon_dest) {
-                (Some(child), Some(dest)) => {
-                    ctx.send(
-                        child,
-                        OnlineMsg::Move {
-                            dest,
-                            init: self.engine.computation().expect("own computation"),
-                        },
-                    );
-                    self.summon_dest = None;
+            DiffuseOutcome::InitiatorDone { child } => {
+                self.diffusions_completed += 1;
+                if child.is_some() {
+                    self.diffusions_found += 1;
                 }
-                _ => {
-                    self.failed_search = true;
-                    self.summon_dest = None;
+                if ctx.obs_enabled() {
+                    let generation = self.engine.computation().map_or(0, |c| c.generation);
+                    ctx.emit(Event::DiffusionCompleted {
+                        t: ctx.now(),
+                        initiator: self.id,
+                        generation,
+                        found: child.is_some(),
+                    });
                 }
-            },
+                match (child, self.summon_dest) {
+                    (Some(child), Some(dest)) => {
+                        ctx.send(
+                            child,
+                            OnlineMsg::Move {
+                                dest,
+                                init: self.engine.computation().expect("own computation"),
+                            },
+                        );
+                        self.summon_dest = None;
+                    }
+                    _ => {
+                        self.failed_search = true;
+                        self.summon_dest = None;
+                    }
+                }
+            }
             DiffuseOutcome::LocalDone | DiffuseOutcome::None => {}
         }
     }
@@ -317,12 +365,18 @@ impl<const D: usize> Vehicle<D> {
             self.work = WorkState::Active;
             self.claimed_by = None;
             self.arrived = Some(dest);
+            if ctx.obs_enabled() {
+                ctx.emit(Event::ReplacementCycle {
+                    t: ctx.now(),
+                    vehicle: self.id,
+                    dest: dest.coords().to_vec(),
+                });
+            }
             return;
         }
         if self.engine.computation() == Some(init) {
             if let Some(child) = self.engine.child() {
                 ctx.send(child, OnlineMsg::Move { dest, init });
-                return;
             }
         }
         // Stale or misrouted move order: drop (counted by driver through
@@ -383,6 +437,14 @@ impl<const D: usize> Process<OnlineMsg<D>> for Vehicle<D> {
                 && self.engine.is_waiting()
                 && self.heartbeat.expired(self.ticks).contains(&peer)
             {
+                self.heartbeat_misses += 1;
+                if ctx.obs_enabled() {
+                    ctx.emit(Event::HeartbeatMissed {
+                        t: self.ticks,
+                        watcher: self.id,
+                        peer,
+                    });
+                }
                 self.heartbeat.unwatch(peer);
                 self.watch = None;
                 self.initiate_replacement(ctx, peer_pos);

@@ -9,6 +9,8 @@
 //!   thesis manipulates exact LP values (e.g. the density ratios of
 //!   Lemma 2.2.2 and the fixed point of Lemma 2.2.3).
 //! * [`binom`] — binomial coefficients for the closed-form L1-ball counts.
+//! * [`rng`] — a seeded SplitMix64 generator (the workspace takes no
+//!   external dependencies, so `rand` is replaced by this shim).
 //! * [`stats`] — summary statistics for the experiment harness.
 //! * [`table`] — fixed-width table rendering for regenerated paper tables.
 //!
@@ -25,10 +27,12 @@
 
 pub mod binom;
 pub mod ratio;
+pub mod rng;
 pub mod stats;
 pub mod table;
 
 pub use binom::{binomial, Binomials};
 pub use ratio::Ratio;
+pub use rng::Rng;
 pub use stats::Summary;
 pub use table::Table;

@@ -1,0 +1,228 @@
+//! A small deterministic PRNG for the workspace (SplitMix64).
+//!
+//! The simulators only need *seeded, reproducible, statistically decent*
+//! randomness — message delays, workload jitter, shuffles — not
+//! cryptographic strength. Carrying an external `rand` dependency for that
+//! broke hermetic (offline) builds, so this module provides the few
+//! primitives the workspace actually uses with the same call shapes:
+//! [`Rng::seed_from_u64`], [`Rng::gen_range`], [`Rng::gen_bool`], and
+//! [`Rng::shuffle`] (Fisher–Yates).
+//!
+//! Determinism contract: the sequence produced by a given seed is part of
+//! the workspace's reproducibility guarantees (seeded experiments and
+//! golden tests depend on it), so the constants below must not change.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmvrp_util::Rng;
+//!
+//! let mut a = Rng::seed_from_u64(7);
+//! let mut b = Rng::seed_from_u64(7);
+//! assert_eq!(a.gen_range(0..100u64), b.gen_range(0..100u64));
+//! ```
+
+use std::ops::{Bound, RangeBounds};
+
+/// A seeded SplitMix64 generator.
+///
+/// SplitMix64 (Steele, Lea & Flood, 2014) passes BigCrush, has a full
+/// 2^64 period, and is two multiplies and three xor-shifts per output —
+/// ideal for a simulation workhorse with zero dependencies.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (any value, including 0).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from `range` (any integer range form, e.g. `0..n`
+    /// or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: RangeBounds<T>,
+    {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v.to_i128(),
+            Bound::Excluded(&v) => v.to_i128() + 1,
+            Bound::Unbounded => panic!("gen_range requires a lower bound"),
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v.to_i128(),
+            Bound::Excluded(&v) => v.to_i128() - 1,
+            Bound::Unbounded => panic!("gen_range requires an upper bound"),
+        };
+        assert!(lo <= hi, "empty range in gen_range");
+        let span = (hi - lo + 1) as u128;
+        // Lemire-style scaling: high 64 bits of a 64x64->128 product. The
+        // bias is < span/2^64, irrelevant for simulation workloads.
+        let scaled = ((self.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+        T::from_i128(lo + scaled)
+    }
+
+    /// A biased coin: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// Uniformly shuffles `slice` in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of `slice`, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_range(0..slice.len())])
+        }
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample.
+pub trait SampleUniform: Copy {
+    /// Widens to `i128` for uniform span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrows back from `i128` (the value is always in range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i32, i64, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..10u64);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_singleton() {
+        let mut rng = Rng::seed_from_u64(0);
+        assert_eq!(rng.gen_range(7..=7u64), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_empty_panics() {
+        let mut rng = Rng::seed_from_u64(0);
+        let _ = rng.gen_range(5..5u64);
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = Rng::seed_from_u64(5);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4000..6000).contains(&heads), "heads={heads}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gen_bool_rejects_bad_p() {
+        let _ = Rng::seed_from_u64(0).gen_bool(1.5);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = Rng::seed_from_u64(3);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        assert!(rng.choose(&[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

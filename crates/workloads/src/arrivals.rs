@@ -8,8 +8,7 @@
 //! (Chapter 4's alternating example) but not for the totals.
 
 use cmvrp_grid::{DemandMap, Point};
-use rand::rngs::SmallRng;
-use rand::{seq::SliceRandom, Rng, SeedableRng};
+use cmvrp_util::Rng;
 
 /// A finite sequence of unit jobs; index order is arrival order.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -82,7 +81,7 @@ pub fn from_demand<const D: usize>(
         Ordering::Sequential => {
             let mut jobs = Vec::with_capacity(demand.total() as usize);
             for (p, d) in demand.iter() {
-                jobs.extend(std::iter::repeat(p).take(d as usize));
+                jobs.extend(std::iter::repeat_n(p, d as usize));
             }
             JobSequence { jobs }
         }
@@ -100,8 +99,8 @@ pub fn from_demand<const D: usize>(
         }
         Ordering::Shuffled => {
             let mut seq = from_demand(demand, Ordering::Sequential, seed);
-            let mut rng = SmallRng::seed_from_u64(seed);
-            seq.jobs.shuffle(&mut rng);
+            let mut rng = Rng::seed_from_u64(seed);
+            rng.shuffle(&mut seq.jobs);
             seq
         }
     }
@@ -129,7 +128,7 @@ pub fn batched<const D: usize>(
 ) -> (JobSequence<D>, Vec<usize>) {
     assert!(max_batch >= 1, "max_batch must be at least 1");
     let seq = from_demand(demand, Ordering::Shuffled, seed);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
     let mut batches = Vec::new();
     let mut left = seq.len();
     while left > 0 {

@@ -1,8 +1,7 @@
-//! Serializable workload configurations for recorded experiments.
+//! Declarative workload configurations for recorded experiments.
 
 use crate::spatial;
 use cmvrp_grid::{DemandMap, GridBounds};
-use serde::{Deserialize, Serialize};
 
 /// A declarative workload description; `generate` materializes it.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(map.total(), 50);
 /// assert_eq!(bounds.volume(), 81);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkloadConfig {
     /// Example 1: an `a×a` block of demand `d` on an `grid×grid` field.
     Square {

@@ -10,8 +10,8 @@
 //! of them, plus random fields and Zipf-clustered maps for averaging, and
 //! the arrival sequences consumed by the on-line simulator.
 //!
-//! Everything is deterministic given a seed and serializable via `serde` so
-//! experiment configurations can be recorded.
+//! Everything is deterministic given a seed so experiment configurations
+//! can be recorded and replayed exactly.
 //!
 //! # Examples
 //!

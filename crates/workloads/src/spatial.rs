@@ -1,8 +1,7 @@
 //! Spatial demand generators.
 
 use cmvrp_grid::{pt2, DemandMap, GridBounds, Point};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cmvrp_util::Rng;
 
 /// Error returned when a generator cannot fit the requested shape into the
 /// given bounds.
@@ -72,7 +71,7 @@ pub fn center(bounds: &GridBounds<2>) -> Point<2> {
 /// Uniform random field: `jobs` unit jobs dropped i.i.d. uniformly over the
 /// grid.
 pub fn uniform_random(bounds: &GridBounds<2>, jobs: u64, seed: u64) -> DemandMap<2> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut m = DemandMap::new();
     for _ in 0..jobs {
         let x = rng.gen_range(bounds.min()[0]..=bounds.max()[0]);
@@ -93,7 +92,7 @@ pub fn zipf_clusters(
     seed: u64,
 ) -> DemandMap<2> {
     assert!(clusters > 0, "need at least one cluster");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let centers: Vec<Point<2>> = (0..clusters)
         .map(|_| {
             pt2(

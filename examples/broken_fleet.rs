@@ -15,15 +15,15 @@ fn main() {
     // Part 1 — Figure 4.1: demands r1 at two sites flanking the lone
     // surviving vehicle k; arrivals alternate i, j, i, j, …
     println!("Figure 4.1: the LP(4.1) bound vs what vehicle k actually needs\n");
-    println!("{:>4} {:>14} {:>12} {:>8}", "r1", "LP(4.1) bound", "exact need", "ratio");
+    println!(
+        "{:>4} {:>14} {:>12} {:>8}",
+        "r1", "LP(4.1) bound", "exact need", "ratio"
+    );
     for r1 in [2u64, 4, 8, 16, 32] {
         let inst = gap_instance(r1, 3 * r1);
         let lb = inst.lp_lower_bound(1e-3);
         let exact = inst.exact_requirement();
-        println!(
-            "{r1:>4} {lb:>14.2} {exact:>12} {:>8.2}",
-            exact as f64 / lb
-        );
+        println!("{r1:>4} {lb:>14.2} {exact:>12} {:>8.2}", exact as f64 / lb);
     }
     println!(
         "\nThe ratio grows ~linearly in r1: the flow relaxation cannot see that\n\

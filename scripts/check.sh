@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, build, tests — fully offline.
+# Usage: scripts/check.sh [--no-clippy]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_clippy=1
+for arg in "$@"; do
+    case "$arg" in
+    --no-clippy) run_clippy=0 ;;
+    *)
+        echo "unknown option: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+if [ "$run_clippy" = 1 ]; then
+    echo "==> cargo clippy (deny warnings)"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+fi
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> all checks passed"

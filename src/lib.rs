@@ -48,6 +48,7 @@ pub use cmvrp_flow as flow;
 pub use cmvrp_graph as graph_ext;
 pub use cmvrp_grid as grid;
 pub use cmvrp_net as net;
+pub use cmvrp_obs as obs;
 pub use cmvrp_online as online;
 pub use cmvrp_util as util;
 pub use cmvrp_workloads as workloads;

@@ -35,7 +35,7 @@ fn one_dimensional_online_pipeline() {
     let bounds: GridBounds<1> = GridBounds::new([0], [40]);
     let mut demand: DemandMap<1> = DemandMap::new();
     demand.add(pt1(20), 120);
-    let jobs: JobSequence<1> = std::iter::repeat(pt1(20)).take(120).collect();
+    let jobs: JobSequence<1> = std::iter::repeat_n(pt1(20), 120).collect();
     let _ = demand; // demand only documents the workload shape
     let report = OnlineSim::new(bounds, &jobs, OnlineConfig::default()).run();
     assert_eq!(report.unserved, 0, "{report:?}");
@@ -65,7 +65,7 @@ fn three_dimensional_offline_pipeline() {
 #[test]
 fn three_dimensional_online_pipeline() {
     let bounds: GridBounds<3> = GridBounds::cube(6);
-    let jobs: JobSequence<3> = std::iter::repeat(pt3(3, 3, 3)).take(150).collect();
+    let jobs: JobSequence<3> = std::iter::repeat_n(pt3(3, 3, 3), 150).collect();
     let report = OnlineSim::new(bounds, &jobs, OnlineConfig::default()).run();
     assert_eq!(report.unserved, 0, "{report:?}");
     assert!(report.max_energy_used <= report.capacity);

@@ -138,6 +138,53 @@ fn scenario2_and_3_with_monitoring() {
 }
 
 #[test]
+fn monitored_crash_fires_heartbeat_missed_events() {
+    // A crashed vehicle in monitored mode must be detected through the
+    // heartbeat ring, and the detection must surface as structured
+    // heartbeat_missed events in the trace as well as in the report.
+    use cmvrp::obs::{Event, RingSink};
+    let b = GridBounds::square(6);
+    let d = spatial::point(&b, 30);
+    let jobs = arrivals::from_demand(&d, Ordering::Sequential, 0);
+    let mut sim = OnlineSim::with_sink(
+        b,
+        &jobs,
+        OnlineConfig {
+            monitored: true,
+            ..OnlineConfig::default()
+        },
+        RingSink::new(1 << 16),
+    );
+    let center = spatial::center(&b);
+    sim.crash_vehicle_at(center);
+    let report = sim.run();
+    assert!(report.served >= 28, "{report:?}");
+    assert!(
+        report.heartbeat_misses > 0,
+        "watcher must detect the silent peer: {report:?}"
+    );
+    let sink = sim.into_sink();
+    let missed: Vec<(usize, usize)> = sink
+        .events()
+        .filter_map(|e| match e {
+            Event::HeartbeatMissed { watcher, peer, .. } => Some((*watcher, *peer)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(missed.len() as u64, report.heartbeat_misses);
+    assert!(!missed.is_empty(), "heartbeat_missed events must be traced");
+    // Every detection names a distinct watcher/peer edge of the ring.
+    assert!(missed.iter().all(|(w, p)| w != p));
+    // The same run also traced the replacement machinery end to end.
+    assert!(sink
+        .events()
+        .any(|e| matches!(e, Event::DiffusionStarted { .. })));
+    assert!(sink
+        .events()
+        .any(|e| matches!(e, Event::ReplacementCycle { .. })));
+}
+
+#[test]
 fn tight_capacity_run_reports_shortfall_not_panic() {
     let b = GridBounds::square(8);
     let d = spatial::point(&b, 200);
