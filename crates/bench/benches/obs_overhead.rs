@@ -1,0 +1,134 @@
+//! Bench: observability overhead — the same default on-line run through
+//! every sink flavor, so the `simulate --check` cost is a measured number
+//! rather than a guess. Writes `BENCH_obs.json` at the repo root with the
+//! CheckSink-vs-NullSink overhead delta in the notes (skipped in
+//! `--quick` mode so test glue never clobbers the committed snapshot).
+
+use cmvrp_bench::default_workloads;
+use cmvrp_bench::harness::Harness;
+use cmvrp_grid::GridBounds;
+use cmvrp_obs::{CheckSink, JsonlSink, NullSink, RingSink, Sink, TraceChecker};
+use cmvrp_online::{OnlineConfig, OnlineSim};
+use cmvrp_workloads::{arrivals, spatial, Ordering};
+use std::hint::black_box;
+
+/// Least-noise paired estimate of the `--check` overhead on one workload:
+/// alternate the two modes run-by-run so both see the same machine-load
+/// epochs, and take min-of-samples on each side.
+fn paired_overhead(
+    bounds: GridBounds<2>,
+    jobs: &cmvrp_workloads::JobSequence<2>,
+    config: OnlineConfig,
+    reps: usize,
+) -> (u64, u64) {
+    let mut null_best = u64::MAX;
+    let mut check_best = u64::MAX;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        black_box(OnlineSim::new(bounds, jobs, config).run());
+        null_best = null_best.min(t.elapsed().as_nanos() as u64);
+        let t = std::time::Instant::now();
+        let mut sim = OnlineSim::with_sink(bounds, jobs, config, CheckSink::new(NullSink));
+        black_box(sim.run());
+        let (mut checker, _) = sim.into_sink().into_parts();
+        checker.finish();
+        assert!(checker.is_clean(), "{:?}", checker.violations());
+        check_best = check_best.min(t.elapsed().as_nanos() as u64);
+    }
+    (null_best, check_best)
+}
+
+fn main() {
+    let mut h = Harness::start("obs_overhead");
+    h.set_samples(10);
+    let bounds = GridBounds::square(16);
+    let demand = spatial::point(&bounds, 600);
+    let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 9);
+    let config = OnlineConfig::default();
+
+    h.bench("full_run/null_sink", || {
+        let report = OnlineSim::new(bounds, &jobs, config).run();
+        assert_eq!(report.unserved, 0);
+        black_box(report);
+    });
+    h.bench("full_run/check_sink", || {
+        let mut sim = OnlineSim::with_sink(bounds, &jobs, config, CheckSink::new(NullSink));
+        let report = sim.run();
+        assert_eq!(report.unserved, 0);
+        let (mut checker, _) = sim.into_sink().into_parts();
+        checker.finish();
+        assert!(checker.is_clean(), "{:?}", checker.violations());
+        black_box(report);
+    });
+    h.bench("full_run/ring_sink", || {
+        let mut sim = OnlineSim::with_sink(bounds, &jobs, config, RingSink::new(4096));
+        let report = sim.run();
+        black_box((report, sim.into_sink().len()));
+    });
+    // Isolate the validator from the emit path: replay a captured event
+    // stream straight through a TraceChecker.
+    let events = {
+        let mut sim = OnlineSim::with_sink(bounds, &jobs, config, RingSink::new(1 << 16));
+        sim.run();
+        sim.into_sink().drain()
+    };
+    h.bench("checker_only/replay", || {
+        let mut checker = TraceChecker::new();
+        for ev in &events {
+            checker.observe(ev);
+        }
+        checker.finish();
+        assert!(checker.is_clean(), "{:?}", checker.violations());
+        black_box(checker.events());
+    });
+    h.bench("full_run/jsonl_sink_devnull", || {
+        let mut sim = OnlineSim::with_sink(bounds, &jobs, config, JsonlSink::new(std::io::sink()));
+        let report = sim.run();
+        let mut sink = sim.into_sink();
+        sink.flush_events();
+        black_box((report, sink.written()));
+    });
+
+    let mut notes: Vec<(&str, String)> = vec![
+        (
+            "stress_workload",
+            "point:grid=16,demand=600 shuffled seed=9".to_string(),
+        ),
+        (
+            "target",
+            "check_sink overhead < 10% vs null_sink on the default workload panel".to_string(),
+        ),
+    ];
+    // The overhead deltas are computed from paired sampling, not the table
+    // above (see `paired_overhead`). Two numbers: the headline figure over
+    // the E5/E7 default workload panel (what `--check` costs on the runs
+    // users actually make), and the message-dense point-source stress
+    // workload above, where nearly every event is a message and the
+    // checker's per-message ledger work is proportionally largest.
+    if !h.is_quick() {
+        let mut panel_null = 0u64;
+        let mut panel_check = 0u64;
+        for w in default_workloads() {
+            let (b, demand) = w.generate();
+            let j = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
+            let (null_ns, check_ns) = paired_overhead(b, &j, config, 60);
+            panel_null += null_ns;
+            panel_check += check_ns;
+        }
+        let panel_pct = (panel_check as f64 - panel_null as f64) / panel_null as f64 * 100.0;
+        notes.push(("check_overhead_pct", format!("{panel_pct:.1}")));
+        println!("panel overhead: null {panel_null} ns, check {panel_check} ns -> {panel_pct:.1}%");
+
+        let (null_ns, check_ns) = paired_overhead(bounds, &jobs, config, 100);
+        let stress_pct = (check_ns as f64 - null_ns as f64) / null_ns as f64 * 100.0;
+        notes.push(("check_overhead_stress_pct", format!("{stress_pct:.1}")));
+        println!("stress overhead: null {null_ns} ns, check {check_ns} ns -> {stress_pct:.1}%");
+    }
+    // `cargo bench` runs with the package dir as cwd; anchor the snapshot
+    // at the workspace root so it lands next to BENCH.md.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json");
+    if let Err(e) = h.write_snapshot(&out, &notes) {
+        eprintln!("warning: could not write {}: {e}", out.display());
+    }
+    h.finish();
+}

@@ -178,6 +178,82 @@ impl Harness {
         &self.results
     }
 
+    /// Whether the harness is in `--quick`/`--test` mode (runs everything
+    /// once, records nothing).
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Renders the group's measurements as a JSON document (hand-rolled,
+    /// like the rest of the workspace): `group`, free-form string `notes`,
+    /// and one object per bench with the [`Measurement`] fields.
+    pub fn snapshot_json(&self, notes: &[(&str, String)]) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"group\": \"{}\",\n", esc(&self.group)));
+        out.push_str("  \"notes\": {");
+        for (i, (k, v)) in notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": \"{}\"", esc(k), esc(v)));
+        }
+        if !notes.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"benches\": [");
+        for (i, m) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"stddev_ns\": {:.1}, \"iters_per_sample\": {}}}",
+                esc(&m.name),
+                m.mean_ns,
+                m.min_ns,
+                m.stddev_ns,
+                m.iters_per_sample
+            ));
+        }
+        if !self.results.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes [`Harness::snapshot_json`] to `path`. A no-op in
+    /// `--quick`/`--test` mode so `cargo test --benches` glue runs never
+    /// overwrite a committed snapshot with empty results.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be written.
+    pub fn write_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        notes: &[(&str, String)],
+    ) -> std::io::Result<()> {
+        if self.quick {
+            return Ok(());
+        }
+        std::fs::write(path, self.snapshot_json(notes))
+    }
+
     /// Prints the group's results as a table.
     pub fn finish(self) {
         if self.quick {
@@ -232,6 +308,32 @@ mod tests {
         assert!(m.mean_ns > 0.0);
         assert!(m.min_ns <= m.mean_ns);
         assert!(m.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_shape() {
+        let mut h = Harness::with_args("g", &[]);
+        h.set_samples(2);
+        h.bench("a \"quoted\"", || {
+            std::hint::black_box((0..10u64).sum::<u64>());
+        });
+        let json = h.snapshot_json(&[("note", "x\ny".to_string())]);
+        assert!(json.contains("\"group\": \"g\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"mean_ns\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn quick_mode_skips_snapshot_write() {
+        let h = Harness::with_args("g", &["--test".into()]);
+        let path = std::env::temp_dir().join("cmvrp_bench_snapshot_should_not_exist.json");
+        let _ = std::fs::remove_file(&path);
+        h.write_snapshot(&path, &[]).unwrap();
+        assert!(!path.exists());
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Ignored diagnostic: paired `--check` overhead per default-panel workload.
+//!
+//! The committed number lives in `BENCH_obs.json` (written by the
+//! `obs_overhead` bench); this test is the quick way to re-measure one
+//! workload at a time without the harness:
+//!
+//! ```text
+//! cargo test -p cmvrp-bench --release --test panel_overhead -- --ignored --nocapture
+//! ```
+
+use cmvrp_bench::default_workloads;
+use cmvrp_obs::{CheckSink, NullSink};
+use cmvrp_online::{OnlineConfig, OnlineSim};
+use cmvrp_workloads::{arrivals, Ordering};
+use std::hint::black_box;
+
+#[test]
+#[ignore]
+fn panel_overhead() {
+    let config = OnlineConfig::default();
+    let mut tot_null = 0u64;
+    let mut tot_check = 0u64;
+    for w in default_workloads() {
+        let (bounds, demand) = w.generate();
+        let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
+        let mut null_best = u64::MAX;
+        let mut check_best = u64::MAX;
+        for _ in 0..60 {
+            let t = std::time::Instant::now();
+            black_box(OnlineSim::new(bounds, &jobs, config).run());
+            null_best = null_best.min(t.elapsed().as_nanos() as u64);
+            let t = std::time::Instant::now();
+            let mut sim = OnlineSim::with_sink(bounds, &jobs, config, CheckSink::new(NullSink));
+            black_box(sim.run());
+            let (mut checker, _) = sim.into_sink().into_parts();
+            checker.finish();
+            assert!(checker.is_clean(), "{:?}", checker.violations());
+            check_best = check_best.min(t.elapsed().as_nanos() as u64);
+        }
+        let pct = (check_best as f64 - null_best as f64) / null_best as f64 * 100.0;
+        println!("{w:?}: null {null_best} check {check_best} -> {pct:.1}%");
+        tot_null += null_best;
+        tot_check += check_best;
+    }
+    let pct = (tot_check as f64 - tot_null as f64) / tot_null as f64 * 100.0;
+    println!("PANEL TOTAL: null {tot_null} check {tot_check} -> {pct:.1}%");
+}

@@ -11,6 +11,9 @@
 //!   a JSONL event trace (`--trace-jsonl`) and a metrics table
 //!   (`--metrics`);
 //! * `replay` — rebuild the run's summary from a JSONL trace alone;
+//! * `trace` — trace analytics: `check` (invariant monitors), `stats`
+//!   (summary counters), `timeline <proc>` (per-process ledger with
+//!   derived Lamport clocks), `spans` (phase-span aggregation);
 //! * `workloads` — list the built-in workload shapes.
 //!
 //! Workloads are specified as `shape:param=value,...`, e.g.
@@ -43,6 +46,10 @@ fn usage() -> String {
        cmvrp solve <workload>            off-line bounds + verified plan\n\
        cmvrp simulate <workload> [opts]  run the on-line protocol\n\
        cmvrp replay <trace.jsonl>        summarize a recorded event trace\n\
+       cmvrp trace check <trace.jsonl>   validate a trace against the invariant monitors\n\
+       cmvrp trace stats <trace.jsonl>   trace summary counters (superset of replay)\n\
+       cmvrp trace timeline <p> <trace>  event ledger of process <p> with Lamport clocks\n\
+       cmvrp trace spans <trace.jsonl>   aggregate wall-clock phase spans\n\
        cmvrp show <workload>             render the demand map as ASCII\n\
        cmvrp experiment <id>             regenerate a thesis experiment (e1..e16, f1, g1, g2)\n\
        cmvrp sweep <shape> <d1> <d2> ..  omega* scaling across demands (point|line)\n\
@@ -61,7 +68,12 @@ fn usage() -> String {
        --capacity=W    override the Lemma 3.3.1 provisioning\n\
        --monitored     enable the §3.2.5 heartbeat ring\n\
        --trace-jsonl P write every event as JSON lines to path P\n\
-       --metrics       print the always-on metrics registry\n"
+       --metrics       print the always-on metrics registry\n\
+       --check         validate every event online; any invariant violation\n\
+                       fails the run naming the event and invariant\n\
+     \n\
+     TRACE CHECK OPTIONS:\n\
+       --capacity=W    battery capacity for traces without fleet_provisioned\n"
         .to_string()
 }
 
@@ -281,10 +293,37 @@ fn render_metrics(out: &mut String, metrics: &Metrics) {
     let _ = write!(out, "{table}");
 }
 
+/// Renders the verdict of an online check: a one-line all-clear, or a
+/// [`UsageError`] naming each offending event's line and invariant.
+/// `source` prefixes the locations (the trace path, or `"event"` when the
+/// run was not traced to disk).
+fn check_verdict(checker: &cmvrp_obs::TraceChecker, source: &str) -> Result<String, UsageError> {
+    let violations = checker.violations();
+    if violations.is_empty() {
+        return Ok(format!(
+            "check: {} events validated, all invariants hold\n",
+            checker.events()
+        ));
+    }
+    let mut msg = format!(
+        "check FAILED: {} violation(s) in {} events\n",
+        violations.len(),
+        checker.events()
+    );
+    for v in violations.iter().take(10) {
+        let _ = writeln!(msg, "  {source}:{}: [{}] {}", v.line, v.invariant, v.detail);
+    }
+    if violations.len() > 10 {
+        let _ = writeln!(msg, "  ... and {} more", violations.len() - 10);
+    }
+    Err(UsageError(msg))
+}
+
 fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
     let cfg = parse_workload(spec)?;
     let mut online = OnlineConfig::default();
     let mut want_metrics = false;
+    let mut check = false;
     let mut trace: Option<String> = None;
     let mut i = 0;
     while i < opts.len() {
@@ -302,6 +341,8 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
             online.monitored = true;
         } else if opt == "--metrics" {
             want_metrics = true;
+        } else if opt == "--check" {
+            check = true;
         } else if let Some(v) = opt.strip_prefix("--trace-jsonl=") {
             trace = Some(v.to_string());
         } else if opt == "--trace-jsonl" {
@@ -318,8 +359,22 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
     let (bounds, demand) = cfg.generate();
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, online.seed);
     let mut out = String::new();
-    let (report, metrics) = match &trace {
-        Some(path) => {
+    let (report, metrics) = match (&trace, check) {
+        (Some(path), true) => {
+            let inner = JsonlSink::create(path)
+                .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
+            let sink = cmvrp_obs::CheckSink::new(inner);
+            let (report, metrics, sink) = run_simulation(bounds, &jobs, online, sink, want_metrics);
+            let (mut checker, inner) = sink.into_parts();
+            checker.finish();
+            let events = inner
+                .finish()
+                .map_err(|e| UsageError(format!("trace write to {path:?} failed: {e}")))?;
+            let _ = writeln!(out, "trace: {events} events -> {path}");
+            out.push_str(&check_verdict(&checker, path)?);
+            (report, metrics)
+        }
+        (Some(path), false) => {
             let sink = JsonlSink::create(path)
                 .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
             let (report, metrics, sink) = run_simulation(bounds, &jobs, online, sink, want_metrics);
@@ -329,7 +384,15 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
             let _ = writeln!(out, "trace: {events} events -> {path}");
             (report, metrics)
         }
-        None => {
+        (None, true) => {
+            let sink = cmvrp_obs::CheckSink::new(cmvrp_obs::NullSink);
+            let (report, metrics, sink) = run_simulation(bounds, &jobs, online, sink, want_metrics);
+            let (mut checker, _) = sink.into_parts();
+            checker.finish();
+            out.push_str(&check_verdict(&checker, "event")?);
+            (report, metrics)
+        }
+        (None, false) => {
             let (report, metrics, _) =
                 run_simulation(bounds, &jobs, online, cmvrp_obs::NullSink, want_metrics);
             (report, metrics)
@@ -352,6 +415,151 @@ fn cmd_replay(path: &str) -> Result<String, UsageError> {
         table.row(vec![name, value]);
     }
     Ok(format!("replay of {path}:\n{table}"))
+}
+
+fn read_trace(path: &str) -> Result<String, UsageError> {
+    std::fs::read_to_string(path).map_err(|e| UsageError(format!("cannot read {path:?}: {e}")))
+}
+
+fn cmd_trace_check(path: &str, opts: &[String]) -> Result<String, UsageError> {
+    let mut capacity = None;
+    for opt in opts {
+        if let Some(v) = opt.strip_prefix("--capacity=") {
+            capacity = Some(
+                v.parse()
+                    .map_err(|_| UsageError(format!("bad capacity {v:?}")))?,
+            );
+        } else {
+            return Err(UsageError(format!("unknown option {opt:?}")));
+        }
+    }
+    let text = read_trace(path)?;
+    let report = cmvrp_obs::check_lines(text.lines(), capacity)
+        .map_err(|(line, msg)| UsageError(format!("{path}:{line}: {msg}")))?;
+    if report.is_clean() {
+        return Ok(format!(
+            "trace OK: {} events, {} invariants checked ({})\n",
+            report.events,
+            report.active.len(),
+            report.active.join(", ")
+        ));
+    }
+    let mut msg = format!(
+        "trace FAILED: {} violation(s) in {} events\n",
+        report.violations.len(),
+        report.events
+    );
+    for v in report.violations.iter().take(10) {
+        let _ = writeln!(msg, "{path}:{}: [{}] {}", v.line, v.invariant, v.detail);
+    }
+    if report.violations.len() > 10 {
+        let _ = writeln!(msg, "... and {} more", report.violations.len() - 10);
+    }
+    Err(UsageError(msg))
+}
+
+fn cmd_trace_timeline(proc_arg: &str, path: &str) -> Result<String, UsageError> {
+    let proc: usize = proc_arg
+        .parse()
+        .map_err(|_| UsageError(format!("bad process id {proc_arg:?}")))?;
+    let text = read_trace(path)?;
+    let mut checker = cmvrp_obs::TraceChecker::new();
+    let mut table = cmvrp_util::Table::new(vec!["line", "lamport", "event"]);
+    let mut shown = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = cmvrp_obs::Event::from_json(line)
+            .map_err(|msg| UsageError(format!("{path}:{}: {msg}", i + 1)))?;
+        // The checker attributes each event to one acting process and
+        // advances that process' Lamport clock; the timeline is the slice
+        // of that ledger belonging to `proc`.
+        if let Some((actor, lamport)) = checker.observe_at(i + 1, &ev) {
+            if actor == proc {
+                table.row(vec![
+                    (i + 1).to_string(),
+                    lamport.to_string(),
+                    line.trim().to_string(),
+                ]);
+                shown += 1;
+            }
+        }
+    }
+    Ok(format!(
+        "timeline of process {proc} ({shown} events):\n{table}"
+    ))
+}
+
+fn cmd_trace_spans(path: &str) -> Result<String, UsageError> {
+    let text = read_trace(path)?;
+    // name -> (count, total_ns, max_ns)
+    let mut agg: std::collections::BTreeMap<String, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = cmvrp_obs::Event::from_json(line)
+            .map_err(|msg| UsageError(format!("{path}:{}: {msg}", i + 1)))?;
+        if let cmvrp_obs::Event::PhaseSpan {
+            name,
+            start_ns,
+            end_ns,
+        } = ev
+        {
+            let ns = end_ns.saturating_sub(start_ns);
+            let e = agg.entry(name).or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += ns;
+            e.2 = e.2.max(ns);
+        }
+    }
+    if agg.is_empty() {
+        return Ok(format!("no phase spans in {path}\n"));
+    }
+    let mut rows: Vec<(String, (u64, u64, u64))> = agg.into_iter().collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1 .1)); // heaviest first
+    let mut table = cmvrp_util::Table::new(vec!["span", "count", "total_ns", "mean_ns", "max_ns"]);
+    for (name, (count, total, max)) in rows {
+        table.row(vec![
+            name,
+            count.to_string(),
+            total.to_string(),
+            format!("{:.0}", total as f64 / count as f64),
+            max.to_string(),
+        ]);
+    }
+    Ok(format!("spans of {path}:\n{table}"))
+}
+
+fn cmd_trace(args: &[String]) -> Result<String, UsageError> {
+    let sub_usage =
+        || UsageError("trace needs a subcommand: check|stats|timeline <proc>|spans".into());
+    match args.first().map(String::as_str) {
+        Some("check") => match args.get(1) {
+            Some(path) => cmd_trace_check(path, &args[2..]),
+            None => Err(UsageError("trace check needs a trace path".into())),
+        },
+        Some("stats") => match args.get(1) {
+            Some(path) => {
+                let out = cmd_replay(path)?;
+                Ok(out.replacen("replay of", "trace stats of", 1))
+            }
+            None => Err(UsageError("trace stats needs a trace path".into())),
+        },
+        Some("timeline") => match (args.get(1), args.get(2)) {
+            (Some(proc), Some(path)) => cmd_trace_timeline(proc, path),
+            _ => Err(UsageError(
+                "trace timeline needs a process id and a trace path".into(),
+            )),
+        },
+        Some("spans") => match args.get(1) {
+            Some(path) => cmd_trace_spans(path),
+            None => Err(UsageError("trace spans needs a trace path".into())),
+        },
+        _ => Err(sub_usage()),
+    }
 }
 
 /// Dispatches a CLI invocation; returns the text to print or a usage error.
@@ -388,6 +596,7 @@ pub fn run(args: &[String]) -> Result<String, UsageError> {
             Some(path) => cmd_replay(path),
             None => Err(UsageError("replay needs a trace path".into())),
         },
+        Some("trace") => cmd_trace(&args[1..]),
         Some(other) => Err(UsageError(format!("unknown command {other:?}"))),
     }
 }
@@ -566,6 +775,118 @@ mod tests {
         assert!(out.contains("trace:"));
         assert!(std::fs::metadata(&path).unwrap().len() > 0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulate_check_passes_on_clean_run() {
+        let out = run(&argv("simulate point:grid=8,demand=300 --check")).unwrap();
+        assert!(out.contains("check:"), "{out}");
+        assert!(out.contains("all invariants hold"), "{out}");
+        assert!(out.contains("served: 300/300"), "{out}");
+    }
+
+    #[test]
+    fn simulate_check_with_trace_validates_and_writes() {
+        let path = std::env::temp_dir().join("cmvrp_cli_check_trace.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = run(&[
+            "simulate".into(),
+            "point:grid=8,demand=120".into(),
+            "--check".into(),
+            format!("--trace-jsonl={path_str}"),
+        ])
+        .unwrap();
+        assert!(out.contains("trace:"), "{out}");
+        assert!(out.contains("all invariants hold"), "{out}");
+        // The written trace passes the offline checker too.
+        let check_out = run(&["trace".into(), "check".into(), path_str.clone()]).unwrap();
+        assert!(check_out.contains("trace OK"), "{check_out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_check_names_invariant_and_line() {
+        let path = std::env::temp_dir().join("cmvrp_cli_bad_invariant.jsonl");
+        // A delivery with no matching send: channel-fifo must fire on line 1.
+        std::fs::write(
+            &path,
+            "{\"ev\":\"msg_delivered\",\"t\":5,\"from\":0,\"to\":1,\"delay\":2}\n",
+        )
+        .unwrap();
+        let err = run(&[
+            "trace".into(),
+            "check".into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("[channel-fifo]"), "{err}");
+        assert!(err.0.contains(":1:"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_stats_and_timeline_and_spans() {
+        let path = std::env::temp_dir().join("cmvrp_cli_trace_tools.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        run(&[
+            "simulate".into(),
+            "point:grid=8,demand=300".into(),
+            "--trace-jsonl".into(),
+            path_str.clone(),
+        ])
+        .unwrap();
+        let stats = run(&["trace".into(), "stats".into(), path_str.clone()]).unwrap();
+        assert!(stats.contains("trace stats of"), "{stats}");
+        assert!(stats.contains("fleet_capacity"), "{stats}");
+        let timeline = run(&[
+            "trace".into(),
+            "timeline".into(),
+            "0".into(),
+            path_str.clone(),
+        ])
+        .unwrap();
+        assert!(timeline.contains("timeline of process 0"), "{timeline}");
+        assert!(timeline.contains("lamport"), "{timeline}");
+        // The online protocol emits no phase spans; the subcommand must
+        // say so rather than print an empty table.
+        let spans = run(&["trace".into(), "spans".into(), path_str.clone()]).unwrap();
+        assert!(spans.contains("no phase spans"), "{spans}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_spans_aggregates() {
+        let path = std::env::temp_dir().join("cmvrp_cli_spans.jsonl");
+        std::fs::write(
+            &path,
+            "{\"ev\":\"phase_span\",\"name\":\"solve\",\"start_ns\":0,\"end_ns\":100}\n\
+             {\"ev\":\"phase_span\",\"name\":\"solve\",\"start_ns\":100,\"end_ns\":400}\n\
+             {\"ev\":\"phase_span\",\"name\":\"plan\",\"start_ns\":0,\"end_ns\":10}\n",
+        )
+        .unwrap();
+        let out = run(&[
+            "trace".into(),
+            "spans".into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        // "solve" (400 ns total over 2 spans) must sort above "plan".
+        let solve_at = out.find("solve").unwrap();
+        let plan_at = out.find("plan").unwrap();
+        assert!(solve_at < plan_at, "{out}");
+        assert!(out.contains("400"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_usage_errors() {
+        assert!(run(&argv("trace")).is_err());
+        assert!(run(&argv("trace check")).is_err());
+        assert!(run(&argv("trace stats")).is_err());
+        assert!(run(&argv("trace timeline 0")).is_err());
+        assert!(run(&argv("trace spans")).is_err());
+        assert!(run(&argv("trace timeline zero /tmp/x.jsonl")).is_err());
+        assert!(run(&argv("trace check /nonexistent/x.jsonl")).is_err());
     }
 
     #[test]

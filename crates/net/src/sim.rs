@@ -16,7 +16,7 @@
 //! [`Network::post`]/[`Network::trigger`] calls, every run delivers the same
 //! messages in the same order.
 
-use cmvrp_obs::{DropReason, Event, Histogram, Metrics, NullSink, Sink, DEFAULT_BUCKETS};
+use cmvrp_obs::{DropReason, Event, Histogram, Metrics, MsgKind, NullSink, Sink, DEFAULT_BUCKETS};
 use cmvrp_util::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -140,6 +140,9 @@ struct Envelope<M> {
     from: ProcessId,
     to: ProcessId,
     sent_at: u64,
+    /// Protocol classification stamped at send time so the delivery/drop
+    /// event matches its send even if the classifier changes.
+    kind: Option<MsgKind>,
     msg: M,
 }
 
@@ -170,6 +173,9 @@ pub struct Network<P, M, S: Sink = NullSink> {
     /// Delivery-delay histogram; always on (a bucket scan per delivery).
     delay_hist: Histogram,
     queue_depth_max: usize,
+    /// Optional protocol classifier annotating trace events with a
+    /// [`MsgKind`]; only consulted when the sink is enabled.
+    classify: Option<fn(&M) -> MsgKind>,
     sink: S,
 }
 
@@ -216,8 +222,17 @@ where
             total_to_crashed: 0,
             delay_hist: Histogram::with_bounds(&DEFAULT_BUCKETS),
             queue_depth_max: 0,
+            classify: None,
             sink,
         }
+    }
+
+    /// Installs a protocol classifier: every traced `msg_sent` /
+    /// `msg_delivered` / `msg_dropped` event from now on carries the
+    /// [`MsgKind`] of its payload. The trace checker's Dijkstra–Scholten
+    /// deficit monitor needs this annotation.
+    pub fn set_msg_classifier(&mut self, classify: fn(&M) -> MsgKind) {
+        self.classify = Some(classify);
     }
 
     /// Number of processes.
@@ -316,7 +331,15 @@ where
     /// Crashes a process: it silently drops all future deliveries and emits
     /// nothing. Models the dead vehicles of §3.2.5 / Chapter 4.
     pub fn crash(&mut self, id: ProcessId) {
-        self.crashed[id] = true;
+        if !self.crashed[id] {
+            self.crashed[id] = true;
+            if S::ENABLED {
+                self.sink.record(&Event::ProcessCrashed {
+                    t: self.now,
+                    proc: id,
+                });
+            }
+        }
     }
 
     /// Whether `id` has been crashed.
@@ -325,6 +348,11 @@ where
     }
 
     fn schedule(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        let kind = if S::ENABLED {
+            self.classify.map(|c| c(&msg))
+        } else {
+            None
+        };
         if self.config.drop_rate > 0.0 && self.rng.gen_bool(self.config.drop_rate) {
             // Lost in transit: never enqueued (the sender cannot tell).
             self.total_lost += 1;
@@ -334,6 +362,7 @@ where
                     from,
                     to,
                     reason: DropReason::Lost,
+                    kind,
                 });
             }
             return;
@@ -354,6 +383,7 @@ where
                 from,
                 to,
                 sent_at: self.now,
+                kind,
                 msg,
             },
         );
@@ -364,6 +394,7 @@ where
                 t: self.now,
                 from,
                 to,
+                kind,
             });
         }
     }
@@ -441,6 +472,7 @@ where
                         from: env.from,
                         to: env.to,
                         reason: DropReason::RecipientCrashed,
+                        kind: env.kind,
                     });
                 }
                 continue;
@@ -455,6 +487,7 @@ where
                     from: env.from,
                     to: env.to,
                     delay,
+                    kind: env.kind,
                 });
             }
             let mut ctx = Context::new(env.to, self.now, S::ENABLED);
@@ -606,6 +639,64 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn classifier_annotates_transport_events() {
+        struct Rec;
+        impl Process<u32> for Rec {
+            fn on_message(&mut self, _ctx: &mut Context<u32>, _from: ProcessId, _m: u32) {}
+        }
+        let mut net = Network::with_sink(
+            vec![Rec, Rec],
+            NetConfig::default(),
+            cmvrp_obs::RingSink::new(16),
+        );
+        net.set_msg_classifier(|m| {
+            if *m % 2 == 0 {
+                MsgKind::Query
+            } else {
+                MsgKind::Reply
+            }
+        });
+        net.trigger(0, |_p, ctx| ctx.send(1, 2));
+        net.run_to_quiescence();
+        assert!(net.sink().events().any(|e| matches!(
+            e,
+            Event::MsgSent {
+                kind: Some(MsgKind::Query),
+                ..
+            }
+        )));
+        assert!(net.sink().events().any(|e| matches!(
+            e,
+            Event::MsgDelivered {
+                kind: Some(MsgKind::Query),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn crash_is_evented_once() {
+        struct Rec;
+        impl Process<u32> for Rec {
+            fn on_message(&mut self, _ctx: &mut Context<u32>, _from: ProcessId, _m: u32) {}
+        }
+        let mut net = Network::with_sink(
+            vec![Rec, Rec],
+            NetConfig::default(),
+            cmvrp_obs::RingSink::new(16),
+        );
+        net.crash(1);
+        net.crash(1); // idempotent: a second call must not re-emit
+        let crashes: Vec<&Event> = net
+            .sink()
+            .events()
+            .filter(|e| matches!(e, Event::ProcessCrashed { .. }))
+            .collect();
+        assert_eq!(crashes.len(), 1);
+        assert!(matches!(crashes[0], Event::ProcessCrashed { proc: 1, .. }));
     }
 
     #[test]

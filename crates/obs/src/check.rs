@@ -1,0 +1,1077 @@
+//! Streaming invariant monitors over the event stream.
+//!
+//! The emit side of this crate records *what happened*; this module checks
+//! that what happened was **legal** — that the simulated protocol actually
+//! implements the thesis' algorithm, not merely that its summary statistics
+//! look right. The same [`TraceChecker`] runs in two modes:
+//!
+//! * **online** — wrapped in a [`CheckSink`] around any other [`Sink`], it
+//!   validates every event the instant it is emitted (`simulate --check`);
+//! * **offline** — fed a recorded JSONL trace line by line
+//!   ([`check_lines`], `cmvrp trace check`).
+//!
+//! ## Invariant catalog
+//!
+//! | invariant | what it rejects |
+//! |---|---|
+//! | `clock` | simulation time running backwards across events |
+//! | `channel-fifo` | a delivery with no matching send, out-of-order delivery on a channel, a `delay` field inconsistent with the matched send, replies outnumbering queries on a channel pair |
+//! | `ds-deficit` | Dijkstra–Scholten violations: nested computations at one initiator, non-increasing generations, completion of a computation that was never started, completion while the initiator's deficit (queries sent − reply signals returned) is nonzero, and computations still open at end of trace |
+//! | `job-ledger` | job sequence numbers arriving out of order, serving a job that never arrived, double-serving |
+//! | `capacity` | a vehicle's cumulative energy (service costs + relocation distances) exceeding the provisioned `W` |
+//! | `crash-silence` | any activity attributed to a crashed process — sends, deliveries to it, serves, diffusion activity, watching |
+//! | `replacement-liveness` | a replacement arrival with no preceding successful search; in clean traces (no crashes, no losses, no concurrent searches) a successful search whose summoned vehicle never arrives |
+//! | `span` | a phase span ending before it starts |
+//!
+//! Monitors degrade gracefully: the deficit and reply/query checks need the
+//! `kind` annotation (see [`MsgKind`]) and stay idle on traces without it;
+//! the capacity monitor needs a `fleet_provisioned` event or an explicit
+//! [`TraceChecker::set_capacity`].
+//!
+//! ## Lamport clocks
+//!
+//! The checker maintains a Lamport clock per process — incremented on every
+//! local event and send, and set to `max(own, sender's at send) + 1` on
+//! delivery — so `cmvrp trace timeline` can print a causally meaningful
+//! ordering next to simulation time. The clock is *derived* by the checker;
+//! it is not a trace field.
+
+use crate::event::{DropReason, Event, MsgKind};
+use crate::sink::Sink;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Names of all invariants, in reporting order.
+pub const INVARIANTS: [&str; 8] = [
+    "clock",
+    "channel-fifo",
+    "ds-deficit",
+    "job-ledger",
+    "capacity",
+    "crash-silence",
+    "replacement-liveness",
+    "span",
+];
+
+/// One invariant violation, tied to the 1-based trace line (or event
+/// ordinal, when checking online) that triggered it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant failed (one of [`INVARIANTS`]).
+    pub invariant: &'static str,
+    /// 1-based line/event number of the offending event; end-of-trace
+    /// checks use the last observed line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}: [{}] {}",
+            self.line, self.invariant, self.detail
+        )
+    }
+}
+
+/// A cheap multiplicative hasher for the packed `(from, to)` channel keys.
+/// The checker runs inline with the simulator under `simulate --check`, so
+/// the default SipHash would dominate its cost.
+#[derive(Debug, Default, Clone)]
+struct ChannelHasher(u64);
+
+impl Hasher for ChannelHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        // SplitMix64-style finalizer: enough avalanche for dense ids.
+        let mut x = self.0 ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        self.0 = x ^ (x >> 27);
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// Both directions of one process pair behind a single map probe — message
+/// events dominate traces, so every probe counts under `simulate --check`,
+/// and a reply delivered on one direction must be compared against the
+/// queries delivered on the other.
+#[derive(Debug, Default, Clone)]
+struct PairState {
+    /// FIFO ledger of sends awaiting delivery or crash-drop, per direction.
+    queue: [VecDeque<SendRecord>; 2],
+    /// Query deliveries observed, per direction.
+    queries: [u64; 2],
+    /// Reply deliveries observed, per direction.
+    replies: [u64; 2],
+}
+
+type ChannelMap = HashMap<u64, PairState, BuildHasherDefault<ChannelHasher>>;
+
+/// Packs an unordered process pair into one map key plus the direction
+/// index of `from -> to` within it.
+fn pair_key(from: usize, to: usize) -> (u64, usize) {
+    let (lo, hi, dir) = if from <= to {
+        (from, to, 0)
+    } else {
+        (to, from, 1)
+    };
+    (((lo as u64) << 32) | hi as u64, dir)
+}
+
+/// Grows `v` with defaults so index `i` exists, and returns `&mut v[i]`.
+/// Process ids and job sequence numbers are dense, so flat vectors beat
+/// maps for all per-process state.
+fn grow<T: Clone + Default>(v: &mut Vec<T>, i: usize) -> &mut T {
+    if v.len() <= i {
+        v.resize(i + 1, T::default());
+    }
+    &mut v[i]
+}
+
+/// An in-flight message ledger entry: what we knew at send time.
+#[derive(Debug, Clone, Copy)]
+struct SendRecord {
+    t: u64,
+    lamport: u64,
+    line: usize,
+}
+
+/// One open diffusing computation at its initiator.
+#[derive(Debug, Clone, Copy)]
+struct OpenComputation {
+    generation: u64,
+    /// Queries sent by the initiator minus reply signals delivered to it.
+    deficit: i64,
+    started_line: usize,
+}
+
+/// Streaming trace validator; see the [module docs](self) for the
+/// invariant catalog.
+#[derive(Debug, Default)]
+pub struct TraceChecker {
+    line: usize,
+    events: u64,
+    violations: Vec<Violation>,
+    /// Global simulation clock high-water mark (tick-round and wall-clock
+    /// events are exempt).
+    last_t: u64,
+    /// Per-directed-channel FIFO ledger and query/reply delivery counters.
+    channels: ChannelMap,
+    /// Lamport clocks indexed by process id, derived (see module docs).
+    lamport: Vec<u64>,
+    /// Open computation per initiator, indexed by process id.
+    open: Vec<Option<OpenComputation>>,
+    open_count: usize,
+    last_generation: Vec<Option<u64>>,
+    /// High-water mark of concurrently open computations.
+    max_open: usize,
+    completions_found: u64,
+    replacement_cycles: u64,
+    crashed: Vec<bool>,
+    any_crashed: bool,
+    next_job_seq: u64,
+    served: Vec<bool>,
+    energy: Vec<u64>,
+    capacity: Option<u64>,
+    vehicles: Option<u64>,
+    saw_kinds: bool,
+    saw_loss: bool,
+}
+
+impl TraceChecker {
+    /// Creates a checker with no events observed.
+    pub fn new() -> Self {
+        TraceChecker::default()
+    }
+
+    /// Provides the battery capacity `W` for the energy monitor when the
+    /// trace predates the `fleet_provisioned` event (a later event wins).
+    pub fn set_capacity(&mut self, capacity: u64) {
+        self.capacity = Some(capacity);
+    }
+
+    /// Events observed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Violations found so far (finish checks only appear after
+    /// [`TraceChecker::finish`]).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether no violation has been found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The current Lamport clock of `proc` (0 if it never acted).
+    pub fn lamport(&self, proc: usize) -> u64 {
+        self.lamport.get(proc).copied().unwrap_or(0)
+    }
+
+    /// Names of the monitors that could actually run on what was seen so
+    /// far (the kind-dependent ones need annotated messages, the capacity
+    /// one needs `W`).
+    pub fn active_invariants(&self) -> Vec<&'static str> {
+        INVARIANTS
+            .iter()
+            .copied()
+            .filter(|inv| match *inv {
+                "ds-deficit" => self.saw_kinds,
+                "capacity" => self.capacity.is_some(),
+                _ => true,
+            })
+            .collect()
+    }
+
+    fn report(&mut self, invariant: &'static str, line: usize, detail: String) {
+        self.violations.push(Violation {
+            invariant,
+            line,
+            detail,
+        });
+    }
+
+    /// The mutable pair state covering `from -> to` (created on first
+    /// touch) and the direction index of that channel within it.
+    #[inline]
+    fn channel(&mut self, from: usize, to: usize) -> (&mut PairState, usize) {
+        let (key, dir) = pair_key(from, to);
+        (self.channels.entry(key).or_default(), dir)
+    }
+
+    fn tick_lamport(&mut self, proc: usize) -> u64 {
+        let c = grow(&mut self.lamport, proc);
+        *c += 1;
+        *c
+    }
+
+    fn is_crashed(&self, proc: usize) -> bool {
+        self.crashed.get(proc).copied().unwrap_or(false)
+    }
+
+    /// Observes the next event, auto-numbering lines from 1 (online mode).
+    /// Returns the acting process and its Lamport clock after the event,
+    /// when the event is attributable to one process.
+    #[inline]
+    pub fn observe(&mut self, ev: &Event) -> Option<(usize, u64)> {
+        let line = self.line + 1;
+        self.observe_at(line, ev)
+    }
+
+    /// Observes one event as trace line `line` (1-based, must not
+    /// decrease). Returns `(actor, lamport clock after the event)` for
+    /// events attributable to one process.
+    pub fn observe_at(&mut self, line: usize, ev: &Event) -> Option<(usize, u64)> {
+        self.line = line;
+        self.events += 1;
+        self.check_crash_silence(line, ev);
+        match ev {
+            Event::MsgSent { t, from, to, kind } => {
+                self.clock(line, *t);
+                if kind.is_some() {
+                    self.saw_kinds = true;
+                }
+                let lamport = self.tick_lamport(*from);
+                let (pair, dir) = self.channel(*from, *to);
+                pair.queue[dir].push_back(SendRecord {
+                    t: *t,
+                    lamport,
+                    line,
+                });
+                if *kind == Some(MsgKind::Query) && self.open_count > 0 {
+                    if let Some(Some(open)) = self.open.get_mut(*from) {
+                        open.deficit += 1;
+                    }
+                }
+                Some((*from, lamport))
+            }
+            Event::MsgDelivered {
+                t,
+                from,
+                to,
+                delay,
+                kind,
+            } => {
+                self.clock(line, *t);
+                if kind.is_some() {
+                    self.saw_kinds = true;
+                }
+                let (sent, replies, queries) = {
+                    let (pair, dir) = self.channel(*from, *to);
+                    let sent = pair.queue[dir].pop_front();
+                    let (replies, queries) = match kind {
+                        Some(MsgKind::Query) => {
+                            pair.queries[dir] += 1;
+                            (0, 0)
+                        }
+                        Some(MsgKind::Reply) => {
+                            pair.replies[dir] += 1;
+                            // The queries this reply answers flowed the
+                            // other way on the same pair.
+                            (pair.replies[dir], pair.queries[dir ^ 1])
+                        }
+                        _ => (0, 0),
+                    };
+                    (sent, replies, queries)
+                };
+                let lamport = match sent {
+                    Some(rec) => {
+                        if rec.t + *delay != *t {
+                            self.report(
+                                "channel-fifo",
+                                line,
+                                format!(
+                                    "delivery {from}->{to} at t={t} claims delay {delay} but \
+                                     matches the send at t={} (line {}): FIFO order broken",
+                                    rec.t, rec.line
+                                ),
+                            );
+                        }
+                        let c = grow(&mut self.lamport, *to);
+                        *c = (*c).max(rec.lamport) + 1;
+                        *c
+                    }
+                    None => {
+                        self.report(
+                            "channel-fifo",
+                            line,
+                            format!("delivery {from}->{to} at t={t} has no matching send"),
+                        );
+                        self.tick_lamport(*to)
+                    }
+                };
+                if *kind == Some(MsgKind::Reply) {
+                    if replies > queries {
+                        self.report(
+                            "channel-fifo",
+                            line,
+                            format!(
+                                "reply {from}->{to} outnumbers queries {to}->{from} \
+                                 ({replies} replies vs {queries} queries)"
+                            ),
+                        );
+                    }
+                    if let Some(Some(open)) = self.open.get_mut(*to) {
+                        open.deficit -= 1;
+                    }
+                }
+                Some((*to, lamport))
+            }
+            Event::MsgDropped {
+                t,
+                from,
+                to,
+                reason,
+                ..
+            } => {
+                self.clock(line, *t);
+                match reason {
+                    // Lost in transit is decided at send time: no msg_sent was
+                    // emitted, so there is nothing to match — but the sender did
+                    // act, so its clock ticks.
+                    DropReason::Lost => {
+                        self.saw_loss = true;
+                        let lamport = self.tick_lamport(*from);
+                        Some((*from, lamport))
+                    }
+                    // Dropped at the crashed recipient's door: consumes the
+                    // oldest in-flight send on the channel.
+                    DropReason::RecipientCrashed => {
+                        let (pair, dir) = self.channel(*from, *to);
+                        if pair.queue[dir].pop_front().is_none() {
+                            self.report(
+                                "channel-fifo",
+                                line,
+                                format!("crash-drop {from}->{to} has no matching send"),
+                            );
+                        }
+                        None
+                    }
+                }
+            }
+            Event::JobArrived { t, seq, .. } => {
+                self.clock(line, *t);
+                if *seq != self.next_job_seq {
+                    self.report(
+                        "job-ledger",
+                        line,
+                        format!("job seq {seq} arrived, expected seq {}", self.next_job_seq),
+                    );
+                }
+                self.next_job_seq = self.next_job_seq.max(*seq + 1);
+                None
+            }
+            Event::JobServed {
+                t,
+                seq,
+                vehicle,
+                cost,
+            } => {
+                self.clock(line, *t);
+                if *seq >= self.next_job_seq {
+                    self.report(
+                        "job-ledger",
+                        line,
+                        format!("job seq {seq} served but never arrived"),
+                    );
+                } else {
+                    let done = std::mem::replace(grow(&mut self.served, *seq as usize), true);
+                    if done {
+                        self.report("job-ledger", line, format!("job seq {seq} served twice"));
+                    }
+                }
+                self.charge(line, *vehicle, *cost, "service");
+                let lamport = self.tick_lamport(*vehicle);
+                Some((*vehicle, lamport))
+            }
+            Event::DiffusionStarted {
+                t,
+                initiator,
+                generation,
+            } => {
+                self.clock(line, *t);
+                if let Some(Some(open)) = self.open.get(*initiator) {
+                    self.report(
+                        "ds-deficit",
+                        line,
+                        format!(
+                            "initiator {initiator} started generation {generation} while \
+                             generation {} (line {}) is still open",
+                            open.generation, open.started_line
+                        ),
+                    );
+                }
+                if let Some(Some(last)) = self.last_generation.get(*initiator) {
+                    if *generation <= *last {
+                        let last = *last;
+                        self.report(
+                            "ds-deficit",
+                            line,
+                            format!(
+                                "initiator {initiator} generation {generation} not above \
+                                 previous generation {last}"
+                            ),
+                        );
+                    }
+                }
+                *grow(&mut self.last_generation, *initiator) = Some(*generation);
+                let slot = grow(&mut self.open, *initiator);
+                if slot.is_none() {
+                    self.open_count += 1;
+                }
+                *slot = Some(OpenComputation {
+                    generation: *generation,
+                    deficit: 0,
+                    started_line: line,
+                });
+                self.max_open = self.max_open.max(self.open_count);
+                let lamport = self.tick_lamport(*initiator);
+                Some((*initiator, lamport))
+            }
+            Event::DiffusionCompleted {
+                t,
+                initiator,
+                generation,
+                found,
+            } => {
+                self.clock(line, *t);
+                match grow(&mut self.open, *initiator).take() {
+                    Some(open) if open.generation == *generation => {
+                        self.open_count -= 1;
+                        if self.saw_kinds && open.deficit != 0 {
+                            self.report(
+                                "ds-deficit",
+                                line,
+                                format!(
+                                    "initiator {initiator} completed generation {generation} \
+                                     with deficit {} (queries sent minus reply signals \
+                                     returned must be 0 at termination)",
+                                    open.deficit
+                                ),
+                            );
+                        }
+                    }
+                    Some(open) => {
+                        self.open_count -= 1;
+                        self.report(
+                            "ds-deficit",
+                            line,
+                            format!(
+                                "initiator {initiator} completed generation {generation} but \
+                                 generation {} is the one open",
+                                open.generation
+                            ),
+                        );
+                    }
+                    None => {
+                        self.report(
+                            "ds-deficit",
+                            line,
+                            format!(
+                                "initiator {initiator} completed generation {generation} \
+                                 without a matching start"
+                            ),
+                        );
+                    }
+                }
+                if *found {
+                    self.completions_found += 1;
+                }
+                let lamport = self.tick_lamport(*initiator);
+                Some((*initiator, lamport))
+            }
+            Event::ReplacementCycle {
+                t, vehicle, dist, ..
+            } => {
+                self.clock(line, *t);
+                self.replacement_cycles += 1;
+                if self.replacement_cycles > self.completions_found {
+                    self.report(
+                        "replacement-liveness",
+                        line,
+                        format!(
+                            "vehicle {vehicle} arrived as replacement #{} but only {} \
+                             successful searches completed",
+                            self.replacement_cycles, self.completions_found
+                        ),
+                    );
+                }
+                self.charge(line, *vehicle, *dist, "relocation");
+                let lamport = self.tick_lamport(*vehicle);
+                Some((*vehicle, lamport))
+            }
+            Event::HeartbeatMissed { watcher, .. } => {
+                let lamport = self.tick_lamport(*watcher);
+                Some((*watcher, lamport))
+            }
+            Event::FleetProvisioned {
+                t,
+                vehicles,
+                capacity,
+            } => {
+                self.clock(line, *t);
+                self.vehicles = Some(*vehicles);
+                self.capacity = Some(*capacity);
+                None
+            }
+            Event::ProcessCrashed { t, proc } => {
+                self.clock(line, *t);
+                *grow(&mut self.crashed, *proc) = true;
+                self.any_crashed = true;
+                Some((*proc, self.lamport(*proc)))
+            }
+            Event::PhaseSpan {
+                name,
+                start_ns,
+                end_ns,
+            } => {
+                if end_ns < start_ns {
+                    self.report(
+                        "span",
+                        line,
+                        format!("span {name:?} ends at {end_ns} before it starts at {start_ns}"),
+                    );
+                }
+                None
+            }
+        }
+    }
+
+    fn charge(&mut self, line: usize, vehicle: usize, amount: u64, what: &str) {
+        if let Some(limit) = self.vehicles {
+            if vehicle as u64 >= limit {
+                self.report(
+                    "capacity",
+                    line,
+                    format!("vehicle {vehicle} outside the provisioned fleet of {limit}"),
+                );
+            }
+        }
+        let used = grow(&mut self.energy, vehicle);
+        *used += amount;
+        let used = *used;
+        if let Some(w) = self.capacity {
+            if used > w {
+                self.report(
+                    "capacity",
+                    line,
+                    format!(
+                        "vehicle {vehicle} spent {used} > capacity {w} after {what} of {amount}"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Global simulation-time monotonicity, called from every event arm
+    /// that carries a simulation timestamp. Heartbeat misses are stamped
+    /// in watcher-local tick rounds and spans in wall-clock nanoseconds,
+    /// so both are exempt (their arms never call this).
+    #[inline]
+    fn clock(&mut self, line: usize, t: u64) {
+        if t < self.last_t {
+            self.report(
+                "clock",
+                line,
+                format!(
+                    "simulation time ran backwards: t={t} after t={}",
+                    self.last_t
+                ),
+            );
+        }
+        self.last_t = self.last_t.max(t);
+    }
+
+    /// A crashed process must neither act nor be delivered to.
+    fn check_crash_silence(&mut self, line: usize, ev: &Event) {
+        if !self.any_crashed {
+            return;
+        }
+        let offender: Option<(usize, &str)> = match ev {
+            Event::MsgSent { from, .. } if self.is_crashed(*from) => {
+                Some((*from, "sent a message"))
+            }
+            Event::MsgDelivered { to, .. } if self.is_crashed(*to) => {
+                Some((*to, "was delivered a message"))
+            }
+            Event::JobServed { vehicle, .. } if self.is_crashed(*vehicle) => {
+                Some((*vehicle, "served a job"))
+            }
+            Event::DiffusionStarted { initiator, .. } if self.is_crashed(*initiator) => {
+                Some((*initiator, "started a diffusion"))
+            }
+            Event::DiffusionCompleted { initiator, .. } if self.is_crashed(*initiator) => {
+                Some((*initiator, "completed a diffusion"))
+            }
+            Event::ReplacementCycle { vehicle, .. } if self.is_crashed(*vehicle) => {
+                Some((*vehicle, "arrived as a replacement"))
+            }
+            Event::HeartbeatMissed { watcher, .. } if self.is_crashed(*watcher) => {
+                Some((*watcher, "acted as a watcher"))
+            }
+            _ => None,
+        };
+        if let Some((proc, did)) = offender {
+            self.report(
+                "crash-silence",
+                line,
+                format!("crashed process {proc} {did}"),
+            );
+        }
+    }
+
+    /// End-of-trace checks: Dijkstra–Scholten termination and replacement
+    /// liveness. Call exactly once, after the last event.
+    pub fn finish(&mut self) {
+        let line = self.line;
+        let open: Vec<(usize, OpenComputation)> = self
+            .open
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.take().map(|c| (i, c)))
+            .collect();
+        self.open_count = 0;
+        for (initiator, comp) in open {
+            self.report(
+                "ds-deficit",
+                comp.started_line,
+                format!(
+                    "computation of initiator {initiator} generation {} never terminated \
+                     (deficit {} at end of trace)",
+                    comp.generation, comp.deficit
+                ),
+            );
+        }
+        // In a clean trace — nothing crashed, nothing lost, searches never
+        // overlapped — every successful search's move order is delivered, so
+        // a summoned vehicle that never arrives is a liveness bug. Crashes,
+        // losses, or concurrent searches (which can claim the same idle
+        // vehicle twice) legitimately strand a search, so only the
+        // arrival-without-search direction is checked there (streamed).
+        let clean = !self.any_crashed && !self.saw_loss && self.max_open <= 1;
+        if clean && self.replacement_cycles < self.completions_found {
+            let (cycles, found) = (self.replacement_cycles, self.completions_found);
+            self.report(
+                "replacement-liveness",
+                line,
+                format!(
+                    "{found} successful searches but only {cycles} replacement arrivals \
+                     in a loss-free, crash-free trace"
+                ),
+            );
+        }
+    }
+}
+
+/// A [`Sink`] wrapper that validates every event on its way to `inner`.
+///
+/// ```
+/// use cmvrp_obs::{CheckSink, Event, NullSink, Sink};
+///
+/// let mut sink = CheckSink::new(NullSink);
+/// sink.record(&Event::JobArrived { t: 1, seq: 0, pos: vec![0, 0] });
+/// sink.record(&Event::JobServed { t: 1, seq: 0, vehicle: 3, cost: 1 });
+/// let (mut checker, _inner) = sink.into_parts();
+/// checker.finish();
+/// assert!(checker.is_clean());
+/// ```
+#[derive(Debug, Default)]
+pub struct CheckSink<S: Sink> {
+    inner: S,
+    checker: TraceChecker,
+}
+
+impl<S: Sink> CheckSink<S> {
+    /// Wraps `inner`, validating everything recorded through it.
+    pub fn new(inner: S) -> Self {
+        CheckSink {
+            inner,
+            checker: TraceChecker::new(),
+        }
+    }
+
+    /// The checker's current state.
+    pub fn checker(&self) -> &TraceChecker {
+        &self.checker
+    }
+
+    /// Splits into the checker and the wrapped sink. Call
+    /// [`TraceChecker::finish`] on the checker to run end-of-trace checks.
+    pub fn into_parts(self) -> (TraceChecker, S) {
+        (self.checker, self.inner)
+    }
+}
+
+impl<S: Sink> Sink for CheckSink<S> {
+    // Enabled even over a NullSink: the point is the checking.
+    const ENABLED: bool = true;
+
+    fn record(&mut self, event: &Event) {
+        self.checker.observe(event);
+        self.inner.record(event);
+    }
+
+    fn flush_events(&mut self) {
+        self.inner.flush_events();
+    }
+}
+
+/// Outcome of an offline [`check_lines`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Events checked (blank lines excluded).
+    pub events: u64,
+    /// All violations, including end-of-trace checks.
+    pub violations: Vec<Violation>,
+    /// The monitors that could run on this trace.
+    pub active: Vec<&'static str>,
+}
+
+impl CheckReport {
+    /// Whether the trace satisfied every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks a whole JSONL trace; blank lines are skipped but still counted
+/// for line numbering. `capacity` seeds the energy monitor for traces
+/// without a `fleet_provisioned` event.
+///
+/// # Errors
+///
+/// Returns `(1-based line number, parse error)` for the first malformed
+/// line — malformed input is a parse failure, not a violation.
+pub fn check_lines<'a, I>(lines: I, capacity: Option<u64>) -> Result<CheckReport, (usize, String)>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut checker = TraceChecker::new();
+    if let Some(w) = capacity {
+        checker.set_capacity(w);
+    }
+    for (i, line) in lines.into_iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = Event::from_json(line).map_err(|e| (i + 1, e))?;
+        checker.observe_at(i + 1, &ev);
+    }
+    checker.finish();
+    let active = checker.active_invariants();
+    Ok(CheckReport {
+        events: checker.events(),
+        violations: checker.violations().to_vec(),
+        active,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(t: u64, from: usize, to: usize, kind: MsgKind) -> Event {
+        Event::MsgSent {
+            t,
+            from,
+            to,
+            kind: Some(kind),
+        }
+    }
+
+    fn delivered(t: u64, from: usize, to: usize, delay: u64, kind: MsgKind) -> Event {
+        Event::MsgDelivered {
+            t,
+            from,
+            to,
+            delay,
+            kind: Some(kind),
+        }
+    }
+
+    /// A minimal legal trace: fleet of 3, one job served, one full
+    /// replacement search (0 queries 1, 1 claims, reply returns, 1 is
+    /// summoned and arrives).
+    fn valid_trace() -> Vec<Event> {
+        vec![
+            Event::FleetProvisioned {
+                t: 0,
+                vehicles: 3,
+                capacity: 10,
+            },
+            Event::JobArrived {
+                t: 1,
+                seq: 0,
+                pos: vec![0, 0],
+            },
+            Event::JobServed {
+                t: 1,
+                seq: 0,
+                vehicle: 0,
+                cost: 2,
+            },
+            Event::DiffusionStarted {
+                t: 1,
+                initiator: 0,
+                generation: 1,
+            },
+            sent(1, 0, 1, MsgKind::Query),
+            delivered(3, 0, 1, 2, MsgKind::Query),
+            sent(3, 1, 0, MsgKind::Reply),
+            delivered(5, 1, 0, 2, MsgKind::Reply),
+            Event::DiffusionCompleted {
+                t: 5,
+                initiator: 0,
+                generation: 1,
+                found: true,
+            },
+            sent(5, 0, 1, MsgKind::Move),
+            delivered(6, 0, 1, 1, MsgKind::Move),
+            Event::ReplacementCycle {
+                t: 6,
+                vehicle: 1,
+                dest: vec![0, 0],
+                dist: 2,
+            },
+        ]
+    }
+
+    fn check(events: &[Event]) -> CheckReport {
+        let lines: Vec<String> = events.iter().map(Event::to_json).collect();
+        check_lines(lines.iter().map(String::as_str), None).unwrap()
+    }
+
+    #[test]
+    fn valid_trace_is_clean() {
+        let report = check(&valid_trace());
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.events, 12);
+        assert_eq!(report.active, INVARIANTS.to_vec());
+    }
+
+    #[test]
+    fn online_check_sink_matches_offline() {
+        let mut sink = CheckSink::new(crate::sink::NullSink);
+        for ev in valid_trace() {
+            sink.record(&ev);
+        }
+        let (mut checker, _) = sink.into_parts();
+        checker.finish();
+        assert!(checker.is_clean(), "{:?}", checker.violations());
+        assert_eq!(checker.events(), 12);
+    }
+
+    #[test]
+    fn lamport_clocks_respect_causality() {
+        let mut checker = TraceChecker::new();
+        let mut clock_at_send = 0;
+        for ev in valid_trace() {
+            let meta = checker.observe(&ev);
+            if let Event::MsgSent { from: 0, .. } = ev {
+                clock_at_send = meta.unwrap().1;
+            }
+            if let Event::MsgDelivered { to, .. } = ev {
+                let (actor, clock) = meta.unwrap();
+                assert_eq!(actor, to);
+                assert!(clock > clock_at_send, "delivery must follow its send");
+            }
+        }
+        assert!(checker.lamport(0) > 0);
+        assert!(checker.lamport(2) == 0, "process 2 never acted");
+    }
+
+    #[test]
+    fn clock_regression_caught() {
+        let mut evs = valid_trace();
+        if let Event::ReplacementCycle { t, .. } = &mut evs[11] {
+            *t = 2; // before the completion at t=5
+        }
+        let report = check(&evs);
+        assert!(report.violations.iter().any(|v| v.invariant == "clock"));
+    }
+
+    #[test]
+    fn span_inversion_caught() {
+        let report = check(&[Event::PhaseSpan {
+            name: "x".into(),
+            start_ns: 10,
+            end_ns: 3,
+        }]);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant, "span");
+        assert_eq!(report.violations[0].line, 1);
+    }
+
+    #[test]
+    fn capacity_from_explicit_override() {
+        let events = [Event::JobServed {
+            t: 1,
+            seq: 0,
+            vehicle: 0,
+            cost: 50,
+        }];
+        let lines: Vec<String> = events.iter().map(Event::to_json).collect();
+        // Without W the monitor is idle; seq-never-arrived still fires.
+        let lax = check_lines(lines.iter().map(String::as_str), None).unwrap();
+        assert!(lax.violations.iter().all(|v| v.invariant != "capacity"));
+        assert!(!lax.active.contains(&"capacity"));
+        let strict = check_lines(lines.iter().map(String::as_str), Some(10)).unwrap();
+        assert!(strict.violations.iter().any(|v| v.invariant == "capacity"));
+    }
+
+    #[test]
+    fn kindless_traces_skip_deficit_monitor() {
+        // Same trace with the kind annotations stripped: the deficit
+        // monitor must stay idle rather than misfire.
+        let evs: Vec<Event> = valid_trace()
+            .into_iter()
+            .map(|ev| match ev {
+                Event::MsgSent { t, from, to, .. } => Event::MsgSent {
+                    t,
+                    from,
+                    to,
+                    kind: None,
+                },
+                Event::MsgDelivered {
+                    t, from, to, delay, ..
+                } => Event::MsgDelivered {
+                    t,
+                    from,
+                    to,
+                    delay,
+                    kind: None,
+                },
+                other => other,
+            })
+            .collect();
+        let report = check(&evs);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(!report.active.contains(&"ds-deficit"));
+    }
+}
+
+#[cfg(test)]
+mod profile {
+    use super::*;
+
+    // Poor-man's profiler: `cargo test -p cmvrp-obs --release -- --ignored
+    // profile_variants --nocapture` prints per-variant observe() costs.
+    #[test]
+    #[ignore]
+    fn profile_variants() {
+        let n = 200_000usize;
+        let mk = |f: &dyn Fn(u64) -> Event| (0..n as u64).map(f).collect::<Vec<_>>();
+        let streams: Vec<(&str, Vec<Event>)> = vec![
+            (
+                "msg_sent",
+                mk(&|i| Event::MsgSent {
+                    t: i,
+                    from: (i % 256) as usize,
+                    to: ((i + 1) % 256) as usize,
+                    kind: Some(MsgKind::Heartbeat),
+                }),
+            ),
+            (
+                "sent+delivered",
+                (0..n as u64)
+                    .flat_map(|i| {
+                        let (from, to) = ((i % 256) as usize, ((i + 1) % 256) as usize);
+                        [
+                            Event::MsgSent {
+                                t: 2 * i,
+                                from,
+                                to,
+                                kind: Some(MsgKind::Query),
+                            },
+                            Event::MsgDelivered {
+                                t: 2 * i + 1,
+                                from,
+                                to,
+                                delay: 1,
+                                kind: Some(MsgKind::Query),
+                            },
+                        ]
+                    })
+                    .collect(),
+            ),
+            (
+                "job_arrived",
+                mk(&|i| Event::JobArrived {
+                    t: i,
+                    seq: i,
+                    pos: vec![0, 0],
+                }),
+            ),
+        ];
+        for (name, evs) in &streams {
+            let t = std::time::Instant::now();
+            let mut c = TraceChecker::new();
+            for ev in evs {
+                std::hint::black_box(c.observe(ev));
+            }
+            let el = t.elapsed().as_nanos() as f64 / evs.len() as f64;
+            println!("{name}: {el:.1} ns/event ({} events)", evs.len());
+            assert!(
+                c.is_clean(),
+                "{:?}",
+                &c.violations()[..1.min(c.violations().len())]
+            );
+        }
+    }
+}

@@ -26,6 +26,48 @@ impl DropReason {
     }
 }
 
+/// Protocol-level classification of a message, annotated onto the
+/// `msg_sent`/`msg_delivered`/`msg_dropped` events when the network has a
+/// classifier installed (see `Network::set_msg_classifier` in `cmvrp-net`).
+///
+/// The invariant monitors in [`crate::check`] need this to tell
+/// Dijkstra–Scholten signal traffic (queries and their reply signals) apart
+/// from Phase II move orders and §3.2.5 heartbeats; traces without the
+/// annotation still parse, the kind-dependent monitors simply stay idle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// A Dijkstra–Scholten query (Phase I spread).
+    Query,
+    /// A Dijkstra–Scholten reply (Phase I signal).
+    Reply,
+    /// A Phase II move order relayed along child pointers.
+    Move,
+    /// A §3.2.5 "existing" heartbeat.
+    Heartbeat,
+}
+
+impl MsgKind {
+    /// The wire name used in the `"kind"` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MsgKind::Query => "query",
+            MsgKind::Reply => "reply",
+            MsgKind::Move => "move",
+            MsgKind::Heartbeat => "heartbeat",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "query" => Ok(MsgKind::Query),
+            "reply" => Ok(MsgKind::Reply),
+            "move" => Ok(MsgKind::Move),
+            "heartbeat" => Ok(MsgKind::Heartbeat),
+            other => Err(format!("unknown msg kind {other:?}")),
+        }
+    }
+}
+
 /// One observable occurrence in a simulator run.
 ///
 /// Positions are recorded as coordinate vectors so the event type stays
@@ -40,6 +82,8 @@ pub enum Event {
         from: usize,
         /// Recipient process.
         to: usize,
+        /// Protocol classification, when the network has a classifier.
+        kind: Option<MsgKind>,
     },
     /// A message was handed to its recipient.
     MsgDelivered {
@@ -51,6 +95,8 @@ pub enum Event {
         to: usize,
         /// Delivery time minus send time.
         delay: u64,
+        /// Protocol classification, when the network has a classifier.
+        kind: Option<MsgKind>,
     },
     /// A message will never arrive.
     MsgDropped {
@@ -62,6 +108,8 @@ pub enum Event {
         to: usize,
         /// Why it was lost.
         reason: DropReason,
+        /// Protocol classification, when the network has a classifier.
+        kind: Option<MsgKind>,
     },
     /// The driver released job number `seq` at `pos`.
     JobArrived {
@@ -111,6 +159,8 @@ pub enum Event {
         vehicle: usize,
         /// Where it now serves.
         dest: Vec<i64>,
+        /// Manhattan distance walked (energy charged for the relocation).
+        dist: u64,
     },
     /// A watcher's monitored peer went silent past the heartbeat timeout.
     HeartbeatMissed {
@@ -120,6 +170,26 @@ pub enum Event {
         watcher: usize,
         /// The silent peer.
         peer: usize,
+    },
+    /// The driver provisioned the fleet: one vehicle per grid vertex, each
+    /// with battery capacity `W`. Emitted once at simulation start so trace
+    /// consumers can run the energy-conservation monitor without being told
+    /// `W` out of band.
+    FleetProvisioned {
+        /// Provisioning time (simulation start, normally 0).
+        t: u64,
+        /// Fleet size (process ids are `0..vehicles`).
+        vehicles: u64,
+        /// Per-vehicle battery capacity `W`.
+        capacity: u64,
+    },
+    /// A process was crashed by failure injection; it must emit nothing and
+    /// receive nothing from this point on.
+    ProcessCrashed {
+        /// Crash time.
+        t: u64,
+        /// The crashed process.
+        proc: usize,
     },
     /// A named wall-clock span (phase timing), in nanoseconds since the
     /// process observability epoch ([`crate::now_ns`]).
@@ -131,6 +201,12 @@ pub enum Event {
         /// Span end.
         end_ns: u64,
     },
+}
+
+fn push_kind(out: &mut String, kind: &Option<MsgKind>) {
+    if let Some(k) = kind {
+        let _ = write!(out, ",\"kind\":\"{}\"", k.as_str());
+    }
 }
 
 fn push_pos(out: &mut String, key: &str, pos: &[i64]) {
@@ -157,6 +233,8 @@ impl Event {
             Event::DiffusionCompleted { .. } => "diffusion_completed",
             Event::ReplacementCycle { .. } => "replacement_cycle",
             Event::HeartbeatMissed { .. } => "heartbeat_missed",
+            Event::FleetProvisioned { .. } => "fleet_provisioned",
+            Event::ProcessCrashed { .. } => "process_crashed",
             Event::PhaseSpan { .. } => "phase_span",
         }
     }
@@ -166,26 +244,36 @@ impl Event {
         let mut s = String::with_capacity(64);
         let _ = write!(s, "{{\"ev\":\"{}\"", self.kind());
         match self {
-            Event::MsgSent { t, from, to } => {
+            Event::MsgSent { t, from, to, kind } => {
                 let _ = write!(s, ",\"t\":{t},\"from\":{from},\"to\":{to}");
+                push_kind(&mut s, kind);
             }
-            Event::MsgDelivered { t, from, to, delay } => {
+            Event::MsgDelivered {
+                t,
+                from,
+                to,
+                delay,
+                kind,
+            } => {
                 let _ = write!(
                     s,
                     ",\"t\":{t},\"from\":{from},\"to\":{to},\"delay\":{delay}"
                 );
+                push_kind(&mut s, kind);
             }
             Event::MsgDropped {
                 t,
                 from,
                 to,
                 reason,
+                kind,
             } => {
                 let _ = write!(
                     s,
                     ",\"t\":{t},\"from\":{from},\"to\":{to},\"reason\":\"{}\"",
                     reason.as_str()
                 );
+                push_kind(&mut s, kind);
             }
             Event::JobArrived { t, seq, pos } => {
                 let _ = write!(s, ",\"t\":{t},\"seq\":{seq}");
@@ -223,12 +311,31 @@ impl Event {
                     ",\"t\":{t},\"initiator\":{initiator},\"generation\":{generation},\"found\":{found}"
                 );
             }
-            Event::ReplacementCycle { t, vehicle, dest } => {
+            Event::ReplacementCycle {
+                t,
+                vehicle,
+                dest,
+                dist,
+            } => {
                 let _ = write!(s, ",\"t\":{t},\"vehicle\":{vehicle}");
                 push_pos(&mut s, "dest", dest);
+                let _ = write!(s, ",\"dist\":{dist}");
             }
             Event::HeartbeatMissed { t, watcher, peer } => {
                 let _ = write!(s, ",\"t\":{t},\"watcher\":{watcher},\"peer\":{peer}");
+            }
+            Event::FleetProvisioned {
+                t,
+                vehicles,
+                capacity,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"t\":{t},\"vehicles\":{vehicles},\"capacity\":{capacity}"
+                );
+            }
+            Event::ProcessCrashed { t, proc } => {
+                let _ = write!(s, ",\"t\":{t},\"proc\":{proc}");
             }
             Event::PhaseSpan {
                 name,
@@ -268,12 +375,14 @@ impl Event {
                 t: fields.get_u64("t")?,
                 from: fields.get_u64("from")? as usize,
                 to: fields.get_u64("to")? as usize,
+                kind: fields.get_kind_opt()?,
             },
             "msg_delivered" => Event::MsgDelivered {
                 t: fields.get_u64("t")?,
                 from: fields.get_u64("from")? as usize,
                 to: fields.get_u64("to")? as usize,
                 delay: fields.get_u64("delay")?,
+                kind: fields.get_kind_opt()?,
             },
             "msg_dropped" => Event::MsgDropped {
                 t: fields.get_u64("t")?,
@@ -284,6 +393,7 @@ impl Event {
                     "crashed" => DropReason::RecipientCrashed,
                     other => return Err(format!("unknown drop reason {other:?}")),
                 },
+                kind: fields.get_kind_opt()?,
             },
             "job_arrived" => Event::JobArrived {
                 t: fields.get_u64("t")?,
@@ -311,11 +421,22 @@ impl Event {
                 t: fields.get_u64("t")?,
                 vehicle: fields.get_u64("vehicle")? as usize,
                 dest: fields.get_arr("dest")?,
+                // `dist` joined the schema in v2; pre-v2 traces omit it.
+                dist: fields.get_u64_or("dist", 0)?,
             },
             "heartbeat_missed" => Event::HeartbeatMissed {
                 t: fields.get_u64("t")?,
                 watcher: fields.get_u64("watcher")? as usize,
                 peer: fields.get_u64("peer")? as usize,
+            },
+            "fleet_provisioned" => Event::FleetProvisioned {
+                t: fields.get_u64("t")?,
+                vehicles: fields.get_u64("vehicles")?,
+                capacity: fields.get_u64("capacity")?,
+            },
+            "process_crashed" => Event::ProcessCrashed {
+                t: fields.get_u64("t")?,
+                proc: fields.get_u64("proc")? as usize,
             },
             "phase_span" => Event::PhaseSpan {
                 name: fields.get_str("name")?.to_string(),
@@ -356,6 +477,25 @@ impl Fields {
         match self.get(key)? {
             Value::Num(n) if *n >= 0 && *n <= u64::MAX as i128 => Ok(*n as u64),
             other => Err(format!("field {key:?} is not a u64: {other:?}")),
+        }
+    }
+
+    /// Like [`Fields::get_u64`] but falls back to `default` when the field
+    /// is absent (still rejects present-but-malformed values).
+    fn get_u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        if self.entries.iter().any(|(k, _)| k == key) {
+            self.get_u64(key)
+        } else {
+            Ok(default)
+        }
+    }
+
+    /// The optional `"kind"` message classification.
+    fn get_kind_opt(&self) -> Result<Option<MsgKind>, String> {
+        if self.entries.iter().any(|(k, _)| k == "kind") {
+            MsgKind::parse(self.get_str("kind")?).map(Some)
+        } else {
+            Ok(None)
         }
     }
 
@@ -501,24 +641,41 @@ mod tests {
                 t: 3,
                 from: 1,
                 to: 2,
+                kind: None,
+            },
+            Event::MsgSent {
+                t: 3,
+                from: 1,
+                to: 2,
+                kind: Some(MsgKind::Query),
             },
             Event::MsgDelivered {
                 t: 5,
                 from: 1,
                 to: 2,
                 delay: 2,
+                kind: None,
+            },
+            Event::MsgDelivered {
+                t: 5,
+                from: 1,
+                to: 2,
+                delay: 2,
+                kind: Some(MsgKind::Reply),
             },
             Event::MsgDropped {
                 t: 5,
                 from: 0,
                 to: 9,
                 reason: DropReason::Lost,
+                kind: Some(MsgKind::Heartbeat),
             },
             Event::MsgDropped {
                 t: 6,
                 from: 0,
                 to: 9,
                 reason: DropReason::RecipientCrashed,
+                kind: None,
             },
             Event::JobArrived {
                 t: 9,
@@ -546,12 +703,19 @@ mod tests {
                 t: 15,
                 vehicle: 61,
                 dest: vec![5, 5],
+                dist: 3,
             },
             Event::HeartbeatMissed {
                 t: 20,
                 watcher: 3,
                 peer: 4,
             },
+            Event::FleetProvisioned {
+                t: 0,
+                vehicles: 144,
+                capacity: 40,
+            },
+            Event::ProcessCrashed { t: 7, proc: 11 },
             Event::PhaseSpan {
                 name: "alg1.coarsen".into(),
                 start_ns: 12,
@@ -598,7 +762,8 @@ mod tests {
             Event::MsgSent {
                 t: 1,
                 from: 2,
-                to: 3
+                to: 3,
+                kind: None,
             }
         );
     }
@@ -609,6 +774,29 @@ mod tests {
         assert!(Event::from_json("{\"ev\":\"wat\"}").is_err());
         assert!(Event::from_json("{\"ev\":\"msg_sent\",\"t\":1}").is_err()); // missing fields
         assert!(Event::from_json("{\"ev\":\"msg_sent\",\"t\":-1,\"from\":0,\"to\":0}").is_err());
+        // A present-but-unknown kind is malformed, not ignored.
+        assert!(Event::from_json(
+            "{\"ev\":\"msg_sent\",\"t\":1,\"from\":0,\"to\":1,\"kind\":\"telegram\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pre_v2_replacement_cycle_still_parses() {
+        // Traces recorded before `dist` joined the schema default it to 0.
+        let ev = Event::from_json(
+            "{\"ev\":\"replacement_cycle\",\"t\":15,\"vehicle\":61,\"dest\":[5,5]}",
+        )
+        .unwrap();
+        assert_eq!(
+            ev,
+            Event::ReplacementCycle {
+                t: 15,
+                vehicle: 61,
+                dest: vec![5, 5],
+                dist: 0,
+            }
+        );
     }
 
     #[test]

@@ -21,7 +21,13 @@
 //! - [`Span`] / [`now_ns`] — wall-clock phase timing for the offline
 //!   algorithms.
 //! - [`replay`] — rebuild a run's headline numbers from a trace alone
-//!   (`cmvrp replay`).
+//!   (`cmvrp replay`, `cmvrp trace stats`).
+//! - [`check`] — streaming invariant monitors ([`TraceChecker`],
+//!   [`CheckSink`]) that verify a run *obeyed the protocol*: energy ≤
+//!   capacity `W`, per-channel FIFO with delivered⇒sent causality,
+//!   Dijkstra–Scholten deficit counting, no activity after a crash,
+//!   replacement-cycle liveness. See the [`check`] module docs for the
+//!   full invariant catalog and the derived Lamport-clock semantics.
 //!
 //! ## JSONL schema
 //!
@@ -34,16 +40,26 @@
 //!
 //! | `ev` | fields | meaning |
 //! |---|---|---|
-//! | `msg_sent` | `t, from, to` | message accepted for delivery |
-//! | `msg_delivered` | `t, from, to, delay` | message handed to recipient; `delay = t - send time` |
-//! | `msg_dropped` | `t, from, to, reason` | message lost; `reason` is `"lost"` (fault injection) or `"crashed"` (recipient dead) |
+//! | `msg_sent` | `t, from, to[, kind]` | message accepted for delivery |
+//! | `msg_delivered` | `t, from, to, delay[, kind]` | message handed to recipient; `delay = t - send time` |
+//! | `msg_dropped` | `t, from, to, reason[, kind]` | message lost; `reason` is `"lost"` (fault injection) or `"crashed"` (recipient dead) |
 //! | `job_arrived` | `t, seq, pos` | driver released job `seq` at `pos` |
 //! | `job_served` | `t, seq, vehicle, cost` | job served; `cost` is the energy charged |
 //! | `diffusion_started` | `t, initiator, generation` | Dijkstra–Scholten replacement search began |
 //! | `diffusion_completed` | `t, initiator, generation, found` | search terminated at its initiator |
-//! | `replacement_cycle` | `t, vehicle, dest` | summoned vehicle arrived and activated at `dest` |
-//! | `heartbeat_missed` | `t, watcher, peer` | monitored peer went silent past the timeout |
+//! | `replacement_cycle` | `t, vehicle, dest, dist` | summoned vehicle arrived and activated at `dest`; `dist` is the Manhattan distance walked (energy charged) |
+//! | `heartbeat_missed` | `t, watcher, peer` | monitored peer went silent past the timeout (`t` is the watcher's tick-round clock, *not* simulation time) |
+//! | `fleet_provisioned` | `t, vehicles, capacity` | fleet size and per-vehicle battery capacity `W` at startup |
+//! | `process_crashed` | `t, proc` | process `proc` crashed (fault injection); silent afterwards |
 //! | `phase_span` | `name, start_ns, end_ns` | named wall-clock phase (e.g. `"alg1.coarsen"`) |
+//!
+//! The optional `kind` field, when the network has a message classifier,
+//! tags transport events with their protocol role: `"query"`, `"reply"`,
+//! `"move"`, or `"heartbeat"`. The Dijkstra–Scholten deficit monitor in
+//! [`check`] needs it and stays idle on unannotated traces. There is no
+//! Lamport-clock field in the trace: logical clocks are *derived* by
+//! [`TraceChecker`] from send/deliver causality (see the [`check`]
+//! module docs) and surfaced by `cmvrp trace timeline`.
 //!
 //! Example lines:
 //!
@@ -75,13 +91,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod check;
 pub mod event;
 pub mod metrics;
 pub mod replay;
 pub mod sink;
 pub mod span;
 
-pub use event::{DropReason, Event};
+pub use check::{check_lines, CheckReport, CheckSink, TraceChecker, Violation, INVARIANTS};
+pub use event::{DropReason, Event, MsgKind};
 pub use metrics::{Histogram, Metrics, DEFAULT_BUCKETS};
 pub use replay::{summarize, ReplaySummary};
 pub use sink::{JsonlSink, NullSink, RingSink, Sink};

@@ -324,6 +324,37 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: every quantile is 0 regardless of q.
+        let empty = Histogram::with_bounds(&[1, 2, 4]);
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+
+        // q = 0.0 needs zero observations, so the first bucket bound —
+        // even an empty one — already satisfies it.
+        let mut h = Histogram::with_bounds(&[1, 2, 4]);
+        h.observe(4);
+        assert_eq!(h.quantile(0.0), 1);
+        // q = 1.0 must cover every observation.
+        assert_eq!(h.quantile(1.0), 4);
+
+        // Single finite bucket: everything is either <= the bound or in
+        // the overflow bucket reported as u64::MAX.
+        let mut single = Histogram::with_bounds(&[10]);
+        single.observe(3);
+        assert_eq!(single.quantile(0.5), 10);
+        assert_eq!(single.quantile(1.0), 10);
+        single.observe(99);
+        assert_eq!(single.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = Histogram::with_bounds(&[1]).quantile(1.5);
+    }
+
+    #[test]
     #[should_panic(expected = "strictly increasing")]
     fn bad_bounds_rejected() {
         let _ = Histogram::with_bounds(&[2, 2]);
@@ -355,6 +386,16 @@ mod tests {
         assert_eq!(a.gauge("g"), Some(9));
         assert_eq!(a.histogram("h").unwrap().count(), 2);
         assert_eq!(a.histogram("only_b").unwrap().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds differ")]
+    fn absorb_rejects_mismatched_histogram_bounds() {
+        let mut a = Metrics::new();
+        a.observe_with("h", 1, &[1, 2, 4]);
+        let mut b = Metrics::new();
+        b.observe_with("h", 1, &[1, 2, 8]);
+        a.absorb(&b);
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub struct ReplaySummary {
     pub replacement_cycles: u64,
     /// `heartbeat_missed` events.
     pub heartbeat_misses: u64,
+    /// `process_crashed` events.
+    pub crashes: u64,
+    /// Fleet size from the last `fleet_provisioned` event, if any.
+    pub fleet_vehicles: Option<u64>,
+    /// Battery capacity `W` from the last `fleet_provisioned` event.
+    pub fleet_capacity: Option<u64>,
     /// Largest simulation time stamped on any event.
     pub last_t: u64,
     /// Delivery-delay histogram over `msg_delivered` events, if any.
@@ -80,8 +86,15 @@ impl ReplaySummary {
                 self.replacement_cycles.to_string(),
             ),
             ("heartbeat_misses".into(), self.heartbeat_misses.to_string()),
+            ("crashes".into(), self.crashes.to_string()),
             ("last_t".into(), self.last_t.to_string()),
         ];
+        if let Some(v) = self.fleet_vehicles {
+            rows.push(("fleet_vehicles".into(), v.to_string()));
+        }
+        if let Some(w) = self.fleet_capacity {
+            rows.push(("fleet_capacity".into(), w.to_string()));
+        }
         if let Some(h) = &self.delay_hist {
             rows.push(("msg_delay.mean".into(), format!("{:.2}", h.mean())));
             rows.push(("msg_delay.max".into(), h.max().to_string()));
@@ -142,6 +155,19 @@ impl ReplaySummary {
                 self.heartbeat_misses += 1;
                 self.last_t = self.last_t.max(*t);
             }
+            Event::FleetProvisioned {
+                t,
+                vehicles,
+                capacity,
+            } => {
+                self.fleet_vehicles = Some(*vehicles);
+                self.fleet_capacity = Some(*capacity);
+                self.last_t = self.last_t.max(*t);
+            }
+            Event::ProcessCrashed { t, .. } => {
+                self.crashes += 1;
+                self.last_t = self.last_t.max(*t);
+            }
             Event::PhaseSpan {
                 name,
                 start_ns,
@@ -181,6 +207,11 @@ mod tests {
 
     fn trace() -> Vec<Event> {
         vec![
+            Event::FleetProvisioned {
+                t: 0,
+                vehicles: 16,
+                capacity: 9,
+            },
             Event::JobArrived {
                 t: 1,
                 seq: 0,
@@ -190,23 +221,27 @@ mod tests {
                 t: 1,
                 from: 0,
                 to: 1,
+                kind: None,
             },
             Event::MsgDelivered {
                 t: 3,
                 from: 0,
                 to: 1,
                 delay: 2,
+                kind: None,
             },
             Event::MsgSent {
                 t: 3,
                 from: 1,
                 to: 0,
+                kind: None,
             },
             Event::MsgDropped {
                 t: 4,
                 from: 1,
                 to: 0,
                 reason: DropReason::Lost,
+                kind: None,
             },
             Event::JobArrived {
                 t: 5,
@@ -234,7 +269,9 @@ mod tests {
                 t: 12,
                 vehicle: 8,
                 dest: vec![2, 2],
+                dist: 4,
             },
+            Event::ProcessCrashed { t: 13, proc: 3 },
             Event::HeartbeatMissed {
                 t: 14,
                 watcher: 2,
@@ -257,7 +294,7 @@ mod tests {
     fn summarize_reconstructs_counts() {
         let lines: Vec<String> = trace().iter().map(Event::to_json).collect();
         let s = summarize(lines.iter().map(String::as_str)).unwrap();
-        assert_eq!(s.events, 13);
+        assert_eq!(s.events, 15);
         assert_eq!(s.msgs_sent, 2);
         assert_eq!(s.msgs_delivered, 1);
         assert_eq!(s.msgs_lost, 1);
@@ -271,6 +308,9 @@ mod tests {
         assert_eq!(s.diffusions_found, 1);
         assert_eq!(s.replacement_cycles, 1);
         assert_eq!(s.heartbeat_misses, 1);
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.fleet_vehicles, Some(16));
+        assert_eq!(s.fleet_capacity, Some(9));
         assert_eq!(s.last_t, 14);
         assert_eq!(s.delay_hist.as_ref().unwrap().count(), 1);
         assert_eq!(s.span_ns.get("solve"), Some(&300));
@@ -282,12 +322,21 @@ mod tests {
             t: 0,
             from: 0,
             to: 1,
+            kind: None,
         }
         .to_json();
         let s = summarize(vec![good.as_str(), "", "  "]).unwrap();
         assert_eq!(s.events, 1);
         let err = summarize(vec![good.as_str(), "", "nope"]).unwrap_err();
         assert_eq!(err.0, 3);
+    }
+
+    #[test]
+    fn malformed_first_line_is_line_one() {
+        // Line numbers are 1-based everywhere: the very first line must be
+        // reported as line 1, not 0.
+        let err = summarize(vec!["not json"]).unwrap_err();
+        assert_eq!(err.0, 1);
     }
 
     #[test]

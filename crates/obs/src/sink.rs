@@ -45,7 +45,7 @@ impl Sink for NullSink {
 ///
 /// let mut ring = RingSink::new(2);
 /// for t in 0..3 {
-///     ring.record(&Event::MsgSent { t, from: 0, to: 1 });
+///     ring.record(&Event::MsgSent { t, from: 0, to: 1, kind: None });
 /// }
 /// assert_eq!(ring.len(), 2);
 /// assert_eq!(ring.overwritten(), 1);
@@ -202,7 +202,12 @@ mod tests {
     use super::*;
 
     fn ev(t: u64) -> Event {
-        Event::MsgSent { t, from: 0, to: 1 }
+        Event::MsgSent {
+            t,
+            from: 0,
+            to: 1,
+            kind: None,
+        }
     }
 
     #[test]

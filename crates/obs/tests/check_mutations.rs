@@ -1,0 +1,200 @@
+//! Mutation tests for the invariant monitors: each test takes a trace that
+//! `trace check` accepts, applies one targeted corruption, and asserts the
+//! checker rejects it **naming the right invariant and the right line**.
+//! A monitor that accepts its own mutation is a dead monitor — these tests
+//! are what keeps the catalog in `cmvrp_obs::check` honest.
+//!
+//! Two fixture sources:
+//! * a hand-built 20-line trace (`base()`) where every line number is
+//!   known exactly, and
+//! * the committed golden trace under `tests/data/`, mutated textually,
+//!   so the end-to-end JSONL schema stays covered too.
+
+use cmvrp_obs::{check_lines, CheckReport};
+
+/// A minimal clean trace exercising every monitor: a served job, one full
+/// Dijkstra–Scholten search (2 queries, 2 replies, zero deficit at
+/// completion), the replacement arrival it summons, and a heartbeat pair
+/// on one channel (the FIFO reorder target).
+fn base() -> Vec<String> {
+    [
+        r#"{"ev":"fleet_provisioned","t":0,"vehicles":4,"capacity":10}"#, // 1
+        r#"{"ev":"job_arrived","t":0,"seq":0,"pos":[1,1]}"#,              // 2
+        r#"{"ev":"job_served","t":0,"seq":0,"vehicle":1,"cost":2}"#,      // 3
+        r#"{"ev":"diffusion_started","t":1,"initiator":1,"generation":0}"#, // 4
+        r#"{"ev":"msg_sent","t":1,"from":1,"to":2,"kind":"query"}"#,      // 5
+        r#"{"ev":"msg_sent","t":1,"from":1,"to":3,"kind":"query"}"#,      // 6
+        r#"{"ev":"msg_delivered","t":2,"from":1,"to":2,"delay":1,"kind":"query"}"#, // 7
+        r#"{"ev":"msg_sent","t":2,"from":2,"to":1,"kind":"reply"}"#,      // 8
+        r#"{"ev":"msg_delivered","t":3,"from":1,"to":3,"delay":2,"kind":"query"}"#, // 9
+        r#"{"ev":"msg_sent","t":3,"from":3,"to":1,"kind":"reply"}"#,      // 10
+        r#"{"ev":"msg_delivered","t":4,"from":2,"to":1,"delay":2,"kind":"reply"}"#, // 11
+        r#"{"ev":"msg_delivered","t":5,"from":3,"to":1,"delay":2,"kind":"reply"}"#, // 12
+        r#"{"ev":"diffusion_completed","t":5,"initiator":1,"generation":0,"found":true}"#, // 13
+        r#"{"ev":"replacement_cycle","t":6,"vehicle":3,"dest":[1,1],"dist":3}"#, // 14
+        r#"{"ev":"msg_sent","t":6,"from":0,"to":2,"kind":"heartbeat"}"#,  // 15
+        r#"{"ev":"msg_sent","t":7,"from":0,"to":2,"kind":"heartbeat"}"#,  // 16
+        r#"{"ev":"msg_delivered","t":8,"from":0,"to":2,"delay":2,"kind":"heartbeat"}"#, // 17
+        r#"{"ev":"msg_delivered","t":9,"from":0,"to":2,"delay":2,"kind":"heartbeat"}"#, // 18
+        r#"{"ev":"job_arrived","t":9,"seq":1,"pos":[1,1]}"#,              // 19
+        r#"{"ev":"job_served","t":9,"seq":1,"vehicle":3,"cost":2}"#,      // 20
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
+}
+
+fn check(lines: &[String]) -> CheckReport {
+    check_lines(lines.iter().map(String::as_str), None).expect("trace must parse")
+}
+
+/// Asserts the report rejects the trace with a violation of `invariant`
+/// anchored at 1-based `line`.
+#[track_caller]
+fn assert_rejects(report: &CheckReport, invariant: &str, line: usize) {
+    assert!(
+        !report.is_clean(),
+        "mutation was accepted: expected [{invariant}] at line {line}"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == invariant && v.line == line),
+        "expected [{invariant}] at line {line}, got: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn base_trace_is_clean() {
+    let report = check(&base());
+    assert!(report.is_clean(), "{:#?}", report.violations);
+    assert_eq!(report.events, 20);
+    // Every monitor could run: kinds are annotated and capacity is known.
+    assert_eq!(report.active, cmvrp_obs::INVARIANTS.to_vec());
+}
+
+/// Reordering a FIFO pair: the two heartbeat deliveries on channel 0->2
+/// come back swapped. The first delivery then matches the older send and
+/// its delay no longer adds up.
+#[test]
+fn fifo_pair_reorder_rejected() {
+    let mut t = base();
+    t.swap(16, 17); // 1-based lines 17 and 18
+    assert_rejects(&check(&t), "channel-fifo", 17);
+}
+
+/// Dropping a reply signal: the second reply delivery to the initiator
+/// vanishes, so the computation completes with deficit 1.
+#[test]
+fn dropped_signal_return_rejected() {
+    let mut t = base();
+    t[11] = String::new(); // blank 1-based line 12 (line numbering is kept)
+    assert_rejects(&check(&t), "ds-deficit", 13);
+}
+
+/// Overspending the battery: the replacement vehicle's second job is
+/// re-priced so its lifetime energy (3 relocation + 9 service) exceeds
+/// the provisioned capacity of 10.
+#[test]
+fn battery_overspend_rejected() {
+    let mut t = base();
+    t[19] = t[19].replace("\"cost\":2", "\"cost\":9");
+    assert_rejects(&check(&t), "capacity", 20);
+}
+
+/// Delivering to a crashed process: process 2 crashes in place of the
+/// second heartbeat send, yet a delivery to it still follows.
+#[test]
+fn delivery_to_crashed_process_rejected() {
+    let mut t = base();
+    t[15] = r#"{"ev":"process_crashed","t":7,"proc":2}"#.to_string();
+    assert_rejects(&check(&t), "crash-silence", 17);
+}
+
+/// Simulation time running backwards.
+#[test]
+fn clock_regression_rejected() {
+    let mut t = base();
+    t[18] = t[18].replace("\"t\":9", "\"t\":3");
+    assert_rejects(&check(&t), "clock", 19);
+}
+
+/// Serving the same job twice.
+#[test]
+fn double_serve_rejected() {
+    let mut t = base();
+    t[19] = t[19].replace("\"seq\":1", "\"seq\":0");
+    assert_rejects(&check(&t), "job-ledger", 20);
+}
+
+/// A replacement arrival whose search never succeeded.
+#[test]
+fn replacement_without_successful_search_rejected() {
+    let mut t = base();
+    t[12] = t[12].replace("\"found\":true", "\"found\":false");
+    assert_rejects(&check(&t), "replacement-liveness", 14);
+}
+
+/// A phase span that ends before it starts.
+#[test]
+fn inverted_span_rejected() {
+    let mut t = base();
+    t.push(r#"{"ev":"phase_span","name":"route","start_ns":10,"end_ns":5}"#.to_string());
+    assert_rejects(&check(&t), "span", 21);
+}
+
+// ---- golden-trace mutations (end-to-end over the committed fixture) ----
+
+fn golden() -> Vec<String> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/golden_point.jsonl"
+    );
+    std::fs::read_to_string(path)
+        .expect("golden trace missing; regenerate with scripts/check.sh")
+        .lines()
+        .map(String::from)
+        .collect()
+}
+
+#[test]
+fn golden_trace_is_clean() {
+    let t = golden();
+    let report = check(&t);
+    assert!(report.is_clean(), "{:#?}", report.violations);
+    assert_eq!(report.events as usize, t.len());
+    assert_eq!(report.active, cmvrp_obs::INVARIANTS.to_vec());
+}
+
+/// Swapping the first send with the first delivery puts a delivery on the
+/// wire before anything was sent on that channel.
+#[test]
+fn golden_send_delivery_swap_rejected() {
+    let mut t = golden();
+    let i = t
+        .iter()
+        .position(|l| l.contains("\"ev\":\"msg_sent\""))
+        .unwrap();
+    let j = t
+        .iter()
+        .position(|l| l.contains("\"ev\":\"msg_delivered\""))
+        .unwrap();
+    assert!(i < j);
+    t.swap(i, j);
+    assert_rejects(&check(&t), "channel-fifo", i + 1);
+}
+
+/// Re-pricing one real job far beyond the provisioned capacity.
+#[test]
+fn golden_overspend_rejected() {
+    let mut t = golden();
+    let i = t
+        .iter()
+        .position(|l| l.contains("\"ev\":\"job_served\""))
+        .unwrap();
+    t[i] = t[i].replace("\"cost\":1", "\"cost\":99999");
+    assert_ne!(t[i], golden()[i], "mutation must change the line");
+    assert_rejects(&check(&t), "capacity", i + 1);
+}

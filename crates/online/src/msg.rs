@@ -2,6 +2,7 @@
 
 use cmvrp_grid::Point;
 use cmvrp_net::diffuse::{ComputationId, DiffuseMsg};
+use cmvrp_obs::MsgKind;
 
 /// Messages exchanged by vehicles.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,6 +21,21 @@ pub enum OnlineMsg<const D: usize> {
     Existing,
 }
 
+impl<const D: usize> OnlineMsg<D> {
+    /// Protocol classification for trace annotation
+    /// ([`cmvrp_net::Network::set_msg_classifier`]): Phase I queries and
+    /// replies keep their Dijkstra–Scholten roles, move orders are
+    /// `Move`, and §3.2.5 "existing" heartbeats are `Heartbeat`.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            OnlineMsg::Diffuse(DiffuseMsg::Query { .. }) => MsgKind::Query,
+            OnlineMsg::Diffuse(DiffuseMsg::Reply { .. }) => MsgKind::Reply,
+            OnlineMsg::Move { .. } => MsgKind::Move,
+            OnlineMsg::Existing => MsgKind::Heartbeat,
+        }
+    }
+}
+
 impl<const D: usize> From<DiffuseMsg> for OnlineMsg<D> {
     fn from(m: DiffuseMsg) -> Self {
         OnlineMsg::Diffuse(m)
@@ -31,6 +47,25 @@ mod tests {
     use super::*;
     use cmvrp_grid::pt2;
     use cmvrp_net::diffuse::ComputationId;
+
+    #[test]
+    fn kinds_cover_all_variants() {
+        use cmvrp_obs::MsgKind;
+        let init = ComputationId {
+            initiator: 0,
+            generation: 0,
+        };
+        let q: OnlineMsg<2> = DiffuseMsg::Query { init }.into();
+        let r: OnlineMsg<2> = DiffuseMsg::Reply { found: true, init }.into();
+        assert_eq!(q.kind(), MsgKind::Query);
+        assert_eq!(r.kind(), MsgKind::Reply);
+        let mv: OnlineMsg<2> = OnlineMsg::Move {
+            dest: pt2(0, 0),
+            init,
+        };
+        assert_eq!(mv.kind(), MsgKind::Move);
+        assert_eq!(OnlineMsg::<2>::Existing.kind(), MsgKind::Heartbeat);
+    }
 
     #[test]
     fn from_diffuse() {

@@ -94,6 +94,9 @@ pub struct OnlineSim<const D: usize, S: Sink = NullSink> {
     failed_replacements: u64,
     /// Jobs handed to the driver so far (trace sequence numbers).
     job_seq: u64,
+    /// Reusable arrival event so the per-job `pos` buffer is allocated
+    /// once, not per arrival (the sink hot path sees one per job).
+    arrival_scratch: Event,
 }
 
 impl<const D: usize> OnlineSim<D> {
@@ -150,7 +153,7 @@ impl<const D: usize, S: Sink> OnlineSim<D, S> {
             }
             pairings.insert(cube_id, pairing);
         }
-        let net = Network::with_sink(
+        let mut net = Network::with_sink(
             vehicles,
             NetConfig {
                 seed: config.seed,
@@ -158,6 +161,15 @@ impl<const D: usize, S: Sink> OnlineSim<D, S> {
             },
             sink,
         );
+        if S::ENABLED {
+            net.set_msg_classifier(OnlineMsg::<D>::kind);
+            let t = net.now();
+            net.sink_mut().record(&cmvrp_obs::Event::FleetProvisioned {
+                t,
+                vehicles: bounds.volume(),
+                capacity,
+            });
+        }
         let mut sim = OnlineSim {
             net,
             bounds,
@@ -173,6 +185,11 @@ impl<const D: usize, S: Sink> OnlineSim<D, S> {
             replacements: 0,
             failed_replacements: 0,
             job_seq: 0,
+            arrival_scratch: Event::JobArrived {
+                t: 0,
+                seq: 0,
+                pos: Vec::with_capacity(D),
+            },
         };
         for cube_id in sim.part.cubes().collect::<Vec<_>>() {
             sim.recompute_neighbors(cube_id);
@@ -248,12 +265,14 @@ impl<const D: usize, S: Sink> OnlineSim<D, S> {
         let seq = self.job_seq;
         self.job_seq += 1;
         if S::ENABLED {
-            let ev = Event::JobArrived {
-                t: self.net.now(),
-                seq,
-                pos: job.coords().to_vec(),
-            };
-            self.net.sink_mut().record(&ev);
+            let now = self.net.now();
+            if let Event::JobArrived { t, seq: s, pos } = &mut self.arrival_scratch {
+                *t = now;
+                *s = seq;
+                pos.clear();
+                pos.extend_from_slice(&job.coords());
+            }
+            self.net.sink_mut().record(&self.arrival_scratch);
         }
         seq
     }

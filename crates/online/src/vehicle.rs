@@ -370,6 +370,7 @@ impl<const D: usize> Vehicle<D> {
                     t: ctx.now(),
                     vehicle: self.id,
                     dest: dest.coords().to_vec(),
+                    dist,
                 });
             }
             return;

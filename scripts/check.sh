@@ -29,4 +29,11 @@ cargo build --release --offline --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+echo "==> trace check (golden trace)"
+# End-to-end invariant sweep through the release CLI: the committed golden
+# trace must satisfy every monitor, and a fresh run with --check must agree
+# with itself online.
+./target/release/cmvrp trace check tests/data/golden_point.jsonl
+./target/release/cmvrp simulate point:grid=6,demand=200 --seed=3 --check >/dev/null
+
 echo "==> all checks passed"
