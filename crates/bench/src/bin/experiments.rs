@@ -17,7 +17,7 @@ fn main() {
             "e4" => Some(e4(&[1, 2, 3])),
             "e5" => Some(e5(&default_workloads())),
             "e6" => Some(e6(&[10, 11, 12, 13, 14])),
-            "e7" => Some(e7(&default_workloads())),
+            "e7" => Some(e7(&e7_workloads())),
             "e8" => Some(e8()),
             "e9" => Some(e9(&[2, 4, 8, 16])),
             "e10" => Some(e10()),

@@ -47,6 +47,27 @@ pub struct Measurement {
     pub min_ns: f64,
     /// Standard deviation of the per-sample means, in nanoseconds.
     pub stddev_ns: f64,
+    /// Work items (events, jobs, …) processed by one iteration; `0` when
+    /// the bench has no natural item count. Declared via
+    /// [`Harness::bench_with_items`].
+    pub items_per_iter: u64,
+}
+
+impl Measurement {
+    /// Items per second at the fastest sample (`None` when the bench
+    /// declared no item count).
+    pub fn items_per_sec(&self) -> Option<f64> {
+        (self.items_per_iter > 0).then(|| self.items_per_iter as f64 / (self.min_ns / 1e9))
+    }
+}
+
+/// Peak resident set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`). `None` on platforms without procfs — callers
+/// should report "n/a" rather than fail.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// Formats a nanosecond quantity with a human unit.
@@ -120,7 +141,15 @@ impl Harness {
 
     /// Runs one bench. The closure is the body of a single iteration; wrap
     /// results in `std::hint::black_box` inside it.
-    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+    pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) {
+        self.bench_with_items(name, 0, f);
+    }
+
+    /// Runs one bench whose iteration processes `items_per_iter` work
+    /// items (events, jobs, …); the report derives an items-per-second
+    /// throughput from the fastest sample. `items_per_iter == 0` means
+    /// "no natural item count" and reports wall-clock only.
+    pub fn bench_with_items<F: FnMut()>(&mut self, name: &str, items_per_iter: u64, mut f: F) {
         if !self.selected(name) {
             return;
         }
@@ -170,6 +199,7 @@ impl Harness {
             mean_ns: mean,
             min_ns: min,
             stddev_ns: var.sqrt(),
+            items_per_iter,
         });
     }
 
@@ -186,7 +216,10 @@ impl Harness {
 
     /// Renders the group's measurements as a JSON document (hand-rolled,
     /// like the rest of the workspace): `group`, free-form string `notes`,
-    /// and one object per bench with the [`Measurement`] fields.
+    /// the process peak RSS, and one object per bench with the
+    /// [`Measurement`] fields (plus a derived `items_per_sec` throughput
+    /// for benches that declared an item count). The schema is
+    /// append-only: existing fields keep their names and meanings.
     pub fn snapshot_json(&self, notes: &[(&str, String)]) -> String {
         fn esc(s: &str) -> String {
             let mut out = String::with_capacity(s.len());
@@ -214,20 +247,32 @@ impl Harness {
         if !notes.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("},\n  \"benches\": [");
+        out.push_str("},\n");
+        match peak_rss_kb() {
+            Some(kb) => out.push_str(&format!("  \"peak_rss_kb\": {kb},\n")),
+            None => out.push_str("  \"peak_rss_kb\": null,\n"),
+        }
+        out.push_str("  \"benches\": [");
         for (i, m) in self.results.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
                 "\n    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
-                 \"stddev_ns\": {:.1}, \"iters_per_sample\": {}}}",
+                 \"stddev_ns\": {:.1}, \"iters_per_sample\": {}",
                 esc(&m.name),
                 m.mean_ns,
                 m.min_ns,
                 m.stddev_ns,
                 m.iters_per_sample
             ));
+            if let Some(rate) = m.items_per_sec() {
+                out.push_str(&format!(
+                    ", \"items_per_iter\": {}, \"items_per_sec\": {rate:.0}",
+                    m.items_per_iter
+                ));
+            }
+            out.push('}');
         }
         if !self.results.is_empty() {
             out.push_str("\n  ");
@@ -254,23 +299,33 @@ impl Harness {
         std::fs::write(path, self.snapshot_json(notes))
     }
 
-    /// Prints the group's results as a table.
+    /// Prints the group's results as a table, with an items-per-second
+    /// column for benches that declared an item count and the process
+    /// peak RSS underneath.
     pub fn finish(self) {
         if self.quick {
             return;
         }
-        let mut table = Table::new(vec!["bench", "mean", "min", "stddev", "iters/sample"]);
+        let mut table = Table::new(vec!["bench", "mean", "min", "stddev", "items/s", "iters"]);
         for m in &self.results {
             table.row(vec![
                 m.name.clone(),
                 fmt_ns(m.mean_ns),
                 fmt_ns(m.min_ns),
                 fmt_ns(m.stddev_ns),
+                match m.items_per_sec() {
+                    Some(rate) => format!("{rate:.0}"),
+                    None => "-".to_string(),
+                },
                 m.iters_per_sample.to_string(),
             ]);
         }
         println!("group: {}", self.group);
         println!("{table}");
+        match peak_rss_kb() {
+            Some(kb) => println!("peak rss: {:.1} MiB", kb as f64 / 1024.0),
+            None => println!("peak rss: n/a"),
+        }
     }
 }
 
@@ -334,6 +389,47 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         h.write_snapshot(&path, &[]).unwrap();
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn items_per_sec_derived_from_fastest_sample() {
+        let mut h = Harness::with_args("g", &[]);
+        h.set_samples(2);
+        h.bench_with_items("sum/1000", 1000, || {
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        });
+        let m = &h.results()[0];
+        assert_eq!(m.items_per_iter, 1000);
+        let rate = m.items_per_sec().unwrap();
+        assert!(rate > 0.0);
+        assert!((rate - 1000.0 / (m.min_ns / 1e9)).abs() < 1.0);
+        // The plain bench() path records no item count.
+        h.bench("plain", || {
+            std::hint::black_box(1u64);
+        });
+        assert_eq!(h.results()[1].items_per_iter, 0);
+        assert!(h.results()[1].items_per_sec().is_none());
+    }
+
+    #[test]
+    fn snapshot_includes_throughput_and_rss() {
+        let mut h = Harness::with_args("g", &[]);
+        h.set_samples(2);
+        h.bench_with_items("a", 50, || {
+            std::hint::black_box((0..50u64).sum::<u64>());
+        });
+        let json = h.snapshot_json(&[]);
+        assert!(json.contains("\"items_per_iter\": 50"));
+        assert!(json.contains("\"items_per_sec\": "));
+        assert!(json.contains("\"peak_rss_kb\": "));
+    }
+
+    #[test]
+    fn peak_rss_reads_procfs_on_linux() {
+        if cfg!(target_os = "linux") {
+            let kb = peak_rss_kb().expect("VmHWM available on Linux");
+            assert!(kb > 0);
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use cmvrp_core::examples::{
 use cmvrp_core::{
     approx_woff, offline_factor, omega_c, omega_star, online_factor, plan_offline, verify_plan,
 };
+use cmvrp_engine::{Engine, Sequential, Sharded};
 use cmvrp_ext::broken::gap_instance;
 use cmvrp_ext::transfer::{
     line_collector, max_energy_into_square, max_energy_into_square_series, transfer_lower_bound_w,
@@ -24,7 +25,7 @@ use cmvrp_ext::transfer::{
 use cmvrp_flow::alpha_h::{alpha_to_h, h_mass, h_to_alpha, is_laminar};
 use cmvrp_flow::{min_uniform_supply, transport_feasible};
 use cmvrp_grid::{pt2, DemandMap, GridBounds};
-use cmvrp_online::{OnlineConfig, OnlineSim};
+use cmvrp_online::{OnlineConfig, OnlineSim, DENSE_VOLUME_LIMIT};
 use cmvrp_util::table::fmt_f64;
 use cmvrp_util::{Ratio, Table};
 use cmvrp_workloads::{arrivals, spatial, Ordering, WorkloadConfig};
@@ -289,11 +290,15 @@ pub fn e6(seeds: &[u64]) -> ExperimentOutput {
 /// E7 (Thm 1.4.2): the on-line protocol serves everything within the
 /// theorem capacity; the empirical max energy over vehicles is `Θ(ω_c)`.
 /// Every run streams through the invariant monitors (`simulate --check`
-/// semantics), so the table also certifies protocol legality.
+/// semantics), so the table also certifies protocol legality. Grids within
+/// the dense engine's volume limit run on the sequential engine; larger
+/// grids (the million-vehicle row) run on the sparse sharded engine — both
+/// behind the common [`Engine`] trait, feeding the identical checker.
 pub fn e7(configs: &[WorkloadConfig]) -> ExperimentOutput {
     use cmvrp_obs::{CheckSink, NullSink};
     let mut table = Table::new(vec![
         "workload",
+        "engine",
         "omega_c",
         "capacity",
         "max used",
@@ -309,14 +314,16 @@ pub fn e7(configs: &[WorkloadConfig]) -> ExperimentOutput {
     for cfg in configs {
         let (bounds, demand) = cfg.generate();
         let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
-        let mut sim = OnlineSim::with_sink(
-            bounds,
-            &jobs,
-            OnlineConfig::default(),
-            CheckSink::new(NullSink),
-        );
-        let report = sim.run();
-        let (mut checker, _) = sim.into_sink().into_parts();
+        let sink = CheckSink::new(NullSink);
+        let sharded = bounds.volume() > DENSE_VOLUME_LIMIT;
+        let exec = if sharded {
+            Sharded { threads: 8 }.run(bounds, &jobs, OnlineConfig::default(), sink)
+        } else {
+            Sequential.run(bounds, &jobs, OnlineConfig::default(), sink)
+        }
+        .expect("engine run");
+        let report = exec.report;
+        let (mut checker, _) = exec.sink.into_parts();
         checker.finish();
         let clean = checker.violations().is_empty();
         let wc = report.omega_c.to_f64().max(1.0);
@@ -326,6 +333,7 @@ pub fn e7(configs: &[WorkloadConfig]) -> ExperimentOutput {
         ok &= within && clean;
         table.row(vec![
             cfg.label(),
+            if sharded { "sharded:8" } else { "dense" }.to_string(),
             format!("{wc:.2}"),
             report.capacity.to_string(),
             report.max_energy_used.to_string(),
@@ -931,6 +939,19 @@ pub fn default_workloads() -> Vec<WorkloadConfig> {
     ]
 }
 
+/// The E7 panel: the shared small-grid workloads plus the million-vehicle
+/// point source (1024×1024 ≈ 1.05M vehicles, 2000 jobs at one vertex),
+/// which exercises the sparse sharded engine end to end under the
+/// invariant monitors.
+pub fn e7_workloads() -> Vec<WorkloadConfig> {
+    let mut configs = default_workloads();
+    configs.push(WorkloadConfig::Point {
+        grid: 1024,
+        demand: 2000,
+    });
+    configs
+}
+
 /// Runs every experiment at its default (paper-scale) parameters.
 pub fn run_all() -> Vec<ExperimentOutput> {
     vec![
@@ -940,7 +961,7 @@ pub fn run_all() -> Vec<ExperimentOutput> {
         e4(&[1, 2, 3]),
         e5(&default_workloads()),
         e6(&[10, 11, 12, 13, 14]),
-        e7(&default_workloads()),
+        e7(&e7_workloads()),
         e8(),
         e9(&[2, 4, 8, 16]),
         e10(),

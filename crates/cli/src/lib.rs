@@ -22,8 +22,9 @@
 //! dependencies); [`run`] is the testable entry point.
 
 use cmvrp_core::Instance;
+use cmvrp_engine::{Engine, Sequential, Sharded};
 use cmvrp_obs::{JsonlSink, Metrics, Sink};
-use cmvrp_online::{OnlineConfig, OnlineReport, OnlineSim};
+use cmvrp_online::{OnlineConfig, OnlineReport};
 use cmvrp_workloads::{arrivals, JobSequence, Ordering, WorkloadConfig};
 use std::fmt::Write as _;
 
@@ -66,6 +67,9 @@ fn usage() -> String {
      SIMULATE OPTIONS:\n\
        --seed=S        message-delay seed (default 1)\n\
        --capacity=W    override the Lemma 3.3.1 provisioning\n\
+       --threads=N     sparse sharded parallel engine on up to N workers;\n\
+                       required above the dense engine's grid-volume limit,\n\
+                       traces are byte-identical for every N\n\
        --monitored     enable the §3.2.5 heartbeat ring\n\
        --trace-jsonl P write every event as JSON lines to path P\n\
        --metrics       print the always-on metrics registry\n\
@@ -237,18 +241,24 @@ fn cmd_solve(spec: &str) -> Result<String, UsageError> {
 }
 
 /// One simulate run on a fixed sink type; returns the report, the metrics
-/// snapshot (when requested), and the flushed sink.
+/// snapshot (when requested), and the flushed sink. `threads: None` selects
+/// the dense sequential engine, `Some(n)` the sparse sharded engine on up
+/// to `n` worker threads — both behind the common [`Engine`] trait, with
+/// identical event-stream semantics.
 fn run_simulation<S: Sink>(
     bounds: cmvrp_grid::GridBounds<2>,
     jobs: &JobSequence<2>,
     online: OnlineConfig,
     sink: S,
     want_metrics: bool,
-) -> (OnlineReport, Option<Metrics>, S) {
-    let mut sim = OnlineSim::with_sink(bounds, jobs, online, sink);
-    let report = sim.run();
-    let metrics = want_metrics.then(|| sim.metrics());
-    (report, metrics, sim.into_sink())
+    threads: Option<usize>,
+) -> Result<(OnlineReport, Option<Metrics>, S), UsageError> {
+    let exec = match threads {
+        None => Sequential.run(bounds, jobs, online, sink),
+        Some(n) => Sharded { threads: n }.run(bounds, jobs, online, sink),
+    }
+    .map_err(|e| UsageError(e.to_string()))?;
+    Ok((exec.report, want_metrics.then_some(exec.metrics), exec.sink))
 }
 
 fn render_report(out: &mut String, cfg: &WorkloadConfig, report: &OnlineReport) {
@@ -325,10 +335,19 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
     let mut want_metrics = false;
     let mut check = false;
     let mut trace: Option<String> = None;
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < opts.len() {
         let opt = &opts[i];
-        if let Some(v) = opt.strip_prefix("--seed=") {
+        if let Some(v) = opt.strip_prefix("--threads=") {
+            let n: usize = v
+                .parse()
+                .map_err(|_| UsageError(format!("bad thread count {v:?}")))?;
+            if n == 0 {
+                return Err(UsageError("--threads must be at least 1".into()));
+            }
+            threads = Some(n);
+        } else if let Some(v) = opt.strip_prefix("--seed=") {
             online.seed = v
                 .parse()
                 .map_err(|_| UsageError(format!("bad seed {v:?}")))?;
@@ -364,7 +383,8 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
             let inner = JsonlSink::create(path)
                 .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
             let sink = cmvrp_obs::CheckSink::new(inner);
-            let (report, metrics, sink) = run_simulation(bounds, &jobs, online, sink, want_metrics);
+            let (report, metrics, sink) =
+                run_simulation(bounds, &jobs, online, sink, want_metrics, threads)?;
             let (mut checker, inner) = sink.into_parts();
             checker.finish();
             let events = inner
@@ -377,7 +397,8 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
         (Some(path), false) => {
             let sink = JsonlSink::create(path)
                 .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
-            let (report, metrics, sink) = run_simulation(bounds, &jobs, online, sink, want_metrics);
+            let (report, metrics, sink) =
+                run_simulation(bounds, &jobs, online, sink, want_metrics, threads)?;
             let events = sink
                 .finish()
                 .map_err(|e| UsageError(format!("trace write to {path:?} failed: {e}")))?;
@@ -386,15 +407,22 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
         }
         (None, true) => {
             let sink = cmvrp_obs::CheckSink::new(cmvrp_obs::NullSink);
-            let (report, metrics, sink) = run_simulation(bounds, &jobs, online, sink, want_metrics);
+            let (report, metrics, sink) =
+                run_simulation(bounds, &jobs, online, sink, want_metrics, threads)?;
             let (mut checker, _) = sink.into_parts();
             checker.finish();
             out.push_str(&check_verdict(&checker, "event")?);
             (report, metrics)
         }
         (None, false) => {
-            let (report, metrics, _) =
-                run_simulation(bounds, &jobs, online, cmvrp_obs::NullSink, want_metrics);
+            let (report, metrics, _) = run_simulation(
+                bounds,
+                &jobs,
+                online,
+                cmvrp_obs::NullSink,
+                want_metrics,
+                threads,
+            )?;
             (report, metrics)
         }
     };
@@ -719,6 +747,48 @@ mod tests {
         assert!(out.contains("metrics:"));
         assert!(out.contains("net.msgs_delivered"));
         assert!(out.contains("online.vehicle_energy.count"));
+    }
+
+    #[test]
+    fn simulate_threads_traces_are_byte_identical() {
+        let mut traces = Vec::new();
+        for threads in [1, 8] {
+            let path = std::env::temp_dir().join(format!("cmvrp_cli_threads_{threads}.jsonl"));
+            let out = run(&[
+                "simulate".into(),
+                "point:grid=12,demand=250".into(),
+                format!("--threads={threads}"),
+                "--check".into(),
+                format!("--trace-jsonl={}", path.display()),
+            ])
+            .unwrap();
+            assert!(out.contains("all invariants hold"), "{out}");
+            assert!(out.contains("served: 250/250"), "{out}");
+            traces.push(std::fs::read(&path).unwrap());
+            let _ = std::fs::remove_file(&path);
+        }
+        assert_eq!(traces[0], traces[1]);
+    }
+
+    #[test]
+    fn simulate_threads_rejects_monitored_and_zero() {
+        let err = run(&argv(
+            "simulate point:grid=8,demand=40 --threads=2 --monitored",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("monitored"), "{err}");
+        assert!(run(&argv("simulate point:grid=8,demand=40 --threads=0")).is_err());
+    }
+
+    #[test]
+    fn simulate_dense_limit_points_at_sharded_engine() {
+        // 1024² exceeds the dense engine's volume limit; the error should
+        // steer the user to --threads, and the sharded engine should then
+        // handle the same workload.
+        let err = run(&argv("simulate point:grid=1024,demand=50")).unwrap_err();
+        assert!(err.0.contains("--threads"), "{err}");
+        let out = run(&argv("simulate point:grid=1024,demand=50 --threads=4")).unwrap();
+        assert!(out.contains("served: 50/50"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! `cmvrp-engine` — a spatially sharded, deterministic, parallel execution
+//! engine for the CMVRP on-line protocol (Gao 2008, Chapter 3).
+//!
+//! The dense sequential driver in `cmvrp-online` allocates one process per
+//! grid vertex, which caps it at modest grids. This crate scales the same
+//! protocol to million-vehicle grids with three ingredients:
+//!
+//! - **Spatial sharding** ([`shard`]): the grid is partitioned into
+//!   contiguous, cube-aligned shards. Because the protocol's communication
+//!   is confined to `⌈ω⌉`-cubes, cube-aligned shards exchange no protocol
+//!   messages at all.
+//! - **Conservative lockstep rounds** ([`rounds`]): the network's minimum
+//!   message delay of one tick is the classical conservative-PDES
+//!   lookahead. Shards advance in barrier-synchronized rounds whose time
+//!   bands are disjoint and ascending, so results are independent of the
+//!   worker count.
+//! - **Sparse vehicle state** ([`online`]): vehicles materialize lazily,
+//!   cube by cube, the first time demand lands nearby. An idle vehicle at
+//!   home with a full battery is implicit — memory is proportional to
+//!   *active* vehicles, not grid volume.
+//!
+//! The observability stack is the determinism oracle: per-shard event
+//! streams merge into a canonical total order keyed by `(time, shard,
+//! sequence)`, and the merged JSONL trace is byte-identical for 1, 2, and
+//! 8 workers while satisfying every `TraceChecker` monitor.
+//!
+//! Everything here is hermetic: `std::thread` plus channels-by-hand
+//! (barriers and mutexed mailboxes), zero external dependencies.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod online;
+pub mod rounds;
+pub mod shard;
+
+pub use online::ShardedOnlineSim;
+pub use rounds::{run_lockstep, RoundOutcome, RoundStats, ShardWorker};
+pub use shard::{ShardMap, MAX_SHARDS};
+
+use cmvrp_grid::GridBounds;
+use cmvrp_obs::{Metrics, Sink, VecSink};
+use cmvrp_online::{DenseLimitError, OnlineConfig, OnlineReport, OnlineSim};
+use cmvrp_workloads::JobSequence;
+
+/// Why an engine refused to run a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The sharded engine does not model heartbeat monitoring: watchers
+    /// use local tick clocks that the lockstep rounds cannot reproduce
+    /// deterministically. Run monitored simulations on the sequential
+    /// engine.
+    MonitoredUnsupported,
+    /// The dense sequential engine refused the grid as too large; the
+    /// inner error names the volume and the limit.
+    Dense(DenseLimitError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::MonitoredUnsupported => write!(
+                f,
+                "the sharded engine does not support monitored mode \
+                 (heartbeat watchers need a per-tick global clock); drop \
+                 --monitored or use the sequential engine"
+            ),
+            EngineError::Dense(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DenseLimitError> for EngineError {
+    fn from(e: DenseLimitError) -> Self {
+        EngineError::Dense(e)
+    }
+}
+
+/// The outcome of an [`Engine`] run: the Theorem 1.4.2 accounting, a
+/// snapshot of the always-on metrics registries, and the (flushed) sink.
+#[derive(Debug)]
+pub struct Execution<S> {
+    /// The on-line report (served/unserved, energy, replacements, …).
+    pub report: OnlineReport,
+    /// Always-on metrics: the `net.*` transport registry plus the
+    /// `online.*` fleet counters and energy distribution.
+    pub metrics: Metrics,
+    /// The sink the event stream was recorded into.
+    pub sink: S,
+}
+
+/// A strategy for executing the on-line protocol over a job sequence.
+///
+/// Both implementations produce the same [`Execution`] shape and feed the
+/// same event stream schema to `sink`, so callers (CLI, benchmarks,
+/// experiment drivers) select an engine without caring how it executes.
+pub trait Engine<const D: usize> {
+    /// Runs the protocol on `jobs` over `bounds`, recording events into
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] when the engine cannot run this
+    /// configuration (grid too large for the dense engine, monitored mode
+    /// on the sharded engine).
+    fn run<S: Sink>(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: S,
+    ) -> Result<Execution<S>, EngineError>;
+}
+
+/// The dense sequential engine: one process per grid vertex, exact event
+/// interleaving, supports monitored mode. Refuses grids above
+/// [`cmvrp_online::DENSE_VOLUME_LIMIT`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sequential;
+
+impl<const D: usize> Engine<D> for Sequential {
+    fn run<S: Sink>(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: S,
+    ) -> Result<Execution<S>, EngineError> {
+        let mut sim = OnlineSim::try_with_sink(bounds, jobs, config, sink)?;
+        let report = sim.run();
+        let metrics = sim.metrics();
+        Ok(Execution {
+            report,
+            metrics,
+            sink: sim.into_sink(),
+        })
+    }
+}
+
+/// The sharded parallel engine: sparse state, conservative lockstep
+/// rounds on up to `threads` OS threads, canonical trace merge. The
+/// report and the merged trace are identical for every thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct Sharded {
+    /// Upper bound on worker threads (clamped to the shard count; `1`
+    /// runs the same rounds inline).
+    pub threads: usize,
+}
+
+impl<const D: usize> Engine<D> for Sharded {
+    fn run<S: Sink>(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        mut sink: S,
+    ) -> Result<Execution<S>, EngineError> {
+        if S::ENABLED {
+            let mut sim = ShardedOnlineSim::<D, VecSink>::new(bounds, jobs, config)?;
+            let report = sim.run(self.threads);
+            let metrics = sim.metrics();
+            sim.drain_merged(&mut sink);
+            Ok(Execution {
+                report,
+                metrics,
+                sink,
+            })
+        } else {
+            let mut sim = ShardedOnlineSim::<D>::new(bounds, jobs, config)?;
+            let report = sim.run(self.threads);
+            let metrics = sim.metrics();
+            Ok(Execution {
+                report,
+                metrics,
+                sink,
+            })
+        }
+    }
+}

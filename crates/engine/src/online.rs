@@ -1,0 +1,587 @@
+//! The sharded on-line simulation: sparse per-shard drivers for the
+//! Chapter 3 protocol, plus the canonical trace merge.
+//!
+//! Each shard owns a private [`Network`] holding only the vehicles of
+//! *materialized* cubes — a cube materializes the first time a job lands
+//! in it, so an idle vehicle at home with a full battery costs nothing
+//! until its neighborhood sees demand. All protocol traffic is intra-cube
+//! (neighbor lists never cross cube walls) and shards are unions of whole
+//! cubes, so the on-line protocol produces **zero** cross-shard mail; the
+//! generic mail path of [`crate::rounds`] still runs underneath and is
+//! exercised by its own tests.
+//!
+//! ## Time, sequence numbers, and the merge
+//!
+//! Round `r` starts at a global epoch `E_r` strictly greater than every
+//! shard's clock after round `r-1`, so rounds occupy disjoint ascending
+//! time bands. Each shard releases at most one job per round (its `r`-th),
+//! records its arrival at `t = E_r`, and runs to local quiescence. Job
+//! sequence numbers are pre-assigned in `(round, shard)` lexicographic
+//! order — exactly the order arrivals appear when the per-shard streams
+//! are merged by the canonical key `(t, shard, index)` — so the job-ledger
+//! monitor sees `seq` 0, 1, 2, … like it does on a sequential trace.
+//! Because shard-local execution and the merge key are both independent
+//! of the worker count, the merged stream is byte-identical for any
+//! `--threads` value.
+
+use crate::rounds::{run_lockstep, RoundOutcome, RoundStats, ShardWorker};
+use crate::shard::ShardMap;
+use crate::EngineError;
+use cmvrp_grid::{pairing_in_cube, CubeId, CubePartition, GridBounds, Pairing, Point};
+use cmvrp_net::{NetConfig, Network, ProcessId};
+use cmvrp_obs::{Event, Histogram, Metrics, NullSink, Sink, VecSink, DEFAULT_BUCKETS};
+use cmvrp_online::vehicle::{ServeResult, Vehicle};
+use cmvrp_online::{provision, OnlineConfig, OnlineMsg, OnlineReport, Provisioning};
+use cmvrp_workloads::JobSequence;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Mixes the run seed with a shard id so shards draw independent delay
+/// streams while staying a pure function of `(seed, shard)`.
+fn shard_seed(seed: u64, shard: usize) -> u64 {
+    seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// One shard's slice of the on-line simulation: a sparse mirror of
+/// `OnlineSim` restricted to the cubes this shard owns.
+#[derive(Debug)]
+struct ShardSim<const D: usize, SS: Sink> {
+    net: Network<Vehicle<D>, OnlineMsg<D>, SS>,
+    bounds: GridBounds<D>,
+    part: CubePartition<D>,
+    comm_radius: u64,
+    capacity: u64,
+    /// Local process id → global vehicle id (lexicographic vertex index).
+    global_ids: Vec<usize>,
+    id_of_home: HashMap<Point<D>, ProcessId>,
+    pairings: HashMap<CubeId<D>, Pairing<D>>,
+    pair_active: HashMap<(CubeId<D>, usize), ProcessId>,
+    /// This shard's jobs with pre-assigned global sequence numbers; entry
+    /// `r` is released in round `r`.
+    jobs: Vec<(u64, Point<D>)>,
+    released: usize,
+    served: u64,
+    unserved: u64,
+    replacements: u64,
+    failed_replacements: u64,
+    arrival_scratch: Event,
+}
+
+impl<const D: usize, SS: Sink + Default> ShardSim<D, SS> {
+    fn new(
+        shard: usize,
+        bounds: GridBounds<D>,
+        part: CubePartition<D>,
+        config: &OnlineConfig,
+        capacity: u64,
+        jobs: Vec<(u64, Point<D>)>,
+    ) -> Self {
+        let mut net = Network::with_sink(
+            Vec::new(),
+            NetConfig {
+                seed: shard_seed(config.seed, shard),
+                ..NetConfig::default()
+            },
+            SS::default(),
+        );
+        if SS::ENABLED {
+            net.set_msg_classifier(OnlineMsg::<D>::kind);
+        }
+        ShardSim {
+            net,
+            bounds,
+            part,
+            comm_radius: config.comm_radius,
+            capacity,
+            global_ids: Vec::new(),
+            id_of_home: HashMap::new(),
+            pairings: HashMap::new(),
+            pair_active: HashMap::new(),
+            jobs,
+            released: 0,
+            served: 0,
+            unserved: 0,
+            replacements: 0,
+            failed_replacements: 0,
+            arrival_scratch: Event::JobArrived {
+                t: 0,
+                seq: 0,
+                pos: Vec::with_capacity(D),
+            },
+        }
+    }
+
+    /// Materializes a cube on first demand: adds one vehicle per vertex
+    /// (ids in lexicographic vertex order, matching the dense engine's
+    /// numbering within the cube), pairs it, activates primaries, and
+    /// wires neighbor lists.
+    fn ensure_cube(&mut self, cube_id: CubeId<D>) {
+        if self.pairings.contains_key(&cube_id) {
+            return;
+        }
+        let cube = self.part.cube_bounds(cube_id);
+        for home in cube.iter() {
+            let lid = self.net.add_process(Vehicle::new(
+                self.global_ids.len(),
+                home,
+                false,
+                self.capacity,
+            ));
+            debug_assert_eq!(lid, self.global_ids.len());
+            self.global_ids.push(self.bounds.index_of(home) as usize);
+            self.id_of_home.insert(home, lid);
+        }
+        let pairing = pairing_in_cube(&cube);
+        for (idx, (primary, _)) in pairing.pairs().iter().enumerate() {
+            let lid = self.id_of_home[primary];
+            *self.net.process_mut(lid) = Vehicle::new(lid, *primary, true, self.capacity);
+            self.pair_active.insert((cube_id, idx), lid);
+        }
+        self.pairings.insert(cube_id, pairing);
+        self.recompute_neighbors(cube_id);
+    }
+
+    /// Physical layer: recompute neighbor lists for all vehicles currently
+    /// inside `cube` (mirrors the dense driver, over local processes only).
+    fn recompute_neighbors(&mut self, cube: CubeId<D>) {
+        let members: Vec<(ProcessId, Point<D>)> = (0..self.net.len())
+            .filter(|&id| !self.net.is_crashed(id))
+            .map(|id| (id, self.net.process(id).pos()))
+            .filter(|(_, pos)| self.part.cube_of(*pos) == cube)
+            .collect();
+        for &(id, pos) in &members {
+            let neighbors: Vec<ProcessId> = members
+                .iter()
+                .filter(|(other, opos)| *other != id && pos.manhattan(*opos) <= self.comm_radius)
+                .map(|(other, _)| *other)
+                .collect();
+            self.net.process_mut(id).set_neighbors(neighbors);
+        }
+    }
+
+    /// Driver bookkeeping after quiescence: absorb completed relocations
+    /// and failed searches.
+    fn absorb_events(&mut self) {
+        let mut moved: Vec<(ProcessId, Point<D>)> = Vec::new();
+        for id in 0..self.net.len() {
+            if let Some(dest) = self.net.process_mut(id).take_arrival() {
+                moved.push((id, dest));
+            }
+            if self.net.process_mut(id).take_failed_search() {
+                self.failed_replacements += 1;
+            }
+        }
+        for (id, dest) in moved {
+            self.replacements += 1;
+            let cube = self.part.cube_of(dest);
+            let pairing = &self.pairings[&cube];
+            let pair = pairing
+                .pair_of(dest)
+                .expect("relocation destination must be a paired vertex");
+            self.pair_active.insert((cube, pair), id);
+            self.recompute_neighbors(cube);
+        }
+    }
+
+    /// Delivers one job and lets the shard quiesce; mirrors the dense
+    /// driver's two-attempt recovery loop (unmonitored mode).
+    fn deliver(&mut self, seq: u64, job: Point<D>) -> bool {
+        let cube = self.part.cube_of(job);
+        let pair = self.pairings[&cube].pair_of(job).expect("job on grid");
+        let mut served = false;
+        for attempt in 0..2 {
+            let vid = match self.pair_active.get(&(cube, pair)) {
+                Some(&vid) => vid,
+                None => break,
+            };
+            if !self.net.is_crashed(vid) {
+                let cost = self.net.process(vid).pos().manhattan(job) + 1;
+                let result = self.net.trigger(vid, |v, ctx| v.serve(ctx, job));
+                if result == ServeResult::Served {
+                    if SS::ENABLED {
+                        let ev = Event::JobServed {
+                            t: self.net.now(),
+                            seq,
+                            vehicle: vid,
+                            cost,
+                        };
+                        self.net.sink_mut().record(&ev);
+                    }
+                    served = true;
+                    self.net.run_to_quiescence();
+                    self.absorb_events();
+                    break;
+                }
+            }
+            self.net.run_to_quiescence();
+            self.absorb_events();
+            if attempt == 1 {
+                break;
+            }
+        }
+        served
+    }
+}
+
+impl<const D: usize, SS: Sink + Default + Send> ShardWorker for ShardSim<D, SS> {
+    /// The on-line protocol is cube-confined, so shards never mail each
+    /// other; the unit type documents (and the type system enforces) that
+    /// this instantiation uses only the epoch side of the rounds layer.
+    type Mail = ();
+
+    fn round(&mut self, epoch: u64, _inbox: Vec<()>) -> RoundOutcome<()> {
+        self.net.advance_to(epoch);
+        if self.released < self.jobs.len() {
+            let (seq, job) = self.jobs[self.released];
+            self.released += 1;
+            let cube = self.part.cube_of(job);
+            self.ensure_cube(cube);
+            if SS::ENABLED {
+                let now = self.net.now();
+                if let Event::JobArrived { t, seq: s, pos } = &mut self.arrival_scratch {
+                    *t = now;
+                    *s = seq;
+                    pos.clear();
+                    pos.extend_from_slice(&job.coords());
+                }
+                let ev = self.arrival_scratch.clone();
+                self.net.sink_mut().record(&ev);
+            }
+            if self.deliver(seq, job) {
+                self.served += 1;
+            } else {
+                self.unserved += 1;
+            }
+        }
+        RoundOutcome {
+            outbox: Vec::new(),
+            now: self.net.now(),
+            idle: self.released == self.jobs.len(),
+        }
+    }
+}
+
+impl<const D: usize> ShardSim<D, VecSink> {
+    /// Drains the shard's event buffer, rewriting local process ids to
+    /// global (lexicographic vertex index) ids.
+    fn drain_remapped(&mut self) -> Vec<Event> {
+        let mut events = self.net.sink_mut().drain();
+        for ev in &mut events {
+            match ev {
+                Event::MsgSent { from, to, .. }
+                | Event::MsgDelivered { from, to, .. }
+                | Event::MsgDropped { from, to, .. } => {
+                    *from = self.global_ids[*from];
+                    *to = self.global_ids[*to];
+                }
+                Event::JobServed { vehicle, .. } | Event::ReplacementCycle { vehicle, .. } => {
+                    *vehicle = self.global_ids[*vehicle];
+                }
+                Event::DiffusionStarted { initiator, .. }
+                | Event::DiffusionCompleted { initiator, .. } => {
+                    *initiator = self.global_ids[*initiator];
+                }
+                Event::HeartbeatMissed { watcher, peer, .. } => {
+                    *watcher = self.global_ids[*watcher];
+                    *peer = self.global_ids[*peer];
+                }
+                Event::ProcessCrashed { proc, .. } => {
+                    *proc = self.global_ids[*proc];
+                }
+                Event::JobArrived { .. }
+                | Event::FleetProvisioned { .. }
+                | Event::PhaseSpan { .. } => {}
+            }
+        }
+        events
+    }
+}
+
+/// The simulation time of an event (0 for wall-clock-only spans, which the
+/// engine never emits).
+fn event_time(ev: &Event) -> u64 {
+    match ev {
+        Event::MsgSent { t, .. }
+        | Event::MsgDelivered { t, .. }
+        | Event::MsgDropped { t, .. }
+        | Event::JobArrived { t, .. }
+        | Event::JobServed { t, .. }
+        | Event::DiffusionStarted { t, .. }
+        | Event::DiffusionCompleted { t, .. }
+        | Event::ReplacementCycle { t, .. }
+        | Event::HeartbeatMissed { t, .. }
+        | Event::FleetProvisioned { t, .. }
+        | Event::ProcessCrashed { t, .. } => *t,
+        Event::PhaseSpan { .. } => 0,
+    }
+}
+
+/// The sharded, sparse, deterministic parallel on-line simulator.
+///
+/// Construction partitions the grid into cube-aligned shards
+/// ([`ShardMap`]) and splits the job sequence among them; [`run`] executes
+/// conservative lockstep rounds on up to `threads` OS threads. With
+/// `SS = VecSink`, [`drain_merged`] afterwards produces the canonical
+/// merged trace — byte-identical for every thread count.
+///
+/// [`run`]: ShardedOnlineSim::run
+/// [`drain_merged`]: ShardedOnlineSim::drain_merged
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_engine::ShardedOnlineSim;
+/// use cmvrp_grid::GridBounds;
+/// use cmvrp_online::OnlineConfig;
+/// use cmvrp_workloads::{arrivals, spatial, Ordering};
+///
+/// let bounds = GridBounds::square(12);
+/// let demand = spatial::point(&bounds, 100);
+/// let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
+/// let mut sim =
+///     ShardedOnlineSim::<2>::new(bounds, &jobs, OnlineConfig::default()).unwrap();
+/// let report = sim.run(4);
+/// assert_eq!(report.unserved, 0);
+/// ```
+#[derive(Debug)]
+pub struct ShardedOnlineSim<const D: usize, SS: Sink + Default = NullSink> {
+    shards: Vec<ShardSim<D, SS>>,
+    bounds: GridBounds<D>,
+    prov: Provisioning,
+    stats: Option<RoundStats>,
+}
+
+impl<const D: usize, SS: Sink + Default + Send> ShardedOnlineSim<D, SS> {
+    /// Builds the sharded simulation: derives the provisioning exactly as
+    /// the dense engine does ([`provision`]), lays out cube-aligned shards,
+    /// splits the job sequence by shard, and pre-assigns trace sequence
+    /// numbers in `(round, shard)` order. No vehicles are materialized yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::MonitoredUnsupported`] when
+    /// `config.monitored` is set: heartbeat monitoring uses watcher-local
+    /// tick clocks that the lockstep rounds do not model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job lies outside `bounds`.
+    pub fn new(
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+    ) -> Result<Self, EngineError> {
+        if config.monitored {
+            return Err(EngineError::MonitoredUnsupported);
+        }
+        for job in jobs.iter() {
+            assert!(bounds.contains(job), "job at {job} outside bounds");
+        }
+        let demand = jobs.to_demand();
+        let prov = provision(&bounds, &demand, &config);
+        let map = ShardMap::new(bounds, prov.side);
+        let mut per_shard: Vec<Vec<Point<D>>> = vec![Vec::new(); map.shard_count()];
+        for job in jobs.iter() {
+            per_shard[map.shard_of_point(job)].push(job);
+        }
+        // Sequence numbers in (round, shard) order — the order arrivals
+        // appear in the canonical merge.
+        let mut shard_jobs: Vec<Vec<(u64, Point<D>)>> = per_shard
+            .iter()
+            .map(|jobs| Vec::with_capacity(jobs.len()))
+            .collect();
+        let rounds = per_shard.iter().map(Vec::len).max().unwrap_or(0);
+        let mut seq = 0u64;
+        for round in 0..rounds {
+            for (shard, jobs) in per_shard.iter().enumerate() {
+                if let Some(&job) = jobs.get(round) {
+                    shard_jobs[shard].push((seq, job));
+                    seq += 1;
+                }
+            }
+        }
+        let part = *map.partition();
+        let shards = shard_jobs
+            .into_iter()
+            .enumerate()
+            .map(|(shard, jobs)| ShardSim::new(shard, bounds, part, &config, prov.capacity, jobs))
+            .collect();
+        Ok(ShardedOnlineSim {
+            shards,
+            bounds,
+            prov,
+            stats: None,
+        })
+    }
+
+    /// Replays the job sequence in conservative lockstep rounds on up to
+    /// `threads` OS threads and reports the Theorem 1.4.2 accounting. The
+    /// result — and, with a tracing sink, the merged trace — is identical
+    /// for every `threads ≥ 1`.
+    pub fn run(&mut self, threads: usize) -> OnlineReport {
+        let workers = std::mem::take(&mut self.shards);
+        let (workers, stats) = run_lockstep(workers, threads);
+        self.shards = workers;
+        self.stats = Some(stats);
+        self.report()
+    }
+
+    /// The Theorem 1.4.2 accounting aggregated across shards.
+    fn report(&self) -> OnlineReport {
+        let mut served = 0u64;
+        let mut unserved = 0u64;
+        let mut replacements = 0u64;
+        let mut failed_replacements = 0u64;
+        let mut messages = 0u64;
+        let mut diffusions = 0u64;
+        let mut heartbeat_misses = 0u64;
+        let mut max_energy_used = 0u64;
+        let mut max_queue_depth = 0u64;
+        let mut delay_count = 0u64;
+        let mut delay_sum = 0u128;
+        let mut max_msg_delay = 0u64;
+        for shard in &self.shards {
+            served += shard.served;
+            unserved += shard.unserved;
+            replacements += shard.replacements;
+            failed_replacements += shard.failed_replacements;
+            messages += shard.net.total_delivered();
+            max_queue_depth = max_queue_depth.max(shard.net.queue_depth_max() as u64);
+            let delay = shard.net.delay_histogram();
+            delay_count += delay.count();
+            delay_sum += delay.sum();
+            max_msg_delay = max_msg_delay.max(delay.max());
+            for id in 0..shard.net.len() {
+                let v = shard.net.process(id);
+                max_energy_used = max_energy_used.max(v.energy_used());
+                let (started, _, _, misses) = v.obs_counts();
+                diffusions += started;
+                heartbeat_misses += misses;
+            }
+        }
+        OnlineReport {
+            served,
+            unserved,
+            capacity: self.prov.capacity,
+            max_energy_used,
+            replacements,
+            failed_replacements,
+            messages,
+            mean_msg_delay: if delay_count == 0 {
+                0.0
+            } else {
+                delay_sum as f64 / delay_count as f64
+            },
+            max_msg_delay,
+            max_queue_depth,
+            diffusions,
+            heartbeat_misses,
+            omega_c: self.prov.omega,
+            cube_side: self.prov.side,
+        }
+    }
+
+    /// The derived provisioning (side, `ω_c`, capacity) — identical to the
+    /// dense engine's for the same inputs.
+    pub fn provisioning(&self) -> Provisioning {
+        self.prov
+    }
+
+    /// Number of shards in the layout (a function of the grid and cube
+    /// side only — never of the worker count).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lockstep rounds executed, when [`run`](ShardedOnlineSim::run) has
+    /// completed.
+    pub fn round_stats(&self) -> Option<RoundStats> {
+        self.stats
+    }
+
+    /// Vehicles actually materialized across all shards — the sparse
+    /// engine's memory footprint is proportional to this, not to
+    /// `bounds.volume()`.
+    pub fn materialized_vehicles(&self) -> u64 {
+        self.shards.iter().map(|s| s.net.len() as u64).sum()
+    }
+
+    /// Snapshot of the always-on metrics, aggregated across shards: the
+    /// merged `net.*` transport registry plus the fleet-level `online.*`
+    /// counters and the per-vehicle energy distribution (same namespaces
+    /// as the dense engine's `OnlineSim::metrics`).
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        let mut energy = Histogram::with_bounds(&DEFAULT_BUCKETS);
+        let (mut ds, mut dc, mut df, mut hm) = (0u64, 0u64, 0u64, 0u64);
+        let mut jobs_arrived = 0u64;
+        for shard in &self.shards {
+            m.absorb(&shard.net.metrics());
+            jobs_arrived += shard.released as u64;
+            for id in 0..shard.net.len() {
+                let v = shard.net.process(id);
+                if v.energy_used() > 0 {
+                    energy.observe(v.energy_used());
+                }
+                let (s, c, f, h) = v.obs_counts();
+                ds += s;
+                dc += c;
+                df += f;
+                hm += h;
+            }
+        }
+        m.set_histogram("online.vehicle_energy", energy);
+        m.add("online.diffusions_started", ds);
+        m.add("online.diffusions_completed", dc);
+        m.add("online.diffusions_found", df);
+        m.add("online.heartbeat_misses", hm);
+        m.add("online.jobs_arrived", jobs_arrived);
+        m.add(
+            "online.replacements",
+            self.shards.iter().map(|s| s.replacements).sum(),
+        );
+        m.add(
+            "online.failed_replacements",
+            self.shards.iter().map(|s| s.failed_replacements).sum(),
+        );
+        m
+    }
+}
+
+impl<const D: usize> ShardedOnlineSim<D, VecSink> {
+    /// Drains the per-shard event streams into `sink` in the canonical
+    /// total order: a single `fleet_provisioned` header at `t = 0`, then a
+    /// stable k-way merge of the (id-remapped) shard streams keyed by
+    /// `(t, shard, index)`. Per-shard times are nondecreasing, so the
+    /// merged clock is too; per-channel FIFO and Dijkstra–Scholten
+    /// deficits are shard-local and survive any interleave that preserves
+    /// per-shard order — which this one does by construction.
+    pub fn drain_merged<S: Sink>(&mut self, sink: &mut S) {
+        sink.record(&Event::FleetProvisioned {
+            t: 0,
+            vehicles: self.bounds.volume(),
+            capacity: self.prov.capacity,
+        });
+        let streams: Vec<Vec<Event>> = self
+            .shards
+            .iter_mut()
+            .map(|shard| shard.drain_remapped())
+            .collect();
+        let mut cursors = vec![0usize; streams.len()];
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (shard, stream) in streams.iter().enumerate() {
+            if let Some(first) = stream.first() {
+                heap.push(Reverse((event_time(first), shard)));
+            }
+        }
+        while let Some(Reverse((_, shard))) = heap.pop() {
+            let ev = &streams[shard][cursors[shard]];
+            sink.record(ev);
+            cursors[shard] += 1;
+            if let Some(next) = streams[shard].get(cursors[shard]) {
+                heap.push(Reverse((event_time(next), shard)));
+            }
+        }
+        sink.flush_events();
+    }
+}

@@ -1,0 +1,126 @@
+//! Deterministic spatial shard layout.
+//!
+//! Shards are contiguous runs of cube *columns* along axis 0, so every
+//! `⌈ω⌉`-cube — and therefore every communication neighborhood of the
+//! on-line protocol, which is confined to its cube — lies entirely inside
+//! one shard. The layout is a pure function of the grid and cube side:
+//! worker count never changes which shard owns a vertex, which is what
+//! makes the merged trace identical for 1, 2, and 8 workers.
+
+use cmvrp_grid::{CubeId, CubePartition, GridBounds, Point};
+
+/// Upper bound on the number of shards, independent of worker count.
+///
+/// More shards than cores costs only a little per-round bookkeeping, so
+/// the cap is generous; it mainly bounds the per-round scan over idle
+/// shards on huge grids.
+pub const MAX_SHARDS: usize = 64;
+
+/// A partition of a grid's cube columns (along axis 0) into contiguous
+/// shards.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_engine::ShardMap;
+/// use cmvrp_grid::{pt2, GridBounds};
+///
+/// let map = ShardMap::new(GridBounds::square(12), 4); // 3 cube columns
+/// assert_eq!(map.shard_count(), 3);
+/// assert_eq!(map.shard_of_point(pt2(0, 11)), 0);
+/// assert_eq!(map.shard_of_point(pt2(11, 0)), 2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ShardMap<const D: usize> {
+    part: CubePartition<D>,
+    cols_per_shard: u64,
+    shards: usize,
+}
+
+impl<const D: usize> ShardMap<D> {
+    /// Lays out shards for a grid partitioned into side-`side` cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 0`.
+    pub fn new(bounds: GridBounds<D>, side: u64) -> Self {
+        let part = CubePartition::new(bounds, side);
+        let cols = part.cubes_along(0);
+        let cols_per_shard = cols.div_ceil(cols.min(MAX_SHARDS as u64));
+        let shards = cols.div_ceil(cols_per_shard) as usize;
+        ShardMap {
+            part,
+            cols_per_shard,
+            shards,
+        }
+    }
+
+    /// Number of shards in the layout.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The cube partition the layout is aligned to.
+    pub fn partition(&self) -> &CubePartition<D> {
+        &self.part
+    }
+
+    /// The shard owning cube `id`.
+    pub fn shard_of_cube(&self, id: CubeId<D>) -> usize {
+        (id.0[0] as u64 / self.cols_per_shard) as usize
+    }
+
+    /// The shard owning the cube that contains `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` lies outside the grid.
+    pub fn shard_of_point(&self, p: Point<D>) -> usize {
+        self.shard_of_cube(self.part.cube_of(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cube_maps_to_a_valid_shard() {
+        let map = ShardMap::new(GridBounds::<2>::square(50), 3);
+        for cube in map.partition().cubes() {
+            assert!(map.shard_of_cube(cube) < map.shard_count());
+        }
+    }
+
+    #[test]
+    fn shards_are_contiguous_and_monotone_in_axis0() {
+        let map = ShardMap::new(GridBounds::<2>::square(100), 3);
+        let mut last = 0usize;
+        for col in 0..map.partition().cubes_along(0) as i64 {
+            let s = map.shard_of_cube(CubeId([col, 0]));
+            assert!(s == last || s == last + 1, "col {col}: {last} -> {s}");
+            last = s;
+        }
+        assert_eq!(last, map.shard_count() - 1);
+    }
+
+    #[test]
+    fn shard_count_is_capped() {
+        let map = ShardMap::new(GridBounds::<2>::square(1024), 1);
+        assert!(map.shard_count() <= MAX_SHARDS);
+        // Small grids keep one shard per cube column.
+        let small = ShardMap::new(GridBounds::<2>::square(12), 4);
+        assert_eq!(small.shard_count(), 3);
+    }
+
+    #[test]
+    fn cube_never_straddles_shards() {
+        let map = ShardMap::new(GridBounds::<2>::square(23), 4);
+        for cube in map.partition().cubes() {
+            let shard = map.shard_of_cube(cube);
+            for p in map.partition().points_in(cube) {
+                assert_eq!(map.shard_of_point(p), shard);
+            }
+        }
+    }
+}

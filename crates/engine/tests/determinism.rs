@@ -1,0 +1,155 @@
+//! The determinism oracle: the sharded engine's merged trace must be
+//! byte-identical across worker counts, pass every `TraceChecker`
+//! monitor, and report the same accounting as a sequential run of the
+//! same rounds.
+
+use cmvrp_engine::{Engine, EngineError, Sharded, ShardedOnlineSim};
+use cmvrp_grid::GridBounds;
+use cmvrp_obs::{CheckSink, JsonlSink, NullSink};
+use cmvrp_online::OnlineConfig;
+use cmvrp_workloads::{arrivals, Ordering, WorkloadConfig};
+
+/// The E7 experiment panel (small grids, all five spatial shapes).
+fn panel() -> Vec<WorkloadConfig> {
+    vec![
+        WorkloadConfig::Point {
+            grid: 12,
+            demand: 250,
+        },
+        WorkloadConfig::Line {
+            grid: 12,
+            demand: 8,
+        },
+        WorkloadConfig::Square {
+            grid: 14,
+            a: 5,
+            demand: 5,
+        },
+        WorkloadConfig::Uniform {
+            grid: 12,
+            jobs: 150,
+            seed: 2,
+        },
+        WorkloadConfig::Clusters {
+            grid: 12,
+            clusters: 3,
+            jobs: 180,
+            seed: 9,
+        },
+    ]
+}
+
+/// Runs a workload on the sharded engine and returns the merged JSONL
+/// trace bytes plus the report.
+fn traced_run(config: &WorkloadConfig, threads: usize) -> (Vec<u8>, cmvrp_online::OnlineReport) {
+    let (bounds, demand) = config.generate();
+    let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
+    let sink = JsonlSink::new(Vec::new());
+    let exec = Sharded { threads }
+        .run(bounds, &jobs, OnlineConfig::default(), sink)
+        .expect("sharded run");
+    (exec.sink.into_writer().expect("flush"), exec.report)
+}
+
+#[test]
+fn merged_trace_is_byte_identical_across_worker_counts() {
+    for config in panel() {
+        let (baseline, base_report) = traced_run(&config, 1);
+        assert!(!baseline.is_empty());
+        for threads in [2, 8] {
+            let (trace, report) = traced_run(&config, threads);
+            assert_eq!(
+                trace,
+                baseline,
+                "{}: trace differs between 1 and {threads} workers",
+                config.label()
+            );
+            assert_eq!(report, base_report, "{}", config.label());
+        }
+    }
+}
+
+#[test]
+fn merged_trace_passes_every_monitor() {
+    for config in panel() {
+        let (bounds, demand) = config.generate();
+        let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
+        let total = jobs.iter().count() as u64;
+        let sink = CheckSink::new(NullSink);
+        let exec = Sharded { threads: 8 }
+            .run(bounds, &jobs, OnlineConfig::default(), sink)
+            .expect("sharded run");
+        let report = exec.report;
+        let (mut checker, _) = exec.sink.into_parts();
+        checker.finish();
+        assert!(
+            checker.is_clean(),
+            "{}: {:?}",
+            config.label(),
+            checker.violations()
+        );
+        assert_eq!(report.served + report.unserved, total);
+        assert_eq!(report.unserved, 0, "{}", config.label());
+    }
+}
+
+#[test]
+fn sharded_report_matches_across_thread_counts_without_tracing() {
+    let (bounds, demand) = WorkloadConfig::Uniform {
+        grid: 24,
+        jobs: 400,
+        seed: 5,
+    }
+    .generate();
+    let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
+    let mut reports = Vec::new();
+    for threads in [1, 2, 4, 8] {
+        let mut sim =
+            ShardedOnlineSim::<2>::new(bounds, &jobs, OnlineConfig::default()).expect("build");
+        reports.push(sim.run(threads));
+    }
+    for r in &reports[1..] {
+        assert_eq!(*r, reports[0]);
+    }
+}
+
+#[test]
+fn monitored_mode_is_a_structured_error() {
+    let (bounds, demand) = WorkloadConfig::Point {
+        grid: 9,
+        demand: 40,
+    }
+    .generate();
+    let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
+    let config = OnlineConfig {
+        monitored: true,
+        ..OnlineConfig::default()
+    };
+    let err = ShardedOnlineSim::<2>::new(bounds, &jobs, config).unwrap_err();
+    assert_eq!(err, EngineError::MonitoredUnsupported);
+    assert!(err.to_string().contains("monitored"));
+}
+
+#[test]
+fn million_vehicle_grid_runs_sparse() {
+    // 1024×1024 ≈ 1.05M vehicles; a point source of 2000 jobs picks cube
+    // side 7 (9·6³ = 1944 < 2000 ≤ 9·7³ = 3087), so ω_c = 6 and only the
+    // single demand-bearing cube (49 vehicles) ever materializes.
+    let bounds = GridBounds::<2>::square(1024);
+    let demand = cmvrp_workloads::spatial::point(&bounds, 2000);
+    let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
+    let mut sim =
+        ShardedOnlineSim::<2>::new(bounds, &jobs, OnlineConfig::default()).expect("build");
+    let prov = sim.provisioning();
+    assert_eq!(prov.side, 7);
+    let report = sim.run(8);
+    assert_eq!(report.unserved, 0);
+    // Theorem 1.4.2: energy per vehicle stays within 38·ω_c.
+    assert!(
+        report.max_energy_used <= 38 * 6,
+        "max energy {} exceeds 38·ω_c",
+        report.max_energy_used
+    );
+    // Sparse: memory tracks active vehicles, not the 2^20 grid.
+    assert_eq!(sim.materialized_vehicles(), 49);
+}

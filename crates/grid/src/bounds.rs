@@ -132,6 +132,35 @@ impl<const D: usize> GridBounds<D> {
         pts.into_iter()
     }
 
+    /// The position of `p` in the lexicographic enumeration of the box
+    /// (the order of [`GridBounds::iter`]): axis 0 is most significant.
+    ///
+    /// This is the canonical dense numbering used for vehicle/process ids,
+    /// so sparse engines can name a vertex without materializing the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` lies outside the box.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cmvrp_grid::GridBounds;
+    /// let b: GridBounds<2> = GridBounds::square(3);
+    /// for (i, p) in b.iter().enumerate() {
+    ///     assert_eq!(b.index_of(p), i as u64);
+    /// }
+    /// ```
+    pub fn index_of(&self, p: Point<D>) -> u64 {
+        assert!(self.contains(p), "point {p} outside bounds");
+        let c = p.coords();
+        let mut idx = 0u64;
+        for (i, &ci) in c.iter().enumerate() {
+            idx = idx * self.extent(i) + (ci - self.min[i]) as u64;
+        }
+        idx
+    }
+
     /// Grows the box by `r` on every side, clipped to `outer` when provided.
     pub fn inflate(&self, r: u64, outer: Option<GridBounds<D>>) -> GridBounds<D> {
         let mut min = self.min;

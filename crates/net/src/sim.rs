@@ -420,6 +420,35 @@ where
         self.schedule(to, to, msg);
     }
 
+    /// Appends a process to the network, returning its id.
+    ///
+    /// Sparse drivers (the sharded engine of `cmvrp-engine`) materialize
+    /// vehicles lazily as demand touches their region instead of
+    /// provisioning one process per grid vertex up front.
+    pub fn add_process(&mut self, p: P) -> ProcessId {
+        self.processes.push(p);
+        self.crashed.push(false);
+        self.processes.len() - 1
+    }
+
+    /// Advances the clock to `t` when `t` is ahead of it (the clock never
+    /// moves backwards). Conservative parallel drivers use this to align a
+    /// quiescent network with a global round epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if messages are still in flight: jumping over a scheduled
+    /// delivery would deliver it "in the past", breaking the clock and
+    /// delay invariants the trace checker enforces.
+    pub fn advance_to(&mut self, t: u64) {
+        assert!(
+            self.queue.is_empty(),
+            "advance_to({t}) with {} messages in flight",
+            self.queue.len()
+        );
+        self.now = self.now.max(t);
+    }
+
     /// Runs a closure against process `id` with a live [`Context`], sending
     /// whatever the closure queues. Returns the closure's value. This is how
     /// drivers deliver environmental events synchronously.

@@ -14,7 +14,8 @@
 //!   spans).
 //! - [`Sink`] — where events go: [`NullSink`] (default, free),
 //!   [`RingSink`] (bounded in-memory tail, used by tests), [`JsonlSink`]
-//!   (streaming JSON-lines file, used by `--trace-jsonl`).
+//!   (streaming JSON-lines file, used by `--trace-jsonl`), [`VecSink`]
+//!   (unbounded buffer, used by the sharded engine's per-shard streams).
 //! - [`Metrics`] / [`Histogram`] — always-on counters, gauges, and
 //!   fixed-bucket histograms (message latency, per-vehicle energy, queue
 //!   depth).
@@ -102,5 +103,5 @@ pub use check::{check_lines, CheckReport, CheckSink, TraceChecker, Violation, IN
 pub use event::{DropReason, Event, MsgKind};
 pub use metrics::{Histogram, Metrics, DEFAULT_BUCKETS};
 pub use replay::{summarize, ReplaySummary};
-pub use sink::{JsonlSink, NullSink, RingSink, Sink};
+pub use sink::{JsonlSink, NullSink, RingSink, Sink, VecSink};
 pub use span::{now_ns, Span};

@@ -108,6 +108,61 @@ impl Sink for RingSink {
     }
 }
 
+/// An unbounded in-memory sink: keeps every event, in order.
+///
+/// The sharded engine gives each shard a `VecSink`, then merges the
+/// per-shard buffers into one canonical stream after the run; unlike
+/// [`RingSink`] nothing is ever evicted.
+///
+/// # Examples
+///
+/// ```
+/// use cmvrp_obs::{Event, Sink, VecSink};
+///
+/// let mut sink = VecSink::default();
+/// sink.record(&Event::JobArrived { t: 1, seq: 0, pos: vec![0, 0] });
+/// assert_eq!(sink.len(), 1);
+/// assert_eq!(sink.drain().len(), 1);
+/// assert!(sink.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    buf: Vec<Event>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Events recorded so far, oldest first.
+    pub fn events(&self) -> &[Event] {
+        &self.buf
+    }
+
+    /// Number of events held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Takes the buffered events, leaving the sink empty.
+    pub fn drain(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl Sink for VecSink {
+    fn record(&mut self, event: &Event) {
+        self.buf.push(event.clone());
+    }
+}
+
 /// Streams events as JSON lines to any writer (hand-rolled, no serde).
 ///
 /// I/O errors are sticky: the first one is remembered and surfaced by

@@ -62,5 +62,8 @@ pub mod sim;
 pub mod vehicle;
 
 pub use msg::OnlineMsg;
-pub use sim::{OnlineConfig, OnlineReport, OnlineSim};
+pub use sim::{
+    provision, DenseLimitError, OnlineConfig, OnlineReport, OnlineSim, Provisioning,
+    DENSE_VOLUME_LIMIT,
+};
 pub use vehicle::{Vehicle, WorkState};

@@ -41,6 +41,76 @@ impl Default for OnlineConfig {
     }
 }
 
+/// Largest grid volume (vertex count) the dense sequential simulator will
+/// materialize: one `Vehicle` per vertex up to a 512×512 grid. Beyond this,
+/// [`OnlineSim::try_new`] returns [`DenseLimitError`] instead of allocating
+/// gigabytes — the sparse sharded engine (`cmvrp-engine`, `simulate
+/// --threads N`) handles those grids with memory proportional to *active*
+/// vehicles only.
+pub const DENSE_VOLUME_LIMIT: u64 = 1 << 18;
+
+/// Error returned when a grid is too large for the dense per-vertex
+/// simulator (see [`DENSE_VOLUME_LIMIT`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseLimitError {
+    /// The offending grid's vertex count.
+    pub volume: u64,
+    /// The dense-mode ceiling that was exceeded.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for DenseLimitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "grid volume {} exceeds the dense engine limit {}; use the sparse \
+             sharded engine instead (cmvrp-engine, or `simulate --threads N`)",
+            self.volume, self.limit
+        )
+    }
+}
+
+impl std::error::Error for DenseLimitError {}
+
+/// The derived per-run provisioning: cube side (Lemma 2.2.5), the demand's
+/// `ω_c`, and the Lemma 3.3.1 battery capacity. Shared by the dense
+/// sequential simulator and the sharded engine so both provision fleets
+/// identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Provisioning {
+    /// Cube side `⌈ω⌉` used for the partition.
+    pub side: u64,
+    /// The demand's `ω_c` (reported for ratio tables).
+    pub omega: Ratio,
+    /// Per-vehicle battery capacity `W`.
+    pub capacity: u64,
+}
+
+/// Computes the cube side, `ω_c`, and battery capacity for a demand field,
+/// honoring `config.capacity_override` when set.
+pub fn provision<const D: usize>(
+    bounds: &GridBounds<D>,
+    demand: &cmvrp_grid::DemandMap<D>,
+    config: &OnlineConfig,
+) -> Provisioning {
+    let side = lemma_side(bounds, demand);
+    let omega = omega_c(bounds, demand);
+    let capacity = config.capacity_override.unwrap_or_else(|| {
+        // Lemma 3.3.1 provisioning, discretized: a per-vehicle job
+        // budget of 4·⌈M/side^ℓ⌉ + 4 (so at most half the cube's
+        // vehicles can exhaust) plus the ℓ·ω_c relocation reserve.
+        let m = cmvrp_core::max_window_sum(bounds, demand, side) as u128;
+        let per = m.div_ceil((side as u128).pow(D as u32));
+        let job_budget = 4 * per as u64 + 4;
+        job_budget + (D as u64) * side.saturating_sub(1) + 2
+    });
+    Provisioning {
+        side,
+        omega,
+        capacity,
+    }
+}
+
 /// Outcome of an on-line run — the quantities experiment E7 tabulates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OnlineReport {
@@ -107,6 +177,21 @@ impl<const D: usize> OnlineSim<D> {
     pub fn new(bounds: GridBounds<D>, jobs: &JobSequence<D>, config: OnlineConfig) -> Self {
         OnlineSim::with_sink(bounds, jobs, config, NullSink)
     }
+
+    /// Like [`OnlineSim::new`], but returns [`DenseLimitError`] instead of
+    /// panicking when the grid is too large for dense materialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DenseLimitError`] when `bounds.volume()` exceeds
+    /// [`DENSE_VOLUME_LIMIT`].
+    pub fn try_new(
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+    ) -> Result<Self, DenseLimitError> {
+        OnlineSim::try_with_sink(bounds, jobs, config, NullSink)
+    }
 }
 
 impl<const D: usize, S: Sink> OnlineSim<D, S> {
@@ -118,21 +203,38 @@ impl<const D: usize, S: Sink> OnlineSim<D, S> {
         config: OnlineConfig,
         sink: S,
     ) -> Self {
+        OnlineSim::try_with_sink(bounds, jobs, config, sink).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`OnlineSim::with_sink`], but returns [`DenseLimitError`]
+    /// instead of panicking when the grid is too large for dense
+    /// materialization (one process per vertex).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DenseLimitError`] when `bounds.volume()` exceeds
+    /// [`DENSE_VOLUME_LIMIT`].
+    pub fn try_with_sink(
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: S,
+    ) -> Result<Self, DenseLimitError> {
+        if bounds.volume() > DENSE_VOLUME_LIMIT {
+            return Err(DenseLimitError {
+                volume: bounds.volume(),
+                limit: DENSE_VOLUME_LIMIT,
+            });
+        }
         for job in jobs.iter() {
             assert!(bounds.contains(job), "job at {job} outside bounds");
         }
         let demand = jobs.to_demand();
-        let side = lemma_side(&bounds, &demand);
-        let omega = omega_c(&bounds, &demand);
-        let capacity = config.capacity_override.unwrap_or_else(|| {
-            // Lemma 3.3.1 provisioning, discretized: a per-vehicle job
-            // budget of 4·⌈M/side^ℓ⌉ + 4 (so at most half the cube's
-            // vehicles can exhaust) plus the ℓ·ω_c relocation reserve.
-            let m = cmvrp_core::max_window_sum(&bounds, &demand, side) as u128;
-            let per = m.div_ceil((side as u128).pow(D as u32));
-            let job_budget = 4 * per as u64 + 4;
-            job_budget + (D as u64) * side.saturating_sub(1) + 2
-        });
+        let Provisioning {
+            side,
+            omega,
+            capacity,
+        } = provision(&bounds, &demand, &config);
         let part = CubePartition::new(bounds, side);
         let mut pairings = HashMap::new();
         let mut pair_active = HashMap::new();
@@ -197,7 +299,7 @@ impl<const D: usize, S: Sink> OnlineSim<D, S> {
         if config.monitored {
             sim.rewire_monitors();
         }
-        sim
+        Ok(sim)
     }
 
     /// The battery capacity in use.

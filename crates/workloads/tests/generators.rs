@@ -1,0 +1,127 @@
+//! Determinism and sanity suite for the workload generators: same seed ⇒
+//! identical demand map, every point in bounds, and the seeded shapes
+//! conserve their requested totals. These properties are what the sharded
+//! engine's byte-identical-trace guarantee ultimately rests on — a
+//! generator that drifted across runs would break it upstream.
+
+use cmvrp_grid::{DemandMap, GridBounds};
+use cmvrp_workloads::{arrivals, spatial, Ordering, WorkloadConfig};
+
+fn maps_equal(a: &DemandMap<2>, b: &DemandMap<2>) -> bool {
+    a.total() == b.total()
+        && a.support_len() == b.support_len()
+        && a.support().all(|p| a.get(p) == b.get(p))
+}
+
+fn all_configs() -> Vec<WorkloadConfig> {
+    vec![
+        WorkloadConfig::Point {
+            grid: 11,
+            demand: 90,
+        },
+        WorkloadConfig::Line {
+            grid: 11,
+            demand: 6,
+        },
+        WorkloadConfig::Square {
+            grid: 13,
+            a: 4,
+            demand: 5,
+        },
+        WorkloadConfig::Uniform {
+            grid: 15,
+            jobs: 240,
+            seed: 21,
+        },
+        WorkloadConfig::Clusters {
+            grid: 15,
+            clusters: 4,
+            jobs: 300,
+            seed: 21,
+        },
+    ]
+}
+
+#[test]
+fn same_seed_generates_identical_demand() {
+    for cfg in all_configs() {
+        let (_, first) = cfg.generate();
+        let (_, second) = cfg.generate();
+        assert!(maps_equal(&first, &second), "{} drifted", cfg.label());
+    }
+    // The seeded generators directly, across repeated calls.
+    let bounds = GridBounds::square(20);
+    for seed in [0u64, 1, 17, u64::MAX] {
+        let a = spatial::uniform_random(&bounds, 500, seed);
+        let b = spatial::uniform_random(&bounds, 500, seed);
+        assert!(maps_equal(&a, &b), "uniform seed={seed}");
+        let a = spatial::zipf_clusters(&bounds, 5, 400, seed);
+        let b = spatial::zipf_clusters(&bounds, 5, 400, seed);
+        assert!(maps_equal(&a, &b), "zipf seed={seed}");
+    }
+}
+
+#[test]
+fn different_seeds_generate_different_demand() {
+    let bounds = GridBounds::square(20);
+    let a = spatial::uniform_random(&bounds, 500, 1);
+    let b = spatial::uniform_random(&bounds, 500, 2);
+    assert!(!maps_equal(&a, &b), "seeds 1 and 2 should disagree");
+}
+
+#[test]
+fn every_generated_point_is_in_bounds() {
+    for cfg in all_configs() {
+        let (bounds, demand) = cfg.generate();
+        for p in demand.support() {
+            assert!(
+                bounds.contains(p),
+                "{}: {p} outside {bounds:?}",
+                cfg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_generators_conserve_demand_totals() {
+    let bounds = GridBounds::square(18);
+    for seed in [3u64, 9, 1234] {
+        assert_eq!(spatial::uniform_random(&bounds, 777, seed).total(), 777);
+        assert_eq!(spatial::zipf_clusters(&bounds, 6, 505, seed).total(), 505);
+    }
+    // Degenerate shapes still conserve.
+    assert_eq!(spatial::uniform_random(&bounds, 0, 5).total(), 0);
+    assert_eq!(spatial::zipf_clusters(&bounds, 1, 64, 5).total(), 64);
+}
+
+#[test]
+fn mixture_sums_componentwise() {
+    let bounds = GridBounds::square(16);
+    let a = spatial::point(&bounds, 40);
+    let b = spatial::uniform_random(&bounds, 120, 8);
+    let mixed = spatial::mixture([a.clone(), b.clone()]);
+    assert_eq!(mixed.total(), a.total() + b.total());
+    for p in mixed.support() {
+        assert_eq!(mixed.get(p), a.get(p) + b.get(p), "at {p}");
+    }
+}
+
+#[test]
+fn arrival_orderings_are_deterministic_permutations() {
+    let bounds = GridBounds::square(14);
+    let demand = spatial::zipf_clusters(&bounds, 3, 260, 4);
+    for ordering in [
+        Ordering::Sequential,
+        Ordering::Interleaved,
+        Ordering::Shuffled,
+    ] {
+        let a = arrivals::from_demand(&demand, ordering, 11);
+        let b = arrivals::from_demand(&demand, ordering, 11);
+        assert_eq!(a.jobs(), b.jobs(), "{ordering:?} drifted");
+        assert_eq!(a.len() as u64, demand.total(), "{ordering:?} lost jobs");
+        // A permutation of the demand: converting back conserves the map.
+        let back = a.to_demand();
+        assert!(maps_equal(&demand, &back), "{ordering:?} not a permutation");
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`net`] | message-passing simulator + Dijkstra–Scholten engine |
 //! | [`core`] | `ω*`, `ω_c`, Algorithm 1, the Lemma 2.2.5 plan, §2.1 examples |
 //! | [`online`] | the Chapter 3 decentralized on-line strategy |
+//! | [`engine`] | sharded deterministic parallel execution engine (million-vehicle grids) |
 //! | [`ext`] | Chapter 4 (broken vehicles) and Chapter 5 (energy transfers) |
 //! | [`workloads`] | demand/arrival generators |
 //! | [`graph_ext`] | the Chapter 6 generalization to arbitrary weighted graphs |
@@ -43,6 +44,7 @@
 //! ```
 
 pub use cmvrp_core as core;
+pub use cmvrp_engine as engine;
 pub use cmvrp_ext as ext;
 pub use cmvrp_flow as flow;
 pub use cmvrp_graph as graph_ext;
