@@ -3,13 +3,16 @@
 //! workloads, reported as events/sec alongside wall-clock. Writes
 //! `BENCH_par.json` at the repo root; the notes carry paired
 //! min-of-samples speedups (same methodology as `BENCH_obs.json`: the
-//! modes alternate run-by-run so they see identical machine-load epochs)
-//! plus the sparse-memory evidence from a million-vehicle grid.
+//! modes alternate run-by-run so they see identical machine-load epochs),
+//! the sparse-memory evidence from a million-vehicle grid, and a peak-RSS
+//! comparison of the streaming round-barrier merge against the old
+//! buffer-everything drain (each measured in its own subprocess, so the
+//! `VmHWM` high-water marks don't contaminate each other).
 
-use cmvrp_bench::harness::Harness;
+use cmvrp_bench::harness::{peak_rss_kb, Harness};
 use cmvrp_engine::{Engine, Sequential, Sharded, ShardedOnlineSim};
 use cmvrp_grid::GridBounds;
-use cmvrp_obs::{NullSink, VecSink};
+use cmvrp_obs::{JsonlSink, NullSink, Sink, VecSink};
 use cmvrp_online::OnlineConfig;
 use cmvrp_workloads::{arrivals, spatial, JobSequence, Ordering, WorkloadConfig};
 use std::hint::black_box;
@@ -26,12 +29,13 @@ fn jobs_for(cfg: &WorkloadConfig) -> (GridBounds<2>, JobSequence<2>) {
 
 /// Events in the run's trace (identical for every sharded worker count;
 /// the sequential stream has the same schema but its own interleaving).
-fn event_count<E: Engine<2>>(engine: &E, bounds: GridBounds<2>, jobs: &JobSequence<2>) -> u64 {
+fn event_count(engine: &dyn Engine<2>, bounds: GridBounds<2>, jobs: &JobSequence<2>) -> u64 {
+    let mut sink = VecSink::new();
     let exec = engine
-        .run(bounds, jobs, OnlineConfig::default(), VecSink::new())
+        .run(bounds, jobs, OnlineConfig::default(), &mut sink)
         .expect("count run");
     assert_eq!(exec.report.unserved, 0);
-    exec.sink.len() as u64
+    sink.len() as u64
 }
 
 /// Paired min-of-samples wall-clock for [sequential, sharded @ each worker
@@ -47,7 +51,7 @@ fn paired_modes(
     for _ in 0..reps {
         let t = std::time::Instant::now();
         let exec = Sequential
-            .run(bounds, jobs, config, NullSink)
+            .run(bounds, jobs, config, &mut NullSink)
             .expect("sequential");
         black_box(exec.report);
         seq_best = seq_best.min(t.elapsed().as_nanos() as u64);
@@ -61,7 +65,94 @@ fn paired_modes(
     (seq_best, par_best)
 }
 
+/// The long point-source workload for the peak-RSS comparison: one hot
+/// cube, enough demand that the merged trace dwarfs the simulator state.
+fn rss_workload() -> (GridBounds<2>, JobSequence<2>) {
+    let bounds = GridBounds::<2>::square(16);
+    let demand = spatial::point(&bounds, 30_000);
+    let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
+    (bounds, jobs)
+}
+
+/// Child mode for the peak-RSS comparison (`--rss=streaming|buffered`):
+/// runs the workload on the 2-worker sharded engine, either streaming the
+/// merged trace straight to a discarding writer (the round-barrier merge
+/// holds at most one round's events) or first accumulating the whole
+/// merged trace in memory and serializing afterwards — the shape of the
+/// pre-streaming pipeline. Prints this process' `VmHWM` so the parent can
+/// compare high-water marks that never shared an address space.
+fn rss_child(mode: &str) {
+    let (bounds, jobs) = rss_workload();
+    let config = OnlineConfig::default();
+    let engine = Sharded { threads: 2 };
+    let events = match mode {
+        "streaming" => {
+            let mut sink = JsonlSink::new(std::io::sink());
+            let exec = engine
+                .run(bounds, &jobs, config, &mut sink)
+                .expect("streaming run");
+            assert_eq!(exec.report.unserved, 0);
+            sink.written()
+        }
+        "buffered" => {
+            let mut sink = VecSink::new();
+            let exec = engine
+                .run(bounds, &jobs, config, &mut sink)
+                .expect("buffered run");
+            assert_eq!(exec.report.unserved, 0);
+            let events = sink.len() as u64;
+            let mut out = JsonlSink::new(std::io::sink());
+            for ev in sink.drain() {
+                out.record(&ev);
+            }
+            out.flush_events();
+            events
+        }
+        other => panic!("unknown --rss mode {other:?}"),
+    };
+    let kb = peak_rss_kb().expect("VmHWM (Linux procfs)");
+    println!("peak_rss_kb={kb} events={events}");
+}
+
+/// Parent side: run each mode in its own subprocess and return
+/// `(mode, peak_kb, events)` per mode.
+fn rss_compare() -> Vec<(String, u64, u64)> {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut rows = Vec::new();
+    for mode in ["buffered", "streaming"] {
+        let out = std::process::Command::new(&exe)
+            .arg(format!("--rss={mode}"))
+            .output()
+            .expect("spawn rss child");
+        assert!(
+            out.status.success(),
+            "rss child {mode} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("peak_rss_kb="))
+            .expect("rss child output");
+        let mut kb = 0u64;
+        let mut events = 0u64;
+        for field in line.split_whitespace() {
+            if let Some(v) = field.strip_prefix("peak_rss_kb=") {
+                kb = v.parse().expect("kb");
+            } else if let Some(v) = field.strip_prefix("events=") {
+                events = v.parse().expect("events");
+            }
+        }
+        rows.push((mode.to_string(), kb, events));
+    }
+    rows
+}
+
 fn main() {
+    if let Some(mode) = std::env::args().find_map(|a| a.strip_prefix("--rss=").map(String::from)) {
+        rss_child(&mode);
+        return;
+    }
     let mut h = Harness::start("par_scaling");
     h.set_samples(8);
     let config = OnlineConfig::default();
@@ -95,7 +186,7 @@ fn main() {
         let seq_events = event_count(&Sequential, bounds, &jobs);
         h.bench_with_items(&format!("{label}/seq"), seq_events, || {
             let exec = Sequential
-                .run(bounds, &jobs, config, NullSink)
+                .run(bounds, &jobs, config, &mut NullSink)
                 .expect("sequential");
             assert_eq!(exec.report.unserved, 0);
             black_box(exec.report);
@@ -183,6 +274,28 @@ fn main() {
         notes.push((
             "point1024_materialized_vehicles",
             format!("{materialized} of 1048576 (grid 1024x1024, point d=2000)"),
+        ));
+        // Streaming vs buffered peak RSS, one subprocess per mode so the
+        // VmHWM high-water marks are independent.
+        let rss = rss_compare();
+        for (mode, kb, events) in &rss {
+            println!("rss {mode}: peak {kb} kB over {events} events");
+            notes.push((
+                match mode.as_str() {
+                    "buffered" => "rss_buffered_peak_kb",
+                    _ => "rss_streaming_peak_kb",
+                },
+                format!("{kb} ({events} merged events)"),
+            ));
+        }
+        notes.push((
+            "rss_methodology",
+            "VmHWM per mode in its own subprocess; workload point:grid=16,demand=30000, \
+             sharded engine at 2 workers; buffered = accumulate whole merged trace in a \
+             VecSink then serialize (the pre-streaming pipeline shape), streaming = \
+             round-barrier merge straight into a discarding JSONL writer. Absolute kB are \
+             host-dependent; the comparison is the point."
+                .to_string(),
         ));
     }
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_par.json");

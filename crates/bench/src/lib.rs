@@ -295,7 +295,7 @@ pub fn e6(seeds: &[u64]) -> ExperimentOutput {
 /// grids (the million-vehicle row) run on the sparse sharded engine — both
 /// behind the common [`Engine`] trait, feeding the identical checker.
 pub fn e7(configs: &[WorkloadConfig]) -> ExperimentOutput {
-    use cmvrp_obs::{CheckSink, NullSink};
+    use cmvrp_obs::NullSink;
     let mut table = Table::new(vec![
         "workload",
         "engine",
@@ -314,18 +314,21 @@ pub fn e7(configs: &[WorkloadConfig]) -> ExperimentOutput {
     for cfg in configs {
         let (bounds, demand) = cfg.generate();
         let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
-        let sink = CheckSink::new(NullSink);
         let sharded = bounds.volume() > DENSE_VOLUME_LIMIT;
         let exec = if sharded {
-            Sharded { threads: 8 }.run(bounds, &jobs, OnlineConfig::default(), sink)
+            Sharded { threads: 8 }.run_checked(
+                bounds,
+                &jobs,
+                OnlineConfig::default(),
+                &mut NullSink,
+            )
         } else {
-            Sequential.run(bounds, &jobs, OnlineConfig::default(), sink)
+            Sequential.run_checked(bounds, &jobs, OnlineConfig::default(), &mut NullSink)
         }
         .expect("engine run");
         let report = exec.report;
-        let (mut checker, _) = exec.sink.into_parts();
-        checker.finish();
-        let clean = checker.violations().is_empty();
+        let check = exec.check.expect("checked run");
+        let clean = check.is_clean();
         let wc = report.omega_c.to_f64().max(1.0);
         let ratio = report.max_energy_used as f64 / wc;
         // Constant-factor claim with discretization slack.
@@ -346,7 +349,7 @@ pub fn e7(configs: &[WorkloadConfig]) -> ExperimentOutput {
             if clean {
                 "clean".to_string()
             } else {
-                format!("{} violations", checker.violations().len())
+                format!("{} violations", check.violations.len())
             },
         ]);
     }

@@ -22,7 +22,7 @@
 //! dependencies); [`run`] is the testable entry point.
 
 use cmvrp_core::Instance;
-use cmvrp_engine::{Engine, Sequential, Sharded};
+use cmvrp_engine::{CheckScope, CheckSummary, Engine, Sequential, Sharded};
 use cmvrp_obs::{JsonlSink, Metrics, Sink};
 use cmvrp_online::{OnlineConfig, OnlineReport};
 use cmvrp_workloads::{arrivals, JobSequence, Ordering, WorkloadConfig};
@@ -70,10 +70,14 @@ fn usage() -> String {
        --threads=N     sparse sharded parallel engine on up to N workers;\n\
                        required above the dense engine's grid-volume limit,\n\
                        traces are byte-identical for every N\n\
-       --monitored     enable the §3.2.5 heartbeat ring\n\
-       --trace-jsonl P write every event as JSON lines to path P\n\
+       --monitored     enable the §3.2.5 heartbeat ring (sequential engine\n\
+                       only — not combinable with --threads; --check and\n\
+                       --trace-jsonl work on every engine)\n\
+       --trace-jsonl P stream every event as JSON lines to path P\n\
        --metrics       print the always-on metrics registry\n\
-       --check         validate every event online; any invariant violation\n\
+       --check         verify the invariant monitors inline while the run\n\
+                       streams (with --threads: per-shard monitors plus\n\
+                       merge-time cross-shard monitors); any violation\n\
                        fails the run naming the event and invariant\n\
      \n\
      TRACE CHECK OPTIONS:\n\
@@ -240,25 +244,35 @@ fn cmd_solve(spec: &str) -> Result<String, UsageError> {
     Ok(out)
 }
 
-/// One simulate run on a fixed sink type; returns the report, the metrics
-/// snapshot (when requested), and the flushed sink. `threads: None` selects
-/// the dense sequential engine, `Some(n)` the sparse sharded engine on up
-/// to `n` worker threads — both behind the common [`Engine`] trait, with
-/// identical event-stream semantics.
-fn run_simulation<S: Sink>(
+/// One simulate run, streaming events into the caller's sink. `threads:
+/// None` selects the dense sequential engine, `Some(n)` the sparse sharded
+/// engine on up to `n` worker threads — both behind `&dyn Engine<2>`, with
+/// identical event-stream semantics. With `check`, the run is verified
+/// inline and the returned summary holds the verdict.
+fn run_simulation(
     bounds: cmvrp_grid::GridBounds<2>,
     jobs: &JobSequence<2>,
     online: OnlineConfig,
-    sink: S,
+    check: bool,
+    sink: &mut dyn Sink,
     want_metrics: bool,
     threads: Option<usize>,
-) -> Result<(OnlineReport, Option<Metrics>, S), UsageError> {
-    let exec = match threads {
-        None => Sequential.run(bounds, jobs, online, sink),
-        Some(n) => Sharded { threads: n }.run(bounds, jobs, online, sink),
+) -> Result<(OnlineReport, Option<Metrics>, Option<CheckSummary>), UsageError> {
+    let engine: Box<dyn Engine<2>> = match threads {
+        None => Box::new(Sequential),
+        Some(n) => Box::new(Sharded { threads: n }),
+    };
+    let exec = if check {
+        engine.run_checked(bounds, jobs, online, sink)
+    } else {
+        engine.run(bounds, jobs, online, sink)
     }
     .map_err(|e| UsageError(e.to_string()))?;
-    Ok((exec.report, want_metrics.then_some(exec.metrics), exec.sink))
+    Ok((
+        exec.report,
+        want_metrics.then_some(exec.metrics),
+        exec.check,
+    ))
 }
 
 fn render_report(out: &mut String, cfg: &WorkloadConfig, report: &OnlineReport) {
@@ -303,28 +317,38 @@ fn render_metrics(out: &mut String, metrics: &Metrics) {
     let _ = write!(out, "{table}");
 }
 
-/// Renders the verdict of an online check: a one-line all-clear, or a
-/// [`UsageError`] naming each offending event's line and invariant.
-/// `source` prefixes the locations (the trace path, or `"event"` when the
-/// run was not traced to disk).
-fn check_verdict(checker: &cmvrp_obs::TraceChecker, source: &str) -> Result<String, UsageError> {
-    let violations = checker.violations();
-    if violations.is_empty() {
+/// Renders the verdict of an inline check: a one-line all-clear, or a
+/// [`UsageError`] naming each offending event's location and invariant.
+/// `source` prefixes merged-stream locations (the trace path, or `"event"`
+/// when the run was not traced to disk); shard-scoped violations count
+/// that shard's local events instead.
+fn check_verdict(summary: &CheckSummary, source: &str) -> Result<String, UsageError> {
+    if summary.is_clean() {
         return Ok(format!(
             "check: {} events validated, all invariants hold\n",
-            checker.events()
+            summary.events
         ));
     }
     let mut msg = format!(
         "check FAILED: {} violation(s) in {} events\n",
-        violations.len(),
-        checker.events()
+        summary.violations.len(),
+        summary.events
     );
-    for v in violations.iter().take(10) {
-        let _ = writeln!(msg, "  {source}:{}: [{}] {}", v.line, v.invariant, v.detail);
+    for sv in summary.violations.iter().take(10) {
+        let v = &sv.violation;
+        let _ = match sv.scope {
+            CheckScope::Merged => {
+                writeln!(msg, "  {source}:{}: [{}] {}", v.line, v.invariant, v.detail)
+            }
+            CheckScope::Shard(shard) => writeln!(
+                msg,
+                "  shard {shard} event {}: [{}] {}",
+                v.line, v.invariant, v.detail
+            ),
+        };
     }
-    if violations.len() > 10 {
-        let _ = writeln!(msg, "  ... and {} more", violations.len() - 10);
+    if summary.violations.len() > 10 {
+        let _ = writeln!(msg, "  ... and {} more", summary.violations.len() - 10);
     }
     Err(UsageError(msg))
 }
@@ -378,54 +402,41 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
     let (bounds, demand) = cfg.generate();
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, online.seed);
     let mut out = String::new();
-    let (report, metrics) = match (&trace, check) {
-        (Some(path), true) => {
-            let inner = JsonlSink::create(path)
+    let (report, metrics, summary) = match &trace {
+        Some(path) => {
+            let mut sink = JsonlSink::create(path)
                 .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
-            let sink = cmvrp_obs::CheckSink::new(inner);
-            let (report, metrics, sink) =
-                run_simulation(bounds, &jobs, online, sink, want_metrics, threads)?;
-            let (mut checker, inner) = sink.into_parts();
-            checker.finish();
-            let events = inner
-                .finish()
-                .map_err(|e| UsageError(format!("trace write to {path:?} failed: {e}")))?;
-            let _ = writeln!(out, "trace: {events} events -> {path}");
-            out.push_str(&check_verdict(&checker, path)?);
-            (report, metrics)
-        }
-        (Some(path), false) => {
-            let sink = JsonlSink::create(path)
-                .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
-            let (report, metrics, sink) =
-                run_simulation(bounds, &jobs, online, sink, want_metrics, threads)?;
+            let result = run_simulation(
+                bounds,
+                &jobs,
+                online,
+                check,
+                &mut sink,
+                want_metrics,
+                threads,
+            )?;
             let events = sink
                 .finish()
                 .map_err(|e| UsageError(format!("trace write to {path:?} failed: {e}")))?;
             let _ = writeln!(out, "trace: {events} events -> {path}");
-            (report, metrics)
+            result
         }
-        (None, true) => {
-            let sink = cmvrp_obs::CheckSink::new(cmvrp_obs::NullSink);
-            let (report, metrics, sink) =
-                run_simulation(bounds, &jobs, online, sink, want_metrics, threads)?;
-            let (mut checker, _) = sink.into_parts();
-            checker.finish();
-            out.push_str(&check_verdict(&checker, "event")?);
-            (report, metrics)
-        }
-        (None, false) => {
-            let (report, metrics, _) = run_simulation(
-                bounds,
-                &jobs,
-                online,
-                cmvrp_obs::NullSink,
-                want_metrics,
-                threads,
-            )?;
-            (report, metrics)
-        }
+        None => run_simulation(
+            bounds,
+            &jobs,
+            online,
+            check,
+            &mut cmvrp_obs::NullSink,
+            want_metrics,
+            threads,
+        )?,
     };
+    if let Some(summary) = &summary {
+        out.push_str(&check_verdict(
+            summary,
+            trace.as_deref().unwrap_or("event"),
+        )?);
+    }
     render_report(&mut out, &cfg, &report);
     if let Some(metrics) = &metrics {
         render_metrics(&mut out, metrics);
@@ -777,6 +788,9 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.0.contains("monitored"), "{err}");
+        // The rejection names what still works on the sharded engine.
+        assert!(err.0.contains("--check"), "{err}");
+        assert!(err.0.contains("--trace-jsonl"), "{err}");
         assert!(run(&argv("simulate point:grid=8,demand=40 --threads=0")).is_err());
     }
 
@@ -853,6 +867,18 @@ mod tests {
         assert!(out.contains("check:"), "{out}");
         assert!(out.contains("all invariants hold"), "{out}");
         assert!(out.contains("served: 300/300"), "{out}");
+    }
+
+    #[test]
+    fn simulate_sharded_check_runs_inline() {
+        // Inline verification on the parallel engine: per-shard monitors
+        // plus the merge-time cross-shard monitors, no trace file needed.
+        let out = run(&argv(
+            "simulate point:grid=12,demand=250 --threads=8 --check",
+        ))
+        .unwrap();
+        assert!(out.contains("all invariants hold"), "{out}");
+        assert!(out.contains("served: 250/250"), "{out}");
     }
 
     #[test]

@@ -19,10 +19,21 @@
 //!   home with a full battery is implicit — memory is proportional to
 //!   *active* vehicles, not grid volume.
 //!
-//! The observability stack is the determinism oracle: per-shard event
-//! streams merge into a canonical total order keyed by `(time, shard,
-//! sequence)`, and the merged JSONL trace is byte-identical for 1, 2, and
-//! 8 workers while satisfying every `TraceChecker` monitor.
+//! ## The streaming pipeline
+//!
+//! Events *flow* instead of accumulating: [`Engine::run`] takes a
+//! caller-supplied `&mut dyn Sink` and streams the canonical merged event
+//! order into it as the simulation executes. The sharded engine performs
+//! its `(time, shard, sequence)` k-way merge incrementally at each round
+//! barrier, so peak buffering is one round's events rather than the whole
+//! trace. [`Engine::run_checked`] additionally validates the run inline —
+//! per-shard [`cmvrp_obs::TraceChecker`]s for the shard-local invariants
+//! plus a merge-time [`cmvrp_obs::MergeChecker`] for the global clock and
+//! job-ledger — and reports the verdict in [`Execution::check`].
+//!
+//! The observability stack is the determinism oracle: the merged JSONL
+//! trace is byte-identical for 1, 2, and 8 workers while satisfying every
+//! monitor.
 //!
 //! Everything here is hermetic: `std::thread` plus channels-by-hand
 //! (barriers and mutexed mailboxes), zero external dependencies.
@@ -34,12 +45,12 @@ pub mod online;
 pub mod rounds;
 pub mod shard;
 
-pub use online::ShardedOnlineSim;
-pub use rounds::{run_lockstep, RoundOutcome, RoundStats, ShardWorker};
+pub use online::{ShardSink, ShardedOnlineSim};
+pub use rounds::{run_lockstep, run_lockstep_with, RoundOutcome, RoundStats, ShardWorker};
 pub use shard::{ShardMap, MAX_SHARDS};
 
 use cmvrp_grid::GridBounds;
-use cmvrp_obs::{Metrics, Sink, VecSink};
+use cmvrp_obs::{CheckSink, MergeChecker, Metrics, NullSink, Sink, VecSink, Violation};
 use cmvrp_online::{DenseLimitError, OnlineConfig, OnlineReport, OnlineSim};
 use cmvrp_workloads::JobSequence;
 
@@ -63,7 +74,9 @@ impl std::fmt::Display for EngineError {
                 f,
                 "the sharded engine does not support monitored mode \
                  (heartbeat watchers need a per-tick global clock); drop \
-                 --monitored or use the sequential engine"
+                 --monitored or use the sequential engine — tracing \
+                 (--trace-jsonl) and inline checking (--check) work on \
+                 every engine"
             ),
             EngineError::Dense(e) => e.fmt(f),
         }
@@ -78,40 +91,115 @@ impl From<DenseLimitError> for EngineError {
     }
 }
 
+/// Where a checked run's violation was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckScope {
+    /// Found on the canonical merged stream (the sequential engine's whole
+    /// trace, or the sharded engine's merge-time monitors).
+    Merged,
+    /// Found by the given shard's inline checker on its local stream;
+    /// violation lines count that shard's events.
+    Shard(usize),
+}
+
+impl std::fmt::Display for CheckScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckScope::Merged => write!(f, "merged"),
+            CheckScope::Shard(index) => write!(f, "shard {index}"),
+        }
+    }
+}
+
+/// A [`Violation`] tagged with where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopedViolation {
+    /// Which stream the violation was found on.
+    pub scope: CheckScope,
+    /// The underlying invariant violation.
+    pub violation: Violation,
+}
+
+impl std::fmt::Display for ScopedViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.scope, self.violation)
+    }
+}
+
+/// Verdict of an [`Engine::run_checked`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Events observed on the canonical merged stream (including the
+    /// `fleet_provisioned` header).
+    pub events: u64,
+    /// Every violation found, across the merged stream and (for the
+    /// sharded engine) each shard's inline checker.
+    pub violations: Vec<ScopedViolation>,
+}
+
+impl CheckSummary {
+    /// Whether the run satisfied every monitored invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
 /// The outcome of an [`Engine`] run: the Theorem 1.4.2 accounting, a
-/// snapshot of the always-on metrics registries, and the (flushed) sink.
+/// snapshot of the always-on metrics registries, and — for checked runs —
+/// the inline verification verdict. The event stream itself went to the
+/// caller's sink.
 #[derive(Debug)]
-pub struct Execution<S> {
+pub struct Execution {
     /// The on-line report (served/unserved, energy, replacements, …).
     pub report: OnlineReport,
     /// Always-on metrics: the `net.*` transport registry plus the
     /// `online.*` fleet counters and energy distribution.
     pub metrics: Metrics,
-    /// The sink the event stream was recorded into.
-    pub sink: S,
+    /// Inline verification verdict; `Some` exactly for
+    /// [`Engine::run_checked`].
+    pub check: Option<CheckSummary>,
 }
 
 /// A strategy for executing the on-line protocol over a job sequence.
 ///
-/// Both implementations produce the same [`Execution`] shape and feed the
-/// same event stream schema to `sink`, so callers (CLI, benchmarks,
-/// experiment drivers) select an engine without caring how it executes.
+/// Both implementations stream the same event schema in the same canonical
+/// order into the caller's sink, so callers (CLI, benchmarks, experiment
+/// drivers) select an engine without caring how it executes — including
+/// behind `&dyn Engine<D>`.
 pub trait Engine<const D: usize> {
-    /// Runs the protocol on `jobs` over `bounds`, recording events into
-    /// `sink`.
+    /// Runs the protocol on `jobs` over `bounds`, streaming the canonical
+    /// event order into `sink` as the simulation executes. Pass
+    /// [`NullSink`] (which reports itself disabled) to skip event
+    /// recording entirely.
     ///
     /// # Errors
     ///
     /// Returns an [`EngineError`] when the engine cannot run this
     /// configuration (grid too large for the dense engine, monitored mode
     /// on the sharded engine).
-    fn run<S: Sink>(
+    fn run(
         &self,
         bounds: GridBounds<D>,
         jobs: &JobSequence<D>,
         config: OnlineConfig,
-        sink: S,
-    ) -> Result<Execution<S>, EngineError>;
+        sink: &mut dyn Sink,
+    ) -> Result<Execution, EngineError>;
+
+    /// Like [`run`](Engine::run), but verifies the protocol invariants
+    /// inline while streaming: the returned [`Execution::check`] holds the
+    /// verdict. The event bytes reaching `sink` are identical to an
+    /// unchecked run.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Engine::run).
+    fn run_checked(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: &mut dyn Sink,
+    ) -> Result<Execution, EngineError>;
 }
 
 /// The dense sequential engine: one process per grid vertex, exact event
@@ -121,27 +209,70 @@ pub trait Engine<const D: usize> {
 pub struct Sequential;
 
 impl<const D: usize> Engine<D> for Sequential {
-    fn run<S: Sink>(
+    fn run(
         &self,
         bounds: GridBounds<D>,
         jobs: &JobSequence<D>,
         config: OnlineConfig,
-        sink: S,
-    ) -> Result<Execution<S>, EngineError> {
-        let mut sim = OnlineSim::try_with_sink(bounds, jobs, config, sink)?;
+        sink: &mut dyn Sink,
+    ) -> Result<Execution, EngineError> {
+        if sink.is_enabled() {
+            let mut sim = OnlineSim::try_with_sink(bounds, jobs, config, sink)?;
+            let report = sim.run();
+            let metrics = sim.metrics();
+            sim.into_sink().flush_events();
+            Ok(Execution {
+                report,
+                metrics,
+                check: None,
+            })
+        } else {
+            let mut sim = OnlineSim::try_new(bounds, jobs, config)?;
+            let report = sim.run();
+            let metrics = sim.metrics();
+            Ok(Execution {
+                report,
+                metrics,
+                check: None,
+            })
+        }
+    }
+
+    fn run_checked(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: &mut dyn Sink,
+    ) -> Result<Execution, EngineError> {
+        let mut sim = OnlineSim::try_with_sink(bounds, jobs, config, CheckSink::new(sink))?;
         let report = sim.run();
         let metrics = sim.metrics();
+        let (mut checker, inner) = sim.into_sink().into_parts();
+        inner.flush_events();
+        checker.finish();
+        let events = checker.events();
+        let violations = checker
+            .violations()
+            .iter()
+            .cloned()
+            .map(|violation| ScopedViolation {
+                scope: CheckScope::Merged,
+                violation,
+            })
+            .collect();
         Ok(Execution {
             report,
             metrics,
-            sink: sim.into_sink(),
+            check: Some(CheckSummary { events, violations }),
         })
     }
 }
 
 /// The sharded parallel engine: sparse state, conservative lockstep
-/// rounds on up to `threads` OS threads, canonical trace merge. The
-/// report and the merged trace are identical for every thread count.
+/// rounds on up to `threads` OS threads, streaming canonical trace merge
+/// at each round barrier. The report and the merged trace are identical
+/// for every thread count.
 #[derive(Debug, Clone, Copy)]
 pub struct Sharded {
     /// Upper bound on worker threads (clamped to the shard count; `1`
@@ -150,32 +281,67 @@ pub struct Sharded {
 }
 
 impl<const D: usize> Engine<D> for Sharded {
-    fn run<S: Sink>(
+    fn run(
         &self,
         bounds: GridBounds<D>,
         jobs: &JobSequence<D>,
         config: OnlineConfig,
-        mut sink: S,
-    ) -> Result<Execution<S>, EngineError> {
-        if S::ENABLED {
+        sink: &mut dyn Sink,
+    ) -> Result<Execution, EngineError> {
+        if sink.is_enabled() {
             let mut sim = ShardedOnlineSim::<D, VecSink>::new(bounds, jobs, config)?;
-            let report = sim.run(self.threads);
+            let report = sim.run_streaming(self.threads, sink);
             let metrics = sim.metrics();
-            sim.drain_merged(&mut sink);
             Ok(Execution {
                 report,
                 metrics,
-                sink,
+                check: None,
             })
         } else {
-            let mut sim = ShardedOnlineSim::<D>::new(bounds, jobs, config)?;
+            let mut sim = ShardedOnlineSim::<D, NullSink>::new(bounds, jobs, config)?;
             let report = sim.run(self.threads);
             let metrics = sim.metrics();
             Ok(Execution {
                 report,
                 metrics,
-                sink,
+                check: None,
             })
         }
+    }
+
+    fn run_checked(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: &mut dyn Sink,
+    ) -> Result<Execution, EngineError> {
+        let mut sim = ShardedOnlineSim::<D, CheckSink<VecSink>>::new(bounds, jobs, config)?;
+        let mut cross = MergeChecker::new();
+        let report = sim.run_streaming_checked(self.threads, sink, &mut cross);
+        let metrics = sim.metrics();
+        let mut violations: Vec<ScopedViolation> = sim
+            .take_shard_violations()
+            .into_iter()
+            .map(|(index, violation)| ScopedViolation {
+                scope: CheckScope::Shard(index),
+                violation,
+            })
+            .collect();
+        let events = cross.events();
+        violations.extend(
+            cross
+                .into_violations()
+                .into_iter()
+                .map(|violation| ScopedViolation {
+                    scope: CheckScope::Merged,
+                    violation,
+                }),
+        );
+        Ok(Execution {
+            report,
+            metrics,
+            check: Some(CheckSummary { events, violations }),
+        })
     }
 }

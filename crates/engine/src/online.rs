@@ -1,5 +1,5 @@
 //! The sharded on-line simulation: sparse per-shard drivers for the
-//! Chapter 3 protocol, plus the canonical trace merge.
+//! Chapter 3 protocol, plus the streaming canonical trace merge.
 //!
 //! Each shard owns a private [`Network`] holding only the vehicles of
 //! *materialized* cubes — a cube materializes the first time a job lands
@@ -10,7 +10,7 @@
 //! generic mail path of [`crate::rounds`] still runs underneath and is
 //! exercised by its own tests.
 //!
-//! ## Time, sequence numbers, and the merge
+//! ## Time, sequence numbers, and the streaming merge
 //!
 //! Round `r` starts at a global epoch `E_r` strictly greater than every
 //! shard's clock after round `r-1`, so rounds occupy disjoint ascending
@@ -23,18 +23,78 @@
 //! Because shard-local execution and the merge key are both independent
 //! of the worker count, the merged stream is byte-identical for any
 //! `--threads` value.
+//!
+//! The merge itself happens *during* the run: at every round barrier the
+//! coordinator drains each shard's buffer, k-way merges that round's
+//! events, and pushes them straight into the caller's sink
+//! ([`ShardedOnlineSim::run_streaming`]). Because rounds occupy disjoint
+//! ascending time bands, concatenating per-round merges equals a
+//! whole-run merge — but peak memory is one round's events, not the
+//! whole trace.
+//!
+//! ## Inline verification
+//!
+//! With `SS = CheckSink<VecSink>` every shard carries a full
+//! [`TraceChecker`] over its local stream (configured for the shard view:
+//! seeded capacity, gap-tolerant job ledger), and
+//! [`ShardedOnlineSim::run_streaming_checked`] feeds the merged stream
+//! through a [`MergeChecker`] that certifies the two properties only the
+//! merge can see — the global clock and global job-seq contiguity.
 
-use crate::rounds::{run_lockstep, RoundOutcome, RoundStats, ShardWorker};
+use crate::rounds::{run_lockstep, run_lockstep_with, RoundOutcome, RoundStats, ShardWorker};
 use crate::shard::ShardMap;
 use crate::EngineError;
 use cmvrp_grid::{pairing_in_cube, CubeId, CubePartition, GridBounds, Pairing, Point};
 use cmvrp_net::{NetConfig, Network, ProcessId};
-use cmvrp_obs::{Event, Histogram, Metrics, NullSink, Sink, VecSink, DEFAULT_BUCKETS};
+use cmvrp_obs::{
+    CheckSink, Event, Histogram, MergeChecker, Metrics, NullSink, Sink, StaticSink, TraceChecker,
+    VecSink, Violation, DEFAULT_BUCKETS,
+};
 use cmvrp_online::vehicle::{ServeResult, Vehicle};
 use cmvrp_online::{provision, OnlineConfig, OnlineMsg, OnlineReport, Provisioning};
 use cmvrp_workloads::JobSequence;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+
+/// What the sharded engine needs from a per-shard sink: a monomorphized
+/// [`StaticSink`] (so the disabled path compiles away inside the hot
+/// per-shard networks), round-by-round draining for the streaming merge,
+/// and an optional shard-local invariant checker.
+pub trait ShardSink: StaticSink + Default + Send {
+    /// Takes every event buffered since the last call (empty for
+    /// non-buffering sinks).
+    fn take_events(&mut self) -> Vec<Event>;
+
+    /// The shard-local invariant checker, when this sink carries one. The
+    /// engine configures it for the shard view at construction
+    /// ([`TraceChecker::set_capacity`], [`TraceChecker::allow_seq_gaps`])
+    /// and finishes it after the run.
+    fn inline_checker(&mut self) -> Option<&mut TraceChecker> {
+        None
+    }
+}
+
+impl ShardSink for NullSink {
+    fn take_events(&mut self) -> Vec<Event> {
+        Vec::new()
+    }
+}
+
+impl ShardSink for VecSink {
+    fn take_events(&mut self) -> Vec<Event> {
+        self.drain()
+    }
+}
+
+impl ShardSink for CheckSink<VecSink> {
+    fn take_events(&mut self) -> Vec<Event> {
+        self.inner_mut().drain()
+    }
+
+    fn inline_checker(&mut self) -> Option<&mut TraceChecker> {
+        Some(self.checker_mut())
+    }
+}
 
 /// Mixes the run seed with a shard id so shards draw independent delay
 /// streams while staying a pure function of `(seed, shard)`.
@@ -45,7 +105,7 @@ fn shard_seed(seed: u64, shard: usize) -> u64 {
 /// One shard's slice of the on-line simulation: a sparse mirror of
 /// `OnlineSim` restricted to the cubes this shard owns.
 #[derive(Debug)]
-struct ShardSim<const D: usize, SS: Sink> {
+struct ShardSim<const D: usize, SS: ShardSink> {
     net: Network<Vehicle<D>, OnlineMsg<D>, SS>,
     bounds: GridBounds<D>,
     part: CubePartition<D>,
@@ -67,7 +127,7 @@ struct ShardSim<const D: usize, SS: Sink> {
     arrival_scratch: Event,
 }
 
-impl<const D: usize, SS: Sink + Default> ShardSim<D, SS> {
+impl<const D: usize, SS: ShardSink> ShardSim<D, SS> {
     fn new(
         shard: usize,
         bounds: GridBounds<D>,
@@ -86,6 +146,13 @@ impl<const D: usize, SS: Sink + Default> ShardSim<D, SS> {
         );
         if SS::ENABLED {
             net.set_msg_classifier(OnlineMsg::<D>::kind);
+        }
+        if let Some(checker) = net.sink_mut().inline_checker() {
+            // The shard stream has no fleet_provisioned header and sees a
+            // non-contiguous slice of the global sequence numbers; seed
+            // the energy monitor and relax the ledger accordingly.
+            checker.set_capacity(capacity);
+            checker.allow_seq_gaps();
         }
         ShardSim {
             net,
@@ -223,7 +290,7 @@ impl<const D: usize, SS: Sink + Default> ShardSim<D, SS> {
     }
 }
 
-impl<const D: usize, SS: Sink + Default + Send> ShardWorker for ShardSim<D, SS> {
+impl<const D: usize, SS: ShardSink> ShardWorker for ShardSim<D, SS> {
     /// The on-line protocol is cube-confined, so shards never mail each
     /// other; the unit type documents (and the type system enforces) that
     /// this instantiation uses only the epoch side of the rounds layer.
@@ -261,11 +328,11 @@ impl<const D: usize, SS: Sink + Default + Send> ShardWorker for ShardSim<D, SS> 
     }
 }
 
-impl<const D: usize> ShardSim<D, VecSink> {
+impl<const D: usize, SS: ShardSink> ShardSim<D, SS> {
     /// Drains the shard's event buffer, rewriting local process ids to
     /// global (lexicographic vertex index) ids.
     fn drain_remapped(&mut self) -> Vec<Event> {
-        let mut events = self.net.sink_mut().drain();
+        let mut events = self.net.sink_mut().take_events();
         for ev in &mut events {
             match ev {
                 Event::MsgSent { from, to, .. }
@@ -297,35 +364,27 @@ impl<const D: usize> ShardSim<D, VecSink> {
     }
 }
 
-/// The simulation time of an event (0 for wall-clock-only spans, which the
-/// engine never emits).
+/// The merge key time of an event. Events without a simulation time
+/// (heartbeat tick-rounds, wall-clock spans) map to 0; the sharded engine
+/// never emits either — monitored mode is rejected at construction and
+/// spans come only from the offline algorithms.
 fn event_time(ev: &Event) -> u64 {
-    match ev {
-        Event::MsgSent { t, .. }
-        | Event::MsgDelivered { t, .. }
-        | Event::MsgDropped { t, .. }
-        | Event::JobArrived { t, .. }
-        | Event::JobServed { t, .. }
-        | Event::DiffusionStarted { t, .. }
-        | Event::DiffusionCompleted { t, .. }
-        | Event::ReplacementCycle { t, .. }
-        | Event::HeartbeatMissed { t, .. }
-        | Event::FleetProvisioned { t, .. }
-        | Event::ProcessCrashed { t, .. } => *t,
-        Event::PhaseSpan { .. } => 0,
-    }
+    ev.time().unwrap_or(0)
 }
 
 /// The sharded, sparse, deterministic parallel on-line simulator.
 ///
 /// Construction partitions the grid into cube-aligned shards
 /// ([`ShardMap`]) and splits the job sequence among them; [`run`] executes
-/// conservative lockstep rounds on up to `threads` OS threads. With
-/// `SS = VecSink`, [`drain_merged`] afterwards produces the canonical
-/// merged trace — byte-identical for every thread count.
+/// conservative lockstep rounds on up to `threads` OS threads. With a
+/// buffering shard sink (`SS = VecSink` or `SS = CheckSink<VecSink>`),
+/// [`run_streaming`] instead merges the per-shard streams into a caller
+/// sink *at every round barrier*, producing the canonical merged trace —
+/// byte-identical for every thread count — with peak memory bounded by
+/// one round's events.
 ///
 /// [`run`]: ShardedOnlineSim::run
-/// [`drain_merged`]: ShardedOnlineSim::drain_merged
+/// [`run_streaming`]: ShardedOnlineSim::run_streaming
 ///
 /// # Examples
 ///
@@ -344,14 +403,14 @@ fn event_time(ev: &Event) -> u64 {
 /// assert_eq!(report.unserved, 0);
 /// ```
 #[derive(Debug)]
-pub struct ShardedOnlineSim<const D: usize, SS: Sink + Default = NullSink> {
+pub struct ShardedOnlineSim<const D: usize, SS: ShardSink = NullSink> {
     shards: Vec<ShardSim<D, SS>>,
     bounds: GridBounds<D>,
     prov: Provisioning,
     stats: Option<RoundStats>,
 }
 
-impl<const D: usize, SS: Sink + Default + Send> ShardedOnlineSim<D, SS> {
+impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
     /// Builds the sharded simulation: derives the provisioning exactly as
     /// the dense engine does ([`provision`]), lays out cube-aligned shards,
     /// splits the job sequence by shard, and pre-assigns trace sequence
@@ -424,6 +483,73 @@ impl<const D: usize, SS: Sink + Default + Send> ShardedOnlineSim<D, SS> {
         self.shards = workers;
         self.stats = Some(stats);
         self.report()
+    }
+
+    /// Like [`run`](ShardedOnlineSim::run), but streams the canonical
+    /// merged trace into `sink` while the rounds execute: a single
+    /// `fleet_provisioned` header at `t = 0`, then — at every round
+    /// barrier — a stable k-way merge of that round's (id-remapped)
+    /// per-shard events keyed by `(t, shard, index)`. Rounds occupy
+    /// disjoint ascending time bands, so the concatenation of per-round
+    /// merges is exactly the whole-run merge; peak buffering is one
+    /// round's events. The merged bytes are identical for every
+    /// `threads ≥ 1`.
+    pub fn run_streaming(&mut self, threads: usize, sink: &mut dyn Sink) -> OnlineReport {
+        self.stream(threads, sink, None)
+    }
+
+    /// [`run_streaming`](ShardedOnlineSim::run_streaming) with the merged
+    /// stream additionally fed through `cross`, the merge-time checker for
+    /// the invariants only the merged order can certify (global clock
+    /// monotonicity, global job-seq contiguity). Shard-local invariants
+    /// are covered by per-shard [`CheckSink`]s when `SS` carries them; see
+    /// [`take_shard_violations`](ShardedOnlineSim::take_shard_violations).
+    pub fn run_streaming_checked(
+        &mut self,
+        threads: usize,
+        sink: &mut dyn Sink,
+        cross: &mut MergeChecker,
+    ) -> OnlineReport {
+        self.stream(threads, sink, Some(cross))
+    }
+
+    fn stream(
+        &mut self,
+        threads: usize,
+        sink: &mut dyn Sink,
+        mut cross: Option<&mut MergeChecker>,
+    ) -> OnlineReport {
+        let header = Event::FleetProvisioned {
+            t: 0,
+            vehicles: self.bounds.volume(),
+            capacity: self.prov.capacity,
+        };
+        if let Some(checker) = cross.as_deref_mut() {
+            checker.observe(&header);
+        }
+        sink.record(&header);
+        let workers = std::mem::take(&mut self.shards);
+        let (workers, stats) = run_lockstep_with(workers, threads, |shards| {
+            merge_round(shards, &mut *sink, cross.as_deref_mut());
+        });
+        self.shards = workers;
+        self.stats = Some(stats);
+        sink.flush_events();
+        self.report()
+    }
+
+    /// Finishes each shard's inline checker (running its end-of-trace
+    /// checks) and returns all shard-local violations tagged with the
+    /// shard index. Empty when `SS` carries no checker.
+    pub fn take_shard_violations(&mut self) -> Vec<(usize, Violation)> {
+        let mut out = Vec::new();
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            if let Some(checker) = shard.net.sink_mut().inline_checker() {
+                checker.finish();
+                out.extend(checker.violations().iter().cloned().map(|v| (index, v)));
+            }
+        }
+        out
     }
 
     /// The Theorem 1.4.2 accounting aggregated across shards.
@@ -548,40 +674,39 @@ impl<const D: usize, SS: Sink + Default + Send> ShardedOnlineSim<D, SS> {
     }
 }
 
-impl<const D: usize> ShardedOnlineSim<D, VecSink> {
-    /// Drains the per-shard event streams into `sink` in the canonical
-    /// total order: a single `fleet_provisioned` header at `t = 0`, then a
-    /// stable k-way merge of the (id-remapped) shard streams keyed by
-    /// `(t, shard, index)`. Per-shard times are nondecreasing, so the
-    /// merged clock is too; per-channel FIFO and Dijkstra–Scholten
-    /// deficits are shard-local and survive any interleave that preserves
-    /// per-shard order — which this one does by construction.
-    pub fn drain_merged<S: Sink>(&mut self, sink: &mut S) {
-        sink.record(&Event::FleetProvisioned {
-            t: 0,
-            vehicles: self.bounds.volume(),
-            capacity: self.prov.capacity,
-        });
-        let streams: Vec<Vec<Event>> = self
-            .shards
-            .iter_mut()
-            .map(|shard| shard.drain_remapped())
-            .collect();
-        let mut cursors = vec![0usize; streams.len()];
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        for (shard, stream) in streams.iter().enumerate() {
-            if let Some(first) = stream.first() {
-                heap.push(Reverse((event_time(first), shard)));
-            }
+/// Merges one round's per-shard event buffers into `sink` in the
+/// canonical total order: a stable k-way merge of the (id-remapped) shard
+/// streams keyed by `(t, shard, index)`. Per-shard times are
+/// nondecreasing, so the merged clock is too; per-channel FIFO and
+/// Dijkstra–Scholten deficits are shard-local and survive any interleave
+/// that preserves per-shard order — which this one does by construction.
+/// Runs on the coordinator thread at each round barrier while the workers
+/// are parked.
+fn merge_round<const D: usize, SS: ShardSink>(
+    shards: &mut [&mut ShardSim<D, SS>],
+    sink: &mut dyn Sink,
+    mut cross: Option<&mut MergeChecker>,
+) {
+    let streams: Vec<Vec<Event>> = shards
+        .iter_mut()
+        .map(|shard| shard.drain_remapped())
+        .collect();
+    let mut cursors = vec![0usize; streams.len()];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (shard, stream) in streams.iter().enumerate() {
+        if let Some(first) = stream.first() {
+            heap.push(Reverse((event_time(first), shard)));
         }
-        while let Some(Reverse((_, shard))) = heap.pop() {
-            let ev = &streams[shard][cursors[shard]];
-            sink.record(ev);
-            cursors[shard] += 1;
-            if let Some(next) = streams[shard].get(cursors[shard]) {
-                heap.push(Reverse((event_time(next), shard)));
-            }
+    }
+    while let Some(Reverse((_, shard))) = heap.pop() {
+        let ev = &streams[shard][cursors[shard]];
+        if let Some(checker) = cross.as_deref_mut() {
+            checker.observe(ev);
         }
-        sink.flush_events();
+        sink.record(ev);
+        cursors[shard] += 1;
+        if let Some(next) = streams[shard].get(cursors[shard]) {
+            heap.push(Reverse((event_time(next), shard)));
+        }
     }
 }

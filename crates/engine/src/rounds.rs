@@ -85,6 +85,28 @@ fn settle_round<W: ShardWorker>(
 ///
 /// Returns the workers (with their final state) and round statistics.
 pub fn run_lockstep<W: ShardWorker>(workers: Vec<W>, threads: usize) -> (Vec<W>, RoundStats) {
+    run_lockstep_with(workers, threads, |_: &mut [&mut W]| {})
+}
+
+/// [`run_lockstep`] with a per-round barrier hook.
+///
+/// `barrier_hook` runs on the coordinating thread once per round, after
+/// every shard has finished the round and before mail is routed for the
+/// next one — including after the final round. It sees all workers in
+/// shard order with exclusive access (the worker threads are parked at the
+/// barrier), so it can drain per-shard buffers incrementally — the sharded
+/// engine's streaming trace merge — without ever holding more than one
+/// round's data. The hook needs no `Send` bound: it never leaves the
+/// coordinator.
+pub fn run_lockstep_with<W, F>(
+    workers: Vec<W>,
+    threads: usize,
+    mut barrier_hook: F,
+) -> (Vec<W>, RoundStats)
+where
+    W: ShardWorker,
+    F: FnMut(&mut [&mut W]),
+{
     let n = workers.len();
     if n == 0 {
         return (
@@ -97,7 +119,7 @@ pub fn run_lockstep<W: ShardWorker>(workers: Vec<W>, threads: usize) -> (Vec<W>,
     }
     let threads = threads.clamp(1, n);
     if threads == 1 {
-        return run_inline(workers);
+        return run_inline(workers, barrier_hook);
     }
 
     let slots: Vec<Mutex<Slot<W>>> = workers
@@ -143,23 +165,27 @@ pub fn run_lockstep<W: ShardWorker>(workers: Vec<W>, threads: usize) -> (Vec<W>,
             barrier.wait(); // wait for every shard to finish it
             stats.rounds += 1;
             stats.final_epoch = epoch.load(Ordering::Acquire);
-            let outcomes: Vec<RoundOutcome<W::Mail>> = slots
+            // Workers are parked at the next barrier, so locking every
+            // slot at once is contention-free — and holding the guards
+            // across the hook gives it exclusive access to all workers.
+            let mut guards: Vec<_> = slots
                 .iter()
-                .map(|s| {
-                    s.lock()
-                        .expect("shard lock")
-                        .outcome
-                        .take()
-                        .expect("round outcome")
-                })
+                .map(|s| s.lock().expect("shard lock"))
                 .collect();
+            let outcomes: Vec<RoundOutcome<W::Mail>> = guards
+                .iter_mut()
+                .map(|g| g.outcome.take().expect("round outcome"))
+                .collect();
+            let mut views: Vec<&mut W> = guards.iter_mut().map(|g| &mut g.worker).collect();
+            barrier_hook(&mut views);
             // Route mail single-threaded at the barrier so delivery order
             // is a function of shard ids alone.
             let mut pending: Vec<Vec<W::Mail>> = (0..n).map(|_| Vec::new()).collect();
             let (next, done) = settle_round::<W>(outcomes, &mut pending, stats.final_epoch);
-            for (slot, mail) in slots.iter().zip(pending) {
-                slot.lock().expect("shard lock").inbox = mail;
+            for (guard, mail) in guards.iter_mut().zip(pending) {
+                guard.inbox = mail;
             }
+            drop(guards);
             if done {
                 stop.store(true, Ordering::Release);
                 barrier.wait(); // let workers observe `stop` and exit
@@ -176,9 +202,14 @@ pub fn run_lockstep<W: ShardWorker>(workers: Vec<W>, threads: usize) -> (Vec<W>,
     (workers, stats)
 }
 
-/// Single-threaded variant: same rounds, same mail routing, no threads or
-/// barriers. Produces bit-identical shard states to the threaded path.
-fn run_inline<W: ShardWorker>(mut workers: Vec<W>) -> (Vec<W>, RoundStats) {
+/// Single-threaded variant: same rounds, same mail routing, same hook
+/// points, no threads or barriers. Produces bit-identical shard states to
+/// the threaded path.
+fn run_inline<W, F>(mut workers: Vec<W>, mut barrier_hook: F) -> (Vec<W>, RoundStats)
+where
+    W: ShardWorker,
+    F: FnMut(&mut [&mut W]),
+{
     let n = workers.len();
     let mut inboxes: Vec<Vec<W::Mail>> = (0..n).map(|_| Vec::new()).collect();
     let mut epoch = 1u64;
@@ -194,6 +225,8 @@ fn run_inline<W: ShardWorker>(mut workers: Vec<W>) -> (Vec<W>, RoundStats) {
         }
         stats.rounds += 1;
         stats.final_epoch = epoch;
+        let mut views: Vec<&mut W> = workers.iter_mut().collect();
+        barrier_hook(&mut views);
         let (next, done) = settle_round::<W>(outcomes, &mut inboxes, epoch);
         if done {
             break;

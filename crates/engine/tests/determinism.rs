@@ -5,7 +5,7 @@
 
 use cmvrp_engine::{Engine, EngineError, Sharded, ShardedOnlineSim};
 use cmvrp_grid::GridBounds;
-use cmvrp_obs::{CheckSink, JsonlSink, NullSink};
+use cmvrp_obs::{check_lines, JsonlSink, NullSink};
 use cmvrp_online::OnlineConfig;
 use cmvrp_workloads::{arrivals, Ordering, WorkloadConfig};
 
@@ -39,25 +39,45 @@ fn panel() -> Vec<WorkloadConfig> {
     ]
 }
 
-/// Runs a workload on the sharded engine and returns the merged JSONL
-/// trace bytes plus the report.
-fn traced_run(config: &WorkloadConfig, threads: usize) -> (Vec<u8>, cmvrp_online::OnlineReport) {
+/// Runs a workload on the sharded engine, streaming the merged JSONL
+/// trace into an in-memory writer; returns the bytes plus the report.
+/// With `checked`, the run goes through the inline monitors (which must
+/// stay clean) — the streamed bytes are asserted identical either way by
+/// the tests below.
+fn traced_run(
+    config: &WorkloadConfig,
+    threads: usize,
+    checked: bool,
+) -> (Vec<u8>, cmvrp_online::OnlineReport) {
     let (bounds, demand) = config.generate();
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
-    let sink = JsonlSink::new(Vec::new());
-    let exec = Sharded { threads }
-        .run(bounds, &jobs, OnlineConfig::default(), sink)
-        .expect("sharded run");
-    (exec.sink.into_writer().expect("flush"), exec.report)
+    let mut sink = JsonlSink::new(Vec::new());
+    let engine = Sharded { threads };
+    let exec = if checked {
+        engine.run_checked(bounds, &jobs, OnlineConfig::default(), &mut sink)
+    } else {
+        engine.run(bounds, &jobs, OnlineConfig::default(), &mut sink)
+    }
+    .expect("sharded run");
+    if checked {
+        let check = exec.check.as_ref().expect("checked run");
+        assert!(
+            check.is_clean(),
+            "{}: {:?}",
+            config.label(),
+            check.violations
+        );
+    }
+    (sink.into_writer().expect("flush"), exec.report)
 }
 
 #[test]
 fn merged_trace_is_byte_identical_across_worker_counts() {
     for config in panel() {
-        let (baseline, base_report) = traced_run(&config, 1);
+        let (baseline, base_report) = traced_run(&config, 1, false);
         assert!(!baseline.is_empty());
         for threads in [2, 8] {
-            let (trace, report) = traced_run(&config, threads);
+            let (trace, report) = traced_run(&config, threads, false);
             assert_eq!(
                 trace,
                 baseline,
@@ -70,26 +90,50 @@ fn merged_trace_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn inline_checking_leaves_streamed_bytes_unchanged() {
+    // run_checked must be a pure observer: same merged bytes, same report.
+    for config in panel() {
+        let (plain, plain_report) = traced_run(&config, 8, false);
+        let (checked, checked_report) = traced_run(&config, 8, true);
+        assert_eq!(checked, plain, "{}", config.label());
+        assert_eq!(checked_report, plain_report, "{}", config.label());
+    }
+}
+
+#[test]
 fn merged_trace_passes_every_monitor() {
     for config in panel() {
         let (bounds, demand) = config.generate();
         let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
         let total = jobs.iter().count() as u64;
-        let sink = CheckSink::new(NullSink);
+        // Inline: per-shard monitors + merge-time cross-shard monitors.
         let exec = Sharded { threads: 8 }
-            .run(bounds, &jobs, OnlineConfig::default(), sink)
+            .run_checked(bounds, &jobs, OnlineConfig::default(), &mut NullSink)
             .expect("sharded run");
         let report = exec.report;
-        let (mut checker, _) = exec.sink.into_parts();
-        checker.finish();
+        let check = exec.check.expect("checked run");
         assert!(
-            checker.is_clean(),
+            check.is_clean(),
             "{}: {:?}",
             config.label(),
-            checker.violations()
+            check.violations
         );
+        assert!(check.events > 0);
         assert_eq!(report.served + report.unserved, total);
         assert_eq!(report.unserved, 0, "{}", config.label());
+        // Offline: the streamed bytes replay cleanly through the full
+        // single-stream checker too (every monitor, including the ones
+        // the inline split covers shard-locally).
+        let (trace, _) = traced_run(&config, 8, false);
+        let text = String::from_utf8(trace).expect("utf8 trace");
+        let offline = check_lines(text.lines(), None).expect("parse merged trace");
+        assert!(
+            offline.is_clean(),
+            "{}: offline violations {:?}",
+            config.label(),
+            offline.violations
+        );
+        assert_eq!(offline.events, check.events, "{}", config.label());
     }
 }
 

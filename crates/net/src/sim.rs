@@ -16,7 +16,9 @@
 //! [`Network::post`]/[`Network::trigger`] calls, every run delivers the same
 //! messages in the same order.
 
-use cmvrp_obs::{DropReason, Event, Histogram, Metrics, MsgKind, NullSink, Sink, DEFAULT_BUCKETS};
+use cmvrp_obs::{
+    DropReason, Event, Histogram, Metrics, MsgKind, NullSink, StaticSink, DEFAULT_BUCKETS,
+};
 use cmvrp_util::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -153,7 +155,7 @@ struct Envelope<M> {
 /// nothing: event construction is guarded by `S::ENABLED` and every
 /// `record` call inlines to an empty body.
 #[derive(Debug)]
-pub struct Network<P, M, S: Sink = NullSink> {
+pub struct Network<P, M, S: StaticSink = NullSink> {
     processes: Vec<P>,
     crashed: Vec<bool>,
     config: NetConfig,
@@ -192,7 +194,7 @@ where
 impl<P, M, S> Network<P, M, S>
 where
     P: Process<M>,
-    S: Sink,
+    S: StaticSink,
 {
     /// Creates a network whose message lifecycle is traced into `sink`.
     pub fn with_sink(processes: Vec<P>, config: NetConfig, sink: S) -> Self {

@@ -37,7 +37,7 @@
 //! it is not a trace field.
 
 use crate::event::{DropReason, Event, MsgKind};
-use crate::sink::Sink;
+use crate::sink::{Sink, StaticSink};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -183,6 +183,11 @@ pub struct TraceChecker {
     crashed: Vec<bool>,
     any_crashed: bool,
     next_job_seq: u64,
+    /// Tolerate forward gaps in arrival sequence numbers (shard-local
+    /// streams see a strictly increasing but non-contiguous slice of the
+    /// globally pre-assigned numbers).
+    seq_gaps_ok: bool,
+    arrived: Vec<bool>,
     served: Vec<bool>,
     energy: Vec<u64>,
     capacity: Option<u64>,
@@ -201,6 +206,18 @@ impl TraceChecker {
     /// trace predates the `fleet_provisioned` event (a later event wins).
     pub fn set_capacity(&mut self, capacity: u64) {
         self.capacity = Some(capacity);
+    }
+
+    /// Relaxes the job ledger to accept forward gaps in arrival sequence
+    /// numbers, keeping every other ledger check (monotone arrivals,
+    /// serve-after-arrive, no double serving).
+    ///
+    /// The sharded engine pre-assigns global sequence numbers across all
+    /// shards, so each shard-local stream sees a strictly increasing but
+    /// non-contiguous slice of them; contiguity of the full sequence is
+    /// re-established (and checked) at the merge.
+    pub fn allow_seq_gaps(&mut self) {
+        self.seq_gaps_ok = true;
     }
 
     /// Events observed so far.
@@ -407,13 +424,25 @@ impl TraceChecker {
             }
             Event::JobArrived { t, seq, .. } => {
                 self.clock(line, *t);
-                if *seq != self.next_job_seq {
+                if self.seq_gaps_ok {
+                    if *seq < self.next_job_seq {
+                        self.report(
+                            "job-ledger",
+                            line,
+                            format!(
+                                "job seq {seq} arrived out of order (next must be >= {})",
+                                self.next_job_seq
+                            ),
+                        );
+                    }
+                } else if *seq != self.next_job_seq {
                     self.report(
                         "job-ledger",
                         line,
                         format!("job seq {seq} arrived, expected seq {}", self.next_job_seq),
                     );
                 }
+                *grow(&mut self.arrived, *seq as usize) = true;
                 self.next_job_seq = self.next_job_seq.max(*seq + 1);
                 None
             }
@@ -424,7 +453,7 @@ impl TraceChecker {
                 cost,
             } => {
                 self.clock(line, *t);
-                if *seq >= self.next_job_seq {
+                if !self.arrived.get(*seq as usize).copied().unwrap_or(false) {
                     self.report(
                         "job-ledger",
                         line,
@@ -751,6 +780,19 @@ impl<S: Sink> CheckSink<S> {
         &self.checker
     }
 
+    /// Mutable access to the checker — for configuring it before a run
+    /// ([`TraceChecker::set_capacity`], [`TraceChecker::allow_seq_gaps`])
+    /// or finishing it in place.
+    pub fn checker_mut(&mut self) -> &mut TraceChecker {
+        &mut self.checker
+    }
+
+    /// Mutable access to the wrapped sink (e.g. to drain a buffering
+    /// inner sink mid-run without disturbing the checker).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
     /// Splits into the checker and the wrapped sink. Call
     /// [`TraceChecker::finish`] on the checker to run end-of-trace checks.
     pub fn into_parts(self) -> (TraceChecker, S) {
@@ -759,9 +801,6 @@ impl<S: Sink> CheckSink<S> {
 }
 
 impl<S: Sink> Sink for CheckSink<S> {
-    // Enabled even over a NullSink: the point is the checking.
-    const ENABLED: bool = true;
-
     fn record(&mut self, event: &Event) {
         self.checker.observe(event);
         self.inner.record(event);
@@ -769,6 +808,98 @@ impl<S: Sink> Sink for CheckSink<S> {
 
     fn flush_events(&mut self) {
         self.inner.flush_events();
+    }
+
+    // Enabled even over a NullSink: the point is the checking.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+impl<S: Sink> StaticSink for CheckSink<S> {}
+
+/// Merge-time cross-shard monitors.
+///
+/// The sharded engine runs a full [`TraceChecker`] inside every shard (via
+/// a per-shard [`CheckSink`]), which covers the shard-local invariants:
+/// energy, channel FIFO/causality, DS deficits, crash silence, spans, the
+/// per-shard job ledger, and the per-shard clock. Two properties are only
+/// visible on the canonical *merged* stream, and this checker validates
+/// exactly those as the merge streams by:
+///
+/// * **`clock`** — global simulation time never runs backwards across
+///   shards (heartbeat and span events are exempt, as in the full
+///   checker);
+/// * **`job-ledger`** — the globally pre-assigned arrival sequence numbers
+///   come out of the merge contiguous: 0, 1, 2, … (each shard alone only
+///   certifies its increasing slice).
+///
+/// Violation lines are 1-based ordinals in the merged stream, so they
+/// agree with `trace check` line numbers on the written trace.
+#[derive(Debug, Default)]
+pub struct MergeChecker {
+    events: u64,
+    last_t: u64,
+    next_job_seq: u64,
+    violations: Vec<Violation>,
+}
+
+impl MergeChecker {
+    /// Creates a checker with no events observed.
+    pub fn new() -> Self {
+        MergeChecker::default()
+    }
+
+    /// Observes the next event of the merged stream.
+    pub fn observe(&mut self, ev: &Event) {
+        self.events += 1;
+        let line = self.events as usize;
+        if let Some(t) = ev.time() {
+            if t < self.last_t {
+                self.violations.push(Violation {
+                    invariant: "clock",
+                    line,
+                    detail: format!(
+                        "merged simulation time ran backwards: t={t} after t={}",
+                        self.last_t
+                    ),
+                });
+            }
+            self.last_t = self.last_t.max(t);
+        }
+        if let Event::JobArrived { seq, .. } = ev {
+            if *seq != self.next_job_seq {
+                self.violations.push(Violation {
+                    invariant: "job-ledger",
+                    line,
+                    detail: format!(
+                        "merged stream: job seq {seq} arrived, expected seq {}",
+                        self.next_job_seq
+                    ),
+                });
+            }
+            self.next_job_seq = self.next_job_seq.max(*seq + 1);
+        }
+    }
+
+    /// Events observed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Violations found so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether no violation has been found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Consumes the checker, yielding its violations.
+    pub fn into_violations(self) -> Vec<Violation> {
+        self.violations
     }
 }
 
@@ -1003,6 +1134,117 @@ mod tests {
         let report = check(&evs);
         assert!(report.is_clean(), "{:?}", report.violations);
         assert!(!report.active.contains(&"ds-deficit"));
+    }
+
+    fn arrived(t: u64, seq: u64) -> Event {
+        Event::JobArrived {
+            t,
+            seq,
+            pos: vec![0, 0],
+        }
+    }
+
+    #[test]
+    fn seq_gap_mode_accepts_shard_slices_but_keeps_order_and_ledger() {
+        // A shard-local stream: global seqs 1, 4, 9 with serves — legal
+        // once gaps are allowed, illegal for the default checker.
+        let slice = [
+            arrived(1, 1),
+            Event::JobServed {
+                t: 1,
+                seq: 1,
+                vehicle: 0,
+                cost: 1,
+            },
+            arrived(2, 4),
+            arrived(3, 9),
+        ];
+        let mut strict = TraceChecker::new();
+        let mut lax = TraceChecker::new();
+        lax.allow_seq_gaps();
+        for ev in &slice {
+            strict.observe(ev);
+            lax.observe(ev);
+        }
+        assert!(!strict.is_clean());
+        assert!(lax.is_clean(), "{:?}", lax.violations());
+
+        // Out-of-order arrivals and phantom serves still fire in gap mode.
+        let mut lax = TraceChecker::new();
+        lax.allow_seq_gaps();
+        lax.observe(&arrived(1, 5));
+        lax.observe(&arrived(2, 3));
+        assert_eq!(lax.violations().len(), 1);
+        assert_eq!(lax.violations()[0].invariant, "job-ledger");
+        let mut lax = TraceChecker::new();
+        lax.allow_seq_gaps();
+        lax.observe(&arrived(1, 5));
+        lax.observe(&Event::JobServed {
+            t: 2,
+            seq: 3,
+            vehicle: 0,
+            cost: 1,
+        });
+        assert!(lax
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "job-ledger" && v.detail.contains("never arrived")));
+    }
+
+    #[test]
+    fn serve_between_arrivals_checked_precisely() {
+        // seq 1 arrived, seq 0 never did; serving seq 0 must fire even
+        // though 0 < next_job_seq (the old high-water heuristic missed it).
+        let mut checker = TraceChecker::new();
+        checker.observe(&arrived(1, 1)); // itself an order violation (strict)
+        checker.observe(&Event::JobServed {
+            t: 2,
+            seq: 0,
+            vehicle: 0,
+            cost: 1,
+        });
+        assert!(checker
+            .violations()
+            .iter()
+            .any(|v| v.detail.contains("never arrived")));
+    }
+
+    #[test]
+    fn merge_checker_guards_global_clock_and_seq_contiguity() {
+        let mut mc = MergeChecker::new();
+        mc.observe(&Event::FleetProvisioned {
+            t: 0,
+            vehicles: 4,
+            capacity: 10,
+        });
+        mc.observe(&arrived(1, 0));
+        mc.observe(&arrived(2, 1));
+        assert!(mc.is_clean());
+        assert_eq!(mc.events(), 3);
+
+        // A gap in the merged seq order: shard checkers can't see it.
+        let mut mc = MergeChecker::new();
+        mc.observe(&arrived(1, 0));
+        mc.observe(&arrived(2, 2));
+        assert_eq!(mc.violations().len(), 1);
+        assert_eq!(mc.violations()[0].invariant, "job-ledger");
+        assert_eq!(mc.violations()[0].line, 2);
+
+        // Cross-shard time regression.
+        let mut mc = MergeChecker::new();
+        mc.observe(&arrived(5, 0));
+        mc.observe(&arrived(3, 1));
+        assert!(mc.into_violations().iter().any(|v| v.invariant == "clock"));
+
+        // Heartbeats are tick-round stamped: exempt from the merged clock.
+        let mut mc = MergeChecker::new();
+        mc.observe(&arrived(5, 0));
+        mc.observe(&Event::HeartbeatMissed {
+            t: 1,
+            watcher: 0,
+            peer: 1,
+        });
+        assert!(mc.is_clean());
     }
 }
 

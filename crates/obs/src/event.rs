@@ -239,6 +239,28 @@ impl Event {
         }
     }
 
+    /// The event's global simulation timestamp, when it carries one.
+    ///
+    /// `heartbeat_missed` is stamped in watcher-local tick rounds and
+    /// `phase_span` in wall-clock nanoseconds; neither lives on the global
+    /// simulation clock, so both return `None` (and are exactly the events
+    /// the clock monitor exempts).
+    pub fn time(&self) -> Option<u64> {
+        match self {
+            Event::MsgSent { t, .. }
+            | Event::MsgDelivered { t, .. }
+            | Event::MsgDropped { t, .. }
+            | Event::JobArrived { t, .. }
+            | Event::JobServed { t, .. }
+            | Event::DiffusionStarted { t, .. }
+            | Event::DiffusionCompleted { t, .. }
+            | Event::ReplacementCycle { t, .. }
+            | Event::FleetProvisioned { t, .. }
+            | Event::ProcessCrashed { t, .. } => Some(*t),
+            Event::HeartbeatMissed { .. } | Event::PhaseSpan { .. } => None,
+        }
+    }
+
     /// Renders the event as one line of JSON (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(64);

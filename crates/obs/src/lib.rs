@@ -99,9 +99,11 @@ pub mod replay;
 pub mod sink;
 pub mod span;
 
-pub use check::{check_lines, CheckReport, CheckSink, TraceChecker, Violation, INVARIANTS};
+pub use check::{
+    check_lines, CheckReport, CheckSink, MergeChecker, TraceChecker, Violation, INVARIANTS,
+};
 pub use event::{DropReason, Event, MsgKind};
 pub use metrics::{Histogram, Metrics, DEFAULT_BUCKETS};
 pub use replay::{summarize, ReplaySummary};
-pub use sink::{JsonlSink, NullSink, RingSink, Sink, VecSink};
+pub use sink::{JsonlSink, NullSink, RingSink, Sink, StaticSink, VecSink};
 pub use span::{now_ns, Span};

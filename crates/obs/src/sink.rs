@@ -1,10 +1,17 @@
 //! Event sinks: where trace events go.
 //!
-//! The simulators are generic over a [`Sink`] so the disabled case
-//! ([`NullSink`]) monomorphizes to nothing: `Sink::ENABLED` is an
-//! associated constant, every `record` call on the null sink is an empty
-//! inlined body, and event *construction* is guarded at the call sites
-//! behind the same constant.
+//! The sink API has two halves:
+//!
+//! * [`Sink`] is **dyn-compatible**: execution engines accept a
+//!   caller-supplied `&mut dyn Sink` and stream the canonical event order
+//!   into it, so callers choose the destination (file, buffer, checker)
+//!   without the engine being generic over it.
+//! * [`StaticSink`] adds the compile-time `ENABLED` constant. The hot
+//!   simulation loops are generic over `S: StaticSink` and guard event
+//!   *construction* behind `S::ENABLED`, so a [`NullSink`]-typed run
+//!   monomorphizes to nothing. Engines bridge the two worlds: they consult
+//!   [`Sink::is_enabled`] once up front and route disabled runs onto the
+//!   `NullSink`-typed fast path.
 
 use crate::event::Event;
 use std::collections::VecDeque;
@@ -12,28 +19,66 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
-/// A destination for trace events.
+/// A destination for trace events (dyn-compatible; see the module docs).
 pub trait Sink {
-    /// Whether recording does anything at all. Callers may (and do) skip
-    /// event construction entirely when this is `false`.
-    const ENABLED: bool = true;
-
     /// Records one event.
     fn record(&mut self, event: &Event);
 
     /// Flushes any buffered output; default is a no-op.
     fn flush_events(&mut self) {}
+
+    /// Whether recording does anything at all. Engines consult this once
+    /// per run to route disabled sinks onto the untraced fast path (which
+    /// skips event construction wholesale); `true` for every sink except
+    /// [`NullSink`].
+    fn is_enabled(&self) -> bool {
+        true
+    }
 }
+
+/// A [`Sink`] whose enablement is a compile-time constant.
+///
+/// Simulation hot loops bound by `S: StaticSink` skip event construction
+/// entirely when `S::ENABLED` is false. Every concrete sink in this module
+/// implements it; `&mut dyn Sink` participates through the blanket impl on
+/// mutable references, which is conservatively enabled (the engines have
+/// already diverted disabled sinks before handing a reference down).
+pub trait StaticSink: Sink {
+    /// Compile-time mirror of [`Sink::is_enabled`].
+    const ENABLED: bool = true;
+}
+
+impl<S: Sink + ?Sized> Sink for &mut S {
+    fn record(&mut self, event: &Event) {
+        (**self).record(event);
+    }
+
+    fn flush_events(&mut self) {
+        (**self).flush_events();
+    }
+
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+}
+
+impl<S: Sink + ?Sized> StaticSink for &mut S {}
 
 /// The default sink: discards everything, compiles to nothing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullSink;
 
 impl Sink for NullSink {
-    const ENABLED: bool = false;
-
     #[inline(always)]
     fn record(&mut self, _event: &Event) {}
+
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+impl StaticSink for NullSink {
+    const ENABLED: bool = false;
 }
 
 /// A bounded in-memory ring buffer keeping the most recent events.
@@ -108,6 +153,8 @@ impl Sink for RingSink {
     }
 }
 
+impl StaticSink for RingSink {}
+
 /// An unbounded in-memory sink: keeps every event, in order.
 ///
 /// The sharded engine gives each shard a `VecSink`, then merges the
@@ -162,6 +209,8 @@ impl Sink for VecSink {
         self.buf.push(event.clone());
     }
 }
+
+impl StaticSink for VecSink {}
 
 /// Streams events as JSON lines to any writer (hand-rolled, no serde).
 ///
@@ -252,6 +301,8 @@ impl<W: Write> Sink for JsonlSink<W> {
     }
 }
 
+impl<W: Write> StaticSink for JsonlSink<W> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,7 +319,28 @@ mod tests {
     #[test]
     fn null_sink_is_disabled() {
         const { assert!(!NullSink::ENABLED) };
+        assert!(!NullSink.is_enabled());
         NullSink.record(&ev(0)); // does nothing, does not panic
+    }
+
+    #[test]
+    fn dyn_sinks_forward_through_mut_refs() {
+        // The engines hand `&mut dyn Sink` down; the blanket impl must
+        // forward records and report the referent's enablement.
+        let mut vec = VecSink::new();
+        {
+            let dyn_sink: &mut dyn Sink = &mut vec;
+            assert!(dyn_sink.is_enabled());
+            let reborrow = dyn_sink;
+            reborrow.record(&ev(1));
+            reborrow.flush_events();
+        }
+        assert_eq!(vec.len(), 1);
+        let mut null = NullSink;
+        let dyn_null: &mut dyn Sink = &mut null;
+        assert!(!dyn_null.is_enabled());
+        // The static flag on `&mut S` is conservatively enabled.
+        const { assert!(<&mut VecSink as StaticSink>::ENABLED) };
     }
 
     #[test]

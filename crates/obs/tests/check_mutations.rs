@@ -10,7 +10,7 @@
 //! * the committed golden trace under `tests/data/`, mutated textually,
 //!   so the end-to-end JSONL schema stays covered too.
 
-use cmvrp_obs::{check_lines, CheckReport};
+use cmvrp_obs::{check_lines, CheckReport, CheckSink, Event, MergeChecker, NullSink, Sink};
 
 /// A minimal clean trace exercising every monitor: a served job, one full
 /// Dijkstra–Scholten search (2 queries, 2 replies, zero deficit at
@@ -143,6 +143,96 @@ fn inverted_span_rejected() {
     let mut t = base();
     t.push(r#"{"ev":"phase_span","name":"route","start_ns":10,"end_ns":5}"#.to_string());
     assert_rejects(&check(&t), "span", 21);
+}
+
+// ---- inline (per-shard) agreement with the offline checker ----
+
+/// Replays `lines` through a shard-configured inline [`CheckSink`] —
+/// capacity seeded, gap-tolerant job ledger, no `fleet_provisioned`
+/// header — exactly how the sharded engine wires each shard's checker —
+/// and returns the invariant names it reports.
+fn inline_shard_violations(lines: &[String]) -> Vec<&'static str> {
+    let mut sink = CheckSink::new(NullSink);
+    sink.checker_mut().set_capacity(10);
+    sink.checker_mut().allow_seq_gaps();
+    for line in lines {
+        if line.trim().is_empty() || line.contains("\"ev\":\"fleet_provisioned\"") {
+            continue;
+        }
+        sink.record(&Event::from_json(line).expect("event must parse"));
+    }
+    let (mut checker, _) = sink.into_parts();
+    checker.finish();
+    checker.violations().iter().map(|v| v.invariant).collect()
+}
+
+/// Every shard-visible mutation above must be rejected by the inline
+/// per-shard checker with the **same invariant name** the offline
+/// `trace check` reports — `simulate --threads=N --check` and a later
+/// offline pass over the written trace must never disagree on what broke.
+#[test]
+fn inline_shard_checker_agrees_with_offline_on_shard_visible_mutations() {
+    type Mutation = fn(&mut Vec<String>);
+    let mutations: Vec<(&'static str, Mutation)> = vec![
+        ("channel-fifo", |t| t.swap(16, 17)),
+        ("ds-deficit", |t| t[11] = String::new()),
+        ("capacity", |t| {
+            t[19] = t[19].replace("\"cost\":2", "\"cost\":9")
+        }),
+        ("crash-silence", |t| {
+            t[15] = r#"{"ev":"process_crashed","t":7,"proc":2}"#.to_string()
+        }),
+        ("clock", |t| t[18] = t[18].replace("\"t\":9", "\"t\":3")),
+        ("job-ledger", |t| {
+            t[19] = t[19].replace("\"seq\":1", "\"seq\":0")
+        }),
+        ("replacement-liveness", |t| {
+            t[12] = t[12].replace("\"found\":true", "\"found\":false")
+        }),
+        ("span", |t| {
+            t.push(r#"{"ev":"phase_span","name":"route","start_ns":10,"end_ns":5}"#.to_string())
+        }),
+    ];
+    for (invariant, mutate) in mutations {
+        let mut t = base();
+        mutate(&mut t);
+        let offline = check(&t);
+        assert!(
+            offline.violations.iter().any(|v| v.invariant == invariant),
+            "offline checker missed [{invariant}]: {:#?}",
+            offline.violations
+        );
+        let inline = inline_shard_violations(&t);
+        assert!(
+            inline.contains(&invariant),
+            "inline shard checker missed [{invariant}], got {inline:?}"
+        );
+    }
+}
+
+/// The one corruption the gap-tolerant shard view *cannot* see — a forward
+/// jump in the globally assigned sequence numbers — is exactly what the
+/// merge-time checker exists for.
+#[test]
+fn seq_gap_mutation_is_caught_at_the_merge_not_the_shard() {
+    let mut t = base();
+    t[18] = t[18].replace("\"seq\":1", "\"seq\":5");
+    t[19] = t[19].replace("\"seq\":1", "\"seq\":5");
+    // Shard-local view: strictly increasing, gaps allowed — accepted.
+    assert_eq!(inline_shard_violations(&t), Vec::<&str>::new());
+    // Merge view: arrivals must come out contiguous — rejected.
+    let mut merge = MergeChecker::new();
+    for line in &t {
+        merge.observe(&Event::from_json(line).expect("event must parse"));
+    }
+    assert!(
+        merge
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "job-ledger"),
+        "{:#?}",
+        merge.violations()
+    );
 }
 
 // ---- golden-trace mutations (end-to-end over the committed fixture) ----

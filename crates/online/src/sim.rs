@@ -7,7 +7,7 @@ use cmvrp_core::cubes::omega_c;
 use cmvrp_core::plan::lemma_side;
 use cmvrp_grid::{pairing_in_cube, CubeId, CubePartition, GridBounds, Pairing, Point};
 use cmvrp_net::{NetConfig, Network, ProcessId};
-use cmvrp_obs::{Event, Histogram, Metrics, NullSink, Sink, DEFAULT_BUCKETS};
+use cmvrp_obs::{Event, Histogram, Metrics, NullSink, StaticSink, DEFAULT_BUCKETS};
 use cmvrp_util::Ratio;
 use cmvrp_workloads::JobSequence;
 use std::collections::HashMap;
@@ -147,7 +147,7 @@ pub struct OnlineReport {
 /// The on-line simulator: a [`Network`] of [`Vehicle`]s plus the
 /// physical-layer registry (positions, pairings, neighbor lists).
 #[derive(Debug)]
-pub struct OnlineSim<const D: usize, S: Sink = NullSink> {
+pub struct OnlineSim<const D: usize, S: StaticSink = NullSink> {
     net: Network<Vehicle<D>, OnlineMsg<D>, S>,
     bounds: GridBounds<D>,
     part: CubePartition<D>,
@@ -194,7 +194,7 @@ impl<const D: usize> OnlineSim<D> {
     }
 }
 
-impl<const D: usize, S: Sink> OnlineSim<D, S> {
+impl<const D: usize, S: StaticSink> OnlineSim<D, S> {
     /// Like [`OnlineSim::new`], but every network and protocol event is
     /// also recorded into `sink` (see `cmvrp_obs` for the event schema).
     pub fn with_sink(
