@@ -1,16 +1,19 @@
 //! Bench: parallel scaling of the sharded engine — the dense sequential
-//! engine vs the sparse sharded engine at 1/2/4/8 workers on the same
-//! workloads, reported as events/sec alongside wall-clock. Writes
-//! `BENCH_par.json` at the repo root; the notes carry paired
-//! min-of-samples speedups (same methodology as `BENCH_obs.json`: the
-//! modes alternate run-by-run so they see identical machine-load epochs),
-//! the sparse-memory evidence from a million-vehicle grid, and a peak-RSS
+//! engine vs the sparse sharded engine at 1/2/4/8 workers and across
+//! scheduling policies (static round-robin vs work stealing vs the
+//! between-round rebalancer) on the same workloads, reported as
+//! events/sec alongside wall-clock. Writes `BENCH_par.json` at the repo
+//! root; the notes carry paired min-of-samples speedups (same
+//! methodology as `BENCH_obs.json`: the modes alternate run-by-run so
+//! they see identical machine-load epochs), the steal-vs-static ratio
+//! per worker count, an events/s-per-worker scaling-efficiency row, the
+//! sparse-memory evidence from a million-vehicle grid, and a peak-RSS
 //! comparison of the streaming round-barrier merge against the old
 //! buffer-everything drain (each measured in its own subprocess, so the
 //! `VmHWM` high-water marks don't contaminate each other).
 
 use cmvrp_bench::harness::{peak_rss_kb, Harness};
-use cmvrp_engine::{Engine, Sequential, Sharded, ShardedOnlineSim};
+use cmvrp_engine::{Engine, ExecConfig, Schedule, ShardedOnlineSim};
 use cmvrp_grid::GridBounds;
 use cmvrp_obs::{JsonlSink, NullSink, Sink, VecSink};
 use cmvrp_online::OnlineConfig;
@@ -27,8 +30,9 @@ fn jobs_for(cfg: &WorkloadConfig) -> (GridBounds<2>, JobSequence<2>) {
     )
 }
 
-/// Events in the run's trace (identical for every sharded worker count;
-/// the sequential stream has the same schema but its own interleaving).
+/// Events in the run's trace (identical for every sharded worker count
+/// and schedule; the sequential stream has the same schema but its own
+/// interleaving).
 fn event_count(engine: &dyn Engine<2>, bounds: GridBounds<2>, jobs: &JobSequence<2>) -> u64 {
     let mut sink = VecSink::new();
     let exec = engine
@@ -50,19 +54,50 @@ fn paired_modes(
     let mut par_best = [u64::MAX; WORKER_COUNTS.len()];
     for _ in 0..reps {
         let t = std::time::Instant::now();
-        let exec = Sequential
+        let exec = ExecConfig::new()
             .run(bounds, jobs, config, &mut NullSink)
             .expect("sequential");
         black_box(exec.report);
         seq_best = seq_best.min(t.elapsed().as_nanos() as u64);
         for (slot, &threads) in par_best.iter_mut().zip(&WORKER_COUNTS) {
+            let exec = ExecConfig::new().threads(threads);
             let t = std::time::Instant::now();
             let mut sim = ShardedOnlineSim::<2>::new(bounds, jobs, config).expect("sharded");
-            black_box(sim.run(threads));
+            black_box(sim.run(&exec));
             *slot = (*slot).min(t.elapsed().as_nanos() as u64);
         }
     }
     (seq_best, par_best)
+}
+
+/// Paired min-of-samples wall-clock for static vs steal at every worker
+/// count: each rep interleaves the two policies per worker count, so the
+/// steal-vs-static ratio sees identical machine-load epochs.
+fn paired_schedules(
+    bounds: GridBounds<2>,
+    jobs: &JobSequence<2>,
+    reps: usize,
+) -> ([u64; WORKER_COUNTS.len()], [u64; WORKER_COUNTS.len()]) {
+    let config = OnlineConfig::default();
+    let mut static_best = [u64::MAX; WORKER_COUNTS.len()];
+    let mut steal_best = [u64::MAX; WORKER_COUNTS.len()];
+    for _ in 0..reps {
+        for (i, &threads) in WORKER_COUNTS.iter().enumerate() {
+            for schedule in [Schedule::Static, Schedule::Steal] {
+                let exec = ExecConfig::new().threads(threads).schedule(schedule);
+                let t = std::time::Instant::now();
+                let mut sim = ShardedOnlineSim::<2>::new(bounds, jobs, config).expect("sharded");
+                black_box(sim.run(&exec));
+                let ns = t.elapsed().as_nanos() as u64;
+                let slot = match schedule {
+                    Schedule::Steal => &mut steal_best[i],
+                    _ => &mut static_best[i],
+                };
+                *slot = (*slot).min(ns);
+            }
+        }
+    }
+    (static_best, steal_best)
 }
 
 /// The long point-source workload for the peak-RSS comparison: one hot
@@ -84,7 +119,7 @@ fn rss_workload() -> (GridBounds<2>, JobSequence<2>) {
 fn rss_child(mode: &str) {
     let (bounds, jobs) = rss_workload();
     let config = OnlineConfig::default();
-    let engine = Sharded { threads: 2 };
+    let engine = ExecConfig::new().threads(2);
     let events = match mode {
         "streaming" => {
             let mut sink = JsonlSink::new(std::io::sink());
@@ -160,7 +195,8 @@ fn main() {
     // Two scaling workloads on a 64×64 grid (4096 vehicles — still within
     // the dense engine's limit, so the sequential baseline is honest):
     // spread-out uniform demand (many active cubes, balanced shards) and
-    // zipf clusters (diffusion-heavy, imbalanced shards).
+    // zipf clusters (diffusion-heavy, imbalanced shards — the regime the
+    // steal and rebalance policies exist for).
     let panel = [
         (
             "uniform64",
@@ -183,22 +219,40 @@ fn main() {
 
     for (label, cfg) in &panel {
         let (bounds, jobs) = jobs_for(cfg);
-        let seq_events = event_count(&Sequential, bounds, &jobs);
+        let seq_events = event_count(&ExecConfig::new(), bounds, &jobs);
         h.bench_with_items(&format!("{label}/seq"), seq_events, || {
-            let exec = Sequential
+            let exec = ExecConfig::new()
                 .run(bounds, &jobs, config, &mut NullSink)
                 .expect("sequential");
             assert_eq!(exec.report.unserved, 0);
             black_box(exec.report);
         });
-        let shard_events = event_count(&Sharded { threads: 1 }, bounds, &jobs);
+        let shard_events = event_count(&ExecConfig::new().threads(1), bounds, &jobs);
         for threads in WORKER_COUNTS {
             h.bench_with_items(&format!("{label}/sharded_w{threads}"), shard_events, || {
+                let exec = ExecConfig::new().threads(threads);
                 let mut sim = ShardedOnlineSim::<2>::new(bounds, &jobs, config).expect("sharded");
-                let report = sim.run(threads);
+                let report = sim.run(&exec);
                 assert_eq!(report.unserved, 0);
                 black_box(report);
             });
+        }
+        // The non-default policies at the worker counts where they can
+        // matter (at w1 every policy degenerates to static).
+        for (schedule, tag) in [
+            (Schedule::Steal, "steal"),
+            (Schedule::Rebalance, "rebalance"),
+        ] {
+            for threads in [2, 4, 8] {
+                h.bench_with_items(&format!("{label}/{tag}_w{threads}"), shard_events, || {
+                    let exec = ExecConfig::new().threads(threads).schedule(schedule);
+                    let mut sim =
+                        ShardedOnlineSim::<2>::new(bounds, &jobs, config).expect("sharded");
+                    let report = sim.run(&exec);
+                    assert_eq!(report.unserved, 0);
+                    black_box(report);
+                });
+            }
         }
     }
 
@@ -216,7 +270,7 @@ fn main() {
         || {
             let mut sim =
                 ShardedOnlineSim::<2>::new(bounds_1m, &jobs_1m, config).expect("sparse build");
-            let report = sim.run(4);
+            let report = sim.run(&ExecConfig::new().threads(4));
             assert_eq!(report.unserved, 0);
             materialized = sim.materialized_vehicles();
             black_box(report);
@@ -229,7 +283,8 @@ fn main() {
     let mut notes: Vec<(&str, String)> = vec![
         (
             "methodology",
-            "paired min-of-samples: modes alternate run-by-run; speedup = seq_min/sharded_min"
+            "paired min-of-samples: modes alternate run-by-run; speedup = seq_min/sharded_min; \
+             steal-vs-static = static_min/steal_min at the same worker count"
                 .to_string(),
         ),
         ("host_cpus", host_cpus.to_string()),
@@ -238,7 +293,9 @@ fn main() {
             format!(
                 "w1 vs seq isolates the sparse engine's algorithmic win; wN>1 adds OS threads, \
                  which can only pay off when host_cpus > 1 (this host: {host_cpus}) — on a \
-                 single CPU the wN columns measure round-barrier overhead, honestly"
+                 single CPU the wN columns measure round-barrier overhead and the \
+                 steal-vs-static ratio measures deque overhead, honestly; rerun on a \
+                 multi-core host for the parallel headline"
             ),
         ),
     ];
@@ -270,7 +327,52 @@ fn main() {
                 },
                 format!("{:.2}", seq_ns as f64 / best as f64),
             ));
+            // Steal vs static, paired per worker count, plus the
+            // events/s-per-worker scaling efficiency of the steal engine
+            // relative to its own single-worker run (perfect scaling =
+            // 100% at every width).
+            let (static_ns, steal_ns) = paired_schedules(bounds, &jobs, 8);
+            for ((&threads, &st), &sl) in WORKER_COUNTS.iter().zip(&static_ns).zip(&steal_ns) {
+                println!(
+                    "{label}: w{threads} static {st} ns vs steal {sl} ns -> {:.2}x",
+                    st as f64 / sl as f64
+                );
+            }
+            notes.push((
+                match *label {
+                    "uniform64" => "uniform64_steal_vs_static",
+                    _ => "clusters64_steal_vs_static",
+                },
+                WORKER_COUNTS
+                    .iter()
+                    .zip(static_ns.iter().zip(&steal_ns))
+                    .map(|(t, (&st, &sl))| format!("w{t}={:.2}x", st as f64 / sl as f64))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ));
+            let base = steal_ns[0] as f64;
+            notes.push((
+                match *label {
+                    "uniform64" => "uniform64_scaling_efficiency",
+                    _ => "clusters64_scaling_efficiency",
+                },
+                WORKER_COUNTS
+                    .iter()
+                    .zip(&steal_ns)
+                    .map(|(&t, &ns)| {
+                        // events/s-per-worker relative to w1: t1/(N*tN).
+                        format!("w{t}={:.0}%", 100.0 * base / (t as f64 * ns as f64))
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ));
         }
+        notes.push((
+            "scaling_efficiency_methodology",
+            "events/s-per-worker under the steal policy, normalized to the same engine at w1 \
+             (100% = perfect scaling); paired min-of-samples"
+                .to_string(),
+        ));
         notes.push((
             "point1024_materialized_vehicles",
             format!("{materialized} of 1048576 (grid 1024x1024, point d=2000)"),

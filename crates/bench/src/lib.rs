@@ -16,7 +16,7 @@ use cmvrp_core::examples::{
 use cmvrp_core::{
     approx_woff, offline_factor, omega_c, omega_star, online_factor, plan_offline, verify_plan,
 };
-use cmvrp_engine::{Engine, Sequential, Sharded};
+use cmvrp_engine::{ExecConfig, Schedule};
 use cmvrp_ext::broken::gap_instance;
 use cmvrp_ext::transfer::{
     line_collector, max_energy_into_square, max_energy_into_square_series, transfer_lower_bound_w,
@@ -315,17 +315,13 @@ pub fn e7(configs: &[WorkloadConfig]) -> ExperimentOutput {
         let (bounds, demand) = cfg.generate();
         let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
         let sharded = bounds.volume() > DENSE_VOLUME_LIMIT;
-        let exec = if sharded {
-            Sharded { threads: 8 }.run_checked(
-                bounds,
-                &jobs,
-                OnlineConfig::default(),
-                &mut NullSink,
-            )
-        } else {
-            Sequential.run_checked(bounds, &jobs, OnlineConfig::default(), &mut NullSink)
+        let mut engine = ExecConfig::new().check(true);
+        if sharded {
+            engine = engine.threads(8).schedule(Schedule::Steal);
         }
-        .expect("engine run");
+        let exec = engine
+            .execute(bounds, &jobs, OnlineConfig::default(), &mut NullSink)
+            .expect("engine run");
         let report = exec.report;
         let check = exec.check.expect("checked run");
         let clean = check.is_clean();
@@ -336,7 +332,7 @@ pub fn e7(configs: &[WorkloadConfig]) -> ExperimentOutput {
         ok &= within && clean;
         table.row(vec![
             cfg.label(),
-            if sharded { "sharded:8" } else { "dense" }.to_string(),
+            if sharded { "sharded:8/steal" } else { "dense" }.to_string(),
             format!("{wc:.2}"),
             report.capacity.to_string(),
             report.max_energy_used.to_string(),

@@ -22,7 +22,7 @@
 //! dependencies); [`run`] is the testable entry point.
 
 use cmvrp_core::Instance;
-use cmvrp_engine::{CheckScope, CheckSummary, Engine, Sequential, Sharded};
+use cmvrp_engine::{CheckScope, CheckSummary, ExecConfig, Schedule};
 use cmvrp_obs::{JsonlSink, Metrics, Sink};
 use cmvrp_online::{OnlineConfig, OnlineReport};
 use cmvrp_workloads::{arrivals, JobSequence, Ordering, WorkloadConfig};
@@ -70,6 +70,12 @@ fn usage() -> String {
        --threads=N     sparse sharded parallel engine on up to N workers;\n\
                        required above the dense engine's grid-volume limit,\n\
                        traces are byte-identical for every N\n\
+       --schedule=P    shard scheduling policy for --threads=N:\n\
+                       static (fixed round-robin ownership, the default),\n\
+                       steal (idle workers steal ready shards within a\n\
+                       round), rebalance (between-round repartition by\n\
+                       active-cube count, plus stealing); traces are\n\
+                       byte-identical for every policy\n\
        --monitored     enable the §3.2.5 heartbeat ring (sequential engine\n\
                        only — not combinable with --threads; --check and\n\
                        --trace-jsonl work on every engine)\n\
@@ -244,35 +250,23 @@ fn cmd_solve(spec: &str) -> Result<String, UsageError> {
     Ok(out)
 }
 
-/// One simulate run, streaming events into the caller's sink. `threads:
-/// None` selects the dense sequential engine, `Some(n)` the sparse sharded
-/// engine on up to `n` worker threads — both behind `&dyn Engine<2>`, with
-/// identical event-stream semantics. With `check`, the run is verified
-/// inline and the returned summary holds the verdict.
+/// One simulate run, streaming events into the caller's sink. The
+/// [`ExecConfig`] names the engine (dense sequential without worker
+/// threads, sparse sharded with them), the scheduling policy, and whether
+/// the run is verified inline — in which case the returned summary holds
+/// the verdict.
 fn run_simulation(
     bounds: cmvrp_grid::GridBounds<2>,
     jobs: &JobSequence<2>,
     online: OnlineConfig,
-    check: bool,
+    exec: ExecConfig,
     sink: &mut dyn Sink,
     want_metrics: bool,
-    threads: Option<usize>,
 ) -> Result<(OnlineReport, Option<Metrics>, Option<CheckSummary>), UsageError> {
-    let engine: Box<dyn Engine<2>> = match threads {
-        None => Box::new(Sequential),
-        Some(n) => Box::new(Sharded { threads: n }),
-    };
-    let exec = if check {
-        engine.run_checked(bounds, jobs, online, sink)
-    } else {
-        engine.run(bounds, jobs, online, sink)
-    }
-    .map_err(|e| UsageError(e.to_string()))?;
-    Ok((
-        exec.report,
-        want_metrics.then_some(exec.metrics),
-        exec.check,
-    ))
+    let run = exec
+        .execute(bounds, jobs, online, sink)
+        .map_err(|e| UsageError(e.to_string()))?;
+    Ok((run.report, want_metrics.then_some(run.metrics), run.check))
 }
 
 fn render_report(out: &mut String, cfg: &WorkloadConfig, report: &OnlineReport) {
@@ -360,6 +354,7 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
     let mut check = false;
     let mut trace: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut schedule = Schedule::Static;
     let mut i = 0;
     while i < opts.len() {
         let opt = &opts[i];
@@ -371,6 +366,8 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
                 return Err(UsageError("--threads must be at least 1".into()));
             }
             threads = Some(n);
+        } else if let Some(v) = opt.strip_prefix("--schedule=") {
+            schedule = v.parse().map_err(UsageError)?;
         } else if let Some(v) = opt.strip_prefix("--seed=") {
             online.seed = v
                 .parse()
@@ -399,6 +396,11 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
         }
         i += 1;
     }
+    let mut exec = ExecConfig::new().schedule(schedule).check(check);
+    if let Some(n) = threads {
+        exec = exec.threads(n);
+    }
+    exec.validate().map_err(|e| UsageError(e.to_string()))?;
     let (bounds, demand) = cfg.generate();
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, online.seed);
     let mut out = String::new();
@@ -406,15 +408,7 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
         Some(path) => {
             let mut sink = JsonlSink::create(path)
                 .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
-            let result = run_simulation(
-                bounds,
-                &jobs,
-                online,
-                check,
-                &mut sink,
-                want_metrics,
-                threads,
-            )?;
+            let result = run_simulation(bounds, &jobs, online, exec, &mut sink, want_metrics)?;
             let events = sink
                 .finish()
                 .map_err(|e| UsageError(format!("trace write to {path:?} failed: {e}")))?;
@@ -425,10 +419,9 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
             bounds,
             &jobs,
             online,
-            check,
+            exec,
             &mut cmvrp_obs::NullSink,
             want_metrics,
-            threads,
         )?,
     };
     if let Some(summary) = &summary {
@@ -779,6 +772,60 @@ mod tests {
             let _ = std::fs::remove_file(&path);
         }
         assert_eq!(traces[0], traces[1]);
+    }
+
+    #[test]
+    fn simulate_schedule_traces_are_byte_identical() {
+        // One static single-worker baseline, then every non-default policy
+        // at 2 workers — the merged bytes must never move.
+        let mut traces = Vec::new();
+        for (tag, extra) in [
+            ("static1", "--threads=1"),
+            ("steal2", "--threads=2 --schedule=steal"),
+            ("rebalance2", "--threads=2 --schedule=rebalance"),
+        ] {
+            let path = std::env::temp_dir().join(format!("cmvrp_cli_sched_{tag}.jsonl"));
+            let mut args = argv("simulate clusters:grid=12,k=3,jobs=180,seed=9 --check");
+            args.extend(argv(extra));
+            args.push(format!("--trace-jsonl={}", path.display()));
+            let out = run(&args).unwrap();
+            assert!(out.contains("all invariants hold"), "{out}");
+            traces.push(std::fs::read(&path).unwrap());
+            let _ = std::fs::remove_file(&path);
+        }
+        assert_eq!(traces[0], traces[1]);
+        assert_eq!(traces[0], traces[2]);
+    }
+
+    #[test]
+    fn simulate_schedule_needs_threads_and_names_combinations() {
+        let err = run(&argv("simulate point:grid=8,demand=40 --schedule=steal")).unwrap_err();
+        // The error names the fix and the supported combinations.
+        assert!(err.0.contains("--threads"), "{err}");
+        assert!(err.0.contains("static"), "{err}");
+        // Explicit --schedule=static without --threads is the default; fine.
+        let out = run(&argv("simulate point:grid=8,demand=40 --schedule=static")).unwrap();
+        assert!(out.contains("served: 40/40"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_schedule() {
+        let err = run(&argv("simulate point:grid=8,demand=40 --schedule=zigzag")).unwrap_err();
+        assert!(err.0.contains("zigzag"), "{err}");
+        assert!(err.0.contains("steal"), "{err}");
+        assert!(err.0.contains("rebalance"), "{err}");
+    }
+
+    #[test]
+    fn simulate_metrics_show_worker_counters() {
+        let out = run(&argv(
+            "simulate point:grid=12,demand=250 --threads=2 --schedule=steal --metrics",
+        ))
+        .unwrap();
+        assert!(out.contains("engine.rounds"), "{out}");
+        assert!(out.contains("engine.worker0.shards_stepped"), "{out}");
+        assert!(out.contains("engine.worker0.busy_us"), "{out}");
+        assert!(out.contains("engine.steals"), "{out}");
     }
 
     #[test]

@@ -13,11 +13,40 @@
 //!   message delay of one tick is the classical conservative-PDES
 //!   lookahead. Shards advance in barrier-synchronized rounds whose time
 //!   bands are disjoint and ascending, so results are independent of the
-//!   worker count.
+//!   worker count — and of the [`Schedule`] policy (static ownership,
+//!   work stealing, or between-round rebalancing) that maps shards onto
+//!   workers.
 //! - **Sparse vehicle state** ([`online`]): vehicles materialize lazily,
 //!   cube by cube, the first time demand lands nearby. An idle vehicle at
 //!   home with a full battery is implicit — memory is proportional to
 //!   *active* vehicles, not grid volume.
+//!
+//! ## Picking an engine: [`ExecConfig`]
+//!
+//! [`ExecConfig`] is the single construction path for both engines — a
+//! builder that starts at the dense sequential engine and switches to the
+//! sharded parallel engine when worker threads are requested:
+//!
+//! ```
+//! use cmvrp_engine::{ExecConfig, Schedule};
+//! use cmvrp_grid::GridBounds;
+//! use cmvrp_obs::NullSink;
+//! use cmvrp_online::OnlineConfig;
+//! use cmvrp_workloads::{arrivals, spatial, Ordering};
+//!
+//! let bounds = GridBounds::square(12);
+//! let demand = spatial::point(&bounds, 100);
+//! let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
+//! let exec = ExecConfig::new().threads(4).schedule(Schedule::Steal).check(true);
+//! let run = exec
+//!     .execute(bounds, &jobs, OnlineConfig::default(), &mut NullSink)
+//!     .unwrap();
+//! assert_eq!(run.report.unserved, 0);
+//! assert!(run.check.unwrap().is_clean());
+//! ```
+//!
+//! The pre-`ExecConfig` engine structs ([`Sequential`], [`Sharded`])
+//! remain as deprecated shims for one release.
 //!
 //! ## The streaming pipeline
 //!
@@ -32,11 +61,12 @@
 //! job-ledger — and reports the verdict in [`Execution::check`].
 //!
 //! The observability stack is the determinism oracle: the merged JSONL
-//! trace is byte-identical for 1, 2, and 8 workers while satisfying every
-//! monitor.
+//! trace is byte-identical for 1, 2, and 8 workers — under every
+//! [`Schedule`] policy — while satisfying every monitor.
 //!
 //! Everything here is hermetic: `std::thread` plus channels-by-hand
-//! (barriers and mutexed mailboxes), zero external dependencies.
+//! (barriers, mutexed mailboxes, and per-worker steal deques), zero
+//! external dependencies.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -46,7 +76,10 @@ pub mod rounds;
 pub mod shard;
 
 pub use online::{ShardSink, ShardedOnlineSim};
-pub use rounds::{run_lockstep, run_lockstep_with, RoundOutcome, RoundStats, ShardWorker};
+pub use rounds::{
+    repartition, run_lockstep, run_lockstep_sched, run_lockstep_with, RoundOutcome, RoundStats,
+    Schedule, ShardWorker, WorkerStats,
+};
 pub use shard::{ShardMap, MAX_SHARDS};
 
 use cmvrp_grid::GridBounds;
@@ -62,6 +95,10 @@ pub enum EngineError {
     /// deterministically. Run monitored simulations on the sequential
     /// engine.
     MonitoredUnsupported,
+    /// A non-static [`Schedule`] was requested on the sequential engine,
+    /// which has no workers to schedule. The policy is carried so the
+    /// message can name it.
+    ScheduleNeedsThreads(Schedule),
     /// The dense sequential engine refused the grid as too large; the
     /// inner error names the volume and the limit.
     Dense(DenseLimitError),
@@ -77,6 +114,14 @@ impl std::fmt::Display for EngineError {
                  --monitored or use the sequential engine — tracing \
                  (--trace-jsonl) and inline checking (--check) work on \
                  every engine"
+            ),
+            EngineError::ScheduleNeedsThreads(schedule) => write!(
+                f,
+                "schedule {schedule:?} needs the sharded engine's worker \
+                 threads; add --threads=N. Supported combinations: the \
+                 sequential engine (no --threads) is static-only; with \
+                 --threads=N every schedule works (static, steal, \
+                 rebalance)",
             ),
             EngineError::Dense(e) => e.fmt(f),
         }
@@ -153,19 +198,245 @@ pub struct Execution {
     /// The on-line report (served/unserved, energy, replacements, …).
     pub report: OnlineReport,
     /// Always-on metrics: the `net.*` transport registry plus the
-    /// `online.*` fleet counters and energy distribution.
+    /// `online.*` fleet counters and energy distribution — and, for
+    /// sharded runs, the `engine.*` scheduler counters (rounds, per-worker
+    /// busy time, shards stepped, steals).
     pub metrics: Metrics,
     /// Inline verification verdict; `Some` exactly for
     /// [`Engine::run_checked`].
     pub check: Option<CheckSummary>,
 }
 
+/// How to execute the on-line protocol: the builder both engines consume,
+/// and the single construction path used by the CLI, the benches, and the
+/// tests.
+///
+/// `ExecConfig::new()` is the dense sequential engine; [`threads`]
+/// switches to the sparse sharded parallel engine, where [`schedule`]
+/// picks the worker-scheduling policy. [`check`] makes every run verify
+/// the protocol invariants inline. The builder is `Copy`, so configs can
+/// be built inline at the call site:
+///
+/// ```
+/// use cmvrp_engine::{ExecConfig, Schedule};
+///
+/// let quick = ExecConfig::new();                       // dense sequential
+/// let parallel = ExecConfig::new().threads(8);          // sharded, static
+/// let balanced = ExecConfig::new()
+///     .threads(8)
+///     .schedule(Schedule::Steal)
+///     .check(true);                                     // verified inline
+/// assert_ne!(quick, parallel);
+/// assert!(balanced.is_checked());
+/// ```
+///
+/// [`threads`]: ExecConfig::threads
+/// [`schedule`]: ExecConfig::schedule
+/// [`check`]: ExecConfig::check
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecConfig {
+    threads: Option<usize>,
+    schedule: Schedule,
+    check: bool,
+}
+
+impl ExecConfig {
+    /// The default execution: dense sequential engine, static schedule,
+    /// no inline checking.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the sharded parallel engine on up to `n` worker threads
+    /// (values below 1 are clamped to 1; the effective count is further
+    /// clamped to the shard count at run time).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Worker-scheduling policy for the sharded engine. Anything other
+    /// than [`Schedule::Static`] requires [`threads`](ExecConfig::threads)
+    /// — enforced with [`EngineError::ScheduleNeedsThreads`] at run time.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Verify the protocol invariants inline while the run streams; the
+    /// verdict comes back in [`Execution::check`]. The event bytes
+    /// reaching the sink are identical either way.
+    pub fn check(mut self, check: bool) -> Self {
+        self.check = check;
+        self
+    }
+
+    /// Worker-thread bound when the sharded engine is selected; `None`
+    /// means the dense sequential engine.
+    pub fn worker_threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The configured scheduling policy.
+    pub fn policy(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Whether runs verify the protocol invariants inline.
+    pub fn is_checked(&self) -> bool {
+        self.check
+    }
+
+    /// Checks the configuration is executable: non-static schedules need
+    /// worker threads.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.threads.is_none() && self.schedule != Schedule::Static {
+            return Err(EngineError::ScheduleNeedsThreads(self.schedule));
+        }
+        Ok(())
+    }
+
+    /// Runs the configured engine, honoring [`check`](ExecConfig::check):
+    /// the one entry point the CLI and benches call.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] when the configuration cannot run (grid too large
+    /// for the dense engine, monitored mode or a non-static schedule
+    /// without worker threads).
+    pub fn execute<const D: usize>(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: &mut dyn Sink,
+    ) -> Result<Execution, EngineError> {
+        if self.check {
+            self.run_checked_impl(bounds, jobs, config, sink)
+        } else {
+            self.run_impl(bounds, jobs, config, sink)
+        }
+    }
+
+    fn run_impl<const D: usize>(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: &mut dyn Sink,
+    ) -> Result<Execution, EngineError> {
+        self.validate()?;
+        if self.threads.is_none() {
+            return if sink.is_enabled() {
+                let mut sim = OnlineSim::try_with_sink(bounds, jobs, config, sink)?;
+                let report = sim.run();
+                let metrics = sim.metrics();
+                sim.into_sink().flush_events();
+                Ok(Execution {
+                    report,
+                    metrics,
+                    check: None,
+                })
+            } else {
+                let mut sim = OnlineSim::try_new(bounds, jobs, config)?;
+                let report = sim.run();
+                let metrics = sim.metrics();
+                Ok(Execution {
+                    report,
+                    metrics,
+                    check: None,
+                })
+            };
+        }
+        if sink.is_enabled() {
+            let mut sim = ShardedOnlineSim::<D, VecSink>::new(bounds, jobs, config)?;
+            let report = sim.run_streaming(self, sink);
+            let metrics = sim.metrics();
+            Ok(Execution {
+                report,
+                metrics,
+                check: None,
+            })
+        } else {
+            let mut sim = ShardedOnlineSim::<D, NullSink>::new(bounds, jobs, config)?;
+            let report = sim.run(self);
+            let metrics = sim.metrics();
+            Ok(Execution {
+                report,
+                metrics,
+                check: None,
+            })
+        }
+    }
+
+    fn run_checked_impl<const D: usize>(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: &mut dyn Sink,
+    ) -> Result<Execution, EngineError> {
+        self.validate()?;
+        if self.threads.is_none() {
+            let mut sim = OnlineSim::try_with_sink(bounds, jobs, config, CheckSink::new(sink))?;
+            let report = sim.run();
+            let metrics = sim.metrics();
+            let (mut checker, inner) = sim.into_sink().into_parts();
+            inner.flush_events();
+            checker.finish();
+            let events = checker.events();
+            let violations = checker
+                .violations()
+                .iter()
+                .cloned()
+                .map(|violation| ScopedViolation {
+                    scope: CheckScope::Merged,
+                    violation,
+                })
+                .collect();
+            return Ok(Execution {
+                report,
+                metrics,
+                check: Some(CheckSummary { events, violations }),
+            });
+        }
+        let mut sim = ShardedOnlineSim::<D, CheckSink<VecSink>>::new(bounds, jobs, config)?;
+        let mut cross = MergeChecker::new();
+        let report = sim.run_streaming_checked(self, sink, &mut cross);
+        let metrics = sim.metrics();
+        let mut violations: Vec<ScopedViolation> = sim
+            .take_shard_violations()
+            .into_iter()
+            .map(|(index, violation)| ScopedViolation {
+                scope: CheckScope::Shard(index),
+                violation,
+            })
+            .collect();
+        let events = cross.events();
+        violations.extend(
+            cross
+                .into_violations()
+                .into_iter()
+                .map(|violation| ScopedViolation {
+                    scope: CheckScope::Merged,
+                    violation,
+                }),
+        );
+        Ok(Execution {
+            report,
+            metrics,
+            check: Some(CheckSummary { events, violations }),
+        })
+    }
+}
+
 /// A strategy for executing the on-line protocol over a job sequence.
 ///
-/// Both implementations stream the same event schema in the same canonical
-/// order into the caller's sink, so callers (CLI, benchmarks, experiment
-/// drivers) select an engine without caring how it executes — including
-/// behind `&dyn Engine<D>`.
+/// Every implementation streams the same event schema in the same
+/// canonical order into the caller's sink, so callers (CLI, benchmarks,
+/// experiment drivers) select an engine without caring how it executes —
+/// including behind `&dyn Engine<D>`. [`ExecConfig`] is the canonical
+/// implementation; construct engines through it.
 pub trait Engine<const D: usize> {
     /// Runs the protocol on `jobs` over `bounds`, streaming the canonical
     /// event order into `sink` as the simulation executes. Pass
@@ -176,7 +447,7 @@ pub trait Engine<const D: usize> {
     ///
     /// Returns an [`EngineError`] when the engine cannot run this
     /// configuration (grid too large for the dense engine, monitored mode
-    /// on the sharded engine).
+    /// or a non-static schedule on the sequential engine).
     fn run(
         &self,
         bounds: GridBounds<D>,
@@ -202,12 +473,41 @@ pub trait Engine<const D: usize> {
     ) -> Result<Execution, EngineError>;
 }
 
+impl<const D: usize> Engine<D> for ExecConfig {
+    /// Honors the builder's [`check`](ExecConfig::check) flag, exactly
+    /// like [`ExecConfig::execute`].
+    fn run(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: &mut dyn Sink,
+    ) -> Result<Execution, EngineError> {
+        self.execute(bounds, jobs, config, sink)
+    }
+
+    fn run_checked(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: &mut dyn Sink,
+    ) -> Result<Execution, EngineError> {
+        self.run_checked_impl(bounds, jobs, config, sink)
+    }
+}
+
 /// The dense sequential engine: one process per grid vertex, exact event
 /// interleaving, supports monitored mode. Refuses grids above
 /// [`cmvrp_online::DENSE_VOLUME_LIMIT`].
+#[deprecated(
+    since = "0.1.0",
+    note = "construct engines with `ExecConfig::new()` instead"
+)]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Sequential;
 
+#[allow(deprecated)]
 impl<const D: usize> Engine<D> for Sequential {
     fn run(
         &self,
@@ -216,26 +516,7 @@ impl<const D: usize> Engine<D> for Sequential {
         config: OnlineConfig,
         sink: &mut dyn Sink,
     ) -> Result<Execution, EngineError> {
-        if sink.is_enabled() {
-            let mut sim = OnlineSim::try_with_sink(bounds, jobs, config, sink)?;
-            let report = sim.run();
-            let metrics = sim.metrics();
-            sim.into_sink().flush_events();
-            Ok(Execution {
-                report,
-                metrics,
-                check: None,
-            })
-        } else {
-            let mut sim = OnlineSim::try_new(bounds, jobs, config)?;
-            let report = sim.run();
-            let metrics = sim.metrics();
-            Ok(Execution {
-                report,
-                metrics,
-                check: None,
-            })
-        }
+        ExecConfig::new().run_impl(bounds, jobs, config, sink)
     }
 
     fn run_checked(
@@ -245,27 +526,7 @@ impl<const D: usize> Engine<D> for Sequential {
         config: OnlineConfig,
         sink: &mut dyn Sink,
     ) -> Result<Execution, EngineError> {
-        let mut sim = OnlineSim::try_with_sink(bounds, jobs, config, CheckSink::new(sink))?;
-        let report = sim.run();
-        let metrics = sim.metrics();
-        let (mut checker, inner) = sim.into_sink().into_parts();
-        inner.flush_events();
-        checker.finish();
-        let events = checker.events();
-        let violations = checker
-            .violations()
-            .iter()
-            .cloned()
-            .map(|violation| ScopedViolation {
-                scope: CheckScope::Merged,
-                violation,
-            })
-            .collect();
-        Ok(Execution {
-            report,
-            metrics,
-            check: Some(CheckSummary { events, violations }),
-        })
+        ExecConfig::new().run_checked_impl(bounds, jobs, config, sink)
     }
 }
 
@@ -273,6 +534,10 @@ impl<const D: usize> Engine<D> for Sequential {
 /// rounds on up to `threads` OS threads, streaming canonical trace merge
 /// at each round barrier. The report and the merged trace are identical
 /// for every thread count.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct engines with `ExecConfig::new().threads(n)` instead"
+)]
 #[derive(Debug, Clone, Copy)]
 pub struct Sharded {
     /// Upper bound on worker threads (clamped to the shard count; `1`
@@ -280,6 +545,7 @@ pub struct Sharded {
     pub threads: usize,
 }
 
+#[allow(deprecated)]
 impl<const D: usize> Engine<D> for Sharded {
     fn run(
         &self,
@@ -288,25 +554,9 @@ impl<const D: usize> Engine<D> for Sharded {
         config: OnlineConfig,
         sink: &mut dyn Sink,
     ) -> Result<Execution, EngineError> {
-        if sink.is_enabled() {
-            let mut sim = ShardedOnlineSim::<D, VecSink>::new(bounds, jobs, config)?;
-            let report = sim.run_streaming(self.threads, sink);
-            let metrics = sim.metrics();
-            Ok(Execution {
-                report,
-                metrics,
-                check: None,
-            })
-        } else {
-            let mut sim = ShardedOnlineSim::<D, NullSink>::new(bounds, jobs, config)?;
-            let report = sim.run(self.threads);
-            let metrics = sim.metrics();
-            Ok(Execution {
-                report,
-                metrics,
-                check: None,
-            })
-        }
+        ExecConfig::new()
+            .threads(self.threads)
+            .run_impl(bounds, jobs, config, sink)
     }
 
     fn run_checked(
@@ -316,32 +566,8 @@ impl<const D: usize> Engine<D> for Sharded {
         config: OnlineConfig,
         sink: &mut dyn Sink,
     ) -> Result<Execution, EngineError> {
-        let mut sim = ShardedOnlineSim::<D, CheckSink<VecSink>>::new(bounds, jobs, config)?;
-        let mut cross = MergeChecker::new();
-        let report = sim.run_streaming_checked(self.threads, sink, &mut cross);
-        let metrics = sim.metrics();
-        let mut violations: Vec<ScopedViolation> = sim
-            .take_shard_violations()
-            .into_iter()
-            .map(|(index, violation)| ScopedViolation {
-                scope: CheckScope::Shard(index),
-                violation,
-            })
-            .collect();
-        let events = cross.events();
-        violations.extend(
-            cross
-                .into_violations()
-                .into_iter()
-                .map(|violation| ScopedViolation {
-                    scope: CheckScope::Merged,
-                    violation,
-                }),
-        );
-        Ok(Execution {
-            report,
-            metrics,
-            check: Some(CheckSummary { events, violations }),
-        })
+        ExecConfig::new()
+            .threads(self.threads)
+            .run_checked_impl(bounds, jobs, config, sink)
     }
 }

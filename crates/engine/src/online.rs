@@ -41,9 +41,9 @@
 //! through a [`MergeChecker`] that certifies the two properties only the
 //! merge can see — the global clock and global job-seq contiguity.
 
-use crate::rounds::{run_lockstep, run_lockstep_with, RoundOutcome, RoundStats, ShardWorker};
+use crate::rounds::{run_lockstep_sched, RoundOutcome, RoundStats, ShardWorker};
 use crate::shard::ShardMap;
-use crate::EngineError;
+use crate::{EngineError, ExecConfig};
 use cmvrp_grid::{pairing_in_cube, CubeId, CubePartition, GridBounds, Pairing, Point};
 use cmvrp_net::{NetConfig, Network, ProcessId};
 use cmvrp_obs::{
@@ -326,6 +326,14 @@ impl<const D: usize, SS: ShardSink> ShardWorker for ShardSim<D, SS> {
             idle: self.released == self.jobs.len(),
         }
     }
+
+    /// Active-cube accounting for [`crate::Schedule::Rebalance`]: a
+    /// shard's round cost scales with the cubes it has materialized
+    /// (neighbor recomputation, message traffic), plus one unit while it
+    /// still has jobs to release.
+    fn load_hint(&self) -> u64 {
+        self.pairings.len() as u64 + u64::from(self.released < self.jobs.len())
+    }
 }
 
 impl<const D: usize, SS: ShardSink> ShardSim<D, SS> {
@@ -376,12 +384,13 @@ fn event_time(ev: &Event) -> u64 {
 ///
 /// Construction partitions the grid into cube-aligned shards
 /// ([`ShardMap`]) and splits the job sequence among them; [`run`] executes
-/// conservative lockstep rounds on up to `threads` OS threads. With a
-/// buffering shard sink (`SS = VecSink` or `SS = CheckSink<VecSink>`),
-/// [`run_streaming`] instead merges the per-shard streams into a caller
-/// sink *at every round barrier*, producing the canonical merged trace —
-/// byte-identical for every thread count — with peak memory bounded by
-/// one round's events.
+/// conservative lockstep rounds under an [`ExecConfig`] (worker-thread
+/// bound plus [`crate::Schedule`] policy). With a buffering shard sink
+/// (`SS = VecSink` or `SS = CheckSink<VecSink>`), [`run_streaming`]
+/// instead merges the per-shard streams into a caller sink *at every
+/// round barrier*, producing the canonical merged trace — byte-identical
+/// for every thread count and schedule — with peak memory bounded by one
+/// round's events.
 ///
 /// [`run`]: ShardedOnlineSim::run
 /// [`run_streaming`]: ShardedOnlineSim::run_streaming
@@ -389,7 +398,7 @@ fn event_time(ev: &Event) -> u64 {
 /// # Examples
 ///
 /// ```
-/// use cmvrp_engine::ShardedOnlineSim;
+/// use cmvrp_engine::{ExecConfig, Schedule, ShardedOnlineSim};
 /// use cmvrp_grid::GridBounds;
 /// use cmvrp_online::OnlineConfig;
 /// use cmvrp_workloads::{arrivals, spatial, Ordering};
@@ -399,7 +408,7 @@ fn event_time(ev: &Event) -> u64 {
 /// let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
 /// let mut sim =
 ///     ShardedOnlineSim::<2>::new(bounds, &jobs, OnlineConfig::default()).unwrap();
-/// let report = sim.run(4);
+/// let report = sim.run(&ExecConfig::new().threads(4).schedule(Schedule::Steal));
 /// assert_eq!(report.unserved, 0);
 /// ```
 #[derive(Debug)]
@@ -473,13 +482,20 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
         })
     }
 
-    /// Replays the job sequence in conservative lockstep rounds on up to
-    /// `threads` OS threads and reports the Theorem 1.4.2 accounting. The
-    /// result — and, with a tracing sink, the merged trace — is identical
-    /// for every `threads ≥ 1`.
-    pub fn run(&mut self, threads: usize) -> OnlineReport {
+    /// Replays the job sequence in conservative lockstep rounds under
+    /// `exec` (worker-thread bound, defaulting to 1 when the config names
+    /// the sequential engine, plus [`crate::Schedule`] policy) and reports
+    /// the Theorem 1.4.2 accounting. The result — and, with a tracing
+    /// sink, the merged trace — is identical for every thread count and
+    /// schedule.
+    pub fn run(&mut self, exec: &ExecConfig) -> OnlineReport {
         let workers = std::mem::take(&mut self.shards);
-        let (workers, stats) = run_lockstep(workers, threads);
+        let (workers, stats) = run_lockstep_sched(
+            workers,
+            exec.worker_threads().unwrap_or(1),
+            exec.policy(),
+            |_: &mut [&mut ShardSim<D, SS>]| {},
+        );
         self.shards = workers;
         self.stats = Some(stats);
         self.report()
@@ -493,9 +509,9 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
     /// disjoint ascending time bands, so the concatenation of per-round
     /// merges is exactly the whole-run merge; peak buffering is one
     /// round's events. The merged bytes are identical for every
-    /// `threads ≥ 1`.
-    pub fn run_streaming(&mut self, threads: usize, sink: &mut dyn Sink) -> OnlineReport {
-        self.stream(threads, sink, None)
+    /// thread count and schedule.
+    pub fn run_streaming(&mut self, exec: &ExecConfig, sink: &mut dyn Sink) -> OnlineReport {
+        self.stream(exec, sink, None)
     }
 
     /// [`run_streaming`](ShardedOnlineSim::run_streaming) with the merged
@@ -506,16 +522,16 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
     /// [`take_shard_violations`](ShardedOnlineSim::take_shard_violations).
     pub fn run_streaming_checked(
         &mut self,
-        threads: usize,
+        exec: &ExecConfig,
         sink: &mut dyn Sink,
         cross: &mut MergeChecker,
     ) -> OnlineReport {
-        self.stream(threads, sink, Some(cross))
+        self.stream(exec, sink, Some(cross))
     }
 
     fn stream(
         &mut self,
-        threads: usize,
+        exec: &ExecConfig,
         sink: &mut dyn Sink,
         mut cross: Option<&mut MergeChecker>,
     ) -> OnlineReport {
@@ -529,9 +545,14 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
         }
         sink.record(&header);
         let workers = std::mem::take(&mut self.shards);
-        let (workers, stats) = run_lockstep_with(workers, threads, |shards| {
-            merge_round(shards, &mut *sink, cross.as_deref_mut());
-        });
+        let (workers, stats) = run_lockstep_sched(
+            workers,
+            exec.worker_threads().unwrap_or(1),
+            exec.policy(),
+            |shards| {
+                merge_round(shards, &mut *sink, cross.as_deref_mut());
+            },
+        );
         self.shards = workers;
         self.stats = Some(stats);
         sink.flush_events();
@@ -619,10 +640,10 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
         self.shards.len()
     }
 
-    /// Lockstep rounds executed, when [`run`](ShardedOnlineSim::run) has
-    /// completed.
-    pub fn round_stats(&self) -> Option<RoundStats> {
-        self.stats
+    /// Lockstep round and per-worker scheduler statistics, when
+    /// [`run`](ShardedOnlineSim::run) has completed.
+    pub fn round_stats(&self) -> Option<&RoundStats> {
+        self.stats.as_ref()
     }
 
     /// Vehicles actually materialized across all shards — the sparse
@@ -635,7 +656,10 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
     /// Snapshot of the always-on metrics, aggregated across shards: the
     /// merged `net.*` transport registry plus the fleet-level `online.*`
     /// counters and the per-vehicle energy distribution (same namespaces
-    /// as the dense engine's `OnlineSim::metrics`).
+    /// as the dense engine's `OnlineSim::metrics`). After a run, the
+    /// `engine.*` namespace carries the scheduler counters: lockstep
+    /// rounds plus per-worker busy time, shards stepped, and steals — the
+    /// direct observation of scheduler skew.
     pub fn metrics(&self) -> Metrics {
         let mut m = Metrics::new();
         let mut energy = Histogram::with_bounds(&DEFAULT_BUCKETS);
@@ -670,6 +694,19 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
             "online.failed_replacements",
             self.shards.iter().map(|s| s.failed_replacements).sum(),
         );
+        if let Some(stats) = &self.stats {
+            m.add("engine.rounds", stats.rounds);
+            m.add("engine.shards", self.shards.len() as u64);
+            m.add("engine.steals", stats.total_steals());
+            for (k, w) in stats.workers.iter().enumerate() {
+                m.add(&format!("engine.worker{k}.busy_us"), w.busy_ns / 1_000);
+                m.add(
+                    &format!("engine.worker{k}.shards_stepped"),
+                    w.shards_stepped,
+                );
+                m.add(&format!("engine.worker{k}.steals"), w.steals);
+            }
+        }
         m
     }
 }

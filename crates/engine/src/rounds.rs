@@ -10,9 +10,35 @@
 //! disjoint ascending time bands, and the outcome of a round depends only
 //! on the (deterministic) epoch and the (deterministically routed) mail —
 //! never on how many OS threads executed it or in what order.
+//!
+//! ## Scheduling
+//!
+//! *Which worker* steps a shard is invisible to the output — shards are
+//! independent within a round and outcomes are collected in shard order at
+//! the barrier — so the executor is free to balance work however it likes.
+//! [`Schedule`] picks the policy:
+//!
+//! - [`Schedule::Static`]: shards are assigned round-robin to workers, as
+//!   a fixed ownership map. Zero scheduling overhead; wall-clock is gated
+//!   by the most loaded worker.
+//! - [`Schedule::Steal`]: the round-robin assignment seeds per-worker
+//!   deques; a worker drains its own deque from the front and, when empty,
+//!   steals from the *back* of another worker's deque (owner-FIFO /
+//!   thief-LIFO, the chase-lev discipline implemented on `std::sync` —
+//!   the build stays hermetic and `forbid(unsafe_code)` holds).
+//! - [`Schedule::Rebalance`]: between rounds the coordinator re-partitions
+//!   shards across workers by each shard's [`ShardWorker::load_hint`]
+//!   (greedy LPT, deterministic), *and* idle workers still steal within
+//!   the round — rebalancing fixes persistent skew, stealing mops up
+//!   what the hint mispredicts.
+//!
+//! Per-worker busy time, shards stepped, and steal counts are reported in
+//! [`RoundStats::workers`], so scheduler skew is observable, not inferred.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 /// One shard's view of a lockstep round.
 pub trait ShardWorker: Send {
@@ -25,6 +51,15 @@ pub trait ShardWorker: Send {
     /// barrier, in ascending source-shard order) and run to local
     /// quiescence. Mail for other shards goes in the outcome's outbox.
     fn round(&mut self, epoch: u64, inbox: Vec<Self::Mail>) -> RoundOutcome<Self::Mail>;
+
+    /// Relative cost estimate for this shard's *next* round, queried at
+    /// the round barrier. [`Schedule::Rebalance`] re-partitions shards
+    /// across workers by this hint (for the on-line protocol: the shard's
+    /// active-cube count). Only ratios matter; the default weights every
+    /// shard equally.
+    fn load_hint(&self) -> u64 {
+        1
+    }
 }
 
 /// What one shard reports at a round barrier.
@@ -40,19 +75,148 @@ pub struct RoundOutcome<M> {
     pub idle: bool,
 }
 
+/// How shards are mapped onto worker threads within and between rounds.
+/// Every policy produces byte-identical output — scheduling only moves
+/// *where* a shard is stepped, never *what* it computes or how results
+/// are merged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Fixed round-robin shard ownership; no intra-round migration.
+    #[default]
+    Static,
+    /// Round-robin seeding plus intra-round work stealing: idle workers
+    /// pull ready shards from the back of other workers' deques.
+    Steal,
+    /// Between-round LPT re-partition by [`ShardWorker::load_hint`], plus
+    /// intra-round stealing.
+    Rebalance,
+}
+
+impl Schedule {
+    /// Whether idle workers may pull shards from other workers' deques.
+    pub fn steals(self) -> bool {
+        matches!(self, Schedule::Steal | Schedule::Rebalance)
+    }
+
+    /// Whether the shard→worker assignment is recomputed between rounds.
+    pub fn rebalances(self) -> bool {
+        matches!(self, Schedule::Rebalance)
+    }
+
+    /// Every supported policy, in CLI spelling order.
+    pub const ALL: [Schedule; 3] = [Schedule::Static, Schedule::Steal, Schedule::Rebalance];
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Schedule::Static => "static",
+            Schedule::Steal => "steal",
+            Schedule::Rebalance => "rebalance",
+        })
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "static" => Ok(Schedule::Static),
+            "steal" => Ok(Schedule::Steal),
+            "rebalance" => Ok(Schedule::Rebalance),
+            other => Err(format!(
+                "unknown schedule {other:?}; supported: static, steal, rebalance"
+            )),
+        }
+    }
+}
+
+/// One worker thread's scheduling counters for a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Wall-clock nanoseconds spent inside rounds (stepping shards and
+    /// scheduling), excluding barrier waits. Skew across workers is the
+    /// signal static assignment wastes cores on.
+    pub busy_ns: u64,
+    /// Shard-rounds this worker executed. Summed over workers this is
+    /// exactly `rounds × shards`: every shard is stepped once per round,
+    /// whatever the policy.
+    pub shards_stepped: u64,
+    /// Shard-rounds this worker *stole* from another worker's deque
+    /// (always 0 under [`Schedule::Static`]).
+    pub steals: u64,
+}
+
 /// Aggregate statistics from [`run_lockstep`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundStats {
     /// Rounds executed.
     pub rounds: u64,
     /// The epoch the final round started at.
     pub final_epoch: u64,
+    /// Per-worker scheduling counters, indexed by worker thread. Length is
+    /// the effective worker count (requested threads clamped to the shard
+    /// count). `busy_ns` is wall-clock and varies run to run; the step and
+    /// steal counters are exact.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl RoundStats {
+    /// Total shards stolen across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total shard-rounds executed across workers.
+    pub fn total_stepped(&self) -> u64 {
+        self.workers.iter().map(|w| w.shards_stepped).sum()
+    }
+}
+
+/// Greedy LPT (longest processing time) partition: assigns shard indices
+/// `0..loads.len()` to at most `workers` bins, heaviest shard first, each
+/// to the currently lightest bin. Deterministic: ties break toward the
+/// lower shard id and the lower bin id. Every shard lands in exactly one
+/// bin — the property test in `tests/schedule.rs` holds the executor to
+/// it — so a rebalanced round still steps every shard exactly once.
+pub fn repartition(loads: &[u64], workers: usize) -> Vec<Vec<usize>> {
+    let workers = workers.clamp(1, loads.len().max(1));
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    order.sort_by_key(|&shard| (std::cmp::Reverse(loads[shard]), shard));
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut weight = vec![0u64; workers];
+    for shard in order {
+        let lightest = (0..workers).min_by_key(|&w| (weight[w], w)).expect("bin");
+        weight[lightest] += loads[shard];
+        bins[lightest].push(shard);
+    }
+    bins
+}
+
+/// The fixed round-robin assignment [`Schedule::Static`] and
+/// [`Schedule::Steal`] seed workers with.
+fn round_robin(shards: usize, workers: usize) -> Vec<Vec<usize>> {
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for shard in 0..shards {
+        bins[shard % workers].push(shard);
+    }
+    bins
 }
 
 struct Slot<W: ShardWorker> {
     worker: W,
     inbox: Vec<W::Mail>,
     outcome: Option<RoundOutcome<W::Mail>>,
+}
+
+/// Per-worker counters the worker threads update and the coordinator
+/// collects after the run.
+#[derive(Default)]
+struct WorkerCell {
+    busy_ns: AtomicU64,
+    stepped: AtomicU64,
+    steals: AtomicU64,
 }
 
 /// Routes outcomes collected at a barrier: delivers mail in ascending
@@ -78,17 +242,18 @@ fn settle_round<W: ShardWorker>(
 }
 
 /// Runs shards in conservative lockstep rounds until every shard is idle
-/// and no mail is in flight, using up to `threads` OS threads. Shards are
-/// statically assigned round-robin to threads; results are identical for
-/// every `threads ≥ 1` because rounds are barrier-synchronized and mail is
-/// routed in shard order.
+/// and no mail is in flight, using up to `threads` OS threads under
+/// [`Schedule::Static`]. Results are identical for every `threads ≥ 1`
+/// because rounds are barrier-synchronized and mail is routed in shard
+/// order.
 ///
 /// Returns the workers (with their final state) and round statistics.
 pub fn run_lockstep<W: ShardWorker>(workers: Vec<W>, threads: usize) -> (Vec<W>, RoundStats) {
-    run_lockstep_with(workers, threads, |_: &mut [&mut W]| {})
+    run_lockstep_sched(workers, threads, Schedule::Static, |_: &mut [&mut W]| {})
 }
 
-/// [`run_lockstep`] with a per-round barrier hook.
+/// [`run_lockstep`] with a per-round barrier hook (still
+/// [`Schedule::Static`]).
 ///
 /// `barrier_hook` runs on the coordinating thread once per round, after
 /// every shard has finished the round and before mail is routed for the
@@ -101,6 +266,24 @@ pub fn run_lockstep<W: ShardWorker>(workers: Vec<W>, threads: usize) -> (Vec<W>,
 pub fn run_lockstep_with<W, F>(
     workers: Vec<W>,
     threads: usize,
+    barrier_hook: F,
+) -> (Vec<W>, RoundStats)
+where
+    W: ShardWorker,
+    F: FnMut(&mut [&mut W]),
+{
+    run_lockstep_sched(workers, threads, Schedule::Static, barrier_hook)
+}
+
+/// The fully general lockstep executor: up to `threads` OS threads mapped
+/// onto shards by `schedule`, with a per-round coordinator `barrier_hook`
+/// (see [`run_lockstep_with`]). The schedule moves *where* shards are
+/// stepped, never what they compute: output is byte-identical across every
+/// `(threads, schedule)` combination.
+pub fn run_lockstep_sched<W, F>(
+    workers: Vec<W>,
+    threads: usize,
+    schedule: Schedule,
     mut barrier_hook: F,
 ) -> (Vec<W>, RoundStats)
 where
@@ -114,6 +297,7 @@ where
             RoundStats {
                 rounds: 0,
                 final_epoch: 1,
+                workers: Vec::new(),
             },
         );
     }
@@ -132,16 +316,35 @@ where
             })
         })
         .collect();
+    // Per-worker shard deques: the owner pops from the front, thieves
+    // steal from the back. Refilled by the coordinator at every barrier
+    // while the workers are parked.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    let cells: Vec<WorkerCell> = (0..threads).map(|_| WorkerCell::default()).collect();
+    let static_assign = round_robin(n, threads);
+    let refill = |assign: &[Vec<usize>]| {
+        for (queue, list) in queues.iter().zip(assign) {
+            let mut queue = queue.lock().expect("worker queue");
+            queue.clear();
+            queue.extend(list.iter().copied());
+        }
+    };
+    refill(&static_assign);
+
     let barrier = Barrier::new(threads + 1);
     let epoch = AtomicU64::new(1);
     let stop = AtomicBool::new(false);
     let mut stats = RoundStats {
         rounds: 0,
         final_epoch: 1,
+        workers: Vec::new(),
     };
 
     std::thread::scope(|scope| {
         let slots = &slots;
+        let queues = &queues;
+        let cells = &cells;
         let barrier = &barrier;
         let epoch = &epoch;
         let stop = &stop;
@@ -152,11 +355,34 @@ where
                     break;
                 }
                 let e = epoch.load(Ordering::Acquire);
-                for slot in slots.iter().skip(k).step_by(threads) {
-                    let mut slot = slot.lock().expect("shard lock");
+                let start = Instant::now();
+                let (mut stepped, mut steals) = (0u64, 0u64);
+                loop {
+                    // Own work first, front-to-back ...
+                    let mut job = queues[k].lock().expect("worker queue").pop_front();
+                    // ... then steal from the back of a victim's deque.
+                    if job.is_none() && schedule.steals() {
+                        for offset in 1..threads {
+                            let victim = (k + offset) % threads;
+                            if let Some(shard) =
+                                queues[victim].lock().expect("worker queue").pop_back()
+                            {
+                                steals += 1;
+                                job = Some(shard);
+                                break;
+                            }
+                        }
+                    }
+                    let Some(shard) = job else { break };
+                    let mut slot = slots[shard].lock().expect("shard lock");
                     let inbox = std::mem::take(&mut slot.inbox);
                     slot.outcome = Some(slot.worker.round(e, inbox));
+                    stepped += 1;
                 }
+                let busy = start.elapsed().as_nanos() as u64;
+                cells[k].busy_ns.fetch_add(busy, Ordering::Relaxed);
+                cells[k].stepped.fetch_add(stepped, Ordering::Relaxed);
+                cells[k].steals.fetch_add(steals, Ordering::Relaxed);
                 barrier.wait();
             });
         }
@@ -185,6 +411,16 @@ where
             for (guard, mail) in guards.iter_mut().zip(pending) {
                 guard.inbox = mail;
             }
+            if !done {
+                // Re-seed the deques for the next round: the LPT partition
+                // over fresh load hints, or the fixed round-robin map.
+                if schedule.rebalances() {
+                    let loads: Vec<u64> = guards.iter().map(|g| g.worker.load_hint()).collect();
+                    refill(&repartition(&loads, threads));
+                } else {
+                    refill(&static_assign);
+                }
+            }
             drop(guards);
             if done {
                 stop.store(true, Ordering::Release);
@@ -195,6 +431,14 @@ where
         }
     });
 
+    stats.workers = cells
+        .iter()
+        .map(|c| WorkerStats {
+            busy_ns: c.busy_ns.load(Ordering::Relaxed),
+            shards_stepped: c.stepped.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+        })
+        .collect();
     let workers = slots
         .into_iter()
         .map(|s| s.into_inner().expect("shard lock").worker)
@@ -204,7 +448,8 @@ where
 
 /// Single-threaded variant: same rounds, same mail routing, same hook
 /// points, no threads or barriers. Produces bit-identical shard states to
-/// the threaded path.
+/// the threaded path; every schedule degenerates to stepping the shards
+/// in order.
 fn run_inline<W, F>(mut workers: Vec<W>, mut barrier_hook: F) -> (Vec<W>, RoundStats)
 where
     W: ShardWorker,
@@ -216,13 +461,18 @@ where
     let mut stats = RoundStats {
         rounds: 0,
         final_epoch: 1,
+        workers: vec![WorkerStats::default()],
     };
     loop {
+        let start = Instant::now();
         let mut outcomes = Vec::with_capacity(n);
         for (worker, inbox) in workers.iter_mut().zip(inboxes.iter_mut()) {
             let mail = std::mem::take(inbox);
             outcomes.push(worker.round(epoch, mail));
         }
+        let me = &mut stats.workers[0];
+        me.busy_ns += start.elapsed().as_nanos() as u64;
+        me.shards_stepped += n as u64;
         stats.rounds += 1;
         stats.final_epoch = epoch;
         let mut views: Vec<&mut W> = workers.iter_mut().collect();
@@ -277,6 +527,12 @@ mod tests {
                 idle: self.to_inject == 0,
             }
         }
+
+        fn load_hint(&self) -> u64 {
+            // Weight shards by the work they have logged so far; exercises
+            // a hint that changes between rounds.
+            1 + self.log.len() as u64
+        }
     }
 
     fn ring(shards: usize, hops: u32) -> Vec<RingShard> {
@@ -295,11 +551,35 @@ mod tests {
     fn token_ring_terminates_and_is_thread_count_invariant() {
         let (seq, seq_stats) = run_lockstep(ring(5, 17), 1);
         for threads in [2, 3, 8] {
-            let (par, par_stats) = run_lockstep(ring(5, 17), threads);
-            assert_eq!(seq_stats, par_stats, "threads={threads}");
-            for (a, b) in seq.iter().zip(&par) {
-                assert_eq!(a.log, b.log, "threads={threads} shard={}", a.index);
-                assert_eq!(a.now, b.now);
+            for schedule in Schedule::ALL {
+                let (par, par_stats) = run_lockstep_sched(
+                    ring(5, 17),
+                    threads,
+                    schedule,
+                    |_: &mut [&mut RingShard]| {},
+                );
+                assert_eq!(
+                    seq_stats.rounds, par_stats.rounds,
+                    "threads={threads} {schedule}"
+                );
+                assert_eq!(
+                    seq_stats.final_epoch, par_stats.final_epoch,
+                    "threads={threads} {schedule}"
+                );
+                // Every shard is stepped exactly once per round, whichever
+                // worker ends up doing it.
+                assert_eq!(par_stats.total_stepped(), par_stats.rounds * 5);
+                if schedule == Schedule::Static {
+                    assert_eq!(par_stats.total_steals(), 0);
+                }
+                for (a, b) in seq.iter().zip(&par) {
+                    assert_eq!(
+                        a.log, b.log,
+                        "threads={threads} {schedule} shard={}",
+                        a.index
+                    );
+                    assert_eq!(a.now, b.now);
+                }
             }
         }
         // The token visited 18 shard-hops in total (17 decrements + final 0).
@@ -330,9 +610,56 @@ mod tests {
     #[test]
     fn oversubscribed_threads_clamp_to_shard_count() {
         let (seq, _) = run_lockstep(ring(2, 9), 1);
-        let (par, _) = run_lockstep(ring(2, 9), 64);
-        for (a, b) in seq.iter().zip(&par) {
-            assert_eq!(a.log, b.log);
+        for schedule in Schedule::ALL {
+            let (par, stats) =
+                run_lockstep_sched(ring(2, 9), 64, schedule, |_: &mut [&mut RingShard]| {});
+            assert_eq!(stats.workers.len(), 2, "{schedule}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.log, b.log);
+            }
         }
+    }
+
+    #[test]
+    fn worker_stats_account_for_every_shard_round() {
+        let (_, stats) = run_lockstep_sched(
+            ring(7, 23),
+            3,
+            Schedule::Steal,
+            |_: &mut [&mut RingShard]| {},
+        );
+        assert_eq!(stats.workers.len(), 3);
+        assert_eq!(stats.total_stepped(), stats.rounds * 7);
+        // Steals are bounded by the work that exists.
+        assert!(stats.total_steals() <= stats.total_stepped());
+    }
+
+    #[test]
+    fn schedule_parses_and_prints() {
+        for schedule in Schedule::ALL {
+            let round_trip: Schedule = schedule.to_string().parse().unwrap();
+            assert_eq!(round_trip, schedule);
+        }
+        let err = "chaotic".parse::<Schedule>().unwrap_err();
+        assert!(err.contains("static, steal, rebalance"), "{err}");
+    }
+
+    #[test]
+    fn repartition_is_a_partition_and_balances() {
+        // Skewed loads: the heavy shard gets a bin to itself under LPT.
+        let bins = repartition(&[100, 1, 1, 1, 1, 1], 3);
+        assert_eq!(bins.len(), 3);
+        let mut seen = vec![0u32; 6];
+        for bin in &bins {
+            for &shard in bin {
+                seen[shard] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+        assert_eq!(bins[0], vec![0], "heaviest shard isolated: {bins:?}");
+        // More workers than shards clamps.
+        assert_eq!(repartition(&[5, 5], 8).len(), 2);
+        // Empty input survives.
+        assert!(repartition(&[], 4).concat().is_empty());
     }
 }

@@ -1,9 +1,9 @@
 //! The determinism oracle: the sharded engine's merged trace must be
-//! byte-identical across worker counts, pass every `TraceChecker`
-//! monitor, and report the same accounting as a sequential run of the
-//! same rounds.
+//! byte-identical across worker counts *and schedule policies*, pass
+//! every `TraceChecker` monitor, and report the same accounting as a
+//! sequential run of the same rounds.
 
-use cmvrp_engine::{Engine, EngineError, Sharded, ShardedOnlineSim};
+use cmvrp_engine::{Engine, EngineError, ExecConfig, Schedule, ShardedOnlineSim};
 use cmvrp_grid::GridBounds;
 use cmvrp_obs::{check_lines, JsonlSink, NullSink};
 use cmvrp_online::OnlineConfig;
@@ -39,28 +39,20 @@ fn panel() -> Vec<WorkloadConfig> {
     ]
 }
 
-/// Runs a workload on the sharded engine, streaming the merged JSONL
-/// trace into an in-memory writer; returns the bytes plus the report.
-/// With `checked`, the run goes through the inline monitors (which must
-/// stay clean) — the streamed bytes are asserted identical either way by
-/// the tests below.
-fn traced_run(
-    config: &WorkloadConfig,
-    threads: usize,
-    checked: bool,
-) -> (Vec<u8>, cmvrp_online::OnlineReport) {
+/// Runs a workload on the sharded engine under `exec`, streaming the
+/// merged JSONL trace into an in-memory writer; returns the bytes plus
+/// the report. When `exec` carries `.check(true)`, the run goes through
+/// the inline monitors (which must stay clean) — the streamed bytes are
+/// asserted identical either way by the tests below.
+fn traced_run(config: &WorkloadConfig, exec: ExecConfig) -> (Vec<u8>, cmvrp_online::OnlineReport) {
     let (bounds, demand) = config.generate();
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     let mut sink = JsonlSink::new(Vec::new());
-    let engine = Sharded { threads };
-    let exec = if checked {
-        engine.run_checked(bounds, &jobs, OnlineConfig::default(), &mut sink)
-    } else {
-        engine.run(bounds, &jobs, OnlineConfig::default(), &mut sink)
-    }
-    .expect("sharded run");
-    if checked {
-        let check = exec.check.as_ref().expect("checked run");
+    let run = exec
+        .execute(bounds, &jobs, OnlineConfig::default(), &mut sink)
+        .expect("sharded run");
+    if exec.is_checked() {
+        let check = run.check.as_ref().expect("checked run");
         assert!(
             check.is_clean(),
             "{}: {:?}",
@@ -68,22 +60,56 @@ fn traced_run(
             check.violations
         );
     }
-    (sink.into_writer().expect("flush"), exec.report)
+    (sink.into_writer().expect("flush"), run.report)
 }
 
 #[test]
-fn merged_trace_is_byte_identical_across_worker_counts() {
-    for config in panel() {
-        let (baseline, base_report) = traced_run(&config, 1, false);
+fn merged_trace_is_byte_identical_across_workers_and_schedules() {
+    // The full (schedule × workers × checked) cross on the two workloads
+    // where scheduling matters most: the single hot shard (point) and the
+    // skewed Zipf clusters — exactly the regimes stealing reshuffles work
+    // in. The remaining panel shapes are covered by the spot checks below.
+    let skewed = [
+        WorkloadConfig::Point {
+            grid: 12,
+            demand: 250,
+        },
+        WorkloadConfig::Clusters {
+            grid: 12,
+            clusters: 3,
+            jobs: 180,
+            seed: 9,
+        },
+    ];
+    for config in &skewed {
+        let (baseline, base_report) = traced_run(config, ExecConfig::new().threads(1));
         assert!(!baseline.is_empty());
-        for threads in [2, 8] {
-            let (trace, report) = traced_run(&config, threads, false);
-            assert_eq!(
-                trace,
-                baseline,
-                "{}: trace differs between 1 and {threads} workers",
-                config.label()
-            );
+        for schedule in Schedule::ALL {
+            for threads in [1, 2, 8] {
+                for checked in [false, true] {
+                    let exec = ExecConfig::new()
+                        .threads(threads)
+                        .schedule(schedule)
+                        .check(checked);
+                    let (trace, report) = traced_run(config, exec);
+                    assert_eq!(
+                        trace,
+                        baseline,
+                        "{}: trace differs at {schedule}/{threads} workers (checked={checked})",
+                        config.label()
+                    );
+                    assert_eq!(report, base_report, "{}", config.label());
+                }
+            }
+        }
+    }
+    // The rest of the panel: every schedule at the widest worker count.
+    for config in panel() {
+        let (baseline, base_report) = traced_run(&config, ExecConfig::new().threads(1));
+        for schedule in [Schedule::Steal, Schedule::Rebalance] {
+            let exec = ExecConfig::new().threads(8).schedule(schedule).check(true);
+            let (trace, report) = traced_run(&config, exec);
+            assert_eq!(trace, baseline, "{}: {schedule}", config.label());
             assert_eq!(report, base_report, "{}", config.label());
         }
     }
@@ -93,8 +119,9 @@ fn merged_trace_is_byte_identical_across_worker_counts() {
 fn inline_checking_leaves_streamed_bytes_unchanged() {
     // run_checked must be a pure observer: same merged bytes, same report.
     for config in panel() {
-        let (plain, plain_report) = traced_run(&config, 8, false);
-        let (checked, checked_report) = traced_run(&config, 8, true);
+        let exec = ExecConfig::new().threads(8).schedule(Schedule::Steal);
+        let (plain, plain_report) = traced_run(&config, exec);
+        let (checked, checked_report) = traced_run(&config, exec.check(true));
         assert_eq!(checked, plain, "{}", config.label());
         assert_eq!(checked_report, plain_report, "{}", config.label());
     }
@@ -107,11 +134,12 @@ fn merged_trace_passes_every_monitor() {
         let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
         let total = jobs.iter().count() as u64;
         // Inline: per-shard monitors + merge-time cross-shard monitors.
-        let exec = Sharded { threads: 8 }
+        let run = ExecConfig::new()
+            .threads(8)
             .run_checked(bounds, &jobs, OnlineConfig::default(), &mut NullSink)
             .expect("sharded run");
-        let report = exec.report;
-        let check = exec.check.expect("checked run");
+        let report = run.report;
+        let check = run.check.expect("checked run");
         assert!(
             check.is_clean(),
             "{}: {:?}",
@@ -124,7 +152,7 @@ fn merged_trace_passes_every_monitor() {
         // Offline: the streamed bytes replay cleanly through the full
         // single-stream checker too (every monitor, including the ones
         // the inline split covers shard-locally).
-        let (trace, _) = traced_run(&config, 8, false);
+        let (trace, _) = traced_run(&config, ExecConfig::new().threads(8));
         let text = String::from_utf8(trace).expect("utf8 trace");
         let offline = check_lines(text.lines(), None).expect("parse merged trace");
         assert!(
@@ -148,9 +176,11 @@ fn sharded_report_matches_across_thread_counts_without_tracing() {
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     let mut reports = Vec::new();
     for threads in [1, 2, 4, 8] {
-        let mut sim =
-            ShardedOnlineSim::<2>::new(bounds, &jobs, OnlineConfig::default()).expect("build");
-        reports.push(sim.run(threads));
+        for schedule in Schedule::ALL {
+            let mut sim =
+                ShardedOnlineSim::<2>::new(bounds, &jobs, OnlineConfig::default()).expect("build");
+            reports.push(sim.run(&ExecConfig::new().threads(threads).schedule(schedule)));
+        }
     }
     for r in &reports[1..] {
         assert_eq!(*r, reports[0]);
@@ -175,6 +205,51 @@ fn monitored_mode_is_a_structured_error() {
 }
 
 #[test]
+fn non_static_schedule_without_threads_is_a_structured_error() {
+    let (bounds, demand) = WorkloadConfig::Point {
+        grid: 9,
+        demand: 40,
+    }
+    .generate();
+    let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
+    for schedule in [Schedule::Steal, Schedule::Rebalance] {
+        let exec = ExecConfig::new().schedule(schedule);
+        let err = exec
+            .execute(bounds, &jobs, OnlineConfig::default(), &mut NullSink)
+            .unwrap_err();
+        assert_eq!(err, EngineError::ScheduleNeedsThreads(schedule));
+        // The message names the fix and the supported combinations.
+        let msg = err.to_string();
+        assert!(msg.contains("--threads"), "{msg}");
+        assert!(msg.contains("static"), "{msg}");
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_engine_shims_match_exec_config() {
+    use cmvrp_engine::{Sequential, Sharded};
+    let config = WorkloadConfig::Point {
+        grid: 12,
+        demand: 120,
+    };
+    let (bounds, demand) = config.generate();
+    let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
+    let run_via = |engine: &dyn Engine<2>| {
+        let mut sink = JsonlSink::new(Vec::new());
+        let run = engine
+            .run(bounds, &jobs, OnlineConfig::default(), &mut sink)
+            .expect("run");
+        (sink.into_writer().expect("flush"), run.report)
+    };
+    assert_eq!(run_via(&Sequential), run_via(&ExecConfig::new()));
+    assert_eq!(
+        run_via(&Sharded { threads: 2 }),
+        run_via(&ExecConfig::new().threads(2))
+    );
+}
+
+#[test]
 fn million_vehicle_grid_runs_sparse() {
     // 1024×1024 ≈ 1.05M vehicles; a point source of 2000 jobs picks cube
     // side 7 (9·6³ = 1944 < 2000 ≤ 9·7³ = 3087), so ω_c = 6 and only the
@@ -186,7 +261,7 @@ fn million_vehicle_grid_runs_sparse() {
         ShardedOnlineSim::<2>::new(bounds, &jobs, OnlineConfig::default()).expect("build");
     let prov = sim.provisioning();
     assert_eq!(prov.side, 7);
-    let report = sim.run(8);
+    let report = sim.run(&ExecConfig::new().threads(8).schedule(Schedule::Rebalance));
     assert_eq!(report.unserved, 0);
     // Theorem 1.4.2: energy per vehicle stays within 38·ω_c.
     assert!(

@@ -36,17 +36,21 @@ echo "==> trace check (golden trace)"
 ./target/release/cmvrp trace check tests/data/golden_point.jsonl
 ./target/release/cmvrp simulate point:grid=6,demand=200 --seed=3 --check >/dev/null
 
-echo "==> sharded determinism + inline check (2 workers vs 1)"
+echo "==> sharded determinism + inline check (2 workers vs 1, plus steal)"
 # The parallel-engine oracle: the streamed merged trace must be
-# byte-identical across worker counts, with the inline monitors (per-shard
-# + merge-time) clean on both runs.
+# byte-identical across worker counts AND scheduling policies, with the
+# inline monitors (per-shard + merge-time) clean on every run.
 t1=$(mktemp)
 t2=$(mktemp)
-trap 'rm -f "$t1" "$t2"' EXIT
+t3=$(mktemp)
+trap 'rm -f "$t1" "$t2" "$t3"' EXIT
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
     --threads=1 --check --trace-jsonl="$t1" >/dev/null
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
     --threads=2 --check --trace-jsonl="$t2" >/dev/null
 cmp "$t1" "$t2"
+./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
+    --threads=2 --schedule=steal --check --trace-jsonl="$t3" >/dev/null
+cmp "$t1" "$t3"
 
 echo "==> all checks passed"

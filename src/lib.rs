@@ -46,12 +46,15 @@
 pub use cmvrp_core as core;
 pub use cmvrp_engine as engine;
 
-// The execution surface: pick an engine, stream events into a sink, and
-// (optionally) verify the run inline. Re-exported at the root so callers
-// select engines without spelling out the workspace crates.
+// The execution surface: build an [`ExecConfig`], stream events into a
+// sink, and (optionally) verify the run inline. Re-exported at the root so
+// callers select engines without spelling out the workspace crates.
 pub use cmvrp_engine::{
-    CheckScope, CheckSummary, Engine, EngineError, Execution, ScopedViolation, Sequential, Sharded,
+    CheckScope, CheckSummary, Engine, EngineError, ExecConfig, Execution, RoundStats, Schedule,
+    ScopedViolation, WorkerStats,
 };
+#[allow(deprecated)]
+pub use cmvrp_engine::{Sequential, Sharded};
 pub use cmvrp_ext as ext;
 pub use cmvrp_flow as flow;
 pub use cmvrp_graph as graph_ext;
@@ -65,7 +68,9 @@ pub use cmvrp_workloads as workloads;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use cmvrp_core::{approx_woff, omega_c, omega_star, plan_offline, verify_plan, Instance};
-    pub use cmvrp_engine::{Engine, EngineError, Execution, Sequential, Sharded};
+    pub use cmvrp_engine::{Engine, EngineError, ExecConfig, Execution, Schedule};
+    #[allow(deprecated)]
+    pub use cmvrp_engine::{Sequential, Sharded};
     pub use cmvrp_grid::{pt1, pt2, pt3, DemandMap, GridBounds, Point};
     pub use cmvrp_obs::{JsonlSink, NullSink, RingSink, Sink, StaticSink, VecSink};
     pub use cmvrp_online::{OnlineConfig, OnlineSim};
