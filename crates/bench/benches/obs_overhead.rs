@@ -7,7 +7,7 @@
 use cmvrp_bench::default_workloads;
 use cmvrp_bench::harness::Harness;
 use cmvrp_grid::GridBounds;
-use cmvrp_obs::{CheckSink, JsonlSink, NullSink, RingSink, Sink, TraceChecker};
+use cmvrp_obs::{BinSink, CheckSink, Event, JsonlSink, NullSink, RingSink, Sink, TraceChecker};
 use cmvrp_online::{OnlineConfig, OnlineSim};
 use cmvrp_workloads::{arrivals, spatial, Ordering};
 use std::hint::black_box;
@@ -36,6 +36,33 @@ fn paired_overhead(
         check_best = check_best.min(t.elapsed().as_nanos() as u64);
     }
     (null_best, check_best)
+}
+
+/// Paired min-of-samples comparison of the two trace encodings: write the
+/// same captured event stream to a discarding writer through each sink,
+/// alternating run-by-run so both see the same machine-load epochs.
+fn paired_trace_write(events: &[Event], reps: usize) -> (u64, u64) {
+    let mut jsonl_best = u64::MAX;
+    let mut bin_best = u64::MAX;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        let mut sink = JsonlSink::new(std::io::sink());
+        for ev in events {
+            sink.record(ev);
+        }
+        sink.flush_events();
+        black_box(sink.written());
+        jsonl_best = jsonl_best.min(t.elapsed().as_nanos() as u64);
+        let t = std::time::Instant::now();
+        let mut sink = BinSink::new(std::io::sink());
+        for ev in events {
+            sink.record(ev);
+        }
+        sink.flush_events();
+        black_box(sink.written());
+        bin_best = bin_best.min(t.elapsed().as_nanos() as u64);
+    }
+    (jsonl_best, bin_best)
 }
 
 fn main() {
@@ -88,6 +115,25 @@ fn main() {
         sink.flush_events();
         black_box((report, sink.written()));
     });
+    // Encoder-only comparison: the captured event stream through each
+    // trace encoding into a discarding writer, reported as events/s.
+    let n_events = events.len() as u64;
+    h.bench_with_items("trace_write/jsonl_devnull", n_events, || {
+        let mut sink = JsonlSink::new(std::io::sink());
+        for ev in &events {
+            sink.record(ev);
+        }
+        sink.flush_events();
+        black_box(sink.written());
+    });
+    h.bench_with_items("trace_write/bin_devnull", n_events, || {
+        let mut sink = BinSink::new(std::io::sink());
+        for ev in &events {
+            sink.record(ev);
+        }
+        sink.flush_events();
+        black_box(sink.written());
+    });
 
     let mut notes: Vec<(&str, String)> = vec![
         (
@@ -123,6 +169,53 @@ fn main() {
         let stress_pct = (check_ns as f64 - null_ns as f64) / null_ns as f64 * 100.0;
         notes.push(("check_overhead_stress_pct", format!("{stress_pct:.1}")));
         println!("stress overhead: null {null_ns} ns, check {check_ns} ns -> {stress_pct:.1}%");
+
+        // Binary-vs-JSONL trace encoding: paired min-of-samples events/s
+        // on each side, plus the byte cost per event of each encoding.
+        let (jsonl_ns, bin_ns) = paired_trace_write(&events, 200);
+        let per_sec = |ns: u64| events.len() as f64 / (ns as f64 / 1e9);
+        let speedup = jsonl_ns as f64 / bin_ns as f64;
+        notes.push((
+            "trace_write_jsonl_events_per_sec",
+            format!("{:.0}", per_sec(jsonl_ns)),
+        ));
+        notes.push((
+            "trace_write_bin_events_per_sec",
+            format!("{:.0}", per_sec(bin_ns)),
+        ));
+        notes.push(("bin_speedup_vs_jsonl", format!("{speedup:.1}x")));
+        let jsonl_bytes = {
+            let mut sink = JsonlSink::new(Vec::new());
+            for ev in &events {
+                sink.record(ev);
+            }
+            sink.flush_events();
+            sink.into_writer().expect("in-memory write").len()
+        };
+        let bin_bytes = {
+            let mut sink = BinSink::new(Vec::new());
+            for ev in &events {
+                sink.record(ev);
+            }
+            sink.flush_events();
+            sink.into_writer().expect("in-memory write").len()
+        };
+        notes.push((
+            "jsonl_bytes_per_event",
+            format!("{:.1}", jsonl_bytes as f64 / events.len() as f64),
+        ));
+        notes.push((
+            "bin_bytes_per_event",
+            format!("{:.1}", bin_bytes as f64 / events.len() as f64),
+        ));
+        println!(
+            "trace write: jsonl {jsonl_ns} ns ({:.0} ev/s, {:.1} B/ev), bin {bin_ns} ns \
+             ({:.0} ev/s, {:.1} B/ev) -> {speedup:.1}x",
+            per_sec(jsonl_ns),
+            jsonl_bytes as f64 / events.len() as f64,
+            per_sec(bin_ns),
+            bin_bytes as f64 / events.len() as f64,
+        );
     }
     // `cargo bench` runs with the package dir as cwd; anchor the snapshot
     // at the workspace root so it lands next to BENCH.md.

@@ -10,11 +10,17 @@
 //!   protocol and report the Theorem 1.4.2 accounting, optionally writing
 //!   a JSONL event trace (`--trace-jsonl`) and a metrics table
 //!   (`--metrics`);
-//! * `replay` — rebuild the run's summary from a JSONL trace alone;
+//! * `replay` — rebuild the run's summary from a recorded trace alone;
 //! * `trace` — trace analytics: `check` (invariant monitors), `stats`
 //!   (summary counters), `timeline <proc>` (per-process ledger with
-//!   derived Lamport clocks), `spans` (phase-span aggregation);
+//!   derived Lamport clocks), `spans` (phase-span aggregation),
+//!   `convert` (JSONL ↔ binary, lossless), `profile` (flight-recorder
+//!   breakdown of a `--profile` run);
 //! * `workloads` — list the built-in workload shapes.
+//!
+//! Every trace-reading subcommand accepts both encodings transparently:
+//! files are sniffed by the binary format's magic bytes and decoded back
+//! to the canonical event stream before analysis.
 //!
 //! Workloads are specified as `shape:param=value,...`, e.g.
 //! `point:grid=11,demand=60` or `clusters:grid=12,k=3,jobs=200,seed=7`.
@@ -23,7 +29,7 @@
 
 use cmvrp_core::Instance;
 use cmvrp_engine::{CheckScope, CheckSummary, ExecConfig, Schedule};
-use cmvrp_obs::{JsonlSink, Metrics, Sink};
+use cmvrp_obs::{BinSink, Event, JsonlSink, Metrics, Sink};
 use cmvrp_online::{OnlineConfig, OnlineReport};
 use cmvrp_workloads::{arrivals, JobSequence, Ordering, WorkloadConfig};
 use std::fmt::Write as _;
@@ -46,11 +52,14 @@ fn usage() -> String {
      USAGE:\n\
        cmvrp solve <workload>            off-line bounds + verified plan\n\
        cmvrp simulate <workload> [opts]  run the on-line protocol\n\
-       cmvrp replay <trace.jsonl>        summarize a recorded event trace\n\
-       cmvrp trace check <trace.jsonl>   validate a trace against the invariant monitors\n\
-       cmvrp trace stats <trace.jsonl>   trace summary counters (superset of replay)\n\
+       cmvrp replay <trace>              summarize a recorded event trace\n\
+       cmvrp trace check <trace>         validate a trace against the invariant monitors\n\
+       cmvrp trace stats <trace>         trace summary counters (superset of replay)\n\
        cmvrp trace timeline <p> <trace>  event ledger of process <p> with Lamport clocks\n\
-       cmvrp trace spans <trace.jsonl>   aggregate wall-clock phase spans\n\
+       cmvrp trace spans <trace>         aggregate wall-clock phase spans\n\
+       cmvrp trace convert <in> <out>    convert a trace JSONL <-> binary (lossless,\n\
+                                         direction inferred from the input's encoding)\n\
+       cmvrp trace profile <trace>       flight-recorder breakdown of a --profile run\n\
        cmvrp show <workload>             render the demand map as ASCII\n\
        cmvrp experiment <id>             regenerate a thesis experiment (e1..e16, f1, g1, g2)\n\
        cmvrp sweep <shape> <d1> <d2> ..  omega* scaling across demands (point|line)\n\
@@ -80,6 +89,16 @@ fn usage() -> String {
                        only — not combinable with --threads; --check and\n\
                        --trace-jsonl work on every engine)\n\
        --trace-jsonl P stream every event as JSON lines to path P\n\
+       --trace-bin P   stream every event in the length-prefixed binary\n\
+                       format to path P (same events, ~5x the write\n\
+                       throughput; decode with `cmvrp trace convert`);\n\
+                       not combinable with --trace-jsonl\n\
+       --profile       flight recorder (needs --threads): append one\n\
+                       round_profile sample per worker per round to the\n\
+                       trace — busy/barrier/merge/sink nanoseconds, event\n\
+                       and steal counts; analyze with `cmvrp trace profile`\n\
+       --progress      live progress line on stderr (needs --threads and a\n\
+                       terminal; --progress=force paints without one)\n\
        --metrics       print the always-on metrics registry\n\
        --check         verify the invariant monitors inline while the run\n\
                        streams (with --threads: per-shard monitors plus\n\
@@ -353,6 +372,9 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
     let mut want_metrics = false;
     let mut check = false;
     let mut trace: Option<String> = None;
+    let mut trace_bin: Option<String> = None;
+    let mut profile = false;
+    let mut progress = false;
     let mut threads: Option<usize> = None;
     let mut schedule = Schedule::Static;
     let mut i = 0;
@@ -391,12 +413,49 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
                 .get(i)
                 .ok_or_else(|| UsageError("--trace-jsonl needs a path".into()))?;
             trace = Some(path.clone());
+        } else if let Some(v) = opt.strip_prefix("--trace-bin=") {
+            trace_bin = Some(v.to_string());
+        } else if opt == "--trace-bin" {
+            i += 1;
+            let path = opts
+                .get(i)
+                .ok_or_else(|| UsageError("--trace-bin needs a path".into()))?;
+            trace_bin = Some(path.clone());
+        } else if opt == "--profile" {
+            profile = true;
+        } else if opt == "--progress" {
+            use std::io::IsTerminal;
+            if !std::io::stderr().is_terminal() {
+                return Err(UsageError(
+                    "--progress paints a live line on stderr and needs a \
+                     terminal; supported alternatives: --progress=force to \
+                     paint anyway (e.g. into a log), or --profile to record \
+                     per-round samples into the trace for offline analysis \
+                     with `cmvrp trace profile`"
+                        .into(),
+                ));
+            }
+            progress = true;
+        } else if opt == "--progress=force" {
+            progress = true;
         } else {
             return Err(UsageError(format!("unknown option {opt:?}")));
         }
         i += 1;
     }
-    let mut exec = ExecConfig::new().schedule(schedule).check(check);
+    if trace.is_some() && trace_bin.is_some() {
+        return Err(UsageError(
+            "--trace-jsonl and --trace-bin record the same event stream; \
+             pick one encoding (either converts to the other losslessly \
+             with `cmvrp trace convert <in> <out>`)"
+                .into(),
+        ));
+    }
+    let mut exec = ExecConfig::new()
+        .schedule(schedule)
+        .check(check)
+        .profile(profile)
+        .progress(progress);
     if let Some(n) = threads {
         exec = exec.threads(n);
     }
@@ -404,8 +463,8 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
     let (bounds, demand) = cfg.generate();
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, online.seed);
     let mut out = String::new();
-    let (report, metrics, summary) = match &trace {
-        Some(path) => {
+    let (report, metrics, summary) = match (&trace, &trace_bin) {
+        (Some(path), None) => {
             let mut sink = JsonlSink::create(path)
                 .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
             let result = run_simulation(bounds, &jobs, online, exec, &mut sink, want_metrics)?;
@@ -415,7 +474,17 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
             let _ = writeln!(out, "trace: {events} events -> {path}");
             result
         }
-        None => run_simulation(
+        (None, Some(path)) => {
+            let mut sink = BinSink::create(path)
+                .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
+            let result = run_simulation(bounds, &jobs, online, exec, &mut sink, want_metrics)?;
+            let events = sink
+                .finish()
+                .map_err(|e| UsageError(format!("trace write to {path:?} failed: {e}")))?;
+            let _ = writeln!(out, "trace: {events} events -> {path} (binary)");
+            result
+        }
+        _ => run_simulation(
             bounds,
             &jobs,
             online,
@@ -427,7 +496,7 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
     if let Some(summary) = &summary {
         out.push_str(&check_verdict(
             summary,
-            trace.as_deref().unwrap_or("event"),
+            trace.as_deref().or(trace_bin.as_deref()).unwrap_or("event"),
         )?);
     }
     render_report(&mut out, &cfg, &report);
@@ -438,8 +507,7 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
 }
 
 fn cmd_replay(path: &str) -> Result<String, UsageError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| UsageError(format!("cannot read {path:?}: {e}")))?;
+    let text = read_trace(path)?;
     let summary = cmvrp_obs::summarize(text.lines())
         .map_err(|(line, msg)| UsageError(format!("{path}:{line}: {msg}")))?;
     let mut table = cmvrp_util::Table::new(vec!["quantity", "value"]);
@@ -449,8 +517,197 @@ fn cmd_replay(path: &str) -> Result<String, UsageError> {
     Ok(format!("replay of {path}:\n{table}"))
 }
 
+/// Loads a trace file as canonical JSONL text, whichever encoding it is
+/// in: binary traces (sniffed by the `CMVB` magic bytes) are decoded back
+/// to JSON lines, so every trace-reading subcommand accepts both formats.
 fn read_trace(path: &str) -> Result<String, UsageError> {
-    std::fs::read_to_string(path).map_err(|e| UsageError(format!("cannot read {path:?}: {e}")))
+    let bytes =
+        std::fs::read(path).map_err(|e| UsageError(format!("cannot read {path:?}: {e}")))?;
+    if cmvrp_obs::is_binary_trace(&bytes) {
+        let events =
+            cmvrp_obs::decode_trace(&bytes).map_err(|e| UsageError(format!("{path}: {e}")))?;
+        let mut text = String::with_capacity(events.len() * 64);
+        for ev in &events {
+            text.push_str(&ev.to_json());
+            text.push('\n');
+        }
+        return Ok(text);
+    }
+    String::from_utf8(bytes).map_err(|e| UsageError(format!("{path}: not UTF-8 JSONL: {e}")))
+}
+
+/// `trace convert <in> <out>`: lossless JSONL ↔ binary translation, the
+/// direction inferred from the input's encoding.
+fn cmd_trace_convert(input: &str, output: &str) -> Result<String, UsageError> {
+    let bytes =
+        std::fs::read(input).map_err(|e| UsageError(format!("cannot read {input:?}: {e}")))?;
+    if cmvrp_obs::is_binary_trace(&bytes) {
+        let events =
+            cmvrp_obs::decode_trace(&bytes).map_err(|e| UsageError(format!("{input}: {e}")))?;
+        let mut text = String::with_capacity(events.len() * 64);
+        for ev in &events {
+            text.push_str(&ev.to_json());
+            text.push('\n');
+        }
+        std::fs::write(output, text)
+            .map_err(|e| UsageError(format!("cannot write {output:?}: {e}")))?;
+        Ok(format!(
+            "converted {input} (binary) -> {output} (jsonl): {} events\n",
+            events.len()
+        ))
+    } else {
+        let text = String::from_utf8(bytes)
+            .map_err(|e| UsageError(format!("{input}: not UTF-8 JSONL: {e}")))?;
+        let mut sink = BinSink::create(output)
+            .map_err(|e| UsageError(format!("cannot create {output:?}: {e}")))?;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev = Event::from_json(line)
+                .map_err(|msg| UsageError(format!("{input}:{}: {msg}", i + 1)))?;
+            sink.record(&ev);
+        }
+        let events = sink
+            .finish()
+            .map_err(|e| UsageError(format!("write to {output:?} failed: {e}")))?;
+        Ok(format!(
+            "converted {input} (jsonl) -> {output} (binary): {events} events\n"
+        ))
+    }
+}
+
+/// `trace profile <trace>`: aggregates the flight recorder's
+/// `round_profile` samples into a per-worker phase breakdown and a
+/// bucketed round timeline.
+fn cmd_trace_profile(path: &str) -> Result<String, UsageError> {
+    #[derive(Default, Clone)]
+    struct Acc {
+        rounds: u64,
+        busy: u64,
+        barrier: u64,
+        steals: u64,
+    }
+    let text = read_trace(path)?;
+    let mut per: std::collections::BTreeMap<u64, Acc> = std::collections::BTreeMap::new();
+    // round -> (busy over workers, wall = busy + barrier over workers,
+    // merge, sink); merge/sink are replicated on every worker's sample,
+    // so insertion keeps one copy per round.
+    let mut rounds: std::collections::BTreeMap<u64, (u64, u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev =
+            Event::from_json(line).map_err(|msg| UsageError(format!("{path}:{}: {msg}", i + 1)))?;
+        if let Event::RoundProfile {
+            round,
+            worker,
+            busy_ns,
+            barrier_wait_ns,
+            merge_ns,
+            sink_ns,
+            steals,
+            ..
+        } = ev
+        {
+            let (busy, barrier) = (busy_ns.max(0) as u64, barrier_wait_ns.max(0) as u64);
+            let acc = per.entry(worker).or_default();
+            acc.rounds += 1;
+            acc.busy += busy;
+            acc.barrier += barrier;
+            acc.steals += steals;
+            let r = rounds.entry(round).or_insert((0, 0, 0, 0));
+            r.0 += busy;
+            r.1 += busy + barrier;
+            r.2 = merge_ns.max(0) as u64;
+            r.3 = sink_ns.max(0) as u64;
+        }
+    }
+    if per.is_empty() {
+        return Ok(format!(
+            "no round_profile samples in {path}; record them with \
+             `cmvrp simulate <workload> --threads=N --profile`\n"
+        ));
+    }
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    let mut out = format!(
+        "profile of {path}: {} rounds, {} workers\n",
+        rounds.len(),
+        per.len()
+    );
+    let mut table = cmvrp_util::Table::new(vec![
+        "worker",
+        "rounds",
+        "busy_ms",
+        "barrier_ms",
+        "util%",
+        "steals",
+    ]);
+    let (mut busy_total, mut barrier_total, mut steals_total) = (0u64, 0u64, 0u64);
+    for (worker, acc) in &per {
+        let wall = acc.busy + acc.barrier;
+        table.row(vec![
+            worker.to_string(),
+            acc.rounds.to_string(),
+            ms(acc.busy),
+            ms(acc.barrier),
+            format!("{:.1}", 100.0 * acc.busy as f64 / (wall.max(1)) as f64),
+            acc.steals.to_string(),
+        ]);
+        busy_total += acc.busy;
+        barrier_total += acc.barrier;
+        steals_total += acc.steals;
+    }
+    let pool = per.len() as u64;
+    let stepping = (busy_total + barrier_total) / pool.max(1);
+    table.row(vec![
+        "all".into(),
+        rounds.len().to_string(),
+        ms(busy_total),
+        ms(barrier_total),
+        format!(
+            "{:.1}",
+            100.0 * busy_total as f64 / ((busy_total + barrier_total).max(1)) as f64
+        ),
+        steals_total.to_string(),
+    ]);
+    let _ = write!(out, "{table}");
+    let merge_total: u64 = rounds.values().map(|r| r.2).sum();
+    let sink_total: u64 = rounds.values().map(|r| r.3).sum();
+    let recorded = stepping + merge_total + sink_total;
+    let _ = writeln!(
+        out,
+        "phases: stepping {} ms + merge {} ms + sink {} ms = {} ms recorded",
+        ms(stepping),
+        ms(merge_total),
+        ms(sink_total),
+        ms(recorded)
+    );
+    // Bucketed utilization timeline: at most 20 buckets of consecutive
+    // rounds, each bar char worth 5% of worker utilization.
+    let ordered: Vec<(u64, (u64, u64, u64, u64))> = rounds.into_iter().collect();
+    let bucket_size = ordered.len().div_ceil(20);
+    let _ = writeln!(
+        out,
+        "timeline ({} rounds/bucket, each # = 5% busy):",
+        bucket_size
+    );
+    for bucket in ordered.chunks(bucket_size) {
+        let busy: u64 = bucket.iter().map(|(_, r)| r.0).sum();
+        let wall: u64 = bucket.iter().map(|(_, r)| r.1).sum();
+        let util = 100.0 * busy as f64 / wall.max(1) as f64;
+        let bar = "#".repeat((util / 5.0).round() as usize);
+        let _ = writeln!(
+            out,
+            "  rounds {:>5}-{:<5} {:>5.1}% {bar}",
+            bucket.first().map(|(r, _)| *r).unwrap_or(0),
+            bucket.last().map(|(r, _)| *r).unwrap_or(0),
+            util
+        );
+    }
+    Ok(out)
 }
 
 fn cmd_trace_check(path: &str, opts: &[String]) -> Result<String, UsageError> {
@@ -566,8 +823,12 @@ fn cmd_trace_spans(path: &str) -> Result<String, UsageError> {
 }
 
 fn cmd_trace(args: &[String]) -> Result<String, UsageError> {
-    let sub_usage =
-        || UsageError("trace needs a subcommand: check|stats|timeline <proc>|spans".into());
+    let sub_usage = || {
+        UsageError(
+            "trace needs a subcommand: check|stats|timeline <proc>|spans|convert <in> <out>|profile"
+                .into(),
+        )
+    };
     match args.first().map(String::as_str) {
         Some("check") => match args.get(1) {
             Some(path) => cmd_trace_check(path, &args[2..]),
@@ -589,6 +850,16 @@ fn cmd_trace(args: &[String]) -> Result<String, UsageError> {
         Some("spans") => match args.get(1) {
             Some(path) => cmd_trace_spans(path),
             None => Err(UsageError("trace spans needs a trace path".into())),
+        },
+        Some("convert") => match (args.get(1), args.get(2)) {
+            (Some(input), Some(output)) => cmd_trace_convert(input, output),
+            _ => Err(UsageError(
+                "trace convert needs an input and an output path".into(),
+            )),
+        },
+        Some("profile") => match args.get(1) {
+            Some(path) => cmd_trace_profile(path),
+            None => Err(UsageError("trace profile needs a trace path".into())),
         },
         _ => Err(sub_usage()),
     }
@@ -1030,6 +1301,195 @@ mod tests {
         assert!(run(&argv("trace spans")).is_err());
         assert!(run(&argv("trace timeline zero /tmp/x.jsonl")).is_err());
         assert!(run(&argv("trace check /nonexistent/x.jsonl")).is_err());
+    }
+
+    #[test]
+    fn simulate_trace_bin_is_byte_identical_across_threads() {
+        let mut traces = Vec::new();
+        for threads in [1, 8] {
+            let path = std::env::temp_dir().join(format!("cmvrp_cli_bin_threads_{threads}.bin"));
+            let out = run(&[
+                "simulate".into(),
+                "point:grid=12,demand=250".into(),
+                format!("--threads={threads}"),
+                "--check".into(),
+                format!("--trace-bin={}", path.display()),
+            ])
+            .unwrap();
+            assert!(out.contains("all invariants hold"), "{out}");
+            assert!(out.contains("(binary)"), "{out}");
+            traces.push(std::fs::read(&path).unwrap());
+            let _ = std::fs::remove_file(&path);
+        }
+        assert_eq!(traces[0], traces[1]);
+        assert!(cmvrp_obs::is_binary_trace(&traces[0]));
+    }
+
+    #[test]
+    fn trace_bin_conflicts_with_trace_jsonl() {
+        let err = run(&argv(
+            "simulate point:grid=8,demand=10 --trace-jsonl=/tmp/a.jsonl --trace-bin=/tmp/a.bin",
+        ))
+        .unwrap_err();
+        // The rejection names both flags and the supported alternative.
+        assert!(err.0.contains("--trace-jsonl"), "{err}");
+        assert!(err.0.contains("--trace-bin"), "{err}");
+        assert!(err.0.contains("trace convert"), "{err}");
+    }
+
+    #[test]
+    fn trace_convert_roundtrips_byte_for_byte() {
+        let dir = std::env::temp_dir();
+        let jsonl = dir.join("cmvrp_cli_convert.jsonl");
+        let bin = dir.join("cmvrp_cli_convert.bin");
+        let back = dir.join("cmvrp_cli_convert_back.jsonl");
+        run(&[
+            "simulate".into(),
+            "point:grid=8,demand=120".into(),
+            format!("--trace-jsonl={}", jsonl.display()),
+        ])
+        .unwrap();
+        let to_bin = run(&[
+            "trace".into(),
+            "convert".into(),
+            jsonl.to_str().unwrap().into(),
+            bin.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(to_bin.contains("(jsonl) ->"), "{to_bin}");
+        assert!(cmvrp_obs::is_binary_trace(&std::fs::read(&bin).unwrap()));
+        let to_jsonl = run(&[
+            "trace".into(),
+            "convert".into(),
+            bin.to_str().unwrap().into(),
+            back.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(to_jsonl.contains("(binary) ->"), "{to_jsonl}");
+        assert_eq!(
+            std::fs::read(&jsonl).unwrap(),
+            std::fs::read(&back).unwrap(),
+            "JSONL -> binary -> JSONL must be lossless"
+        );
+        for p in [&jsonl, &bin, &back] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn trace_tools_accept_binary_traces() {
+        // check/stats/timeline/spans must sniff the encoding and decode.
+        let path = std::env::temp_dir().join("cmvrp_cli_bin_tools.bin");
+        let path_str = path.to_str().unwrap().to_string();
+        run(&[
+            "simulate".into(),
+            "point:grid=8,demand=300".into(),
+            "--trace-bin".into(),
+            path_str.clone(),
+        ])
+        .unwrap();
+        let check = run(&["trace".into(), "check".into(), path_str.clone()]).unwrap();
+        assert!(check.contains("trace OK"), "{check}");
+        let stats = run(&["trace".into(), "stats".into(), path_str.clone()]).unwrap();
+        assert!(stats.contains("jobs_served"), "{stats}");
+        let timeline = run(&[
+            "trace".into(),
+            "timeline".into(),
+            "0".into(),
+            path_str.clone(),
+        ])
+        .unwrap();
+        assert!(timeline.contains("timeline of process 0"), "{timeline}");
+        let spans = run(&["trace".into(), "spans".into(), path_str.clone()]).unwrap();
+        assert!(spans.contains("no phase spans"), "{spans}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_run_records_samples_and_trace_profile_renders() {
+        let path = std::env::temp_dir().join("cmvrp_cli_profile.bin");
+        let path_str = path.to_str().unwrap().to_string();
+        let started = std::time::Instant::now();
+        let out = run(&[
+            "simulate".into(),
+            "point:grid=12,demand=250".into(),
+            "--threads=2".into(),
+            "--profile".into(),
+            "--check".into(),
+            format!("--trace-bin={path_str}"),
+        ])
+        .unwrap();
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        assert!(out.contains("all invariants hold"), "{out}");
+        // The samples are first-class events: the offline checker sees
+        // them (the `profile` monitor is always active) and stats counts
+        // them.
+        let check = run(&["trace".into(), "check".into(), path_str.clone()]).unwrap();
+        assert!(check.contains("trace OK"), "{check}");
+        assert!(check.contains("profile"), "{check}");
+        let stats = run(&["trace".into(), "stats".into(), path_str.clone()]).unwrap();
+        assert!(stats.contains("round_profiles"), "{stats}");
+        let profile = run(&["trace".into(), "profile".into(), path_str.clone()]).unwrap();
+        assert!(profile.contains("2 workers"), "{profile}");
+        assert!(profile.contains("util%"), "{profile}");
+        assert!(profile.contains("phases:"), "{profile}");
+        assert!(profile.contains("timeline"), "{profile}");
+        // The recorded phase breakdown is nested inside the measured
+        // wall-clock of the whole run, and is a real (nonzero) share of
+        // it. Parse "... = X ms recorded" back out.
+        let recorded_ms: f64 = profile
+            .lines()
+            .find(|l| l.starts_with("phases:"))
+            .and_then(|l| l.split("= ").nth(1))
+            .and_then(|t| t.split(" ms").next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(recorded_ms > 0.0, "{profile}");
+        assert!(
+            recorded_ms * 1e6 <= wall_ns as f64,
+            "recorded {recorded_ms} ms exceeds run wall {} ms",
+            wall_ns as f64 / 1e6
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_profile_without_samples_says_so() {
+        let path = std::env::temp_dir().join("cmvrp_cli_profile_none.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        run(&[
+            "simulate".into(),
+            "point:grid=8,demand=40".into(),
+            format!("--trace-jsonl={path_str}"),
+        ])
+        .unwrap();
+        let out = run(&["trace".into(), "profile".into(), path_str.clone()]).unwrap();
+        assert!(out.contains("no round_profile samples"), "{out}");
+        assert!(out.contains("--profile"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_and_progress_flag_validation() {
+        // --profile without --threads: structured error naming the fix.
+        let err = run(&argv("simulate point:grid=8,demand=40 --profile")).unwrap_err();
+        assert!(err.0.contains("--profile"), "{err}");
+        assert!(err.0.contains("--threads"), "{err}");
+        // --progress without a terminal (the test harness captures
+        // stderr): the error names the supported alternatives.
+        let err = run(&argv(
+            "simulate point:grid=8,demand=40 --threads=2 --progress",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("--progress=force"), "{err}");
+        assert!(err.0.contains("--profile"), "{err}");
+        // --progress=force paints regardless — the run itself succeeds.
+        let out = run(&argv(
+            "simulate point:grid=8,demand=40 --threads=2 --progress=force",
+        ))
+        .unwrap();
+        assert!(out.contains("served: 40/40"), "{out}");
     }
 
     #[test]

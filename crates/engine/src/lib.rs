@@ -77,8 +77,8 @@ pub mod shard;
 
 pub use online::{ShardSink, ShardedOnlineSim};
 pub use rounds::{
-    repartition, run_lockstep, run_lockstep_sched, run_lockstep_with, RoundOutcome, RoundStats,
-    Schedule, ShardWorker, WorkerStats,
+    repartition, run_lockstep, run_lockstep_sched, run_lockstep_with, RoundInfo, RoundOutcome,
+    RoundStats, Schedule, ShardWorker, WorkerStats,
 };
 pub use shard::{ShardMap, MAX_SHARDS};
 
@@ -99,6 +99,10 @@ pub enum EngineError {
     /// which has no workers to schedule. The policy is carried so the
     /// message can name it.
     ScheduleNeedsThreads(Schedule),
+    /// Round-level profiling or live progress was requested on the
+    /// sequential engine, which has no lockstep rounds to sample. The
+    /// offending flag name is carried so the message can name it.
+    ProfilingNeedsThreads(&'static str),
     /// The dense sequential engine refused the grid as too large; the
     /// inner error names the volume and the limit.
     Dense(DenseLimitError),
@@ -122,6 +126,13 @@ impl std::fmt::Display for EngineError {
                  sequential engine (no --threads) is static-only; with \
                  --threads=N every schedule works (static, steal, \
                  rebalance)",
+            ),
+            EngineError::ProfilingNeedsThreads(flag) => write!(
+                f,
+                "{flag} samples the sharded engine's lockstep rounds, which \
+                 the sequential engine does not have; add --threads=N. \
+                 Supported observability without threads: tracing \
+                 (--trace-jsonl, --trace-bin) and inline checking (--check)",
             ),
             EngineError::Dense(e) => e.fmt(f),
         }
@@ -238,6 +249,8 @@ pub struct ExecConfig {
     threads: Option<usize>,
     schedule: Schedule,
     check: bool,
+    profile: bool,
+    progress: bool,
 }
 
 impl ExecConfig {
@@ -287,11 +300,49 @@ impl ExecConfig {
         self.check
     }
 
-    /// Checks the configuration is executable: non-static schedules need
-    /// worker threads.
+    /// Enables the flight recorder: at every round barrier the sharded
+    /// engine appends one [`cmvrp_obs::Event::RoundProfile`] sample per
+    /// worker to the trace — busy, barrier-wait, merge, and sink
+    /// nanoseconds plus event and steal counts. Samples are first-class
+    /// trace events with their own kind; stripping `round_profile` lines
+    /// recovers the unprofiled trace byte for byte. Requires
+    /// [`threads`](ExecConfig::threads).
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Enables the live progress line on stderr (round, events/s, jobs
+    /// released, active vehicles, ETA), repainted at most every ~250 ms.
+    /// Requires [`threads`](ExecConfig::threads).
+    pub fn progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Whether the flight recorder writes per-round profile samples.
+    pub fn is_profiled(&self) -> bool {
+        self.profile
+    }
+
+    /// Whether runs paint the live progress line.
+    pub fn is_progress(&self) -> bool {
+        self.progress
+    }
+
+    /// Checks the configuration is executable: non-static schedules,
+    /// round profiling, and live progress all need worker threads.
     pub fn validate(&self) -> Result<(), EngineError> {
-        if self.threads.is_none() && self.schedule != Schedule::Static {
-            return Err(EngineError::ScheduleNeedsThreads(self.schedule));
+        if self.threads.is_none() {
+            if self.schedule != Schedule::Static {
+                return Err(EngineError::ScheduleNeedsThreads(self.schedule));
+            }
+            if self.profile {
+                return Err(EngineError::ProfilingNeedsThreads("--profile"));
+            }
+            if self.progress {
+                return Err(EngineError::ProfilingNeedsThreads("--progress"));
+            }
         }
         Ok(())
     }
@@ -348,7 +399,9 @@ impl ExecConfig {
                 })
             };
         }
-        if sink.is_enabled() {
+        if sink.is_enabled() || self.profile || self.progress {
+            // Profiling and progress hang off the streaming round barrier,
+            // so they force the streaming path even into a disabled sink.
             let mut sim = ShardedOnlineSim::<D, VecSink>::new(bounds, jobs, config)?;
             let report = sim.run_streaming(self, sink);
             let metrics = sim.metrics();

@@ -41,7 +41,7 @@
 //! through a [`MergeChecker`] that certifies the two properties only the
 //! merge can see — the global clock and global job-seq contiguity.
 
-use crate::rounds::{run_lockstep_sched, RoundOutcome, RoundStats, ShardWorker};
+use crate::rounds::{run_lockstep_sched, RoundInfo, RoundOutcome, RoundStats, ShardWorker};
 use crate::shard::ShardMap;
 use crate::{EngineError, ExecConfig};
 use cmvrp_grid::{pairing_in_cube, CubeId, CubePartition, GridBounds, Pairing, Point};
@@ -55,6 +55,7 @@ use cmvrp_online::{provision, OnlineConfig, OnlineMsg, OnlineReport, Provisionin
 use cmvrp_workloads::JobSequence;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
 
 /// What the sharded engine needs from a per-shard sink: a monomorphized
 /// [`StaticSink`] (so the disabled path compiles away inside the hot
@@ -365,7 +366,8 @@ impl<const D: usize, SS: ShardSink> ShardSim<D, SS> {
                 }
                 Event::JobArrived { .. }
                 | Event::FleetProvisioned { .. }
-                | Event::PhaseSpan { .. } => {}
+                | Event::PhaseSpan { .. }
+                | Event::RoundProfile { .. } => {}
             }
         }
         events
@@ -494,7 +496,7 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
             workers,
             exec.worker_threads().unwrap_or(1),
             exec.policy(),
-            |_: &mut [&mut ShardSim<D, SS>]| {},
+            |_: &mut [&mut ShardSim<D, SS>], _: &RoundInfo| {},
         );
         self.shards = workers;
         self.stats = Some(stats);
@@ -544,15 +546,49 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
             checker.observe(&header);
         }
         sink.record(&header);
+        let profiled = exec.is_profiled();
+        let total_jobs: u64 = self.shards.iter().map(|s| s.jobs.len() as u64).sum();
+        let mut progress = exec.is_progress().then(|| Progress::new(total_jobs));
         let workers = std::mem::take(&mut self.shards);
         let (workers, stats) = run_lockstep_sched(
             workers,
             exec.worker_threads().unwrap_or(1),
             exec.policy(),
-            |shards| {
-                merge_round(shards, &mut *sink, cross.as_deref_mut());
+            |shards: &mut [&mut ShardSim<D, SS>], info: &RoundInfo| {
+                let merge_started = Instant::now();
+                let (merged, sink_ns) =
+                    merge_round(shards, &mut *sink, cross.as_deref_mut(), profiled);
+                if profiled {
+                    // Flight recorder: one sample per worker per round,
+                    // appended *after* the round's merged protocol events
+                    // and never routed through the shard streams or the
+                    // merge checker — stripping `round_profile` lines
+                    // recovers the unprofiled trace byte for byte.
+                    let merge_ns =
+                        (merge_started.elapsed().as_nanos() as u64).saturating_sub(sink_ns);
+                    let pool = info.workers.len() as u64;
+                    for (worker, w) in info.workers.iter().enumerate() {
+                        sink.record(&Event::RoundProfile {
+                            round: info.round,
+                            worker: worker as u64,
+                            workers: pool,
+                            busy_ns: w.busy_ns as i64,
+                            barrier_wait_ns: info.wall_ns.saturating_sub(w.busy_ns) as i64,
+                            merge_ns: merge_ns as i64,
+                            sink_ns: sink_ns as i64,
+                            events: merged,
+                            steals: w.steals,
+                        });
+                    }
+                }
+                if let Some(p) = progress.as_mut() {
+                    p.tick(info, merged, shards);
+                }
             },
         );
+        if let Some(p) = progress.as_ref() {
+            p.finish();
+        }
         self.shards = workers;
         self.stats = Some(stats);
         sink.flush_events();
@@ -723,7 +759,8 @@ fn merge_round<const D: usize, SS: ShardSink>(
     shards: &mut [&mut ShardSim<D, SS>],
     sink: &mut dyn Sink,
     mut cross: Option<&mut MergeChecker>,
-) {
+    timed: bool,
+) -> (u64, u64) {
     let streams: Vec<Vec<Event>> = shards
         .iter_mut()
         .map(|shard| shard.drain_remapped())
@@ -735,15 +772,84 @@ fn merge_round<const D: usize, SS: ShardSink>(
             heap.push(Reverse((event_time(first), shard)));
         }
     }
+    let mut merged = 0u64;
+    let mut sink_ns = 0u64;
     while let Some(Reverse((_, shard))) = heap.pop() {
         let ev = &streams[shard][cursors[shard]];
         if let Some(checker) = cross.as_deref_mut() {
             checker.observe(ev);
         }
-        sink.record(ev);
+        if timed {
+            let write_started = Instant::now();
+            sink.record(ev);
+            sink_ns += write_started.elapsed().as_nanos() as u64;
+        } else {
+            sink.record(ev);
+        }
+        merged += 1;
         cursors[shard] += 1;
         if let Some(next) = streams[shard].get(cursors[shard]) {
             heap.push(Reverse((event_time(next), shard)));
+        }
+    }
+    (merged, sink_ns)
+}
+
+/// Throttled live progress for `--progress`: a single stderr line,
+/// repainted in place at most every ~250 ms while the rounds execute, then
+/// terminated with a newline when the run finishes. Reads only
+/// coordinator-visible state (the workers are parked at the barrier), so
+/// it never perturbs the merged trace.
+struct Progress {
+    started: Instant,
+    last: Option<Instant>,
+    total_jobs: u64,
+    merged: u64,
+}
+
+impl Progress {
+    fn new(total_jobs: u64) -> Self {
+        Progress {
+            started: Instant::now(),
+            last: None,
+            total_jobs,
+            merged: 0,
+        }
+    }
+
+    fn tick<const D: usize, SS: ShardSink>(
+        &mut self,
+        info: &RoundInfo,
+        merged: u64,
+        shards: &[&mut ShardSim<D, SS>],
+    ) {
+        self.merged += merged;
+        let now = Instant::now();
+        if self
+            .last
+            .is_some_and(|t| now.duration_since(t) < Duration::from_millis(250))
+        {
+            return;
+        }
+        self.last = Some(now);
+        let released: u64 = shards.iter().map(|s| s.released as u64).sum();
+        let active: u64 = shards.iter().map(|s| s.net.len() as u64).sum();
+        let elapsed = now.duration_since(self.started).as_secs_f64().max(1e-9);
+        let events_per_sec = self.merged as f64 / elapsed;
+        let eta = if released == 0 || released >= self.total_jobs {
+            0.0
+        } else {
+            (self.total_jobs - released) as f64 * elapsed / released as f64
+        };
+        eprint!(
+            "\r[cmvrp] round {:>6} | {:>9.0} ev/s | jobs {}/{} | vehicles {} | eta {:>5.1}s ",
+            info.round, events_per_sec, released, self.total_jobs, active, eta
+        );
+    }
+
+    fn finish(&self) {
+        if self.last.is_some() {
+            eprintln!();
         }
     }
 }

@@ -148,6 +148,23 @@ pub struct WorkerStats {
     pub steals: u64,
 }
 
+/// One round's flight-recorder view, handed to the barrier hook alongside
+/// the workers. Everything in here is a *delta* for the round that just
+/// finished, not a running total — the hook can turn it straight into
+/// `round_profile` trace events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundInfo {
+    /// 1-based number of the round that just completed.
+    pub round: u64,
+    /// Wall-clock nanoseconds from releasing the workers into the round
+    /// until the last one parked at the barrier again (single-threaded
+    /// path: the stepping loop's duration). Per worker,
+    /// `wall_ns - busy_ns` is the time spent waiting at the barrier.
+    pub wall_ns: u64,
+    /// Per-worker deltas for this round, indexed by worker thread.
+    pub workers: Vec<WorkerStats>,
+}
+
 /// Aggregate statistics from [`run_lockstep`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundStats {
@@ -249,7 +266,12 @@ fn settle_round<W: ShardWorker>(
 ///
 /// Returns the workers (with their final state) and round statistics.
 pub fn run_lockstep<W: ShardWorker>(workers: Vec<W>, threads: usize) -> (Vec<W>, RoundStats) {
-    run_lockstep_sched(workers, threads, Schedule::Static, |_: &mut [&mut W]| {})
+    run_lockstep_sched(
+        workers,
+        threads,
+        Schedule::Static,
+        |_: &mut [&mut W], _: &RoundInfo| {},
+    )
 }
 
 /// [`run_lockstep`] with a per-round barrier hook (still
@@ -261,8 +283,10 @@ pub fn run_lockstep<W: ShardWorker>(workers: Vec<W>, threads: usize) -> (Vec<W>,
 /// shard order with exclusive access (the worker threads are parked at the
 /// barrier), so it can drain per-shard buffers incrementally — the sharded
 /// engine's streaming trace merge — without ever holding more than one
-/// round's data. The hook needs no `Send` bound: it never leaves the
-/// coordinator.
+/// round's data. Alongside the workers it receives the round's
+/// [`RoundInfo`] flight-recorder sample (per-worker busy/step/steal deltas
+/// and the round's wall-clock). The hook needs no `Send` bound: it never
+/// leaves the coordinator.
 pub fn run_lockstep_with<W, F>(
     workers: Vec<W>,
     threads: usize,
@@ -270,7 +294,7 @@ pub fn run_lockstep_with<W, F>(
 ) -> (Vec<W>, RoundStats)
 where
     W: ShardWorker,
-    F: FnMut(&mut [&mut W]),
+    F: FnMut(&mut [&mut W], &RoundInfo),
 {
     run_lockstep_sched(workers, threads, Schedule::Static, barrier_hook)
 }
@@ -288,7 +312,7 @@ pub fn run_lockstep_sched<W, F>(
 ) -> (Vec<W>, RoundStats)
 where
     W: ShardWorker,
-    F: FnMut(&mut [&mut W]),
+    F: FnMut(&mut [&mut W], &RoundInfo),
 {
     let n = workers.len();
     if n == 0 {
@@ -340,6 +364,9 @@ where
         final_epoch: 1,
         workers: Vec::new(),
     };
+    // Snapshot of each worker's run-wide counters at the previous barrier,
+    // so per-round deltas for the flight recorder are one subtraction.
+    let mut prev: Vec<WorkerStats> = vec![WorkerStats::default(); threads];
 
     std::thread::scope(|scope| {
         let slots = &slots;
@@ -388,12 +415,40 @@ where
         }
         loop {
             barrier.wait(); // release workers into the round
+            let round_start = Instant::now();
             barrier.wait(); // wait for every shard to finish it
+            let wall_ns = round_start.elapsed().as_nanos() as u64;
             stats.rounds += 1;
             stats.final_epoch = epoch.load(Ordering::Acquire);
-            // Workers are parked at the next barrier, so locking every
-            // slot at once is contention-free — and holding the guards
-            // across the hook gives it exclusive access to all workers.
+            // Workers are parked at the next barrier, so their counters are
+            // quiescent: the round's deltas are snapshots minus the last
+            // barrier's snapshots.
+            let deltas: Vec<WorkerStats> = cells
+                .iter()
+                .zip(prev.iter_mut())
+                .map(|(c, p)| {
+                    let cur = WorkerStats {
+                        busy_ns: c.busy_ns.load(Ordering::Relaxed),
+                        shards_stepped: c.stepped.load(Ordering::Relaxed),
+                        steals: c.steals.load(Ordering::Relaxed),
+                    };
+                    let delta = WorkerStats {
+                        busy_ns: cur.busy_ns - p.busy_ns,
+                        shards_stepped: cur.shards_stepped - p.shards_stepped,
+                        steals: cur.steals - p.steals,
+                    };
+                    *p = cur;
+                    delta
+                })
+                .collect();
+            let info = RoundInfo {
+                round: stats.rounds,
+                wall_ns,
+                workers: deltas,
+            };
+            // Locking every slot at once is contention-free (workers are
+            // parked) — and holding the guards across the hook gives it
+            // exclusive access to all workers.
             let mut guards: Vec<_> = slots
                 .iter()
                 .map(|s| s.lock().expect("shard lock"))
@@ -403,7 +458,7 @@ where
                 .map(|g| g.outcome.take().expect("round outcome"))
                 .collect();
             let mut views: Vec<&mut W> = guards.iter_mut().map(|g| &mut g.worker).collect();
-            barrier_hook(&mut views);
+            barrier_hook(&mut views, &info);
             // Route mail single-threaded at the barrier so delivery order
             // is a function of shard ids alone.
             let mut pending: Vec<Vec<W::Mail>> = (0..n).map(|_| Vec::new()).collect();
@@ -453,7 +508,7 @@ where
 fn run_inline<W, F>(mut workers: Vec<W>, mut barrier_hook: F) -> (Vec<W>, RoundStats)
 where
     W: ShardWorker,
-    F: FnMut(&mut [&mut W]),
+    F: FnMut(&mut [&mut W], &RoundInfo),
 {
     let n = workers.len();
     let mut inboxes: Vec<Vec<W::Mail>> = (0..n).map(|_| Vec::new()).collect();
@@ -470,13 +525,24 @@ where
             let mail = std::mem::take(inbox);
             outcomes.push(worker.round(epoch, mail));
         }
+        let busy_ns = start.elapsed().as_nanos() as u64;
         let me = &mut stats.workers[0];
-        me.busy_ns += start.elapsed().as_nanos() as u64;
+        me.busy_ns += busy_ns;
         me.shards_stepped += n as u64;
         stats.rounds += 1;
         stats.final_epoch = epoch;
+        // No barrier to wait at: the round's wall-clock *is* the busy time.
+        let info = RoundInfo {
+            round: stats.rounds,
+            wall_ns: busy_ns,
+            workers: vec![WorkerStats {
+                busy_ns,
+                shards_stepped: n as u64,
+                steals: 0,
+            }],
+        };
         let mut views: Vec<&mut W> = workers.iter_mut().collect();
-        barrier_hook(&mut views);
+        barrier_hook(&mut views, &info);
         let (next, done) = settle_round::<W>(outcomes, &mut inboxes, epoch);
         if done {
             break;
@@ -556,7 +622,7 @@ mod tests {
                     ring(5, 17),
                     threads,
                     schedule,
-                    |_: &mut [&mut RingShard]| {},
+                    |_: &mut [&mut RingShard], _: &RoundInfo| {},
                 );
                 assert_eq!(
                     seq_stats.rounds, par_stats.rounds,
@@ -611,8 +677,12 @@ mod tests {
     fn oversubscribed_threads_clamp_to_shard_count() {
         let (seq, _) = run_lockstep(ring(2, 9), 1);
         for schedule in Schedule::ALL {
-            let (par, stats) =
-                run_lockstep_sched(ring(2, 9), 64, schedule, |_: &mut [&mut RingShard]| {});
+            let (par, stats) = run_lockstep_sched(
+                ring(2, 9),
+                64,
+                schedule,
+                |_: &mut [&mut RingShard], _: &RoundInfo| {},
+            );
             assert_eq!(stats.workers.len(), 2, "{schedule}");
             for (a, b) in seq.iter().zip(&par) {
                 assert_eq!(a.log, b.log);
@@ -626,7 +696,7 @@ mod tests {
             ring(7, 23),
             3,
             Schedule::Steal,
-            |_: &mut [&mut RingShard]| {},
+            |_: &mut [&mut RingShard], _: &RoundInfo| {},
         );
         assert_eq!(stats.workers.len(), 3);
         assert_eq!(stats.total_stepped(), stats.rounds * 7);

@@ -1,0 +1,840 @@
+//! Binary trace format: the same [`Event`] vocabulary as the JSONL schema
+//! in a compact, length-prefixed frame encoding.
+//!
+//! A binary trace is:
+//!
+//! ```text
+//! magic "CMVB" (4 bytes) | version (1 byte) | frame*
+//! frame := varint(payload_len) | payload
+//! payload := tag (1 byte) | fields
+//! ```
+//!
+//! All integer fields are LEB128 varints; signed values (position
+//! coordinates, `round_profile` nanoseconds) are zigzag-mapped first so
+//! small magnitudes stay short. Strings are `varint(len)` + UTF-8 bytes,
+//! coordinate vectors `varint(len)` + zigzag elements, and the optional
+//! message `kind` a single byte (0 = absent). The format is append-only in
+//! the same sense as the JSONL schema: decoders ignore trailing bytes
+//! inside a frame so later versions can append fields, while an unknown
+//! tag or a bumped version byte is a hard error.
+//!
+//! [`BinSink`] is the write side — a [`Sink`] like [`crate::JsonlSink`]
+//! but with no per-event allocation (one reusable scratch buffer) —
+//! and [`BinReader`] the read side: an iterator of events whose errors
+//! carry the 1-based frame index and absolute byte offset, and which
+//! never panics on truncated or corrupt input.
+
+use crate::event::{DropReason, Event, MsgKind};
+use crate::sink::{Sink, StaticSink};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// The four magic bytes opening every binary trace.
+pub const BIN_MAGIC: [u8; 4] = *b"CMVB";
+
+/// The format version this build writes and the highest it reads.
+pub const BIN_VERSION: u8 = 1;
+
+/// True when `bytes` begin with the binary-trace magic — the sniff used by
+/// `cmvrp trace …` to accept either encoding transparently.
+pub fn is_binary_trace(bytes: &[u8]) -> bool {
+    bytes.starts_with(&BIN_MAGIC)
+}
+
+// ---- varint primitives ----
+
+fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    put_u64(buf, zigzag(v));
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_pos(buf: &mut Vec<u8>, pos: &[i64]) {
+    put_u64(buf, pos.len() as u64);
+    for &c in pos {
+        put_i64(buf, c);
+    }
+}
+
+fn put_kind(buf: &mut Vec<u8>, kind: &Option<MsgKind>) {
+    buf.push(match kind {
+        None => 0,
+        Some(MsgKind::Query) => 1,
+        Some(MsgKind::Reply) => 2,
+        Some(MsgKind::Move) => 3,
+        Some(MsgKind::Heartbeat) => 4,
+    });
+}
+
+// Frame tags, in declaration order of the `Event` enum.
+const TAG_MSG_SENT: u8 = 1;
+const TAG_MSG_DELIVERED: u8 = 2;
+const TAG_MSG_DROPPED: u8 = 3;
+const TAG_JOB_ARRIVED: u8 = 4;
+const TAG_JOB_SERVED: u8 = 5;
+const TAG_DIFFUSION_STARTED: u8 = 6;
+const TAG_DIFFUSION_COMPLETED: u8 = 7;
+const TAG_REPLACEMENT_CYCLE: u8 = 8;
+const TAG_HEARTBEAT_MISSED: u8 = 9;
+const TAG_FLEET_PROVISIONED: u8 = 10;
+const TAG_PROCESS_CRASHED: u8 = 11;
+const TAG_PHASE_SPAN: u8 = 12;
+const TAG_ROUND_PROFILE: u8 = 13;
+
+/// Encodes one event's frame *payload* (tag + fields, no length prefix)
+/// into `buf`, which is cleared first.
+fn encode_payload(ev: &Event, buf: &mut Vec<u8>) {
+    buf.clear();
+    match ev {
+        Event::MsgSent { t, from, to, kind } => {
+            buf.push(TAG_MSG_SENT);
+            put_u64(buf, *t);
+            put_u64(buf, *from as u64);
+            put_u64(buf, *to as u64);
+            put_kind(buf, kind);
+        }
+        Event::MsgDelivered {
+            t,
+            from,
+            to,
+            delay,
+            kind,
+        } => {
+            buf.push(TAG_MSG_DELIVERED);
+            put_u64(buf, *t);
+            put_u64(buf, *from as u64);
+            put_u64(buf, *to as u64);
+            put_u64(buf, *delay);
+            put_kind(buf, kind);
+        }
+        Event::MsgDropped {
+            t,
+            from,
+            to,
+            reason,
+            kind,
+        } => {
+            buf.push(TAG_MSG_DROPPED);
+            put_u64(buf, *t);
+            put_u64(buf, *from as u64);
+            put_u64(buf, *to as u64);
+            buf.push(match reason {
+                DropReason::Lost => 0,
+                DropReason::RecipientCrashed => 1,
+            });
+            put_kind(buf, kind);
+        }
+        Event::JobArrived { t, seq, pos } => {
+            buf.push(TAG_JOB_ARRIVED);
+            put_u64(buf, *t);
+            put_u64(buf, *seq);
+            put_pos(buf, pos);
+        }
+        Event::JobServed {
+            t,
+            seq,
+            vehicle,
+            cost,
+        } => {
+            buf.push(TAG_JOB_SERVED);
+            put_u64(buf, *t);
+            put_u64(buf, *seq);
+            put_u64(buf, *vehicle as u64);
+            put_u64(buf, *cost);
+        }
+        Event::DiffusionStarted {
+            t,
+            initiator,
+            generation,
+        } => {
+            buf.push(TAG_DIFFUSION_STARTED);
+            put_u64(buf, *t);
+            put_u64(buf, *initiator as u64);
+            put_u64(buf, *generation);
+        }
+        Event::DiffusionCompleted {
+            t,
+            initiator,
+            generation,
+            found,
+        } => {
+            buf.push(TAG_DIFFUSION_COMPLETED);
+            put_u64(buf, *t);
+            put_u64(buf, *initiator as u64);
+            put_u64(buf, *generation);
+            buf.push(u8::from(*found));
+        }
+        Event::ReplacementCycle {
+            t,
+            vehicle,
+            dest,
+            dist,
+        } => {
+            buf.push(TAG_REPLACEMENT_CYCLE);
+            put_u64(buf, *t);
+            put_u64(buf, *vehicle as u64);
+            put_pos(buf, dest);
+            put_u64(buf, *dist);
+        }
+        Event::HeartbeatMissed { t, watcher, peer } => {
+            buf.push(TAG_HEARTBEAT_MISSED);
+            put_u64(buf, *t);
+            put_u64(buf, *watcher as u64);
+            put_u64(buf, *peer as u64);
+        }
+        Event::FleetProvisioned {
+            t,
+            vehicles,
+            capacity,
+        } => {
+            buf.push(TAG_FLEET_PROVISIONED);
+            put_u64(buf, *t);
+            put_u64(buf, *vehicles);
+            put_u64(buf, *capacity);
+        }
+        Event::ProcessCrashed { t, proc } => {
+            buf.push(TAG_PROCESS_CRASHED);
+            put_u64(buf, *t);
+            put_u64(buf, *proc as u64);
+        }
+        Event::PhaseSpan {
+            name,
+            start_ns,
+            end_ns,
+        } => {
+            buf.push(TAG_PHASE_SPAN);
+            put_str(buf, name);
+            put_u64(buf, *start_ns);
+            put_u64(buf, *end_ns);
+        }
+        Event::RoundProfile {
+            round,
+            worker,
+            workers,
+            busy_ns,
+            barrier_wait_ns,
+            merge_ns,
+            sink_ns,
+            events,
+            steals,
+        } => {
+            buf.push(TAG_ROUND_PROFILE);
+            put_u64(buf, *round);
+            put_u64(buf, *worker);
+            put_u64(buf, *workers);
+            put_i64(buf, *busy_ns);
+            put_i64(buf, *barrier_wait_ns);
+            put_i64(buf, *merge_ns);
+            put_i64(buf, *sink_ns);
+            put_u64(buf, *events);
+            put_u64(buf, *steals);
+        }
+    }
+}
+
+/// Streams events as binary frames to any writer.
+///
+/// The binary sibling of [`crate::JsonlSink`]: buffered writes, sticky I/O
+/// errors surfaced by [`BinSink::finish`], and — the point of the format —
+/// no per-event heap allocation: each event is encoded into one reusable
+/// scratch buffer.
+#[derive(Debug)]
+pub struct BinSink<W: Write> {
+    writer: BufWriter<W>,
+    scratch: Vec<u8>,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl BinSink<File> {
+    /// Creates (truncating) a binary trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(BinSink::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> BinSink<W> {
+    /// Wraps an arbitrary writer and writes the magic + version header.
+    pub fn new(writer: W) -> Self {
+        let mut sink = BinSink {
+            writer: BufWriter::new(writer),
+            scratch: Vec::with_capacity(64),
+            written: 0,
+            error: None,
+        };
+        let mut header = [0u8; 5];
+        header[..4].copy_from_slice(&BIN_MAGIC);
+        header[4] = BIN_VERSION;
+        if let Err(e) = sink.writer.write_all(&header) {
+            sink.error = Some(e);
+        }
+        sink
+    }
+
+    /// Events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the event count, or the first I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error hit while writing or flushing.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.written)
+    }
+
+    /// Flushes and returns the underlying writer (handy when writing to a
+    /// `Vec<u8>` in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error hit while writing or flushing.
+    pub fn into_writer(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl<W: Write> Sink for BinSink<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        encode_payload(event, &mut self.scratch);
+        // The length prefix is at most 10 varint bytes; stage it on the
+        // stack so a frame is exactly two `write_all` calls.
+        let mut prefix = [0u8; 10];
+        let mut v = self.scratch.len() as u64;
+        let mut n = 0;
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                prefix[n] = b;
+                n += 1;
+                break;
+            }
+            prefix[n] = b | 0x80;
+            n += 1;
+        }
+        let res = self
+            .writer
+            .write_all(&prefix[..n])
+            .and_then(|()| self.writer.write_all(&self.scratch));
+        match res {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush_events(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+impl<W: Write> StaticSink for BinSink<W> {}
+
+/// A scoped decode error: which frame broke, and where in the file.
+///
+/// `frame` is 1-based (frame 0 means the 5-byte header itself was bad) and
+/// `offset` is the absolute byte position the error was detected at, so
+/// `trace check` over a binary trace can anchor violations the same way
+/// line numbers anchor them in JSONL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinError {
+    /// 1-based index of the offending frame; 0 for header errors.
+    pub frame: usize,
+    /// Absolute byte offset where decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.frame == 0 {
+            write!(f, "header at byte {}: {}", self.offset, self.msg)
+        } else {
+            write!(
+                f,
+                "frame {} at byte {}: {}",
+                self.frame, self.offset, self.msg
+            )
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+/// Bounds-checked cursor over one frame's payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Absolute offset of `bytes[0]` in the file, for error reporting.
+    base: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, msg: impl Into<String>) -> (usize, String) {
+        (self.base + self.pos, msg.into())
+    }
+
+    fn u8(&mut self) -> Result<u8, (usize, String)> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| self.err("payload truncated"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, (usize, String)> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                return Err(self.err("varint overflows u64"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(self.err("varint longer than 10 bytes"));
+            }
+        }
+    }
+
+    fn i64(&mut self) -> Result<i64, (usize, String)> {
+        Ok(unzigzag(self.u64()?))
+    }
+
+    fn usize(&mut self) -> Result<usize, (usize, String)> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| self.err(format!("value {v} overflows usize")))
+    }
+
+    fn str(&mut self) -> Result<String, (usize, String)> {
+        let len = self.usize()?;
+        if len > self.bytes.len().saturating_sub(self.pos) {
+            return Err(self.err(format!("string length {len} exceeds payload")));
+        }
+        let raw = &self.bytes[self.pos..self.pos + len];
+        let s = std::str::from_utf8(raw)
+            .map_err(|e| self.err(format!("string is not UTF-8: {e}")))?
+            .to_string();
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn pos_arr(&mut self) -> Result<Vec<i64>, (usize, String)> {
+        let len = self.usize()?;
+        // Each element is ≥1 byte; reject lengths the payload cannot hold
+        // before allocating.
+        if len > self.bytes.len().saturating_sub(self.pos) {
+            return Err(self.err(format!("array length {len} exceeds payload")));
+        }
+        let mut arr = Vec::with_capacity(len);
+        for _ in 0..len {
+            arr.push(self.i64()?);
+        }
+        Ok(arr)
+    }
+
+    fn kind(&mut self) -> Result<Option<MsgKind>, (usize, String)> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(MsgKind::Query)),
+            2 => Ok(Some(MsgKind::Reply)),
+            3 => Ok(Some(MsgKind::Move)),
+            4 => Ok(Some(MsgKind::Heartbeat)),
+            other => Err(self.err(format!("unknown msg-kind byte {other}"))),
+        }
+    }
+}
+
+/// Decodes one frame payload. Trailing bytes are ignored (append-only
+/// schema evolution, mirroring "readers must ignore unknown fields").
+fn decode_payload(bytes: &[u8], base: usize) -> Result<Event, (usize, String)> {
+    let mut c = Cursor {
+        bytes,
+        pos: 0,
+        base,
+    };
+    let tag = c.u8()?;
+    let ev = match tag {
+        TAG_MSG_SENT => Event::MsgSent {
+            t: c.u64()?,
+            from: c.usize()?,
+            to: c.usize()?,
+            kind: c.kind()?,
+        },
+        TAG_MSG_DELIVERED => Event::MsgDelivered {
+            t: c.u64()?,
+            from: c.usize()?,
+            to: c.usize()?,
+            delay: c.u64()?,
+            kind: c.kind()?,
+        },
+        TAG_MSG_DROPPED => Event::MsgDropped {
+            t: c.u64()?,
+            from: c.usize()?,
+            to: c.usize()?,
+            reason: match c.u8()? {
+                0 => DropReason::Lost,
+                1 => DropReason::RecipientCrashed,
+                other => return Err(c.err(format!("unknown drop-reason byte {other}"))),
+            },
+            kind: c.kind()?,
+        },
+        TAG_JOB_ARRIVED => Event::JobArrived {
+            t: c.u64()?,
+            seq: c.u64()?,
+            pos: c.pos_arr()?,
+        },
+        TAG_JOB_SERVED => Event::JobServed {
+            t: c.u64()?,
+            seq: c.u64()?,
+            vehicle: c.usize()?,
+            cost: c.u64()?,
+        },
+        TAG_DIFFUSION_STARTED => Event::DiffusionStarted {
+            t: c.u64()?,
+            initiator: c.usize()?,
+            generation: c.u64()?,
+        },
+        TAG_DIFFUSION_COMPLETED => Event::DiffusionCompleted {
+            t: c.u64()?,
+            initiator: c.usize()?,
+            generation: c.u64()?,
+            found: match c.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(c.err(format!("bad bool byte {other}"))),
+            },
+        },
+        TAG_REPLACEMENT_CYCLE => Event::ReplacementCycle {
+            t: c.u64()?,
+            vehicle: c.usize()?,
+            dest: c.pos_arr()?,
+            dist: c.u64()?,
+        },
+        TAG_HEARTBEAT_MISSED => Event::HeartbeatMissed {
+            t: c.u64()?,
+            watcher: c.usize()?,
+            peer: c.usize()?,
+        },
+        TAG_FLEET_PROVISIONED => Event::FleetProvisioned {
+            t: c.u64()?,
+            vehicles: c.u64()?,
+            capacity: c.u64()?,
+        },
+        TAG_PROCESS_CRASHED => Event::ProcessCrashed {
+            t: c.u64()?,
+            proc: c.usize()?,
+        },
+        TAG_PHASE_SPAN => Event::PhaseSpan {
+            name: c.str()?,
+            start_ns: c.u64()?,
+            end_ns: c.u64()?,
+        },
+        TAG_ROUND_PROFILE => Event::RoundProfile {
+            round: c.u64()?,
+            worker: c.u64()?,
+            workers: c.u64()?,
+            busy_ns: c.i64()?,
+            barrier_wait_ns: c.i64()?,
+            merge_ns: c.i64()?,
+            sink_ns: c.i64()?,
+            events: c.u64()?,
+            steals: c.u64()?,
+        },
+        other => return Err((base, format!("unknown event tag {other}"))),
+    };
+    Ok(ev)
+}
+
+/// Iterator over the events of an in-memory binary trace.
+///
+/// Construction validates the header; each [`Iterator::next`] decodes one
+/// frame. The first error ends iteration (the stream position is no longer
+/// trustworthy past a corrupt frame); errors are values, never panics.
+#[derive(Debug)]
+pub struct BinReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    frame: usize,
+    failed: bool,
+}
+
+impl<'a> BinReader<'a> {
+    /// Wraps a complete binary trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a frame-0 [`BinError`] when the magic bytes are wrong, the
+    /// header is truncated, or the version is newer than this build reads.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, BinError> {
+        if bytes.len() < 5 {
+            return Err(BinError {
+                frame: 0,
+                offset: bytes.len(),
+                msg: format!("truncated header: {} bytes, need 5", bytes.len()),
+            });
+        }
+        if bytes[..4] != BIN_MAGIC {
+            return Err(BinError {
+                frame: 0,
+                offset: 0,
+                msg: format!("bad magic {:?}, expected {BIN_MAGIC:?}", &bytes[..4]),
+            });
+        }
+        if bytes[4] > BIN_VERSION {
+            return Err(BinError {
+                frame: 0,
+                offset: 4,
+                msg: format!(
+                    "format version {} is newer than supported version {BIN_VERSION}",
+                    bytes[4]
+                ),
+            });
+        }
+        Ok(BinReader {
+            bytes,
+            pos: 5,
+            frame: 0,
+            failed: false,
+        })
+    }
+
+    /// Frames successfully decoded so far.
+    pub fn frames(&self) -> usize {
+        self.frame
+    }
+
+    fn fail(&mut self, offset: usize, msg: String) -> BinError {
+        self.failed = true;
+        BinError {
+            frame: self.frame + 1,
+            offset,
+            msg,
+        }
+    }
+}
+
+impl<'a> Iterator for BinReader<'a> {
+    type Item = Result<Event, BinError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.pos >= self.bytes.len() {
+            return None;
+        }
+        let frame_start = self.pos;
+        // Frame length prefix, decoded in place so truncation mid-varint
+        // is caught here rather than in the payload cursor.
+        let mut len: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Some(Err(
+                    self.fail(frame_start, "truncated frame length".to_string())
+                ));
+            };
+            self.pos += 1;
+            if shift == 63 && b > 1 {
+                return Some(Err(
+                    self.fail(frame_start, "frame length overflows u64".to_string())
+                ));
+            }
+            len |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift > 63 {
+                return Some(Err(self.fail(
+                    frame_start,
+                    "frame length varint longer than 10 bytes".to_string(),
+                )));
+            }
+        }
+        let remaining = self.bytes.len() - self.pos;
+        if len == 0 {
+            return Some(Err(self.fail(frame_start, "empty frame".to_string())));
+        }
+        if len > remaining as u64 {
+            return Some(Err(self.fail(
+                frame_start,
+                format!("frame length {len} exceeds remaining {remaining} bytes"),
+            )));
+        }
+        let payload = &self.bytes[self.pos..self.pos + len as usize];
+        let base = self.pos;
+        self.pos += len as usize;
+        match decode_payload(payload, base) {
+            Ok(ev) => {
+                self.frame += 1;
+                Some(Ok(ev))
+            }
+            Err((offset, msg)) => Some(Err(self.fail(offset, msg))),
+        }
+    }
+}
+
+/// Decodes a whole binary trace into events.
+///
+/// # Errors
+///
+/// Returns the first [`BinError`] — bad header or first corrupt frame.
+pub fn decode_trace(bytes: &[u8]) -> Result<Vec<Event>, BinError> {
+    BinReader::new(bytes)?.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_roundtrips_edges() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            assert_eq!(unzigzag(zigzag(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn varint_roundtrips_edges() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut c = Cursor {
+                bytes: &buf,
+                pos: 0,
+                base: 0,
+            };
+            assert_eq!(c.u64().unwrap(), v);
+            assert_eq!(c.pos, buf.len(), "value {v} left trailing bytes");
+        }
+    }
+
+    #[test]
+    fn header_is_magic_plus_version() {
+        let sink = BinSink::new(Vec::new());
+        let bytes = sink.into_writer().unwrap();
+        assert_eq!(bytes, vec![b'C', b'M', b'V', b'B', BIN_VERSION]);
+        assert!(is_binary_trace(&bytes));
+        assert!(!is_binary_trace(b"{\"ev\":\"msg_sent\""));
+        assert_eq!(decode_trace(&bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn sink_reader_roundtrip() {
+        let events = vec![
+            Event::FleetProvisioned {
+                t: 0,
+                vehicles: 4,
+                capacity: 10,
+            },
+            Event::JobArrived {
+                t: 1,
+                seq: 0,
+                pos: vec![5, -5],
+            },
+            Event::MsgSent {
+                t: 1,
+                from: 0,
+                to: 3,
+                kind: Some(MsgKind::Query),
+            },
+            Event::PhaseSpan {
+                name: "we\"ird\\name".into(),
+                start_ns: 3,
+                end_ns: 9,
+            },
+            Event::RoundProfile {
+                round: 7,
+                worker: 1,
+                workers: 2,
+                busy_ns: -3,
+                barrier_wait_ns: 1 << 40,
+                merge_ns: 0,
+                sink_ns: 12,
+                events: 99,
+                steals: 1,
+            },
+        ];
+        let mut sink = BinSink::new(Vec::new());
+        for ev in &events {
+            sink.record(ev);
+        }
+        assert_eq!(sink.written(), events.len() as u64);
+        let bytes = sink.into_writer().unwrap();
+        assert_eq!(decode_trace(&bytes).unwrap(), events);
+    }
+
+    struct FailingWriter;
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk on fire"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::other("disk on fire"))
+        }
+    }
+
+    #[test]
+    fn bin_error_is_sticky_and_surfaced() {
+        let mut sink = BinSink::new(FailingWriter);
+        for t in 0..10_000 {
+            sink.record(&Event::MsgSent {
+                t,
+                from: 0,
+                to: 1,
+                kind: None,
+            });
+        }
+        assert!(sink.finish().is_err());
+    }
+}

@@ -22,6 +22,7 @@
 //! | `crash-silence` | any activity attributed to a crashed process — sends, deliveries to it, serves, diffusion activity, watching |
 //! | `replacement-liveness` | a replacement arrival with no preceding successful search; in clean traces (no crashes, no losses, no concurrent searches) a successful search whose summoned vehicle never arrives |
 //! | `span` | a phase span ending before it starts |
+//! | `profile` | a corrupt flight-recorder sample: negative duration, worker id outside the recorded pool, or a worker's round number failing to strictly increase |
 //!
 //! Monitors degrade gracefully: the deficit and reply/query checks need the
 //! `kind` annotation (see [`MsgKind`]) and stay idle on traces without it;
@@ -43,7 +44,7 @@ use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Names of all invariants, in reporting order.
-pub const INVARIANTS: [&str; 8] = [
+pub const INVARIANTS: [&str; 9] = [
     "clock",
     "channel-fifo",
     "ds-deficit",
@@ -52,6 +53,7 @@ pub const INVARIANTS: [&str; 8] = [
     "crash-silence",
     "replacement-liveness",
     "span",
+    "profile",
 ];
 
 /// One invariant violation, tied to the 1-based trace line (or event
@@ -194,6 +196,10 @@ pub struct TraceChecker {
     vehicles: Option<u64>,
     saw_kinds: bool,
     saw_loss: bool,
+    /// Last `round_profile` round seen per worker id (a map, not a grown
+    /// vector: worker ids come straight off the wire and a corrupt sample
+    /// must not drive an allocation).
+    profile_last_round: std::collections::BTreeMap<u64, u64>,
 }
 
 impl TraceChecker {
@@ -617,6 +623,61 @@ impl TraceChecker {
                         format!("span {name:?} ends at {end_ns} before it starts at {start_ns}"),
                     );
                 }
+                None
+            }
+            Event::RoundProfile {
+                round,
+                worker,
+                workers,
+                busy_ns,
+                barrier_wait_ns,
+                merge_ns,
+                sink_ns,
+                ..
+            } => {
+                for (name, v) in [
+                    ("busy_ns", *busy_ns),
+                    ("barrier_wait_ns", *barrier_wait_ns),
+                    ("merge_ns", *merge_ns),
+                    ("sink_ns", *sink_ns),
+                ] {
+                    if v < 0 {
+                        self.report(
+                            "profile",
+                            line,
+                            format!("negative {name} ({v}) in round {round} worker {worker}"),
+                        );
+                    }
+                }
+                if *workers == 0 {
+                    self.report(
+                        "profile",
+                        line,
+                        format!("round {round} sample claims a zero-worker pool"),
+                    );
+                } else if *worker >= *workers {
+                    self.report(
+                        "profile",
+                        line,
+                        format!(
+                            "worker {worker} out of range for a pool of {workers} \
+                             in round {round}"
+                        ),
+                    );
+                }
+                if let Some(&prev) = self.profile_last_round.get(worker) {
+                    if *round <= prev {
+                        self.report(
+                            "profile",
+                            line,
+                            format!(
+                                "worker {worker} round is not strictly increasing: \
+                                 {round} after {prev}"
+                            ),
+                        );
+                    }
+                }
+                self.profile_last_round.insert(*worker, *round);
                 None
             }
         }
@@ -1087,6 +1148,62 @@ mod tests {
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].invariant, "span");
         assert_eq!(report.violations[0].line, 1);
+    }
+
+    fn profile(round: u64, worker: u64, workers: u64, busy_ns: i64) -> Event {
+        Event::RoundProfile {
+            round,
+            worker,
+            workers,
+            busy_ns,
+            barrier_wait_ns: 0,
+            merge_ns: 0,
+            sink_ns: 0,
+            events: 1,
+            steals: 0,
+        }
+    }
+
+    #[test]
+    fn clean_profile_stream_accepted() {
+        let report = check(&[
+            profile(1, 0, 2, 10),
+            profile(1, 1, 2, 12),
+            profile(2, 0, 2, 9),
+            profile(2, 1, 2, 11),
+        ]);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.active.contains(&"profile"));
+    }
+
+    #[test]
+    fn negative_profile_duration_caught() {
+        let report = check(&[profile(1, 0, 1, -7)]);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant, "profile");
+        assert_eq!(report.violations[0].line, 1);
+    }
+
+    #[test]
+    fn profile_worker_out_of_range_caught() {
+        let report = check(&[profile(1, 2, 2, 5)]);
+        assert!(report.violations.iter().any(|v| v.invariant == "profile"));
+        let report = check(&[profile(1, 0, 0, 5)]);
+        assert!(report.violations.iter().any(|v| v.invariant == "profile"));
+    }
+
+    #[test]
+    fn profile_round_regression_caught() {
+        // Per-worker rounds must strictly increase; other workers'
+        // interleaved samples must not trip it.
+        let report = check(&[
+            profile(2, 0, 2, 5),
+            profile(2, 1, 2, 5),
+            profile(2, 0, 2, 5),
+        ]);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant, "profile");
+        assert_eq!(report.violations[0].line, 3);
     }
 
     #[test]

@@ -201,6 +201,31 @@ pub enum Event {
         /// Span end.
         end_ns: u64,
     },
+    /// One flight-recorder sample: where worker `worker` spent one lockstep
+    /// round of wall-clock, captured by the engine coordinator at the
+    /// barrier. Durations are signed so a corrupted (negative) value stays
+    /// representable and is flagged by the `profile` monitor instead of
+    /// failing to parse.
+    RoundProfile {
+        /// Zero-based lockstep round number.
+        round: u64,
+        /// Worker index (`0..workers`).
+        worker: u64,
+        /// Worker-pool size when the sample was taken.
+        workers: u64,
+        /// Wall-clock spent stepping shards this round.
+        busy_ns: i64,
+        /// Wall-clock parked at the round barrier.
+        barrier_wait_ns: i64,
+        /// Coordinator wall-clock spent k-way-merging shard streams.
+        merge_ns: i64,
+        /// Coordinator wall-clock spent inside `Sink::record`.
+        sink_ns: i64,
+        /// Protocol events merged out of this round.
+        events: u64,
+        /// Shards this worker stole from other deques this round.
+        steals: u64,
+    },
 }
 
 fn push_kind(out: &mut String, kind: &Option<MsgKind>) {
@@ -236,15 +261,17 @@ impl Event {
             Event::FleetProvisioned { .. } => "fleet_provisioned",
             Event::ProcessCrashed { .. } => "process_crashed",
             Event::PhaseSpan { .. } => "phase_span",
+            Event::RoundProfile { .. } => "round_profile",
         }
     }
 
     /// The event's global simulation timestamp, when it carries one.
     ///
-    /// `heartbeat_missed` is stamped in watcher-local tick rounds and
-    /// `phase_span` in wall-clock nanoseconds; neither lives on the global
-    /// simulation clock, so both return `None` (and are exactly the events
-    /// the clock monitor exempts).
+    /// `heartbeat_missed` is stamped in watcher-local tick rounds,
+    /// `phase_span` in wall-clock nanoseconds, and `round_profile` in
+    /// lockstep rounds; none of them lives on the global simulation clock,
+    /// so all return `None` (and are exactly the events the clock monitor
+    /// exempts).
     pub fn time(&self) -> Option<u64> {
         match self {
             Event::MsgSent { t, .. }
@@ -257,7 +284,9 @@ impl Event {
             | Event::ReplacementCycle { t, .. }
             | Event::FleetProvisioned { t, .. }
             | Event::ProcessCrashed { t, .. } => Some(*t),
-            Event::HeartbeatMissed { .. } | Event::PhaseSpan { .. } => None,
+            Event::HeartbeatMissed { .. }
+            | Event::PhaseSpan { .. }
+            | Event::RoundProfile { .. } => None,
         }
     }
 
@@ -379,6 +408,22 @@ impl Event {
                     ",\"name\":\"{escaped}\",\"start_ns\":{start_ns},\"end_ns\":{end_ns}"
                 );
             }
+            Event::RoundProfile {
+                round,
+                worker,
+                workers,
+                busy_ns,
+                barrier_wait_ns,
+                merge_ns,
+                sink_ns,
+                events,
+                steals,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"round\":{round},\"worker\":{worker},\"workers\":{workers},\"busy_ns\":{busy_ns},\"barrier_wait_ns\":{barrier_wait_ns},\"merge_ns\":{merge_ns},\"sink_ns\":{sink_ns},\"events\":{events},\"steals\":{steals}"
+                );
+            }
         }
         s.push('}');
         s
@@ -465,6 +510,17 @@ impl Event {
                 start_ns: fields.get_u64("start_ns")?,
                 end_ns: fields.get_u64("end_ns")?,
             },
+            "round_profile" => Event::RoundProfile {
+                round: fields.get_u64("round")?,
+                worker: fields.get_u64("worker")?,
+                workers: fields.get_u64("workers")?,
+                busy_ns: fields.get_i64("busy_ns")?,
+                barrier_wait_ns: fields.get_i64("barrier_wait_ns")?,
+                merge_ns: fields.get_i64("merge_ns")?,
+                sink_ns: fields.get_i64("sink_ns")?,
+                events: fields.get_u64("events")?,
+                steals: fields.get_u64("steals")?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(ev)
@@ -499,6 +555,16 @@ impl Fields {
         match self.get(key)? {
             Value::Num(n) if *n >= 0 && *n <= u64::MAX as i128 => Ok(*n as u64),
             other => Err(format!("field {key:?} is not a u64: {other:?}")),
+        }
+    }
+
+    /// Signed duration fields (`round_profile` nanoseconds): negatives are
+    /// *representable* here so the `profile` monitor — not the parser — is
+    /// what rejects a corrupted sample.
+    fn get_i64(&self, key: &str) -> Result<i64, String> {
+        match self.get(key)? {
+            Value::Num(n) if *n >= i64::MIN as i128 && *n <= i64::MAX as i128 => Ok(*n as i64),
+            other => Err(format!("field {key:?} is not an i64: {other:?}")),
         }
     }
 
@@ -743,6 +809,17 @@ mod tests {
                 start_ns: 12,
                 end_ns: 456,
             },
+            Event::RoundProfile {
+                round: 42,
+                worker: 1,
+                workers: 2,
+                busy_ns: 120_000,
+                barrier_wait_ns: 3_000,
+                merge_ns: 900,
+                sink_ns: 450,
+                events: 17,
+                steals: 2,
+            },
         ]
     }
 
@@ -819,6 +896,25 @@ mod tests {
                 dist: 0,
             }
         );
+    }
+
+    #[test]
+    fn negative_profile_duration_parses_for_the_checker() {
+        // A corrupted flight-recorder sample must reach the `profile`
+        // monitor rather than die in the parser.
+        let ev = Event::RoundProfile {
+            round: 0,
+            worker: 0,
+            workers: 1,
+            busy_ns: -5,
+            barrier_wait_ns: 0,
+            merge_ns: 0,
+            sink_ns: 0,
+            events: 0,
+            steals: 0,
+        };
+        assert_eq!(Event::from_json(&ev.to_json()).unwrap(), ev);
+        assert_eq!(ev.time(), None);
     }
 
     #[test]

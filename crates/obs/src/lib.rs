@@ -14,8 +14,10 @@
 //!   spans).
 //! - [`Sink`] — where events go: [`NullSink`] (default, free),
 //!   [`RingSink`] (bounded in-memory tail, used by tests), [`JsonlSink`]
-//!   (streaming JSON-lines file, used by `--trace-jsonl`), [`VecSink`]
-//!   (unbounded buffer, used by the sharded engine's per-shard streams).
+//!   (streaming JSON-lines file, used by `--trace-jsonl`), [`BinSink`]
+//!   (streaming binary frames, used by `--trace-bin`; see [`bin`]),
+//!   [`VecSink`] (unbounded buffer, used by the sharded engine's
+//!   per-shard streams).
 //! - [`Metrics`] / [`Histogram`] — always-on counters, gauges, and
 //!   fixed-bucket histograms (message latency, per-vehicle energy, queue
 //!   depth).
@@ -53,6 +55,7 @@
 //! | `fleet_provisioned` | `t, vehicles, capacity` | fleet size and per-vehicle battery capacity `W` at startup |
 //! | `process_crashed` | `t, proc` | process `proc` crashed (fault injection); silent afterwards |
 //! | `phase_span` | `name, start_ns, end_ns` | named wall-clock phase (e.g. `"alg1.coarsen"`) |
+//! | `round_profile` | `round, worker, workers, busy_ns, barrier_wait_ns, merge_ns, sink_ns, events, steals` | flight-recorder sample: one worker's wall-clock split for one lockstep round |
 //!
 //! The optional `kind` field, when the network has a message classifier,
 //! tags transport events with their protocol role: `"query"`, `"reply"`,
@@ -74,6 +77,12 @@
 //! The schema is append-only: readers must ignore unknown fields, and new
 //! event kinds may appear in later versions.
 //!
+//! The same vocabulary also has a compact binary form ([`bin`]): a
+//! magic/versioned header followed by length-prefixed varint frames,
+//! written by [`BinSink`] and decoded by [`BinReader`]. `cmvrp trace
+//! convert` translates between the two losslessly, and every trace
+//! consumer sniffs the magic bytes to accept either encoding.
+//!
 //! ## Example
 //!
 //! ```
@@ -92,6 +101,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bin;
 pub mod check;
 pub mod event;
 pub mod metrics;
@@ -99,6 +109,7 @@ pub mod replay;
 pub mod sink;
 pub mod span;
 
+pub use bin::{decode_trace, is_binary_trace, BinError, BinReader, BinSink};
 pub use check::{
     check_lines, CheckReport, CheckSink, MergeChecker, TraceChecker, Violation, INVARIANTS,
 };

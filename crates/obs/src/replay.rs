@@ -45,6 +45,8 @@ pub struct ReplaySummary {
     pub fleet_vehicles: Option<u64>,
     /// Battery capacity `W` from the last `fleet_provisioned` event.
     pub fleet_capacity: Option<u64>,
+    /// `round_profile` flight-recorder samples.
+    pub round_profiles: u64,
     /// Largest simulation time stamped on any event.
     pub last_t: u64,
     /// Delivery-delay histogram over `msg_delivered` events, if any.
@@ -89,6 +91,9 @@ impl ReplaySummary {
             ("crashes".into(), self.crashes.to_string()),
             ("last_t".into(), self.last_t.to_string()),
         ];
+        if self.round_profiles > 0 {
+            rows.push(("round_profiles".into(), self.round_profiles.to_string()));
+        }
         if let Some(v) = self.fleet_vehicles {
             rows.push(("fleet_vehicles".into(), v.to_string()));
         }
@@ -175,6 +180,9 @@ impl ReplaySummary {
             } => {
                 let entry = self.span_ns.entry(name.clone()).or_insert(0);
                 *entry += end_ns.saturating_sub(*start_ns);
+            }
+            Event::RoundProfile { .. } => {
+                self.round_profiles += 1;
             }
         }
     }

@@ -145,6 +145,60 @@ fn inverted_span_rejected() {
     assert_rejects(&check(&t), "span", 21);
 }
 
+// ---- flight-recorder (round_profile) mutations ----
+
+/// The base trace with a two-round, two-worker flight-recorder tail
+/// appended (lines 21–24), as `simulate --threads=2 --profile` writes it.
+fn base_with_profiles() -> Vec<String> {
+    let mut t = base();
+    t.extend(
+        [
+            r#"{"ev":"round_profile","round":1,"worker":0,"workers":2,"busy_ns":100,"barrier_wait_ns":5,"merge_ns":3,"sink_ns":2,"events":4,"steals":0}"#, // 21
+            r#"{"ev":"round_profile","round":1,"worker":1,"workers":2,"busy_ns":90,"barrier_wait_ns":15,"merge_ns":3,"sink_ns":2,"events":4,"steals":1}"#, // 22
+            r#"{"ev":"round_profile","round":2,"worker":0,"workers":2,"busy_ns":80,"barrier_wait_ns":9,"merge_ns":2,"sink_ns":1,"events":3,"steals":0}"#, // 23
+            r#"{"ev":"round_profile","round":2,"worker":1,"workers":2,"busy_ns":85,"barrier_wait_ns":4,"merge_ns":2,"sink_ns":1,"events":3,"steals":0}"#, // 24
+        ]
+        .into_iter()
+        .map(String::from),
+    );
+    t
+}
+
+#[test]
+fn profiled_base_trace_is_clean() {
+    let report = check(&base_with_profiles());
+    assert!(report.is_clean(), "{:#?}", report.violations);
+    assert_eq!(report.events, 24);
+    assert_eq!(report.active, cmvrp_obs::INVARIANTS.to_vec());
+}
+
+/// A negative duration in one sample: wall-clock cannot run backwards, so
+/// a sign flip is recorder corruption, not measurement noise.
+#[test]
+fn negative_profile_duration_rejected() {
+    let mut t = base_with_profiles();
+    t[21] = t[21].replace("\"busy_ns\":90", "\"busy_ns\":-90");
+    assert_rejects(&check(&t), "profile", 22);
+}
+
+/// A worker id outside the pool the sample itself declares.
+#[test]
+fn profile_worker_out_of_range_rejected() {
+    let mut t = base_with_profiles();
+    t[22] = t[22].replace("\"worker\":0", "\"worker\":7");
+    assert_rejects(&check(&t), "profile", 23);
+}
+
+/// A worker's round number running backwards: the coordinator emits
+/// strictly increasing rounds, so a regression means samples were lost,
+/// duplicated, or reordered.
+#[test]
+fn non_monotone_profile_round_rejected() {
+    let mut t = base_with_profiles();
+    t[23] = t[23].replace("\"round\":2", "\"round\":1");
+    assert_rejects(&check(&t), "profile", 24);
+}
+
 // ---- inline (per-shard) agreement with the offline checker ----
 
 /// Replays `lines` through a shard-configured inline [`CheckSink`] —

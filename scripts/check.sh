@@ -43,7 +43,9 @@ echo "==> sharded determinism + inline check (2 workers vs 1, plus steal)"
 t1=$(mktemp)
 t2=$(mktemp)
 t3=$(mktemp)
-trap 'rm -f "$t1" "$t2" "$t3"' EXIT
+b1=$(mktemp)
+b2=$(mktemp)
+trap 'rm -f "$t1" "$t2" "$t3" "$b1" "$b2"' EXIT
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
     --threads=1 --check --trace-jsonl="$t1" >/dev/null
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
@@ -52,5 +54,13 @@ cmp "$t1" "$t2"
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
     --threads=2 --schedule=steal --check --trace-jsonl="$t3" >/dev/null
 cmp "$t1" "$t3"
+
+echo "==> binary trace roundtrip (golden trace JSONL -> bin -> JSONL)"
+# The binary encoding must be lossless (byte-identical JSONL after a full
+# roundtrip) and the monitors must accept the binary file directly.
+./target/release/cmvrp trace convert tests/data/golden_point.jsonl "$b1" >/dev/null
+./target/release/cmvrp trace convert "$b1" "$b2" >/dev/null
+cmp tests/data/golden_point.jsonl "$b2"
+./target/release/cmvrp trace check "$b1"
 
 echo "==> all checks passed"
