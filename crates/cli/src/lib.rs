@@ -11,11 +11,14 @@
 //!   a JSONL event trace (`--trace-jsonl`) and a metrics table
 //!   (`--metrics`);
 //! * `replay` — rebuild the run's summary from a recorded trace alone;
-//! * `trace` — trace analytics: `check` (invariant monitors), `stats`
-//!   (summary counters), `timeline <proc>` (per-process ledger with
-//!   derived Lamport clocks), `spans` (phase-span aggregation),
-//!   `convert` (JSONL ↔ binary, lossless), `profile` (flight-recorder
-//!   breakdown of a `--profile` run);
+//! * `trace` — trace analytics: `check` (invariant monitors, violations
+//!   carry their causal chain), `stats` (summary counters), `timeline
+//!   <proc>` (per-process ledger with derived Lamport clocks), `spans`
+//!   (phase-span aggregation), `convert` (JSONL ↔ binary, lossless),
+//!   `profile` (flight-recorder breakdown of a `--profile` run), `diff`
+//!   (first semantic divergence between two traces, exit code 1 when they
+//!   differ), `query` (filter events with a small expression language),
+//!   `explain` (happens-before chain leading to a chosen event);
 //! * `workloads` — list the built-in workload shapes.
 //!
 //! Every trace-reading subcommand accepts both encodings transparently:
@@ -46,6 +49,12 @@ impl std::fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
+/// The full `trace` subcommand set — the single source for the usage
+/// screen and the dispatch errors (a test asserts they stay in sync).
+const TRACE_SUBCOMMANDS: [&str; 9] = [
+    "check", "stats", "timeline", "spans", "convert", "profile", "diff", "query", "explain",
+];
+
 fn usage() -> String {
     "cmvrp — Capacitated Multivehicle Routing Problem (Gao, 2008)\n\
      \n\
@@ -60,6 +69,12 @@ fn usage() -> String {
        cmvrp trace convert <in> <out>    convert a trace JSONL <-> binary (lossless,\n\
                                          direction inferred from the input's encoding)\n\
        cmvrp trace profile <trace>       flight-recorder breakdown of a --profile run\n\
+       cmvrp trace diff <a> <b>          first semantic divergence between two traces\n\
+                                         (exit 0 identical, 1 divergent; --context=N)\n\
+       cmvrp trace query <expr> <trace>  filter events with a query expression, e.g.\n\
+                                         'kind=delivered and proc=7 and t>=12'\n\
+       cmvrp trace explain <sel> <trace> causal chain leading to an event; <sel> is\n\
+                                         job:<seq>, proc:<id>, or line:<n>\n\
        cmvrp show <workload>             render the demand map as ASCII\n\
        cmvrp experiment <id>             regenerate a thesis experiment (e1..e16, f1, g1, g2)\n\
        cmvrp sweep <shape> <d1> <d2> ..  omega* scaling across demands (point|line)\n\
@@ -106,7 +121,13 @@ fn usage() -> String {
                        fails the run naming the event and invariant\n\
      \n\
      TRACE CHECK OPTIONS:\n\
-       --capacity=W    battery capacity for traces without fleet_provisioned\n"
+       --capacity=W    battery capacity for traces without fleet_provisioned\n\
+     \n\
+     TRACE ANALYTICS OPTIONS:\n\
+       --where=EXPR    stats/timeline: restrict to events matching a query\n\
+                       expression (same language as `cmvrp trace query`)\n\
+       --context=N     diff: surrounding events to show around the first\n\
+                       divergence (default 3)\n"
         .to_string()
 }
 
@@ -517,23 +538,254 @@ fn cmd_replay(path: &str) -> Result<String, UsageError> {
     Ok(format!("replay of {path}:\n{table}"))
 }
 
+/// Loads a trace file through the hardened sniffing loader in `cmvrp-obs`
+/// (empty files, truncated magics, and partial trailing lines all come
+/// back as scoped errors), keeping the identity header for reports.
+fn load_trace_file(path: &str) -> Result<cmvrp_obs::LoadedTrace, UsageError> {
+    cmvrp_obs::load_trace(path).map_err(|e| UsageError(e.msg))
+}
+
 /// Loads a trace file as canonical JSONL text, whichever encoding it is
 /// in: binary traces (sniffed by the `CMVB` magic bytes) are decoded back
 /// to JSON lines, so every trace-reading subcommand accepts both formats.
 fn read_trace(path: &str) -> Result<String, UsageError> {
-    let bytes =
-        std::fs::read(path).map_err(|e| UsageError(format!("cannot read {path:?}: {e}")))?;
-    if cmvrp_obs::is_binary_trace(&bytes) {
-        let events =
-            cmvrp_obs::decode_trace(&bytes).map_err(|e| UsageError(format!("{path}: {e}")))?;
-        let mut text = String::with_capacity(events.len() * 64);
-        for ev in &events {
-            text.push_str(&ev.to_json());
-            text.push('\n');
+    Ok(load_trace_file(path)?.text)
+}
+
+/// Parses the shared `--where=EXPR` analytics option (and rejects
+/// anything else).
+fn parse_where(opts: &[String], sub: &str) -> Result<Option<cmvrp_obs::QueryExpr>, UsageError> {
+    let mut expr = None;
+    for opt in opts {
+        if let Some(v) = opt.strip_prefix("--where=") {
+            expr =
+                Some(cmvrp_obs::parse_query(v).map_err(|e| UsageError(format!("--where: {e}")))?);
+        } else {
+            return Err(UsageError(format!(
+                "unknown option {opt:?}; trace {sub} accepts --where=EXPR"
+            )));
         }
-        return Ok(text);
     }
-    String::from_utf8(bytes).map_err(|e| UsageError(format!("{path}: not UTF-8 JSONL: {e}")))
+    Ok(expr)
+}
+
+/// `trace stats <trace> [--where=EXPR]`: the replay summary plus an
+/// identity header (encoding, schema version, event count), optionally
+/// restricted to events matching a query expression.
+fn cmd_trace_stats(path: &str, opts: &[String]) -> Result<String, UsageError> {
+    let filter = parse_where(opts, "stats")?;
+    let loaded = load_trace_file(path)?;
+    let mut out = format!("trace stats of {path}: {}\n", loaded.header());
+    let mut body = loaded.text;
+    if let Some(expr) = &filter {
+        let mut kept = String::new();
+        let mut matched = 0usize;
+        for (i, line) in body.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev = Event::from_json(line)
+                .map_err(|msg| UsageError(format!("{path}:{}: {msg}", i + 1)))?;
+            if expr.matches(&ev) {
+                matched += 1;
+                kept.push_str(line);
+                kept.push('\n');
+            }
+        }
+        let _ = writeln!(out, "where: {matched} of {} events match", loaded.events);
+        body = kept;
+    }
+    let summary = cmvrp_obs::summarize(body.lines())
+        .map_err(|(line, msg)| UsageError(format!("{path}:{line}: {msg}")))?;
+    let mut table = cmvrp_util::Table::new(vec!["quantity", "value"]);
+    for (name, value) in summary.rows() {
+        table.row(vec![name, value]);
+    }
+    let _ = write!(out, "{table}");
+    Ok(out)
+}
+
+/// `trace diff <a> <b> [--context=N]`: first semantic divergence between
+/// two traces. Exit status 0 when identical, 1 when divergent.
+fn cmd_trace_diff(a: &str, b: &str, opts: &[String]) -> Result<(String, i32), UsageError> {
+    let mut context = 3usize;
+    for opt in opts {
+        if let Some(v) = opt.strip_prefix("--context=") {
+            context = v
+                .parse()
+                .map_err(|_| UsageError(format!("bad context {v:?}")))?;
+        } else {
+            return Err(UsageError(format!(
+                "unknown option {opt:?}; trace diff accepts --context=N"
+            )));
+        }
+    }
+    let loaded_a = load_trace_file(a)?;
+    let loaded_b = load_trace_file(b)?;
+    let report = cmvrp_obs::diff_lines(loaded_a.text.lines(), loaded_b.text.lines(), context)
+        .map_err(|e| {
+            let path = match e.side {
+                cmvrp_obs::Side::A => a,
+                cmvrp_obs::Side::B => b,
+            };
+            UsageError(format!("{path}: {e}"))
+        })?;
+    let mut out = format!(
+        "diff A={a} ({}) vs B={b} ({})\n",
+        loaded_a.header(),
+        loaded_b.header()
+    );
+    let Some(d) = report.divergence else {
+        let _ = writeln!(out, "identical: {} events agree", report.matched);
+        return Ok((out, 0));
+    };
+    let band = d
+        .time
+        .map(|t| format!(", time band t={t}"))
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "first divergence at line {} (after {} matching events{band})",
+        d.line, report.matched
+    );
+    use cmvrp_obs::DivergenceKind::*;
+    match &d.kind {
+        PayloadDrift { kind, fields } => {
+            let _ = writeln!(out, "payload drift: same {kind} event, differing fields:");
+            for f in fields {
+                let _ = writeln!(out, "  {}: {} (A) vs {} (B)", f.field, f.a, f.b);
+            }
+        }
+        Reordered { t, band_len } => {
+            let _ = writeln!(
+                out,
+                "pure reordering within time band t={t}: the {band_len} remaining events \
+                 of the band carry the same multiset in a different order \
+                 (a merge-determinism bug, not a behavioral difference)"
+            );
+        }
+        EventSet { a_kind, b_kind } => {
+            let _ = writeln!(
+                out,
+                "different event sets: A carries {a_kind}, B carries {b_kind}"
+            );
+        }
+        Truncated { longer, extra } => {
+            let _ = writeln!(
+                out,
+                "truncation: trace {} has {extra} extra event(s) the other lacks",
+                longer.name()
+            );
+        }
+    }
+    for (name, window) in [("A", &d.context_a), ("B", &d.context_b)] {
+        let _ = writeln!(out, "context {name}:");
+        for (n, line) in window {
+            let marker = if *n == d.line { '>' } else { ' ' };
+            let _ = writeln!(out, " {marker} {n}: {line}");
+        }
+    }
+    Ok((out, 1))
+}
+
+/// `trace query <expr> <trace>`: print every event matching a filter
+/// expression, with its line number, plus a count summary.
+fn cmd_trace_query(expr_src: &str, path: &str) -> Result<String, UsageError> {
+    let expr = cmvrp_obs::parse_query(expr_src).map_err(|e| UsageError(e.to_string()))?;
+    let loaded = load_trace_file(path)?;
+    let mut out = String::new();
+    let mut matched = 0usize;
+    for (i, line) in loaded.text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev =
+            Event::from_json(line).map_err(|msg| UsageError(format!("{path}:{}: {msg}", i + 1)))?;
+        if expr.matches(&ev) {
+            matched += 1;
+            let _ = writeln!(out, "{}: {}", i + 1, line.trim());
+        }
+    }
+    let _ = writeln!(
+        out,
+        "matched {matched} of {} events in {path} ({})",
+        loaded.events,
+        loaded.header()
+    );
+    Ok(out)
+}
+
+/// `trace explain <sel> <trace>`: the happens-before chain leading to a
+/// chosen event, reconstructed from the checker's causal index. Selectors:
+/// `job:<seq>` (its serve, or arrival if unserved), `proc:<id>` (the
+/// process' last act), `line:<n>` (an exact trace line).
+fn cmd_trace_explain(selector: &str, path: &str) -> Result<String, UsageError> {
+    const CHAIN_CAP: usize = 12;
+    let loaded = load_trace_file(path)?;
+    let mut checker = cmvrp_obs::TraceChecker::new();
+    checker.record_causality();
+    for (i, line) in loaded.text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev =
+            Event::from_json(line).map_err(|msg| UsageError(format!("{path}:{}: {msg}", i + 1)))?;
+        checker.observe_at(i + 1, &ev);
+    }
+    let ix = checker
+        .into_causal_index()
+        .expect("record_causality was enabled");
+    let bad_selector = || {
+        UsageError(format!(
+            "bad selector {selector:?}; use job:<seq> (why was this job served), \
+             proc:<id> (the process' last act), or line:<n> (an exact trace line)"
+        ))
+    };
+    let (kind, val) = selector.split_once(':').ok_or_else(bad_selector)?;
+    let n: u64 = val.parse().map_err(|_| bad_selector())?;
+    let target = match kind {
+        "job" => ix
+            .serve_line(n)
+            .or_else(|| ix.arrival_line(n))
+            .ok_or_else(|| UsageError(format!("job {n} does not appear in {path}")))?,
+        "proc" => ix
+            .last_line_of(n as usize)
+            .ok_or_else(|| UsageError(format!("process {n} never acts in {path}")))?,
+        "line" => {
+            let l = n as usize;
+            if ix.node(l).is_none() {
+                return Err(UsageError(format!(
+                    "line {l} of {path} carries no event (out of range or blank)"
+                )));
+            }
+            l
+        }
+        _ => return Err(bad_selector()),
+    };
+    let render = |n: &cmvrp_obs::CausalNode| {
+        let actor = n
+            .actor
+            .map(|(p, l)| format!("  [proc {p}, lamport {l}]"))
+            .unwrap_or_default();
+        format!("line {}: {}{actor}", n.line, n.json)
+    };
+    let mut out = format!("explain {selector} in {path} ({})\n", loaded.header());
+    let chain = ix.chain(target, CHAIN_CAP);
+    if chain.is_empty() {
+        let _ = writeln!(out, "no causal ancestors: the event is a root cause");
+    } else {
+        let _ = writeln!(
+            out,
+            "causal chain ({} happens-before ancestors, oldest first):",
+            chain.len()
+        );
+        for node in &chain {
+            let _ = writeln!(out, "  {}", render(node));
+        }
+    }
+    let target_node = ix.node(target).expect("target resolved above");
+    let _ = writeln!(out, "  => {}", render(target_node));
+    Ok(out)
 }
 
 /// `trace convert <in> <out>`: lossless JSONL ↔ binary translation, the
@@ -740,6 +992,14 @@ fn cmd_trace_check(path: &str, opts: &[String]) -> Result<String, UsageError> {
     );
     for v in report.violations.iter().take(10) {
         let _ = writeln!(msg, "{path}:{}: [{}] {}", v.line, v.invariant, v.detail);
+        // The offline checker records the causal index, so each violation
+        // carries the chain of events that led to the offending one.
+        if !v.chain.is_empty() {
+            let _ = writeln!(msg, "  caused by:");
+            for entry in &v.chain {
+                let _ = writeln!(msg, "    {entry}");
+            }
+        }
     }
     if report.violations.len() > 10 {
         let _ = writeln!(msg, "... and {} more", report.violations.len() - 10);
@@ -747,10 +1007,11 @@ fn cmd_trace_check(path: &str, opts: &[String]) -> Result<String, UsageError> {
     Err(UsageError(msg))
 }
 
-fn cmd_trace_timeline(proc_arg: &str, path: &str) -> Result<String, UsageError> {
+fn cmd_trace_timeline(proc_arg: &str, path: &str, opts: &[String]) -> Result<String, UsageError> {
     let proc: usize = proc_arg
         .parse()
         .map_err(|_| UsageError(format!("bad process id {proc_arg:?}")))?;
+    let filter = parse_where(opts, "timeline")?;
     let text = read_trace(path)?;
     let mut checker = cmvrp_obs::TraceChecker::new();
     let mut table = cmvrp_util::Table::new(vec!["line", "lamport", "event"]);
@@ -765,7 +1026,7 @@ fn cmd_trace_timeline(proc_arg: &str, path: &str) -> Result<String, UsageError> 
         // advances that process' Lamport clock; the timeline is the slice
         // of that ledger belonging to `proc`.
         if let Some((actor, lamport)) = checker.observe_at(i + 1, &ev) {
-            if actor == proc {
+            if actor == proc && filter.as_ref().is_none_or(|expr| expr.matches(&ev)) {
                 table.row(vec![
                     (i + 1).to_string(),
                     lamport.to_string(),
@@ -775,8 +1036,13 @@ fn cmd_trace_timeline(proc_arg: &str, path: &str) -> Result<String, UsageError> 
             }
         }
     }
+    let filtered = if filter.is_some() {
+        " matching --where"
+    } else {
+        ""
+    };
     Ok(format!(
-        "timeline of process {proc} ({shown} events):\n{table}"
+        "timeline of process {proc} ({shown}{filtered} events):\n{table}"
     ))
 }
 
@@ -822,52 +1088,82 @@ fn cmd_trace_spans(path: &str) -> Result<String, UsageError> {
     Ok(format!("spans of {path}:\n{table}"))
 }
 
-fn cmd_trace(args: &[String]) -> Result<String, UsageError> {
-    let sub_usage = || {
-        UsageError(
-            "trace needs a subcommand: check|stats|timeline <proc>|spans|convert <in> <out>|profile"
-                .into(),
-        )
-    };
+fn cmd_trace(args: &[String]) -> Result<(String, i32), UsageError> {
+    let ok = |r: Result<String, UsageError>| r.map(|out| (out, 0));
     match args.first().map(String::as_str) {
         Some("check") => match args.get(1) {
-            Some(path) => cmd_trace_check(path, &args[2..]),
+            Some(path) => ok(cmd_trace_check(path, &args[2..])),
             None => Err(UsageError("trace check needs a trace path".into())),
         },
         Some("stats") => match args.get(1) {
-            Some(path) => {
-                let out = cmd_replay(path)?;
-                Ok(out.replacen("replay of", "trace stats of", 1))
-            }
+            Some(path) => ok(cmd_trace_stats(path, &args[2..])),
             None => Err(UsageError("trace stats needs a trace path".into())),
         },
         Some("timeline") => match (args.get(1), args.get(2)) {
-            (Some(proc), Some(path)) => cmd_trace_timeline(proc, path),
+            (Some(proc), Some(path)) => ok(cmd_trace_timeline(proc, path, &args[3..])),
             _ => Err(UsageError(
                 "trace timeline needs a process id and a trace path".into(),
             )),
         },
         Some("spans") => match args.get(1) {
-            Some(path) => cmd_trace_spans(path),
+            Some(path) => ok(cmd_trace_spans(path)),
             None => Err(UsageError("trace spans needs a trace path".into())),
         },
         Some("convert") => match (args.get(1), args.get(2)) {
-            (Some(input), Some(output)) => cmd_trace_convert(input, output),
+            (Some(input), Some(output)) => ok(cmd_trace_convert(input, output)),
             _ => Err(UsageError(
                 "trace convert needs an input and an output path".into(),
             )),
         },
         Some("profile") => match args.get(1) {
-            Some(path) => cmd_trace_profile(path),
+            Some(path) => ok(cmd_trace_profile(path)),
             None => Err(UsageError("trace profile needs a trace path".into())),
         },
-        _ => Err(sub_usage()),
+        Some("diff") => match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) => cmd_trace_diff(a, b, &args[3..]),
+            _ => Err(UsageError("trace diff needs two trace paths".into())),
+        },
+        Some("query") => match (args.get(1), args.get(2)) {
+            (Some(expr), Some(path)) => ok(cmd_trace_query(expr, path)),
+            _ => Err(UsageError(
+                "trace query needs an expression and a trace path".into(),
+            )),
+        },
+        Some("explain") => match (args.get(1), args.get(2)) {
+            (Some(sel), Some(path)) => ok(cmd_trace_explain(sel, path)),
+            _ => Err(UsageError(
+                "trace explain needs a selector (job:<seq>|proc:<id>|line:<n>) \
+                 and a trace path"
+                    .into(),
+            )),
+        },
+        Some(other) => Err(UsageError(format!(
+            "unknown trace subcommand {other:?}; expected one of: {}",
+            TRACE_SUBCOMMANDS.join("|")
+        ))),
+        None => Err(UsageError(format!(
+            "trace needs a subcommand: {}",
+            TRACE_SUBCOMMANDS.join("|")
+        ))),
     }
 }
 
 /// Dispatches a CLI invocation; returns the text to print or a usage error.
+/// Thin wrapper over [`run_with_status`] that drops the exit status — kept
+/// for callers (and tests) that only care about the text.
 pub fn run(args: &[String]) -> Result<String, UsageError> {
-    match args.first().map(String::as_str) {
+    run_with_status(args).map(|(out, _)| out)
+}
+
+/// Dispatches a CLI invocation; returns the text to print plus the process
+/// exit status: 0 for success, 1 when `trace diff` found a semantic
+/// divergence (scriptable, like `cmp`/`diff`). Usage and I/O errors
+/// surface as `Err` and exit 2.
+pub fn run_with_status(args: &[String]) -> Result<(String, i32), UsageError> {
+    if args.first().map(String::as_str) == Some("trace") {
+        return cmd_trace(&args[1..]);
+    }
+    let out = match args.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(usage()),
         Some("workloads") => Ok(
             "point, line, square, uniform, clusters — see `cmvrp help` for parameters\n"
@@ -899,9 +1195,9 @@ pub fn run(args: &[String]) -> Result<String, UsageError> {
             Some(path) => cmd_replay(path),
             None => Err(UsageError("replay needs a trace path".into())),
         },
-        Some("trace") => cmd_trace(&args[1..]),
         Some(other) => Err(UsageError(format!("unknown command {other:?}"))),
-    }
+    };
+    out.map(|s| (s, 0))
 }
 
 #[cfg(test)]
@@ -1500,5 +1796,294 @@ mod tests {
         assert!(err.0.contains(":1:"), "{err}");
         let _ = std::fs::remove_file(&path);
         assert!(run(&["replay".into(), "/nonexistent/x.jsonl".into()]).is_err());
+    }
+
+    fn golden_path() -> String {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/data/golden_point.jsonl"
+        )
+        .into()
+    }
+
+    #[test]
+    fn trace_usage_and_errors_enumerate_all_subcommands() {
+        // The usage text, the no-subcommand error, and the
+        // unknown-subcommand error must all agree on the full set, so a
+        // new subcommand that forgets one of them fails here.
+        let usage_text = usage();
+        let no_sub = run(&argv("trace")).unwrap_err().0;
+        let unknown = run(&argv("trace bogus")).unwrap_err().0;
+        for sub in TRACE_SUBCOMMANDS {
+            assert!(
+                usage_text.contains(&format!("cmvrp trace {sub}")),
+                "usage misses trace {sub}"
+            );
+            assert!(
+                no_sub.contains(sub),
+                "no-subcommand error misses {sub}: {no_sub}"
+            );
+            assert!(
+                unknown.contains(sub),
+                "unknown-subcommand error misses {sub}: {unknown}"
+            );
+        }
+        assert!(unknown.contains("bogus"), "{unknown}");
+    }
+
+    #[test]
+    fn trace_diff_identical_on_both_encodings() {
+        let golden = golden_path();
+        // Self-diff: exit status 0, says identical, names both encodings.
+        let (out, status) = run_with_status(&[
+            "trace".into(),
+            "diff".into(),
+            golden.clone(),
+            golden.clone(),
+        ])
+        .unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("identical"), "{out}");
+        assert!(out.contains("encoding JSONL"), "{out}");
+        // Convert to binary and diff cross-encoding: still identical —
+        // the loader normalizes both sides to canonical JSONL first.
+        let bin = std::env::temp_dir().join("cmvrp_cli_diff_golden.bin");
+        let bin_str = bin.to_str().unwrap().to_string();
+        run(&[
+            "trace".into(),
+            "convert".into(),
+            golden.clone(),
+            bin_str.clone(),
+        ])
+        .unwrap();
+        let (out, status) =
+            run_with_status(&["trace".into(), "diff".into(), golden.clone(), bin_str]).unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("encoding CMVB"), "{out}");
+        let _ = std::fs::remove_file(&bin);
+    }
+
+    #[test]
+    fn trace_diff_localizes_a_mutated_field() {
+        let golden = golden_path();
+        // Flip one field on line 3 of a copy; diff must name the line,
+        // the field, and both values, and exit 1.
+        let text = std::fs::read_to_string(&golden).unwrap();
+        let mutated: String = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 2 {
+                    l.replace("\"vehicle\":14", "\"vehicle\":15")
+                } else {
+                    l.to_string()
+                }
+            })
+            .fold(String::new(), |mut acc, l| {
+                acc.push_str(&l);
+                acc.push('\n');
+                acc
+            });
+        assert_ne!(text, mutated, "mutation target moved; update the test");
+        let mut_path = std::env::temp_dir().join("cmvrp_cli_diff_mut.jsonl");
+        std::fs::write(&mut_path, mutated).unwrap();
+        let (out, status) = run_with_status(&[
+            "trace".into(),
+            "diff".into(),
+            golden,
+            mut_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert_eq!(status, 1, "{out}");
+        assert!(out.contains("first divergence at line 3"), "{out}");
+        assert!(out.contains("payload drift"), "{out}");
+        assert!(out.contains("vehicle: 14 (A) vs 15 (B)"), "{out}");
+        // Both context windows carry the offending line, marked.
+        assert!(out.contains("context A:"), "{out}");
+        assert!(out.contains(" > 3: "), "{out}");
+        let _ = std::fs::remove_file(&mut_path);
+    }
+
+    #[test]
+    fn trace_query_filters_and_counts() {
+        let golden = golden_path();
+        let out = run(&[
+            "trace".into(),
+            "query".into(),
+            "kind=delivered and msg=move".into(),
+            golden.clone(),
+        ])
+        .unwrap();
+        // Every printed line is a move delivery, each with its line number.
+        let hits: Vec<&str> = out
+            .lines()
+            .filter(|l| l.contains("msg_delivered"))
+            .collect();
+        assert!(!hits.is_empty(), "{out}");
+        for hit in &hits {
+            assert!(hit.contains("\"kind\":\"move\""), "{hit}");
+        }
+        assert!(
+            out.contains(&format!("matched {} of 502 events", hits.len())),
+            "{out}"
+        );
+        // Malformed expression: position-scoped error naming the column.
+        let err = run(&["trace".into(), "query".into(), "kind=".into(), golden]).unwrap_err();
+        assert!(err.0.contains("col 6"), "{err}");
+    }
+
+    #[test]
+    fn trace_explain_walks_the_replacement_chain() {
+        let golden = golden_path();
+        // Job 101 was served by vehicle 13, which activated via a
+        // replacement cycle: its chain must walk back through the move
+        // message (sent → delivered) into the serve.
+        let out = run(&[
+            "trace".into(),
+            "explain".into(),
+            "job:101".into(),
+            golden.clone(),
+        ])
+        .unwrap();
+        assert!(out.contains("causal chain"), "{out}");
+        assert!(out.contains("\"kind\":\"move\""), "{out}");
+        assert!(out.contains("msg_sent"), "{out}");
+        assert!(out.contains("msg_delivered"), "{out}");
+        assert!(out.contains("replacement_cycle"), "{out}");
+        assert!(out.contains("=> line 306"), "{out}");
+        assert!(out.contains("lamport"), "{out}");
+        // proc: and line: selectors resolve too.
+        let out = run(&[
+            "trace".into(),
+            "explain".into(),
+            "proc:13".into(),
+            golden.clone(),
+        ])
+        .unwrap();
+        assert!(out.contains("=> "), "{out}");
+        let out = run(&[
+            "trace".into(),
+            "explain".into(),
+            "line:1".into(),
+            golden.clone(),
+        ])
+        .unwrap();
+        assert!(out.contains("root cause"), "{out}");
+        // Errors: absent job, silent process, bad selector shape.
+        let err = run(&[
+            "trace".into(),
+            "explain".into(),
+            "job:9999".into(),
+            golden.clone(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("job 9999"), "{err}");
+        let err = run(&["trace".into(), "explain".into(), "what".into(), golden]).unwrap_err();
+        assert!(err.0.contains("job:<seq>"), "{err}");
+        assert!(err.0.contains("line:<n>"), "{err}");
+    }
+
+    #[test]
+    fn trace_stats_header_and_where_filter() {
+        let golden = golden_path();
+        let stats = run(&["trace".into(), "stats".into(), golden.clone()]).unwrap();
+        assert!(stats.contains("encoding JSONL"), "{stats}");
+        assert!(stats.contains("schema v2"), "{stats}");
+        assert!(stats.contains("502 events"), "{stats}");
+        // --where restricts the summary to matching events.
+        let filtered = run(&[
+            "trace".into(),
+            "stats".into(),
+            golden.clone(),
+            "--where=kind=served and vehicle=13".into(),
+        ])
+        .unwrap();
+        assert!(filtered.contains("where:"), "{filtered}");
+        assert!(filtered.contains("of 502 events match"), "{filtered}");
+        // A filter error is scoped, and stray options are rejected.
+        assert!(run(&[
+            "trace".into(),
+            "stats".into(),
+            golden.clone(),
+            "--where=bogus=3".into(),
+        ])
+        .unwrap_err()
+        .0
+        .contains("--where:"));
+        assert!(run(&[
+            "trace".into(),
+            "stats".into(),
+            golden,
+            "--frobnicate".into()
+        ])
+        .unwrap_err()
+        .0
+        .contains("--where=EXPR"));
+    }
+
+    #[test]
+    fn trace_timeline_where_filter() {
+        let golden = golden_path();
+        let full = run(&[
+            "trace".into(),
+            "timeline".into(),
+            "13".into(),
+            golden.clone(),
+        ])
+        .unwrap();
+        let filtered = run(&[
+            "trace".into(),
+            "timeline".into(),
+            "13".into(),
+            golden,
+            "--where=kind=served".into(),
+        ])
+        .unwrap();
+        assert!(filtered.contains("matching --where"), "{filtered}");
+        assert!(
+            filtered.lines().count() < full.lines().count(),
+            "filter kept everything:\n{filtered}"
+        );
+        for line in filtered.lines().filter(|l| l.contains("\"ev\"")) {
+            assert!(line.contains("job_served"), "{line}");
+        }
+    }
+
+    #[test]
+    fn progress_force_survives_instant_runs() {
+        // Zero- and one-event runs finish in ~0 ticks; the ETA math must
+        // not divide by zero and the run must still report correctly.
+        let out = run(&argv(
+            "simulate point:grid=6,demand=0 --threads=2 --progress=force",
+        ))
+        .unwrap();
+        assert!(out.contains("served: 0/0"), "{out}");
+        let out = run(&argv(
+            "simulate point:grid=6,demand=1 --threads=2 --progress=force",
+        ))
+        .unwrap();
+        assert!(out.contains("served: 1/1"), "{out}");
+    }
+
+    #[test]
+    fn trace_profile_on_profile_only_trace() {
+        // A trace holding nothing but round_profile samples (no protocol
+        // events at all) must still render the per-worker table.
+        let path = std::env::temp_dir().join("cmvrp_cli_profile_only.jsonl");
+        std::fs::write(
+            &path,
+            "{\"ev\":\"round_profile\",\"round\":0,\"worker\":0,\"workers\":2,\"busy_ns\":800,\"barrier_wait_ns\":100,\"merge_ns\":50,\"sink_ns\":50,\"events\":4,\"steals\":0}\n\
+             {\"ev\":\"round_profile\",\"round\":0,\"worker\":1,\"workers\":2,\"busy_ns\":600,\"barrier_wait_ns\":300,\"merge_ns\":0,\"sink_ns\":0,\"events\":2,\"steals\":1}\n",
+        )
+        .unwrap();
+        let out = run(&[
+            "trace".into(),
+            "profile".into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(out.contains("2 workers"), "{out}");
+        assert!(out.contains("util%"), "{out}");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,9 +1,16 @@
-//! The `cmvrp` binary: thin wrapper around [`cmvrp_cli::run`].
+//! The `cmvrp` binary: thin wrapper around [`cmvrp_cli::run_with_status`].
+//! Exit status: 0 success, 1 semantic divergence from `trace diff`, 2
+//! usage or I/O error.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match cmvrp_cli::run(&args) {
-        Ok(output) => print!("{output}"),
+    match cmvrp_cli::run_with_status(&args) {
+        Ok((output, status)) => {
+            print!("{output}");
+            if status != 0 {
+                std::process::exit(status);
+            }
+        }
         Err(err) => {
             eprintln!("error: {err}");
             std::process::exit(2);

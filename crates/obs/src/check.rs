@@ -36,6 +36,19 @@
 //! delivery — so `cmvrp trace timeline` can print a causally meaningful
 //! ordering next to simulation time. The clock is *derived* by the checker;
 //! it is not a trace field.
+//!
+//! ## Causal index
+//!
+//! With [`TraceChecker::record_causality`] enabled the checker additionally
+//! materializes the happens-before edges it already tracks into a
+//! [`CausalIndex`]: program order per process, sent→delivered channel
+//! edges, arrival→serve job-ledger edges, start→completion diffusion
+//! edges, and completion→replacement summons. `cmvrp trace explain` walks
+//! the index backwards to print why an event happened, and every
+//! [`Violation`] found while the index is live carries the chain of events
+//! leading to the offending one ([`Violation::chain`]). The index stores
+//! one node per trace line, so it is for offline forensics; the online
+//! [`CheckSink`] leaves it off.
 
 use crate::event::{DropReason, Event, MsgKind};
 use crate::sink::{Sink, StaticSink};
@@ -67,6 +80,10 @@ pub struct Violation {
     pub line: usize,
     /// Human-readable description of the violation.
     pub detail: String,
+    /// Causal chain leading to the offending event, oldest first, as
+    /// rendered `line N: {event}` entries. Populated only when the checker
+    /// ran with [`TraceChecker::record_causality`]; empty otherwise.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Violation {
@@ -75,7 +92,186 @@ impl fmt::Display for Violation {
             f,
             "line {}: [{}] {}",
             self.line, self.invariant, self.detail
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n  caused by:")?;
+            for entry in &self.chain {
+                write!(f, "\n    {entry}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One event of the causal index: its trace line, its happens-before
+/// predecessors, and (once known) the acting process and Lamport clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalNode {
+    /// 1-based trace line of the event.
+    pub line: usize,
+    /// The event's wire tag (see [`Event::kind`]).
+    pub kind: &'static str,
+    /// The event rendered as canonical JSON.
+    pub json: String,
+    /// Lines of the event's direct happens-before predecessors (program
+    /// order plus the cross-process edge, when one exists), ascending.
+    pub preds: Vec<usize>,
+    /// `(process, Lamport clock after the event)` for events attributable
+    /// to one process.
+    pub actor: Option<(usize, u64)>,
+}
+
+/// The happens-before graph of a trace, recorded by [`TraceChecker`] when
+/// [`TraceChecker::record_causality`] is on. See the
+/// [module docs](self#causal-index) for the edge catalog.
+#[derive(Debug, Default, Clone)]
+pub struct CausalIndex {
+    /// Nodes indexed by 1-based trace line.
+    nodes: Vec<Option<CausalNode>>,
+    /// Last line on which each process acted (program-order edge source).
+    last_line_of: Vec<Option<usize>>,
+    /// Arrival line per job sequence number.
+    arrival: Vec<Option<usize>>,
+    /// Serve line per job sequence number.
+    serve: Vec<Option<usize>>,
+    /// Lines of `found=true` diffusion completions, in trace order; the
+    /// n-th replacement arrival is summoned by the n-th successful search.
+    found_completions: Vec<usize>,
+    /// Replacement arrivals seen so far.
+    cycles: usize,
+}
+
+impl CausalIndex {
+    /// The node recorded at `line`, if that line carried an event.
+    pub fn node(&self, line: usize) -> Option<&CausalNode> {
+        self.nodes.get(line).and_then(Option::as_ref)
+    }
+
+    /// The line on which job `seq` was served.
+    pub fn serve_line(&self, seq: u64) -> Option<usize> {
+        self.serve.get(seq as usize).copied().flatten()
+    }
+
+    /// The line on which job `seq` arrived.
+    pub fn arrival_line(&self, seq: u64) -> Option<usize> {
+        self.arrival.get(seq as usize).copied().flatten()
+    }
+
+    /// The last line on which `proc` acted.
+    pub fn last_line_of(&self, proc: usize) -> Option<usize> {
+        self.last_line_of.get(proc).copied().flatten()
+    }
+
+    /// Walks happens-before edges backwards from `line` and returns up to
+    /// `cap` of the *most recent* ancestors, ascending by line (the target
+    /// itself is not included). Recency is the right truncation for an
+    /// explanation: the far past is reachable by explaining an ancestor.
+    pub fn chain(&self, line: usize, cap: usize) -> Vec<&CausalNode> {
+        let mut heap = std::collections::BinaryHeap::new();
+        let mut picked = vec![line];
+        if let Some(node) = self.node(line) {
+            heap.extend(node.preds.iter().copied());
+        }
+        while let Some(next) = heap.pop() {
+            if picked.contains(&next) {
+                continue;
+            }
+            picked.push(next);
+            if picked.len() > cap {
+                break;
+            }
+            if let Some(node) = self.node(next) {
+                heap.extend(node.preds.iter().copied());
+            }
+        }
+        picked.sort_unstable();
+        picked.pop(); // the target itself (the largest line)
+        picked.iter().filter_map(|&l| self.node(l)).collect()
+    }
+
+    /// Records one event. `cross` is the cross-process predecessor line
+    /// (matched send, open diffusion start), resolved by the checker from
+    /// state the index cannot see.
+    fn record(&mut self, line: usize, ev: &Event, cross: Option<usize>) {
+        let mut preds = Vec::with_capacity(2);
+        if let Some(c) = cross {
+            preds.push(c);
+        }
+        // Program-order edge, then advance the actor's last-line cursor.
+        fn po(last: &mut Vec<Option<usize>>, line: usize, p: usize, preds: &mut Vec<usize>) {
+            if let Some(prev) = last.get(p).copied().flatten() {
+                preds.push(prev);
+            }
+            *grow(last, p) = Some(line);
+        }
+        match ev {
+            Event::MsgSent { from, .. } => po(&mut self.last_line_of, line, *from, &mut preds),
+            Event::MsgDelivered { to, .. } => po(&mut self.last_line_of, line, *to, &mut preds),
+            Event::MsgDropped { from, reason, .. } => {
+                // A loss is the sender acting; a crash-drop happens at the
+                // (dead) recipient and advances no one's program order.
+                if *reason == DropReason::Lost {
+                    po(&mut self.last_line_of, line, *from, &mut preds);
+                }
+            }
+            Event::JobArrived { seq, .. } => {
+                *grow(&mut self.arrival, *seq as usize) = Some(line);
+            }
+            Event::JobServed { seq, vehicle, .. } => {
+                if let Some(a) = self.arrival.get(*seq as usize).copied().flatten() {
+                    preds.push(a);
+                }
+                *grow(&mut self.serve, *seq as usize) = Some(line);
+                po(&mut self.last_line_of, line, *vehicle, &mut preds);
+            }
+            Event::DiffusionStarted { initiator, .. } => {
+                po(&mut self.last_line_of, line, *initiator, &mut preds);
+            }
+            Event::DiffusionCompleted {
+                initiator, found, ..
+            } => {
+                if *found {
+                    self.found_completions.push(line);
+                }
+                po(&mut self.last_line_of, line, *initiator, &mut preds);
+            }
+            Event::ReplacementCycle { vehicle, .. } => {
+                if let Some(&c) = self.found_completions.get(self.cycles) {
+                    preds.push(c);
+                }
+                self.cycles += 1;
+                po(&mut self.last_line_of, line, *vehicle, &mut preds);
+            }
+            Event::HeartbeatMissed { watcher, peer, .. } => {
+                // The peer's silence is what the watcher observed: its last
+                // act is a read-only predecessor (no cursor advance).
+                if let Some(prev) = self.last_line_of.get(*peer).copied().flatten() {
+                    preds.push(prev);
+                }
+                po(&mut self.last_line_of, line, *watcher, &mut preds);
+            }
+            Event::ProcessCrashed { proc, .. } => {
+                po(&mut self.last_line_of, line, *proc, &mut preds);
+            }
+            Event::FleetProvisioned { .. }
+            | Event::PhaseSpan { .. }
+            | Event::RoundProfile { .. } => {}
+        }
+        preds.sort_unstable();
+        preds.dedup();
+        *grow(&mut self.nodes, line) = Some(CausalNode {
+            line,
+            kind: ev.kind(),
+            json: ev.to_json(),
+            preds,
+            actor: None,
+        });
+    }
+
+    fn set_actor(&mut self, line: usize, actor: usize, lamport: u64) {
+        if let Some(Some(node)) = self.nodes.get_mut(line) {
+            node.actor = Some((actor, lamport));
+        }
     }
 }
 
@@ -200,6 +396,9 @@ pub struct TraceChecker {
     /// vector: worker ids come straight off the wire and a corrupt sample
     /// must not drive an allocation).
     profile_last_round: std::collections::BTreeMap<u64, u64>,
+    /// Happens-before graph, recorded only when
+    /// [`TraceChecker::record_causality`] was called (O(trace) memory).
+    causal: Option<CausalIndex>,
 }
 
 impl TraceChecker {
@@ -224,6 +423,27 @@ impl TraceChecker {
     /// re-established (and checked) at the merge.
     pub fn allow_seq_gaps(&mut self) {
         self.seq_gaps_ok = true;
+    }
+
+    /// Turns on the causal index: every subsequent event is recorded as a
+    /// [`CausalNode`], and violations gain their [`Violation::chain`].
+    /// Costs O(trace) memory — meant for offline forensics, not the
+    /// online [`CheckSink`].
+    pub fn record_causality(&mut self) {
+        if self.causal.is_none() {
+            self.causal = Some(CausalIndex::default());
+        }
+    }
+
+    /// The recorded causal index, when [`TraceChecker::record_causality`]
+    /// is on.
+    pub fn causal_index(&self) -> Option<&CausalIndex> {
+        self.causal.as_ref()
+    }
+
+    /// Consumes the checker, yielding the causal index (if recorded).
+    pub fn into_causal_index(self) -> Option<CausalIndex> {
+        self.causal
     }
 
     /// Events observed so far.
@@ -263,10 +483,13 @@ impl TraceChecker {
     }
 
     fn report(&mut self, invariant: &'static str, line: usize, detail: String) {
+        // The chain is attached lazily (in `finish`): at this point the
+        // offending event's own node may not be recorded yet.
         self.violations.push(Violation {
             invariant,
             line,
             detail,
+            chain: Vec::new(),
         });
     }
 
@@ -304,7 +527,8 @@ impl TraceChecker {
         self.line = line;
         self.events += 1;
         self.check_crash_silence(line, ev);
-        match ev {
+        self.causal_observe(line, ev);
+        let acted = match ev {
             Event::MsgSent { t, from, to, kind } => {
                 self.clock(line, *t);
                 if kind.is_some() {
@@ -680,7 +904,43 @@ impl TraceChecker {
                 self.profile_last_round.insert(*worker, *round);
                 None
             }
+        };
+        if let (Some(ix), Some((actor, lamport))) = (self.causal.as_mut(), acted) {
+            ix.set_actor(line, actor, lamport);
         }
+        acted
+    }
+
+    /// Records `ev` into the causal index (when recording), resolving the
+    /// cross-process predecessor edge from checker state *before* the
+    /// monitors below consume it (the matched send is popped, the open
+    /// diffusion slot is taken).
+    fn causal_observe(&mut self, line: usize, ev: &Event) {
+        if self.causal.is_none() {
+            return;
+        }
+        let cross = match ev {
+            Event::MsgDelivered { from, to, .. }
+            | Event::MsgDropped {
+                from,
+                to,
+                reason: DropReason::RecipientCrashed,
+                ..
+            } => {
+                let (pair, dir) = self.channel(*from, *to);
+                pair.queue[dir].front().map(|r| r.line)
+            }
+            Event::DiffusionCompleted { initiator, .. } => self
+                .open
+                .get(*initiator)
+                .and_then(|slot| slot.as_ref())
+                .map(|open| open.started_line),
+            _ => None,
+        };
+        self.causal
+            .as_mut()
+            .expect("checked above")
+            .record(line, ev, cross);
     }
 
     fn charge(&mut self, line: usize, vehicle: usize, amount: u64, what: &str) {
@@ -806,6 +1066,22 @@ impl TraceChecker {
                 ),
             );
         }
+        // With the causal index live, attach to every violation the chain
+        // of events leading to the offending one (done here, not at report
+        // time: the offender's own node is recorded after the monitors
+        // run, and finish-time violations point at earlier lines anyway).
+        if let Some(ix) = &self.causal {
+            const CHAIN_CAP: usize = 8;
+            for v in &mut self.violations {
+                if v.chain.is_empty() {
+                    v.chain = ix
+                        .chain(v.line, CHAIN_CAP)
+                        .iter()
+                        .map(|n| format!("line {}: {}", n.line, n.json))
+                        .collect();
+                }
+            }
+        }
     }
 }
 
@@ -924,6 +1200,7 @@ impl MergeChecker {
                         "merged simulation time ran backwards: t={t} after t={}",
                         self.last_t
                     ),
+                    chain: Vec::new(),
                 });
             }
             self.last_t = self.last_t.max(t);
@@ -937,6 +1214,7 @@ impl MergeChecker {
                         "merged stream: job seq {seq} arrived, expected seq {}",
                         self.next_job_seq
                     ),
+                    chain: Vec::new(),
                 });
             }
             self.next_job_seq = self.next_job_seq.max(*seq + 1);
@@ -995,6 +1273,9 @@ where
     I: IntoIterator<Item = &'a str>,
 {
     let mut checker = TraceChecker::new();
+    // Offline checking is forensics: record the causal index so every
+    // violation carries the chain of events that led to it.
+    checker.record_causality();
     if let Some(w) = capacity {
         checker.set_capacity(w);
     }
@@ -1324,6 +1605,94 @@ mod tests {
             .violations()
             .iter()
             .any(|v| v.detail.contains("never arrived")));
+    }
+
+    /// Runs the valid trace through a causality-recording checker and
+    /// returns the index.
+    fn causal_index_of(events: &[Event]) -> CausalIndex {
+        let mut checker = TraceChecker::new();
+        checker.record_causality();
+        for ev in events {
+            checker.observe(ev);
+        }
+        checker.finish();
+        checker.into_causal_index().unwrap()
+    }
+
+    #[test]
+    fn causal_index_records_channel_and_ledger_edges() {
+        let ix = causal_index_of(&valid_trace());
+        // Serve of job 0 (line 3) hangs off its arrival (line 2).
+        assert_eq!(ix.serve_line(0), Some(3));
+        assert_eq!(ix.arrival_line(0), Some(2));
+        assert_eq!(ix.node(3).unwrap().preds, vec![2]);
+        // Query delivery (line 6) hangs off its send (line 5).
+        assert_eq!(ix.node(6).unwrap().preds, vec![5]);
+        // Completion (line 9) hangs off its start (line 4) and the reply
+        // delivery (line 8, the initiator's previous act).
+        assert_eq!(ix.node(9).unwrap().preds, vec![4, 8]);
+        // The replacement arrival (line 12) hangs off the successful
+        // completion (line 9) and the move delivery (line 11).
+        assert_eq!(ix.node(12).unwrap().preds, vec![9, 11]);
+        // Actors carry Lamport clocks consistent with causality.
+        let (actor, at_send) = ix.node(5).unwrap().actor.unwrap();
+        assert_eq!(actor, 0);
+        let (actor, at_delivery) = ix.node(6).unwrap().actor.unwrap();
+        assert_eq!(actor, 1);
+        assert!(at_delivery > at_send);
+    }
+
+    #[test]
+    fn causal_chain_walks_back_through_the_diffusion() {
+        let ix = causal_index_of(&valid_trace());
+        let chain: Vec<usize> = ix.chain(12, 8).iter().map(|n| n.line).collect();
+        // Most recent 8 ancestors of the replacement arrival, ascending:
+        // the whole search — start, query send/delivery, reply
+        // send/delivery, completion, move send/delivery.
+        assert_eq!(chain, vec![4, 5, 6, 7, 8, 9, 10, 11]);
+        // A tighter cap keeps the most recent ancestors.
+        let short: Vec<usize> = ix.chain(12, 3).iter().map(|n| n.line).collect();
+        assert_eq!(short, vec![9, 10, 11]);
+    }
+
+    #[test]
+    fn violations_carry_their_causal_chain() {
+        // Double-serve: the second serve (line 4) is the offender; its
+        // chain must reach the arrival and the first serve.
+        let events = [
+            arrived(1, 0),
+            Event::JobServed {
+                t: 1,
+                seq: 0,
+                vehicle: 0,
+                cost: 1,
+            },
+            arrived(2, 1),
+            Event::JobServed {
+                t: 2,
+                seq: 0,
+                vehicle: 0,
+                cost: 1,
+            },
+        ];
+        let report = check(&events);
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.detail.contains("served twice"))
+            .unwrap();
+        assert_eq!(v.line, 4);
+        assert!(
+            v.chain.iter().any(|c| c.starts_with("line 1:")),
+            "chain should reach the arrival: {:?}",
+            v.chain
+        );
+        assert!(
+            v.chain.iter().any(|c| c.starts_with("line 2:")),
+            "chain should reach the first serve: {:?}",
+            v.chain
+        );
+        assert!(format!("{v}").contains("caused by:"));
     }
 
     #[test]

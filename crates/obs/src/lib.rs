@@ -31,6 +31,18 @@
 //!   Dijkstra–Scholten deficit counting, no activity after a crash,
 //!   replacement-cycle liveness. See the [`check`] module docs for the
 //!   full invariant catalog and the derived Lamport-clock semantics.
+//!   With [`TraceChecker::record_causality`] it also builds a
+//!   [`CausalIndex`] — the happens-before graph behind `cmvrp trace
+//!   explain` and the causal chains attached to violations.
+//! - [`load`] — the encoding-sniffing trace loader ([`load_trace`]):
+//!   normalizes JSONL and binary files to canonical JSONL text with a
+//!   scoped error for every truncation/corruption shape.
+//! - [`diff`] — semantic trace comparison ([`diff_lines`]): localizes the
+//!   first divergence between two runs and classifies it (payload drift /
+//!   reordering within a time band / different event set / truncation).
+//! - [`query`] — a small filter expression language over events
+//!   ([`parse_query`]), e.g. `kind=delivered and proc=7 and time>=12`,
+//!   powering `cmvrp trace query` and `--where` on the analyzers.
 //!
 //! ## JSONL schema
 //!
@@ -103,18 +115,27 @@
 
 pub mod bin;
 pub mod check;
+pub mod diff;
 pub mod event;
+pub mod load;
 pub mod metrics;
+pub mod query;
 pub mod replay;
 pub mod sink;
 pub mod span;
 
 pub use bin::{decode_trace, is_binary_trace, BinError, BinReader, BinSink};
 pub use check::{
-    check_lines, CheckReport, CheckSink, MergeChecker, TraceChecker, Violation, INVARIANTS,
+    check_lines, CausalIndex, CausalNode, CheckReport, CheckSink, MergeChecker, TraceChecker,
+    Violation, INVARIANTS,
 };
+pub use diff::{diff_lines, DiffError, DiffReport, Divergence, DivergenceKind, FieldDelta, Side};
 pub use event::{DropReason, Event, MsgKind};
+pub use load::{
+    load_trace, load_trace_bytes, LoadError, LoadedTrace, TraceEncoding, JSONL_SCHEMA_VERSION,
+};
 pub use metrics::{Histogram, Metrics, DEFAULT_BUCKETS};
+pub use query::{parse_query, Expr as QueryExpr, QueryError};
 pub use replay::{summarize, ReplaySummary};
 pub use sink::{JsonlSink, NullSink, RingSink, Sink, StaticSink, VecSink};
 pub use span::{now_ns, Span};

@@ -342,3 +342,33 @@ fn golden_overspend_rejected() {
     assert_ne!(t[i], golden()[i], "mutation must change the line");
     assert_rejects(&check(&t), "capacity", i + 1);
 }
+
+/// A violation detected by `check_lines` must arrive with its causal
+/// chain: the happens-before ancestors of the offending event, so the
+/// report explains *how the run got there*, not just where it broke.
+#[test]
+fn golden_violation_carries_its_causal_chain() {
+    let mut t = golden();
+    // Re-serve a replacement-summoned job so the chain is non-trivial:
+    // move sent -> move delivered -> replacement cycle -> arrival -> serve.
+    let i = t
+        .iter()
+        .position(|l| l.contains("\"ev\":\"job_served\"") && l.contains("\"seq\":101"))
+        .unwrap();
+    let dup = t[i].clone();
+    t.insert(i + 1, dup);
+    let report = check(&t);
+    assert_rejects(&report, "job-ledger", i + 2);
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.invariant == "job-ledger")
+        .unwrap();
+    assert!(!v.chain.is_empty(), "violation arrived without a chain");
+    let chain = v.chain.join("\n");
+    assert!(chain.contains("\"kind\":\"move\""), "{chain}");
+    assert!(chain.contains("replacement_cycle"), "{chain}");
+    assert!(chain.contains("\"seq\":101"), "{chain}");
+    // The rendered violation shows the chain to the user.
+    assert!(v.to_string().contains("caused by:"), "{v}");
+}

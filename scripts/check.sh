@@ -38,22 +38,49 @@ echo "==> trace check (golden trace)"
 
 echo "==> sharded determinism + inline check (2 workers vs 1, plus steal)"
 # The parallel-engine oracle: the streamed merged trace must be
-# byte-identical across worker counts AND scheduling policies, with the
-# inline monitors (per-shard + merge-time) clean on every run.
+# semantically identical across worker counts AND scheduling policies,
+# with the inline monitors (per-shard + merge-time) clean on every run.
+# `trace diff` replaces `cmp` here: on a regression it names the first
+# divergent line, its time band, and whether the drift is payload,
+# reordering, or a different event set — instead of a bare byte offset.
 t1=$(mktemp)
 t2=$(mktemp)
 t3=$(mktemp)
+m1=$(mktemp)
 b1=$(mktemp)
 b2=$(mktemp)
-trap 'rm -f "$t1" "$t2" "$t3" "$b1" "$b2"' EXIT
+trap 'rm -f "$t1" "$t2" "$t3" "$m1" "$b1" "$b2"' EXIT
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
     --threads=1 --check --trace-jsonl="$t1" >/dev/null
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
     --threads=2 --check --trace-jsonl="$t2" >/dev/null
-cmp "$t1" "$t2"
+./target/release/cmvrp trace diff "$t1" "$t2" >/dev/null
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
     --threads=2 --schedule=steal --check --trace-jsonl="$t3" >/dev/null
-cmp "$t1" "$t3"
+./target/release/cmvrp trace diff "$t1" "$t3" >/dev/null
+
+echo "==> trace diff self-test (golden self-diff, then a seeded mutation)"
+# The differ itself is under test: the golden trace must diff identical
+# against itself (exit 0), and a copy with one field flipped on line 3
+# must diff divergent (exit 1) naming that exact line and field.
+./target/release/cmvrp trace diff \
+    tests/data/golden_point.jsonl tests/data/golden_point.jsonl >/dev/null
+sed '3s/"vehicle":14/"vehicle":15/' tests/data/golden_point.jsonl >"$m1"
+if diff_out=$(./target/release/cmvrp trace diff \
+    tests/data/golden_point.jsonl "$m1"); then
+    echo "trace diff missed a seeded mutation" >&2
+    exit 1
+fi
+echo "$diff_out" | grep -q "first divergence at line 3" || {
+    echo "trace diff mislocated the seeded mutation:" >&2
+    echo "$diff_out" >&2
+    exit 1
+}
+echo "$diff_out" | grep -q "vehicle: 14 (A) vs 15 (B)" || {
+    echo "trace diff missed the mutated field:" >&2
+    echo "$diff_out" >&2
+    exit 1
+}
 
 echo "==> binary trace roundtrip (golden trace JSONL -> bin -> JSONL)"
 # The binary encoding must be lossless (byte-identical JSONL after a full
