@@ -191,6 +191,11 @@ fn main() {
     let mut h = Harness::start("par_scaling");
     h.set_samples(8);
     let config = OnlineConfig::default();
+    // Flag oversubscribed worker counts up front: on a small host the wN
+    // columns beyond host_cpus measure scheduling overhead, not speedup.
+    for threads in WORKER_COUNTS {
+        h.warn_if_oversubscribed(threads);
+    }
 
     // Two scaling workloads on a 64×64 grid (4096 vehicles — still within
     // the dense engine's limit, so the sequential baseline is honest):

@@ -131,6 +131,31 @@ impl Harness {
         self.samples = samples;
     }
 
+    /// Logical CPUs available to this process, per
+    /// [`std::thread::available_parallelism`]; 1 when the host refuses to
+    /// say. Recorded into every bench row so a snapshot pulled out of
+    /// context still names the hardware it was measured on.
+    pub fn host_cpus() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Prints a stderr warning when a bench is about to run `workers`
+    /// worker threads on fewer logical CPUs — the numbers it produces
+    /// then measure scheduling overhead, not parallel speedup.
+    pub fn warn_if_oversubscribed(&self, workers: usize) {
+        let cpus = Self::host_cpus();
+        if workers > cpus {
+            eprintln!(
+                "{}: warning: benching {workers} workers on {cpus} logical \
+                 CPU(s) — oversubscribed worker counts measure scheduling \
+                 overhead, not parallel speedup",
+                self.group
+            );
+        }
+    }
+
     /// Whether `name` survives the command-line filter.
     fn selected(&self, name: &str) -> bool {
         match &self.filter {
@@ -253,13 +278,15 @@ impl Harness {
             None => out.push_str("  \"peak_rss_kb\": null,\n"),
         }
         out.push_str("  \"benches\": [");
+        let host_cpus = Self::host_cpus();
         for (i, m) in self.results.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
                 "\n    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
-                 \"stddev_ns\": {:.1}, \"iters_per_sample\": {}",
+                 \"stddev_ns\": {:.1}, \"iters_per_sample\": {}, \
+                 \"host_cpus\": {host_cpus}",
                 esc(&m.name),
                 m.mean_ns,
                 m.min_ns,
@@ -422,6 +449,8 @@ mod tests {
         assert!(json.contains("\"items_per_iter\": 50"));
         assert!(json.contains("\"items_per_sec\": "));
         assert!(json.contains("\"peak_rss_kb\": "));
+        assert!(json.contains(&format!("\"host_cpus\": {}", Harness::host_cpus())));
+        assert!(Harness::host_cpus() >= 1);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   (first semantic divergence between two traces, exit code 1 when they
 //!   differ), `query` (filter events with a small expression language),
 //!   `explain` (happens-before chain leading to a chosen event);
+//! * `ckpt inspect` — summarize a `CMVC` checkpoint written by `simulate
+//!   --checkpoint` (see `cmvrp-ckpt`); `simulate --resume-from` continues
+//!   a run from one with a byte-identical trace tail;
+//! * `campaign` — run a spec'd panel of simulations with per-run
+//!   checkpoints, bounded-backoff retries from the last checkpoint, and a
+//!   dead-letter list (`run`, `status`, `retry-dead`);
 //! * `workloads` — list the built-in workload shapes.
 //!
 //! Every trace-reading subcommand accepts both encodings transparently:
@@ -31,11 +37,14 @@
 //! dependencies); [`run`] is the testable entry point.
 
 use cmvrp_core::Instance;
-use cmvrp_engine::{CheckScope, CheckSummary, ExecConfig, Schedule};
+use cmvrp_engine::{
+    CheckScope, CheckSummary, CheckpointPolicy, EngineCheckpoint, ExecConfig, Schedule,
+};
 use cmvrp_obs::{BinSink, Event, JsonlSink, Metrics, Sink};
 use cmvrp_online::{OnlineConfig, OnlineReport};
 use cmvrp_workloads::{arrivals, JobSequence, Ordering, WorkloadConfig};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Errors surfaced to the user with exit code 2.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +84,17 @@ fn usage() -> String {
                                          'kind=delivered and proc=7 and t>=12'\n\
        cmvrp trace explain <sel> <trace> causal chain leading to an event; <sel> is\n\
                                          job:<seq>, proc:<id>, or line:<n>\n\
+       cmvrp ckpt inspect <file>         summarize a CMVC checkpoint file\n\
+       cmvrp campaign run <spec>         run a panel of simulations with per-run\n\
+                                         checkpoints, retries from the last\n\
+                                         checkpoint, and a dead-letter list\n\
+                                         (exit 1 when any run ends up dead)\n\
+       cmvrp campaign status <dir>       summarize a campaign's state file\n\
+                                         (exit 1 when the dead-letter list is\n\
+                                         non-empty)\n\
+       cmvrp campaign retry-dead <spec>  re-run dead-letter runs with a fresh\n\
+                                         retry budget, resuming from their\n\
+                                         checkpoints\n\
        cmvrp show <workload>             render the demand map as ASCII\n\
        cmvrp experiment <id>             regenerate a thesis experiment (e1..e16, f1, g1, g2)\n\
        cmvrp sweep <shape> <d1> <d2> ..  omega* scaling across demands (point|line)\n\
@@ -114,6 +134,20 @@ fn usage() -> String {
                        and steal counts; analyze with `cmvrp trace profile`\n\
        --progress      live progress line on stderr (needs --threads and a\n\
                        terminal; --progress=force paints without one)\n\
+       --checkpoint=F  write a CMVC snapshot of the run to F at round\n\
+                       barriers, atomically (needs --threads); resume with\n\
+                       --resume-from, inspect with `cmvrp ckpt inspect`\n\
+       --checkpoint-every=R  snapshot every R rounds (default 1; counts\n\
+                       absolute rounds, so a resumed run keeps the cadence;\n\
+                       needs --checkpoint)\n\
+       --stop-at-round=K  stop after round K (needs --threads); with\n\
+                       --checkpoint the final snapshot lands at K\n\
+       --resume-from=F continue a run from checkpoint F; the resumed trace\n\
+                       tail is byte-identical to the uninterrupted run's,\n\
+                       so concatenating head and tail traces equals a\n\
+                       one-shot trace (verify with `cmvrp trace diff`);\n\
+                       --threads/--schedule default to the checkpoint's\n\
+                       values and may not disagree with them\n\
        --metrics       print the always-on metrics registry\n\
        --check         verify the invariant monitors inline while the run\n\
                        streams (with --threads: per-shard monitors plus\n\
@@ -127,7 +161,12 @@ fn usage() -> String {
        --where=EXPR    stats/timeline: restrict to events matching a query\n\
                        expression (same language as `cmvrp trace query`)\n\
        --context=N     diff: surrounding events to show around the first\n\
-                       divergence (default 3)\n"
+                       divergence (default 3)\n\
+     \n\
+     CAMPAIGN OPTIONS:\n\
+       --dir=D         checkpoint + state directory (default <spec>.campaign)\n\
+       --bin=P         cmvrp binary to spawn per run (default: this\n\
+                       executable)\n"
         .to_string()
 }
 
@@ -301,12 +340,13 @@ fn run_simulation(
     online: OnlineConfig,
     exec: ExecConfig,
     sink: &mut dyn Sink,
-    want_metrics: bool,
-) -> Result<(OnlineReport, Option<Metrics>, Option<CheckSummary>), UsageError> {
+    resume: Option<&EngineCheckpoint>,
+    observer: &mut dyn FnMut(EngineCheckpoint),
+) -> Result<(OnlineReport, Metrics, Option<CheckSummary>), UsageError> {
     let run = exec
-        .execute(bounds, jobs, online, sink)
+        .execute_with_checkpoints(bounds, jobs, online, sink, resume, observer)
         .map_err(|e| UsageError(e.to_string()))?;
-    Ok((run.report, want_metrics.then_some(run.metrics), run.check))
+    Ok((run.report, run.metrics, run.check))
 }
 
 fn render_report(out: &mut String, cfg: &WorkloadConfig, report: &OnlineReport) {
@@ -397,7 +437,11 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
     let mut profile = false;
     let mut progress = false;
     let mut threads: Option<usize> = None;
-    let mut schedule = Schedule::Static;
+    let mut schedule: Option<Schedule> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut stop_at: Option<u64> = None;
+    let mut resume_from: Option<String> = None;
     let mut i = 0;
     while i < opts.len() {
         let opt = &opts[i];
@@ -410,7 +454,24 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
             }
             threads = Some(n);
         } else if let Some(v) = opt.strip_prefix("--schedule=") {
-            schedule = v.parse().map_err(UsageError)?;
+            schedule = Some(v.parse().map_err(UsageError)?);
+        } else if let Some(v) = opt.strip_prefix("--checkpoint=") {
+            checkpoint = Some(v.to_string());
+        } else if let Some(v) = opt.strip_prefix("--checkpoint-every=") {
+            let r: u64 = v
+                .parse()
+                .map_err(|_| UsageError(format!("bad checkpoint cadence {v:?}")))?;
+            if r == 0 {
+                return Err(UsageError("--checkpoint-every must be at least 1".into()));
+            }
+            checkpoint_every = Some(r);
+        } else if let Some(v) = opt.strip_prefix("--stop-at-round=") {
+            stop_at = Some(
+                v.parse()
+                    .map_err(|_| UsageError(format!("bad round number {v:?}")))?,
+            );
+        } else if let Some(v) = opt.strip_prefix("--resume-from=") {
+            resume_from = Some(v.to_string());
         } else if let Some(v) = opt.strip_prefix("--seed=") {
             online.seed = v
                 .parse()
@@ -472,11 +533,71 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
                 .into(),
         ));
     }
+    if checkpoint_every.is_some() && checkpoint.is_none() {
+        return Err(UsageError(
+            "--checkpoint-every sets a snapshot cadence but nothing names \
+             the snapshot file; supported alternatives: add \
+             --checkpoint=FILE to write snapshots there, or drop \
+             --checkpoint-every"
+                .into(),
+        ));
+    }
+    // Resuming inherits the execution shape from the checkpoint unless the
+    // flags restate it; restating it *differently* is rejected here (the
+    // result would be sound — traces are thread-invariant — but almost
+    // certainly unintended).
+    let resume: Option<EngineCheckpoint> = match &resume_from {
+        None => None,
+        Some(path) => {
+            if !Path::new(path).exists() {
+                return Err(UsageError(format!(
+                    "--resume-from={path}: no such checkpoint file; supported \
+                     alternatives: write one first with `cmvrp simulate ... \
+                     --threads=N --checkpoint={path}`, or drop --resume-from \
+                     to start the run fresh"
+                )));
+            }
+            let ckpt = cmvrp_ckpt::read_checkpoint(Path::new(path)).map_err(UsageError)?;
+            match threads {
+                None => threads = Some(ckpt.threads as usize),
+                Some(n) if n as u64 == ckpt.threads => {}
+                Some(n) => {
+                    return Err(UsageError(format!(
+                        "--threads={n} disagrees with the checkpoint, which \
+                         was written under --threads={}; supported \
+                         alternatives: drop --threads to inherit it from the \
+                         checkpoint, or start a fresh run (without \
+                         --resume-from) under the new worker count",
+                        ckpt.threads
+                    )))
+                }
+            }
+            match schedule {
+                None => schedule = Some(ckpt.schedule),
+                Some(s) if s == ckpt.schedule => {}
+                Some(s) => {
+                    return Err(UsageError(format!(
+                        "--schedule={s} disagrees with the checkpoint, which \
+                         was written under --schedule={}; supported \
+                         alternatives: drop --schedule to inherit it from \
+                         the checkpoint, or start a fresh run (without \
+                         --resume-from) under the new policy",
+                        ckpt.schedule
+                    )))
+                }
+            }
+            Some(ckpt)
+        }
+    };
     let mut exec = ExecConfig::new()
-        .schedule(schedule)
+        .schedule(schedule.unwrap_or_default())
         .check(check)
         .profile(profile)
-        .progress(progress);
+        .progress(progress)
+        .checkpoint(CheckpointPolicy {
+            every: checkpoint.as_ref().map(|_| checkpoint_every.unwrap_or(1)),
+            stop_at,
+        });
     if let Some(n) = threads {
         exec = exec.threads(n);
     }
@@ -484,11 +605,44 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
     let (bounds, demand) = cfg.generate();
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, online.seed);
     let mut out = String::new();
+    if let (Some(ckpt), Some(path)) = (&resume, &resume_from) {
+        let _ = writeln!(
+            out,
+            "resume: round {} from {path} ({} trace events behind us)",
+            ckpt.rounds_completed, ckpt.trace_events
+        );
+    }
+    // The checkpoint observer: write each snapshot atomically, remembering
+    // the first I/O failure (surfaced after the run — the run itself is
+    // not aborted by a bad disk).
+    let mut snapshots = 0u64;
+    let mut last_round = 0u64;
+    let mut ckpt_io: Option<String> = None;
+    let ckpt_file = checkpoint.clone();
+    let mut observer = |c: EngineCheckpoint| {
+        let Some(path) = &ckpt_file else { return };
+        snapshots += 1;
+        last_round = c.rounds_completed;
+        if ckpt_io.is_none() {
+            if let Err(e) = cmvrp_ckpt::write_checkpoint(Path::new(path), &c) {
+                ckpt_io = Some(format!("checkpoint write to {path:?} failed: {e}"));
+            }
+        }
+    };
+    let resume_ref = resume.as_ref();
     let (report, metrics, summary) = match (&trace, &trace_bin) {
         (Some(path), None) => {
             let mut sink = JsonlSink::create(path)
                 .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
-            let result = run_simulation(bounds, &jobs, online, exec, &mut sink, want_metrics)?;
+            let result = run_simulation(
+                bounds,
+                &jobs,
+                online,
+                exec,
+                &mut sink,
+                resume_ref,
+                &mut observer,
+            )?;
             let events = sink
                 .finish()
                 .map_err(|e| UsageError(format!("trace write to {path:?} failed: {e}")))?;
@@ -498,7 +652,15 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
         (None, Some(path)) => {
             let mut sink = BinSink::create(path)
                 .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
-            let result = run_simulation(bounds, &jobs, online, exec, &mut sink, want_metrics)?;
+            let result = run_simulation(
+                bounds,
+                &jobs,
+                online,
+                exec,
+                &mut sink,
+                resume_ref,
+                &mut observer,
+            )?;
             let events = sink
                 .finish()
                 .map_err(|e| UsageError(format!("trace write to {path:?} failed: {e}")))?;
@@ -511,9 +673,19 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
             online,
             exec,
             &mut cmvrp_obs::NullSink,
-            want_metrics,
+            resume_ref,
+            &mut observer,
         )?,
     };
+    if let Some(e) = ckpt_io {
+        return Err(UsageError(e));
+    }
+    if let Some(path) = &checkpoint {
+        let _ = writeln!(
+            out,
+            "checkpoint: {snapshots} snapshot(s) -> {path} (last at round {last_round})"
+        );
+    }
     if let Some(summary) = &summary {
         out.push_str(&check_verdict(
             summary,
@@ -521,8 +693,8 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
         )?);
     }
     render_report(&mut out, &cfg, &report);
-    if let Some(metrics) = &metrics {
-        render_metrics(&mut out, metrics);
+    if want_metrics {
+        render_metrics(&mut out, &metrics);
     }
     Ok(out)
 }
@@ -1088,6 +1260,155 @@ fn cmd_trace_spans(path: &str) -> Result<String, UsageError> {
     Ok(format!("spans of {path}:\n{table}"))
 }
 
+fn cmd_ckpt(args: &[String]) -> Result<String, UsageError> {
+    match args.first().map(String::as_str) {
+        Some("inspect") => match args.get(1) {
+            Some(path) => {
+                let ckpt = cmvrp_ckpt::read_checkpoint(Path::new(path)).map_err(UsageError)?;
+                Ok(cmvrp_ckpt::inspect(&ckpt))
+            }
+            None => Err(UsageError("ckpt inspect needs a checkpoint path".into())),
+        },
+        Some(other) => Err(UsageError(format!(
+            "unknown ckpt subcommand {other:?}; expected: inspect"
+        ))),
+        None => Err(UsageError("ckpt needs a subcommand: inspect".into())),
+    }
+}
+
+/// Renders campaign records as the status table; returns the text and the
+/// scriptable exit status (1 when the dead-letter list is non-empty).
+fn campaign_summary(records: &[cmvrp_ckpt::RunRecord]) -> (String, i32) {
+    let mut table = cmvrp_util::Table::new(vec!["run", "status", "attempts", "last error"]);
+    for r in records {
+        table.row(vec![
+            r.name.clone(),
+            if r.done { "done".into() } else { "DEAD".into() },
+            r.attempts.to_string(),
+            r.error.clone(),
+        ]);
+    }
+    let dead = records.iter().filter(|r| !r.done).count();
+    let mut out = table.to_string();
+    if dead > 0 {
+        let _ = writeln!(
+            out,
+            "dead-letter: {dead} run(s) exhausted their retries; re-run them \
+             with `cmvrp campaign retry-dead <spec> --dir=DIR`"
+        );
+    } else {
+        let _ = writeln!(out, "all {} run(s) completed", records.len());
+    }
+    (out, i32::from(dead > 0))
+}
+
+/// Shared option parsing for `campaign run` / `campaign retry-dead`:
+/// a positional spec path plus `--dir=` / `--bin=`.
+fn campaign_opts(verb: &str, args: &[String]) -> Result<(String, PathBuf, PathBuf), UsageError> {
+    let mut spec_path: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut bin: Option<String> = None;
+    for a in args {
+        if let Some(v) = a.strip_prefix("--dir=") {
+            dir = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--bin=") {
+            bin = Some(v.to_string());
+        } else if a.starts_with("--") {
+            return Err(UsageError(format!("unknown option {a:?}")));
+        } else if spec_path.is_none() {
+            spec_path = Some(a.clone());
+        } else {
+            return Err(UsageError(format!("unexpected argument {a:?}")));
+        }
+    }
+    let spec_path =
+        spec_path.ok_or_else(|| UsageError(format!("campaign {verb} needs a spec path")))?;
+    let dir = dir
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("{spec_path}.campaign")));
+    let bin = match bin {
+        Some(b) => PathBuf::from(b),
+        None => std::env::current_exe()
+            .map_err(|e| UsageError(format!("cannot locate the cmvrp binary: {e}")))?,
+    };
+    Ok((spec_path, dir, bin))
+}
+
+fn cmd_campaign_run(args: &[String], only_dead: bool) -> Result<(String, i32), UsageError> {
+    let verb = if only_dead { "retry-dead" } else { "run" };
+    let (spec_path, dir, bin) = campaign_opts(verb, args)?;
+    let text = std::fs::read_to_string(&spec_path)
+        .map_err(|e| UsageError(format!("cannot read campaign spec {spec_path:?}: {e}")))?;
+    let mut spec =
+        cmvrp_ckpt::parse_spec(&text).map_err(|e| UsageError(format!("{spec_path}: {e}")))?;
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| UsageError(format!("cannot create campaign dir {dir:?}: {e}")))?;
+    let mut prior: Vec<cmvrp_ckpt::RunRecord> = Vec::new();
+    if only_dead {
+        prior = cmvrp_ckpt::load_state(&dir).map_err(UsageError)?;
+        spec.runs
+            .retain(|r| prior.iter().any(|p| p.name == r.name && !p.done));
+        if spec.runs.is_empty() {
+            return Ok((
+                "dead-letter list is empty; nothing to retry\n".to_string(),
+                0,
+            ));
+        }
+    }
+    let mut exec = cmvrp_ckpt::ProcessExecutor { bin };
+    let mut log: Vec<String> = Vec::new();
+    let records = cmvrp_ckpt::run_campaign(&spec, &dir, &mut exec, &mut |line| {
+        log.push(line.to_string())
+    });
+    // retry-dead folds the fresh verdicts back over the previous state.
+    let merged: Vec<cmvrp_ckpt::RunRecord> = if only_dead {
+        prior
+            .into_iter()
+            .map(|p| {
+                records
+                    .iter()
+                    .find(|r| r.name == p.name)
+                    .cloned()
+                    .unwrap_or(p)
+            })
+            .collect()
+    } else {
+        records
+    };
+    cmvrp_ckpt::save_state(&dir, &merged)
+        .map_err(|e| UsageError(format!("cannot write campaign state in {dir:?}: {e}")))?;
+    let mut out = String::new();
+    for line in log {
+        let _ = writeln!(out, "{line}");
+    }
+    let (summary, status) = campaign_summary(&merged);
+    out.push_str(&summary);
+    let _ = writeln!(out, "state: {}", dir.join("state.tsv").display());
+    Ok((out, status))
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(String, i32), UsageError> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_campaign_run(&args[1..], false),
+        Some("retry-dead") => cmd_campaign_run(&args[1..], true),
+        Some("status") => match args.get(1) {
+            Some(dir) => {
+                let records = cmvrp_ckpt::load_state(Path::new(dir)).map_err(UsageError)?;
+                Ok(campaign_summary(&records))
+            }
+            None => Err(UsageError(
+                "campaign status needs the campaign directory (<spec>.campaign)".into(),
+            )),
+        },
+        Some(other) => Err(UsageError(format!(
+            "unknown campaign subcommand {other:?}; expected one of: run|status|retry-dead"
+        ))),
+        None => Err(UsageError(
+            "campaign needs a subcommand: run|status|retry-dead".into(),
+        )),
+    }
+}
+
 fn cmd_trace(args: &[String]) -> Result<(String, i32), UsageError> {
     let ok = |r: Result<String, UsageError>| r.map(|out| (out, 0));
     match args.first().map(String::as_str) {
@@ -1163,6 +1484,9 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), UsageError> {
     if args.first().map(String::as_str) == Some("trace") {
         return cmd_trace(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("campaign") {
+        return cmd_campaign(&args[1..]);
+    }
     let out = match args.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(usage()),
         Some("workloads") => Ok(
@@ -1195,6 +1519,7 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), UsageError> {
             Some(path) => cmd_replay(path),
             None => Err(UsageError("replay needs a trace path".into())),
         },
+        Some("ckpt") => cmd_ckpt(&args[1..]),
         Some(other) => Err(UsageError(format!("unknown command {other:?}"))),
     };
     out.map(|s| (s, 0))
@@ -2085,5 +2410,186 @@ mod tests {
         assert!(out.contains("2 workers"), "{out}");
         assert!(out.contains("util%"), "{out}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// A scratch directory for checkpoint tests, cleaned up by the caller.
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cmvrp_cli_ckpt_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpoint_flag_validation_names_alternatives() {
+        // Cadence without a file to write to.
+        let err = run(&argv(
+            "simulate point:grid=9,demand=30 --threads=2 --checkpoint-every=2",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("--checkpoint=FILE"), "{err}");
+        assert!(err.0.contains("drop --checkpoint-every"), "{err}");
+        // Resume from a file that does not exist.
+        let err = run(&argv(
+            "simulate point:grid=9,demand=30 --resume-from=/nonexistent/run.cmvc",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("no such checkpoint file"), "{err}");
+        assert!(err.0.contains("--checkpoint="), "{err}");
+        assert!(err.0.contains("drop --resume-from"), "{err}");
+        // Checkpointing needs the sharded engine.
+        let err = run(&argv(
+            "simulate point:grid=9,demand=30 --checkpoint=/tmp/x.cmvc",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("--checkpoint"), "{err}");
+        assert!(err.0.contains("--threads"), "{err}");
+        let err = run(&argv("simulate point:grid=9,demand=30 --stop-at-round=4")).unwrap_err();
+        assert!(err.0.contains("--stop-at-round"), "{err}");
+        assert!(err.0.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_threads_and_schedule() {
+        let dir = ckpt_dir("mismatch");
+        let ckpt = dir.join("run.cmvc");
+        let out = run(&[
+            "simulate".into(),
+            "point:grid=12,demand=120".into(),
+            "--threads=2".into(),
+            "--stop-at-round=3".into(),
+            format!("--checkpoint={}", ckpt.display()),
+        ])
+        .unwrap();
+        assert!(out.contains("snapshot(s)"), "{out}");
+        let base = vec![
+            "simulate".to_string(),
+            "point:grid=12,demand=120".to_string(),
+            format!("--resume-from={}", ckpt.display()),
+        ];
+        let mut args = base.clone();
+        args.push("--threads=4".into());
+        let err = run(&args).unwrap_err();
+        assert!(err.0.contains("--threads=4 disagrees"), "{err}");
+        assert!(err.0.contains("--threads=2"), "{err}");
+        assert!(err.0.contains("drop --threads"), "{err}");
+        let mut args = base.clone();
+        args.push("--schedule=steal".into());
+        let err = run(&args).unwrap_err();
+        assert!(err.0.contains("--schedule=steal disagrees"), "{err}");
+        assert!(err.0.contains("--schedule=static"), "{err}");
+        // Restating the checkpoint's own shape is fine.
+        let mut args = base.clone();
+        args.push("--threads=2".into());
+        args.push("--schedule=static".into());
+        assert!(run(&args).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stitched_head_and_tail_traces_equal_the_uninterrupted_run() {
+        let dir = ckpt_dir("stitch");
+        let (full, head, tail, ckpt) = (
+            dir.join("full.jsonl"),
+            dir.join("head.jsonl"),
+            dir.join("tail.jsonl"),
+            dir.join("run.cmvc"),
+        );
+        let workload = "clusters:grid=12,k=3,jobs=180,seed=9";
+        let full_out = run(&[
+            "simulate".into(),
+            workload.into(),
+            "--threads=2".into(),
+            format!("--trace-jsonl={}", full.display()),
+        ])
+        .unwrap();
+        let head_out = run(&[
+            "simulate".into(),
+            workload.into(),
+            "--threads=2".into(),
+            "--stop-at-round=4".into(),
+            format!("--checkpoint={}", ckpt.display()),
+            format!("--trace-jsonl={}", head.display()),
+        ])
+        .unwrap();
+        assert!(head_out.contains("last at round 4"), "{head_out}");
+        let tail_out = run(&[
+            "simulate".into(),
+            workload.into(),
+            format!("--resume-from={}", ckpt.display()),
+            format!("--trace-jsonl={}", tail.display()),
+        ])
+        .unwrap();
+        assert!(tail_out.contains("resume: round 4"), "{tail_out}");
+        // The resumed run ends with the same accounting as the full one.
+        let report_of = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("workload:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(report_of(&tail_out), report_of(&full_out));
+        // Byte-level: head + tail == full, and the semantic oracle agrees.
+        let stitched_bytes =
+            [std::fs::read(&head).unwrap(), std::fs::read(&tail).unwrap()].concat();
+        assert_eq!(stitched_bytes, std::fs::read(&full).unwrap());
+        let stitched = dir.join("stitched.jsonl");
+        std::fs::write(&stitched, &stitched_bytes).unwrap();
+        let (_, status) = run_with_status(&[
+            "trace".into(),
+            "diff".into(),
+            stitched.to_str().unwrap().into(),
+            full.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert_eq!(status, 0);
+        // And `ckpt inspect` summarizes the snapshot we resumed from.
+        let out = run(&[
+            "ckpt".into(),
+            "inspect".into(),
+            ckpt.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(out.contains("checkpoint at round 4"), "{out}");
+        assert!(out.contains("--threads=2 --schedule=static"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ckpt_subcommand_usage_errors() {
+        assert!(run(&argv("ckpt")).unwrap_err().0.contains("inspect"));
+        assert!(run(&argv("ckpt inspect")).unwrap_err().0.contains("path"));
+        let err = run(&argv("ckpt bogus")).unwrap_err();
+        assert!(err.0.contains("unknown ckpt subcommand"), "{err}");
+        // A trace handed to `ckpt inspect` is a scoped format error.
+        let path = std::env::temp_dir().join("cmvrp_cli_not_a_ckpt.bin");
+        std::fs::write(&path, b"CMVB\x01").unwrap();
+        let err = run(&[
+            "ckpt".into(),
+            "inspect".into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("bad magic"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn campaign_usage_errors() {
+        assert!(run(&argv("campaign"))
+            .unwrap_err()
+            .0
+            .contains("run|status|retry-dead"));
+        assert!(run(&argv("campaign bogus"))
+            .unwrap_err()
+            .0
+            .contains("unknown campaign subcommand"));
+        assert!(run(&argv("campaign run")).unwrap_err().0.contains("spec"));
+        assert!(run(&argv("campaign status"))
+            .unwrap_err()
+            .0
+            .contains("directory"));
+        let err = run(&argv("campaign run /nonexistent.spec")).unwrap_err();
+        assert!(err.0.contains("cannot read campaign spec"), "{err}");
     }
 }

@@ -1,5 +1,6 @@
 //! The `cmvrp` binary: thin wrapper around [`cmvrp_cli::run_with_status`].
-//! Exit status: 0 success, 1 semantic divergence from `trace diff`, 2
+//! Exit status: 0 success, 1 scriptable "found something" (semantic
+//! divergence from `trace diff`, dead-letter runs from `campaign`), 2
 //! usage or I/O error.
 
 fn main() {

@@ -45,8 +45,19 @@
 //! assert!(run.check.unwrap().is_clean());
 //! ```
 //!
-//! The pre-`ExecConfig` engine structs ([`Sequential`], [`Sharded`])
-//! remain as deprecated shims for one release.
+//! ## Checkpoint and resume
+//!
+//! A sharded run can snapshot itself at any round barrier — every shard
+//! quiescent, every emitted event already merged — into an
+//! [`EngineCheckpoint`], and a later process can
+//! [`resume`](ShardedOnlineSim::resume) from it: the trace tail after
+//! resume is byte-identical to the uninterrupted run's, so concatenating
+//! the two traces equals the one trace. [`CheckpointPolicy`] configures
+//! the cadence (and an optional stop round) on the builder;
+//! [`ExecConfig::execute_with_checkpoints`] is the entry point that
+//! accepts the checkpoint observer and an optional checkpoint to resume
+//! from. Serialization lives upstack (the `cmvrp-ckpt` crate): the engine
+//! deals in plain-data snapshots only.
 //!
 //! ## The streaming pipeline
 //!
@@ -71,14 +82,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod online;
 pub mod rounds;
 pub mod shard;
 
+pub use checkpoint::{run_fingerprint, EngineCheckpoint, ShardCheckpoint, VehicleCheckpoint};
 pub use online::{ShardSink, ShardedOnlineSim};
 pub use rounds::{
-    repartition, run_lockstep, run_lockstep_sched, run_lockstep_with, RoundInfo, RoundOutcome,
-    RoundStats, Schedule, ShardWorker, WorkerStats,
+    repartition, run_lockstep, run_lockstep_from, run_lockstep_sched, run_lockstep_with,
+    LockstepStart, RoundControl, RoundInfo, RoundOutcome, RoundStats, Schedule, ShardWorker,
+    WorkerStats,
 };
 pub use shard::{ShardMap, MAX_SHARDS};
 
@@ -103,6 +117,21 @@ pub enum EngineError {
     /// sequential engine, which has no lockstep rounds to sample. The
     /// offending flag name is carried so the message can name it.
     ProfilingNeedsThreads(&'static str),
+    /// Checkpointing or resuming was requested on the sequential engine;
+    /// checkpoints are taken at the sharded engine's round barriers, which
+    /// the sequential engine does not have. The offending flag name is
+    /// carried so the message can name it.
+    CheckpointNeedsThreads(&'static str),
+    /// A checkpoint was written by a run with different inputs (grid
+    /// bounds, job sequence, seed, or capacity override) than the run
+    /// trying to resume from it. Both fingerprints are carried so the
+    /// message can show them.
+    ResumeMismatch {
+        /// Fingerprint of the inputs the resume was attempted with.
+        expected: u64,
+        /// Fingerprint recorded in the checkpoint.
+        found: u64,
+    },
     /// The dense sequential engine refused the grid as too large; the
     /// inner error names the volume and the limit.
     Dense(DenseLimitError),
@@ -133,6 +162,21 @@ impl std::fmt::Display for EngineError {
                  the sequential engine does not have; add --threads=N. \
                  Supported observability without threads: tracing \
                  (--trace-jsonl, --trace-bin) and inline checking (--check)",
+            ),
+            EngineError::CheckpointNeedsThreads(flag) => write!(
+                f,
+                "{flag} snapshots the sharded engine's round barriers, \
+                 which the sequential engine does not have; add \
+                 --threads=N (any worker count works — checkpoints and \
+                 traces are thread-invariant)",
+            ),
+            EngineError::ResumeMismatch { expected, found } => write!(
+                f,
+                "checkpoint was written by a different run: its input \
+                 fingerprint is {found:#018x} but this run's inputs hash \
+                 to {expected:#018x}; resume needs the same grid, job \
+                 sequence, seed, and capacity — only --threads and \
+                 --schedule may differ",
             ),
             EngineError::Dense(e) => e.fmt(f),
         }
@@ -251,6 +295,31 @@ pub struct ExecConfig {
     check: bool,
     profile: bool,
     progress: bool,
+    ckpt: CheckpointPolicy,
+}
+
+/// When a sharded run snapshots itself: a cadence, a stop round, both, or
+/// (the default) neither. The policy carries no file path — the engine
+/// hands [`EngineCheckpoint`]s to a caller-supplied observer, and where
+/// they go (a `CMVC` file, a test vector) is the caller's business.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointPolicy {
+    /// Snapshot at every round divisible by this (absolute round numbers,
+    /// so a resumed run continues the original cadence). `None` disables
+    /// cadence checkpoints.
+    pub every: Option<u64>,
+    /// End the run right after this round's barrier (checkpointing it
+    /// first, when an observer is installed), leaving the job sequence
+    /// unfinished — the "run to round `k`" half of the resume-equivalence
+    /// oracle. `None` runs to completion.
+    pub stop_at: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// Whether this policy asks for any checkpoint work at all.
+    pub fn is_active(&self) -> bool {
+        self.every.is_some() || self.stop_at.is_some()
+    }
 }
 
 impl ExecConfig {
@@ -330,8 +399,29 @@ impl ExecConfig {
         self.progress
     }
 
+    /// Installs a [`CheckpointPolicy`]: the cadence/stop-round contract
+    /// under which [`execute_with_checkpoints`] hands snapshots to its
+    /// observer. A cadence of 0 is clamped to 1 (every round). Requires
+    /// [`threads`](ExecConfig::threads) — enforced with
+    /// [`EngineError::CheckpointNeedsThreads`] at run time.
+    ///
+    /// [`execute_with_checkpoints`]: ExecConfig::execute_with_checkpoints
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.ckpt = CheckpointPolicy {
+            every: policy.every.map(|r| r.max(1)),
+            stop_at: policy.stop_at,
+        };
+        self
+    }
+
+    /// The configured checkpoint policy (inactive by default).
+    pub fn checkpoint_policy(&self) -> CheckpointPolicy {
+        self.ckpt
+    }
+
     /// Checks the configuration is executable: non-static schedules,
-    /// round profiling, and live progress all need worker threads.
+    /// round profiling, live progress, and checkpointing all need worker
+    /// threads.
     pub fn validate(&self) -> Result<(), EngineError> {
         if self.threads.is_none() {
             if self.schedule != Schedule::Static {
@@ -342,6 +432,12 @@ impl ExecConfig {
             }
             if self.progress {
                 return Err(EngineError::ProfilingNeedsThreads("--progress"));
+            }
+            if self.ckpt.every.is_some() {
+                return Err(EngineError::CheckpointNeedsThreads("--checkpoint"));
+            }
+            if self.ckpt.stop_at.is_some() {
+                return Err(EngineError::CheckpointNeedsThreads("--stop-at-round"));
             }
         }
         Ok(())
@@ -362,10 +458,41 @@ impl ExecConfig {
         config: OnlineConfig,
         sink: &mut dyn Sink,
     ) -> Result<Execution, EngineError> {
+        self.execute_with_checkpoints(bounds, jobs, config, sink, None, &mut |_| {})
+    }
+
+    /// [`execute`](ExecConfig::execute) with checkpoint plumbing: when
+    /// the builder carries a [`CheckpointPolicy`], `observer` receives an
+    /// [`EngineCheckpoint`] at every policy-selected round barrier; when
+    /// `resume` is given, the run continues from that checkpoint instead
+    /// of starting fresh — the trace streamed into `sink` is exactly the
+    /// tail the uninterrupted run would have produced after that round,
+    /// and a checked resume seeds the merge-time monitors from the
+    /// checkpoint's cursors.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::CheckpointNeedsThreads`] without
+    /// [`threads`](ExecConfig::threads);
+    /// [`EngineError::ResumeMismatch`] when `resume` was written by a run
+    /// with different inputs; the usual [`execute`](ExecConfig::execute)
+    /// errors otherwise.
+    pub fn execute_with_checkpoints<const D: usize>(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: &mut dyn Sink,
+        resume: Option<&EngineCheckpoint>,
+        observer: &mut dyn FnMut(EngineCheckpoint),
+    ) -> Result<Execution, EngineError> {
+        if resume.is_some() && self.threads.is_none() {
+            return Err(EngineError::CheckpointNeedsThreads("--resume-from"));
+        }
         if self.check {
-            self.run_checked_impl(bounds, jobs, config, sink)
+            self.run_checked_impl(bounds, jobs, config, sink, resume, observer)
         } else {
-            self.run_impl(bounds, jobs, config, sink)
+            self.run_impl(bounds, jobs, config, sink, resume, observer)
         }
     }
 
@@ -375,6 +502,8 @@ impl ExecConfig {
         jobs: &JobSequence<D>,
         config: OnlineConfig,
         sink: &mut dyn Sink,
+        resume: Option<&EngineCheckpoint>,
+        observer: &mut dyn FnMut(EngineCheckpoint),
     ) -> Result<Execution, EngineError> {
         self.validate()?;
         if self.threads.is_none() {
@@ -399,11 +528,16 @@ impl ExecConfig {
                 })
             };
         }
-        if sink.is_enabled() || self.profile || self.progress {
-            // Profiling and progress hang off the streaming round barrier,
-            // so they force the streaming path even into a disabled sink.
-            let mut sim = ShardedOnlineSim::<D, VecSink>::new(bounds, jobs, config)?;
-            let report = sim.run_streaming(self, sink);
+        if sink.is_enabled() || self.profile || self.progress || self.ckpt.is_active() {
+            // Profiling, progress, and checkpointing hang off the
+            // streaming round barrier, so they force the streaming path
+            // even into a disabled sink (a checkpoint's trace cursor must
+            // count merged events either way).
+            let mut sim = match resume {
+                Some(ckpt) => ShardedOnlineSim::<D, VecSink>::resume(bounds, jobs, config, ckpt)?,
+                None => ShardedOnlineSim::<D, VecSink>::new(bounds, jobs, config)?,
+            };
+            let report = sim.run_streaming_observed(self, sink, None, observer);
             let metrics = sim.metrics();
             Ok(Execution {
                 report,
@@ -411,7 +545,10 @@ impl ExecConfig {
                 check: None,
             })
         } else {
-            let mut sim = ShardedOnlineSim::<D, NullSink>::new(bounds, jobs, config)?;
+            let mut sim = match resume {
+                Some(ckpt) => ShardedOnlineSim::<D, NullSink>::resume(bounds, jobs, config, ckpt)?,
+                None => ShardedOnlineSim::<D, NullSink>::new(bounds, jobs, config)?,
+            };
             let report = sim.run(self);
             let metrics = sim.metrics();
             Ok(Execution {
@@ -428,6 +565,8 @@ impl ExecConfig {
         jobs: &JobSequence<D>,
         config: OnlineConfig,
         sink: &mut dyn Sink,
+        resume: Option<&EngineCheckpoint>,
+        observer: &mut dyn FnMut(EngineCheckpoint),
     ) -> Result<Execution, EngineError> {
         self.validate()?;
         if self.threads.is_none() {
@@ -453,9 +592,25 @@ impl ExecConfig {
                 check: Some(CheckSummary { events, violations }),
             });
         }
-        let mut sim = ShardedOnlineSim::<D, CheckSink<VecSink>>::new(bounds, jobs, config)?;
+        let mut sim = match resume {
+            Some(ckpt) => {
+                ShardedOnlineSim::<D, CheckSink<VecSink>>::resume(bounds, jobs, config, ckpt)?
+            }
+            None => ShardedOnlineSim::<D, CheckSink<VecSink>>::new(bounds, jobs, config)?,
+        };
         let mut cross = MergeChecker::new();
-        let report = sim.run_streaming_checked(self, sink, &mut cross);
+        if let Some(ckpt) = resume {
+            // Seed the merge-time monitors with the checkpoint's cursors:
+            // the resumed stream starts mid-trace, at the recorded event
+            // count, above every pre-checkpoint timestamp, at the next
+            // global job sequence number.
+            cross.resume_at(
+                ckpt.trace_events,
+                ckpt.next_epoch.saturating_sub(1),
+                ckpt.jobs_released(),
+            );
+        }
+        let report = sim.run_streaming_observed(self, sink, Some(&mut cross), observer);
         let metrics = sim.metrics();
         let mut violations: Vec<ScopedViolation> = sim
             .take_shard_violations()
@@ -546,81 +701,6 @@ impl<const D: usize> Engine<D> for ExecConfig {
         config: OnlineConfig,
         sink: &mut dyn Sink,
     ) -> Result<Execution, EngineError> {
-        self.run_checked_impl(bounds, jobs, config, sink)
-    }
-}
-
-/// The dense sequential engine: one process per grid vertex, exact event
-/// interleaving, supports monitored mode. Refuses grids above
-/// [`cmvrp_online::DENSE_VOLUME_LIMIT`].
-#[deprecated(
-    since = "0.1.0",
-    note = "construct engines with `ExecConfig::new()` instead"
-)]
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Sequential;
-
-#[allow(deprecated)]
-impl<const D: usize> Engine<D> for Sequential {
-    fn run(
-        &self,
-        bounds: GridBounds<D>,
-        jobs: &JobSequence<D>,
-        config: OnlineConfig,
-        sink: &mut dyn Sink,
-    ) -> Result<Execution, EngineError> {
-        ExecConfig::new().run_impl(bounds, jobs, config, sink)
-    }
-
-    fn run_checked(
-        &self,
-        bounds: GridBounds<D>,
-        jobs: &JobSequence<D>,
-        config: OnlineConfig,
-        sink: &mut dyn Sink,
-    ) -> Result<Execution, EngineError> {
-        ExecConfig::new().run_checked_impl(bounds, jobs, config, sink)
-    }
-}
-
-/// The sharded parallel engine: sparse state, conservative lockstep
-/// rounds on up to `threads` OS threads, streaming canonical trace merge
-/// at each round barrier. The report and the merged trace are identical
-/// for every thread count.
-#[deprecated(
-    since = "0.1.0",
-    note = "construct engines with `ExecConfig::new().threads(n)` instead"
-)]
-#[derive(Debug, Clone, Copy)]
-pub struct Sharded {
-    /// Upper bound on worker threads (clamped to the shard count; `1`
-    /// runs the same rounds inline).
-    pub threads: usize,
-}
-
-#[allow(deprecated)]
-impl<const D: usize> Engine<D> for Sharded {
-    fn run(
-        &self,
-        bounds: GridBounds<D>,
-        jobs: &JobSequence<D>,
-        config: OnlineConfig,
-        sink: &mut dyn Sink,
-    ) -> Result<Execution, EngineError> {
-        ExecConfig::new()
-            .threads(self.threads)
-            .run_impl(bounds, jobs, config, sink)
-    }
-
-    fn run_checked(
-        &self,
-        bounds: GridBounds<D>,
-        jobs: &JobSequence<D>,
-        config: OnlineConfig,
-        sink: &mut dyn Sink,
-    ) -> Result<Execution, EngineError> {
-        ExecConfig::new()
-            .threads(self.threads)
-            .run_checked_impl(bounds, jobs, config, sink)
+        self.run_checked_impl(bounds, jobs, config, sink, None, &mut |_| {})
     }
 }

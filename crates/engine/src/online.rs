@@ -41,16 +41,21 @@
 //! through a [`MergeChecker`] that certifies the two properties only the
 //! merge can see — the global clock and global job-seq contiguity.
 
-use crate::rounds::{run_lockstep_sched, RoundInfo, RoundOutcome, RoundStats, ShardWorker};
+use crate::checkpoint::{run_fingerprint, EngineCheckpoint, ShardCheckpoint, VehicleCheckpoint};
+use crate::rounds::{
+    run_lockstep_from, LockstepStart, RoundControl, RoundInfo, RoundOutcome, RoundStats,
+    ShardWorker,
+};
 use crate::shard::ShardMap;
 use crate::{EngineError, ExecConfig};
 use cmvrp_grid::{pairing_in_cube, CubeId, CubePartition, GridBounds, Pairing, Point};
-use cmvrp_net::{NetConfig, Network, ProcessId};
+use cmvrp_net::diffuse::ComputationId;
+use cmvrp_net::{NetConfig, Network, ProcessId, TransportSnapshot};
 use cmvrp_obs::{
     CheckSink, Event, Histogram, MergeChecker, Metrics, NullSink, Sink, StaticSink, TraceChecker,
     VecSink, Violation, DEFAULT_BUCKETS,
 };
-use cmvrp_online::vehicle::{ServeResult, Vehicle};
+use cmvrp_online::vehicle::{ServeResult, Vehicle, VehicleSnapshot};
 use cmvrp_online::{provision, OnlineConfig, OnlineMsg, OnlineReport, Provisioning};
 use cmvrp_workloads::JobSequence;
 use std::cmp::Reverse;
@@ -372,6 +377,164 @@ impl<const D: usize, SS: ShardSink> ShardSim<D, SS> {
         }
         events
     }
+
+    /// This shard's local clock, read by the coordinator at a barrier to
+    /// derive the resume epoch.
+    fn now(&self) -> u64 {
+        self.net.now()
+    }
+
+    /// Captures this shard's durable state at a quiescent round barrier.
+    ///
+    /// Every map-derived list is emitted sorted and every process
+    /// reference rewritten to its global id, so the record — and any
+    /// serialization of it — is byte-identical no matter which order this
+    /// run happened to materialize cubes in.
+    fn checkpoint(&self) -> ShardCheckpoint {
+        let transport = self.net.transport_snapshot();
+        let mut cubes: Vec<CubeId<D>> = self.pairings.keys().copied().collect();
+        cubes.sort();
+        let mut pair_active: Vec<(Vec<i64>, u64, u64)> = self
+            .pair_active
+            .iter()
+            .map(|(&(cube, idx), &vid)| (cube.0.to_vec(), idx as u64, self.global_ids[vid] as u64))
+            .collect();
+        pair_active.sort();
+        let global_cid = |c: ComputationId| (self.global_ids[c.initiator] as u64, c.generation);
+        let mut vehicles: Vec<VehicleCheckpoint> = (0..self.net.len())
+            .map(|lid| {
+                let snap = self.net.process(lid).snapshot();
+                let (engine_init, engine_next_generation) = snap.engine;
+                VehicleCheckpoint {
+                    global_id: self.global_ids[lid] as u64,
+                    pos: snap.pos.coords().to_vec(),
+                    work: snap.work,
+                    energy_used: snap.energy_used,
+                    moves: snap.moves,
+                    serves: snap.serves,
+                    claimed_by: snap.claimed_by.map(global_cid),
+                    summon_dest: snap.summon_dest.map(|p| p.coords().to_vec()),
+                    failed_search: snap.failed_search,
+                    arrived: snap.arrived.map(|p| p.coords().to_vec()),
+                    neighbors: snap
+                        .neighbors
+                        .iter()
+                        .map(|&n| self.global_ids[n] as u64)
+                        .collect(),
+                    msg_counts: snap.msg_counts,
+                    diffusions: snap.diffusions,
+                    engine_init: engine_init.map(global_cid),
+                    engine_next_generation,
+                }
+            })
+            .collect();
+        vehicles.sort_by_key(|v| v.global_id);
+        ShardCheckpoint {
+            now: transport.now,
+            seq: transport.seq,
+            rng_state: transport.rng_state,
+            total_sent: transport.total_sent,
+            total_delivered: transport.total_delivered,
+            total_lost: transport.total_lost,
+            total_to_crashed: transport.total_to_crashed,
+            queue_depth_max: transport.queue_depth_max,
+            delay_counts: transport.delay_hist.raw_counts().to_vec(),
+            delay_count: transport.delay_hist.count(),
+            delay_sum: transport.delay_hist.sum(),
+            delay_max: transport.delay_hist.max(),
+            released: self.released as u64,
+            served: self.served,
+            unserved: self.unserved,
+            replacements: self.replacements,
+            failed_replacements: self.failed_replacements,
+            cubes: cubes.into_iter().map(|c| c.0.to_vec()).collect(),
+            pair_active,
+            vehicles,
+        }
+    }
+
+    /// Reinjects checkpoint state into a freshly constructed shard.
+    ///
+    /// Cubes re-materialize in the checkpoint's sorted order — local
+    /// process ids may therefore differ from the original run's, but the
+    /// within-cube numbering (lexicographic vertex order) is preserved and
+    /// traces carry global ids, so the merged stream is unaffected. Every
+    /// vehicle, pairing activation, counter, and the transport layer are
+    /// then overwritten with the recorded state.
+    fn restore(&mut self, ckpt: &ShardCheckpoint) {
+        let cube_of = |coords: &[i64]| {
+            let mut id = [0i64; D];
+            id.copy_from_slice(coords);
+            CubeId(id)
+        };
+        let point_of = |coords: &Vec<i64>| {
+            let mut p = [0i64; D];
+            p.copy_from_slice(coords);
+            Point::new(p)
+        };
+        for coords in &ckpt.cubes {
+            self.ensure_cube(cube_of(coords));
+        }
+        let local_of: HashMap<u64, ProcessId> = self
+            .global_ids
+            .iter()
+            .enumerate()
+            .map(|(lid, &gid)| (gid as u64, lid))
+            .collect();
+        let local_cid = |&(initiator, generation): &(u64, u64)| ComputationId {
+            initiator: local_of[&initiator],
+            generation,
+        };
+        self.pair_active.clear();
+        for (coords, idx, global_vid) in &ckpt.pair_active {
+            self.pair_active
+                .insert((cube_of(coords), *idx as usize), local_of[global_vid]);
+        }
+        for v in &ckpt.vehicles {
+            let snap = VehicleSnapshot {
+                pos: point_of(&v.pos),
+                work: v.work,
+                energy_used: v.energy_used,
+                moves: v.moves,
+                serves: v.serves,
+                claimed_by: v.claimed_by.as_ref().map(local_cid),
+                summon_dest: v.summon_dest.as_ref().map(point_of),
+                failed_search: v.failed_search,
+                arrived: v.arrived.as_ref().map(point_of),
+                neighbors: v.neighbors.iter().map(|g| local_of[g]).collect(),
+                msg_counts: v.msg_counts,
+                diffusions: v.diffusions,
+                engine: (
+                    v.engine_init.as_ref().map(local_cid),
+                    v.engine_next_generation,
+                ),
+            };
+            self.net.process_mut(local_of[&v.global_id]).restore(&snap);
+        }
+        self.released = ckpt.released as usize;
+        self.served = ckpt.served;
+        self.unserved = ckpt.unserved;
+        self.replacements = ckpt.replacements;
+        self.failed_replacements = ckpt.failed_replacements;
+        let mut delay_hist = Histogram::with_bounds(&DEFAULT_BUCKETS);
+        delay_hist.restore_state(
+            &ckpt.delay_counts,
+            ckpt.delay_count,
+            ckpt.delay_sum,
+            ckpt.delay_max,
+        );
+        self.net.restore_transport(&TransportSnapshot {
+            now: ckpt.now,
+            seq: ckpt.seq,
+            rng_state: ckpt.rng_state,
+            total_sent: ckpt.total_sent,
+            total_delivered: ckpt.total_delivered,
+            total_lost: ckpt.total_lost,
+            total_to_crashed: ckpt.total_to_crashed,
+            queue_depth_max: ckpt.queue_depth_max,
+            delay_hist,
+        });
+    }
 }
 
 /// The merge key time of an event. Events without a simulation time
@@ -419,6 +582,17 @@ pub struct ShardedOnlineSim<const D: usize, SS: ShardSink = NullSink> {
     bounds: GridBounds<D>,
     prov: Provisioning,
     stats: Option<RoundStats>,
+    fingerprint: u64,
+    resume: Option<ResumeInfo>,
+}
+
+/// Where a resumed run picks up: the continuation cursors carried over
+/// from the checkpoint.
+#[derive(Debug, Clone, Copy)]
+struct ResumeInfo {
+    rounds_completed: u64,
+    next_epoch: u64,
+    trace_events: u64,
 }
 
 impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
@@ -481,7 +655,60 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
             bounds,
             prov,
             stats: None,
+            fingerprint: run_fingerprint(&bounds, jobs, &config),
+            resume: None,
         })
+    }
+
+    /// Builds the sharded simulation positioned at `ckpt`: constructs it
+    /// from the *same* inputs as the original run (enforced by
+    /// fingerprint), then reinjects every shard's recorded state, so the
+    /// next round continues exactly where the checkpointed run left off —
+    /// the trace tail is byte-identical to the uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ResumeMismatch`] when `ckpt` was written by a run
+    /// with different inputs (bounds, jobs, or an execution-shaping
+    /// [`OnlineConfig`] field); the construction errors of
+    /// [`new`](ShardedOnlineSim::new) otherwise.
+    pub fn resume(
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        ckpt: &EngineCheckpoint,
+    ) -> Result<Self, EngineError> {
+        let mut sim = Self::new(bounds, jobs, config)?;
+        if sim.fingerprint != ckpt.fingerprint {
+            return Err(EngineError::ResumeMismatch {
+                expected: sim.fingerprint,
+                found: ckpt.fingerprint,
+            });
+        }
+        assert_eq!(
+            sim.shards.len(),
+            ckpt.shards.len(),
+            "equal fingerprints imply an equal shard layout",
+        );
+        for (shard, recorded) in sim.shards.iter_mut().zip(&ckpt.shards) {
+            shard.restore(recorded);
+        }
+        sim.resume = Some(ResumeInfo {
+            rounds_completed: ckpt.rounds_completed,
+            next_epoch: ckpt.next_epoch,
+            trace_events: ckpt.trace_events,
+        });
+        Ok(sim)
+    }
+
+    /// The lockstep starting point: fresh runs start at epoch 1, round 1;
+    /// resumed runs continue the checkpoint's epoch and round sequence.
+    fn lockstep_start(&self) -> LockstepStart {
+        self.resume
+            .map_or_else(LockstepStart::default, |r| LockstepStart {
+                epoch: r.next_epoch,
+                prior_rounds: r.rounds_completed,
+            })
     }
 
     /// Replays the job sequence in conservative lockstep rounds under
@@ -491,12 +718,14 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
     /// sink, the merged trace — is identical for every thread count and
     /// schedule.
     pub fn run(&mut self, exec: &ExecConfig) -> OnlineReport {
+        let start = self.lockstep_start();
         let workers = std::mem::take(&mut self.shards);
-        let (workers, stats) = run_lockstep_sched(
+        let (workers, stats) = run_lockstep_from(
             workers,
             exec.worker_threads().unwrap_or(1),
             exec.policy(),
-            |_: &mut [&mut ShardSim<D, SS>], _: &RoundInfo| {},
+            start,
+            |_: &mut [&mut ShardSim<D, SS>], _: &RoundInfo| RoundControl::Continue,
         );
         self.shards = workers;
         self.stats = Some(stats);
@@ -513,7 +742,7 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
     /// round's events. The merged bytes are identical for every
     /// thread count and schedule.
     pub fn run_streaming(&mut self, exec: &ExecConfig, sink: &mut dyn Sink) -> OnlineReport {
-        self.stream(exec, sink, None)
+        self.stream(exec, sink, None, None)
     }
 
     /// [`run_streaming`](ShardedOnlineSim::run_streaming) with the merged
@@ -528,7 +757,26 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
         sink: &mut dyn Sink,
         cross: &mut MergeChecker,
     ) -> OnlineReport {
-        self.stream(exec, sink, Some(cross))
+        self.stream(exec, sink, Some(cross), None)
+    }
+
+    /// [`run_streaming`](ShardedOnlineSim::run_streaming) with checkpoint
+    /// capture: whenever [`crate::CheckpointPolicy`] says so — every `R`
+    /// rounds and/or at the stop round — `observer` receives an
+    /// [`EngineCheckpoint`] taken at that barrier, with every shard
+    /// quiescent and the merge already drained. With
+    /// [`CheckpointPolicy::stop_at`](crate::CheckpointPolicy::stop_at)
+    /// set, the run ends right after that round's checkpoint, mid-job-
+    /// sequence. `cross` carries the optional merge-time checker (pass the
+    /// result of [`MergeChecker::resume_at`] when resuming a checked run).
+    pub fn run_streaming_observed(
+        &mut self,
+        exec: &ExecConfig,
+        sink: &mut dyn Sink,
+        cross: Option<&mut MergeChecker>,
+        observer: &mut dyn FnMut(EngineCheckpoint),
+    ) -> OnlineReport {
+        self.stream(exec, sink, cross, Some(observer))
     }
 
     fn stream(
@@ -536,28 +784,46 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
         exec: &ExecConfig,
         sink: &mut dyn Sink,
         mut cross: Option<&mut MergeChecker>,
+        mut observer: Option<&mut dyn FnMut(EngineCheckpoint)>,
     ) -> OnlineReport {
-        let header = Event::FleetProvisioned {
-            t: 0,
-            vehicles: self.bounds.volume(),
-            capacity: self.prov.capacity,
+        // A resumed run continues the original canonical stream mid-
+        // flight: the header was already emitted (and counted) by the run
+        // that wrote the checkpoint, so stitching is plain concatenation.
+        let mut merged_total = match self.resume {
+            Some(resume) => resume.trace_events,
+            None => {
+                let header = Event::FleetProvisioned {
+                    t: 0,
+                    vehicles: self.bounds.volume(),
+                    capacity: self.prov.capacity,
+                };
+                if let Some(checker) = cross.as_deref_mut() {
+                    checker.observe(&header);
+                }
+                sink.record(&header);
+                1
+            }
         };
-        if let Some(checker) = cross.as_deref_mut() {
-            checker.observe(&header);
-        }
-        sink.record(&header);
         let profiled = exec.is_profiled();
+        let policy = exec.checkpoint_policy();
+        let fingerprint = self.fingerprint;
+        let threads = exec.worker_threads().unwrap_or(1);
+        let schedule = exec.policy();
+        let checked = exec.is_checked();
+        let start = self.lockstep_start();
         let total_jobs: u64 = self.shards.iter().map(|s| s.jobs.len() as u64).sum();
         let mut progress = exec.is_progress().then(|| Progress::new(total_jobs));
         let workers = std::mem::take(&mut self.shards);
-        let (workers, stats) = run_lockstep_sched(
+        let (workers, stats) = run_lockstep_from(
             workers,
-            exec.worker_threads().unwrap_or(1),
-            exec.policy(),
+            threads,
+            schedule,
+            start,
             |shards: &mut [&mut ShardSim<D, SS>], info: &RoundInfo| {
                 let merge_started = Instant::now();
                 let (merged, sink_ns) =
                     merge_round(shards, &mut *sink, cross.as_deref_mut(), profiled);
+                merged_total += merged;
                 if profiled {
                     // Flight recorder: one sample per worker per round,
                     // appended *after* the round's merged protocol events
@@ -583,6 +849,34 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
                 }
                 if let Some(p) = progress.as_mut() {
                     p.tick(info, merged, shards);
+                }
+                // Checkpoint *after* the merge drained the shard sinks:
+                // every shard is quiescent, every emitted event is already
+                // in the caller's sink, and `merged_total` is the exact
+                // trace-continuation cursor. Cadence counts absolute
+                // rounds, so a resumed run continues the original cadence.
+                let stop = policy.stop_at.is_some_and(|k| info.round >= k);
+                if let Some(observe) = observer.as_deref_mut() {
+                    let on_cadence = policy.every.is_some_and(|r| info.round.is_multiple_of(r));
+                    if stop || on_cadence {
+                        let next_epoch =
+                            shards.iter().map(|s| s.now()).max().unwrap_or(info.round) + 1;
+                        observe(EngineCheckpoint {
+                            fingerprint,
+                            rounds_completed: info.round,
+                            next_epoch,
+                            trace_events: merged_total,
+                            threads: threads as u64,
+                            schedule,
+                            checked,
+                            shards: shards.iter().map(|s| s.checkpoint()).collect(),
+                        });
+                    }
+                }
+                if stop {
+                    RoundControl::Stop
+                } else {
+                    RoundControl::Continue
                 }
             },
         );

@@ -148,6 +148,51 @@ pub struct WorkerStats {
     pub steals: u64,
 }
 
+/// What the barrier hook tells the executor to do next.
+///
+/// Returned once per round by the coordinator's barrier hook. `Stop` ends
+/// the run at this barrier exactly as if every shard had reported idle:
+/// the checkpoint subsystem uses it to cut a run at a chosen round so the
+/// remainder can be replayed later from the captured state. Stopping
+/// discards any cross-shard mail produced in the final round, so it is
+/// only meaningful for protocols whose barriers carry no mail (the
+/// on-line engine's `Mail = ()`) or whose hook captured it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundControl {
+    /// Keep running (the normal case).
+    #[default]
+    Continue,
+    /// End the run at this barrier.
+    Stop,
+}
+
+/// Where a lockstep run starts counting: the first round's epoch and the
+/// number of rounds that already ran before this call.
+///
+/// `default()` describes a fresh run (epoch 1, zero prior rounds). A run
+/// resumed from a checkpoint passes the checkpointed next-epoch and
+/// completed-round count so that epochs continue the original time bands
+/// and [`RoundInfo::round`] / [`RoundStats::rounds`] stay absolute across
+/// the seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockstepStart {
+    /// Epoch of the first round executed by this call (must exceed every
+    /// shard's local clock).
+    pub epoch: u64,
+    /// Rounds completed before this call; round numbering continues at
+    /// `prior_rounds + 1`.
+    pub prior_rounds: u64,
+}
+
+impl Default for LockstepStart {
+    fn default() -> Self {
+        LockstepStart {
+            epoch: 1,
+            prior_rounds: 0,
+        }
+    }
+}
+
 /// One round's flight-recorder view, handed to the barrier hook alongside
 /// the workers. Everything in here is a *delta* for the round that just
 /// finished, not a running total — the hook can turn it straight into
@@ -168,7 +213,9 @@ pub struct RoundInfo {
 /// Aggregate statistics from [`run_lockstep`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundStats {
-    /// Rounds executed.
+    /// Rounds executed, counted absolutely: a resumed run starts from
+    /// [`LockstepStart::prior_rounds`] so totals agree with an
+    /// uninterrupted run.
     pub rounds: u64,
     /// The epoch the final round started at.
     pub final_epoch: u64,
@@ -270,7 +317,7 @@ pub fn run_lockstep<W: ShardWorker>(workers: Vec<W>, threads: usize) -> (Vec<W>,
         workers,
         threads,
         Schedule::Static,
-        |_: &mut [&mut W], _: &RoundInfo| {},
+        |_: &mut [&mut W], _: &RoundInfo| RoundControl::Continue,
     )
 }
 
@@ -286,7 +333,9 @@ pub fn run_lockstep<W: ShardWorker>(workers: Vec<W>, threads: usize) -> (Vec<W>,
 /// round's data. Alongside the workers it receives the round's
 /// [`RoundInfo`] flight-recorder sample (per-worker busy/step/steal deltas
 /// and the round's wall-clock). The hook needs no `Send` bound: it never
-/// leaves the coordinator.
+/// leaves the coordinator. Returning [`RoundControl::Stop`] ends the run
+/// at this barrier (the checkpoint cut); returning
+/// [`RoundControl::Continue`] proceeds normally.
 pub fn run_lockstep_with<W, F>(
     workers: Vec<W>,
     threads: usize,
@@ -294,7 +343,7 @@ pub fn run_lockstep_with<W, F>(
 ) -> (Vec<W>, RoundStats)
 where
     W: ShardWorker,
-    F: FnMut(&mut [&mut W], &RoundInfo),
+    F: FnMut(&mut [&mut W], &RoundInfo) -> RoundControl,
 {
     run_lockstep_sched(workers, threads, Schedule::Static, barrier_hook)
 }
@@ -308,26 +357,49 @@ pub fn run_lockstep_sched<W, F>(
     workers: Vec<W>,
     threads: usize,
     schedule: Schedule,
+    barrier_hook: F,
+) -> (Vec<W>, RoundStats)
+where
+    W: ShardWorker,
+    F: FnMut(&mut [&mut W], &RoundInfo) -> RoundControl,
+{
+    run_lockstep_from(
+        workers,
+        threads,
+        schedule,
+        LockstepStart::default(),
+        barrier_hook,
+    )
+}
+
+/// [`run_lockstep_sched`] starting from an explicit [`LockstepStart`]:
+/// the entry point for runs resumed from a checkpoint, whose first epoch
+/// and round number continue where the original run was cut.
+pub fn run_lockstep_from<W, F>(
+    workers: Vec<W>,
+    threads: usize,
+    schedule: Schedule,
+    start: LockstepStart,
     mut barrier_hook: F,
 ) -> (Vec<W>, RoundStats)
 where
     W: ShardWorker,
-    F: FnMut(&mut [&mut W], &RoundInfo),
+    F: FnMut(&mut [&mut W], &RoundInfo) -> RoundControl,
 {
     let n = workers.len();
     if n == 0 {
         return (
             workers,
             RoundStats {
-                rounds: 0,
-                final_epoch: 1,
+                rounds: start.prior_rounds,
+                final_epoch: start.epoch,
                 workers: Vec::new(),
             },
         );
     }
     let threads = threads.clamp(1, n);
     if threads == 1 {
-        return run_inline(workers, barrier_hook);
+        return run_inline(workers, start, barrier_hook);
     }
 
     let slots: Vec<Mutex<Slot<W>>> = workers
@@ -357,11 +429,11 @@ where
     refill(&static_assign);
 
     let barrier = Barrier::new(threads + 1);
-    let epoch = AtomicU64::new(1);
+    let epoch = AtomicU64::new(start.epoch);
     let stop = AtomicBool::new(false);
     let mut stats = RoundStats {
-        rounds: 0,
-        final_epoch: 1,
+        rounds: start.prior_rounds,
+        final_epoch: start.epoch,
         workers: Vec::new(),
     };
     // Snapshot of each worker's run-wide counters at the previous barrier,
@@ -458,11 +530,12 @@ where
                 .map(|g| g.outcome.take().expect("round outcome"))
                 .collect();
             let mut views: Vec<&mut W> = guards.iter_mut().map(|g| &mut g.worker).collect();
-            barrier_hook(&mut views, &info);
+            let control = barrier_hook(&mut views, &info);
             // Route mail single-threaded at the barrier so delivery order
             // is a function of shard ids alone.
             let mut pending: Vec<Vec<W::Mail>> = (0..n).map(|_| Vec::new()).collect();
-            let (next, done) = settle_round::<W>(outcomes, &mut pending, stats.final_epoch);
+            let (next, settled_done) = settle_round::<W>(outcomes, &mut pending, stats.final_epoch);
+            let done = settled_done || control == RoundControl::Stop;
             for (guard, mail) in guards.iter_mut().zip(pending) {
                 guard.inbox = mail;
             }
@@ -505,17 +578,21 @@ where
 /// points, no threads or barriers. Produces bit-identical shard states to
 /// the threaded path; every schedule degenerates to stepping the shards
 /// in order.
-fn run_inline<W, F>(mut workers: Vec<W>, mut barrier_hook: F) -> (Vec<W>, RoundStats)
+fn run_inline<W, F>(
+    mut workers: Vec<W>,
+    start: LockstepStart,
+    mut barrier_hook: F,
+) -> (Vec<W>, RoundStats)
 where
     W: ShardWorker,
-    F: FnMut(&mut [&mut W], &RoundInfo),
+    F: FnMut(&mut [&mut W], &RoundInfo) -> RoundControl,
 {
     let n = workers.len();
     let mut inboxes: Vec<Vec<W::Mail>> = (0..n).map(|_| Vec::new()).collect();
-    let mut epoch = 1u64;
+    let mut epoch = start.epoch;
     let mut stats = RoundStats {
-        rounds: 0,
-        final_epoch: 1,
+        rounds: start.prior_rounds,
+        final_epoch: start.epoch,
         workers: vec![WorkerStats::default()],
     };
     loop {
@@ -542,9 +619,9 @@ where
             }],
         };
         let mut views: Vec<&mut W> = workers.iter_mut().collect();
-        barrier_hook(&mut views, &info);
+        let control = barrier_hook(&mut views, &info);
         let (next, done) = settle_round::<W>(outcomes, &mut inboxes, epoch);
-        if done {
+        if done || control == RoundControl::Stop {
             break;
         }
         epoch = next;
@@ -622,7 +699,7 @@ mod tests {
                     ring(5, 17),
                     threads,
                     schedule,
-                    |_: &mut [&mut RingShard], _: &RoundInfo| {},
+                    |_: &mut [&mut RingShard], _: &RoundInfo| RoundControl::Continue,
                 );
                 assert_eq!(
                     seq_stats.rounds, par_stats.rounds,
@@ -681,7 +758,7 @@ mod tests {
                 ring(2, 9),
                 64,
                 schedule,
-                |_: &mut [&mut RingShard], _: &RoundInfo| {},
+                |_: &mut [&mut RingShard], _: &RoundInfo| RoundControl::Continue,
             );
             assert_eq!(stats.workers.len(), 2, "{schedule}");
             for (a, b) in seq.iter().zip(&par) {
@@ -696,7 +773,7 @@ mod tests {
             ring(7, 23),
             3,
             Schedule::Steal,
-            |_: &mut [&mut RingShard], _: &RoundInfo| {},
+            |_: &mut [&mut RingShard], _: &RoundInfo| RoundControl::Continue,
         );
         assert_eq!(stats.workers.len(), 3);
         assert_eq!(stats.total_stepped(), stats.rounds * 7);
@@ -712,6 +789,57 @@ mod tests {
         }
         let err = "chaotic".parse::<Schedule>().unwrap_err();
         assert!(err.contains("static, steal, rebalance"), "{err}");
+    }
+
+    #[test]
+    fn hook_stop_cuts_the_run_at_the_requested_round() {
+        for threads in [1usize, 3] {
+            let (workers, stats) = run_lockstep_sched(
+                ring(5, 17),
+                threads,
+                Schedule::Static,
+                |_: &mut [&mut RingShard], info: &RoundInfo| {
+                    if info.round == 4 {
+                        RoundControl::Stop
+                    } else {
+                        RoundControl::Continue
+                    }
+                },
+            );
+            assert_eq!(stats.rounds, 4, "threads={threads}");
+            // The cut run logged a strict prefix of the full run's work.
+            let visits: usize = workers.iter().map(|s| s.log.len()).sum();
+            assert!(visits < 18, "threads={threads}: {visits}");
+        }
+    }
+
+    #[test]
+    fn lockstep_start_offsets_epochs_and_round_numbers() {
+        // A ring started at epoch 50 / prior_rounds 10 numbers its rounds
+        // from 11 and hands shards epochs >= 50; logs record the epochs.
+        let start = LockstepStart {
+            epoch: 50,
+            prior_rounds: 10,
+        };
+        for threads in [1usize, 2] {
+            let mut first_round = None;
+            let (workers, stats) = run_lockstep_from(
+                ring(3, 5),
+                threads,
+                Schedule::Static,
+                start,
+                |_: &mut [&mut RingShard], info: &RoundInfo| {
+                    first_round.get_or_insert(info.round);
+                    RoundControl::Continue
+                },
+            );
+            assert_eq!(first_round, Some(11), "threads={threads}");
+            assert!(stats.rounds > 10 && stats.final_epoch >= 50);
+            assert!(workers
+                .iter()
+                .flat_map(|s| &s.log)
+                .all(|&(epoch, _)| epoch >= 50));
+        }
     }
 
     #[test]

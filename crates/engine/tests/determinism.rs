@@ -226,9 +226,7 @@ fn non_static_schedule_without_threads_is_a_structured_error() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_engine_shims_match_exec_config() {
-    use cmvrp_engine::{Sequential, Sharded};
+fn engine_trait_objects_match_exec_config() {
     let config = WorkloadConfig::Point {
         grid: 12,
         demand: 120,
@@ -242,11 +240,16 @@ fn deprecated_engine_shims_match_exec_config() {
             .expect("run");
         (sink.into_writer().expect("flush"), run.report)
     };
-    assert_eq!(run_via(&Sequential), run_via(&ExecConfig::new()));
-    assert_eq!(
-        run_via(&Sharded { threads: 2 }),
-        run_via(&ExecConfig::new().threads(2))
-    );
+    // The same config behind `&dyn Engine` produces the same bytes as the
+    // inherent entry point, for both engines.
+    for exec in [ExecConfig::new(), ExecConfig::new().threads(2)] {
+        let mut sink = JsonlSink::new(Vec::new());
+        let run = exec
+            .execute(bounds, &jobs, OnlineConfig::default(), &mut sink)
+            .expect("run");
+        let direct = (sink.into_writer().expect("flush"), run.report);
+        assert_eq!(run_via(&exec), direct);
+    }
 }
 
 #[test]

@@ -119,6 +119,36 @@ impl DiffusingEngine {
         self.init
     }
 
+    /// The durable state of a quiescent engine, for checkpointing: the
+    /// last computation joined and the next generation number. Everything
+    /// else (`num`, `par`, `child`) is transient per-computation state
+    /// that is meaningless once the node is back in `waiting`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is mid-computation (checkpoints are taken at
+    /// round barriers, where every engine has returned to `waiting`).
+    pub fn quiescent_state(&self) -> (Option<ComputationId>, u64) {
+        assert!(
+            self.phase == Phase::Waiting,
+            "checkpointing a diffusing engine mid-computation"
+        );
+        (self.init, self.next_generation)
+    }
+
+    /// Rebuilds a quiescent (`waiting`) engine from state captured with
+    /// [`DiffusingEngine::quiescent_state`].
+    pub fn from_quiescent(init: Option<ComputationId>, next_generation: u64) -> Self {
+        DiffusingEngine {
+            phase: Phase::Waiting,
+            num: 0,
+            par: None,
+            child: None,
+            init,
+            next_generation,
+        }
+    }
+
     /// Starts a new diffusing computation at this node (the "done vehicle"
     /// step of Algorithm 2). Returns the queries to send; when `neighbors`
     /// is empty the computation terminates immediately and the outcome is

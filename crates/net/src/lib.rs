@@ -48,4 +48,4 @@ pub mod sim;
 
 pub use diffuse::{DiffuseMsg, DiffuseOutcome, DiffusingEngine};
 pub use heartbeat::HeartbeatMonitor;
-pub use sim::{Context, NetConfig, Network, Process, ProcessId, RunReport};
+pub use sim::{Context, NetConfig, Network, Process, ProcessId, RunReport, TransportSnapshot};

@@ -148,6 +148,37 @@ struct Envelope<M> {
     msg: M,
 }
 
+/// The transport layer's durable state at quiescence, for checkpointing.
+///
+/// Captured and reinjected by [`Network::transport_snapshot`] /
+/// [`Network::restore_transport`]. Only counters and generator state
+/// appear here: at quiescence the delivery queue is empty by definition,
+/// and the per-channel FIFO clamps (`channel_last`) can never bind again
+/// because a resumed run's clock already exceeds every past delivery
+/// time (conservative lockstep rounds occupy disjoint ascending time
+/// bands), so neither needs to survive the checkpoint.
+#[derive(Debug, Clone)]
+pub struct TransportSnapshot {
+    /// Simulation clock.
+    pub now: u64,
+    /// Next envelope sequence number (the delivery tie-breaker).
+    pub seq: u64,
+    /// Delay-RNG position (see [`Rng::state`]).
+    pub rng_state: u64,
+    /// Messages accepted for delivery so far.
+    pub total_sent: u64,
+    /// Messages delivered so far.
+    pub total_delivered: u64,
+    /// Messages lost to fault injection so far.
+    pub total_lost: u64,
+    /// Messages dropped on crashed recipients so far.
+    pub total_to_crashed: u64,
+    /// High-water mark of the in-flight queue.
+    pub queue_depth_max: u64,
+    /// Delivery-delay histogram accumulated so far.
+    pub delay_hist: Histogram,
+}
+
 /// A simulated network of processes exchanging messages of type `M`,
 /// optionally traced through a [`Sink`].
 ///
@@ -347,6 +378,56 @@ where
     /// Whether `id` has been crashed.
     pub fn is_crashed(&self, id: ProcessId) -> bool {
         self.crashed[id]
+    }
+
+    /// Captures the transport layer's durable state for a checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if messages are still in flight — checkpoints are taken only
+    /// at quiescent round barriers.
+    pub fn transport_snapshot(&self) -> TransportSnapshot {
+        assert!(
+            self.queue.is_empty(),
+            "transport snapshot with {} messages in flight",
+            self.queue.len()
+        );
+        TransportSnapshot {
+            now: self.now,
+            seq: self.seq,
+            rng_state: self.rng.state(),
+            total_sent: self.total_sent,
+            total_delivered: self.total_delivered,
+            total_lost: self.total_lost,
+            total_to_crashed: self.total_to_crashed,
+            queue_depth_max: self.queue_depth_max as u64,
+            delay_hist: self.delay_hist.clone(),
+        }
+    }
+
+    /// Reinjects state captured with [`Network::transport_snapshot`] into
+    /// a freshly built network, so that clocks, sequence numbers, delay
+    /// draws, and transport counters continue exactly where the original
+    /// run left off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this network already has messages in flight.
+    pub fn restore_transport(&mut self, snap: &TransportSnapshot) {
+        assert!(
+            self.queue.is_empty(),
+            "restoring transport over {} messages in flight",
+            self.queue.len()
+        );
+        self.now = snap.now;
+        self.seq = snap.seq;
+        self.rng = Rng::from_state(snap.rng_state);
+        self.total_sent = snap.total_sent;
+        self.total_delivered = snap.total_delivered;
+        self.total_lost = snap.total_lost;
+        self.total_to_crashed = snap.total_to_crashed;
+        self.queue_depth_max = snap.queue_depth_max as usize;
+        self.delay_hist = snap.delay_hist.clone();
     }
 
     fn schedule(&mut self, from: ProcessId, to: ProcessId, msg: M) {

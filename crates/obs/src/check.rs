@@ -1187,6 +1187,24 @@ impl MergeChecker {
         MergeChecker::default()
     }
 
+    /// Seeds the checker to continue a stream that resumed from a
+    /// checkpoint: `events` merged events were already emitted (keeps
+    /// violation line numbers global), simulation time had reached
+    /// `last_t`, and `next_job_seq` arrivals were already released. The
+    /// resumed tail is then validated to *stitch* — its first event may
+    /// not run time backwards nor skip or repeat an arrival sequence
+    /// number — which is exactly the cross-run half of the
+    /// resume-equivalence invariant.
+    pub fn resume_at(&mut self, events: u64, last_t: u64, next_job_seq: u64) {
+        assert!(
+            self.events == 0 && self.violations.is_empty(),
+            "resume_at on a checker that already observed events"
+        );
+        self.events = events;
+        self.last_t = last_t;
+        self.next_job_seq = next_job_seq;
+    }
+
     /// Observes the next event of the merged stream.
     pub fn observe(&mut self, ev: &Event) {
         self.events += 1;
@@ -1731,6 +1749,34 @@ mod tests {
             peer: 1,
         });
         assert!(mc.is_clean());
+    }
+
+    #[test]
+    fn merge_checker_resume_seeding_validates_stitching() {
+        // A resumed tail continues cleanly when the seeds match...
+        let mut mc = MergeChecker::new();
+        mc.resume_at(10, 7, 3);
+        mc.observe(&arrived(8, 3));
+        assert!(mc.is_clean());
+        assert_eq!(mc.events(), 11, "line numbers stay global");
+
+        // ...but a repeated arrival or a clock regression at the seam is
+        // caught, with the line number counted from the whole run.
+        let mut mc = MergeChecker::new();
+        mc.resume_at(10, 7, 3);
+        mc.observe(&arrived(5, 2));
+        let kinds: Vec<_> = mc.violations().iter().map(|v| v.invariant).collect();
+        assert!(kinds.contains(&"clock"), "{kinds:?}");
+        assert!(kinds.contains(&"job-ledger"), "{kinds:?}");
+        assert_eq!(mc.violations()[0].line, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "resume_at")]
+    fn merge_checker_resume_after_observe_panics() {
+        let mut mc = MergeChecker::new();
+        mc.observe(&arrived(1, 0));
+        mc.resume_at(10, 7, 3);
     }
 }
 

@@ -103,6 +103,35 @@ impl Histogram {
         u64::MAX
     }
 
+    /// The raw per-bucket counts, including the trailing overflow bucket
+    /// (`len == bounds.len() + 1`). Together with [`Histogram::count`],
+    /// [`Histogram::sum`], and [`Histogram::max`] this is the histogram's
+    /// full durable state, used by the checkpoint subsystem.
+    pub fn raw_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Overwrites the histogram's accumulated state with counts captured
+    /// from [`Histogram::raw_counts`] on an identically bucketed
+    /// histogram, plus the matching `count`/`sum`/`max` totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` has the wrong length for this bucketing.
+    pub fn restore_state(&mut self, counts: &[u64], count: u64, sum: u128, max: u64) {
+        assert_eq!(
+            counts.len(),
+            self.counts.len(),
+            "restoring {} bucket counts into a histogram with {} buckets",
+            counts.len(),
+            self.counts.len()
+        );
+        self.counts.copy_from_slice(counts);
+        self.count = count;
+        self.sum = sum;
+        self.max = max;
+    }
+
     /// Iterates `(inclusive upper bound, count)` pairs; the final pair uses
     /// `u64::MAX` for the overflow bucket.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {

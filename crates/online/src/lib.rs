@@ -66,4 +66,4 @@ pub use sim::{
     provision, DenseLimitError, OnlineConfig, OnlineReport, OnlineSim, Provisioning,
     DENSE_VOLUME_LIMIT,
 };
-pub use vehicle::{Vehicle, WorkState};
+pub use vehicle::{Vehicle, VehicleSnapshot, WorkState};

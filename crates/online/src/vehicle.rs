@@ -28,6 +28,46 @@ pub enum ServeResult {
     Refused,
 }
 
+/// A vehicle's durable state at a round barrier, for checkpointing.
+///
+/// Captures exactly the fields that survive quiescence in the sharded
+/// engine: position and working state, energy/odometer counters, the
+/// claimed-by / diffusing-engine identities that gate Phase II, the
+/// communication neighborhood, and the observability counters. Fields
+/// that are never set in sharded mode (fault injection, longevity
+/// thresholds, the §3.2.5 monitoring ring) are deliberately absent — the
+/// sharded engine rejects monitored configurations up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VehicleSnapshot<const D: usize> {
+    /// Current position.
+    pub pos: Point<D>,
+    /// Working state `S1`.
+    pub work: WorkState,
+    /// Energy drawn so far.
+    pub energy_used: u64,
+    /// Grid steps walked.
+    pub moves: u64,
+    /// Jobs served.
+    pub serves: u64,
+    /// The computation that claimed this idle vehicle, if any.
+    pub claimed_by: Option<ComputationId>,
+    /// Pending Phase I destination (normally `None` at quiescence).
+    pub summon_dest: Option<Point<D>>,
+    /// Undrained failed-search flag.
+    pub failed_search: bool,
+    /// Undrained relocation notification.
+    pub arrived: Option<Point<D>>,
+    /// Communication neighborhood (process ids in the owning network).
+    pub neighbors: Vec<ProcessId>,
+    /// Message-type counters `(queries, replies, moves, heartbeats)`.
+    pub msg_counts: [u64; 4],
+    /// Diffusing computations initiated / completed / found.
+    pub diffusions: (u64, u64, u64),
+    /// Diffusing-engine durable state: last computation joined and the
+    /// next generation number (the engine itself is `waiting`).
+    pub engine: (Option<ComputationId>, u64),
+}
+
 /// A vehicle: one process of the on-line protocol.
 #[derive(Debug)]
 pub struct Vehicle<const D: usize> {
@@ -203,6 +243,56 @@ impl<const D: usize> Vehicle<D> {
             self.diffusions_found,
             self.heartbeat_misses,
         )
+    }
+
+    /// Captures the vehicle's durable state at a round barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded diffusing engine is mid-computation —
+    /// checkpoints are only taken at quiescent barriers.
+    pub fn snapshot(&self) -> VehicleSnapshot<D> {
+        VehicleSnapshot {
+            pos: self.pos,
+            work: self.work,
+            energy_used: self.energy_used,
+            moves: self.moves,
+            serves: self.serves,
+            claimed_by: self.claimed_by,
+            summon_dest: self.summon_dest,
+            failed_search: self.failed_search,
+            arrived: self.arrived,
+            neighbors: self.neighbors.clone(),
+            msg_counts: self.msg_counts,
+            diffusions: (
+                self.diffusions_started,
+                self.diffusions_completed,
+                self.diffusions_found,
+            ),
+            engine: self.engine.quiescent_state(),
+        }
+    }
+
+    /// Reinjects state captured with [`Vehicle::snapshot`] into a freshly
+    /// constructed vehicle (same id, home, and capacity).
+    pub fn restore(&mut self, snap: &VehicleSnapshot<D>) {
+        self.pos = snap.pos;
+        self.work = snap.work;
+        self.energy_used = snap.energy_used;
+        self.moves = snap.moves;
+        self.serves = snap.serves;
+        self.claimed_by = snap.claimed_by;
+        self.summon_dest = snap.summon_dest;
+        self.failed_search = snap.failed_search;
+        self.arrived = snap.arrived;
+        self.neighbors = snap.neighbors.clone();
+        self.msg_counts = snap.msg_counts;
+        let (started, completed, found) = snap.diffusions;
+        self.diffusions_started = started;
+        self.diffusions_completed = completed;
+        self.diffusions_found = found;
+        let (init, next_generation) = snap.engine;
+        self.engine = DiffusingEngine::from_quiescent(init, next_generation);
     }
 
     /// Sets the §3.2.5 monitoring target (or clears it). Re-setting the
@@ -591,6 +681,34 @@ mod tests {
         // Vehicle 2 must have been summoned to (2,0).
         assert_eq!(net.process(2).work(), WorkState::Active);
         assert_eq!(net.process(2).pos(), pt2(2, 0));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips() {
+        let mut a = Vehicle::<2>::new(0, pt2(0, 0), true, 4);
+        a.set_neighbors(vec![1]);
+        let mut b = Vehicle::<2>::new(1, pt2(0, 1), false, 10);
+        b.set_neighbors(vec![0]);
+        let mut net = Network::new(vec![a, b], NetConfig::default());
+        for _ in 0..3 {
+            net.trigger(0, |v, c| {
+                v.serve(c, pt2(0, 0));
+            });
+        }
+        assert!(net.run_to_quiescence().quiesced);
+        // Vehicle 1 relocated; snapshot both, restore into fresh shells.
+        for id in 0..2 {
+            let snap = net.process(id).snapshot();
+            let home = net.process(id).home();
+            let cap = net.process(id).capacity();
+            let active_at_birth = id == 0;
+            let mut fresh = Vehicle::<2>::new(id, home, active_at_birth, cap);
+            fresh.restore(&snap);
+            assert_eq!(fresh.snapshot(), snap);
+            assert_eq!(fresh.pos(), net.process(id).pos());
+            assert_eq!(fresh.work(), net.process(id).work());
+            assert_eq!(fresh.energy_used(), net.process(id).energy_used());
+        }
     }
 
     #[test]

@@ -40,6 +40,25 @@ impl Rng {
         Rng { state: seed }
     }
 
+    /// The current internal state, for checkpointing.
+    ///
+    /// Unlike a seed, the state has already advanced past every output
+    /// drawn so far; pair with [`Rng::from_state`] to resume the exact
+    /// sequence mid-stream.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from a state captured with [`Rng::state`].
+    ///
+    /// The restored generator continues the original sequence from the
+    /// next output onward. (For SplitMix64 the state happens to have the
+    /// same representation as a seed, but the two are semantically
+    /// different: a seed names a sequence, a state names a position.)
+    pub fn from_state(state: u64) -> Self {
+        Rng { state }
+    }
+
     /// The next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -207,6 +226,18 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
         assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_mid_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = Rng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -49,7 +49,12 @@ t3=$(mktemp)
 m1=$(mktemp)
 b1=$(mktemp)
 b2=$(mktemp)
-trap 'rm -f "$t1" "$t2" "$t3" "$m1" "$b1" "$b2"' EXIT
+r1=$(mktemp)
+r2=$(mktemp)
+r3=$(mktemp)
+ck=$(mktemp)
+cd1=$(mktemp -d)
+trap 'rm -f "$t1" "$t2" "$t3" "$m1" "$b1" "$b2" "$r1" "$r2" "$r3" "$ck"; rm -rf "$cd1"' EXIT
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
     --threads=1 --check --trace-jsonl="$t1" >/dev/null
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
@@ -81,6 +86,64 @@ echo "$diff_out" | grep -q "vehicle: 14 (A) vs 15 (B)" || {
     echo "$diff_out" >&2
     exit 1
 }
+
+echo "==> checkpoint/resume determinism (stop at round 4, resume, stitch)"
+# The resume-equivalence oracle: a run stopped at round 4 with a CMVC
+# checkpoint, then resumed from it, must emit exactly the trace suffix
+# of an uninterrupted run — the stitched head+tail trace diffs clean
+# against the full one (2 workers, steal, the merge-order-sensitive
+# configuration).
+./target/release/cmvrp simulate clusters:grid=12,k=3,jobs=180,seed=9 \
+    --threads=2 --schedule=steal --trace-jsonl="$r1" >/dev/null
+./target/release/cmvrp simulate clusters:grid=12,k=3,jobs=180,seed=9 \
+    --threads=2 --schedule=steal --checkpoint="$ck" --stop-at-round=4 \
+    --trace-jsonl="$r2" >/dev/null
+./target/release/cmvrp simulate clusters:grid=12,k=3,jobs=180,seed=9 \
+    --resume-from="$ck" --trace-jsonl="$r3" >/dev/null
+cat "$r2" "$r3" >"$m1"
+./target/release/cmvrp trace diff "$r1" "$m1" >/dev/null
+./target/release/cmvrp ckpt inspect "$ck" | grep -q "round 4" || {
+    echo "ckpt inspect did not report the stop round" >&2
+    exit 1
+}
+
+echo "==> campaign smoke (fault-injected kill recovers; hopeless run -> DLQ)"
+# The campaign runner must resume a SIGKILLed run from its last
+# checkpoint and dead-letter a run whose every attempt fails; the dead
+# run makes the whole campaign exit 1 (scriptable, like trace diff).
+cat >"$cd1/panel.spec" <<'EOF'
+backoff_ms = 10
+
+[recovers]
+workload = clusters:grid=12,k=3,jobs=180,seed=9
+threads = 2
+checkpoint_every = 2
+retries = 2
+inject_kill = 1
+
+[doomed]
+workload = blob:grid=4
+retries = 1
+EOF
+if camp_out=$(./target/release/cmvrp campaign run "$cd1/panel.spec" \
+    --dir="$cd1/state" --bin=./target/release/cmvrp); then
+    echo "campaign with a doomed run should exit 1" >&2
+    exit 1
+fi
+echo "$camp_out" | grep -q "recovers: done after 2 attempt(s)" || {
+    echo "campaign did not recover the killed run from its checkpoint:" >&2
+    echo "$camp_out" >&2
+    exit 1
+}
+echo "$camp_out" | grep -q "dead-letter: 1 run(s)" || {
+    echo "campaign did not dead-letter the hopeless run:" >&2
+    echo "$camp_out" >&2
+    exit 1
+}
+if ./target/release/cmvrp campaign status "$cd1/state" >/dev/null; then
+    echo "campaign status should exit 1 while the DLQ is non-empty" >&2
+    exit 1
+fi
 
 echo "==> binary trace roundtrip (golden trace JSONL -> bin -> JSONL)"
 # The binary encoding must be lossless (byte-identical JSONL after a full

@@ -19,6 +19,7 @@
 //! | [`core`] | `ω*`, `ω_c`, Algorithm 1, the Lemma 2.2.5 plan, §2.1 examples |
 //! | [`online`] | the Chapter 3 decentralized on-line strategy |
 //! | [`engine`] | sharded deterministic parallel execution engine (million-vehicle grids) |
+//! | [`ckpt`] | `CMVC` checkpoint format + campaign runner with dead-letter retries |
 //! | [`ext`] | Chapter 4 (broken vehicles) and Chapter 5 (energy transfers) |
 //! | [`workloads`] | demand/arrival generators |
 //! | [`graph_ext`] | the Chapter 6 generalization to arbitrary weighted graphs |
@@ -43,6 +44,7 @@
 //! assert!(lower.to_f64() <= check.max_energy as f64);
 //! ```
 
+pub use cmvrp_ckpt as ckpt;
 pub use cmvrp_core as core;
 pub use cmvrp_engine as engine;
 
@@ -50,11 +52,9 @@ pub use cmvrp_engine as engine;
 // sink, and (optionally) verify the run inline. Re-exported at the root so
 // callers select engines without spelling out the workspace crates.
 pub use cmvrp_engine::{
-    CheckScope, CheckSummary, Engine, EngineError, ExecConfig, Execution, RoundStats, Schedule,
-    ScopedViolation, WorkerStats,
+    CheckScope, CheckSummary, CheckpointPolicy, Engine, EngineCheckpoint, EngineError, ExecConfig,
+    Execution, RoundStats, Schedule, ScopedViolation, WorkerStats,
 };
-#[allow(deprecated)]
-pub use cmvrp_engine::{Sequential, Sharded};
 pub use cmvrp_ext as ext;
 pub use cmvrp_flow as flow;
 pub use cmvrp_graph as graph_ext;
@@ -68,9 +68,9 @@ pub use cmvrp_workloads as workloads;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use cmvrp_core::{approx_woff, omega_c, omega_star, plan_offline, verify_plan, Instance};
-    pub use cmvrp_engine::{Engine, EngineError, ExecConfig, Execution, Schedule};
-    #[allow(deprecated)]
-    pub use cmvrp_engine::{Sequential, Sharded};
+    pub use cmvrp_engine::{
+        CheckpointPolicy, Engine, EngineCheckpoint, EngineError, ExecConfig, Execution, Schedule,
+    };
     pub use cmvrp_grid::{pt1, pt2, pt3, DemandMap, GridBounds, Point};
     pub use cmvrp_obs::{JsonlSink, NullSink, RingSink, Sink, StaticSink, VecSink};
     pub use cmvrp_online::{OnlineConfig, OnlineSim};
