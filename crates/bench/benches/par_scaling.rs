@@ -10,17 +10,23 @@
 //! sparse-memory evidence from a million-vehicle grid, and a peak-RSS
 //! comparison of the streaming round-barrier merge against the old
 //! buffer-everything drain (each measured in its own subprocess, so the
-//! `VmHWM` high-water marks don't contaminate each other).
+//! `VmHWM` high-water marks don't contaminate each other), and a
+//! `serve` saturation panel: concurrent wire sessions driving the
+//! line-delimited JSON server, reported as jobs/s at each session count
+//! with events/s and the serving process' peak RSS in the notes.
 
 use cmvrp_bench::harness::{peak_rss_kb, Harness};
 use cmvrp_engine::{Engine, ExecConfig, Schedule, ShardedOnlineSim};
 use cmvrp_grid::GridBounds;
 use cmvrp_obs::{JsonlSink, NullSink, Sink, VecSink};
 use cmvrp_online::OnlineConfig;
+use cmvrp_serve::{ServeConfig, Server};
 use cmvrp_workloads::{arrivals, spatial, JobSequence, Ordering, WorkloadConfig};
 use std::hint::black_box;
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SERVE_SESSIONS: [usize; 3] = [1, 2, 4];
+const SERVE_JOBS: u64 = 400;
 
 fn jobs_for(cfg: &WorkloadConfig) -> (GridBounds<2>, JobSequence<2>) {
     let (bounds, demand) = cfg.generate();
@@ -149,6 +155,135 @@ fn rss_child(mode: &str) {
     println!("peak_rss_kb={kb} events={events}");
 }
 
+/// The client script for one saturation session: open a live session
+/// provisioned for `jobs` point-source arrivals, inject them all, drain,
+/// close. Every job sits at the grid center, so sessions are independent
+/// and the server's work scales linearly with the job count.
+fn serve_script(session: &str, jobs: u64) -> String {
+    let mut s = format!(
+        "{{\"op\":\"open\",\"session\":\"{session}\",\
+         \"workload\":\"point:grid=11,demand={jobs}\",\"threads\":2,\
+         \"preload\":false}}\n"
+    );
+    for _ in 0..jobs {
+        s.push_str(&format!(
+            "{{\"op\":\"inject\",\"session\":\"{session}\",\"job\":[5,5]}}\n"
+        ));
+    }
+    s.push_str(&format!(
+        "{{\"op\":\"advance\",\"session\":\"{session}\"}}\n"
+    ));
+    s.push_str(&format!("{{\"op\":\"close\",\"session\":\"{session}\"}}\n"));
+    s
+}
+
+/// The `"events"` count from the close response (the line that also
+/// carries `"served"`).
+fn close_events(text: &str) -> u64 {
+    let line = text
+        .lines()
+        .rev()
+        .find(|l| l.contains("\"served\":"))
+        .expect("close response");
+    let at = line.find("\"events\":").expect("events field") + "\"events\":".len();
+    line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("event count")
+}
+
+/// One saturation round: a fresh server on an ephemeral port serving
+/// exactly `sessions` connections, each connection a client thread
+/// injecting `jobs_per` jobs over the wire and draining its session.
+/// Returns the total trace events the server reported across sessions.
+fn serve_round(sessions: usize, jobs_per: u64) -> u64 {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        max_sessions: 1,
+        connections: sessions as u64,
+    })
+    .expect("bind server");
+    let addr = server.local_addr().expect("bound address").to_string();
+    std::thread::scope(|scope| {
+        let host = scope.spawn(move || server.run().expect("serve"));
+        let clients: Vec<_> = (0..sessions)
+            .map(|i| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let script = serve_script(&format!("s{i}"), jobs_per);
+                    let mut out = Vec::new();
+                    let mut input = std::io::Cursor::new(script.into_bytes());
+                    cmvrp_serve::send(&addr, &mut input, &mut out).expect("client send");
+                    let text = String::from_utf8(out).expect("utf8 responses");
+                    assert!(text.contains(&format!("\"served\":{jobs_per}")), "{text}");
+                    close_events(&text)
+                })
+            })
+            .collect();
+        let events = clients.into_iter().map(|c| c.join().expect("client")).sum();
+        host.join().expect("server thread");
+        events
+    })
+}
+
+/// Child mode for the serve saturation panel (`--serve-sat=SxJ`): runs
+/// the S-session round three times in this otherwise-idle process and
+/// prints the best wall-clock, the per-round event total, and `VmHWM`,
+/// so the parent's own allocations never inflate the reported RSS.
+fn serve_sat_child(spec: &str) {
+    let (s, j) = spec.split_once('x').expect("SxJ spec");
+    let sessions: usize = s.parse().expect("session count");
+    let jobs_per: u64 = j.parse().expect("jobs per session");
+    let mut best_ns = u64::MAX;
+    let mut events = 0u64;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        events = serve_round(sessions, jobs_per);
+        best_ns = best_ns.min(t.elapsed().as_nanos() as u64);
+    }
+    let kb = peak_rss_kb().expect("VmHWM (Linux procfs)");
+    println!("ns={best_ns} events={events} peak_rss_kb={kb}");
+}
+
+/// Parent side of the saturation panel: one subprocess per session
+/// count, returning `(sessions, best_ns, events, peak_kb)` rows.
+fn serve_saturation() -> Vec<(usize, u64, u64, u64)> {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut rows = Vec::new();
+    for sessions in SERVE_SESSIONS {
+        let out = std::process::Command::new(&exe)
+            .arg(format!("--serve-sat={sessions}x{SERVE_JOBS}"))
+            .output()
+            .expect("spawn serve-sat child");
+        assert!(
+            out.status.success(),
+            "serve-sat child s{sessions} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("ns="))
+            .expect("serve-sat child output");
+        let mut ns = 0u64;
+        let mut events = 0u64;
+        let mut kb = 0u64;
+        for field in line.split_whitespace() {
+            if let Some(v) = field.strip_prefix("ns=") {
+                ns = v.parse().expect("ns");
+            } else if let Some(v) = field.strip_prefix("events=") {
+                events = v.parse().expect("events");
+            } else if let Some(v) = field.strip_prefix("peak_rss_kb=") {
+                kb = v.parse().expect("kb");
+            }
+        }
+        rows.push((sessions, ns, events, kb));
+    }
+    rows
+}
+
 /// Parent side: run each mode in its own subprocess and return
 /// `(mode, peak_kb, events)` per mode.
 fn rss_compare() -> Vec<(String, u64, u64)> {
@@ -186,6 +321,12 @@ fn rss_compare() -> Vec<(String, u64, u64)> {
 fn main() {
     if let Some(mode) = std::env::args().find_map(|a| a.strip_prefix("--rss=").map(String::from)) {
         rss_child(&mode);
+        return;
+    }
+    if let Some(spec) =
+        std::env::args().find_map(|a| a.strip_prefix("--serve-sat=").map(String::from))
+    {
+        serve_sat_child(&spec);
         return;
     }
     let mut h = Harness::start("par_scaling");
@@ -281,6 +422,20 @@ fn main() {
             black_box(report);
         },
     );
+
+    // The serve saturation panel: N concurrent wire sessions, each
+    // injecting its whole point workload over TCP and draining. Items =
+    // injected jobs, so the harness rate column reads as jobs/s through
+    // the full protocol stack (parse, inject, round barriers, trace).
+    for sessions in SERVE_SESSIONS {
+        h.bench_with_items(
+            &format!("serve/s{sessions}x{SERVE_JOBS}"),
+            sessions as u64 * SERVE_JOBS,
+            || {
+                black_box(serve_round(sessions, SERVE_JOBS));
+            },
+        );
+    }
 
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -395,6 +550,37 @@ fn main() {
                 format!("{kb} ({events} merged events)"),
             ));
         }
+        // Serve saturation: each session count in its own subprocess so
+        // the VmHWM rows are per-panel, not cumulative.
+        for (sessions, ns, events, kb) in serve_saturation() {
+            let secs = ns as f64 / 1e9;
+            let jobs = sessions as u64 * SERVE_JOBS;
+            println!("serve s{sessions}: {jobs} jobs in {secs:.3}s, {events} events, peak {kb} kB");
+            notes.push((
+                match sessions {
+                    1 => "serve_saturation_s1",
+                    2 => "serve_saturation_s2",
+                    _ => "serve_saturation_s4",
+                },
+                format!(
+                    "sessions={sessions} jobs/s={:.0} events/s={:.0} peak_rss_kb={kb}",
+                    jobs as f64 / secs,
+                    events as f64 / secs
+                ),
+            ));
+        }
+        notes.push((
+            "serve_saturation_methodology",
+            format!(
+                "each row its own subprocess (best of 3 rounds): N wire clients, one live \
+                 session each, injecting point:grid=11,demand={SERVE_JOBS} job-by-job over TCP \
+                 then draining; jobs/s counts injected jobs, events/s counts merged trace \
+                 events, peak_rss_kb is the serving process' VmHWM. Each session runs a \
+                 2-worker engine, so s>1 rows oversubscribe a single CPU (this host: see \
+                 host_cpus) and measure protocol+scheduling overhead there, not parallel \
+                 serving capacity"
+            ),
+        ));
         notes.push((
             "rss_methodology",
             "VmHWM per mode in its own subprocess; workload point:grid=16,demand=30000, \

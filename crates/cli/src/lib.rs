@@ -95,6 +95,11 @@ fn usage() -> String {
        cmvrp campaign retry-dead <spec>  re-run dead-letter runs with a fresh\n\
                                          retry budget, resuming from their\n\
                                          checkpoints\n\
+       cmvrp serve listen [opts]         host engine sessions over TCP behind the\n\
+                                         line-delimited JSON protocol (ops: open,\n\
+                                         inject, advance, query, trace, close)\n\
+       cmvrp serve send <addr>           drive a server from stdin: one request\n\
+                                         line at a time, responses to stdout\n\
        cmvrp show <workload>             render the demand map as ASCII\n\
        cmvrp experiment <id>             regenerate a thesis experiment (e1..e16, f1, g1, g2)\n\
        cmvrp sweep <shape> <d1> <d2> ..  omega* scaling across demands (point|line)\n\
@@ -166,53 +171,22 @@ fn usage() -> String {
      CAMPAIGN OPTIONS:\n\
        --dir=D         checkpoint + state directory (default <spec>.campaign)\n\
        --bin=P         cmvrp binary to spawn per run (default: this\n\
-                       executable)\n"
+                       executable)\n\
+     \n\
+     SERVE LISTEN OPTIONS:\n\
+       --addr=H:P      bind address (default 127.0.0.1:7077; port 0 picks a\n\
+                       free port — the chosen address is printed first)\n\
+       --max-sessions=N  sessions one connection may hold open (default 16)\n\
+       --connections=N   serve N connections then exit (default 0: forever)\n"
         .to_string()
 }
 
-/// Parses `shape:key=value,...` into a [`WorkloadConfig`].
+/// Parses `shape:key=value,...` into a [`WorkloadConfig`] (the shared
+/// spec parser lives on `WorkloadConfig: FromStr` so the serve protocol
+/// accepts the same syntax); errors gain the CLI's help pointer.
 pub fn parse_workload(spec: &str) -> Result<WorkloadConfig, UsageError> {
-    let (shape, rest) = spec.split_once(':').unwrap_or((spec, ""));
-    let get = |key: &str| -> Option<u64> {
-        rest.split(',').find_map(|kv| {
-            let (k, v) = kv.split_once('=')?;
-            (k == key).then(|| v.parse().ok()).flatten()
-        })
-    };
-    let missing = |what: &str| {
-        UsageError(format!(
-            "workload {shape:?} needs {what} (see `cmvrp help`)"
-        ))
-    };
-    match shape {
-        "point" => Ok(WorkloadConfig::Point {
-            grid: get("grid").ok_or_else(|| missing("grid"))?,
-            demand: get("demand").ok_or_else(|| missing("demand"))?,
-        }),
-        "line" => Ok(WorkloadConfig::Line {
-            grid: get("grid").ok_or_else(|| missing("grid"))?,
-            demand: get("demand").ok_or_else(|| missing("demand"))?,
-        }),
-        "square" => Ok(WorkloadConfig::Square {
-            grid: get("grid").ok_or_else(|| missing("grid"))?,
-            a: get("a").ok_or_else(|| missing("a"))?,
-            demand: get("demand").ok_or_else(|| missing("demand"))?,
-        }),
-        "uniform" => Ok(WorkloadConfig::Uniform {
-            grid: get("grid").ok_or_else(|| missing("grid"))?,
-            jobs: get("jobs").ok_or_else(|| missing("jobs"))?,
-            seed: get("seed").unwrap_or(0),
-        }),
-        "clusters" => Ok(WorkloadConfig::Clusters {
-            grid: get("grid").ok_or_else(|| missing("grid"))?,
-            clusters: get("k").ok_or_else(|| missing("k"))? as usize,
-            jobs: get("jobs").ok_or_else(|| missing("jobs"))?,
-            seed: get("seed").unwrap_or(0),
-        }),
-        other => Err(UsageError(format!(
-            "unknown workload shape {other:?}; run `cmvrp workloads`"
-        ))),
-    }
+    spec.parse()
+        .map_err(|e| UsageError(format!("{e} (see `cmvrp help`)")))
 }
 
 fn cmd_sweep(shape: &str, demands: &[String]) -> Result<String, UsageError> {
@@ -1469,6 +1443,95 @@ fn cmd_trace(args: &[String]) -> Result<(String, i32), UsageError> {
     }
 }
 
+/// `serve listen`/`serve send`: the multi-tenant simulation service (see
+/// `cmvrp-serve`). `listen` prints the bound address eagerly — before
+/// blocking in the accept loop — so scripts starting a server on port 0
+/// can read the chosen port from the first stdout line.
+fn cmd_serve(args: &[String]) -> Result<String, UsageError> {
+    match args.first().map(String::as_str) {
+        Some("listen") => cmd_serve_listen(&args[1..]),
+        Some("send") => match args.get(1) {
+            Some(addr) => cmd_serve_send(addr, &args[2..]),
+            None => Err(UsageError(
+                "serve send needs a server address, e.g. `cmvrp serve send \
+                 127.0.0.1:7077` (the address `serve listen` printed)"
+                    .into(),
+            )),
+        },
+        Some(other) => Err(UsageError(format!(
+            "unknown serve subcommand {other:?}; supported: listen (host \
+             sessions over TCP), send (drive a server from stdin)"
+        ))),
+        None => Err(UsageError(
+            "serve needs a subcommand: listen (host sessions over TCP) or \
+             send (drive a server from stdin)"
+                .into(),
+        )),
+    }
+}
+
+fn cmd_serve_listen(opts: &[String]) -> Result<String, UsageError> {
+    let mut config = cmvrp_serve::ServeConfig::default();
+    for opt in opts {
+        if let Some(v) = opt.strip_prefix("--addr=") {
+            config.addr = v.to_string();
+        } else if let Some(v) = opt.strip_prefix("--max-sessions=") {
+            let n: usize = v
+                .parse()
+                .map_err(|_| UsageError(format!("bad session limit {v:?}")))?;
+            if n == 0 {
+                return Err(UsageError(
+                    "--max-sessions must be at least 1 (it bounds the \
+                     sessions one connection may hold open)"
+                        .into(),
+                ));
+            }
+            config.max_sessions = n;
+        } else if let Some(v) = opt.strip_prefix("--connections=") {
+            config.connections = v
+                .parse()
+                .map_err(|_| UsageError(format!("bad connection count {v:?}")))?;
+        } else {
+            return Err(UsageError(format!(
+                "unknown option {opt:?}; serve listen accepts --addr=H:P, \
+                 --max-sessions=N, and --connections=N"
+            )));
+        }
+    }
+    let server =
+        cmvrp_serve::Server::bind(config).map_err(|e| UsageError(format!("cannot bind: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| UsageError(format!("cannot read bound address: {e}")))?;
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout().lock();
+        let _ = writeln!(stdout, "serving on {addr}");
+        let _ = stdout.flush();
+    }
+    let stats = server
+        .run()
+        .map_err(|e| UsageError(format!("serve failed: {e}")))?;
+    Ok(format!(
+        "served {} connection(s): {} session(s), {} request(s)\n",
+        stats.connections, stats.sessions, stats.requests
+    ))
+}
+
+fn cmd_serve_send(addr: &str, opts: &[String]) -> Result<String, UsageError> {
+    if let Some(opt) = opts.first() {
+        return Err(UsageError(format!(
+            "unknown option {opt:?}; serve send takes only the server \
+             address and reads request lines from stdin"
+        )));
+    }
+    let stdin = std::io::stdin();
+    let mut out = Vec::new();
+    cmvrp_serve::send(addr, &mut stdin.lock(), &mut out)
+        .map_err(|e| UsageError(format!("serve send to {addr}: {e}")))?;
+    Ok(String::from_utf8_lossy(&out).into_owned())
+}
+
 /// Dispatches a CLI invocation; returns the text to print or a usage error.
 /// Thin wrapper over [`run_with_status`] that drops the exit status — kept
 /// for callers (and tests) that only care about the text.
@@ -1520,6 +1583,7 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), UsageError> {
             None => Err(UsageError("replay needs a trace path".into())),
         },
         Some("ckpt") => cmd_ckpt(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some(other) => Err(UsageError(format!("unknown command {other:?}"))),
     };
     out.map(|s| (s, 0))

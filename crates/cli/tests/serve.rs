@@ -1,0 +1,193 @@
+//! End-to-end serve test against the real `cmvrp` binary: a listener on
+//! an ephemeral port, a scripted client driving the line-delimited JSON
+//! protocol (open, inject, advance, trace, close), and the wire trace's
+//! byte-identity with an offline run — the acceptance path of the
+//! session/serve redesign. Flag and protocol rejections are asserted to
+//! name their supported alternatives, like the rest of the CLI.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cmvrp")
+}
+
+fn cmvrp(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn cmvrp");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+/// Starts `serve listen` on an ephemeral port and reads back the address
+/// it printed. The listener exits by itself after `connections` clients.
+fn start_listener(connections: u64) -> (Child, String) {
+    let mut child = Command::new(bin())
+        .args([
+            "serve",
+            "listen",
+            "--addr=127.0.0.1:0",
+            &format!("--connections={connections}"),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn listener");
+    let mut first = String::new();
+    BufReader::new(child.stdout.as_mut().expect("stdout piped"))
+        .read_line(&mut first)
+        .expect("read bound address");
+    let addr = first
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected banner {first:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// Pipes a protocol script through `serve send` and returns its stdout.
+fn send_script(addr: &str, script: &str) -> (String, i32) {
+    let mut child = Command::new(bin())
+        .args(["serve", "send", addr])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn client");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("client exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn wire_injected_session_trace_is_byte_identical_to_offline_run() {
+    let dir = std::env::temp_dir().join(format!("cmvrp_serve_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let offline = dir.join("offline.jsonl");
+    let wire = dir.join("wire.jsonl");
+
+    // The offline reference: a one-shot traced run of the golden point
+    // workload. All 40 jobs sit at the grid center, so the arrival order
+    // is injection-invariant and a live session fed the same jobs over
+    // the wire must reproduce the trace byte for byte.
+    let (out, err, status) = cmvrp(&[
+        "simulate",
+        "point:grid=11,demand=40",
+        "--threads=2",
+        &format!("--trace-jsonl={}", offline.display()),
+    ]);
+    assert_eq!(status, 0, "stdout:\n{out}\nstderr:\n{err}");
+
+    let (mut listener, addr) = start_listener(1);
+    let mut script = String::from(
+        "{\"op\":\"open\",\"session\":\"e2e\",\
+         \"workload\":\"point:grid=11,demand=40\",\"threads\":2,\
+         \"preload\":false}\n",
+    );
+    for _ in 0..40 {
+        script.push_str("{\"op\":\"inject\",\"session\":\"e2e\",\"job\":[5,5]}\n");
+    }
+    script.push_str("{\"op\":\"advance\",\"session\":\"e2e\"}\n");
+    script.push_str("{\"op\":\"trace\",\"session\":\"e2e\"}\n");
+    script.push_str("{\"op\":\"close\",\"session\":\"e2e\"}\n");
+    let (out, status) = send_script(&addr, &script);
+    assert_eq!(status, 0, "{out}");
+    assert!(out.contains("\"op\":\"open\""), "{out}");
+    assert!(out.contains("\"served\":40,\"unserved\":0"), "{out}");
+
+    // The trace body is the raw event lines; everything else is protocol.
+    let events: String = out
+        .lines()
+        .filter(|l| l.contains("\"ev\":"))
+        .flat_map(|l| [l, "\n"])
+        .collect();
+    std::fs::write(&wire, events).expect("write wire trace");
+    let (diff, _, status) = cmvrp(&[
+        "trace",
+        "diff",
+        offline.to_str().unwrap(),
+        wire.to_str().unwrap(),
+    ]);
+    assert_eq!(status, 0, "wire trace diverges from offline run:\n{diff}");
+
+    let listener_out = listener.wait().expect("listener exits");
+    assert!(listener_out.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn protocol_rejections_name_the_alternatives() {
+    let (mut listener, addr) = start_listener(1);
+    let script = "{\"op\":\"mutate\"}\n\
+                  {\"op\":\"query\",\"session\":\"ghost\"}\n\
+                  {\"op\":\"open\",\"session\":\"a\",\"workload\":\"blob:x=1\"}\n\
+                  {\"op\":\"open\",\"session\":\"a\",\
+                   \"workload\":\"point:grid=9,demand=5\",\"frobnicate\":1}\n";
+    let (out, status) = send_script(&addr, script);
+    assert_eq!(status, 0, "{out}");
+    assert!(out.contains("supported ops"), "{out}");
+    assert!(out.contains("no open session"), "{out}");
+    assert!(out.contains("supported shapes"), "{out}");
+    assert!(out.contains("supported keys"), "{out}");
+    assert!(listener.wait().expect("listener exits").success());
+}
+
+#[test]
+fn listen_flags_are_validated_in_house_style() {
+    let (_, err, status) = cmvrp(&["serve", "listen", "--max-sessions=0"]);
+    assert_eq!(status, 2);
+    assert!(err.contains("--max-sessions must be at least 1"), "{err}");
+
+    let (_, err, status) = cmvrp(&["serve", "listen", "--frob=1"]);
+    assert_eq!(status, 2);
+    assert!(err.contains("serve listen accepts"), "{err}");
+
+    let (_, err, status) = cmvrp(&["serve", "send"]);
+    assert_eq!(status, 2);
+    assert!(err.contains("needs a server address"), "{err}");
+
+    let (_, err, status) = cmvrp(&["serve", "blob"]);
+    assert_eq!(status, 2);
+    assert!(err.contains("supported: listen"), "{err}");
+
+    let (_, err, status) = cmvrp(&["serve"]);
+    assert_eq!(status, 2);
+    assert!(err.contains("needs a subcommand"), "{err}");
+
+    let (_, err, status) = cmvrp(&["serve", "listen", "--addr=not-an-address"]);
+    assert_eq!(status, 2);
+    assert!(err.contains("cannot bind"), "{err}");
+}
+
+#[test]
+fn listener_reports_aggregate_stats_on_exit() {
+    let (mut listener, addr) = start_listener(1);
+    let script = "{\"op\":\"open\",\"session\":\"s\",\
+                  \"workload\":\"point:grid=9,demand=10\",\"threads\":2}\n\
+                  {\"op\":\"advance\",\"session\":\"s\"}\n\
+                  {\"op\":\"close\",\"session\":\"s\"}\n";
+    let (out, status) = send_script(&addr, script);
+    assert_eq!(status, 0, "{out}");
+    let mut rest = String::new();
+    BufReader::new(listener.stdout.as_mut().expect("stdout piped"))
+        .read_to_string(&mut rest)
+        .expect("read summary");
+    assert!(listener.wait().expect("listener exits").success());
+    assert!(
+        rest.contains("served 1 connection(s): 1 session(s), 3 request(s)"),
+        "{rest}"
+    );
+}

@@ -203,6 +203,37 @@ pub fn run_fingerprint<const D: usize>(
     fp.finish()
 }
 
+/// Folds one externally injected job into a session fingerprint.
+///
+/// A [`run_fingerprint`] is sound because the fleet provisioning is a
+/// pure function of the fingerprinted inputs; a session that accepts
+/// arrivals through [`crate::Session::inject`] breaks that purity (the
+/// fleet stays provisioned for the *planned* demand), so every injection
+/// perturbs the fingerprint — mixing the barrier round it was applied at,
+/// the shard it landed on, and its coordinates. A checkpoint written
+/// after an injection can therefore never be resumed through the
+/// plain-inputs path by accident: the fingerprints cannot match.
+pub fn mix_injection(fingerprint: u64, round: u64, shard: u64, coords: &[i64]) -> u64 {
+    let mut fp = Fnv(fingerprint);
+    fp.word(0x696e_6a65_6374); // "inject"
+    fp.word(round);
+    fp.word(shard);
+    for &c in coords {
+        fp.word(c as u64);
+    }
+    fp.finish()
+}
+
+/// Marks a session fingerprint as *live-provisioned*: the job sequence
+/// hashed by [`run_fingerprint`] was planning demand only (no jobs were
+/// preloaded), so the fingerprint must differ from a preloaded run over
+/// the same inputs — their traces diverge from round 1.
+pub fn mix_live_session(fingerprint: u64) -> u64 {
+    let mut fp = Fnv(fingerprint);
+    fp.word(0x6c69_7665); // "live"
+    fp.finish()
+}
+
 /// FNV-1a, 64-bit.
 struct Fnv(u64);
 

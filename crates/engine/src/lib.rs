@@ -85,19 +85,24 @@
 pub mod checkpoint;
 pub mod online;
 pub mod rounds;
+pub mod session;
 pub mod shard;
 
-pub use checkpoint::{run_fingerprint, EngineCheckpoint, ShardCheckpoint, VehicleCheckpoint};
+pub use checkpoint::{
+    mix_injection, mix_live_session, run_fingerprint, EngineCheckpoint, ShardCheckpoint,
+    VehicleCheckpoint,
+};
 pub use online::{ShardSink, ShardedOnlineSim};
 pub use rounds::{
     repartition, run_lockstep, run_lockstep_from, run_lockstep_sched, run_lockstep_with,
     LockstepStart, RoundControl, RoundInfo, RoundOutcome, RoundStats, Schedule, ShardWorker,
     WorkerStats,
 };
+pub use session::{Session, StepReport};
 pub use shard::{ShardMap, MAX_SHARDS};
 
 use cmvrp_grid::GridBounds;
-use cmvrp_obs::{CheckSink, MergeChecker, Metrics, NullSink, Sink, VecSink, Violation};
+use cmvrp_obs::{CheckSink, Metrics, Sink, Violation};
 use cmvrp_online::{DenseLimitError, OnlineConfig, OnlineReport, OnlineSim};
 use cmvrp_workloads::JobSequence;
 
@@ -132,6 +137,13 @@ pub enum EngineError {
         /// Fingerprint recorded in the checkpoint.
         found: u64,
     },
+    /// A step-session was requested on the sequential engine. Sessions
+    /// advance the sharded engine's lockstep rounds barrier by barrier,
+    /// which the sequential engine does not have.
+    SessionNeedsThreads,
+    /// [`Session::inject`] was handed a job outside the grid bounds the
+    /// session was built over.
+    InjectOutOfBounds,
     /// The dense sequential engine refused the grid as too large; the
     /// inner error names the volume and the limit.
     Dense(DenseLimitError),
@@ -177,6 +189,20 @@ impl std::fmt::Display for EngineError {
                  to {expected:#018x}; resume needs the same grid, job \
                  sequence, seed, and capacity — only --threads and \
                  --schedule may differ",
+            ),
+            EngineError::SessionNeedsThreads => write!(
+                f,
+                "sessions step the sharded engine's lockstep rounds, which \
+                 the sequential engine does not have; add --threads=N (any \
+                 worker count works — session traces are thread-invariant), \
+                 or use ExecConfig::execute for a one-shot sequential run",
+            ),
+            EngineError::InjectOutOfBounds => write!(
+                f,
+                "injected job lies outside the session's grid bounds; \
+                 sessions accept arrivals only inside the bounds they were \
+                 provisioned over — query Session::bounds for the valid \
+                 region, or open a session over larger bounds",
             ),
             EngineError::Dense(e) => e.fmt(f),
         }
@@ -443,6 +469,61 @@ impl ExecConfig {
         Ok(())
     }
 
+    /// Opens a [`Session`] over a preloaded job schedule: the resumable,
+    /// steppable form of [`execute`](ExecConfig::execute). Requires
+    /// [`threads`](ExecConfig::threads) — sessions advance the sharded
+    /// engine's round barriers.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SessionNeedsThreads`] without worker threads; the
+    /// construction errors of [`execute`](ExecConfig::execute) otherwise.
+    pub fn build<const D: usize>(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+    ) -> Result<Session<D>, EngineError> {
+        Session::open(self, bounds, jobs, config, None, true, true)
+    }
+
+    /// Opens a *live* [`Session`]: the fleet is provisioned for `jobs`
+    /// (the planning demand) but no job is queued — arrivals stream in
+    /// through [`Session::inject`]. This is the `cmvrp serve` shape: same
+    /// capacity, cube side, and shard layout as a preloaded run over
+    /// `jobs`, with the schedule decided at run time.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build`](ExecConfig::build).
+    pub fn build_live<const D: usize>(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+    ) -> Result<Session<D>, EngineError> {
+        Session::open(self, bounds, jobs, config, None, false, true)
+    }
+
+    /// Opens a [`Session`] positioned at `resume`: the steppable form of
+    /// resuming through
+    /// [`execute_with_checkpoints`](ExecConfig::execute_with_checkpoints).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ResumeMismatch`] when `resume` was written by a run
+    /// with different inputs; the conditions of
+    /// [`build`](ExecConfig::build) otherwise.
+    pub fn resume_build<const D: usize>(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        resume: &EngineCheckpoint,
+    ) -> Result<Session<D>, EngineError> {
+        Session::open(self, bounds, jobs, config, Some(resume), true, true)
+    }
+
     /// Runs the configured engine, honoring [`check`](ExecConfig::check):
     /// the one entry point the CLI and benches call.
     ///
@@ -470,6 +551,14 @@ impl ExecConfig {
     /// and a checked resume seeds the merge-time monitors from the
     /// checkpoint's cursors.
     ///
+    /// Since the session redesign this is a documented *thin wrapper*: on
+    /// the sharded engine it opens a [`Session`] (preloaded or resumed),
+    /// [`drain`](Session::drain_observed)s it to completion into `sink`,
+    /// and [`finish`](Session::finish)es it — one batch of the exact
+    /// round loop a stepped session runs, so behavior (trace bytes,
+    /// checkpoints, reports) is unchanged. Only the dense sequential
+    /// engine, which has no round structure to step, keeps a direct path.
+    ///
     /// # Errors
     ///
     /// [`EngineError::CheckpointNeedsThreads`] without
@@ -489,87 +578,30 @@ impl ExecConfig {
         if resume.is_some() && self.threads.is_none() {
             return Err(EngineError::CheckpointNeedsThreads("--resume-from"));
         }
+        if self.threads.is_none() {
+            return self.execute_dense(bounds, jobs, config, sink);
+        }
+        // The sink-enabled flag routes untraced, unobserved runs onto the
+        // non-buffering shard sinks inside the session (profiling,
+        // progress, and checkpointing force the streaming path — a
+        // checkpoint's trace cursor must count merged events either way).
+        let mut session =
+            Session::open(self, bounds, jobs, config, resume, true, sink.is_enabled())?;
+        session.drain_observed(sink, observer);
+        Ok(session.finish())
+    }
+
+    /// The dense sequential engine's direct path: no rounds, no shards,
+    /// no sessions — the whole trace streams from the single driver.
+    fn execute_dense<const D: usize>(
+        &self,
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        sink: &mut dyn Sink,
+    ) -> Result<Execution, EngineError> {
+        self.validate()?;
         if self.check {
-            self.run_checked_impl(bounds, jobs, config, sink, resume, observer)
-        } else {
-            self.run_impl(bounds, jobs, config, sink, resume, observer)
-        }
-    }
-
-    fn run_impl<const D: usize>(
-        &self,
-        bounds: GridBounds<D>,
-        jobs: &JobSequence<D>,
-        config: OnlineConfig,
-        sink: &mut dyn Sink,
-        resume: Option<&EngineCheckpoint>,
-        observer: &mut dyn FnMut(EngineCheckpoint),
-    ) -> Result<Execution, EngineError> {
-        self.validate()?;
-        if self.threads.is_none() {
-            return if sink.is_enabled() {
-                let mut sim = OnlineSim::try_with_sink(bounds, jobs, config, sink)?;
-                let report = sim.run();
-                let metrics = sim.metrics();
-                sim.into_sink().flush_events();
-                Ok(Execution {
-                    report,
-                    metrics,
-                    check: None,
-                })
-            } else {
-                let mut sim = OnlineSim::try_new(bounds, jobs, config)?;
-                let report = sim.run();
-                let metrics = sim.metrics();
-                Ok(Execution {
-                    report,
-                    metrics,
-                    check: None,
-                })
-            };
-        }
-        if sink.is_enabled() || self.profile || self.progress || self.ckpt.is_active() {
-            // Profiling, progress, and checkpointing hang off the
-            // streaming round barrier, so they force the streaming path
-            // even into a disabled sink (a checkpoint's trace cursor must
-            // count merged events either way).
-            let mut sim = match resume {
-                Some(ckpt) => ShardedOnlineSim::<D, VecSink>::resume(bounds, jobs, config, ckpt)?,
-                None => ShardedOnlineSim::<D, VecSink>::new(bounds, jobs, config)?,
-            };
-            let report = sim.run_streaming_observed(self, sink, None, observer);
-            let metrics = sim.metrics();
-            Ok(Execution {
-                report,
-                metrics,
-                check: None,
-            })
-        } else {
-            let mut sim = match resume {
-                Some(ckpt) => ShardedOnlineSim::<D, NullSink>::resume(bounds, jobs, config, ckpt)?,
-                None => ShardedOnlineSim::<D, NullSink>::new(bounds, jobs, config)?,
-            };
-            let report = sim.run(self);
-            let metrics = sim.metrics();
-            Ok(Execution {
-                report,
-                metrics,
-                check: None,
-            })
-        }
-    }
-
-    fn run_checked_impl<const D: usize>(
-        &self,
-        bounds: GridBounds<D>,
-        jobs: &JobSequence<D>,
-        config: OnlineConfig,
-        sink: &mut dyn Sink,
-        resume: Option<&EngineCheckpoint>,
-        observer: &mut dyn FnMut(EngineCheckpoint),
-    ) -> Result<Execution, EngineError> {
-        self.validate()?;
-        if self.threads.is_none() {
             let mut sim = OnlineSim::try_with_sink(bounds, jobs, config, CheckSink::new(sink))?;
             let report = sim.run();
             let metrics = sim.metrics();
@@ -592,49 +624,26 @@ impl ExecConfig {
                 check: Some(CheckSummary { events, violations }),
             });
         }
-        let mut sim = match resume {
-            Some(ckpt) => {
-                ShardedOnlineSim::<D, CheckSink<VecSink>>::resume(bounds, jobs, config, ckpt)?
-            }
-            None => ShardedOnlineSim::<D, CheckSink<VecSink>>::new(bounds, jobs, config)?,
-        };
-        let mut cross = MergeChecker::new();
-        if let Some(ckpt) = resume {
-            // Seed the merge-time monitors with the checkpoint's cursors:
-            // the resumed stream starts mid-trace, at the recorded event
-            // count, above every pre-checkpoint timestamp, at the next
-            // global job sequence number.
-            cross.resume_at(
-                ckpt.trace_events,
-                ckpt.next_epoch.saturating_sub(1),
-                ckpt.jobs_released(),
-            );
-        }
-        let report = sim.run_streaming_observed(self, sink, Some(&mut cross), observer);
-        let metrics = sim.metrics();
-        let mut violations: Vec<ScopedViolation> = sim
-            .take_shard_violations()
-            .into_iter()
-            .map(|(index, violation)| ScopedViolation {
-                scope: CheckScope::Shard(index),
-                violation,
+        if sink.is_enabled() {
+            let mut sim = OnlineSim::try_with_sink(bounds, jobs, config, sink)?;
+            let report = sim.run();
+            let metrics = sim.metrics();
+            sim.into_sink().flush_events();
+            Ok(Execution {
+                report,
+                metrics,
+                check: None,
             })
-            .collect();
-        let events = cross.events();
-        violations.extend(
-            cross
-                .into_violations()
-                .into_iter()
-                .map(|violation| ScopedViolation {
-                    scope: CheckScope::Merged,
-                    violation,
-                }),
-        );
-        Ok(Execution {
-            report,
-            metrics,
-            check: Some(CheckSummary { events, violations }),
-        })
+        } else {
+            let mut sim = OnlineSim::try_new(bounds, jobs, config)?;
+            let report = sim.run();
+            let metrics = sim.metrics();
+            Ok(Execution {
+                report,
+                metrics,
+                check: None,
+            })
+        }
     }
 }
 
@@ -701,6 +710,7 @@ impl<const D: usize> Engine<D> for ExecConfig {
         config: OnlineConfig,
         sink: &mut dyn Sink,
     ) -> Result<Execution, EngineError> {
-        self.run_checked_impl(bounds, jobs, config, sink, None, &mut |_| {})
+        self.check(true)
+            .execute_with_checkpoints(bounds, jobs, config, sink, None, &mut |_| {})
     }
 }

@@ -16,13 +16,18 @@
 //! shard's clock after round `r-1`, so rounds occupy disjoint ascending
 //! time bands. Each shard releases at most one job per round (its `r`-th),
 //! records its arrival at `t = E_r`, and runs to local quiescence. Job
-//! sequence numbers are pre-assigned in `(round, shard)` lexicographic
-//! order — exactly the order arrivals appear when the per-shard streams
-//! are merged by the canonical key `(t, shard, index)` — so the job-ledger
-//! monitor sees `seq` 0, 1, 2, … like it does on a sequential trace.
-//! Because shard-local execution and the merge key are both independent
-//! of the worker count, the merged stream is byte-identical for any
-//! `--threads` value.
+//! sequence numbers are staged by the coordinator at each round barrier —
+//! every shard that will release next round gets the next global number,
+//! in shard order, which is `(round, shard)` lexicographic order overall —
+//! exactly the order arrivals appear when the per-shard streams are merged
+//! by the canonical key `(t, shard, index)`, so the job-ledger monitor
+//! sees `seq` 0, 1, 2, … like it does on a sequential trace. Staging at
+//! the barrier (rather than pre-assigning at construction) is what lets a
+//! [`crate::Session`] append externally injected jobs to a shard's queue
+//! mid-run without breaking the contiguous global numbering. Because
+//! shard-local execution and the merge key are both independent of the
+//! worker count, the merged stream is byte-identical for any `--threads`
+//! value.
 //!
 //! The merge itself happens *during* the run: at every round barrier the
 //! coordinator drains each shard's buffer, k-way merges that round's
@@ -44,7 +49,7 @@
 use crate::checkpoint::{run_fingerprint, EngineCheckpoint, ShardCheckpoint, VehicleCheckpoint};
 use crate::rounds::{
     run_lockstep_from, LockstepStart, RoundControl, RoundInfo, RoundOutcome, RoundStats,
-    ShardWorker,
+    ShardWorker, WorkerStats,
 };
 use crate::shard::ShardMap;
 use crate::{EngineError, ExecConfig};
@@ -122,9 +127,13 @@ struct ShardSim<const D: usize, SS: ShardSink> {
     id_of_home: HashMap<Point<D>, ProcessId>,
     pairings: HashMap<CubeId<D>, Pairing<D>>,
     pair_active: HashMap<(CubeId<D>, usize), ProcessId>,
-    /// This shard's jobs with pre-assigned global sequence numbers; entry
-    /// `r` is released in round `r`.
-    jobs: Vec<(u64, Point<D>)>,
+    /// This shard's job queue; entry `released` is the next to go, one per
+    /// round. Sessions may append to the tail between rounds.
+    jobs: Vec<Point<D>>,
+    /// Global sequence number for the next release, staged by the
+    /// coordinator at the round barrier (`Some` exactly when a release is
+    /// due next round).
+    staged_seq: Option<u64>,
     released: usize,
     served: u64,
     unserved: u64,
@@ -140,7 +149,7 @@ impl<const D: usize, SS: ShardSink> ShardSim<D, SS> {
         part: CubePartition<D>,
         config: &OnlineConfig,
         capacity: u64,
-        jobs: Vec<(u64, Point<D>)>,
+        jobs: Vec<Point<D>>,
     ) -> Self {
         let mut net = Network::with_sink(
             Vec::new(),
@@ -171,6 +180,7 @@ impl<const D: usize, SS: ShardSink> ShardSim<D, SS> {
             pairings: HashMap::new(),
             pair_active: HashMap::new(),
             jobs,
+            staged_seq: None,
             released: 0,
             served: 0,
             unserved: 0,
@@ -305,7 +315,11 @@ impl<const D: usize, SS: ShardSink> ShardWorker for ShardSim<D, SS> {
     fn round(&mut self, epoch: u64, _inbox: Vec<()>) -> RoundOutcome<()> {
         self.net.advance_to(epoch);
         if self.released < self.jobs.len() {
-            let (seq, job) = self.jobs[self.released];
+            let seq = self
+                .staged_seq
+                .take()
+                .expect("coordinator stages a global seq before every release round");
+            let job = self.jobs[self.released];
             self.released += 1;
             let cube = self.part.cube_of(job);
             self.ensure_cube(cube);
@@ -580,6 +594,7 @@ fn event_time(ev: &Event) -> u64 {
 pub struct ShardedOnlineSim<const D: usize, SS: ShardSink = NullSink> {
     shards: Vec<ShardSim<D, SS>>,
     bounds: GridBounds<D>,
+    map: ShardMap<D>,
     prov: Provisioning,
     stats: Option<RoundStats>,
     fingerprint: u64,
@@ -593,13 +608,57 @@ struct ResumeInfo {
     rounds_completed: u64,
     next_epoch: u64,
     trace_events: u64,
+    jobs_released: u64,
+}
+
+/// The continuation cursor threaded through
+/// [`drive`](ShardedOnlineSim::drive) batches: round, epoch, sequence,
+/// and trace-event counters plus the accumulated scheduler statistics.
+/// Splitting a run into batches and carrying one cursor across them is
+/// byte- and state-equivalent to one uninterrupted run.
+#[derive(Debug)]
+pub(crate) struct DriveCursor {
+    /// Canonical merged events emitted so far, header included.
+    pub(crate) merged_total: u64,
+    /// Lockstep rounds completed (absolute, checkpoint-compatible).
+    pub(crate) rounds_done: u64,
+    /// Epoch the next round must start at (strictly above every shard
+    /// clock).
+    pub(crate) next_epoch: u64,
+    /// Next global job sequence number to stage.
+    pub(crate) next_seq: u64,
+    /// Whether the `fleet_provisioned` header has been emitted (true from
+    /// the start on resumed runs).
+    pub(crate) header_done: bool,
+    /// Epoch the most recent round started at.
+    pub(crate) final_epoch: u64,
+    /// Per-worker scheduler counters accumulated across batches.
+    pub(crate) workers: Vec<WorkerStats>,
+    /// The live progress line, kept alive across batches so the repaint
+    /// throttle and events/s accounting span the whole session.
+    progress: Option<Progress>,
+}
+
+/// Where a [`drive`](ShardedOnlineSim::drive) batch must stop, beyond the
+/// always-on "every shard idle" exit and the builder's
+/// [`crate::CheckpointPolicy::stop_at`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum StepLimit {
+    /// Run until every shard is idle (or the checkpoint policy stops).
+    None,
+    /// Stop at the last barrier whose next round would start after this
+    /// epoch: rounds starting at epochs `<= t` run, later ones do not.
+    Until(u64),
+    /// Stop at the barrier after this absolute round number.
+    Round(u64),
 }
 
 impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
     /// Builds the sharded simulation: derives the provisioning exactly as
     /// the dense engine does ([`provision`]), lays out cube-aligned shards,
-    /// splits the job sequence by shard, and pre-assigns trace sequence
-    /// numbers in `(round, shard)` order. No vehicles are materialized yet.
+    /// and splits the job sequence by shard (trace sequence numbers are
+    /// staged at the round barriers, in `(round, shard)` order). No
+    /// vehicles are materialized yet.
     ///
     /// # Errors
     ///
@@ -615,6 +674,37 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
         jobs: &JobSequence<D>,
         config: OnlineConfig,
     ) -> Result<Self, EngineError> {
+        Self::build(bounds, jobs, config, true)
+    }
+
+    /// Builds the sharded simulation provisioned for `jobs` — same fleet,
+    /// cube side, and shard layout as [`new`](ShardedOnlineSim::new) —
+    /// but with every job queue *empty*: arrivals are expected to stream
+    /// in later through [`inject_job`](ShardedOnlineSim::inject_job) (the
+    /// [`crate::Session`] "live" mode). `jobs` is the planning demand the
+    /// fleet is provisioned against, not a preloaded schedule.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](ShardedOnlineSim::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job lies outside `bounds`.
+    pub fn new_live(
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+    ) -> Result<Self, EngineError> {
+        Self::build(bounds, jobs, config, false)
+    }
+
+    fn build(
+        bounds: GridBounds<D>,
+        jobs: &JobSequence<D>,
+        config: OnlineConfig,
+        preload: bool,
+    ) -> Result<Self, EngineError> {
         if config.monitored {
             return Err(EngineError::MonitoredUnsupported);
         }
@@ -625,27 +715,13 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
         let prov = provision(&bounds, &demand, &config);
         let map = ShardMap::new(bounds, prov.side);
         let mut per_shard: Vec<Vec<Point<D>>> = vec![Vec::new(); map.shard_count()];
-        for job in jobs.iter() {
-            per_shard[map.shard_of_point(job)].push(job);
-        }
-        // Sequence numbers in (round, shard) order — the order arrivals
-        // appear in the canonical merge.
-        let mut shard_jobs: Vec<Vec<(u64, Point<D>)>> = per_shard
-            .iter()
-            .map(|jobs| Vec::with_capacity(jobs.len()))
-            .collect();
-        let rounds = per_shard.iter().map(Vec::len).max().unwrap_or(0);
-        let mut seq = 0u64;
-        for round in 0..rounds {
-            for (shard, jobs) in per_shard.iter().enumerate() {
-                if let Some(&job) = jobs.get(round) {
-                    shard_jobs[shard].push((seq, job));
-                    seq += 1;
-                }
+        if preload {
+            for job in jobs.iter() {
+                per_shard[map.shard_of_point(job)].push(job);
             }
         }
         let part = *map.partition();
-        let shards = shard_jobs
+        let shards = per_shard
             .into_iter()
             .enumerate()
             .map(|(shard, jobs)| ShardSim::new(shard, bounds, part, &config, prov.capacity, jobs))
@@ -653,6 +729,7 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
         Ok(ShardedOnlineSim {
             shards,
             bounds,
+            map,
             prov,
             stats: None,
             fingerprint: run_fingerprint(&bounds, jobs, &config),
@@ -697,18 +774,38 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
             rounds_completed: ckpt.rounds_completed,
             next_epoch: ckpt.next_epoch,
             trace_events: ckpt.trace_events,
+            jobs_released: ckpt.jobs_released(),
         });
         Ok(sim)
     }
 
-    /// The lockstep starting point: fresh runs start at epoch 1, round 1;
-    /// resumed runs continue the checkpoint's epoch and round sequence.
-    fn lockstep_start(&self) -> LockstepStart {
-        self.resume
-            .map_or_else(LockstepStart::default, |r| LockstepStart {
-                epoch: r.next_epoch,
-                prior_rounds: r.rounds_completed,
-            })
+    /// The continuation cursor a fresh `drive` sequence starts from:
+    /// epoch 1, round 1, sequence 0 for fresh constructions; the
+    /// checkpoint's recorded cursors after
+    /// [`resume`](ShardedOnlineSim::resume).
+    pub(crate) fn cursor(&self) -> DriveCursor {
+        match self.resume {
+            Some(r) => DriveCursor {
+                merged_total: r.trace_events,
+                rounds_done: r.rounds_completed,
+                next_epoch: r.next_epoch,
+                next_seq: r.jobs_released,
+                header_done: true,
+                final_epoch: r.next_epoch.saturating_sub(1),
+                workers: Vec::new(),
+                progress: None,
+            },
+            None => DriveCursor {
+                merged_total: 0,
+                rounds_done: 0,
+                next_epoch: 1,
+                next_seq: 0,
+                header_done: false,
+                final_epoch: 0,
+                workers: Vec::new(),
+                progress: None,
+            },
+        }
     }
 
     /// Replays the job sequence in conservative lockstep rounds under
@@ -718,17 +815,8 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
     /// sink, the merged trace — is identical for every thread count and
     /// schedule.
     pub fn run(&mut self, exec: &ExecConfig) -> OnlineReport {
-        let start = self.lockstep_start();
-        let workers = std::mem::take(&mut self.shards);
-        let (workers, stats) = run_lockstep_from(
-            workers,
-            exec.worker_threads().unwrap_or(1),
-            exec.policy(),
-            start,
-            |_: &mut [&mut ShardSim<D, SS>], _: &RoundInfo| RoundControl::Continue,
-        );
-        self.shards = workers;
-        self.stats = Some(stats);
+        let mut cur = self.cursor();
+        self.drive(exec, &mut NullSink, None, None, &mut cur, StepLimit::None);
         self.report()
     }
 
@@ -783,36 +871,97 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
         &mut self,
         exec: &ExecConfig,
         sink: &mut dyn Sink,
+        cross: Option<&mut MergeChecker>,
+        observer: Option<&mut dyn FnMut(EngineCheckpoint)>,
+    ) -> OnlineReport {
+        let mut cur = self.cursor();
+        self.drive(exec, sink, cross, observer, &mut cur, StepLimit::None);
+        self.report()
+    }
+
+    /// Executes one *batch* of lockstep rounds — the single round loop
+    /// that every entry point ([`run`](ShardedOnlineSim::run), the
+    /// `run_streaming*` family, and [`crate::Session`]) drives. `cur` is
+    /// the continuation cursor: a caller that passes the same cursor back
+    /// produces, across any split into batches, exactly the rounds, trace
+    /// bytes, and checkpoints of one uninterrupted run. `limit` bounds the
+    /// batch (in addition to the builder's
+    /// [`crate::CheckpointPolicy::stop_at`]); the batch also ends when
+    /// every shard goes idle.
+    ///
+    /// Job sequence numbers are staged here: at batch entry and at every
+    /// continuing barrier, each shard about to release gets the next
+    /// global number in shard order — `(round, shard)` lexicographic
+    /// order overall. A stopped batch leaves the next round unstaged, so
+    /// a session may append injected jobs before the next batch stages it.
+    pub(crate) fn drive(
+        &mut self,
+        exec: &ExecConfig,
+        sink: &mut dyn Sink,
         mut cross: Option<&mut MergeChecker>,
         mut observer: Option<&mut dyn FnMut(EngineCheckpoint)>,
-    ) -> OnlineReport {
+        cur: &mut DriveCursor,
+        limit: StepLimit,
+    ) {
         // A resumed run continues the original canonical stream mid-
         // flight: the header was already emitted (and counted) by the run
         // that wrote the checkpoint, so stitching is plain concatenation.
-        let mut merged_total = match self.resume {
-            Some(resume) => resume.trace_events,
-            None => {
-                let header = Event::FleetProvisioned {
-                    t: 0,
-                    vehicles: self.bounds.volume(),
-                    capacity: self.prov.capacity,
-                };
-                if let Some(checker) = cross.as_deref_mut() {
-                    checker.observe(&header);
-                }
-                sink.record(&header);
-                1
+        if !cur.header_done {
+            let header = Event::FleetProvisioned {
+                t: 0,
+                vehicles: self.bounds.volume(),
+                capacity: self.prov.capacity,
+            };
+            if let Some(checker) = cross.as_deref_mut() {
+                checker.observe(&header);
             }
+            sink.record(&header);
+            cur.merged_total += 1;
+            cur.header_done = true;
+        }
+        // A limit already reached runs zero rounds; so does a bounded
+        // batch with nothing queued — an idle session advances neither
+        // rounds nor time (only `StepLimit::None`, the one-shot drain
+        // shape, runs its at-least-one round like the classic entry
+        // points always have).
+        let exhausted = match limit {
+            StepLimit::None => false,
+            StepLimit::Until(t) => cur.next_epoch > t || self.work_remaining() == 0,
+            StepLimit::Round(k) => cur.rounds_done >= k || self.work_remaining() == 0,
         };
+        if exhausted {
+            sink.flush_events();
+            return;
+        }
         let profiled = exec.is_profiled();
         let policy = exec.checkpoint_policy();
         let fingerprint = self.fingerprint;
         let threads = exec.worker_threads().unwrap_or(1);
         let schedule = exec.policy();
         let checked = exec.is_checked();
-        let start = self.lockstep_start();
+        let start = LockstepStart {
+            epoch: cur.next_epoch,
+            prior_rounds: cur.rounds_done,
+        };
+        if exec.is_progress() && cur.progress.is_none() {
+            cur.progress = Some(Progress::new(0));
+        }
         let total_jobs: u64 = self.shards.iter().map(|s| s.jobs.len() as u64).sum();
-        let mut progress = exec.is_progress().then(|| Progress::new(total_jobs));
+        let mut progress = cur.progress.take();
+        if let Some(p) = progress.as_mut() {
+            p.set_total(total_jobs);
+        }
+        // Stage the first round's sequence numbers (the barrier staging
+        // below covers every later round of the batch).
+        let mut next_seq = cur.next_seq;
+        for s in &mut self.shards {
+            debug_assert!(s.staged_seq.is_none(), "stale staged seq at batch entry");
+            if s.released < s.jobs.len() {
+                s.staged_seq = Some(next_seq);
+                next_seq += 1;
+            }
+        }
+        let mut merged_total = cur.merged_total;
         let workers = std::mem::take(&mut self.shards);
         let (workers, stats) = run_lockstep_from(
             workers,
@@ -821,8 +970,13 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
             start,
             |shards: &mut [&mut ShardSim<D, SS>], info: &RoundInfo| {
                 let merge_started = Instant::now();
-                let (merged, sink_ns) =
-                    merge_round(shards, &mut *sink, cross.as_deref_mut(), profiled);
+                let (merged, sink_ns) = if SS::ENABLED {
+                    merge_round(shards, &mut *sink, cross.as_deref_mut(), profiled)
+                } else {
+                    // Non-buffering shard sinks have nothing to merge;
+                    // skip the drain so the untraced path stays lean.
+                    (0, 0)
+                };
                 merged_total += merged;
                 if profiled {
                     // Flight recorder: one sample per worker per round,
@@ -850,17 +1004,16 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
                 if let Some(p) = progress.as_mut() {
                     p.tick(info, merged, shards);
                 }
+                let next_epoch = shards.iter().map(|s| s.now()).max().unwrap_or(info.round) + 1;
                 // Checkpoint *after* the merge drained the shard sinks:
                 // every shard is quiescent, every emitted event is already
                 // in the caller's sink, and `merged_total` is the exact
                 // trace-continuation cursor. Cadence counts absolute
                 // rounds, so a resumed run continues the original cadence.
-                let stop = policy.stop_at.is_some_and(|k| info.round >= k);
+                let stop_policy = policy.stop_at.is_some_and(|k| info.round >= k);
                 if let Some(observe) = observer.as_deref_mut() {
                     let on_cadence = policy.every.is_some_and(|r| info.round.is_multiple_of(r));
-                    if stop || on_cadence {
-                        let next_epoch =
-                            shards.iter().map(|s| s.now()).max().unwrap_or(info.round) + 1;
+                    if stop_policy || on_cadence {
                         observe(EngineCheckpoint {
                             fingerprint,
                             rounds_completed: info.round,
@@ -873,9 +1026,23 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
                         });
                     }
                 }
-                if stop {
+                let stop_limit = match limit {
+                    StepLimit::None => false,
+                    StepLimit::Until(t) => next_epoch > t,
+                    StepLimit::Round(k) => info.round >= k,
+                };
+                if stop_policy || stop_limit {
                     RoundControl::Stop
                 } else {
+                    // Stage the next round's releases only on a continuing
+                    // barrier: a stopped batch must leave the next round
+                    // unstaged so a session can inject ahead of it.
+                    for s in shards.iter_mut() {
+                        if s.released < s.jobs.len() {
+                            s.staged_seq = Some(next_seq);
+                            next_seq += 1;
+                        }
+                    }
                     RoundControl::Continue
                 }
             },
@@ -883,10 +1050,89 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
         if let Some(p) = progress.as_ref() {
             p.finish();
         }
+        cur.progress = progress;
         self.shards = workers;
-        self.stats = Some(stats);
+        cur.merged_total = merged_total;
+        cur.next_seq = next_seq;
+        cur.rounds_done = stats.rounds;
+        cur.final_epoch = stats.final_epoch;
+        cur.next_epoch = self
+            .shards
+            .iter()
+            .map(|s| s.now())
+            .max()
+            .unwrap_or(cur.final_epoch)
+            + 1;
+        if cur.workers.is_empty() {
+            cur.workers = stats.workers;
+        } else {
+            // Worker counts are fixed per construction, so batches line
+            // up index by index.
+            for (acc, w) in cur.workers.iter_mut().zip(&stats.workers) {
+                acc.busy_ns += w.busy_ns;
+                acc.shards_stepped += w.shards_stepped;
+                acc.steals += w.steals;
+            }
+        }
+        self.stats = Some(RoundStats {
+            rounds: cur.rounds_done,
+            final_epoch: cur.final_epoch,
+            workers: cur.workers.clone(),
+        });
         sink.flush_events();
-        self.report()
+    }
+
+    /// Jobs still queued for release across all shards.
+    pub(crate) fn work_remaining(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| (s.jobs.len() - s.released) as u64)
+            .sum()
+    }
+
+    /// Appends an externally injected job to its shard's queue tail;
+    /// called by a [`crate::Session`] at a round barrier (never while a
+    /// batch is in flight). Returns the shard index the job landed on.
+    pub(crate) fn inject_job(&mut self, job: Point<D>) -> usize {
+        debug_assert!(
+            self.bounds.contains(job),
+            "sessions validate bounds before injecting"
+        );
+        let shard = self.map.shard_of_point(job);
+        self.shards[shard].jobs.push(job);
+        shard
+    }
+
+    /// An [`EngineCheckpoint`] of the current barrier state under the
+    /// cursor's continuation cursors — the [`crate::Session::snapshot`]
+    /// path (the in-run observer path assembles its own inside `drive`).
+    pub(crate) fn checkpoint_at(
+        &self,
+        cur: &DriveCursor,
+        exec: &ExecConfig,
+        fingerprint: u64,
+    ) -> EngineCheckpoint {
+        EngineCheckpoint {
+            fingerprint,
+            rounds_completed: cur.rounds_done,
+            next_epoch: cur.next_epoch,
+            trace_events: cur.merged_total,
+            threads: exec.worker_threads().unwrap_or(1) as u64,
+            schedule: exec.policy(),
+            checked: exec.is_checked(),
+            shards: self.shards.iter().map(|s| s.checkpoint()).collect(),
+        }
+    }
+
+    /// The grid bounds this simulation was constructed over.
+    pub fn bounds(&self) -> GridBounds<D> {
+        self.bounds
+    }
+
+    /// The run-input fingerprint ([`run_fingerprint`] of the construction
+    /// inputs).
+    pub(crate) fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Finishes each shard's inline checker (running its end-of-trace
@@ -904,7 +1150,7 @@ impl<const D: usize, SS: ShardSink> ShardedOnlineSim<D, SS> {
     }
 
     /// The Theorem 1.4.2 accounting aggregated across shards.
-    fn report(&self) -> OnlineReport {
+    pub(crate) fn report(&self) -> OnlineReport {
         let mut served = 0u64;
         let mut unserved = 0u64;
         let mut replacements = 0u64;
@@ -1094,6 +1340,7 @@ fn merge_round<const D: usize, SS: ShardSink>(
 /// terminated with a newline when the run finishes. Reads only
 /// coordinator-visible state (the workers are parked at the barrier), so
 /// it never perturbs the merged trace.
+#[derive(Debug)]
 struct Progress {
     started: Instant,
     last: Option<Instant>,
@@ -1109,6 +1356,12 @@ impl Progress {
             total_jobs,
             merged: 0,
         }
+    }
+
+    /// Refreshes the job total at a batch boundary (sessions grow it by
+    /// injecting).
+    fn set_total(&mut self, total_jobs: u64) {
+        self.total_jobs = total_jobs;
     }
 
     fn tick<const D: usize, SS: ShardSink>(

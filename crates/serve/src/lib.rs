@@ -1,0 +1,885 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `cmvrp serve`: a hermetic multi-tenant simulation service.
+//!
+//! A [`Server`] listens on a `std::net::TcpListener` and hosts engine
+//! [`Session`]s behind a hand-rolled, line-delimited JSON protocol: each
+//! request is one flat JSON object on one line, each response is one JSON
+//! line (plus, for `trace`, a counted block of raw event lines). One
+//! connection owns its sessions — they are created, stepped, and closed
+//! by that client alone, and dropped when the connection ends — so the
+//! per-session determinism guarantee of the step API carries over to the
+//! wire verbatim: a session fed the same opens, injects, and advances
+//! produces the same trace bytes, no matter how the batches are split.
+//!
+//! ## Wire grammar
+//!
+//! ```text
+//! request   := object NL
+//! object    := "{" [ pair ("," pair)* ] "}"
+//! pair      := string ":" value
+//! value     := string | integer | "true" | "false" | array
+//! array     := "[" [ integer ("," integer)* ] "]"
+//! ```
+//!
+//! Operations (`op` selects; every request names its `session` except
+//! nothing — `open` creates it, the rest address it):
+//!
+//! | op | keys | effect |
+//! |---|---|---|
+//! | `open` | `session`, `workload`, `seed`, `capacity`, `threads`, `schedule`, `check`, `preload` | create a session; `preload:false` provisions for the workload's demand but queues nothing (arrivals come via `inject`) |
+//! | `inject` | `session`, `job` | queue one arrival `[x, y]`, applied at the next round barrier |
+//! | `advance` | `session`, `until` \| `rounds` | step the session (neither bound drains it to completion) |
+//! | `query` | `session` | live counters: clock, rounds, events, served/unserved, backlog |
+//! | `trace` | `session` | the canonical merged trace so far, as raw event JSONL lines after a `lines`-counted header |
+//! | `close` | `session` | finish the session and report the final accounting |
+//!
+//! Responses are `{"ok":true,"op":...,...}` on success and
+//! `{"ok":false,"error":...}` on rejection; rejections name the offending
+//! input and the supported alternatives, like the CLI does.
+
+use cmvrp_engine::{ExecConfig, Session};
+use cmvrp_grid::pt2;
+use cmvrp_obs::VecSink;
+use cmvrp_online::OnlineConfig;
+use cmvrp_workloads::{arrivals, Ordering, WorkloadConfig};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// How a [`Server`] listens.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7077` (`:0` picks a free port —
+    /// read it back from [`Server::local_addr`]).
+    pub addr: String,
+    /// Sessions one connection may hold open at once.
+    pub max_sessions: usize,
+    /// Connections to serve before shutting down; 0 serves forever.
+    pub connections: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7077".into(),
+            max_sessions: 16,
+            connections: 0,
+        }
+    }
+}
+
+/// What a finished [`Server::run`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections served.
+    pub connections: u64,
+    /// Sessions opened across all connections.
+    pub sessions: u64,
+    /// Requests handled across all connections.
+    pub requests: u64,
+}
+
+/// A bound listener; [`run`](Server::run) serves it.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Binds the configured address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server { listener, config })
+    }
+
+    /// The actually-bound address (resolves a `:0` port request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections — each on its own thread — until the configured
+    /// connection count is reached (forever when it is 0), then joins the
+    /// handlers and returns the aggregate stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures; per-connection I/O errors only end
+    /// that connection.
+    pub fn run(self) -> std::io::Result<ServeStats> {
+        let max_sessions = self.config.max_sessions;
+        let budget = self.config.connections;
+        let mut stats = ServeStats::default();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for conn in self.listener.incoming() {
+                let stream = conn?;
+                handles.push(scope.spawn(move || handle_connection(stream, max_sessions)));
+                stats.connections += 1;
+                if budget > 0 && stats.connections >= budget {
+                    break;
+                }
+            }
+            for handle in handles {
+                if let Ok(conn) = handle.join().expect("connection handler panicked") {
+                    stats.sessions += conn.sessions;
+                    stats.requests += conn.requests;
+                }
+            }
+            Ok(stats)
+        })
+    }
+}
+
+/// Per-connection counters folded into [`ServeStats`].
+#[derive(Debug, Default, Clone, Copy)]
+struct ConnStats {
+    sessions: u64,
+    requests: u64,
+}
+
+/// Serves one client: reads request lines, writes response lines, until
+/// the peer closes. Sessions die with the connection.
+fn handle_connection(stream: TcpStream, max_sessions: usize) -> std::io::Result<ConnStats> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut conn = Connection::new(max_sessions);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        for out in conn.handle(&line) {
+            writer.write_all(out.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        // The protocol is lockstep (one response block per request), so
+        // every block must reach the peer before the next request.
+        writer.flush()?;
+    }
+    Ok(conn.stats)
+}
+
+/// One client's protocol state: its open sessions and counters. Public
+/// only through [`Server`] and the tests; the socket layer is a thin
+/// line pump around [`handle`](Connection::handle).
+struct Connection {
+    max_sessions: usize,
+    tenants: HashMap<String, Tenant>,
+    stats: ConnStats,
+}
+
+/// An open session plus the trace it has streamed so far.
+struct Tenant {
+    session: Session<2>,
+    sink: VecSink,
+}
+
+const OPS: &str = "open, inject, advance, query, trace, close";
+
+impl Connection {
+    fn new(max_sessions: usize) -> Connection {
+        Connection {
+            max_sessions,
+            tenants: HashMap::new(),
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// Handles one request line, returning the response block: one JSON
+    /// line normally, a header plus raw event lines for `trace`, one
+    /// `{"ok":false,...}` line on any rejection.
+    fn handle(&mut self, line: &str) -> Vec<String> {
+        self.stats.requests += 1;
+        match self.dispatch(line) {
+            Ok(lines) => lines,
+            Err(msg) => vec![format!("{{\"ok\":false,\"error\":{}}}", json_str(&msg))],
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<Vec<String>, String> {
+        let mut fields = parse_flat(line)?;
+        let op = fields
+            .take_str("op")?
+            .ok_or_else(|| format!("request has no \"op\"; supported ops: {OPS}"))?;
+        match op.as_str() {
+            "open" => self.op_open(fields),
+            "inject" => self.op_inject(fields),
+            "advance" => self.op_advance(fields),
+            "query" => self.op_query(fields),
+            "trace" => self.op_trace(fields),
+            "close" => self.op_close(fields),
+            other => Err(format!("unknown op {other:?}; supported ops: {OPS}")),
+        }
+    }
+
+    /// The session a request addresses, or a rejection naming the open
+    /// ones.
+    fn session_id(&self, fields: &mut Fields) -> Result<String, String> {
+        let id = fields
+            .take_str("session")?
+            .ok_or_else(|| "request has no \"session\" id".to_string())?;
+        if self.tenants.contains_key(&id) {
+            return Ok(id);
+        }
+        let mut open: Vec<&str> = self.tenants.keys().map(String::as_str).collect();
+        open.sort_unstable();
+        Err(format!(
+            "no open session {id:?}; open sessions: [{}] — create one with \
+             {{\"op\":\"open\",\"session\":{id:?},\"workload\":...}}",
+            open.join(", ")
+        ))
+    }
+
+    fn op_open(&mut self, mut fields: Fields) -> Result<Vec<String>, String> {
+        let id = fields.take_str("session")?.ok_or_else(|| {
+            "open needs a \"session\" id (any string the client picks)".to_string()
+        })?;
+        if self.tenants.contains_key(&id) {
+            return Err(format!(
+                "session {id:?} is already open; close it first, or pick \
+                 another id"
+            ));
+        }
+        if self.tenants.len() >= self.max_sessions {
+            return Err(format!(
+                "this connection already holds {} open session(s), the \
+                 server's --max-sessions limit; close one first, or raise \
+                 the limit at `cmvrp serve listen`",
+                self.tenants.len()
+            ));
+        }
+        let spec = fields.take_str("workload")?.ok_or_else(|| {
+            "open needs a \"workload\" spec, e.g. \"point:grid=11,demand=60\" \
+             (shapes: point, line, square, uniform, clusters)"
+                .to_string()
+        })?;
+        let workload: WorkloadConfig = spec.parse()?;
+        let mut online = OnlineConfig {
+            seed: fields.take_num("seed")?.unwrap_or(1) as u64,
+            ..OnlineConfig::default()
+        };
+        if let Some(w) = fields.take_num("capacity")? {
+            online.capacity_override = Some(w as u64);
+        }
+        let threads = fields.take_num("threads")?.unwrap_or(1);
+        if threads < 1 {
+            return Err("\"threads\" must be at least 1".to_string());
+        }
+        let schedule = match fields.take_str("schedule")? {
+            Some(s) => s.parse().map_err(|e: String| e)?,
+            None => Default::default(),
+        };
+        let check = fields.take_bool("check")?.unwrap_or(false);
+        let preload = fields.take_bool("preload")?.unwrap_or(true);
+        fields.no_extras(
+            "open",
+            "session, workload, seed, capacity, threads, schedule, check, preload",
+        )?;
+        let exec = ExecConfig::new()
+            .threads(threads as usize)
+            .schedule(schedule)
+            .check(check);
+        let (bounds, demand) = workload.generate();
+        let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, online.seed);
+        let session = if preload {
+            exec.build(bounds, &jobs, online)
+        } else {
+            exec.build_live(bounds, &jobs, online)
+        }
+        .map_err(|e| e.to_string())?;
+        let prov = session.provisioning();
+        let resp = format!(
+            "{{\"ok\":true,\"op\":\"open\",\"session\":{},\"capacity\":{},\
+             \"cube_side\":{},\"shards\":{},\"queued\":{}}}",
+            json_str(&id),
+            prov.capacity,
+            prov.side,
+            session.shard_count(),
+            session.work_remaining(),
+        );
+        self.tenants.insert(
+            id,
+            Tenant {
+                session,
+                sink: VecSink::new(),
+            },
+        );
+        self.stats.sessions += 1;
+        Ok(vec![resp])
+    }
+
+    fn op_inject(&mut self, mut fields: Fields) -> Result<Vec<String>, String> {
+        let id = self.session_id(&mut fields)?;
+        let job = fields
+            .take_arr("job")?
+            .ok_or_else(|| "inject needs a \"job\" coordinate array, e.g. [5,5]".to_string())?;
+        fields.no_extras("inject", "session, job")?;
+        let [x, y] = job[..] else {
+            return Err(format!(
+                "\"job\" has {} coordinate(s) but sessions run on the \
+                 2-dimensional grid; send [x,y]",
+                job.len()
+            ));
+        };
+        let tenant = self.tenants.get_mut(&id).expect("session checked above");
+        tenant
+            .session
+            .inject(pt2(x, y))
+            .map_err(|e| e.to_string())?;
+        Ok(vec![format!(
+            "{{\"ok\":true,\"op\":\"inject\",\"session\":{},\"pending\":{}}}",
+            json_str(&id),
+            tenant.session.pending_injections(),
+        )])
+    }
+
+    fn op_advance(&mut self, mut fields: Fields) -> Result<Vec<String>, String> {
+        let id = self.session_id(&mut fields)?;
+        let until = fields.take_num("until")?;
+        let rounds = fields.take_num("rounds")?;
+        fields.no_extras("advance", "session, until, rounds")?;
+        let tenant = self.tenants.get_mut(&id).expect("session checked above");
+        let step = match (until, rounds) {
+            (Some(_), Some(_)) => {
+                return Err("advance accepts \"until\":T or \"rounds\":N, not both; \
+                     omit both to drain the session to completion"
+                    .to_string())
+            }
+            (Some(t), None) => tenant.session.advance_until(t as u64, &mut tenant.sink),
+            (None, Some(n)) => tenant.session.advance_rounds(n as u64, &mut tenant.sink),
+            (None, None) => tenant.session.drain(&mut tenant.sink),
+        };
+        Ok(vec![format!(
+            "{{\"ok\":true,\"op\":\"advance\",\"session\":{},\"rounds\":{},\
+             \"events\":{},\"now\":{},\"idle\":{}}}",
+            json_str(&id),
+            step.rounds,
+            step.events,
+            step.now,
+            step.idle,
+        )])
+    }
+
+    fn op_query(&mut self, mut fields: Fields) -> Result<Vec<String>, String> {
+        let id = self.session_id(&mut fields)?;
+        fields.no_extras("query", "session")?;
+        let tenant = &self.tenants[&id];
+        let report = tenant.session.report();
+        Ok(vec![format!(
+            "{{\"ok\":true,\"op\":\"query\",\"session\":{},\"now\":{},\
+             \"rounds\":{},\"events\":{},\"served\":{},\"unserved\":{},\
+             \"backlog\":{},\"injected\":{},\"idle\":{}}}",
+            json_str(&id),
+            tenant.session.now(),
+            tenant.session.rounds(),
+            tenant.session.events(),
+            report.served,
+            report.unserved,
+            tenant.session.work_remaining(),
+            tenant.session.injected(),
+            tenant.session.is_idle(),
+        )])
+    }
+
+    fn op_trace(&mut self, mut fields: Fields) -> Result<Vec<String>, String> {
+        let id = self.session_id(&mut fields)?;
+        fields.no_extras("trace", "session")?;
+        let tenant = &self.tenants[&id];
+        let mut lines = Vec::with_capacity(tenant.sink.len() + 1);
+        lines.push(format!(
+            "{{\"ok\":true,\"op\":\"trace\",\"session\":{},\"lines\":{}}}",
+            json_str(&id),
+            tenant.sink.len(),
+        ));
+        lines.extend(tenant.sink.events().iter().map(|ev| ev.to_json()));
+        Ok(lines)
+    }
+
+    fn op_close(&mut self, mut fields: Fields) -> Result<Vec<String>, String> {
+        let id = self.session_id(&mut fields)?;
+        fields.no_extras("close", "session")?;
+        let tenant = self.tenants.remove(&id).expect("session checked above");
+        let events = tenant.session.events();
+        let run = tenant.session.finish();
+        let check = match &run.check {
+            Some(summary) => format!(",\"violations\":{}", summary.violations.len()),
+            None => String::new(),
+        };
+        Ok(vec![format!(
+            "{{\"ok\":true,\"op\":\"close\",\"session\":{},\"served\":{},\
+             \"unserved\":{},\"max_energy\":{},\"events\":{}{}}}",
+            json_str(&id),
+            run.report.served,
+            run.report.unserved,
+            run.report.max_energy_used,
+            events,
+            check,
+        )])
+    }
+}
+
+/// Drives a server from scripted input: the client half of the protocol.
+/// Reads request lines from `input`, sends each, and copies the response
+/// block to `out` — lockstep, one request in flight, so a script can be
+/// piped in without deadlocking on socket buffers. The `lines`-counted
+/// body of a `trace` response is copied verbatim.
+///
+/// # Errors
+///
+/// Connection and I/O failures, including the server closing early.
+pub fn send(addr: &str, input: &mut dyn BufRead, out: &mut dyn Write) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut request = String::new();
+    loop {
+        request.clear();
+        if input.read_line(&mut request)? == 0 {
+            return Ok(());
+        }
+        if request.trim().is_empty() {
+            continue;
+        }
+        writer.write_all(request.trim_end().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let header = read_response_line(&mut reader)?;
+        let body_lines = parse_flat(&header)
+            .ok()
+            .and_then(|mut f| f.take_num("lines").ok().flatten())
+            .unwrap_or(0);
+        writeln!(out, "{header}")?;
+        for _ in 0..body_lines {
+            writeln!(out, "{}", read_response_line(&mut reader)?)?;
+        }
+    }
+}
+
+fn read_response_line(reader: &mut impl BufRead) -> std::io::Result<String> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection mid-response",
+        ));
+    }
+    Ok(line.trim_end().to_string())
+}
+
+// ---------------------------------------------------------------------------
+// The hand-rolled flat JSON reader for request lines (strings, integers,
+// booleans, and integer arrays — the protocol needs nothing deeper).
+
+/// A parsed request: key/value pairs, consumed by `take_*` so leftovers
+/// can be rejected by name.
+struct Fields {
+    pairs: Vec<(String, Val)>,
+}
+
+enum Val {
+    Str(String),
+    Num(i64),
+    Bool(bool),
+    Arr(Vec<i64>),
+}
+
+impl Val {
+    fn kind(&self) -> &'static str {
+        match self {
+            Val::Str(_) => "a string",
+            Val::Num(_) => "an integer",
+            Val::Bool(_) => "a boolean",
+            Val::Arr(_) => "an array",
+        }
+    }
+}
+
+impl Fields {
+    fn take(&mut self, key: &str) -> Option<Val> {
+        let at = self.pairs.iter().position(|(k, _)| k == key)?;
+        Some(self.pairs.remove(at).1)
+    }
+
+    fn take_str(&mut self, key: &str) -> Result<Option<String>, String> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(Val::Str(s)) => Ok(Some(s)),
+            Some(v) => Err(format!("key {key:?} must be a string, not {}", v.kind())),
+        }
+    }
+
+    fn take_num(&mut self, key: &str) -> Result<Option<i64>, String> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(Val::Num(n)) => Ok(Some(n)),
+            Some(v) => Err(format!("key {key:?} must be an integer, not {}", v.kind())),
+        }
+    }
+
+    fn take_bool(&mut self, key: &str) -> Result<Option<bool>, String> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(Val::Bool(b)) => Ok(Some(b)),
+            Some(v) => Err(format!("key {key:?} must be a boolean, not {}", v.kind())),
+        }
+    }
+
+    fn take_arr(&mut self, key: &str) -> Result<Option<Vec<i64>>, String> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(Val::Arr(a)) => Ok(Some(a)),
+            Some(v) => Err(format!(
+                "key {key:?} must be an integer array, not {}",
+                v.kind()
+            )),
+        }
+    }
+
+    /// Rejects any key the op did not consume, naming the supported set.
+    fn no_extras(&self, op: &str, supported: &str) -> Result<(), String> {
+        match self.pairs.first() {
+            None => Ok(()),
+            Some((k, _)) => Err(format!(
+                "unknown key {k:?} for op {op:?}; supported keys: op, {supported}"
+            )),
+        }
+    }
+}
+
+/// Parses one flat request object. Errors carry enough context to send
+/// straight back to the client.
+fn parse_flat(line: &str) -> Result<Fields, String> {
+    let mut chars = line.chars().peekable();
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("request must be one JSON object per line, starting with '{'".to_string());
+    }
+    let mut pairs = Vec::new();
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(Fields { pairs });
+    }
+    loop {
+        skip_ws(&mut chars);
+        if chars.next() != Some('"') {
+            return Err("expected a '\"'-quoted key".to_string());
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("key {key:?} must be followed by ':'"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => {
+                chars.next();
+                Val::Str(parse_string(&mut chars)?)
+            }
+            Some('t') | Some('f') => {
+                let mut word = String::new();
+                while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                    word.push(chars.next().expect("peeked"));
+                }
+                match word.as_str() {
+                    "true" => Val::Bool(true),
+                    "false" => Val::Bool(false),
+                    other => {
+                        return Err(format!(
+                            "key {key:?} has unrecognized value {other:?}; \
+                             values are strings, integers, true/false, or \
+                             integer arrays"
+                        ))
+                    }
+                }
+            }
+            Some('[') => {
+                chars.next();
+                let mut items = Vec::new();
+                skip_ws(&mut chars);
+                if chars.peek() == Some(&']') {
+                    chars.next();
+                } else {
+                    loop {
+                        skip_ws(&mut chars);
+                        items.push(parse_int(&mut chars)?);
+                        skip_ws(&mut chars);
+                        match chars.next() {
+                            Some(',') => continue,
+                            Some(']') => break,
+                            _ => return Err(format!("array for key {key:?} must close with ']'")),
+                        }
+                    }
+                }
+                Val::Arr(items)
+            }
+            Some(c) if *c == '-' || c.is_ascii_digit() => Val::Num(parse_int(&mut chars)?),
+            _ => {
+                return Err(format!(
+                    "key {key:?} has an unrecognized value; values are \
+                     strings, integers, true/false, or integer arrays"
+                ))
+            }
+        };
+        pairs.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            _ => return Err("object must close with '}'".to_string()),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing content after the request object".to_string());
+    }
+    Ok(Fields { pairs })
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Parses the body of a string whose opening quote is already consumed.
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                other => {
+                    return Err(format!(
+                        "unsupported string escape {other:?}; supported: \
+                         \\\" \\\\ \\/ \\n \\t \\r"
+                    ))
+                }
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_int(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<i64, String> {
+    let mut text = String::new();
+    if chars.peek() == Some(&'-') {
+        text.push(chars.next().expect("peeked"));
+    }
+    while chars.peek().is_some_and(char::is_ascii_digit) {
+        text.push(chars.next().expect("peeked"));
+    }
+    text.parse::<i64>()
+        .map_err(|_| format!("{text:?} is not an integer"))
+}
+
+/// Serializes a string as a JSON literal (quotes, backslashes, and
+/// control characters escaped).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmvrp_grid::GridBounds;
+
+    fn one(conn: &mut Connection, line: &str) -> String {
+        let lines = conn.handle(line);
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        lines.into_iter().next().expect("one line")
+    }
+
+    #[test]
+    fn open_step_query_close_round_trip() {
+        let mut conn = Connection::new(4);
+        let resp = one(
+            &mut conn,
+            "{\"op\":\"open\",\"session\":\"a\",\
+             \"workload\":\"point:grid=11,demand=30\",\"threads\":2}",
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"capacity\":"), "{resp}");
+        let resp = one(
+            &mut conn,
+            "{\"op\":\"advance\",\"session\":\"a\",\"rounds\":3}",
+        );
+        assert!(resp.contains("\"rounds\":3"), "{resp}");
+        let resp = one(&mut conn, "{\"op\":\"query\",\"session\":\"a\"}");
+        assert!(resp.contains("\"rounds\":3"), "{resp}");
+        let resp = one(&mut conn, "{\"op\":\"advance\",\"session\":\"a\"}");
+        assert!(resp.contains("\"idle\":true"), "{resp}");
+        let resp = one(&mut conn, "{\"op\":\"close\",\"session\":\"a\"}");
+        assert!(resp.contains("\"served\":30,\"unserved\":0"), "{resp}");
+        // Closed means gone.
+        let resp = one(&mut conn, "{\"op\":\"query\",\"session\":\"a\"}");
+        assert!(resp.contains("no open session"), "{resp}");
+    }
+
+    #[test]
+    fn live_session_trace_matches_preloaded_run() {
+        // Inject the point workload's jobs over the protocol and compare
+        // the wire trace to a one-shot execute over the same schedule.
+        let mut conn = Connection::new(4);
+        let resp = one(
+            &mut conn,
+            "{\"op\":\"open\",\"session\":\"live\",\
+             \"workload\":\"point:grid=11,demand=20\",\"threads\":2,\
+             \"preload\":false}",
+        );
+        assert!(resp.contains("\"queued\":0"), "{resp}");
+        for _ in 0..20 {
+            let resp = one(
+                &mut conn,
+                "{\"op\":\"inject\",\"session\":\"live\",\"job\":[5,5]}",
+            );
+            assert!(resp.contains("\"ok\":true"), "{resp}");
+        }
+        let resp = one(&mut conn, "{\"op\":\"advance\",\"session\":\"live\"}");
+        assert!(resp.contains("\"idle\":true"), "{resp}");
+        let lines = conn.handle("{\"op\":\"trace\",\"session\":\"live\"}");
+        assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+
+        let workload: WorkloadConfig = "point:grid=11,demand=20".parse().unwrap();
+        let (bounds, demand) = workload.generate();
+        let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 1);
+        let mut sink = VecSink::new();
+        ExecConfig::new()
+            .threads(2)
+            .execute(bounds, &jobs, OnlineConfig::default(), &mut sink)
+            .unwrap();
+        let reference: Vec<String> = sink.events().iter().map(|ev| ev.to_json()).collect();
+        assert_eq!(&lines[1..], &reference[..]);
+    }
+
+    #[test]
+    fn rejections_name_the_alternatives() {
+        let mut conn = Connection::new(1);
+        let resp = one(&mut conn, "{\"op\":\"mutate\"}");
+        assert!(resp.contains("supported ops"), "{resp}");
+        let resp = one(&mut conn, "not json");
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        let resp = one(&mut conn, "{\"op\":\"query\",\"session\":\"ghost\"}");
+        assert!(
+            resp.contains("no open session") && resp.contains("ghost"),
+            "{resp}"
+        );
+        let resp = one(
+            &mut conn,
+            "{\"op\":\"open\",\"session\":\"a\",\"workload\":\"blob:x=1\"}",
+        );
+        assert!(resp.contains("supported shapes"), "{resp}");
+        let open = "{\"op\":\"open\",\"session\":\"a\",\
+                    \"workload\":\"point:grid=9,demand=5\",\"threads\":1}";
+        assert!(one(&mut conn, open).contains("\"ok\":true"));
+        let resp = one(&mut conn, open);
+        assert!(resp.contains("already open"), "{resp}");
+        // max_sessions = 1: a second id is refused by the limit.
+        let resp = one(
+            &mut conn,
+            "{\"op\":\"open\",\"session\":\"b\",\
+             \"workload\":\"point:grid=9,demand=5\"}",
+        );
+        assert!(resp.contains("--max-sessions"), "{resp}");
+        let resp = one(
+            &mut conn,
+            "{\"op\":\"advance\",\"session\":\"a\",\"until\":4,\"rounds\":2}",
+        );
+        assert!(resp.contains("not both"), "{resp}");
+        let resp = one(
+            &mut conn,
+            "{\"op\":\"advance\",\"session\":\"a\",\"epoch\":4}",
+        );
+        assert!(resp.contains("supported keys"), "{resp}");
+        let resp = one(
+            &mut conn,
+            "{\"op\":\"inject\",\"session\":\"a\",\"job\":[1,2,3]}",
+        );
+        assert!(resp.contains("2-dimensional"), "{resp}");
+        let resp = one(
+            &mut conn,
+            "{\"op\":\"inject\",\"session\":\"a\",\"job\":[99,99]}",
+        );
+        assert!(resp.contains("outside the session's grid bounds"), "{resp}");
+    }
+
+    #[test]
+    fn injected_job_lands_in_bounds_check() {
+        let b = GridBounds::<2>::square(11);
+        assert!(b.contains(pt2(5, 5)));
+        assert!(!b.contains(pt2(99, 99)));
+    }
+
+    #[test]
+    fn server_round_trips_over_a_socket() {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_sessions: 2,
+            connections: 1,
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        let script = "{\"op\":\"open\",\"session\":\"s\",\
+                      \"workload\":\"point:grid=9,demand=10\",\"threads\":2}\n\
+                      {\"op\":\"advance\",\"session\":\"s\"}\n\
+                      {\"op\":\"trace\",\"session\":\"s\"}\n\
+                      {\"op\":\"close\",\"session\":\"s\"}\n";
+        let mut out = Vec::new();
+        send(&addr, &mut script.as_bytes(), &mut out).expect("client");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("\"op\":\"open\""), "{text}");
+        assert!(text.contains("\"ev\":\"fleet_provisioned\""), "{text}");
+        assert!(text.contains("\"served\":10"), "{text}");
+        let stats = handle.join().expect("join");
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.requests, 4);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_garbage() {
+        let mut f = parse_flat("{\"op\":\"open\",\"session\":\"a\\\"b\"}").unwrap();
+        assert_eq!(f.take_str("session").unwrap().unwrap(), "a\"b");
+        assert!(parse_flat("{\"x\":1.5}").is_err());
+        assert!(parse_flat("{\"x\":{}}").is_err());
+        assert!(parse_flat("{\"x\":1}extra").is_err());
+        assert!(parse_flat("[1,2]").is_err());
+        let mut f = parse_flat(" { \"a\" : [ 1 , -2 ] , \"b\" : true } ").unwrap();
+        assert_eq!(f.take_arr("a").unwrap().unwrap(), vec![1, -2]);
+        assert_eq!(f.take_bool("b").unwrap(), Some(true));
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -124,9 +124,83 @@ impl WorkloadConfig {
     }
 }
 
+/// Parses the `shape:key=value,...` spec syntax shared by the CLI and the
+/// wire protocol, e.g. `point:grid=11,demand=60` or
+/// `clusters:grid=12,k=3,jobs=200,seed=7`. `seed` defaults to 0 for the
+/// randomized shapes; every other parameter is required.
+impl std::str::FromStr for WorkloadConfig {
+    type Err = String;
+
+    fn from_str(spec: &str) -> Result<Self, String> {
+        let (shape, rest) = spec.split_once(':').unwrap_or((spec, ""));
+        let get = |key: &str| -> Option<u64> {
+            rest.split(',').find_map(|kv| {
+                let (k, v) = kv.split_once('=')?;
+                (k == key).then(|| v.parse().ok()).flatten()
+            })
+        };
+        let missing = |what: &str| format!("workload {shape:?} needs {what}");
+        match shape {
+            "point" => Ok(WorkloadConfig::Point {
+                grid: get("grid").ok_or_else(|| missing("grid"))?,
+                demand: get("demand").ok_or_else(|| missing("demand"))?,
+            }),
+            "line" => Ok(WorkloadConfig::Line {
+                grid: get("grid").ok_or_else(|| missing("grid"))?,
+                demand: get("demand").ok_or_else(|| missing("demand"))?,
+            }),
+            "square" => Ok(WorkloadConfig::Square {
+                grid: get("grid").ok_or_else(|| missing("grid"))?,
+                a: get("a").ok_or_else(|| missing("a"))?,
+                demand: get("demand").ok_or_else(|| missing("demand"))?,
+            }),
+            "uniform" => Ok(WorkloadConfig::Uniform {
+                grid: get("grid").ok_or_else(|| missing("grid"))?,
+                jobs: get("jobs").ok_or_else(|| missing("jobs"))?,
+                seed: get("seed").unwrap_or(0),
+            }),
+            "clusters" => Ok(WorkloadConfig::Clusters {
+                grid: get("grid").ok_or_else(|| missing("grid"))?,
+                clusters: get("k").ok_or_else(|| missing("k"))? as usize,
+                jobs: get("jobs").ok_or_else(|| missing("jobs"))?,
+                seed: get("seed").unwrap_or(0),
+            }),
+            other => Err(format!(
+                "unknown workload shape {other:?}; supported shapes: \
+                 point, line, square, uniform, clusters"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spec_round_trips_and_rejects_unknown_shapes() {
+        let cfg: WorkloadConfig = "point:grid=9,demand=30".parse().unwrap();
+        assert_eq!(
+            cfg,
+            WorkloadConfig::Point {
+                grid: 9,
+                demand: 30
+            }
+        );
+        let cfg: WorkloadConfig = "clusters:grid=10,k=2,jobs=50".parse().unwrap();
+        assert_eq!(
+            cfg,
+            WorkloadConfig::Clusters {
+                grid: 10,
+                clusters: 2,
+                jobs: 50,
+                seed: 0
+            }
+        );
+        let err = "blob:grid=4".parse::<WorkloadConfig>().unwrap_err();
+        assert!(err.contains("supported shapes"), "{err}");
+        assert!("point:grid=4".parse::<WorkloadConfig>().is_err()); // missing demand
+    }
 
     #[test]
     fn all_variants_generate() {

@@ -53,8 +53,12 @@ r1=$(mktemp)
 r2=$(mktemp)
 r3=$(mktemp)
 ck=$(mktemp)
+s1=$(mktemp)
+s2=$(mktemp)
+s3=$(mktemp)
+sl=$(mktemp)
 cd1=$(mktemp -d)
-trap 'rm -f "$t1" "$t2" "$t3" "$m1" "$b1" "$b2" "$r1" "$r2" "$r3" "$ck"; rm -rf "$cd1"' EXIT
+trap 'rm -f "$t1" "$t2" "$t3" "$m1" "$b1" "$b2" "$r1" "$r2" "$r3" "$ck" "$s1" "$s2" "$s3" "$sl"; rm -rf "$cd1"' EXIT
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
     --threads=1 --check --trace-jsonl="$t1" >/dev/null
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
@@ -152,5 +156,45 @@ echo "==> binary trace roundtrip (golden trace JSONL -> bin -> JSONL)"
 ./target/release/cmvrp trace convert "$b1" "$b2" >/dev/null
 cmp tests/data/golden_point.jsonl "$b2"
 ./target/release/cmvrp trace check "$b1"
+
+echo "==> serve smoke (wire-injected session vs offline run)"
+# The serve oracle: a live session opened over the wire and fed the golden
+# point workload job-by-job through `inject` must stream back a trace
+# byte-identical to the offline one-shot run of the same schedule. The
+# listener exits on its own after one connection; `trace diff` is the
+# equivalence judge, as everywhere else.
+./target/release/cmvrp simulate point:grid=11,demand=40 --threads=2 \
+    --trace-jsonl="$s1" >/dev/null
+./target/release/cmvrp serve listen --addr=127.0.0.1:0 --connections=1 \
+    >"$sl" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^serving on //p' "$sl")
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+[ -n "$addr" ] || {
+    echo "serve listen did not print its bound address:" >&2
+    cat "$sl" >&2
+    exit 1
+}
+{
+    printf '{"op":"open","session":"smoke","workload":"point:grid=11,demand=40","threads":2,"preload":false}\n'
+    for _ in $(seq 1 40); do
+        printf '{"op":"inject","session":"smoke","job":[5,5]}\n'
+    done
+    printf '{"op":"advance","session":"smoke"}\n'
+    printf '{"op":"trace","session":"smoke"}\n'
+    printf '{"op":"close","session":"smoke"}\n'
+} | ./target/release/cmvrp serve send "$addr" >"$s2"
+wait "$serve_pid"
+grep -q '"served":40,"unserved":0' "$s2" || {
+    echo "serve session did not serve the injected demand:" >&2
+    cat "$s2" >&2
+    exit 1
+}
+grep '"ev":' "$s2" >"$s3"
+./target/release/cmvrp trace diff "$s1" "$s3" >/dev/null
 
 echo "==> all checks passed"

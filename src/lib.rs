@@ -19,6 +19,7 @@
 //! | [`core`] | `ω*`, `ω_c`, Algorithm 1, the Lemma 2.2.5 plan, §2.1 examples |
 //! | [`online`] | the Chapter 3 decentralized on-line strategy |
 //! | [`engine`] | sharded deterministic parallel execution engine (million-vehicle grids) |
+//! | [`serve`] | line-delimited JSON session server over `TcpListener` |
 //! | [`ckpt`] | `CMVC` checkpoint format + campaign runner with dead-letter retries |
 //! | [`ext`] | Chapter 4 (broken vehicles) and Chapter 5 (energy transfers) |
 //! | [`workloads`] | demand/arrival generators |
@@ -48,12 +49,14 @@ pub use cmvrp_ckpt as ckpt;
 pub use cmvrp_core as core;
 pub use cmvrp_engine as engine;
 
-// The execution surface: build an [`ExecConfig`], stream events into a
-// sink, and (optionally) verify the run inline. Re-exported at the root so
-// callers select engines without spelling out the workspace crates.
+// The execution surface: build an [`ExecConfig`] into a [`Session`], step
+// it with `advance_until`/`advance_rounds`, feed it arrivals with `inject`,
+// and stream events into a sink — or use the one-shot `execute` wrappers.
+// Re-exported at the root so callers select engines without spelling out
+// the workspace crates.
 pub use cmvrp_engine::{
     CheckScope, CheckSummary, CheckpointPolicy, Engine, EngineCheckpoint, EngineError, ExecConfig,
-    Execution, RoundStats, Schedule, ScopedViolation, WorkerStats,
+    Execution, RoundStats, Schedule, ScopedViolation, Session, StepReport, WorkerStats,
 };
 pub use cmvrp_ext as ext;
 pub use cmvrp_flow as flow;
@@ -62,6 +65,7 @@ pub use cmvrp_grid as grid;
 pub use cmvrp_net as net;
 pub use cmvrp_obs as obs;
 pub use cmvrp_online as online;
+pub use cmvrp_serve as serve;
 pub use cmvrp_util as util;
 pub use cmvrp_workloads as workloads;
 
@@ -70,6 +74,7 @@ pub mod prelude {
     pub use cmvrp_core::{approx_woff, omega_c, omega_star, plan_offline, verify_plan, Instance};
     pub use cmvrp_engine::{
         CheckpointPolicy, Engine, EngineCheckpoint, EngineError, ExecConfig, Execution, Schedule,
+        Session, StepReport,
     };
     pub use cmvrp_grid::{pt1, pt2, pt3, DemandMap, GridBounds, Point};
     pub use cmvrp_obs::{JsonlSink, NullSink, RingSink, Sink, StaticSink, VecSink};
