@@ -155,7 +155,7 @@ fn main() {
         let mut panel_null = 0u64;
         let mut panel_check = 0u64;
         for w in default_workloads() {
-            let (b, demand) = w.generate();
+            let (b, demand) = w.generate().expect("workload fits grid");
             let j = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
             let (null_ns, check_ns) = paired_overhead(b, &j, config, 60);
             panel_null += null_ns;

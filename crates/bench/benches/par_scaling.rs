@@ -29,7 +29,7 @@ const SERVE_SESSIONS: [usize; 3] = [1, 2, 4];
 const SERVE_JOBS: u64 = 400;
 
 fn jobs_for(cfg: &WorkloadConfig) -> (GridBounds<2>, JobSequence<2>) {
-    let (bounds, demand) = cfg.generate();
+    let (bounds, demand) = cfg.generate().expect("workload fits grid");
     (
         bounds,
         arrivals::from_demand(&demand, Ordering::Shuffled, 7),

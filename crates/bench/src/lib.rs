@@ -229,7 +229,7 @@ pub fn e5(configs: &[WorkloadConfig]) -> ExperimentOutput {
     ]);
     let mut ok = true;
     for cfg in configs {
-        let (bounds, demand) = cfg.generate();
+        let (bounds, demand) = cfg.generate().expect("workload fits grid");
         let wc = omega_c(&bounds, &demand);
         let star = omega_star(&bounds, &demand).value;
         let plan = plan_offline(&bounds, &demand).expect("plan");
@@ -312,7 +312,7 @@ pub fn e7(configs: &[WorkloadConfig]) -> ExperimentOutput {
     ]);
     let mut ok = true;
     for cfg in configs {
-        let (bounds, demand) = cfg.generate();
+        let (bounds, demand) = cfg.generate().expect("workload fits grid");
         let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
         let sharded = bounds.volume() > DENSE_VOLUME_LIMIT;
         let mut engine = ExecConfig::new().check(true);
@@ -679,7 +679,7 @@ pub fn e14(configs: &[WorkloadConfig]) -> ExperimentOutput {
     ]);
     let mut worst = 0.0f64;
     for cfg in configs {
-        let (bounds, demand) = cfg.generate();
+        let (bounds, demand) = cfg.generate().expect("workload fits grid");
         let plan = plan_offline(&bounds, &demand).expect("plan");
         let check = verify_plan(&bounds, &demand, &plan);
         assert!(check.is_valid());

@@ -21,7 +21,7 @@ fn panel_overhead() {
     let mut tot_null = 0u64;
     let mut tot_check = 0u64;
     for w in default_workloads() {
-        let (bounds, demand) = w.generate();
+        let (bounds, demand) = w.generate().expect("workload fits grid");
         let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
         let mut null_best = u64::MAX;
         let mut check_best = u64::MAX;

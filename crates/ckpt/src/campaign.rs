@@ -20,7 +20,10 @@
 //! (base of the bounded exponential pause between attempts), and
 //! `inject_kill` (fault injection: SIGKILL the run after its next
 //! checkpoint lands, for the first N attempts — the recovery smoke test).
-//! `workload` names the simulate workload spec and is required. Every
+//! `workload` names the simulate workload spec and is required — either
+//! the inline `shape:key=value,...` syntax or `@scenario.toml`, a
+//! (fault-free) scenario file that the simulate subprocess parses with
+//! the same `Scenario` entry point as every other frontend. Every
 //! other key becomes a `cmvrp simulate` flag: `k = v` is passed as
 //! `--k=v`, and `k = true` as the bare flag `--k`.
 //!
@@ -44,7 +47,8 @@ use std::process::{Command, Stdio};
 pub struct RunSpec {
     /// Section name — the run's identity in state and file names.
     pub name: String,
-    /// The `cmvrp simulate` workload spec (`shape:key=value,...`).
+    /// The `cmvrp simulate` workload spec (`shape:key=value,...` or
+    /// `@scenario.toml`).
     pub workload: String,
     /// Extra simulate flags, already rendered (`--threads=2`, `--check`).
     pub args: Vec<String>,
@@ -498,6 +502,25 @@ check = true
         let cold = &spec.runs[1];
         assert_eq!(cold.retries, 0);
         assert_eq!(cold.args, vec!["--threads=2", "--check"]);
+    }
+
+    #[test]
+    fn scenario_file_workloads_pass_through_to_simulate_unchanged() {
+        // `workload = @scenarios/f.toml` is not interpreted by the
+        // campaign parser — the spec string travels verbatim into the
+        // simulate subprocess argv, where the shared Scenario entry
+        // point resolves it.
+        let spec = parse_spec("[quake]\nworkload = @scenarios/earthquake.toml\nthreads = 2\n")
+            .expect("parse");
+        let run = &spec.runs[0];
+        assert_eq!(run.workload, "@scenarios/earthquake.toml");
+        let exec = ProcessExecutor {
+            bin: PathBuf::from("cmvrp"),
+        };
+        let argv = exec.argv(run, Path::new("/tmp/q.cmvc"), false);
+        assert_eq!(argv[0], "simulate");
+        assert_eq!(argv[1], "@scenarios/earthquake.toml");
+        assert!(argv.contains(&"--threads=2".to_string()));
     }
 
     #[test]

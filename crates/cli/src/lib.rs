@@ -25,16 +25,23 @@
 //! * `campaign` — run a spec'd panel of simulations with per-run
 //!   checkpoints, bounded-backoff retries from the last checkpoint, and a
 //!   dead-letter list (`run`, `status`, `retry-dead`);
+//! * `scenario` — the declarative workload surface: `check` validates a
+//!   scenario file, `run` executes it (honoring its `[faults]` script via
+//!   crash+resume) and emits a summary table comparing the paper bounds,
+//!   the literature baselines from `[report]`, and the protocol's cost;
 //! * `workloads` — list the built-in workload shapes.
 //!
 //! Every trace-reading subcommand accepts both encodings transparently:
 //! files are sniffed by the binary format's magic bytes and decoded back
 //! to the canonical event stream before analysis.
 //!
-//! Workloads are specified as `shape:param=value,...`, e.g.
-//! `point:grid=11,demand=60` or `clusters:grid=12,k=3,jobs=200,seed=7`.
-//! Argument parsing is hand-rolled (the workspace takes no CLI
-//! dependencies); [`run`] is the testable entry point.
+//! Workloads are specified either inline as `shape:param=value,...`, e.g.
+//! `point:grid=11,demand=60` or `clusters:grid=12,k=3,jobs=200,seed=7`, or
+//! as `@path.toml` naming a scenario file — every place that takes a
+//! workload (simulate, campaign `workload =` lines, the serve wire `open`
+//! op) accepts both through the shared [`Scenario`] parser. Argument
+//! parsing is hand-rolled (the workspace takes no CLI dependencies);
+//! [`run`] is the testable entry point.
 
 use cmvrp_core::Instance;
 use cmvrp_engine::{
@@ -42,7 +49,8 @@ use cmvrp_engine::{
 };
 use cmvrp_obs::{BinSink, Event, JsonlSink, Metrics, Sink};
 use cmvrp_online::{OnlineConfig, OnlineReport};
-use cmvrp_workloads::{arrivals, JobSequence, Ordering, WorkloadConfig};
+use cmvrp_scenario::{baselines, Baseline, Scenario};
+use cmvrp_workloads::{JobSequence, WorkloadConfig};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -100,18 +108,37 @@ fn usage() -> String {
                                          inject, advance, query, trace, close)\n\
        cmvrp serve send <addr>           drive a server from stdin: one request\n\
                                          line at a time, responses to stdout\n\
+       cmvrp scenario check <file>       parse + summarize a scenario file\n\
+       cmvrp scenario run <file> [opts]  execute a scenario file: protocol run\n\
+                                         (with its [faults] crash+resume script)\n\
+                                         plus the [report] baselines, as a\n\
+                                         summary table of paper bound vs\n\
+                                         baseline cost vs protocol cost\n\
        cmvrp show <workload>             render the demand map as ASCII\n\
        cmvrp experiment <id>             regenerate a thesis experiment (e1..e16, f1, g1, g2)\n\
        cmvrp sweep <shape> <d1> <d2> ..  omega* scaling across demands (point|line)\n\
        cmvrp workloads                   list workload shapes\n\
        cmvrp help                        this message\n\
      \n\
-     WORKLOADS:\n\
+     WORKLOADS (inline spec or @file):\n\
        point:grid=N,demand=D\n\
        line:grid=N,demand=D\n\
        square:grid=N,a=A,demand=D\n\
        uniform:grid=N,jobs=J,seed=S\n\
        clusters:grid=N,k=K,jobs=J,seed=S\n\
+       @scenario.toml    a scenario file ([substrate]/[demand]/[arrivals]/\n\
+                         [faults]/[report], see README \"Scenarios\"); accepted\n\
+                         everywhere a workload spec is: simulate, campaign\n\
+                         workload= lines, and the serve wire open op\n\
+     \n\
+     SCENARIO RUN OPTIONS:\n\
+       --seed=S        run seed (default 1; also the default arrival seed)\n\
+       --capacity=W    override the Lemma 3.3.1 provisioning\n\
+       --threads=N     sharded engine (defaults to 2 when [faults] are\n\
+                       scripted, since crash+resume needs sessions)\n\
+       --schedule=P    shard scheduling policy (static|steal|rebalance)\n\
+       --check         verify the invariant monitors inline\n\
+       --trace-jsonl=P stream the run's events to path P\n\
      \n\
      SIMULATE OPTIONS:\n\
        --seed=S        message-delay seed (default 1)\n\
@@ -181,12 +208,14 @@ fn usage() -> String {
         .to_string()
 }
 
-/// Parses `shape:key=value,...` into a [`WorkloadConfig`] (the shared
-/// spec parser lives on `WorkloadConfig: FromStr` so the serve protocol
-/// accepts the same syntax); errors gain the CLI's help pointer.
-pub fn parse_workload(spec: &str) -> Result<WorkloadConfig, UsageError> {
-    spec.parse()
-        .map_err(|e| UsageError(format!("{e} (see `cmvrp help`)")))
+/// Parses a workload spec — inline `shape:key=value,...` or a
+/// `@path.toml` scenario file — into a [`Scenario`]. The parser itself is
+/// [`Scenario::from_spec`], shared with campaign `workload =` lines and
+/// the serve wire `open` op, so all three frontends reject unknown
+/// shapes/keys with identical errors; here they gain the CLI's help
+/// pointer.
+pub fn parse_workload(spec: &str) -> Result<Scenario, UsageError> {
+    Scenario::from_spec(spec).map_err(|e| UsageError(format!("{e} (see `cmvrp help`)")))
 }
 
 fn cmd_sweep(shape: &str, demands: &[String]) -> Result<String, UsageError> {
@@ -216,7 +245,7 @@ fn cmd_sweep(shape: &str, demands: &[String]) -> Result<String, UsageError> {
                 )))
             }
         };
-        let (bounds, demand) = cfg.generate();
+        let (bounds, demand) = cfg.generate().map_err(|e| UsageError(e.to_string()))?;
         let star = omega_star(&bounds, &demand).value.to_f64();
         let growth = prev
             .map(|p| format!("{:.3}", star / p))
@@ -263,13 +292,16 @@ fn cmd_experiment(id: &str) -> Result<String, UsageError> {
 }
 
 fn cmd_show(spec: &str) -> Result<String, UsageError> {
-    let cfg = parse_workload(spec)?;
-    let (bounds, demand) = cfg.generate();
+    let sc = parse_workload(spec)?;
+    let (bounds, demand) = sc
+        .demand
+        .generate()
+        .map_err(|e| UsageError(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(
         out,
         "workload: {} (total demand {})",
-        cfg.label(),
+        sc.label(),
         demand.total()
     );
     out.push_str(&cmvrp_grid::render_demand(&bounds, &demand));
@@ -277,11 +309,14 @@ fn cmd_show(spec: &str) -> Result<String, UsageError> {
 }
 
 fn cmd_solve(spec: &str) -> Result<String, UsageError> {
-    let cfg = parse_workload(spec)?;
-    let (bounds, demand) = cfg.generate();
+    let sc = parse_workload(spec)?;
+    let (bounds, demand) = sc
+        .demand
+        .generate()
+        .map_err(|e| UsageError(e.to_string()))?;
     let inst = Instance::new(bounds, demand);
     let mut out = String::new();
-    let _ = writeln!(out, "workload: {}", cfg.label());
+    let _ = writeln!(out, "workload: {}", sc.label());
     let _ = writeln!(out, "total demand: {}", inst.demand().total());
     let _ = writeln!(out, "omega_c (Cor 2.2.7): {}", inst.omega_c());
     let star = inst.omega_star();
@@ -323,8 +358,8 @@ fn run_simulation(
     Ok((run.report, run.metrics, run.check))
 }
 
-fn render_report(out: &mut String, cfg: &WorkloadConfig, report: &OnlineReport) {
-    let _ = writeln!(out, "workload: {}", cfg.label());
+fn render_report(out: &mut String, label: &str, report: &OnlineReport) {
+    let _ = writeln!(out, "workload: {label}");
     let _ = writeln!(out, "capacity: {}", report.capacity);
     let _ = writeln!(
         out,
@@ -402,7 +437,15 @@ fn check_verdict(summary: &CheckSummary, source: &str) -> Result<String, UsageEr
 }
 
 fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
-    let cfg = parse_workload(spec)?;
+    let sc = parse_workload(spec)?;
+    if !sc.faults.is_empty() {
+        return Err(UsageError(format!(
+            "scenario {:?} scripts faults (crash_at_rounds); `cmvrp simulate` \
+             runs fault-free — supported alternatives: execute the script \
+             with `cmvrp scenario run`, or drop the [faults] section",
+            sc.label()
+        )));
+    }
     let mut online = OnlineConfig::default();
     let mut want_metrics = false;
     let mut check = false;
@@ -576,8 +619,12 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
         exec = exec.threads(n);
     }
     exec.validate().map_err(|e| UsageError(e.to_string()))?;
-    let (bounds, demand) = cfg.generate();
-    let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, online.seed);
+    // The scenario layer owns workload materialization: with the default
+    // batch arrivals this is byte-for-byte the old generate-then-shuffle
+    // path, so flag-built and scenario-file runs stay trace-identical.
+    let (bounds, _, jobs) = sc
+        .generate(online.seed)
+        .map_err(|e| UsageError(e.to_string()))?;
     let mut out = String::new();
     if let (Some(ckpt), Some(path)) = (&resume, &resume_from) {
         let _ = writeln!(
@@ -666,11 +713,292 @@ fn cmd_simulate(spec: &str, opts: &[String]) -> Result<String, UsageError> {
             trace.as_deref().or(trace_bin.as_deref()).unwrap_or("event"),
         )?);
     }
-    render_report(&mut out, &cfg, &report);
+    render_report(&mut out, &sc.label(), &report);
     if want_metrics {
         render_metrics(&mut out, &metrics);
     }
     Ok(out)
+}
+
+/// Loads a scenario file for the `scenario` subcommands; the bare path
+/// and the `@path` spec spelling are both accepted.
+fn load_scenario(path: &str) -> Result<Scenario, UsageError> {
+    let spec = match path.strip_prefix('@') {
+        Some(_) => path.to_string(),
+        None => format!("@{path}"),
+    };
+    Scenario::from_spec(&spec).map_err(UsageError)
+}
+
+/// Renders the descriptive header shared by `scenario check` and
+/// `scenario run`.
+fn render_scenario_header(out: &mut String, sc: &Scenario, jobs: u64) {
+    let side = sc.side();
+    let _ = writeln!(
+        out,
+        "substrate: {side}x{side} grid, {} vehicles",
+        side * side
+    );
+    let _ = writeln!(out, "demand: {} ({jobs} jobs)", sc.demand.label());
+    let _ = writeln!(out, "arrivals: {}", sc.arrivals.label());
+    if sc.faults.is_empty() {
+        let _ = writeln!(out, "faults: none");
+    } else {
+        let rounds: Vec<String> = sc
+            .faults
+            .crash_at_rounds
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        let _ = writeln!(out, "faults: crash at rounds {}", rounds.join(", "));
+    }
+}
+
+fn cmd_scenario_check(path: &str) -> Result<String, UsageError> {
+    let sc = load_scenario(path)?;
+    let (_, demand) = sc
+        .demand
+        .generate()
+        .map_err(|e| UsageError(e.to_string()))?;
+    let mut out = format!("scenario ok: {}\n", sc.label());
+    render_scenario_header(&mut out, &sc, demand.total());
+    let names: Vec<&str> = sc
+        .report
+        .baselines
+        .iter()
+        .map(|b| match b {
+            Baseline::Becker => "becker",
+            Baseline::Gn => "gn",
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "report: {}",
+        if names.is_empty() {
+            "protocol only".to_string()
+        } else {
+            names.join(", ")
+        }
+    );
+    Ok(out)
+}
+
+/// `scenario run <file>`: one protocol run (honoring the `[faults]`
+/// crash+resume script) and the `[report]` baselines over the same
+/// instance, summarized as paper bound · baseline cost · protocol cost ·
+/// ratio.
+fn cmd_scenario_run(path: &str, opts: &[String]) -> Result<String, UsageError> {
+    let sc = load_scenario(path)?;
+    let mut online = OnlineConfig::default();
+    let mut threads: Option<usize> = None;
+    let mut schedule: Option<Schedule> = None;
+    let mut check = false;
+    let mut trace: Option<String> = None;
+    for opt in opts {
+        if let Some(v) = opt.strip_prefix("--seed=") {
+            online.seed = v
+                .parse()
+                .map_err(|_| UsageError(format!("bad seed {v:?}")))?;
+        } else if let Some(v) = opt.strip_prefix("--capacity=") {
+            online.capacity_override = Some(
+                v.parse()
+                    .map_err(|_| UsageError(format!("bad capacity {v:?}")))?,
+            );
+        } else if let Some(v) = opt.strip_prefix("--threads=") {
+            let n: usize = v
+                .parse()
+                .map_err(|_| UsageError(format!("bad thread count {v:?}")))?;
+            if n == 0 {
+                return Err(UsageError("--threads must be at least 1".into()));
+            }
+            threads = Some(n);
+        } else if let Some(v) = opt.strip_prefix("--schedule=") {
+            schedule = Some(v.parse().map_err(UsageError)?);
+        } else if opt == "--check" {
+            check = true;
+        } else if let Some(v) = opt.strip_prefix("--trace-jsonl=") {
+            trace = Some(v.to_string());
+        } else {
+            return Err(UsageError(format!(
+                "unknown option {opt:?}; scenario run accepts --seed=S, \
+                 --capacity=W, --threads=N, --schedule=P, --check, \
+                 --trace-jsonl=P"
+            )));
+        }
+    }
+    // The fault script crashes and resumes sessions, which only exist on
+    // the sharded engine.
+    if !sc.faults.is_empty() && threads.is_none() {
+        threads = Some(2);
+    }
+    let mut exec = ExecConfig::new()
+        .schedule(schedule.unwrap_or_default())
+        .check(check);
+    if let Some(n) = threads {
+        exec = exec.threads(n);
+    }
+    exec.validate().map_err(|e| UsageError(e.to_string()))?;
+    let (bounds, demand, jobs) = sc
+        .generate(online.seed)
+        .map_err(|e| UsageError(e.to_string()))?;
+
+    // The protocol run: one-shot when fault-free; with a fault script,
+    // advance to each crash round, snapshot, tear the session down, and
+    // resume from the snapshot — the same checkpoint/resume seams
+    // `simulate --checkpoint/--resume-from` exercises across processes.
+    let engine_err = |e: cmvrp_engine::EngineError| UsageError(e.to_string());
+    let mut crashed_at: Vec<u64> = Vec::new();
+    let mut run_all = |sink: &mut dyn Sink| -> Result<cmvrp_engine::Execution, UsageError> {
+        if sc.faults.is_empty() {
+            return exec
+                .execute(bounds, &jobs, online, sink)
+                .map_err(engine_err);
+        }
+        let mut session = exec.build(bounds, &jobs, online).map_err(engine_err)?;
+        for &round in &sc.faults.crash_at_rounds {
+            let done = session.rounds();
+            if round > done {
+                session.advance_rounds(round - done, sink);
+            }
+            let snapshot = session.snapshot();
+            crashed_at.push(session.rounds());
+            drop(session); // the scripted crash
+            session = exec
+                .resume_build(bounds, &jobs, online, &snapshot)
+                .map_err(engine_err)?;
+        }
+        session.drain(sink);
+        Ok(session.finish())
+    };
+    let mut out = String::new();
+    let execution = match &trace {
+        Some(path) => {
+            let mut sink = JsonlSink::create(path)
+                .map_err(|e| UsageError(format!("cannot create {path:?}: {e}")))?;
+            let execution = run_all(&mut sink)?;
+            let events = sink
+                .finish()
+                .map_err(|e| UsageError(format!("trace write to {path:?} failed: {e}")))?;
+            let _ = writeln!(out, "trace: {events} events -> {path}");
+            execution
+        }
+        None => run_all(&mut cmvrp_obs::NullSink)?,
+    };
+
+    let mut header = format!("scenario: {} ({path})\n", sc.label());
+    render_scenario_header(&mut header, &sc, demand.total());
+    if !crashed_at.is_empty() {
+        let rounds: Vec<String> = crashed_at.iter().map(u64::to_string).collect();
+        let _ = writeln!(
+            header,
+            "recovery: crashed + resumed from snapshot at rounds {}",
+            rounds.join(", ")
+        );
+    }
+    header.push_str(&out);
+    let mut out = header;
+    if let Some(summary) = &execution.check {
+        out.push_str(&check_verdict(
+            summary,
+            trace.as_deref().unwrap_or("event"),
+        )?);
+    }
+
+    // The comparison table: paper bounds from Chapter 2, the [report]
+    // baselines, and the protocol's empirical cost — all on the same
+    // demand instance.
+    let report = &execution.report;
+    let capacity = sc.report.capacity.unwrap_or(report.capacity).max(1);
+    let fleet = sc
+        .report
+        .vehicles
+        .unwrap_or_else(|| demand.total().div_ceil(capacity).max(1));
+    let inst = Instance::new(bounds, demand.clone());
+    let star = inst.omega_star().value;
+    let ratio = |cost: u64, bound: f64| -> String {
+        if bound <= 0.0 {
+            "-".into()
+        } else {
+            format!("{:.2}x", cost as f64 / bound)
+        }
+    };
+    let mut table = cmvrp_util::Table::new(vec!["quantity", "value", "vs bound"]);
+    table.row(vec![
+        "omega_c (Cor 2.2.7)".into(),
+        inst.omega_c().to_string(),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "omega* (Thm 1.4.1)".into(),
+        star.to_string(),
+        "-".into(),
+    ]);
+    for baseline in &sc.report.baselines {
+        match baseline {
+            Baseline::Becker => {
+                let b = baselines::becker(&bounds, &demand, capacity);
+                table.row(vec![
+                    format!("becker tree-CVRP bound (Q={capacity})"),
+                    b.lower_bound.to_string(),
+                    "-".into(),
+                ]);
+                table.row(vec![
+                    format!("becker tree-CVRP tours (n={})", b.tours),
+                    b.tour_cost.to_string(),
+                    ratio(b.tour_cost, b.lower_bound as f64),
+                ]);
+            }
+            Baseline::Gn => {
+                let g = baselines::gn_makespan(&bounds, &demand, capacity, fleet);
+                table.row(vec![
+                    format!("gn makespan bound (m={fleet})"),
+                    g.lower_bound.to_string(),
+                    "-".into(),
+                ]);
+                table.row(vec![
+                    "gn makespan (sweep+LPT)".into(),
+                    g.makespan.to_string(),
+                    ratio(g.makespan, g.lower_bound as f64),
+                ]);
+            }
+        }
+    }
+    table.row(vec![
+        "protocol capacity W".into(),
+        report.capacity.to_string(),
+        ratio(report.capacity, star.to_f64()),
+    ]);
+    table.row(vec![
+        "protocol max energy".into(),
+        report.max_energy_used.to_string(),
+        ratio(report.max_energy_used, star.to_f64()),
+    ]);
+    table.row(vec![
+        "protocol served".into(),
+        format!("{}/{}", report.served, report.served + report.unserved),
+        "-".into(),
+    ]);
+    let _ = write!(out, "{table}");
+    Ok(out)
+}
+
+fn cmd_scenario(args: &[String]) -> Result<String, UsageError> {
+    match args.first().map(String::as_str) {
+        Some("check") => match args.get(1) {
+            Some(path) => cmd_scenario_check(path),
+            None => Err(UsageError("scenario check needs a scenario file".into())),
+        },
+        Some("run") => match args.get(1) {
+            Some(path) => cmd_scenario_run(path, &args[2..]),
+            None => Err(UsageError("scenario run needs a scenario file".into())),
+        },
+        Some(other) => Err(UsageError(format!(
+            "unknown scenario subcommand {other:?}; supported: check, run"
+        ))),
+        None => Err(UsageError(
+            "scenario needs a subcommand: check <file> | run <file> [opts]".into(),
+        )),
+    }
 }
 
 fn cmd_replay(path: &str) -> Result<String, UsageError> {
@@ -1553,7 +1881,8 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), UsageError> {
     let out = match args.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(usage()),
         Some("workloads") => Ok(
-            "point, line, square, uniform, clusters — see `cmvrp help` for parameters\n"
+            "point, line, square, uniform, clusters, @scenario.toml — see \
+             `cmvrp help` for parameters\n"
                 .to_string(),
         ),
         Some("sweep") => match args.get(1) {
@@ -1578,6 +1907,7 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), UsageError> {
             Some(spec) => cmd_simulate(spec, &args[2..]),
             None => Err(UsageError("simulate needs a workload spec".into())),
         },
+        Some("scenario") => cmd_scenario(&args[1..]),
         Some("replay") => match args.get(1) {
             Some(path) => cmd_replay(path),
             None => Err(UsageError("replay needs a trace path".into())),
@@ -1606,9 +1936,9 @@ mod tests {
 
     #[test]
     fn parse_point() {
-        let cfg = parse_workload("point:grid=9,demand=30").unwrap();
+        let sc = parse_workload("point:grid=9,demand=30").unwrap();
         assert_eq!(
-            cfg,
+            sc.demand,
             WorkloadConfig::Point {
                 grid: 9,
                 demand: 30
@@ -1618,9 +1948,9 @@ mod tests {
 
     #[test]
     fn parse_clusters_with_default_seed() {
-        let cfg = parse_workload("clusters:grid=10,k=2,jobs=50").unwrap();
+        let sc = parse_workload("clusters:grid=10,k=2,jobs=50").unwrap();
         assert_eq!(
-            cfg,
+            sc.demand,
             WorkloadConfig::Clusters {
                 grid: 10,
                 clusters: 2,
@@ -1751,6 +2081,124 @@ mod tests {
         }
         assert_eq!(traces[0], traces[1]);
         assert_eq!(traces[0], traces[2]);
+    }
+
+    /// The scenario-file equivalence oracle: a default (batch, fault-free)
+    /// scenario file must produce byte-identical traces to its flag spec
+    /// through `simulate @file` AND `scenario run`, across worker counts,
+    /// scheduling policies, and checked mode.
+    #[test]
+    fn scenario_file_flag_and_scenario_run_traces_are_byte_identical() {
+        let dir = std::env::temp_dir();
+        let file = dir.join("cmvrp_cli_oracle.toml");
+        std::fs::write(
+            &file,
+            "[substrate]\nside = 12\n[demand]\nshape = clusters\nk = 3\njobs = 180\nseed = 9\n",
+        )
+        .unwrap();
+        let spec = format!("@{}", file.display());
+        for (tag, extra) in [
+            ("static1", "--threads=1"),
+            ("steal2", "--threads=2 --schedule=steal --check"),
+        ] {
+            let mut traces = Vec::new();
+            for (kind, head) in [
+                (
+                    "flags",
+                    vec![
+                        "simulate".into(),
+                        "clusters:grid=12,k=3,jobs=180,seed=9".into(),
+                    ],
+                ),
+                ("file", vec!["simulate".into(), spec.clone()]),
+                (
+                    "run",
+                    vec!["scenario".into(), "run".into(), file.display().to_string()],
+                ),
+            ] {
+                let path = dir.join(format!("cmvrp_cli_oracle_{tag}_{kind}.jsonl"));
+                let mut args = head;
+                args.extend(argv(extra));
+                args.push(format!("--trace-jsonl={}", path.display()));
+                run(&args).unwrap();
+                traces.push(std::fs::read(&path).unwrap());
+                let _ = std::fs::remove_file(&path);
+            }
+            assert_eq!(traces[0], traces[1], "{tag}: simulate @file drifted");
+            assert_eq!(traces[0], traces[2], "{tag}: scenario run drifted");
+        }
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn scenario_check_describes_the_file() {
+        let file = std::env::temp_dir().join("cmvrp_cli_check.toml");
+        std::fs::write(
+            &file,
+            "name = \"t\"\n[substrate]\nside = 9\n[demand]\nshape = point\ndemand = 30\n\
+             [arrivals]\nmode = flash-crowd\nat = 25\n[report]\nbaselines = gn\n",
+        )
+        .unwrap();
+        let out = run(&[
+            "scenario".into(),
+            "check".into(),
+            file.display().to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("scenario ok: t"), "{out}");
+        assert!(out.contains("substrate: 9x9 grid, 81 vehicles"), "{out}");
+        assert!(out.contains("arrivals: flash-crowd at=25"), "{out}");
+        assert!(out.contains("report: gn"), "{out}");
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn scenario_parse_errors_are_line_and_column_scoped() {
+        let file = std::env::temp_dir().join("cmvrp_cli_bad_scenario.toml");
+        std::fs::write(&file, "[substrate]\nside = 9\n[demand]\nshape = blob\n").unwrap();
+        let err = run(&[
+            "scenario".into(),
+            "check".into(),
+            file.display().to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("line 4, col 9"), "{err}");
+        assert!(err.0.contains("unknown demand shape \"blob\""), "{err}");
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn simulate_rejects_fault_scripts_naming_scenario_run() {
+        let file = std::env::temp_dir().join("cmvrp_cli_faulty.toml");
+        std::fs::write(
+            &file,
+            "[substrate]\nside = 9\n[demand]\nshape = point\ndemand = 30\n\
+             [faults]\ncrash_at_rounds = 3\n",
+        )
+        .unwrap();
+        let err = run(&["simulate".into(), format!("@{}", file.display())]).unwrap_err();
+        assert!(err.0.contains("scripts faults"), "{err}");
+        assert!(err.0.contains("cmvrp scenario run"), "{err}");
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn scenario_run_executes_the_fault_script_and_reports_recovery() {
+        let file = std::env::temp_dir().join("cmvrp_cli_crashy.toml");
+        std::fs::write(
+            &file,
+            "[substrate]\nside = 10\n[demand]\nshape = uniform\njobs = 80\nseed = 2\n\
+             [faults]\ncrash_at_rounds = 3, 7\n[report]\nbaselines = none\n",
+        )
+        .unwrap();
+        let out = run(&["scenario".into(), "run".into(), file.display().to_string()]).unwrap();
+        assert!(
+            out.contains("recovery: crashed + resumed from snapshot at rounds 3, 7"),
+            "{out}"
+        );
+        assert!(out.contains("| protocol served"), "{out}");
+        assert!(out.contains("80/80"), "{out}");
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

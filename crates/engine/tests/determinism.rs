@@ -45,7 +45,7 @@ fn panel() -> Vec<WorkloadConfig> {
 /// the inline monitors (which must stay clean) — the streamed bytes are
 /// asserted identical either way by the tests below.
 fn traced_run(config: &WorkloadConfig, exec: ExecConfig) -> (Vec<u8>, cmvrp_online::OnlineReport) {
-    let (bounds, demand) = config.generate();
+    let (bounds, demand) = config.generate().expect("workload fits grid");
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     let mut sink = JsonlSink::new(Vec::new());
     let run = exec
@@ -130,7 +130,7 @@ fn inline_checking_leaves_streamed_bytes_unchanged() {
 #[test]
 fn merged_trace_passes_every_monitor() {
     for config in panel() {
-        let (bounds, demand) = config.generate();
+        let (bounds, demand) = config.generate().expect("workload fits grid");
         let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
         let total = jobs.iter().count() as u64;
         // Inline: per-shard monitors + merge-time cross-shard monitors.
@@ -172,7 +172,8 @@ fn sharded_report_matches_across_thread_counts_without_tracing() {
         jobs: 400,
         seed: 5,
     }
-    .generate();
+    .generate()
+    .expect("workload fits grid");
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     let mut reports = Vec::new();
     for threads in [1, 2, 4, 8] {
@@ -193,7 +194,8 @@ fn monitored_mode_is_a_structured_error() {
         grid: 9,
         demand: 40,
     }
-    .generate();
+    .generate()
+    .expect("workload fits grid");
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     let config = OnlineConfig {
         monitored: true,
@@ -210,7 +212,8 @@ fn non_static_schedule_without_threads_is_a_structured_error() {
         grid: 9,
         demand: 40,
     }
-    .generate();
+    .generate()
+    .expect("workload fits grid");
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     for schedule in [Schedule::Steal, Schedule::Rebalance] {
         let exec = ExecConfig::new().schedule(schedule);
@@ -231,7 +234,7 @@ fn engine_trait_objects_match_exec_config() {
         grid: 12,
         demand: 120,
     };
-    let (bounds, demand) = config.generate();
+    let (bounds, demand) = config.generate().expect("workload fits grid");
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     let run_via = |engine: &dyn Engine<2>| {
         let mut sink = JsonlSink::new(Vec::new());

@@ -17,7 +17,7 @@ fn workload() -> WorkloadConfig {
 
 /// Streams a run's merged JSONL trace into memory and returns its lines.
 fn traced_lines(exec: ExecConfig) -> Vec<String> {
-    let (bounds, demand) = workload().generate();
+    let (bounds, demand) = workload().generate().expect("workload fits grid");
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     let mut sink = JsonlSink::new(Vec::new());
     exec.execute(bounds, &jobs, OnlineConfig::default(), &mut sink)
@@ -101,7 +101,7 @@ fn profile_samples_are_well_formed_and_account_for_every_event() {
 fn profiling_with_a_disabled_sink_still_runs() {
     // profile/progress force the streaming path; a NullSink must not
     // short-circuit it back to the non-streaming engine.
-    let (bounds, demand) = workload().generate();
+    let (bounds, demand) = workload().generate().expect("workload fits grid");
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     let run = ExecConfig::new()
         .threads(2)
@@ -113,7 +113,7 @@ fn profiling_with_a_disabled_sink_still_runs() {
 
 #[test]
 fn profile_and_progress_without_threads_are_structured_errors() {
-    let (bounds, demand) = workload().generate();
+    let (bounds, demand) = workload().generate().expect("workload fits grid");
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     for (exec, flag) in [
         (ExecConfig::new().profile(true), "--profile"),

@@ -21,7 +21,7 @@ fn workload() -> (cmvrp_grid::GridBounds<2>, cmvrp_workloads::JobSequence<2>) {
         jobs: 180,
         seed: 9,
     };
-    let (bounds, demand) = config.generate();
+    let (bounds, demand) = config.generate().expect("workload fits grid");
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     (bounds, jobs)
 }

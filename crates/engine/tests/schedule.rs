@@ -100,7 +100,8 @@ fn every_schedule_steps_every_shard_once_per_round() {
         jobs: 300,
         seed: 11,
     }
-    .generate();
+    .generate()
+    .expect("workload fits grid");
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     for schedule in Schedule::ALL {
         for threads in [1, 2, 4] {
@@ -137,7 +138,8 @@ fn scheduler_counters_reach_metrics() {
         jobs: 120,
         seed: 3,
     }
-    .generate();
+    .generate()
+    .expect("workload fits grid");
     let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 7);
     let mut sim =
         ShardedOnlineSim::<2>::new(bounds, &jobs, OnlineConfig::default()).expect("build");

@@ -13,7 +13,7 @@ use cmvrp_online::OnlineConfig;
 use cmvrp_workloads::{arrivals, JobSequence, Ordering, WorkloadConfig};
 
 fn inputs(cfg: &WorkloadConfig) -> (cmvrp_grid::GridBounds<2>, JobSequence<2>) {
-    let (bounds, demand) = cfg.generate();
+    let (bounds, demand) = cfg.generate().expect("workload fits grid");
     (
         bounds,
         arrivals::from_demand(&demand, Ordering::Shuffled, 7),

@@ -1,0 +1,375 @@
+//! Literature baselines over the same demand instance the protocol runs.
+//!
+//! Two comparison points from the CVRP literature (see PAPERS.md):
+//!
+//! * **Becker tree-CVRP** — Becker, *A Tight 4/3 Approximation for
+//!   Capacitated Vehicle Routing in Trees* (arXiv:1804.08791). We embed
+//!   the grid instance into an L1 shortest-path tree rooted at the
+//!   grid-center depot (a "spine" along the depot row with one vertical
+//!   branch per demand column), compute the classic edge-coverage lower
+//!   bound `LB = Σ_e 2·w(e)·⌈D(e)/Q⌉` that Becker's algorithm is measured
+//!   against, and build tours by the Euler-tour Q-splitting construction:
+//!   unit jobs in DFS order, split into consecutive groups of `Q`, each
+//!   group toured along the minimal subtree spanning it and the depot.
+//! * **Gørtz–Nagarajan makespan** — Gørtz, Nagarajan, Ravi, *Minimum
+//!   Makespan Multi-vehicle Dial-a-Ride* (arXiv:1102.5450) studies the
+//!   min–max objective our per-vehicle battery bound `W` echoes. The
+//!   heuristic here sweeps the support by angle around the depot, packs
+//!   consecutive jobs into capacity-`Q` sectors, routes each sector
+//!   nearest-neighbor, and assigns sectors to `m` vehicles
+//!   longest-processing-time-first; the reported lower bound is
+//!   `max(2·d_max, ⌈2·Σ_x d(x)·dist(x) / (Q·m)⌉)` (the radial bound
+//!   spread over the fleet).
+//!
+//! Both run on the exact `DemandMap` the protocol serves, so a scenario
+//! summary can put paper bound, baseline cost, and protocol cost side by
+//! side. All arithmetic is exact (integer L1 distances).
+
+use cmvrp_grid::{DemandMap, GridBounds, Point};
+use cmvrp_workloads::spatial;
+
+/// The Becker tree-CVRP baseline: edge-coverage lower bound and the
+/// Euler-split tour construction, both in the tree metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeckerReport {
+    /// `Σ_e 2·w(e)·⌈D(e)/Q⌉` over the shortest-path tree.
+    pub lower_bound: u64,
+    /// Total cost of the Q-split Euler tours.
+    pub tour_cost: u64,
+    /// Number of tours (each serves ≤ Q unit jobs).
+    pub tours: u64,
+}
+
+/// The GN-style min-makespan baseline: sweep + LPT assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MakespanReport {
+    /// `max(2·d_max, ⌈radial/(Q·m)⌉)` — no schedule can beat this.
+    pub lower_bound: u64,
+    /// The heaviest vehicle's total route cost under the heuristic.
+    pub makespan: u64,
+    /// Fleet size `m` the makespan was computed for.
+    pub vehicles: u64,
+}
+
+/// A node of the L1 shortest-path tree: `parent` edge of weight `w`,
+/// `demand` units sitting at the node itself.
+struct TreeNode {
+    parent: usize,
+    w: u64,
+    demand: u64,
+}
+
+/// Builds the spine tree: the depot row is the trunk, every demand column
+/// hangs off it. Node 0 is the depot; parents always precede children.
+/// Returns the nodes plus, per node, its children in DFS visit order.
+fn spine_tree(bounds: &GridBounds<2>, demand: &DemandMap<2>) -> (Vec<TreeNode>, Vec<Vec<usize>>) {
+    let depot = spatial::center(bounds);
+    let mut xs: Vec<i64> = demand.support().map(|p| p[0]).collect();
+    xs.push(depot[0]);
+    xs.sort_unstable();
+    xs.dedup();
+    let mut nodes = vec![TreeNode {
+        parent: 0,
+        w: 0,
+        demand: 0,
+    }];
+    let mut children: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut spine_of = std::collections::BTreeMap::new();
+    spine_of.insert(depot[0], 0usize);
+    let depot_at = xs.binary_search(&depot[0]).expect("depot x inserted");
+    // Chain outwards from the depot so each spine node's parent is the
+    // next spine node toward the center.
+    let extend = |xs_slice: &[i64],
+                  nodes: &mut Vec<TreeNode>,
+                  children: &mut Vec<Vec<usize>>,
+                  spine_of: &mut std::collections::BTreeMap<i64, usize>| {
+        let mut prev_x = depot[0];
+        let mut prev_id = 0usize;
+        for &x in xs_slice {
+            let id = nodes.len();
+            nodes.push(TreeNode {
+                parent: prev_id,
+                w: x.abs_diff(prev_x),
+                demand: 0,
+            });
+            children.push(Vec::new());
+            children[prev_id].push(id);
+            spine_of.insert(x, id);
+            prev_x = x;
+            prev_id = id;
+        }
+    };
+    let right: Vec<i64> = xs[depot_at + 1..].to_vec();
+    let left: Vec<i64> = xs[..depot_at].iter().rev().copied().collect();
+    extend(&right, &mut nodes, &mut children, &mut spine_of);
+    extend(&left, &mut nodes, &mut children, &mut spine_of);
+    // Hang each demand point off its column's spine node.
+    for (p, d) in demand.iter() {
+        let spine = spine_of[&p[0]];
+        let drop = p[1].abs_diff(depot[1]);
+        if drop == 0 {
+            nodes[spine].demand += d;
+        } else {
+            let id = nodes.len();
+            nodes.push(TreeNode {
+                parent: spine,
+                w: drop,
+                demand: d,
+            });
+            children.push(Vec::new());
+            children[spine].push(id);
+        }
+    }
+    (nodes, children)
+}
+
+fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+/// Runs the Becker tree-CVRP baseline with per-tour capacity `capacity`.
+pub fn becker(bounds: &GridBounds<2>, demand: &DemandMap<2>, capacity: u64) -> BeckerReport {
+    let capacity = capacity.max(1);
+    let (nodes, children) = spine_tree(bounds, demand);
+    // Subtree demands: children always have larger indices than parents.
+    let mut subtree: Vec<u64> = nodes.iter().map(|n| n.demand).collect();
+    for id in (1..nodes.len()).rev() {
+        subtree[nodes[id].parent] += subtree[id];
+    }
+    let lower_bound: u64 = (1..nodes.len())
+        .filter(|&id| subtree[id] > 0)
+        .map(|id| 2 * nodes[id].w * ceil_div(subtree[id], capacity))
+        .sum();
+
+    // Euler split: unit jobs in DFS order, groups of Q, each group toured
+    // along the minimal subtree spanning group ∪ depot.
+    let mut dfs_jobs: Vec<usize> = Vec::new();
+    let mut stack = vec![0usize];
+    while let Some(id) = stack.pop() {
+        dfs_jobs.extend(std::iter::repeat_n(id, nodes[id].demand as usize));
+        for &c in children[id].iter().rev() {
+            stack.push(c);
+        }
+    }
+    let mut tour_cost = 0u64;
+    let mut tours = 0u64;
+    let mut marked = vec![0u32; nodes.len()];
+    for (g, group) in dfs_jobs.chunks(capacity as usize).enumerate() {
+        let stamp = g as u32 + 1;
+        tours += 1;
+        marked[0] = stamp;
+        for &leaf in group {
+            let mut at = leaf;
+            while marked[at] != stamp {
+                marked[at] = stamp;
+                tour_cost += 2 * nodes[at].w;
+                at = nodes[at].parent;
+            }
+        }
+    }
+    BeckerReport {
+        lower_bound,
+        tour_cost,
+        tours,
+    }
+}
+
+fn l1(a: Point<2>, b: Point<2>) -> u64 {
+    a[0].abs_diff(b[0]) + a[1].abs_diff(b[1])
+}
+
+/// Sorts support points by angle around the depot: upper half-plane first
+/// (including the positive x-axis), then lower, each swept
+/// counter-clockwise by exact cross products — no floating point.
+fn sweep_order(depot: Point<2>, support: &mut [Point<2>]) {
+    let half = |p: &Point<2>| -> u8 {
+        let (dx, dy) = (p[0] - depot[0], p[1] - depot[1]);
+        if dy > 0 || (dy == 0 && dx >= 0) {
+            0
+        } else {
+            1
+        }
+    };
+    support.sort_by(|a, b| {
+        half(a).cmp(&half(b)).then_with(|| {
+            let (ax, ay) = (a[0] - depot[0], a[1] - depot[1]);
+            let (bx, by) = (b[0] - depot[0], b[1] - depot[1]);
+            // cross > 0 ⇒ a before b (counter-clockwise within the half).
+            (bx * ay - ax * by).cmp(&0).then_with(|| a.cmp(b))
+        })
+    });
+}
+
+/// Runs the GN-style makespan heuristic with `vehicles` vehicles of
+/// capacity `capacity` based at the grid-center depot.
+pub fn gn_makespan(
+    bounds: &GridBounds<2>,
+    demand: &DemandMap<2>,
+    capacity: u64,
+    vehicles: u64,
+) -> MakespanReport {
+    let capacity = capacity.max(1);
+    let vehicles = vehicles.max(1);
+    let depot = spatial::center(bounds);
+    if demand.total() == 0 {
+        return MakespanReport {
+            lower_bound: 0,
+            makespan: 0,
+            vehicles,
+        };
+    }
+    let d_max = demand.support().map(|p| l1(depot, p)).max().unwrap_or(0);
+    let radial: u64 = demand.iter().map(|(p, d)| 2 * d * l1(depot, p)).sum();
+    let lower_bound = (2 * d_max).max(ceil_div(radial, capacity * vehicles));
+
+    let mut support: Vec<Point<2>> = demand.support().collect();
+    sweep_order(depot, &mut support);
+    // Pack the sweep into capacity-full sectors (a point's units may
+    // straddle two sectors).
+    let mut sectors: Vec<Vec<Point<2>>> = Vec::new();
+    let mut current: Vec<Point<2>> = Vec::new();
+    let mut load = 0u64;
+    for p in support {
+        let mut left = demand.get(p);
+        while left > 0 {
+            let take = left.min(capacity - load);
+            if take > 0 && current.last().is_none_or(|&q| q != p) {
+                current.push(p);
+            }
+            load += take;
+            left -= take;
+            if load == capacity {
+                sectors.push(std::mem::take(&mut current));
+                load = 0;
+            }
+        }
+    }
+    if !current.is_empty() {
+        sectors.push(current);
+    }
+    // Nearest-neighbor route per sector, depot → … → depot.
+    let mut costs: Vec<u64> = sectors
+        .iter()
+        .map(|sector| {
+            let mut todo = sector.clone();
+            let mut at = depot;
+            let mut cost = 0u64;
+            while !todo.is_empty() {
+                let (i, _) = todo
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, p)| (l1(at, **p), **p))
+                    .expect("sector non-empty");
+                let next = todo.swap_remove(i);
+                cost += l1(at, next);
+                at = next;
+            }
+            cost + l1(at, depot)
+        })
+        .collect();
+    // LPT: heaviest sector first onto the least-loaded vehicle.
+    costs.sort_unstable_by_key(|&c| std::cmp::Reverse(c));
+    let mut loads = vec![0u64; vehicles as usize];
+    for c in costs {
+        let min = loads.iter_mut().min().expect("at least one vehicle");
+        *min += c;
+    }
+    MakespanReport {
+        lower_bound,
+        makespan: loads.into_iter().max().unwrap_or(0),
+        vehicles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmvrp_grid::pt2;
+
+    fn point_map(side: u64, d: u64) -> (GridBounds<2>, DemandMap<2>) {
+        let b = GridBounds::square(side);
+        let m = spatial::point(&b, d);
+        (b, m)
+    }
+
+    #[test]
+    fn becker_single_point_is_exact() {
+        // All demand at distance 0 from the depot: free in the tree metric.
+        let (b, m) = point_map(9, 40);
+        let r = becker(&b, &m, 5);
+        assert_eq!(r.lower_bound, 0);
+        assert_eq!(r.tour_cost, 0);
+        assert_eq!(r.tours, 8);
+        // One off-center point at L1 distance 4, demand 6, Q=2: every pair
+        // of jobs costs a 2·4 round trip, and the bound is tight.
+        let b = GridBounds::square(9);
+        let mut m = DemandMap::new();
+        m.add(pt2(4 + 3, 4 + 1), 6);
+        let r = becker(&b, &m, 2);
+        assert_eq!(r.lower_bound, 3 * 2 * 4);
+        assert_eq!(r.tour_cost, r.lower_bound);
+        assert_eq!(r.tours, 3);
+    }
+
+    #[test]
+    fn becker_cost_dominates_lower_bound() {
+        let b = GridBounds::square(15);
+        let m = spatial::uniform_random(&b, 300, 7);
+        for q in [1, 3, 10, 50] {
+            let r = becker(&b, &m, q);
+            assert!(r.tour_cost >= r.lower_bound, "Q={q}: {r:?}");
+            assert_eq!(r.tours, 300u64.div_ceil(q));
+            // The Euler split is a 2-ish approximation in practice; guard
+            // against a pathological regression.
+            assert!(r.tour_cost <= 4 * r.lower_bound.max(1) * 2, "Q={q}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn becker_line_matches_hand_count() {
+        // Line of demand 1 on a 5-grid (row y=2), Q large: one tour walks
+        // the whole spine: 2·(2+2) = 8.
+        let b = GridBounds::square(5);
+        let m = spatial::line(&b, 1);
+        let r = becker(&b, &m, 100);
+        assert_eq!(r.lower_bound, 8);
+        assert_eq!(r.tour_cost, 8);
+        assert_eq!(r.tours, 1);
+    }
+
+    #[test]
+    fn gn_makespan_dominates_bound_and_is_deterministic() {
+        let b = GridBounds::square(13);
+        let m = spatial::zipf_clusters(&b, 3, 200, 5);
+        let r = gn_makespan(&b, &m, 10, 4);
+        let again = gn_makespan(&b, &m, 10, 4);
+        assert_eq!(r, again);
+        assert!(r.makespan >= r.lower_bound, "{r:?}");
+        assert_eq!(r.vehicles, 4);
+        // More vehicles can only help the heuristic's makespan bound.
+        let wide = gn_makespan(&b, &m, 10, 16);
+        assert!(wide.lower_bound <= r.lower_bound);
+    }
+
+    #[test]
+    fn gn_single_far_point() {
+        // One point at distance 6, 4 jobs, Q=2, m=2: two sectors of cost
+        // 12 each on two vehicles — makespan 12 = the 2·d_max bound.
+        let b = GridBounds::square(13);
+        let mut m = DemandMap::new();
+        m.add(pt2(6 + 6, 6), 4);
+        let r = gn_makespan(&b, &m, 2, 2);
+        assert_eq!(r.lower_bound, 12);
+        assert_eq!(r.makespan, 12);
+    }
+
+    #[test]
+    fn empty_demand_is_all_zeroes() {
+        let b = GridBounds::square(7);
+        let m = DemandMap::new();
+        let r = becker(&b, &m, 3);
+        assert_eq!((r.lower_bound, r.tour_cost, r.tours), (0, 0, 0));
+        let g = gn_makespan(&b, &m, 3, 2);
+        assert_eq!((g.lower_bound, g.makespan), (0, 0));
+    }
+}

@@ -43,7 +43,7 @@ use cmvrp_engine::{ExecConfig, Session};
 use cmvrp_grid::pt2;
 use cmvrp_obs::VecSink;
 use cmvrp_online::OnlineConfig;
-use cmvrp_workloads::{arrivals, Ordering, WorkloadConfig};
+use cmvrp_scenario::Scenario;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -261,10 +261,23 @@ impl Connection {
         }
         let spec = fields.take_str("workload")?.ok_or_else(|| {
             "open needs a \"workload\" spec, e.g. \"point:grid=11,demand=60\" \
-             (shapes: point, line, square, uniform, clusters)"
+             (shapes: point, line, square, uniform, clusters) or \
+             \"@scenario.toml\""
                 .to_string()
         })?;
-        let workload: WorkloadConfig = spec.parse()?;
+        // The shared scenario parser: inline shape specs and @file
+        // scenario references are accepted and rejected exactly as the
+        // CLI and the campaign runner do.
+        let scenario: Scenario = spec.parse()?;
+        if !scenario.faults.is_empty() {
+            return Err(format!(
+                "scenario {:?} scripts faults (crash_at_rounds); wire \
+                 sessions run fault-free — supported alternatives: execute \
+                 the script with `cmvrp scenario run`, or drop the [faults] \
+                 section",
+                scenario.label()
+            ));
+        }
         let mut online = OnlineConfig {
             seed: fields.take_num("seed")?.unwrap_or(1) as u64,
             ..OnlineConfig::default()
@@ -290,8 +303,7 @@ impl Connection {
             .threads(threads as usize)
             .schedule(schedule)
             .check(check);
-        let (bounds, demand) = workload.generate();
-        let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, online.seed);
+        let (bounds, _, jobs) = scenario.generate(online.seed).map_err(|e| e.to_string())?;
         let session = if preload {
             exec.build(bounds, &jobs, online)
         } else {
@@ -715,6 +727,7 @@ fn json_str(s: &str) -> String {
 mod tests {
     use super::*;
     use cmvrp_grid::GridBounds;
+    use cmvrp_workloads::{arrivals, Ordering, WorkloadConfig};
 
     fn one(conn: &mut Connection, line: &str) -> String {
         let lines = conn.handle(line);
@@ -773,7 +786,7 @@ mod tests {
         assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
 
         let workload: WorkloadConfig = "point:grid=11,demand=20".parse().unwrap();
-        let (bounds, demand) = workload.generate();
+        let (bounds, demand) = workload.generate().unwrap();
         let jobs = arrivals::from_demand(&demand, Ordering::Shuffled, 1);
         let mut sink = VecSink::new();
         ExecConfig::new()
@@ -782,6 +795,53 @@ mod tests {
             .unwrap();
         let reference: Vec<String> = sink.events().iter().map(|ev| ev.to_json()).collect();
         assert_eq!(&lines[1..], &reference[..]);
+    }
+
+    #[test]
+    fn open_accepts_scenario_files_and_rejects_fault_scripts() {
+        // The wire `open` op goes through the same Scenario parser as the
+        // CLI: `@file` loads a scenario, and a fault script is rejected
+        // with the alternative named.
+        let dir = std::env::temp_dir();
+        let ok = dir.join("cmvrp_serve_open.toml");
+        std::fs::write(
+            &ok,
+            "[substrate]\nside = 11\n[demand]\nshape = point\ndemand = 30\n",
+        )
+        .unwrap();
+        let mut conn = Connection::new(4);
+        let resp = one(
+            &mut conn,
+            &format!(
+                "{{\"op\":\"open\",\"session\":\"a\",\"workload\":\"@{}\",\"threads\":2}}",
+                ok.display()
+            ),
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let resp = one(&mut conn, "{\"op\":\"advance\",\"session\":\"a\"}");
+        assert!(resp.contains("\"idle\":true"), "{resp}");
+        let resp = one(&mut conn, "{\"op\":\"close\",\"session\":\"a\"}");
+        assert!(resp.contains("\"served\":30,\"unserved\":0"), "{resp}");
+        let _ = std::fs::remove_file(&ok);
+
+        let faulty = dir.join("cmvrp_serve_faulty.toml");
+        std::fs::write(
+            &faulty,
+            "[substrate]\nside = 9\n[demand]\nshape = point\ndemand = 5\n\
+             [faults]\ncrash_at_rounds = 2\n",
+        )
+        .unwrap();
+        let resp = one(
+            &mut conn,
+            &format!(
+                "{{\"op\":\"open\",\"session\":\"b\",\"workload\":\"@{}\"}}",
+                faulty.display()
+            ),
+        );
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        assert!(resp.contains("scripts faults"), "{resp}");
+        assert!(resp.contains("cmvrp scenario run"), "{resp}");
+        let _ = std::fs::remove_file(&faulty);
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! Declarative workload configurations for recorded experiments.
 
-use crate::spatial;
+use crate::spatial::{self, ShapeError};
 use cmvrp_grid::{DemandMap, GridBounds};
 
 /// A declarative workload description; `generate` materializes it.
+///
+/// `WorkloadConfig` is the thin constructor layer under
+/// `cmvrp_scenario::Scenario`: it names a spatial demand shape and its
+/// parameters, nothing more. Arrival orderings, fault scripts, and
+/// baseline reports live in the scenario layer.
 ///
 /// # Examples
 ///
@@ -11,7 +16,7 @@ use cmvrp_grid::{DemandMap, GridBounds};
 /// use cmvrp_workloads::WorkloadConfig;
 ///
 /// let cfg = WorkloadConfig::Point { grid: 9, demand: 50 };
-/// let (bounds, map) = cfg.generate();
+/// let (bounds, map) = cfg.generate().unwrap();
 /// assert_eq!(map.total(), 50);
 /// assert_eq!(bounds.volume(), 81);
 /// ```
@@ -65,30 +70,37 @@ pub enum WorkloadConfig {
 impl WorkloadConfig {
     /// Materializes the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the shape does not fit its grid (e.g. `a > grid`).
-    pub fn generate(&self) -> (GridBounds<2>, DemandMap<2>) {
+    /// Returns [`ShapeError`] when the shape does not fit its grid (e.g.
+    /// `a > grid`, a zero-sided grid, or zero clusters) — malformed shapes
+    /// are reachable from user input via scenario files and wire specs, so
+    /// they surface as scoped errors rather than panics.
+    pub fn generate(&self) -> Result<(GridBounds<2>, DemandMap<2>), ShapeError> {
+        let grid = self.grid();
+        if grid == 0 {
+            return Err(ShapeError::new("grid side must be at least 1"));
+        }
         match *self {
             WorkloadConfig::Square { grid, a, demand } => {
                 let b = GridBounds::square(grid);
-                let m = spatial::square_block(&b, a, demand).expect("square must fit grid");
-                (b, m)
+                let m = spatial::square_block(&b, a, demand)?;
+                Ok((b, m))
             }
             WorkloadConfig::Line { grid, demand } => {
                 let b = GridBounds::square(grid);
                 let m = spatial::line(&b, demand);
-                (b, m)
+                Ok((b, m))
             }
             WorkloadConfig::Point { grid, demand } => {
                 let b = GridBounds::square(grid);
                 let m = spatial::point(&b, demand);
-                (b, m)
+                Ok((b, m))
             }
             WorkloadConfig::Uniform { grid, jobs, seed } => {
                 let b = GridBounds::square(grid);
                 let m = spatial::uniform_random(&b, jobs, seed);
-                (b, m)
+                Ok((b, m))
             }
             WorkloadConfig::Clusters {
                 grid,
@@ -96,10 +108,24 @@ impl WorkloadConfig {
                 jobs,
                 seed,
             } => {
+                if clusters == 0 {
+                    return Err(ShapeError::new("clusters needs k >= 1 hotspots"));
+                }
                 let b = GridBounds::square(grid);
                 let m = spatial::zipf_clusters(&b, clusters, jobs, seed);
-                (b, m)
+                Ok((b, m))
             }
+        }
+    }
+
+    /// The grid side the shape sits on.
+    pub fn grid(&self) -> u64 {
+        match *self {
+            WorkloadConfig::Square { grid, .. }
+            | WorkloadConfig::Line { grid, .. }
+            | WorkloadConfig::Point { grid, .. }
+            | WorkloadConfig::Uniform { grid, .. }
+            | WorkloadConfig::Clusters { grid, .. } => grid,
         }
     }
 
@@ -124,21 +150,53 @@ impl WorkloadConfig {
     }
 }
 
-/// Parses the `shape:key=value,...` spec syntax shared by the CLI and the
-/// wire protocol, e.g. `point:grid=11,demand=60` or
-/// `clusters:grid=12,k=3,jobs=200,seed=7`. `seed` defaults to 0 for the
-/// randomized shapes; every other parameter is required.
+/// The `key=value` pairs a shape accepts, used both for parsing and for
+/// the supported-set half of rejection messages.
+fn supported_keys(shape: &str) -> &'static [&'static str] {
+    match shape {
+        "point" | "line" => &["grid", "demand"],
+        "square" => &["grid", "a", "demand"],
+        "uniform" => &["grid", "jobs", "seed"],
+        "clusters" => &["grid", "k", "jobs", "seed"],
+        _ => &[],
+    }
+}
+
+/// Parses the `shape:key=value,...` spec syntax shared by the CLI, the
+/// campaign runner, and the wire protocol, e.g. `point:grid=11,demand=60`
+/// or `clusters:grid=12,k=3,jobs=200,seed=7`. `seed` defaults to 0 for the
+/// randomized shapes; every other parameter is required. Unknown keys are
+/// rejected with an error naming the supported set, so a typo fails the
+/// same way on every frontend.
 impl std::str::FromStr for WorkloadConfig {
     type Err = String;
 
     fn from_str(spec: &str) -> Result<Self, String> {
         let (shape, rest) = spec.split_once(':').unwrap_or((spec, ""));
-        let get = |key: &str| -> Option<u64> {
-            rest.split(',').find_map(|kv| {
-                let (k, v) = kv.split_once('=')?;
-                (k == key).then(|| v.parse().ok()).flatten()
-            })
-        };
+        let keys = supported_keys(shape);
+        if keys.is_empty() {
+            return Err(format!(
+                "unknown workload shape {shape:?}; supported shapes: \
+                 point, line, square, uniform, clusters"
+            ));
+        }
+        let mut pairs: Vec<(&str, u64)> = Vec::new();
+        for kv in rest.split(',').filter(|kv| !kv.is_empty()) {
+            let (k, v) = kv.split_once('=').ok_or_else(|| {
+                format!("workload spec segment {kv:?} is not key=value (shape {shape:?})")
+            })?;
+            if !keys.contains(&k) {
+                return Err(format!(
+                    "unknown key {k:?} for workload shape {shape:?}; supported keys: {}",
+                    keys.join(", ")
+                ));
+            }
+            let v: u64 = v.parse().map_err(|_| {
+                format!("workload shape {shape:?} key {k:?}: {v:?} is not an unsigned integer")
+            })?;
+            pairs.push((k, v));
+        }
+        let get = |key: &str| -> Option<u64> { pairs.iter().find(|(k, _)| *k == key).map(|p| p.1) };
         let missing = |what: &str| format!("workload {shape:?} needs {what}");
         match shape {
             "point" => Ok(WorkloadConfig::Point {
@@ -165,10 +223,7 @@ impl std::str::FromStr for WorkloadConfig {
                 jobs: get("jobs").ok_or_else(|| missing("jobs"))?,
                 seed: get("seed").unwrap_or(0),
             }),
-            other => Err(format!(
-                "unknown workload shape {other:?}; supported shapes: \
-                 point, line, square, uniform, clusters"
-            )),
+            _ => unreachable!("shape validated against supported_keys"),
         }
     }
 }
@@ -203,6 +258,29 @@ mod tests {
     }
 
     #[test]
+    fn spec_rejects_unknown_keys_naming_the_supported_set() {
+        let err = "point:grid=9,demand=30,spin=1"
+            .parse::<WorkloadConfig>()
+            .unwrap_err();
+        assert!(err.contains("unknown key \"spin\""), "{err}");
+        assert!(err.contains("supported keys: grid, demand"), "{err}");
+        let err = "square:grid=9,side=3,demand=1"
+            .parse::<WorkloadConfig>()
+            .unwrap_err();
+        assert!(err.contains("supported keys: grid, a, demand"), "{err}");
+    }
+
+    #[test]
+    fn spec_rejects_malformed_segments_and_values() {
+        let err = "point:grid".parse::<WorkloadConfig>().unwrap_err();
+        assert!(err.contains("not key=value"), "{err}");
+        let err = "point:grid=nine,demand=1"
+            .parse::<WorkloadConfig>()
+            .unwrap_err();
+        assert!(err.contains("not an unsigned integer"), "{err}");
+    }
+
+    #[test]
     fn all_variants_generate() {
         let configs = [
             WorkloadConfig::Square {
@@ -231,10 +309,11 @@ mod tests {
             },
         ];
         for cfg in configs {
-            let (b, m) = cfg.generate();
+            let (b, m) = cfg.generate().unwrap();
             assert!(m.total() > 0, "{}", cfg.label());
             assert!(m.support().all(|p| b.contains(p)));
             assert!(!cfg.label().is_empty());
+            assert_eq!(cfg.grid(), 12);
         }
     }
 
@@ -246,17 +325,31 @@ mod tests {
             jobs: 25,
             seed: 4,
         };
-        assert_eq!(cfg.generate().1, cfg.generate().1);
+        assert_eq!(cfg.generate().unwrap().1, cfg.generate().unwrap().1);
     }
 
     #[test]
-    #[should_panic(expected = "square must fit")]
-    fn oversized_square_panics() {
-        let _ = WorkloadConfig::Square {
+    fn malformed_shapes_error_instead_of_panicking() {
+        let err = WorkloadConfig::Square {
             grid: 4,
             a: 9,
             demand: 1,
         }
-        .generate();
+        .generate()
+        .unwrap_err();
+        assert!(err.to_string().contains("does not fit"), "{err}");
+        let err = WorkloadConfig::Point { grid: 0, demand: 1 }
+            .generate()
+            .unwrap_err();
+        assert!(err.to_string().contains("grid side"), "{err}");
+        let err = WorkloadConfig::Clusters {
+            grid: 5,
+            clusters: 0,
+            jobs: 10,
+            seed: 0,
+        }
+        .generate()
+        .unwrap_err();
+        assert!(err.to_string().contains("k >= 1"), "{err}");
     }
 }

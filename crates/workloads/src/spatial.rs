@@ -18,8 +18,15 @@ impl std::fmt::Display for ShapeError {
 
 impl std::error::Error for ShapeError {}
 
+impl ShapeError {
+    /// Creates a scoped shape error from a description of what failed.
+    pub fn new(what: impl Into<String>) -> Self {
+        ShapeError { what: what.into() }
+    }
+}
+
 fn err(what: impl Into<String>) -> ShapeError {
-    ShapeError { what: what.into() }
+    ShapeError::new(what)
 }
 
 /// Example 1 (§2.1.1): demand `d` at every point of a centered `a×a` square.

@@ -45,8 +45,8 @@ fn all_configs() -> Vec<WorkloadConfig> {
 #[test]
 fn same_seed_generates_identical_demand() {
     for cfg in all_configs() {
-        let (_, first) = cfg.generate();
-        let (_, second) = cfg.generate();
+        let (_, first) = cfg.generate().expect("workload fits grid");
+        let (_, second) = cfg.generate().expect("workload fits grid");
         assert!(maps_equal(&first, &second), "{} drifted", cfg.label());
     }
     // The seeded generators directly, across repeated calls.
@@ -72,7 +72,7 @@ fn different_seeds_generate_different_demand() {
 #[test]
 fn every_generated_point_is_in_bounds() {
     for cfg in all_configs() {
-        let (bounds, demand) = cfg.generate();
+        let (bounds, demand) = cfg.generate().expect("workload fits grid");
         for p in demand.support() {
             assert!(
                 bounds.contains(p),

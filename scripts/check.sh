@@ -57,8 +57,14 @@ s1=$(mktemp)
 s2=$(mktemp)
 s3=$(mktemp)
 sl=$(mktemp)
+n1=$(mktemp)
+n2=$(mktemp)
+n3=$(mktemp)
+n4=$(mktemp)
+n5=$(mktemp)
+n6=$(mktemp)
 cd1=$(mktemp -d)
-trap 'rm -f "$t1" "$t2" "$t3" "$m1" "$b1" "$b2" "$r1" "$r2" "$r3" "$ck" "$s1" "$s2" "$s3" "$sl"; rm -rf "$cd1"' EXIT
+trap 'rm -f "$t1" "$t2" "$t3" "$m1" "$b1" "$b2" "$r1" "$r2" "$r3" "$ck" "$s1" "$s2" "$s3" "$sl" "$n1" "$n2" "$n3" "$n4" "$n5" "$n6"; rm -rf "$cd1"' EXIT
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
     --threads=1 --check --trace-jsonl="$t1" >/dev/null
 ./target/release/cmvrp simulate point:grid=12,demand=250 --seed=3 \
@@ -196,5 +202,71 @@ grep -q '"served":40,"unserved":0' "$s2" || {
 }
 grep '"ev":' "$s2" >"$s3"
 ./target/release/cmvrp trace diff "$s1" "$s3" >/dev/null
+
+echo "==> scenario smoke (one file drives scenario run, simulate, campaign, serve)"
+# The scenario oracle: the committed earthquake scenario is a default
+# (batch, fault-free) workload, so every frontend that accepts it must
+# produce a trace byte-identical to the equivalent flag spec — and the
+# summary table `scenario run` prints must match the committed golden.
+./target/release/cmvrp scenario check scenarios/earthquake.toml >/dev/null
+./target/release/cmvrp scenario run scenarios/earthquake.toml >"$n1"
+diff tests/data/golden_scenario_summary.txt "$n1" || {
+    echo "scenario run summary drifted from the golden" >&2
+    exit 1
+}
+./target/release/cmvrp simulate point:grid=11,demand=40 --threads=2 \
+    --trace-jsonl="$n2" >/dev/null
+./target/release/cmvrp simulate @scenarios/earthquake.toml --threads=2 \
+    --trace-jsonl="$n3" >/dev/null
+./target/release/cmvrp trace diff "$n2" "$n3" >/dev/null
+./target/release/cmvrp scenario run scenarios/earthquake.toml --threads=2 \
+    --trace-jsonl="$n4" >/dev/null
+./target/release/cmvrp trace diff "$n2" "$n4" >/dev/null
+cat >"$cd1/quake.spec" <<'EOF'
+[quake]
+workload = @scenarios/earthquake.toml
+threads = 2
+EOF
+./target/release/cmvrp campaign run "$cd1/quake.spec" \
+    --dir="$cd1/quake-state" --bin=./target/release/cmvrp >/dev/null
+./target/release/cmvrp serve listen --addr=127.0.0.1:0 --connections=1 \
+    >"$n5" &
+scen_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^serving on //p' "$n5")
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+[ -n "$addr" ] || {
+    echo "serve listen did not print its bound address:" >&2
+    cat "$n5" >&2
+    exit 1
+}
+{
+    printf '{"op":"open","session":"quake","workload":"@scenarios/earthquake.toml","threads":2}\n'
+    printf '{"op":"advance","session":"quake"}\n'
+    printf '{"op":"trace","session":"quake"}\n'
+    printf '{"op":"close","session":"quake"}\n'
+} | ./target/release/cmvrp serve send "$addr" >"$n6"
+wait "$scen_pid"
+grep -q '"served":40,"unserved":0' "$n6" || {
+    echo "serve session did not serve the scenario demand:" >&2
+    cat "$n6" >&2
+    exit 1
+}
+grep '"ev":' "$n6" >"$n1"
+./target/release/cmvrp trace diff "$n2" "$n1" >/dev/null
+# The fault-bearing scenario: rejected by simulate, executed (crash +
+# resume from snapshot) by scenario run.
+if ./target/release/cmvrp simulate @scenarios/crashy.toml >/dev/null 2>&1; then
+    echo "simulate must reject fault-bearing scenarios" >&2
+    exit 1
+fi
+./target/release/cmvrp scenario run scenarios/crashy.toml |
+    grep -q "recovery: crashed + resumed from snapshot at rounds 4, 9" || {
+    echo "scenario run did not execute the crashy fault script" >&2
+    exit 1
+}
 
 echo "==> all checks passed"

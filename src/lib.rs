@@ -23,6 +23,7 @@
 //! | [`ckpt`] | `CMVC` checkpoint format + campaign runner with dead-letter retries |
 //! | [`ext`] | Chapter 4 (broken vehicles) and Chapter 5 (energy transfers) |
 //! | [`workloads`] | demand/arrival generators |
+//! | [`scenario`] | declarative scenario DSL + literature baselines (Becker, Gørtz–Nagarajan) |
 //! | [`graph_ext`] | the Chapter 6 generalization to arbitrary weighted graphs |
 //! | [`util`] | exact rationals, statistics, tables |
 //!
@@ -65,6 +66,12 @@ pub use cmvrp_grid as grid;
 pub use cmvrp_net as net;
 pub use cmvrp_obs as obs;
 pub use cmvrp_online as online;
+pub use cmvrp_scenario as scenario;
+
+// The declarative workload surface: a scenario file (or inline spec) compiles
+// to a [`Scenario`] that every frontend — `cmvrp simulate`, the campaign
+// runner, and the serve wire protocol — turns into the same deterministic run.
+pub use cmvrp_scenario::{ArrivalSpec, Baseline, FaultScript, ReportSpec, Scenario};
 pub use cmvrp_serve as serve;
 pub use cmvrp_util as util;
 pub use cmvrp_workloads as workloads;
@@ -79,6 +86,7 @@ pub mod prelude {
     pub use cmvrp_grid::{pt1, pt2, pt3, DemandMap, GridBounds, Point};
     pub use cmvrp_obs::{JsonlSink, NullSink, RingSink, Sink, StaticSink, VecSink};
     pub use cmvrp_online::{OnlineConfig, OnlineSim};
+    pub use cmvrp_scenario::{ArrivalSpec, Baseline, FaultScript, ReportSpec, Scenario};
     pub use cmvrp_util::Ratio;
     pub use cmvrp_workloads::{arrivals, spatial, Ordering, WorkloadConfig};
 }

@@ -8,41 +8,25 @@ use cmvrp::core::{approx_woff, offline_factor, omega_c, omega_star, plan_offline
 use cmvrp::flow::{min_uniform_supply, transport_feasible};
 use cmvrp::grid::GridBounds;
 use cmvrp::util::Ratio;
-use cmvrp::workloads::WorkloadConfig;
+use cmvrp::Scenario;
 
-fn workloads() -> Vec<WorkloadConfig> {
-    vec![
-        WorkloadConfig::Point {
-            grid: 15,
-            demand: 120,
-        },
-        WorkloadConfig::Line {
-            grid: 14,
-            demand: 9,
-        },
-        WorkloadConfig::Square {
-            grid: 16,
-            a: 5,
-            demand: 6,
-        },
-        WorkloadConfig::Uniform {
-            grid: 12,
-            jobs: 140,
-            seed: 2,
-        },
-        WorkloadConfig::Clusters {
-            grid: 14,
-            clusters: 3,
-            jobs: 160,
-            seed: 8,
-        },
+fn workloads() -> Vec<Scenario> {
+    [
+        "point:grid=15,demand=120",
+        "line:grid=14,demand=9",
+        "square:grid=16,a=5,demand=6",
+        "uniform:grid=12,jobs=140,seed=2",
+        "clusters:grid=14,k=3,jobs=160,seed=8",
     ]
+    .iter()
+    .map(|spec| spec.parse().expect("workload spec parses"))
+    .collect()
 }
 
 #[test]
 fn theorem_141_sandwich_on_all_workloads() {
     for cfg in workloads() {
-        let (bounds, demand) = cfg.generate();
+        let (bounds, demand, _) = cfg.generate(0).expect("workload fits grid");
         let star = omega_star(&bounds, &demand).value;
         let wc = omega_c(&bounds, &demand);
         // Corollary 2.2.7 + Lemma 2.2.3 ordering: ω_c ≤ ω*.
@@ -65,7 +49,7 @@ fn theorem_141_sandwich_on_all_workloads() {
 #[test]
 fn algorithm1_guarantee_on_all_workloads() {
     for cfg in workloads() {
-        let (bounds, demand) = cfg.generate();
+        let (bounds, demand, _) = cfg.generate(0).expect("workload fits grid");
         let approx = approx_woff(&bounds, &demand);
         let star = omega_star(&bounds, &demand).value;
         assert!(approx >= star, "{}: Ŵ={approx} < ω*={star}", cfg.label());
@@ -82,7 +66,7 @@ fn lemma_222_duality_on_all_workloads() {
     // Strong duality of LP (2.1): the max-density value is feasible as a
     // uniform supply, and anything 0.1% below is not.
     for cfg in workloads() {
-        let (bounds, demand) = cfg.generate();
+        let (bounds, demand, _) = cfg.generate(0).expect("workload fits grid");
         for r in [0u64, 1, 2] {
             let v = min_uniform_supply(&bounds, &demand, r);
             assert!(
@@ -105,7 +89,7 @@ fn lemma_222_duality_on_all_workloads() {
 #[test]
 fn plan_total_service_equals_total_demand() {
     for cfg in workloads() {
-        let (bounds, demand) = cfg.generate();
+        let (bounds, demand, _) = cfg.generate(0).expect("workload fits grid");
         let plan = plan_offline(&bounds, &demand).unwrap();
         let check = verify_plan(&bounds, &demand, &plan);
         assert_eq!(check.total_service, demand.total(), "{}", cfg.label());
@@ -118,11 +102,10 @@ fn omega_star_scales_like_point_example() {
     let b = GridBounds::square(41);
     let mut values = Vec::new();
     for d in [64u64, 512, 4096] {
-        let (_, demand) = WorkloadConfig::Point {
-            grid: 41,
-            demand: d,
-        }
-        .generate();
+        let sc: Scenario = format!("point:grid=41,demand={d}")
+            .parse()
+            .expect("workload spec parses");
+        let (_, demand, _) = sc.generate(0).expect("workload fits grid");
         values.push(omega_star(&b, &demand).value.to_f64());
     }
     let g1 = values[1] / values[0];

@@ -4,50 +4,42 @@
 use cmvrp::core::{omega_c, online_factor};
 use cmvrp::grid::GridBounds;
 use cmvrp::online::{OnlineConfig, OnlineSim};
-use cmvrp::workloads::{arrivals, spatial, Ordering, WorkloadConfig};
+use cmvrp::workloads::{arrivals, spatial, Ordering};
+use cmvrp::Scenario;
 
 #[test]
-fn serves_everything_across_workloads_and_orderings() {
-    let configs = vec![
-        WorkloadConfig::Point {
-            grid: 10,
-            demand: 150,
-        },
-        WorkloadConfig::Line {
-            grid: 10,
-            demand: 6,
-        },
-        WorkloadConfig::Square {
-            grid: 12,
-            a: 4,
-            demand: 4,
-        },
-        WorkloadConfig::Uniform {
-            grid: 10,
-            jobs: 100,
-            seed: 4,
-        },
-        WorkloadConfig::Clusters {
-            grid: 10,
-            clusters: 2,
-            jobs: 120,
-            seed: 6,
-        },
+fn serves_everything_across_scenarios_and_arrival_shapes() {
+    // Every demand shape × every arrival mode, all through the scenario
+    // parser — the same construction path the CLI, campaigns, and the
+    // wire protocol use.
+    let shapes = [
+        "shape = point\ndemand = 150",
+        "shape = line\ndemand = 6",
+        "shape = square\na = 4\ndemand = 4",
+        "shape = uniform\njobs = 100\nseed = 4",
+        "shape = clusters\nk = 2\njobs = 120\nseed = 6",
     ];
-    for cfg in configs {
-        let (bounds, demand) = cfg.generate();
-        for ordering in [
-            Ordering::Sequential,
-            Ordering::Interleaved,
-            Ordering::Shuffled,
-        ] {
-            let jobs = arrivals::from_demand(&demand, ordering, 13);
+    let arrival_sections = [
+        "",
+        "[arrivals]\nmode = sequential\n",
+        "[arrivals]\nmode = uniform-rate\n",
+        "[arrivals]\nmode = diurnal\nwaves = 3\n",
+        "[arrivals]\nmode = flash-crowd\nat = 40\n",
+        "[arrivals]\nmode = moving-hotspot\n",
+        "[arrivals]\nmode = alternating\n",
+    ];
+    for shape in shapes {
+        for arrivals_sec in arrival_sections {
+            let text = format!("[substrate]\nside = 12\n\n[demand]\n{shape}\n\n{arrivals_sec}");
+            let sc = Scenario::parse_file(&text).expect("scenario parses");
+            let (bounds, demand, jobs) = sc.generate(13).expect("workload fits grid");
             let report = OnlineSim::new(bounds, &jobs, OnlineConfig::default()).run();
             assert_eq!(
                 report.unserved,
                 0,
-                "{} / {ordering:?}: {report:?}",
-                cfg.label()
+                "{} / {}: {report:?}",
+                sc.label(),
+                sc.arrivals.label()
             );
             assert_eq!(report.served, demand.total());
             assert!(report.max_energy_used <= report.capacity);
